@@ -1,0 +1,67 @@
+// Cycle-level validation of the analytic throughput model: schedule the
+// real task graph of representative ResNet-50 layers on the FLASH arrays
+// and compare the makespan against the analytic busiest-array bound, plus
+// the protocol communication inventory.
+#include <cstdio>
+
+#include "accel/simulator.hpp"
+#include "core/flash_accelerator.hpp"
+#include "protocol/hconv_protocol.hpp"
+#include "tensor/resnet.hpp"
+
+int main() {
+  using namespace flash;
+  std::printf("=== cycle-level simulation vs analytic model (N = 4096, one spatial tile) ===\n\n");
+
+  const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
+  core::FlashAccelerator acc(params);
+  const accel::FlashConfig cfg = accel::FlashConfig::paper_default();
+  accel::CycleSimulator sim(cfg);
+
+  const auto layers = tensor::resnet50_conv_layers();
+  std::printf("%-24s %12s %12s %8s %10s %10s\n", "layer", "sim cycles", "bound", "ratio",
+              "approxU", "fpU");
+  for (const char* name : {"layer1.0.conv1", "layer1.0.conv2", "layer2.0.conv3", "layer3.0.conv2",
+                           "layer4.0.conv1", "layer4.1.conv2"}) {
+    const auto it = std::find_if(layers.begin(), layers.end(),
+                                 [&](const auto& l) { return l.name == name; });
+    if (it == layers.end()) continue;
+    const core::LayerPlan plan = acc.plan_layer(*it);
+    // Rebuild the layer's weight-pattern plan for the simulator.
+    std::vector<std::size_t> pos;
+    for (std::size_t c = 0; c < plan.tiling.channels_per_poly; ++c) {
+      for (std::size_t i = 0; i < plan.tiling.sub_k; ++i) {
+        for (std::size_t j = 0; j < plan.tiling.sub_k; ++j) {
+          pos.push_back((c * plan.tiling.patch_h * plan.tiling.patch_w + i * plan.tiling.patch_w + j) %
+                        (params.n / 2));
+        }
+      }
+    }
+    const sparsefft::SparseFftPlan wplan(params.n / 2,
+                                         sparsefft::SparsityPattern(params.n / 2, std::move(pos)));
+    const accel::SimResult r = sim.simulate_layer(plan.tiling, wplan);
+    const std::uint64_t bound = std::max({r.weight_busy / cfg.approx_pes,
+                                          r.fp_busy / std::max<std::size_t>(cfg.fp_pes, 1),
+                                          r.pointwise_busy});
+    std::printf("%-24s %12llu %12llu %8.2f %9.1f%% %9.1f%%\n", name,
+                static_cast<unsigned long long>(r.cycles), static_cast<unsigned long long>(bound),
+                static_cast<double>(r.cycles) / static_cast<double>(std::max<std::uint64_t>(bound, 1)),
+                100.0 * r.weight_utilization, 100.0 * r.fp_utilization);
+  }
+  std::printf("\nthe greedy schedule lands within a small factor of the busiest-array bound\n");
+  std::printf("(the analytic model's assumption); utilization shows which array gates each layer.\n");
+
+  // Protocol communication (the other resource Table IV's setting implies).
+  std::printf("\n=== one-round protocol communication (linear layers) ===\n");
+  const std::uint64_t ct_bytes = protocol::ciphertext_bytes(params);
+  for (const char* net : {"ResNet-18", "ResNet-50"}) {
+    const auto ls = std::string(net) == "ResNet-18" ? tensor::resnet18_conv_layers()
+                                                    : tensor::resnet50_conv_layers();
+    const encoding::NetworkCommunication comm = encoding::plan_communication(ls, params.n, ct_bytes);
+    std::printf("%-10s up %8.1f MB  down %8.1f MB  total %8.2f GB\n", net, comm.bytes_up / 1e6,
+                comm.bytes_down / 1e6, comm.total() / 1e9);
+  }
+  std::printf("(ciphertext = %llu KB; Cheetah reports single-digit GB per ResNet inference)\n",
+              static_cast<unsigned long long>(ct_bytes / 1024));
+  return 0;
+}

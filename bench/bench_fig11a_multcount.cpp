@@ -1,0 +1,70 @@
+// Figure 11(a) reproduction: multiplication count per polynomial
+// multiplication at various weight sparsity levels, for three strategies:
+//
+//   * traditional butterfly dataflow (dense FFT of the weight polynomial);
+//   * FLASH's sparse skip/merge dataflow;
+//   * direct computation in the coefficient domain (nnz x N integer mults,
+//     no transforms at all).
+//
+// As in the paper, counts are normalized to a single PolyMul of one layer:
+// activation forward transforms and the inverse transform are amortized over
+// the output channels that share them (out_c = 64 here), which is why the
+// FFT-based strategies beat direct computation even at high sparsity.
+#include <cstdio>
+
+#include "sparsefft/planner.hpp"
+
+int main() {
+  using namespace flash::sparsefft;
+
+  std::printf("=== Fig. 11(a): multiplication count vs weight sparsity (per PolyMul) ===\n\n");
+
+  const std::size_t n = 4096;
+  const std::size_t m = n / 2;
+  const std::size_t out_channels = 64;  // amortization factor for shared transforms
+  const PlanCost dense = SparseFftPlan::dense_cost(m);
+
+  // Real multiplications of the shared (per-output-channel amortized) work:
+  // 2 ciphertext forward FFTs + 2 inverse FFTs per PolyMul result, amortized,
+  // plus the point-wise products (4 real mults per complex product).
+  const double shared = (4.0 * static_cast<double>(dense.complex_mults) * 4.0) /
+                            static_cast<double>(out_channels) +
+                        4.0 * static_cast<double>(m);
+
+  std::printf("%-12s %-10s %16s %16s %16s\n", "sparsity", "nnz", "direct coeff", "dense FFT",
+              "sparse FFT");
+  // Sweep sparsity by varying channels-per-polynomial and patch size
+  // (stripe = patch area): 16x16 patches for the sparse regime, 8x8 for the
+  // dense end, matching how channel packing trades patch size for density.
+  struct Point {
+    std::size_t stripe, width, channels;
+  };
+  const Point sweep[] = {
+      {256, 16, 1}, {256, 16, 2}, {256, 16, 4}, {256, 16, 8},
+      {64, 8, 8},   {64, 8, 16},  {64, 8, 24},  {64, 8, 31},
+  };
+  for (const Point& pt : sweep) {
+    std::vector<std::size_t> pos;
+    for (std::size_t c = 0; c < pt.channels; ++c) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) pos.push_back((c * pt.stripe + i * pt.width + j) % m);
+      }
+    }
+    const SparsityPattern pattern(m, std::move(pos));
+    const std::size_t nnz = pattern.weight();
+    const double sparsity = 1.0 - static_cast<double>(nnz) / static_cast<double>(n);
+    const SparseFftPlan plan(m, pattern);
+
+    const double direct = static_cast<double>(nnz) * static_cast<double>(n);
+    const double fft_dense = 4.0 * static_cast<double>(dense.complex_mults) + shared;
+    const double fft_sparse = 4.0 * static_cast<double>(plan.cost().merged_mults) + shared;
+    std::printf("%-12.4f %-10zu %16.0f %16.0f %16.0f\n", sparsity, nnz, direct, fft_dense,
+                fft_sparse);
+  }
+
+  std::printf("\nshared per-PolyMul cost (amortized act FFT + inverse + point-wise): %.0f\n", shared);
+  std::printf("paper shape: sparse dataflow < dense dataflow everywhere, and < direct\n");
+  std::printf("coefficient-domain computation even at extreme sparsity (thanks to the\n");
+  std::printf("activation-transform amortization across %zu output channels).\n", out_channels);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 11(b)(c) reproduction: design-space exploration for two
+// representative ResNet-50 layers — the scatter of explored points (error
+// variance vs normalized weight-FFT power) and the Pareto front.
+//
+// The paper plots 1000 solutions per layer found by Bayesian optimization;
+// we run our evolutionary Pareto search for the same budget (see DESIGN.md
+// for the substitution rationale) and print a bucketed scatter plus the
+// front.
+#include <cstdio>
+#include <map>
+
+#include "core/flash_accelerator.hpp"
+#include "dse/bayesopt.hpp"
+#include "tensor/resnet.hpp"
+
+namespace {
+
+void explore_layer(flash::core::FlashAccelerator& acc, const flash::tensor::LayerConfig& layer,
+                   const char* tag) {
+  using namespace flash;
+  std::printf("--- %s: layer %s (%zu ch %zux%zu, k=%zu) ---\n", tag, layer.name.c_str(), layer.in_c,
+              layer.in_h, layer.in_w, layer.kernel);
+  dse::DseOptions opts;
+  opts.evaluations = 1000;
+  const auto points = acc.explore_layer(layer, opts);
+
+  // Bucketed scatter: count points per (power decade-bucket, error decade).
+  std::map<int, std::map<int, int>> hist;  // power bucket -> error decade -> count
+  for (const auto& p : points) {
+    const int pb = static_cast<int>(p.normalized_power * 10.0);  // 0.1-wide buckets
+    const int ed = static_cast<int>(std::floor(std::log10(p.error_variance + 1e-30)));
+    ++hist[pb][ed];
+  }
+  std::printf("scatter (rows: normalized power bucket, cols: log10 error variance):\n");
+  std::printf("%8s", "power\\e");
+  for (int e = -15; e <= 3; e += 3) std::printf(" %5d", e);
+  std::printf("\n");
+  for (const auto& [pb, row] : hist) {
+    std::printf("%7.1f ", pb / 10.0);
+    for (int e = -15; e <= 3; e += 3) {
+      int count = 0;
+      for (const auto& [ed, c] : row) {
+        if (ed >= e && ed < e + 3) count += c;
+      }
+      std::printf(" %5d", count);
+    }
+    std::printf("\n");
+  }
+
+  const auto front = dse::pareto_front(points);
+  std::printf("pareto front (%zu points):\n", front.size());
+  for (const auto& p : front) {
+    std::printf("  power %.4f  err %.3e  k=%d\n", p.normalized_power, p.error_variance,
+                p.point.twiddle_k);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace flash;
+  std::printf("=== Fig. 11(b)(c): DSE for two ResNet-50 layers, 1000 evaluations each ===\n\n");
+
+  const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
+  core::FlashAccelerator acc(params);
+  const auto layers = tensor::resnet50_conv_layers();
+
+  explore_layer(acc, layers[28], "Fig. 11(b) layer 28");
+  explore_layer(acc, layers[41], "Fig. 11(c) layer 41");
+
+  std::printf("paper shape: a smooth power/error trade-off per layer; the DSE picks the\n");
+  std::printf("cheapest point under the layer's error threshold T_err. Training shifts the\n");
+  std::printf("threshold right, cutting hardware cost a further ~62.8%% (paper).\n");
+
+  // Optimizer comparison at equal budget: the paper's Bayesian optimization
+  // (GP surrogate + ParEGO scalarization) vs our evolutionary archive.
+  std::printf("\n--- optimizer comparison, 200 evaluations, layer 28 geometry ---\n");
+  const encoding::LayerTiling tiling = encoding::plan_layer(layers[28], params.n);
+  const dse::SpaceBounds bounds;
+  const dse::ErrorModel error = dse::ErrorModel::from_weight_stats(params.n, tiling.weight_nnz, 8.0);
+  const dse::CostModel cost(params.n / 2, bounds);
+
+  dse::BayesianExplorer bo(dse::DesignSpace(params.n / 2, bounds), dse::ErrorModel(error),
+                           dse::CostModel(cost), 20250307);
+  dse::BayesOptions bopts;
+  bopts.evaluations = 200;
+  const auto bo_points = bo.explore(bopts);
+
+  dse::DseExplorer evo(dse::DesignSpace(params.n / 2, bounds), dse::ErrorModel(error),
+                       dse::CostModel(cost), 20250307);
+  dse::DseOptions eopts;
+  eopts.evaluations = 200;
+  const auto evo_points = evo.explore(eopts);
+
+  for (double threshold : {1e-3, 1e-6, 1e-9}) {
+    double bo_best = 1e300, evo_best = 1e300;
+    for (const auto& p : bo_points) {
+      if (p.error_variance <= threshold) bo_best = std::min(bo_best, p.normalized_power);
+    }
+    for (const auto& p : evo_points) {
+      if (p.error_variance <= threshold) evo_best = std::min(evo_best, p.normalized_power);
+    }
+    std::printf("  T_err = %-8.0e  best power: bayesian %.4f | evolutionary %.4f\n", threshold,
+                bo_best, evo_best);
+  }
+
+  // The paper's training claim: approximation-aware training relaxes T_err
+  // (the network tolerates ~10x more output error), and the DSE converts
+  // that into ~62.8% lower hardware cost.
+  std::printf("\n--- T_err relaxation via approximation-aware training ---\n");
+  auto best_under = [&](double threshold) {
+    double best = 1e300;
+    for (const auto& p : evo_points) {
+      if (p.error_variance <= threshold) best = std::min(best, p.normalized_power);
+    }
+    return best;
+  };
+  const double strict = best_under(1e-8);                  // no retraining
+  const double relaxed = best_under(1e-8 * 100.0);         // ~10x error tolerance
+  std::printf("  no retraining  (T_err 1e-8): power %.4f\n", strict);
+  std::printf("  with training  (T_err 1e-6): power %.4f  -> %.1f%% cost reduction\n", relaxed,
+              100.0 * (1.0 - relaxed / strict));
+  std::printf("  paper: training reduces the hardware cost by ~62.8%%\n");
+  return 0;
+}

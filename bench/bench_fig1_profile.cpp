@@ -1,0 +1,113 @@
+// Figure 1 reproduction: latency breakdown of hybrid HE/2PC private CNN
+// inference on CPU.
+//
+// Paper: for a ResNet-50 residual block under Cheetah, homomorphic
+// convolutions dominate end-to-end latency, and within HConv the NTTs of
+// *weight* polynomials dominate computation (motivating FLASH).
+//
+// We run the one-round HConv protocol with the exact NTT backend over a
+// residual-block-shaped layer pair (scaled to tractable CPU size but with
+// the paper's channel-to-spatial ratio) and report wall-clock per phase plus
+// the transform-count breakdown for the true ResNet-50 block.
+#include <cstdio>
+
+#include "accel/memory.hpp"
+#include "encoding/tiling.hpp"
+#include "protocol/hconv_protocol.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/resnet.hpp"
+
+int main() {
+  using namespace flash;
+
+  std::printf("=== Fig. 1: hybrid HE/2PC HConv latency breakdown (CPU, NTT backend) ===\n\n");
+
+  const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
+  bfv::BfvContext ctx(params);
+  protocol::HConvProtocol proto(ctx, bfv::PolyMulBackend::kNtt, std::nullopt, 20250307);
+
+  // A bottleneck-block-shaped conv: 32 channels of 16x16, 3x3, 32 outputs
+  // (the 58x58x64 original is identical in structure; this size keeps the
+  // CPU run to seconds).
+  std::mt19937_64 rng(1);
+  const tensor::Tensor3 x = tensor::random_activations(32, 16, 16, 4, rng);
+  const tensor::Tensor4 w = tensor::random_weights(32, 32, 3, 4, rng);
+  const protocol::HConvResult res = proto.run(x, w);
+  const auto& p = res.profile;
+
+  const double total = p.total_s();
+  auto row = [&](const char* name, double secs) {
+    std::printf("  %-28s %8.3f ms  %5.1f%%\n", name, secs * 1e3, 100.0 * secs / total);
+  };
+  std::printf("measured phase latencies (one HConv, %zu-deg ring):\n", params.n);
+  row("share encode (2PC)", p.share_encode_s);
+  row("encrypt (client)", p.encrypt_s);
+  row("weight transforms (server)", p.weight_transform_s);
+  row("ct transform+mul+inv (server)", p.cipher_transform_mul_s);
+  row("masking (server)", p.mask_s);
+  row("decrypt (client)", p.decrypt_s);
+  std::printf("  %-28s %8.3f ms\n\n", "total", total * 1e3);
+
+  std::printf("server transform inventory (ops of this HConv):\n");
+  std::printf("  weight transforms   %llu\n", static_cast<unsigned long long>(res.ops.plain_transforms));
+  std::printf("  ct fwd transforms   %llu\n", static_cast<unsigned long long>(res.ops.cipher_transforms));
+  std::printf("  inverse transforms  %llu\n", static_cast<unsigned long long>(res.ops.inverse_transforms));
+
+  // The true ResNet-50 residual block (layer3 bottleneck) through the
+  // analytic tiling planner: transform counts show the same weight-dominated
+  // shape at full scale.
+  std::printf("\nResNet-50 layer3 bottleneck block, analytic transform counts (N = 4096):\n");
+  const auto layers = tensor::resnet50_conv_layers();
+  std::uint64_t weight = 0, cipher = 0, inverse = 0;
+  for (const auto& l : layers) {
+    if (l.name.rfind("layer3.1.", 0) != 0) continue;
+    const encoding::LayerTiling t = encoding::plan_layer(l, params.n);
+    weight += t.weight_transforms;
+    cipher += t.cipher_transforms;
+    inverse += t.inverse_transforms;
+  }
+  const double tsum = static_cast<double>(weight + cipher + inverse);
+  std::printf("  weight transforms   %8llu  (%.1f%%)\n", static_cast<unsigned long long>(weight),
+              100.0 * weight / tsum);
+  std::printf("  ct fwd transforms   %8llu  (%.1f%%)\n", static_cast<unsigned long long>(cipher),
+              100.0 * cipher / tsum);
+  std::printf("  inverse transforms  %8llu  (%.1f%%)\n", static_cast<unsigned long long>(inverse),
+              100.0 * inverse / tsum);
+  std::printf("\npaper shape: weight NTTs are the dominant HConv cost -> %s\n",
+              weight > cipher + inverse ? "REPRODUCED" : "NOT reproduced");
+
+  // Fig. 1's other axis: computation vs communication latency. The one-round
+  // protocol moves input/output ciphertexts once; at LAN/WAN bandwidths the
+  // computation side dominates (the paper's premise for accelerating it).
+  std::printf("\ncomputation vs communication (ResNet-50 linear layers, N = 4096):\n");
+  const std::uint64_t ct_bytes = 2ULL * params.n * 7;  // 49-bit q -> 7 B/coeff
+  const auto comm = encoding::plan_communication(layers, params.n, ct_bytes);
+  // CPU computation estimate: measured per-HConv cost scaled by transform counts.
+  const auto net_counts = encoding::plan_network(layers, params.n);
+  const double measured_per_transform =
+      (p.weight_transform_s + p.cipher_transform_mul_s) /
+      static_cast<double>(res.ops.plain_transforms + res.ops.cipher_transforms +
+                          res.ops.inverse_transforms);
+  const double compute_s = measured_per_transform *
+                           static_cast<double>(net_counts.weight_transforms +
+                                               net_counts.cipher_transforms +
+                                               net_counts.inverse_transforms);
+  for (const double gbps : {0.1, 1.0, 10.0}) {
+    const double comm_s = static_cast<double>(comm.total()) * 8.0 / (gbps * 1e9);
+    std::printf("  @%5.1f Gbps: computation %6.1f s vs communication %6.1f s -> %s-bound\n", gbps,
+                compute_s, comm_s, compute_s > comm_s ? "computation" : "communication");
+  }
+
+  // The paper's motivation for on-the-fly transforms: caching every weight
+  // polynomial in the NTT domain costs "23 GB ... >1000x higher memory" for
+  // a 4-bit ResNet-50.
+  const accel::WeightStorage storage = accel::weight_storage(layers, params.n, 49, 4);
+  std::printf("\nweight storage, 4-bit ResNet-50 (N = 4096, 49-bit q):\n");
+  std::printf("  raw quantized weights      %8.1f MB\n", storage.raw_bytes / 1e6);
+  std::printf("  NTT-domain pre-computation %8.1f GB  (%.0fx blowup)\n",
+              storage.transformed_bytes / 1e9, storage.blowup());
+  std::printf("  paper: 23 GB, >1000x -> %s\n",
+              (storage.transformed_bytes > 10e9 && storage.blowup() > 1000.0) ? "REPRODUCED"
+                                                                              : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Future-work exploration (paper §V-B: "point-wise multiplication becomes a
+// new bottleneck, which is the focus of our research in the future"):
+// sweep the point-wise FP multiplier array and the FP transform array to see
+// what it takes to make the full HConv pipeline weight-array-bound, and what
+// it costs in area/power.
+#include <cstdio>
+
+#include "core/flash_accelerator.hpp"
+#include "tensor/resnet.hpp"
+
+int main() {
+  using namespace flash;
+  using namespace flash::accel;
+
+  std::printf("=== future work: removing the point-wise bottleneck (ResNet-50, N = 4096) ===\n\n");
+
+  const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
+  core::FlashAccelerator planner(params);
+  TransformWorkload w;
+  w.n = params.n;
+  bool first = true;
+  for (const auto& layer : tensor::resnet50_conv_layers()) {
+    const core::LayerPlan plan = planner.plan_layer(layer);
+    if (first) {
+      w = plan.workload;
+      first = false;
+    } else {
+      w += plan.workload;
+    }
+  }
+
+  std::printf("%-28s %10s %10s %10s %12s %10s %9s\n", "configuration", "xform ms", "all ms",
+              "bound by", "energy mJ", "area mm^2", "power W");
+  struct Variant {
+    const char* name;
+    std::size_t fp_mults;
+    std::size_t fp_pes;
+  };
+  const Variant variants[] = {
+      {"paper (240 MUL, 4 FP PE)", 240, 4},
+      {"2x point-wise array", 480, 4},
+      {"4x point-wise array", 960, 4},
+      {"4x PW + 4x FP PEs", 960, 16},
+      {"8x PW + 8x FP PEs", 1920, 32},
+  };
+  for (const Variant& v : variants) {
+    FlashConfig cfg = FlashConfig::paper_default();
+    cfg.fp_mult_units = v.fp_mults;
+    cfg.fp_acc_units = v.fp_mults;
+    cfg.fp_pes = v.fp_pes;
+    const FlashRunBreakdown r = flash_run_breakdown(cfg, w, WeightPath::kApproxSparse);
+    const AreaPowerBreakdown b = flash_breakdown(cfg);
+    const char* bound = "weight";
+    if (r.pointwise_s >= r.weight_array_s && r.pointwise_s >= r.fp_array_s) {
+      bound = "pointwise";
+    } else if (r.fp_array_s > r.weight_array_s) {
+      bound = "fp xform";
+    }
+    std::printf("%-28s %10.3f %10.3f %10s %12.2f %10.2f %9.2f\n", v.name,
+                r.transform_seconds() * 1e3, r.seconds() * 1e3, bound, r.joules() * 1e3,
+                b.total_area(), b.total_power());
+  }
+  std::printf("\nscaling the point-wise array trades area/power for latency; the energy is\n");
+  std::printf("dominated by point-wise FP products regardless (motivating the paper's\n");
+  std::printf("future work on approximate point-wise arithmetic).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// CPU microbenchmarks (google-benchmark): the software cost of the
+// transforms FLASH accelerates — exact NTT, double FFT, the bit-accurate
+// approximate FXP FFT, the sparse dataflow executor, and a full ct x pt
+// multiplication per backend.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bfv/encrypt.hpp"
+#include "bfv/evaluator.hpp"
+#include "core/flash_accelerator.hpp"
+#include "fft/negacyclic.hpp"
+#include "hemath/ntt.hpp"
+#include "hemath/primes.hpp"
+#include "hemath/shoup_ntt.hpp"
+#include "sparsefft/executor.hpp"
+
+namespace {
+
+using namespace flash;
+
+void BM_NttForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const hemath::u64 q = hemath::find_ntt_prime(49, n);
+  hemath::NttTables tables(q, n);
+  hemath::Sampler sampler(1);
+  std::vector<hemath::u64> a = sampler.uniform_poly(q, n).coeffs();
+  for (auto _ : state) {
+    std::vector<hemath::u64> b = a;
+    tables.forward(b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_NttForward)->Arg(2048)->Arg(4096);
+
+void BM_ShoupNttForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const hemath::u64 q = hemath::find_ntt_prime(49, n);
+  hemath::ShoupNttTables tables(q, n);
+  hemath::Sampler sampler(1);
+  std::vector<hemath::u64> a = sampler.uniform_poly(q, n).coeffs();
+  for (auto _ : state) {
+    std::vector<hemath::u64> b = a;
+    tables.forward(b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_ShoupNttForward)->Arg(2048)->Arg(4096);
+
+void BM_FftForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::NegacyclicFft fft(n);
+  std::mt19937_64 rng(2);
+  std::vector<double> a(n);
+  for (auto& v : a) v = static_cast<double>(static_cast<int>(rng() % 255) - 127);
+  for (auto _ : state) {
+    auto spec = fft.forward(a);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_FftForward)->Arg(2048)->Arg(4096);
+
+void BM_FxpFftForward(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::FxpNegacyclicTransform fxp(n, core::default_approx_config(n, 1u << 18));
+  std::mt19937_64 rng(3);
+  std::vector<double> a(n, 0.0);
+  for (int i = 0; i < 72; ++i) a[rng() % n] = static_cast<double>(static_cast<int>(rng() % 15) - 7);
+  for (auto _ : state) {
+    auto spec = fxp.forward(a);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_FxpFftForward)->Arg(2048)->Arg(4096);
+
+void BM_SparseExecute(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0)) / 2;
+  std::vector<std::size_t> pos;
+  for (std::size_t c = 0; c < 8; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) pos.push_back((c * 256 + i * 16 + j) % m);
+    }
+  }
+  sparsefft::SparsityPattern pattern(m, std::move(pos));
+  sparsefft::SparseFftPlan plan(m, pattern);
+  std::vector<fft::cplx> input(m, {0.0, 0.0});
+  std::mt19937_64 rng(4);
+  for (std::size_t p : pattern.nonzeros()) input[p] = {double(int(rng() % 15) - 7), 0.0};
+  for (auto _ : state) {
+    auto out = sparsefft::execute(plan, input);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SparseExecute)->Arg(2048)->Arg(4096);
+
+void BM_MultiplyPlain(benchmark::State& state) {
+  static const bfv::BfvParams params = bfv::BfvParams::create(2048, 18, 48);
+  static bfv::BfvContext ctx(params);
+  static hemath::Sampler sampler(5);
+  static bfv::KeyGenerator keygen(ctx, sampler);
+  static const bfv::SecretKey sk = keygen.secret_key();
+  static const bfv::PublicKey pk = keygen.public_key(sk);
+  static bfv::Encryptor enc(ctx, sampler);
+
+  const auto backend = static_cast<bfv::PolyMulBackend>(state.range(0));
+  std::optional<fft::FxpFftConfig> cfg;
+  if (backend == bfv::PolyMulBackend::kApproxFft) {
+    cfg = core::default_approx_config(params.n, params.t);
+  }
+  bfv::Evaluator ev(ctx, backend, cfg);
+
+  std::mt19937_64 rng(6);
+  std::vector<hemath::i64> va(params.n);
+  for (auto& v : va) v = static_cast<hemath::i64>(rng() % 16);
+  std::vector<hemath::i64> vw(params.n, 0);
+  for (int i = 0; i < 72; ++i) vw[rng() % params.n] = static_cast<hemath::i64>(rng() % 15) - 7;
+
+  const bfv::Ciphertext ct = enc.encrypt(ctx.encode_signed(va), pk);
+  const bfv::PlainSpectrum spec = ev.transform_plain(ctx.encode_signed(vw));
+  for (auto _ : state) {
+    bfv::Ciphertext out = ev.multiply_plain(ct, spec);
+    benchmark::DoNotOptimize(out.c0.coeffs().data());
+  }
+}
+BENCHMARK(BM_MultiplyPlain)
+    ->Arg(static_cast<int>(bfv::PolyMulBackend::kNtt))
+    ->Arg(static_cast<int>(bfv::PolyMulBackend::kFft))
+    ->Arg(static_cast<int>(bfv::PolyMulBackend::kApproxFft));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table II reproduction: hardware cost comparison of modular multipliers vs
+// the complex floating-point multiplier vs FLASH's approximate fixed-point
+// shift-add multiplier.
+//
+// The first four rows are the calibration anchors (the paper's published
+// synthesis results); the sweep below exercises the scaling laws the rest of
+// the cost model relies on.
+#include <cstdio>
+#include <initializer_list>
+
+#include "accel/memory.hpp"
+#include "accel/unit_costs.hpp"
+
+int main() {
+  using namespace flash::accel;
+
+  std::printf("=== Table II: multiplier hardware cost (28nm @ 1GHz) ===\n\n");
+  std::printf("%-34s %-14s %12s %12s\n", "Multiplier", "Bit-width", "Area (um^2)", "Power (mW)");
+  auto row = [](const char* name, const char* bits, UnitCost c) {
+    std::printf("%-34s %-14s %12.0f %12.2f\n", name, bits, c.area_um2, c.power_mw);
+  };
+  row("Modular Mul (F1)", "32", modular_mult_f1());
+  row("Modular Mul (CHAM)", "35, 39", modular_mult_cham());
+  row("Complex FP Mul (FLASH FP path)", "8+1+39", complex_fp_mult(39));
+  row("Approx. FXP Mul (FLASH, k=5)", "39 x (k=5)", approx_fxp_mult(39, 5));
+
+  std::printf("\npaper claims:\n");
+  std::printf("  complex FP power ~2x modular:        %.2fx\n",
+              complex_fp_mult(39).power_mw / modular_mult_f1().power_mw);
+  std::printf("  approx FXP cheaper than CHAM's mod:  %.2fx cheaper\n",
+              modular_mult_cham().power_mw / approx_fxp_mult(39, 5).power_mw);
+
+  std::printf("\nscaling sweep: approx FXP multiplier across the DSE grid\n");
+  std::printf("%-8s", "width\\k");
+  for (int k : {2, 5, 8, 12, 18}) std::printf("  k=%-2d mW", k);
+  std::printf("\n");
+  for (int w : {12, 20, 27, 33, 39}) {
+    std::printf("%-8d", w);
+    for (int k : {2, 5, 8, 12, 18}) std::printf("  %7.3f", approx_fxp_mult(w, k).power_mw);
+    std::printf("\n");
+  }
+
+  std::printf("\ntwiddle-factor ROM (paper section III-A: NTT twiddles vary per modulus):\n");
+  for (std::size_t moduli : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    const auto tw = twiddle_storage(4096, moduli, 49, 5, 6);
+    std::printf("  %zu moduli: NTT ROM %7.1f KB vs FFT CSD ROM %5.1f KB  (%.0fx)\n", moduli,
+                tw.ntt_bytes / 1e3, tw.fft_bytes / 1e3, tw.ratio());
+  }
+  std::printf("\ncomplex FP multiplier vs mantissa width:\n");
+  for (int m : {16, 24, 32, 39}) {
+    const UnitCost c = complex_fp_mult(m);
+    std::printf("  mantissa %2d: %8.0f um^2  %6.2f mW\n", m, c.area_um2, c.power_mw);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Table III reproduction: normalized throughput, area and power efficiency
+// of FLASH against HEAX, CHAM (FPGA) and F1, BTS, ARK (ASIC).
+//
+// Baseline rows use the paper's published numbers (and the FPGA rows are
+// re-derived from the BU-level model: BUs x f / NTT butterflies). The FLASH
+// rows are computed from our architecture + workload models: the normalized
+// throughput uses the ResNet-50 network-average sparse multiplication
+// fraction measured by the dataflow planner.
+#include <cstdio>
+
+#include "accel/baselines.hpp"
+#include "accel/workload.hpp"
+#include "core/flash_accelerator.hpp"
+#include "tensor/resnet.hpp"
+
+int main() {
+  using namespace flash;
+  using namespace flash::accel;
+
+  std::printf("=== Table III: HConv accelerator efficiency comparison (ResNet-50 workload) ===\n\n");
+
+  // Network-average sparse weight-transform fraction from the real encoded
+  // patterns of every ResNet-50 layer.
+  const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
+  core::FlashAccelerator acc(params);
+  double weighted = 0;
+  std::uint64_t count = 0;
+  for (const auto& layer : tensor::resnet50_conv_layers()) {
+    const core::LayerPlan plan = acc.plan_layer(layer);
+    weighted += plan.weight_mult_fraction * static_cast<double>(plan.tiling.weight_transforms);
+    count += plan.tiling.weight_transforms;
+  }
+  const double frac = weighted / static_cast<double>(count);
+  std::printf("measured sparse weight-transform fraction (network avg): %.4f (%.1f%% reduction)\n\n",
+              frac, 100.0 * (1.0 - frac));
+
+  std::printf("%-26s %-10s %-10s %12s %10s %9s %14s %14s\n", "Accelerator", "N", "Tech",
+              "Thpt (M/s)", "Area mm^2", "Power W", "MOPS/mm^2", "MOPS/W");
+  auto print_spec = [](const AcceleratorSpec& s) {
+    std::printf("%-26s 2^%-8.0f %-10s %12.2f", s.name.c_str(), std::log2(double(s.n)),
+                s.technology.c_str(), s.norm_throughput / 1e6);
+    if (s.has_area_power()) {
+      std::printf(" %10.2f %9.2f %14.2f %14.2f\n", s.area_mm2, s.power_w, s.area_efficiency(),
+                  s.power_efficiency());
+    } else {
+      std::printf(" %10s %9s %14s %14s\n", "-", "-", "-", "-");
+    }
+  };
+  const auto baselines = table3_baselines();
+  for (const auto& b : baselines) print_spec(b);
+
+  // FLASH rows from our models.
+  const FlashConfig weight_cfg = FlashConfig::weight_transform_only();
+  const FlashConfig full_cfg = FlashConfig::paper_default();
+  const auto weight_bd = flash_breakdown(weight_cfg);
+  const auto full_bd = flash_breakdown(full_cfg);
+  const double weight_thpt = flash_norm_throughput(weight_cfg, frac, true);
+  const double all_thpt = flash_norm_throughput(full_cfg, frac, false);
+
+  AcceleratorSpec flash_w{"FLASH weight transforms", 4096, "28nm", 1e9, weight_thpt,
+                          weight_bd.total_area(), weight_bd.total_power()};
+  AcceleratorSpec flash_all{"FLASH all transforms", 4096, "28nm", 1e9, all_thpt,
+                            full_bd.total_area(), full_bd.total_power()};
+  print_spec(flash_w);
+  print_spec(flash_all);
+
+  std::printf("\nefficiency gains over the ASIC baselines:\n");
+  std::printf("%-10s %24s %24s\n", "baseline", "weight power-eff gain", "all-transform gain");
+  for (std::size_t i = 2; i < baselines.size(); ++i) {
+    std::printf("%-10s %23.1fx %23.1fx\n", baselines[i].name.c_str(),
+                flash_w.power_efficiency() / baselines[i].power_efficiency(),
+                flash_all.power_efficiency() / baselines[i].power_efficiency());
+  }
+  std::printf("\npaper: weight transforms 81.8~90.7x, all transforms 8.7~9.7x power efficiency\n");
+  std::printf("paper: area efficiency 15.6~26.2x (weight), 2.8~4.7x (all)\n");
+  std::printf("area-efficiency gains:  F1 %.1fx/%.1fx  BTS %.1fx/%.1fx  ARK %.1fx/%.1fx\n",
+              flash_w.area_efficiency() / baselines[2].area_efficiency(),
+              flash_all.area_efficiency() / baselines[2].area_efficiency(),
+              flash_w.area_efficiency() / baselines[3].area_efficiency(),
+              flash_all.area_efficiency() / baselines[3].area_efficiency(),
+              flash_w.area_efficiency() / baselines[4].area_efficiency(),
+              flash_all.area_efficiency() / baselines[4].area_efficiency());
+
+  std::printf("\nFPGA rows validated by the BU model: HEAX %.2fM (pub 1.95M), CHAM %.2fM (pub 2.93M)\n",
+              fpga_ntt_norm_throughput(160, 300e6) / 1e6, fpga_ntt_norm_throughput(240, 300e6) / 1e6);
+
+  // Sensitivity: our tiling planner (power-of-two patches, many 1x1 convs)
+  // achieves a better sparse fraction than the paper's implied 0.117
+  // (186.34 M/s at 240 BUs x 1 GHz). At the paper's own fraction our model
+  // lands on the published row almost exactly:
+  const double paper_frac = 0.117;
+  const double w117 = flash_norm_throughput(weight_cfg, paper_frac, true);
+  const double a117 = flash_norm_throughput(full_cfg, paper_frac, false);
+  std::printf("\nsensitivity at the paper's implied fraction (0.117):\n");
+  std::printf("  weight transforms: %.2f M/s (paper 186.34), power eff %.1f MOPS/W -> F1 gain %.1fx (paper 90.7x)\n",
+              w117 / 1e6, w117 / 1e6 / weight_bd.total_power(),
+              (w117 / 1e6 / weight_bd.total_power()) / baselines[2].power_efficiency());
+  std::printf("  all transforms:    %.2f M/s (paper 187.90), power eff %.1f MOPS/W -> F1 gain %.1fx (paper 9.7x)\n",
+              a117 / 1e6, a117 / 1e6 / full_bd.total_power(),
+              (a117 / 1e6 / full_bd.total_power()) / baselines[2].power_efficiency());
+  return 0;
+}

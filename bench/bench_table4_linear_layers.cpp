@@ -1,0 +1,142 @@
+// Table IV reproduction: performance of FLASH on the linear layers of
+// ResNet-18 and ResNet-50 vs the CHAM baseline (same BU count).
+//
+// Latency follows the paper's accounting (see DESIGN.md finding 3): CHAM
+// processes every transform as a dense NTT on 240 modular BUs @ 300 MHz;
+// FLASH runs sparse approximate weight transforms + dense inverse transforms
+// on 240 approximate BUs @ 1 GHz and ciphertext forwards on 16 FP BUs; the
+// transform-bound latency is the reported metric (the point-wise array is
+// the paper's acknowledged future-work bottleneck and is also printed).
+//
+// Accuracy follows the paper's evaluation methodology: approximate-FFT error
+// is injected at the convolution outputs of a quantized network (variance
+// calibrated from the bit-accurate FXP FFT simulator) and the classification
+// flip rate of a synthetic classifier is measured. Paper: 68.45 -> 68.15
+// (ResNet-18), 74.24 -> 74.19 (ResNet-50), i.e. a ~0.3%/0.05% drop.
+#include <cstdio>
+#include <random>
+
+#include "core/flash_accelerator.hpp"
+#include "dse/error_model.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/resnet.hpp"
+
+namespace {
+
+using namespace flash;
+
+/// Classification-flip accuracy proxy: fraction of synthetic inputs whose
+/// argmax class is unchanged when per-conv-output Gaussian error of the given
+/// std is injected into a quantized block + classifier pipeline.
+double accuracy_proxy(double error_std, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  tensor::QuantizedBlock block = tensor::QuantizedBlock::random(8, 3, 4, 4, rng);
+  // Requantize to the *typical* (not worst-case) sum-product scale so the
+  // 4-bit activation range is actually used — otherwise the proxy saturates
+  // to the residual identity and is insensitive to any perturbation.
+  block.requant_shift = 3;
+  // Classify from the flattened block output (no global pooling) so the
+  // proxy is sensitive to per-position perturbations.
+  const std::size_t features = 8 * 6 * 6;
+  const tensor::SyntheticClassifier clf = tensor::SyntheticClassifier::random(features, 10, 4, rng);
+  std::normal_distribution<double> noise(0.0, error_std);
+  const int samples = 120;
+  int same = 0;
+  for (int s = 0; s < samples; ++s) {
+    const tensor::Tensor3 x = tensor::random_activations(8, 6, 6, 4, rng);
+    const std::size_t label = clf.predict(block.forward(x).data());
+    tensor::Tensor3 e1(8, 6, 6), e2(8, 6, 6);
+    for (auto& v : e1.data()) v = static_cast<tensor::i64>(std::llround(noise(rng)));
+    for (auto& v : e2.data()) v = static_cast<tensor::i64>(std::llround(noise(rng)));
+    const std::size_t noisy = clf.predict(block.forward_with_error(x, e1, e2).data());
+    same += noisy == label;
+  }
+  return 100.0 * same / samples;
+}
+
+/// Calibrate the injected error std for a design point: measure the
+/// *relative* spectrum error of the bit-accurate FXP transform on
+/// ResNet-like sparse weights, then scale by the typical sum-product
+/// magnitude of the quantized block (a relative weight perturbation turns
+/// into a proportional conv-output perturbation).
+double calibrated_error_std(int width, int k, double sp_rms) {
+  const std::size_t n = 4096;
+  dse::DesignSpace space(n / 2, dse::SpaceBounds{8, 48, 2, 20});
+  dse::DesignPoint p;
+  p.stage_widths.assign(static_cast<std::size_t>(space.stages()), width);
+  p.twiddle_k = k;
+  std::mt19937_64 rng(11);
+  const double var = dse::measured_error_variance(n, space.to_config(p, 8.0), 72, 8, 3, rng);
+  // Weight spectrum rms for 72 taps in [-8, 8]: sqrt(sum w^2) ~ sqrt(72)*4.6.
+  const double spectrum_rms = std::sqrt(72.0) * 4.6;
+  const double relative = std::sqrt(var) / spectrum_rms;
+  return relative * sp_rms;
+}
+
+/// Typical raw sum-product magnitude of the synthetic quantized block.
+double measured_sp_rms() {
+  std::mt19937_64 rng(13);
+  const tensor::QuantizedBlock block = tensor::QuantizedBlock::random(8, 3, 4, 4, rng);
+  const tensor::Tensor3 x = tensor::random_activations(8, 6, 6, 4, rng);
+  const tensor::ConvSpec spec{1, 1};
+  const tensor::Tensor3 sp = tensor::conv2d(x, block.conv1, spec);
+  double acc = 0;
+  for (tensor::i64 v : sp.data()) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc / static_cast<double>(sp.data().size()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table IV: FLASH vs CHAM on ResNet linear layers ===\n\n");
+
+  const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
+  core::FlashAccelerator acc(params);
+
+  struct Net {
+    const char* name;
+    std::vector<tensor::LayerConfig> layers;
+  };
+  const Net nets[] = {{"ResNet-18", tensor::resnet18_conv_layers()},
+                      {"ResNet-50", tensor::resnet50_conv_layers()}};
+
+  std::printf("%-10s %14s %16s %10s %18s\n", "network", "CHAM (ms)", "FLASH xform (ms)", "speedup",
+              "FLASH all-arr (ms)");
+  for (const auto& net : nets) {
+    const core::NetworkEstimate est = acc.estimate_network(net.layers);
+    std::printf("%-10s %14.2f %16.3f %9.1fx %18.3f\n", net.name, est.cham.seconds * 1e3,
+                est.flash_transform_seconds() * 1e3, est.speedup_vs_cham(),
+                est.flash.seconds * 1e3);
+  }
+  std::printf("\npaper latency: ResNet-18 35.9 -> 1.64 ms (21.84x), ResNet-50 317.26 -> 4.96 ms (64.02x)\n");
+
+  std::printf("\naccuracy proxy (classification agreement under injected approx-FFT error,\n");
+  std::printf("paper methodology: error at conv outputs, calibrated from the FXP simulator):\n");
+  const double sp_rms = measured_sp_rms();
+  std::printf("measured sum-product rms of the quantized block: %.1f\n", sp_rms);
+  const double clean = accuracy_proxy(0.0, 99);
+  std::printf("  %-44s %6.1f%%\n", "exact (CHAM / NTT)", clean);
+  struct Arm {
+    const char* label;
+    int width, k;
+  };
+  const Arm arms[] = {
+      {"FLASH 27-bit, k=18 (no retraining)", 27, 18},
+      {"FLASH 27-bit, k=5  (w/ approx-aware training)", 27, 5},
+      {"FLASH 16-bit, k=3  (beyond the DSE frontier)", 16, 3},
+      {"FLASH 12-bit, k=2  (broken: shows the cliff)", 12, 2},
+  };
+  for (const Arm& arm : arms) {
+    const double std_dev = calibrated_error_std(arm.width, arm.k, sp_rms);
+    std::printf("  %-46s %6.1f%%  (err std %.2f)\n", arm.label, accuracy_proxy(std_dev, 99), std_dev);
+  }
+  // Stress arms: show where the network-level robustness finally gives out
+  // (errors comparable to the sum-product scale itself).
+  std::printf("  %-46s %6.1f%%  (err std %.2f)\n", "stress: error = SP/2",
+              accuracy_proxy(sp_rms / 2.0, 99), sp_rms / 2.0);
+  std::printf("  %-46s %6.1f%%  (err std %.2f)\n", "stress: error = SP",
+              accuracy_proxy(sp_rms, 99), sp_rms);
+  std::printf("\npaper accuracy: 68.45 -> 68.15 (R18), 74.24 -> 74.19 (R50): <0.5%% degradation at\n");
+  std::printf("the k=5 operating point, with the cliff appearing only far below the DSE frontier.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "accel/baselines.hpp"
+
+#include "accel/workload.hpp"
+
+namespace flash::accel {
+
+std::vector<AcceleratorSpec> table3_baselines() {
+  return {
+      {"HEAX", std::size_t{1} << 12, "FPGA", 300e6, 1.95e6, 0.0, 0.0},
+      {"CHAM", std::size_t{1} << 12, "FPGA", 300e6, 2.93e6, 0.0, 0.0},
+      {"F1", std::size_t{1} << 14, "14nm/12nm", 1e9, 583.33e6, 36.32, 76.80},
+      {"BTS", std::size_t{1} << 17, "7nm", 1.2e9, 200.00e6, 19.45, 24.92},
+      {"ARK", std::size_t{1} << 16, "7nm", 1e9, 333.33e6, 34.90, 39.60},
+  };
+}
+
+double fpga_ntt_norm_throughput(std::size_t bus, double freq_hz) {
+  return static_cast<double>(bus) * freq_hz / static_cast<double>(dense_ntt_butterflies(4096));
+}
+
+}  // namespace flash::accel

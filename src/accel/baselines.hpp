@@ -1,0 +1,34 @@
+// Published baseline accelerator specifications (paper Table III).
+//
+// HEAX/CHAM throughputs are reproduced by our BU-level model (BUs x f /
+// butterflies-per-NTT); the ASIC rows (F1, BTS, ARK) use the paper's
+// published normalized throughput, area and power directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flash::accel {
+
+struct AcceleratorSpec {
+  std::string name;
+  std::size_t n = 0;             // native polynomial degree
+  std::string technology;
+  double freq_hz = 0.0;
+  double norm_throughput = 0.0;  // transforms/s normalized (NTT N=4096 / FFT N=2048)
+  double area_mm2 = 0.0;         // 0 = not reported (FPGA)
+  double power_w = 0.0;          // 0 = not reported (FPGA)
+
+  bool has_area_power() const { return area_mm2 > 0.0 && power_w > 0.0; }
+  double area_efficiency() const { return area_mm2 > 0 ? norm_throughput / 1e6 / area_mm2 : 0.0; }
+  double power_efficiency() const { return power_w > 0 ? norm_throughput / 1e6 / power_w : 0.0; }
+};
+
+/// The five baseline rows of Table III.
+std::vector<AcceleratorSpec> table3_baselines();
+
+/// BU-level throughput model for the FPGA baselines (validates the published
+/// numbers): bus x f / ntt_butterflies(4096).
+double fpga_ntt_norm_throughput(std::size_t bus, double freq_hz);
+
+}  // namespace flash::accel

@@ -1,0 +1,41 @@
+#include "accel/flash_config.hpp"
+
+namespace flash::accel {
+
+FlashConfig FlashConfig::weight_transform_only() {
+  FlashConfig c;
+  c.fp_pes = 0;
+  c.fp_mult_units = 0;
+  c.fp_acc_units = 0;
+  return c;
+}
+
+AreaPowerBreakdown flash_breakdown(const FlashConfig& config) {
+  AreaPowerBreakdown b;
+  // The approximate BUs are sized for the full 39-bit input stage; the DSE
+  // narrows later stages, but the physical array must cover the widest
+  // configured stage, so cost with the anchor width.
+  const UnitCost abu = approx_bu(39, config.twiddle_k);
+  const UnitCost fbu = fp_bu(config.fp_mantissa);
+  const UnitCost fmul = complex_fp_mult(config.fp_mantissa);
+  const UnitCost facc = fp_accumulator(config.fp_mantissa);
+
+  const double um2_to_mm2 = 1e-6;
+  const double mw_to_w = 1e-3;
+
+  b.approx_bu_area = static_cast<double>(config.total_approx_bus()) * abu.area_um2 * um2_to_mm2;
+  b.approx_bu_power = static_cast<double>(config.total_approx_bus()) * abu.power_mw * mw_to_w;
+  b.fp_bu_area = static_cast<double>(config.total_fp_bus()) * fbu.area_um2 * um2_to_mm2;
+  b.fp_bu_power = static_cast<double>(config.total_fp_bus()) * fbu.power_mw * mw_to_w;
+  b.fp_mult_area = static_cast<double>(config.fp_mult_units) * fmul.area_um2 * um2_to_mm2;
+  b.fp_mult_power = static_cast<double>(config.fp_mult_units) * fmul.power_mw * mw_to_w;
+  b.fp_acc_area = static_cast<double>(config.fp_acc_units) * facc.area_um2 * um2_to_mm2;
+  b.fp_acc_power = static_cast<double>(config.fp_acc_units) * facc.power_mw * mw_to_w;
+  // Control, twiddle ROMs, buffers: a fixed fraction of the datapath,
+  // consistent with the paper's totals (Fig. 12 "other").
+  b.other_area = 0.08 * (b.approx_bu_area + b.fp_bu_area + b.fp_mult_area + b.fp_acc_area);
+  b.other_power = 0.08 * (b.approx_bu_power + b.fp_bu_power + b.fp_mult_power + b.fp_acc_power);
+  return b;
+}
+
+}  // namespace flash::accel

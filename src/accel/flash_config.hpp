@@ -1,0 +1,51 @@
+// FLASH architecture configuration and area/power roll-up (paper Fig. 6 and
+// Fig. 12).
+//
+// The accelerator instantiates 60 approximate FFT PEs (4 BUs each) for
+// weight transforms — the same BU count as the CHAM baseline — plus 4 FP PEs
+// for ciphertext transforms, an FP multiplier array for the point-wise
+// products, and FP accumulators for the channel-tile accumulation.
+#pragma once
+
+#include "accel/unit_costs.hpp"
+
+namespace flash::accel {
+
+struct FlashConfig {
+  std::size_t approx_pes = 60;
+  std::size_t bus_per_approx_pe = 4;
+  std::size_t fp_pes = 4;
+  std::size_t bus_per_fp_pe = 4;
+  std::size_t fp_mult_units = 240;  // point-wise multiplier array
+  std::size_t fp_acc_units = 240;
+  double freq_hz = 1e9;
+
+  int approx_width = 39;   // physical BU width (Table II anchor); the DSE can
+                           // narrow the active data path below this
+  int twiddle_k = 5;       // CSD digits per twiddle component
+  int fp_mantissa = 39;    // FP path mantissa
+
+  std::size_t total_approx_bus() const { return approx_pes * bus_per_approx_pe; }
+  std::size_t total_fp_bus() const { return fp_pes * bus_per_fp_pe; }
+
+  static FlashConfig paper_default() { return {}; }
+  /// The weight-transform-only subset reported in Table III's first FLASH row.
+  static FlashConfig weight_transform_only();
+};
+
+/// Component-wise area (mm^2) and power (W) roll-up — the Fig. 12 breakdown.
+struct AreaPowerBreakdown {
+  double approx_bu_area = 0, fp_bu_area = 0, fp_mult_area = 0, fp_acc_area = 0, other_area = 0;
+  double approx_bu_power = 0, fp_bu_power = 0, fp_mult_power = 0, fp_acc_power = 0, other_power = 0;
+
+  double total_area() const {
+    return approx_bu_area + fp_bu_area + fp_mult_area + fp_acc_area + other_area;
+  }
+  double total_power() const {
+    return approx_bu_power + fp_bu_power + fp_mult_power + fp_acc_power + other_power;
+  }
+};
+
+AreaPowerBreakdown flash_breakdown(const FlashConfig& config);
+
+}  // namespace flash::accel

@@ -1,0 +1,33 @@
+#include "accel/memory.hpp"
+
+namespace flash::accel {
+
+WeightStorage weight_storage(const std::vector<tensor::LayerConfig>& layers, std::size_t n,
+                             int q_bits, int w_bits) {
+  WeightStorage s;
+  for (const auto& layer : layers) {
+    const std::uint64_t weights = static_cast<std::uint64_t>(layer.out_c) * layer.in_c *
+                                  layer.kernel * layer.kernel;
+    s.raw_bytes += weights * static_cast<std::uint64_t>(w_bits) / 8;
+    const encoding::LayerTiling t = encoding::plan_layer(layer, n);
+    s.transformed_bytes += t.weight_polys * static_cast<std::uint64_t>(n) *
+                           static_cast<std::uint64_t>(q_bits) / 8;
+  }
+  return s;
+}
+
+TwiddleStorage twiddle_storage(std::size_t n, std::size_t moduli, int q_bits, int csd_k,
+                               int csd_exp_bits) {
+  TwiddleStorage s;
+  // NTT: psi^br(i) and psi^-br(i), n entries each, per modulus.
+  s.ntt_bytes = static_cast<std::uint64_t>(moduli) * 2 * n *
+                (static_cast<std::uint64_t>(q_bits) + 7) / 8;
+  // FFT: one table of n/4 quantized twiddles (the FFT size is n/2 and its
+  // twiddle table n/4), two CSD components of csd_k digits each; the same
+  // table serves every modulus. Inverse twiddles are conjugates (free).
+  const std::uint64_t digit_bits = static_cast<std::uint64_t>(csd_k) * csd_exp_bits;
+  s.fft_bytes = (n / 4) * 2 * (digit_bits + 7) / 8;
+  return s;
+}
+
+}  // namespace flash::accel

@@ -1,0 +1,45 @@
+// Weight-storage model (paper §I): pre-computing weight polynomials in the
+// transform domain trades the NTT/FFT compute for enormous memory — "23 GB
+// to store the entire weights in the NTT domain for a 4-bit ResNet-50,
+// >1000x higher memory consumption". FLASH's on-the-fly sparse transform is
+// the alternative. This model derives both sides from the tiling planner.
+#pragma once
+
+#include <cstdint>
+
+#include "encoding/tiling.hpp"
+
+namespace flash::accel {
+
+struct WeightStorage {
+  std::uint64_t raw_bytes = 0;          // quantized weights as integers
+  std::uint64_t transformed_bytes = 0;  // every weight polynomial in the NTT domain
+  double blowup() const {
+    return raw_bytes ? static_cast<double>(transformed_bytes) / static_cast<double>(raw_bytes) : 0.0;
+  }
+};
+
+/// Storage for a network's conv weights: raw (w_bits per weight) vs
+/// NTT-domain (one dense degree-n polynomial of q_bits coefficients per
+/// encoded weight polynomial, as a pre-computation cache would hold).
+WeightStorage weight_storage(const std::vector<tensor::LayerConfig>& layers, std::size_t n,
+                             int q_bits, int w_bits);
+
+/// Twiddle-factor ROM sizes (paper §III-A: "twiddle factors of NTT vary with
+/// different moduli, leading to storage or on-the-fly generation overhead",
+/// while the FFT's "twiddle factors remain the same set").
+struct TwiddleStorage {
+  std::uint64_t ntt_bytes = 0;  // per-modulus psi power tables, fwd + inv
+  std::uint64_t fft_bytes = 0;  // one CSD digit table for every modulus
+  double ratio() const {
+    return fft_bytes ? static_cast<double>(ntt_bytes) / static_cast<double>(fft_bytes) : 0.0;
+  }
+};
+
+/// n: ring degree; moduli: RNS limb count the NTT design must serve; q_bits:
+/// coefficient width of NTT twiddles; csd_k / csd_exp_bits: digits per FFT
+/// twiddle component and bits per digit (exponent + sign).
+TwiddleStorage twiddle_storage(std::size_t n, std::size_t moduli, int q_bits, int csd_k,
+                               int csd_exp_bits);
+
+}  // namespace flash::accel

@@ -1,0 +1,182 @@
+#include "accel/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "hemath/bitrev.hpp"
+
+namespace flash::accel {
+
+std::uint64_t CycleSimulator::sparse_transform_cycles(const sparsefft::SparseFftPlan& plan) const {
+  const std::size_t bus = config_.bus_per_approx_pe;
+  std::uint64_t cycles = 0;
+  for (int s = 0; s < plan.stages(); ++s) {
+    // Copies are register moves handled by the interconnect; butterflies and
+    // merge-multiplications occupy BU slots.
+    std::uint64_t ops = 0;
+    for (const auto& op : plan.stage(s)) ops += op.kind != sparsefft::OpKind::kCopy;
+    cycles += (ops + bus - 1) / bus;
+  }
+  return std::max<std::uint64_t>(cycles, 1);
+}
+
+std::uint64_t CycleSimulator::dense_transform_cycles(std::size_t n, std::size_t bus_per_pe) const {
+  const std::size_t m = n / 2;  // FFT size for ring degree n
+  const std::uint64_t per_stage = (m / 2 + bus_per_pe - 1) / bus_per_pe;
+  return per_stage * static_cast<std::uint64_t>(hemath::log2_exact(m));
+}
+
+std::uint64_t CycleSimulator::pointwise_cycles(std::size_t n) const {
+  if (config_.fp_mult_units == 0) throw std::invalid_argument("pointwise_cycles: no FP MULs");
+  return (n / 2 + config_.fp_mult_units - 1) / config_.fp_mult_units;
+}
+
+namespace {
+
+enum class Kind : std::uint8_t { kWeight, kCipher, kPointwise, kInverse };
+
+struct Task {
+  Kind kind;
+  std::uint64_t duration = 0;
+  std::uint32_t remaining_deps = 0;
+  std::vector<std::uint32_t> dependents;
+};
+
+}  // namespace
+
+SimResult CycleSimulator::simulate_layer(const encoding::LayerTiling& tiling,
+                                         const sparsefft::SparseFftPlan& weight_plan) const {
+  // One spatial tile's task graph: accumulation groups = sub-convs x channel
+  // tiles feed every output polynomial.
+  const std::size_t groups = tiling.sub_convs * tiling.channel_tiles;
+  const std::size_t outputs = tiling.weight_polys / std::max<std::uint64_t>(groups, 1);
+  if (groups == 0 || outputs == 0) throw std::invalid_argument("simulate_layer: empty tiling");
+
+  const std::uint64_t dw = sparse_transform_cycles(weight_plan);
+  const std::uint64_t da = dense_transform_cycles(tiling.n, config_.bus_per_fp_pe);
+  const std::uint64_t di = dense_transform_cycles(tiling.n, config_.bus_per_approx_pe);
+  const std::uint64_t dp = pointwise_cycles(tiling.n);
+
+  // Task ids: W[m*groups + t] | A[t*2 + e] | P[((m*groups + t)*2) + e] | I[m*2 + e]
+  const std::uint32_t w0 = 0;
+  const std::uint32_t a0 = static_cast<std::uint32_t>(outputs * groups);
+  const std::uint32_t p0 = a0 + static_cast<std::uint32_t>(groups * 2);
+  const std::uint32_t i0 = p0 + static_cast<std::uint32_t>(outputs * groups * 2);
+  std::vector<Task> tasks(i0 + outputs * 2);
+
+  for (std::size_t m = 0; m < outputs; ++m) {
+    for (std::size_t t = 0; t < groups; ++t) {
+      Task& w = tasks[w0 + m * groups + t];
+      w.kind = Kind::kWeight;
+      w.duration = dw;
+      for (int e = 0; e < 2; ++e) {
+        const std::uint32_t pid = p0 + static_cast<std::uint32_t>(((m * groups + t) * 2) + e);
+        w.dependents.push_back(pid);
+      }
+    }
+  }
+  for (std::size_t t = 0; t < groups; ++t) {
+    for (int e = 0; e < 2; ++e) {
+      Task& a = tasks[a0 + t * 2 + e];
+      a.kind = Kind::kCipher;
+      a.duration = da;
+      for (std::size_t m = 0; m < outputs; ++m) {
+        a.dependents.push_back(p0 + static_cast<std::uint32_t>(((m * groups + t) * 2) + e));
+      }
+    }
+  }
+  for (std::size_t m = 0; m < outputs; ++m) {
+    for (std::size_t t = 0; t < groups; ++t) {
+      for (int e = 0; e < 2; ++e) {
+        Task& p = tasks[p0 + ((m * groups + t) * 2) + e];
+        p.kind = Kind::kPointwise;
+        p.duration = dp;
+        p.remaining_deps = 2;  // its W and its A
+        p.dependents.push_back(i0 + static_cast<std::uint32_t>(m * 2 + e));
+      }
+    }
+  }
+  for (std::size_t m = 0; m < outputs; ++m) {
+    for (int e = 0; e < 2; ++e) {
+      Task& inv = tasks[i0 + m * 2 + e];
+      inv.kind = Kind::kInverse;
+      inv.duration = di;
+      inv.remaining_deps = static_cast<std::uint32_t>(groups);
+    }
+  }
+
+  // Greedy list scheduling over three resource pools.
+  struct Pool {
+    std::size_t free;
+    std::queue<std::uint32_t> ready;
+  };
+  Pool approx{config_.approx_pes, {}};
+  Pool fp{config_.fp_pes, {}};
+  Pool pw{1, {}};
+  auto pool_of = [&](Kind k) -> Pool& {
+    switch (k) {
+      case Kind::kWeight:
+      case Kind::kInverse: return approx;
+      case Kind::kCipher: return fp;
+      case Kind::kPointwise: return pw;
+    }
+    throw std::logic_error("pool_of");
+  };
+
+  for (std::uint32_t id = 0; id < tasks.size(); ++id) {
+    if (tasks[id].remaining_deps == 0) pool_of(tasks[id].kind).ready.push(id);
+  }
+
+  using Event = std::pair<std::uint64_t, std::uint32_t>;  // (finish time, task)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> running;
+  SimResult result;
+  std::uint64_t now = 0;
+
+  auto dispatch = [&](Pool& pool) {
+    while (pool.free > 0 && !pool.ready.empty()) {
+      const std::uint32_t id = pool.ready.front();
+      pool.ready.pop();
+      --pool.free;
+      running.emplace(now + tasks[id].duration, id);
+      switch (tasks[id].kind) {
+        case Kind::kWeight:
+        case Kind::kInverse: result.weight_busy += tasks[id].duration; break;
+        case Kind::kCipher: result.fp_busy += tasks[id].duration; break;
+        case Kind::kPointwise: result.pointwise_busy += tasks[id].duration; break;
+      }
+    }
+  };
+
+  dispatch(approx);
+  dispatch(fp);
+  dispatch(pw);
+  while (!running.empty()) {
+    now = running.top().first;
+    // Retire everything finishing now.
+    while (!running.empty() && running.top().first == now) {
+      const std::uint32_t id = running.top().second;
+      running.pop();
+      ++pool_of(tasks[id].kind).free;
+      for (std::uint32_t dep : tasks[id].dependents) {
+        if (--tasks[dep].remaining_deps == 0) pool_of(tasks[dep].kind).ready.push(dep);
+      }
+    }
+    dispatch(approx);
+    dispatch(fp);
+    dispatch(pw);
+  }
+
+  result.cycles = now;
+  if (now > 0) {
+    result.weight_utilization = static_cast<double>(result.weight_busy) /
+                                (static_cast<double>(now) * static_cast<double>(config_.approx_pes));
+    result.fp_utilization = config_.fp_pes
+                                ? static_cast<double>(result.fp_busy) /
+                                      (static_cast<double>(now) * static_cast<double>(config_.fp_pes))
+                                : 0.0;
+  }
+  return result;
+}
+
+}  // namespace flash::accel

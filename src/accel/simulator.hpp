@@ -1,0 +1,59 @@
+// Cycle-level simulation of the FLASH pipeline (validates the analytic
+// throughput model in workload.hpp from below).
+//
+// The analytic model divides total butterflies by array width; this
+// simulator schedules the actual task graph of one layer's HConv:
+//
+//   W(m, tile)   sparse weight transform     -> one approximate PE (4 BUs)
+//   A(tile, e)   ciphertext forward (dense)  -> one FP PE (4 BUs)
+//   P(m, tile,e) point-wise product          -> the FP multiplier array
+//   I(m, e)      inverse transform (dense)   -> one approximate PE
+//
+// with the real dependencies (P needs W and A; I needs every P of its output
+// polynomial) and per-stage butterfly parallelism inside each transform
+// (stage s of a DIT FFT cannot start before stage s-1 finishes; a PE retires
+// at most `bus_per_pe` butterflies per cycle). Scheduling is greedy
+// list-scheduling over resource pools, which is what a hardware sequencer
+// with a ready queue does.
+#pragma once
+
+#include "accel/workload.hpp"
+#include "sparsefft/planner.hpp"
+
+namespace flash::accel {
+
+struct SimResult {
+  std::uint64_t cycles = 0;             // makespan of the layer
+  std::uint64_t weight_busy = 0;        // busy PE-cycles on the approx array
+  std::uint64_t fp_busy = 0;            // busy PE-cycles on the FP array
+  std::uint64_t pointwise_busy = 0;     // busy cycles of the mult array
+  double weight_utilization = 0.0;      // busy / (cycles * PEs)
+  double fp_utilization = 0.0;
+  double seconds(double freq_hz) const { return static_cast<double>(cycles) / freq_hz; }
+};
+
+class CycleSimulator {
+ public:
+  explicit CycleSimulator(const FlashConfig& config) : config_(config) {}
+
+  /// Cycles one approximate PE (bus_per_pe BUs) needs for a sparse weight
+  /// transform: per-stage scheduled ops with a barrier between stages.
+  std::uint64_t sparse_transform_cycles(const sparsefft::SparseFftPlan& plan) const;
+
+  /// Cycles for a dense transform on one PE of the given width.
+  std::uint64_t dense_transform_cycles(std::size_t n, std::size_t bus_per_pe) const;
+
+  /// Cycles the multiplier array needs for one polynomial's point-wise pass.
+  std::uint64_t pointwise_cycles(std::size_t n) const;
+
+  /// Simulate one layer's full HConv task graph.
+  SimResult simulate_layer(const encoding::LayerTiling& tiling,
+                           const sparsefft::SparseFftPlan& weight_plan) const;
+
+  const FlashConfig& config() const { return config_; }
+
+ private:
+  FlashConfig config_;
+};
+
+}  // namespace flash::accel

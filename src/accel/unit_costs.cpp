@@ -1,0 +1,59 @@
+#include "accel/unit_costs.hpp"
+
+namespace flash::accel {
+
+namespace {
+// Table II anchor points (28nm, 1GHz).
+constexpr UnitCost kF1Modular{1817.0, 4.10};
+constexpr UnitCost kChamModular{3517.0, 3.79};
+constexpr UnitCost kComplexFp39{11744.0, 8.26};
+constexpr UnitCost kApproxFxp39k5{3211.0, 1.11};
+// Fraction of the complex-FP anchor attributable to exponent handling and
+// normalization rather than the mantissa array.
+constexpr double kFpExponentOverhead = 0.18;
+// Complex adder pair folded into a BU, relative to its multiplier anchor.
+constexpr double kBuAdderOverhead = 0.06;
+}  // namespace
+
+UnitCost modular_mult_f1() { return kF1Modular; }
+UnitCost modular_mult_cham() { return kChamModular; }
+
+UnitCost complex_fp_mult(int mantissa_bits) {
+  const double s = static_cast<double>(mantissa_bits) / 39.0;
+  return kComplexFp39 * (kFpExponentOverhead + (1.0 - kFpExponentOverhead) * s * s);
+}
+
+UnitCost approx_fxp_mult(int width_bits, int k) {
+  const double s = (static_cast<double>(width_bits) / 39.0) * (static_cast<double>(k) / 5.0);
+  return kApproxFxp39k5 * s;
+}
+
+UnitCost plain_fxp_mult(int width_bits) {
+  // A full array multiplier without exponent logic: the mantissa-array part
+  // of the FP anchor, quadratic in width.
+  const double s = static_cast<double>(width_bits) / 39.0;
+  return kComplexFp39 * ((1.0 - kFpExponentOverhead) * s * s);
+}
+
+UnitCost approx_bu(int width_bits, int k) {
+  return approx_fxp_mult(width_bits, k) + kApproxFxp39k5 * kBuAdderOverhead;
+}
+
+UnitCost fp_bu(int mantissa_bits) {
+  return complex_fp_mult(mantissa_bits) + kComplexFp39 * kBuAdderOverhead;
+}
+
+UnitCost plain_fxp_bu(int width_bits) {
+  return plain_fxp_mult(width_bits) + kComplexFp39 * kBuAdderOverhead;
+}
+
+UnitCost modular_bu_cham() { return kChamModular * (1.0 + kBuAdderOverhead); }
+UnitCost modular_bu_f1() { return kF1Modular * (1.0 + kBuAdderOverhead); }
+
+UnitCost fp_accumulator(int mantissa_bits) {
+  const double s = static_cast<double>(mantissa_bits) / 39.0;
+  // An FP adder is roughly 1/5 of the FP multiplier at the same width.
+  return kComplexFp39 * (0.2 * (kFpExponentOverhead + (1.0 - kFpExponentOverhead) * s));
+}
+
+}  // namespace flash::accel

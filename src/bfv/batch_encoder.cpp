@@ -1,0 +1,98 @@
+#include "bfv/batch_encoder.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "hemath/primes.hpp"
+
+namespace flash::bfv {
+
+BatchEncoder::BatchEncoder(const BfvContext& ctx)
+    : ctx_(ctx), t_ntt_([&] {
+        const auto& p = ctx.params();
+        if (!hemath::is_prime(p.t) || (p.t - 1) % (2 * p.n) != 0) {
+          throw std::invalid_argument("BatchEncoder: t must be a prime = 1 mod 2N");
+        }
+        return hemath::NttTables(p.t, p.n);
+      }()) {
+  const auto& p = ctx_.params();
+  const std::size_t n = p.n;
+  const u64 m = 2 * static_cast<u64>(n);
+
+  // Discover which root exponent each NTT output position evaluates at:
+  // transform the monomial X; position k then holds psi^e_k for the odd
+  // exponent e_k. A value->exponent table over all odd powers inverts it.
+  std::unordered_map<u64, u64> value_to_exponent;
+  value_to_exponent.reserve(n);
+  u64 power = t_ntt_.psi();
+  for (u64 e = 1; e < m; e += 2) {
+    value_to_exponent.emplace(power, e);
+    power = hemath::mul_mod(power, hemath::mul_mod(t_ntt_.psi(), t_ntt_.psi(), p.t), p.t);
+  }
+  std::vector<u64> x_poly(n, 0);
+  x_poly[1] = 1;
+  t_ntt_.forward(x_poly);
+  ntt_index_to_exponent_.resize(n);
+  std::unordered_map<u64, std::size_t> exponent_to_index;
+  exponent_to_index.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto it = value_to_exponent.find(x_poly[k]);
+    if (it == value_to_exponent.end()) throw std::logic_error("BatchEncoder: root discovery failed");
+    ntt_index_to_exponent_[k] = it->second;
+    exponent_to_index.emplace(it->second, k);
+  }
+
+  // Standard two-row layout: row 0 slot i at exponent 3^i, row 1 slot i at
+  // exponent -(3^i) mod 2N.
+  slot_to_ntt_index_.resize(n);
+  u64 g = 1;
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    slot_to_ntt_index_[i] = exponent_to_index.at(g);
+    slot_to_ntt_index_[i + n / 2] = exponent_to_index.at(m - g);
+    g = (g * 3) % m;
+  }
+}
+
+Plaintext BatchEncoder::encode(const std::vector<i64>& values) const {
+  const auto& p = ctx_.params();
+  if (values.size() > p.n) throw std::invalid_argument("BatchEncoder::encode: too many values");
+  std::vector<u64> slots_ntt(p.n, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    slots_ntt[slot_to_ntt_index_[i]] = hemath::from_signed(values[i], p.t);
+  }
+  t_ntt_.inverse(slots_ntt);
+  Plaintext pt = ctx_.make_plaintext();
+  pt.poly = Poly(p.t, std::move(slots_ntt));
+  return pt;
+}
+
+std::vector<i64> BatchEncoder::decode(const Plaintext& pt) const {
+  const auto& p = ctx_.params();
+  std::vector<u64> coeffs = pt.poly.coeffs();
+  t_ntt_.forward(coeffs);
+  std::vector<i64> out(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    out[i] = hemath::to_signed(coeffs[slot_to_ntt_index_[i]], p.t);
+  }
+  return out;
+}
+
+std::vector<std::size_t> BatchEncoder::slot_permutation(u64 galois_element) const {
+  const auto& p = ctx_.params();
+  const u64 m = 2 * static_cast<u64>(p.n);
+  // Slot s reads evaluation at exponent e_s; after X -> X^g the value at
+  // exponent e is m(psi^(e*g)), so output slot s holds the input slot whose
+  // exponent is e_s * g.
+  std::unordered_map<u64, std::size_t> exponent_to_slot;
+  for (std::size_t s = 0; s < p.n; ++s) {
+    exponent_to_slot.emplace(ntt_index_to_exponent_[slot_to_ntt_index_[s]], s);
+  }
+  std::vector<std::size_t> perm(p.n);
+  for (std::size_t s = 0; s < p.n; ++s) {
+    const u64 e = ntt_index_to_exponent_[slot_to_ntt_index_[s]];
+    perm[s] = exponent_to_slot.at(e * galois_element % m);
+  }
+  return perm;
+}
+
+}  // namespace flash::bfv

@@ -1,0 +1,43 @@
+// SIMD batch encoding (SEAL's BatchEncoder).
+//
+// For a *prime* plaintext modulus t = 1 (mod 2N), the plaintext ring
+// Z_t[X]/(X^N+1) splits into N independent slots via the CRT at the odd
+// 2N-th roots of unity mod t. Encoding places values in slots; homomorphic
+// add/multiply then acts slot-wise, and Galois automorphisms permute slots
+// as two rotatable rows of N/2 (the classic layout: row rotation by the
+// element 3^k, row swap by 2N-1).
+//
+// Not used by the Cheetah-style HConv path (which needs coefficient
+// encoding), but part of the complete BFV substrate: GAZELLE-style linear
+// protocols and the rotation baselines Cheetah avoids are built on it.
+#pragma once
+
+#include "bfv/context.hpp"
+
+namespace flash::bfv {
+
+class BatchEncoder {
+ public:
+  /// Requires params.t prime with t = 1 (mod 2N).
+  explicit BatchEncoder(const BfvContext& ctx);
+
+  std::size_t slots() const { return ctx_.params().n; }
+  std::size_t row_size() const { return slots() / 2; }
+
+  /// values.size() <= slots; missing slots are zero. Values are centered
+  /// representatives mod t.
+  Plaintext encode(const std::vector<i64>& values) const;
+  std::vector<i64> decode(const Plaintext& pt) const;
+
+  /// The slot permutation induced by the automorphism X -> X^g: output slot
+  /// i holds input slot slot_after_galois(g)[i]. Used to verify rotations.
+  std::vector<std::size_t> slot_permutation(u64 galois_element) const;
+
+ private:
+  const BfvContext& ctx_;
+  hemath::NttTables t_ntt_;
+  std::vector<std::size_t> slot_to_ntt_index_;  // slot layout -> NTT position
+  std::vector<u64> ntt_index_to_exponent_;      // NTT position -> root exponent
+};
+
+}  // namespace flash::bfv

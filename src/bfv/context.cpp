@@ -1,0 +1,33 @@
+#include "bfv/context.hpp"
+
+#include <stdexcept>
+
+namespace flash::bfv {
+
+BfvContext::BfvContext(BfvParams params)
+    : params_(params), ntt_(params.q, params.n), fft_(params.n) {
+  params_.validate();
+}
+
+Plaintext BfvContext::encode_signed(const std::vector<i64>& values) const {
+  if (values.size() > params_.n) throw std::invalid_argument("encode_signed: too many values");
+  Plaintext pt = make_plaintext();
+  const i64 half = static_cast<i64>(params_.t / 2);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > half || values[i] < -half) {
+      throw std::out_of_range("encode_signed: value exceeds plaintext modulus range");
+    }
+    pt.poly[i] = hemath::from_signed(values[i], params_.t);
+  }
+  return pt;
+}
+
+std::vector<i64> BfvContext::decode_signed(const Plaintext& pt) const {
+  std::vector<i64> out(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    out[i] = hemath::to_signed(pt.poly[i], params_.t);
+  }
+  return out;
+}
+
+}  // namespace flash::bfv

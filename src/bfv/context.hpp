@@ -1,0 +1,62 @@
+// BFV context: parameters plus the precomputed transform machinery shared by
+// all operations on one parameter set (NTT tables for exact arithmetic, the
+// N/2-point FFT for the paper's approximate path).
+#pragma once
+
+#include <memory>
+
+#include "bfv/params.hpp"
+#include "fft/negacyclic.hpp"
+#include "hemath/ntt.hpp"
+#include "hemath/poly.hpp"
+#include "hemath/sampler.hpp"
+
+namespace flash::bfv {
+
+using hemath::Poly;
+
+/// A plaintext is an element of R_t.
+struct Plaintext {
+  Poly poly;  // modulus t
+};
+
+/// A (degree-1) ciphertext: dec(ct) = round(t/q * (c0 + c1*s)) mod t.
+struct Ciphertext {
+  Poly c0;  // modulus q
+  Poly c1;  // modulus q
+};
+
+struct SecretKey {
+  Poly s;  // ternary, stored mod q
+};
+
+struct PublicKey {
+  Poly p0;  // -(a*s + e) mod q
+  Poly p1;  // a
+};
+
+class BfvContext {
+ public:
+  explicit BfvContext(BfvParams params);
+
+  const BfvParams& params() const { return params_; }
+  const hemath::NttTables& ntt() const { return ntt_; }
+  const fft::NegacyclicFft& fft() const { return fft_; }
+
+  Plaintext make_plaintext() const { return {Poly(params_.t, params_.n)}; }
+  Ciphertext make_ciphertext() const { return {Poly(params_.q, params_.n), Poly(params_.q, params_.n)}; }
+
+  /// Encode a vector of signed cleartext values into plaintext coefficients
+  /// (centered lift mod t). Values must fit in (-t/2, t/2].
+  Plaintext encode_signed(const std::vector<i64>& values) const;
+
+  /// Decode back to signed values.
+  std::vector<i64> decode_signed(const Plaintext& pt) const;
+
+ private:
+  BfvParams params_;
+  hemath::NttTables ntt_;
+  fft::NegacyclicFft fft_;
+};
+
+}  // namespace flash::bfv

@@ -1,0 +1,58 @@
+// BFV key generation, encryption, decryption.
+#pragma once
+
+#include "bfv/context.hpp"
+
+namespace flash::bfv {
+
+class KeyGenerator {
+ public:
+  KeyGenerator(const BfvContext& ctx, hemath::Sampler& sampler) : ctx_(ctx), sampler_(sampler) {}
+
+  SecretKey secret_key();
+  PublicKey public_key(const SecretKey& sk);
+
+ private:
+  const BfvContext& ctx_;
+  hemath::Sampler& sampler_;
+};
+
+class Encryptor {
+ public:
+  Encryptor(const BfvContext& ctx, hemath::Sampler& sampler) : ctx_(ctx), sampler_(sampler) {}
+
+  /// Symmetric encryption: ct = (Delta*m + e - a*s, a), a uniform.
+  Ciphertext encrypt_symmetric(const Plaintext& pt, const SecretKey& sk);
+
+  /// Public-key encryption: ct = (p0*u + e1 + Delta*m, p1*u + e2), u ternary.
+  Ciphertext encrypt(const Plaintext& pt, const PublicKey& pk);
+
+ private:
+  const BfvContext& ctx_;
+  hemath::Sampler& sampler_;
+};
+
+struct Ciphertext3;  // bfv/evaluator.hpp
+
+class Decryptor {
+ public:
+  Decryptor(const BfvContext& ctx, SecretKey sk) : ctx_(ctx), sk_(std::move(sk)) {}
+
+  Plaintext decrypt(const Ciphertext& ct) const;
+
+  /// Decrypt a pre-relinearization size-3 ciphertext (needs s^2).
+  Plaintext decrypt(const Ciphertext3& ct) const;
+
+  /// Bits of noise budget remaining, SEAL-style: log2(q/2t) minus the log of
+  /// the largest noise coefficient. <= 0 means decryption is unreliable.
+  double invariant_noise_budget(const Ciphertext& ct) const;
+
+ private:
+  /// c0 + c1*s mod q.
+  Poly noisy_scaled_message(const Ciphertext& ct) const;
+
+  const BfvContext& ctx_;
+  SecretKey sk_;
+};
+
+}  // namespace flash::bfv

@@ -1,0 +1,105 @@
+#include "bfv/keyswitch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flash::bfv {
+
+KeySwitcher::KeySwitcher(const BfvContext& ctx, hemath::Sampler& sampler, int digit_bits)
+    : ctx_(ctx), sampler_(sampler), digit_bits_(digit_bits) {
+  if (digit_bits < 1 || digit_bits > 30) throw std::invalid_argument("KeySwitcher: digit_bits in [1,30]");
+}
+
+KeySwitchKey KeySwitcher::make_key(const Poly& source_secret, const SecretKey& sk) const {
+  const auto& p = ctx_.params();
+  const int q_bits = static_cast<int>(std::ceil(std::log2(static_cast<double>(p.q))));
+  const std::size_t levels = static_cast<std::size_t>((q_bits + digit_bits_ - 1) / digit_bits_);
+
+  KeySwitchKey key;
+  key.digit_bits = digit_bits_;
+  key.k0.reserve(levels);
+  key.k1.reserve(levels);
+  u64 power = 1;  // T^i mod q
+  for (std::size_t i = 0; i < levels; ++i) {
+    Poly a = sampler_.uniform_poly(p.q, p.n);
+    Poly e = sampler_.gaussian_poly(p.q, p.n, p.error_sigma);
+    Poly k0 = multiply(ctx_.ntt(), a, sk.s);
+    k0.negate_inplace();
+    k0.sub_inplace(e);
+    Poly scaled = source_secret;
+    scaled.scale_inplace(power);
+    k0.add_inplace(scaled);
+    key.k0.push_back(std::move(k0));
+    key.k1.push_back(std::move(a));
+    power = hemath::mul_mod(power, u64{1} << digit_bits_, p.q);
+  }
+  return key;
+}
+
+RelinKeys KeySwitcher::make_relin_keys(const SecretKey& sk) const {
+  const Poly s_squared = multiply(ctx_.ntt(), sk.s, sk.s);
+  return {make_key(s_squared, sk)};
+}
+
+GaloisKeys KeySwitcher::make_galois_keys(const SecretKey& sk, const std::vector<u64>& elements) const {
+  GaloisKeys keys;
+  keys.digit_bits = digit_bits_;
+  for (u64 g : elements) {
+    keys.keys.emplace(g, make_key(apply_galois(sk.s, g), sk));
+  }
+  return keys;
+}
+
+void apply_key_switch(const BfvContext& ctx, const KeySwitchKey& key, const Poly& d, Poly& c0,
+                      Poly& c1) {
+  const auto& p = ctx.params();
+  const u64 mask = (u64{1} << key.digit_bits) - 1;
+  Poly digit(p.q, p.n);
+  Poly rest = d;
+  for (std::size_t i = 0; i < key.digits(); ++i) {
+    bool any = false;
+    for (std::size_t j = 0; j < p.n; ++j) {
+      digit[j] = rest[j] & mask;
+      rest[j] >>= key.digit_bits;
+      any = any || digit[j] != 0;
+    }
+    if (!any) continue;
+    c0.add_inplace(multiply(ctx.ntt(), digit, key.k0[i]));
+    c1.add_inplace(multiply(ctx.ntt(), digit, key.k1[i]));
+  }
+}
+
+Poly apply_galois(const Poly& a, u64 galois_element) {
+  const std::size_t n = a.degree();
+  if ((galois_element & 1) == 0 || galois_element >= 2 * n) {
+    throw std::invalid_argument("apply_galois: element must be odd and < 2N");
+  }
+  const u64 q = a.modulus();
+  Poly out(q, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) continue;
+    const u64 j = (static_cast<u64>(i) * galois_element) % (2 * n);
+    if (j < n) {
+      out[j] = hemath::add_mod(out[j], a[i], q);
+    } else {
+      out[j - n] = hemath::sub_mod(out[j - n], a[i], q);  // X^N = -1
+    }
+  }
+  return out;
+}
+
+u64 galois_element_for_step(int steps, std::size_t n) {
+  const u64 m = 2 * static_cast<u64>(n);
+  const std::size_t half = n / 2;
+  // Row rotation by `steps`: 3^steps mod 2N (negative steps wrap).
+  u64 e = 1;
+  const std::size_t count = static_cast<std::size_t>(((steps % static_cast<int>(half)) +
+                                                      static_cast<int>(half)) %
+                                                     static_cast<int>(half));
+  for (std::size_t i = 0; i < count; ++i) e = (e * 3) % m;
+  return e;
+}
+
+u64 galois_element_row_swap(std::size_t n) { return 2 * static_cast<u64>(n) - 1; }
+
+}  // namespace flash::bfv

@@ -1,0 +1,72 @@
+// Key switching: relinearization and Galois keys (BV-style digit
+// decomposition).
+//
+// A key-switch key for a source secret s' encrypts T^i * s' under the target
+// secret s for every digit position i. Switching a polynomial d (attached to
+// s') decomposes d into base-T digits and inner-products them with the key,
+// giving a ciphertext of the same message under s with only digit-scale
+// noise growth. Relinearization switches s^2 -> s after ciphertext
+// multiplication; Galois keys switch s(X^g) -> s after automorphisms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bfv/context.hpp"
+
+namespace flash::bfv {
+
+/// One key-switch key: pairs (k0_i, k1_i) with k0_i = -(a_i s + e_i) + T^i s'.
+struct KeySwitchKey {
+  std::vector<Poly> k0;
+  std::vector<Poly> k1;
+  int digit_bits = 16;
+  std::size_t digits() const { return k0.size(); }
+};
+
+struct RelinKeys {
+  KeySwitchKey key;  // source secret: s^2
+};
+
+struct GaloisKeys {
+  std::map<u64, KeySwitchKey> keys;  // galois element -> key for s(X^g)
+  int digit_bits = 16;
+};
+
+class KeySwitcher {
+ public:
+  KeySwitcher(const BfvContext& ctx, hemath::Sampler& sampler, int digit_bits = 16);
+
+  int digit_bits() const { return digit_bits_; }
+
+  /// Generate a key switching from `source_secret` to sk.s.
+  KeySwitchKey make_key(const Poly& source_secret, const SecretKey& sk) const;
+
+  RelinKeys make_relin_keys(const SecretKey& sk) const;
+
+  /// Galois keys for the given elements (odd, in [3, 2N-1]).
+  GaloisKeys make_galois_keys(const SecretKey& sk, const std::vector<u64>& elements) const;
+
+ private:
+  const BfvContext& ctx_;
+  hemath::Sampler& sampler_;
+  int digit_bits_;
+};
+
+/// (c0, c1) += KeySwitch(d): fold a polynomial attached to the key's source
+/// secret into a regular ciphertext. Needs no randomness, so it lives outside
+/// the generator.
+void apply_key_switch(const BfvContext& ctx, const KeySwitchKey& key, const Poly& d, Poly& c0,
+                      Poly& c1);
+
+/// The automorphism X -> X^g on a ring element (g odd). Used by batching
+/// rotations; exposed for tests.
+Poly apply_galois(const Poly& a, u64 galois_element);
+
+/// Galois element realizing a rotation by `steps` of the batched row
+/// (3^steps mod 2N), and the row-swap element (2N - 1).
+u64 galois_element_for_step(int steps, std::size_t n);
+u64 galois_element_row_swap(std::size_t n);
+
+}  // namespace flash::bfv

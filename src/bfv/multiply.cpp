@@ -1,0 +1,115 @@
+#include "bfv/multiply.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hemath/primes.hpp"
+
+namespace flash::bfv {
+
+namespace {
+using hemath::u128;
+
+/// Bits needed for the worst-case centered product coefficient plus sign.
+int required_bits(const BfvParams& p) {
+  const double logq = std::log2(static_cast<double>(p.q));
+  const double logn = std::log2(static_cast<double>(p.n));
+  // |sum of N products of values <= q/2| <= N * q^2 / 4; +1 sign, +1 margin.
+  return static_cast<int>(std::ceil(logn + 2.0 * logq - 2.0)) + 2;
+}
+}  // namespace
+
+WideMultiplier::WideMultiplier(const BfvContext& ctx)
+    : ctx_(ctx),
+      aux_primes_([&] {
+        const auto& p = ctx.params();
+        const int need = required_bits(p);
+        const int have = static_cast<int>(std::ceil(std::log2(static_cast<double>(p.q))));
+        const int aux_bits = need - have;
+        if (need > 126) {
+          throw std::invalid_argument(
+              "WideMultiplier: q too large for 128-bit CRT (need log2(N) + 2 log2(q) <= 124)");
+        }
+        // Split the auxiliary range into primes of <= 52 bits.
+        const int count = (aux_bits + 51) / 52;
+        const int size = (aux_bits + count - 1) / count;
+        std::vector<u64> primes;
+        u64 lo = u64{1} << (size - 1);
+        while (primes.size() < static_cast<std::size_t>(count)) {
+          const u64 cand = hemath::next_prime_congruent(lo, 2 * p.n);
+          if (cand == p.q) {
+            lo = cand + 1;
+            continue;
+          }
+          primes.push_back(cand);
+          lo = cand + 1;
+        }
+        return primes;
+      }()),
+      basis_([&] {
+        std::vector<u64> moduli{ctx.params().q};
+        moduli.insert(moduli.end(), aux_primes_.begin(), aux_primes_.end());
+        return hemath::RnsBasis(std::move(moduli));
+      }()) {
+  for (u64 m : basis_.moduli()) limb_ntt_.emplace_back(m, ctx_.params().n);
+}
+
+void WideMultiplier::accumulate_product(const Poly& a, const Poly& b,
+                                        std::vector<std::vector<u64>>& acc) const {
+  const auto& p = ctx_.params();
+  for (std::size_t limb = 0; limb < basis_.size(); ++limb) {
+    const u64 mod = basis_.moduli()[limb];
+    std::vector<u64> ra(p.n), rb(p.n);
+    for (std::size_t i = 0; i < p.n; ++i) {
+      ra[i] = hemath::from_signed(hemath::to_signed(a[i], p.q), mod);
+      rb[i] = hemath::from_signed(hemath::to_signed(b[i], p.q), mod);
+    }
+    const std::vector<u64> prod = hemath::negacyclic_multiply(limb_ntt_[limb], ra, rb);
+    auto& dst = acc[limb];
+    if (dst.empty()) {
+      dst = prod;
+    } else {
+      for (std::size_t i = 0; i < p.n; ++i) dst[i] = hemath::add_mod(dst[i], prod[i], mod);
+    }
+  }
+}
+
+Poly WideMultiplier::compose_and_scale(const std::vector<std::vector<u64>>& acc) const {
+  const auto& p = ctx_.params();
+  const u128 big_q = basis_.total_modulus();
+  Poly out(p.q, p.n);
+  std::vector<u64> residues(basis_.size());
+  for (std::size_t i = 0; i < p.n; ++i) {
+    for (std::size_t limb = 0; limb < basis_.size(); ++limb) residues[limb] = acc[limb][i];
+    u128 x = basis_.compose(residues);
+    const bool negative = x > big_q / 2;
+    if (negative) x = big_q - x;
+    // round(t * x / q) without overflowing 128 bits: split x = q*A + r.
+    const u128 quotient = x / p.q;
+    const u64 remainder = static_cast<u64>(x % p.q);
+    const u128 tr = static_cast<u128>(p.t) * remainder;
+    const u64 rounded_rem = static_cast<u64>((tr + p.q / 2) / p.q);
+    u64 res = hemath::mul_mod(p.t % p.q, static_cast<u64>(quotient % p.q), p.q);
+    res = hemath::add_mod(res, rounded_rem % p.q, p.q);
+    out[i] = negative ? hemath::neg_mod(res, p.q) : res;
+  }
+  return out;
+}
+
+Poly WideMultiplier::scaled_product(const Poly& a, const Poly& b) const {
+  std::vector<std::vector<u64>> acc(basis_.size());
+  accumulate_product(a, b, acc);
+  return compose_and_scale(acc);
+}
+
+Poly WideMultiplier::scaled_product_sum(const Poly& a, const Poly& b, const Poly& c,
+                                        const Poly& d) const {
+  // Accumulate both products in the RNS domain before the single rounding;
+  // the basis is sized with one extra bit of margin for the sum.
+  std::vector<std::vector<u64>> acc(basis_.size());
+  accumulate_product(a, b, acc);
+  accumulate_product(c, d, acc);
+  return compose_and_scale(acc);
+}
+
+}  // namespace flash::bfv

@@ -1,0 +1,49 @@
+// Ciphertext x ciphertext multiplication support: exact wide polynomial
+// products via a CRT (RNS) basis.
+//
+// BFV homomorphic multiplication needs the *integer* (unreduced) negacyclic
+// product of centered ciphertext polynomials, scaled by t/q and re-reduced.
+// Coefficients of that product reach N*(q/2)^2, far beyond 64 bits, so we
+// evaluate it in an RNS basis {q, p1, p2, ...} of NTT primes sized so the
+// composed modulus covers the worst case, CRT-compose to the centered
+// 128-bit integer, and round t*x/q. This mirrors how RNS libraries (SEAL)
+// implement BFV multiplication, scaled down to a single-word q.
+#pragma once
+
+#include <vector>
+
+#include "bfv/context.hpp"
+#include "hemath/rns.hpp"
+
+namespace flash::bfv {
+
+/// Exact signed negacyclic products of ring elements whose inputs are
+/// centered representatives mod q; results are returned scaled by t/q and
+/// reduced mod q (the BFV multiplication primitive).
+class WideMultiplier {
+ public:
+  explicit WideMultiplier(const BfvContext& ctx);
+
+  /// round(t/q * (a (*) b)) mod q, where (*) is the negacyclic product of
+  /// the centered representatives of a and b.
+  Poly scaled_product(const Poly& a, const Poly& b) const;
+
+  /// round(t/q * (a (*) b + c (*) d)) mod q — the d1 component of the BFV
+  /// tensor product, kept as one rounding to avoid double rounding error.
+  Poly scaled_product_sum(const Poly& a, const Poly& b, const Poly& c, const Poly& d) const;
+
+  const hemath::RnsBasis& basis() const { return basis_; }
+
+ private:
+  /// Per-limb negacyclic product accumulation; `acc` holds limb residues.
+  void accumulate_product(const Poly& a, const Poly& b,
+                          std::vector<std::vector<u64>>& acc) const;
+  Poly compose_and_scale(const std::vector<std::vector<u64>>& acc) const;
+
+  const BfvContext& ctx_;
+  std::vector<u64> aux_primes_;
+  hemath::RnsBasis basis_;                    // {q, p1, p2, ...}
+  std::vector<hemath::NttTables> limb_ntt_;   // tables per basis prime
+};
+
+}  // namespace flash::bfv

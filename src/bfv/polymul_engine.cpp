@@ -1,0 +1,165 @@
+#include "bfv/polymul_engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flash::bfv {
+
+PolyMulEngine::PolyMulEngine(const BfvContext& ctx, PolyMulBackend backend,
+                             std::optional<fft::FxpFftConfig> approx_config)
+    : ctx_(ctx), backend_(backend) {
+  if (backend_ == PolyMulBackend::kApproxFft) {
+    if (!approx_config) throw std::invalid_argument("PolyMulEngine: kApproxFft requires a config");
+    approx_.emplace(ctx_.params().n, *approx_config);
+  }
+}
+
+PlainSpectrum PolyMulEngine::transform_plain(const Plaintext& pt) const {
+  const auto& p = ctx_.params();
+  PlainSpectrum out;
+  out.backend = backend_;
+  ++counters_.plain_transforms;
+  switch (backend_) {
+    case PolyMulBackend::kNtt: {
+      std::vector<u64> lifted(p.n);
+      for (std::size_t i = 0; i < p.n; ++i) {
+        lifted[i] = hemath::from_signed(hemath::to_signed(pt.poly[i], p.t), p.q);
+      }
+      ctx_.ntt().forward(lifted);
+      out.ntt = std::move(lifted);
+      break;
+    }
+    case PolyMulBackend::kFft: {
+      std::vector<double> vals(p.n);
+      for (std::size_t i = 0; i < p.n; ++i) {
+        vals[i] = static_cast<double>(hemath::to_signed(pt.poly[i], p.t));
+      }
+      out.fft = ctx_.fft().forward(vals);
+      break;
+    }
+    case PolyMulBackend::kApproxFft: {
+      std::vector<double> vals(p.n);
+      for (std::size_t i = 0; i < p.n; ++i) {
+        vals[i] = static_cast<double>(hemath::to_signed(pt.poly[i], p.t));
+      }
+      out.fft = approx_->forward(vals);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<fft::cplx> PolyMulEngine::transform_cipher(const Poly& ct_poly) const {
+  const auto& p = ctx_.params();
+  std::vector<double> vals(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    vals[i] = static_cast<double>(hemath::to_signed(ct_poly[i], p.q));
+  }
+  ++counters_.cipher_transforms;
+  return ctx_.fft().forward(vals);
+}
+
+std::vector<u64> PolyMulEngine::transform_cipher_ntt(const Poly& ct_poly) const {
+  std::vector<u64> vals = ct_poly.coeffs();
+  ctx_.ntt().forward(vals);
+  ++counters_.cipher_transforms;
+  return vals;
+}
+
+std::vector<fft::cplx> PolyMulEngine::pointwise(const std::vector<fft::cplx>& ct_spec,
+                                                const PlainSpectrum& w) const {
+  if (w.backend == PolyMulBackend::kNtt) {
+    throw std::invalid_argument("PolyMulEngine::pointwise: NTT spectrum on FP path");
+  }
+  if (ct_spec.size() != w.fft.size()) throw std::invalid_argument("pointwise: size mismatch");
+  std::vector<fft::cplx> out(ct_spec.size());
+  for (std::size_t i = 0; i < ct_spec.size(); ++i) out[i] = ct_spec[i] * w.fft[i];
+  counters_.pointwise_products += ct_spec.size();
+  return out;
+}
+
+Poly PolyMulEngine::inverse_to_poly(const std::vector<fft::cplx>& spec) const {
+  const auto& p = ctx_.params();
+  std::vector<double> vals = ctx_.fft().inverse(spec);
+  ++counters_.inverse_transforms;
+  Poly out(p.q, p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    out[i] = hemath::from_signed(static_cast<i64>(std::llround(vals[i])), p.q);
+  }
+  return out;
+}
+
+CipherSpectrum PolyMulEngine::transform_cipher_spectrum(const Poly& ct_poly) const {
+  CipherSpectrum spec;
+  spec.backend = backend_;
+  if (backend_ == PolyMulBackend::kNtt) {
+    spec.ntt = transform_cipher_ntt(ct_poly);
+  } else {
+    spec.fft = transform_cipher(ct_poly);
+  }
+  return spec;
+}
+
+void PolyMulEngine::multiply_accumulate(const CipherSpectrum& ct_spec, const PlainSpectrum& w,
+                                        SpectralAccumulator& accum) const {
+  if (ct_spec.backend != backend_ || w.backend != backend_) {
+    throw std::invalid_argument("multiply_accumulate: backend mismatch");
+  }
+  const auto& p = ctx_.params();
+  if (backend_ == PolyMulBackend::kNtt) {
+    if (accum.empty) {
+      accum.backend = backend_;
+      accum.ntt.assign(p.n, 0);
+      accum.empty = false;
+    }
+    for (std::size_t i = 0; i < p.n; ++i) {
+      accum.ntt[i] = hemath::add_mod(accum.ntt[i], hemath::mul_mod(ct_spec.ntt[i], w.ntt[i], p.q), p.q);
+    }
+    counters_.pointwise_products += p.n;
+  } else {
+    if (accum.empty) {
+      accum.backend = backend_;
+      accum.fft.assign(p.n / 2, fft::cplx{0.0, 0.0});
+      accum.empty = false;
+    }
+    for (std::size_t i = 0; i < p.n / 2; ++i) accum.fft[i] += ct_spec.fft[i] * w.fft[i];
+    counters_.pointwise_products += p.n / 2;
+  }
+}
+
+Poly PolyMulEngine::finalize(const SpectralAccumulator& accum) const {
+  if (accum.empty) throw std::invalid_argument("finalize: empty accumulator");
+  if (accum.backend != backend_) throw std::invalid_argument("finalize: backend mismatch");
+  const auto& p = ctx_.params();
+  if (backend_ == PolyMulBackend::kNtt) {
+    std::vector<u64> coeffs = accum.ntt;
+    ctx_.ntt().inverse(coeffs);
+    ++counters_.inverse_transforms;
+    return Poly(p.q, std::move(coeffs));
+  }
+  return inverse_to_poly(accum.fft);
+}
+
+Poly PolyMulEngine::multiply(const Poly& ct_poly, const PlainSpectrum& w) const {
+  const auto& p = ctx_.params();
+  if (w.backend != backend_) throw std::invalid_argument("PolyMulEngine::multiply: backend mismatch");
+  switch (backend_) {
+    case PolyMulBackend::kNtt: {
+      std::vector<u64> ct = transform_cipher_ntt(ct_poly);
+      std::vector<u64> prod;
+      ctx_.ntt().pointwise(ct, w.ntt, prod);
+      counters_.pointwise_products += p.n;
+      ctx_.ntt().inverse(prod);
+      ++counters_.inverse_transforms;
+      return Poly(p.q, std::move(prod));
+    }
+    case PolyMulBackend::kFft:
+    case PolyMulBackend::kApproxFft: {
+      const std::vector<fft::cplx> ct_spec = transform_cipher(ct_poly);
+      return inverse_to_poly(pointwise(ct_spec, w));
+    }
+  }
+  throw std::logic_error("PolyMulEngine::multiply: unreachable");
+}
+
+}  // namespace flash::bfv

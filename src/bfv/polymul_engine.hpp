@@ -1,0 +1,103 @@
+// Ciphertext x plaintext polynomial multiplication backends.
+//
+// This is the component FLASH accelerates. Three interchangeable backends:
+//
+//   kNtt        — exact modular arithmetic (what CPU libraries like SEAL and
+//                 NTT accelerators like F1/CHAM compute); Fig. 4(a).
+//   kFft        — double-precision N/2-point FFT with rounding back to Z_q;
+//                 Fig. 4(b) with full-precision FP butterflies.
+//   kApproxFft  — the FLASH datapath: the *plaintext* (weight) transform runs
+//                 on approximate fixed-point BUs with quantized twiddles,
+//                 while ciphertext transforms / pointwise ops stay in FP.
+//
+// Plaintext spectra are precomputed once (transform_plain) and reused across
+// every ciphertext they multiply, mirroring how FLASH amortizes weight
+// transforms across ciphertext tiles and both ciphertext components.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bfv/context.hpp"
+#include "fft/fxp_fft.hpp"
+
+namespace flash::bfv {
+
+enum class PolyMulBackend { kNtt, kFft, kApproxFft };
+
+/// Spectral form of a plaintext polynomial under a specific backend.
+struct PlainSpectrum {
+  PolyMulBackend backend = PolyMulBackend::kNtt;
+  std::vector<u64> ntt;        // kNtt: NTT of the signed lift to Z_q
+  std::vector<fft::cplx> fft;  // kFft/kApproxFft: negacyclic half-spectrum
+};
+
+/// Spectral form of one ciphertext polynomial (computed once per ciphertext
+/// element and reused across every weight it multiplies — the activation
+/// transform amortization of paper §III-B).
+struct CipherSpectrum {
+  PolyMulBackend backend = PolyMulBackend::kNtt;
+  std::vector<u64> ntt;
+  std::vector<fft::cplx> fft;
+};
+
+/// Spectral-domain accumulator: channel tiles and stride phases sum here
+/// before the single inverse transform per output polynomial (Fig. 4(b)).
+struct SpectralAccumulator {
+  PolyMulBackend backend = PolyMulBackend::kNtt;
+  std::vector<u64> ntt;
+  std::vector<fft::cplx> fft;
+  bool empty = true;
+};
+
+/// Operation counters for profiling (feeds the Fig. 1 breakdown and the
+/// accelerator energy model).
+struct PolyMulCounters {
+  std::uint64_t plain_transforms = 0;   // weight-side forward transforms
+  std::uint64_t cipher_transforms = 0;  // ciphertext-side forward transforms
+  std::uint64_t inverse_transforms = 0;
+  std::uint64_t pointwise_products = 0;  // complex (or modular) point products
+};
+
+class PolyMulEngine {
+ public:
+  /// approx_config is required for kApproxFft and ignored otherwise.
+  PolyMulEngine(const BfvContext& ctx, PolyMulBackend backend,
+                std::optional<fft::FxpFftConfig> approx_config = std::nullopt);
+
+  PolyMulBackend backend() const { return backend_; }
+  const PolyMulCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+  /// Transform a plaintext (weight) polynomial into the backend's spectral
+  /// domain. Coefficients are lifted to signed representatives mod t.
+  PlainSpectrum transform_plain(const Plaintext& pt) const;
+
+  /// ct_poly (mod q) times the transformed plaintext, result mod q.
+  Poly multiply(const Poly& ct_poly, const PlainSpectrum& w) const;
+
+  /// Transform a ciphertext polynomial once; reused across output channels.
+  CipherSpectrum transform_cipher_spectrum(const Poly& ct_poly) const;
+
+  /// accum += ct_spec * w (point-wise, in the spectral domain).
+  void multiply_accumulate(const CipherSpectrum& ct_spec, const PlainSpectrum& w,
+                           SpectralAccumulator& accum) const;
+
+  /// One inverse transform: spectral accumulation back to a ring element.
+  Poly finalize(const SpectralAccumulator& accum) const;
+
+  /// Lower-level FP helpers (kept public for tests and benches).
+  std::vector<fft::cplx> transform_cipher(const Poly& ct_poly) const;
+  std::vector<u64> transform_cipher_ntt(const Poly& ct_poly) const;
+  std::vector<fft::cplx> pointwise(const std::vector<fft::cplx>& ct_spec,
+                                   const PlainSpectrum& w) const;
+  Poly inverse_to_poly(const std::vector<fft::cplx>& spec) const;
+
+ private:
+  const BfvContext& ctx_;
+  PolyMulBackend backend_;
+  std::optional<fft::FxpNegacyclicTransform> approx_;
+  mutable PolyMulCounters counters_;
+};
+
+}  // namespace flash::bfv

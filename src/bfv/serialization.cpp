@@ -1,0 +1,180 @@
+#include "bfv/serialization.hpp"
+
+#include <stdexcept>
+
+namespace flash::bfv {
+
+namespace {
+constexpr u64 kMagic = 0x464C415348424656ULL;  // "FLASHBFV"
+constexpr std::uint8_t kTagParams = 1;
+constexpr std::uint8_t kTagPlaintext = 2;
+constexpr std::uint8_t kTagCiphertext = 3;
+constexpr std::uint8_t kTagSecretKey = 4;
+constexpr std::uint8_t kTagPublicKey = 5;
+constexpr std::uint8_t kTagKeySwitchKey = 6;
+
+void write_header(ByteWriter& w, std::uint8_t tag, const BfvParams& p) {
+  w.write_u64(kMagic);
+  w.write_u8(tag);
+  w.write_u64(p.n);
+  w.write_u64(p.t);
+  w.write_u64(p.q);
+}
+
+void check_header(ByteReader& r, std::uint8_t tag, const BfvParams& p) {
+  if (r.read_u64() != kMagic) throw std::runtime_error("deserialize: bad magic");
+  if (r.read_u8() != tag) throw std::runtime_error("deserialize: wrong object type");
+  if (r.read_u64() != p.n || r.read_u64() != p.t || r.read_u64() != p.q) {
+    throw std::runtime_error("deserialize: parameter mismatch");
+  }
+}
+}  // namespace
+
+void ByteWriter::write_u64(u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+u64 ByteReader::read_u64() {
+  if (pos_ + 8 > bytes_.size()) throw std::runtime_error("ByteReader: underflow");
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(bytes_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint8_t ByteReader::read_u8() {
+  if (pos_ >= bytes_.size()) throw std::runtime_error("ByteReader: underflow");
+  return bytes_[pos_++];
+}
+
+Bytes serialize(const BfvParams& params) {
+  ByteWriter w;
+  w.write_u64(kMagic);
+  w.write_u8(kTagParams);
+  w.write_u64(params.n);
+  w.write_u64(params.t);
+  w.write_u64(params.q);
+  w.write_u64(static_cast<u64>(params.error_sigma * 1000.0));
+  return w.take();
+}
+
+BfvParams deserialize_params(ByteReader& reader) {
+  if (reader.read_u64() != kMagic) throw std::runtime_error("deserialize_params: bad magic");
+  if (reader.read_u8() != kTagParams) throw std::runtime_error("deserialize_params: wrong type");
+  BfvParams p;
+  p.n = reader.read_u64();
+  p.t = reader.read_u64();
+  p.q = reader.read_u64();
+  p.error_sigma = static_cast<double>(reader.read_u64()) / 1000.0;
+  p.validate();
+  return p;
+}
+
+void serialize(const Poly& poly, ByteWriter& writer) {
+  writer.write_u64(poly.modulus());
+  writer.write_u64(poly.degree());
+  for (std::size_t i = 0; i < poly.degree(); ++i) writer.write_u64(poly[i]);
+}
+
+Poly deserialize_poly(ByteReader& reader) {
+  const u64 modulus = reader.read_u64();
+  const u64 degree = reader.read_u64();
+  if (degree > (u64{1} << 20)) throw std::runtime_error("deserialize_poly: degree too large");
+  Poly p(modulus, static_cast<std::size_t>(degree));
+  for (std::size_t i = 0; i < degree; ++i) {
+    const u64 c = reader.read_u64();
+    if (c >= modulus) throw std::runtime_error("deserialize_poly: coefficient out of range");
+    p[i] = c;
+  }
+  return p;
+}
+
+Bytes serialize(const BfvParams& params, const Plaintext& pt) {
+  ByteWriter w;
+  write_header(w, kTagPlaintext, params);
+  serialize(pt.poly, w);
+  return w.take();
+}
+
+Plaintext deserialize_plaintext(const BfvContext& ctx, const Bytes& bytes) {
+  ByteReader r(bytes);
+  check_header(r, kTagPlaintext, ctx.params());
+  Plaintext pt{deserialize_poly(r)};
+  if (pt.poly.modulus() != ctx.params().t) throw std::runtime_error("plaintext: wrong modulus");
+  return pt;
+}
+
+Bytes serialize(const BfvParams& params, const Ciphertext& ct) {
+  ByteWriter w;
+  write_header(w, kTagCiphertext, params);
+  serialize(ct.c0, w);
+  serialize(ct.c1, w);
+  return w.take();
+}
+
+Ciphertext deserialize_ciphertext(const BfvContext& ctx, const Bytes& bytes) {
+  ByteReader r(bytes);
+  check_header(r, kTagCiphertext, ctx.params());
+  Ciphertext ct{deserialize_poly(r), deserialize_poly(r)};
+  if (ct.c0.modulus() != ctx.params().q || ct.c1.modulus() != ctx.params().q) {
+    throw std::runtime_error("ciphertext: wrong modulus");
+  }
+  return ct;
+}
+
+Bytes serialize(const BfvParams& params, const SecretKey& sk) {
+  ByteWriter w;
+  write_header(w, kTagSecretKey, params);
+  serialize(sk.s, w);
+  return w.take();
+}
+
+SecretKey deserialize_secret_key(const BfvContext& ctx, const Bytes& bytes) {
+  ByteReader r(bytes);
+  check_header(r, kTagSecretKey, ctx.params());
+  return {deserialize_poly(r)};
+}
+
+Bytes serialize(const BfvParams& params, const PublicKey& pk) {
+  ByteWriter w;
+  write_header(w, kTagPublicKey, params);
+  serialize(pk.p0, w);
+  serialize(pk.p1, w);
+  return w.take();
+}
+
+PublicKey deserialize_public_key(const BfvContext& ctx, const Bytes& bytes) {
+  ByteReader r(bytes);
+  check_header(r, kTagPublicKey, ctx.params());
+  return {deserialize_poly(r), deserialize_poly(r)};
+}
+
+Bytes serialize(const BfvParams& params, const KeySwitchKey& key) {
+  ByteWriter w;
+  write_header(w, kTagKeySwitchKey, params);
+  w.write_u64(static_cast<u64>(key.digit_bits));
+  w.write_u64(key.digits());
+  for (std::size_t i = 0; i < key.digits(); ++i) {
+    serialize(key.k0[i], w);
+    serialize(key.k1[i], w);
+  }
+  return w.take();
+}
+
+KeySwitchKey deserialize_key_switch_key(const BfvContext& ctx, const Bytes& bytes) {
+  ByteReader r(bytes);
+  check_header(r, kTagKeySwitchKey, ctx.params());
+  KeySwitchKey key;
+  key.digit_bits = static_cast<int>(r.read_u64());
+  const u64 digits = r.read_u64();
+  if (digits > 64) throw std::runtime_error("key switch key: too many digits");
+  for (u64 i = 0; i < digits; ++i) {
+    key.k0.push_back(deserialize_poly(r));
+    key.k1.push_back(deserialize_poly(r));
+  }
+  return key;
+}
+
+}  // namespace flash::bfv

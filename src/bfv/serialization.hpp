@@ -1,0 +1,66 @@
+// Binary serialization for BFV objects (keys, ciphertexts, plaintexts).
+//
+// A deliberately simple little-endian format with a magic header and type
+// tags; every loader validates sizes and moduli against the header so a
+// truncated or mismatched buffer fails loudly instead of decoding garbage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfv/context.hpp"
+#include "bfv/keyswitch.hpp"
+
+namespace flash::bfv {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only writer.
+class ByteWriter {
+ public:
+  void write_u64(u64 v);
+  void write_i64(i64 v) { write_u64(static_cast<u64>(v)); }
+  void write_u8(std::uint8_t v) { buffer_.push_back(v); }
+  const Bytes& bytes() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Bounds-checked reader; throws std::runtime_error on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& bytes) : bytes_(bytes) {}
+  u64 read_u64();
+  i64 read_i64() { return static_cast<i64>(read_u64()); }
+  std::uint8_t read_u8();
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const Bytes& bytes_;
+  std::size_t pos_ = 0;
+};
+
+Bytes serialize(const BfvParams& params);
+BfvParams deserialize_params(ByteReader& reader);
+
+void serialize(const Poly& poly, ByteWriter& writer);
+Poly deserialize_poly(ByteReader& reader);
+
+Bytes serialize(const BfvParams& params, const Plaintext& pt);
+Plaintext deserialize_plaintext(const BfvContext& ctx, const Bytes& bytes);
+
+Bytes serialize(const BfvParams& params, const Ciphertext& ct);
+Ciphertext deserialize_ciphertext(const BfvContext& ctx, const Bytes& bytes);
+
+Bytes serialize(const BfvParams& params, const SecretKey& sk);
+SecretKey deserialize_secret_key(const BfvContext& ctx, const Bytes& bytes);
+
+Bytes serialize(const BfvParams& params, const PublicKey& pk);
+PublicKey deserialize_public_key(const BfvContext& ctx, const Bytes& bytes);
+
+Bytes serialize(const BfvParams& params, const KeySwitchKey& key);
+KeySwitchKey deserialize_key_switch_key(const BfvContext& ctx, const Bytes& bytes);
+
+}  // namespace flash::bfv

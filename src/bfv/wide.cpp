@@ -1,0 +1,160 @@
+#include "bfv/wide.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hemath/primes.hpp"
+
+namespace flash::bfv {
+
+using hemath::RnsPoly;
+using hemath::u128;
+
+hemath::u128 WideBfvParams::big_q() const {
+  u128 q = 1;
+  for (u64 m : moduli) q *= m;
+  return q;
+}
+
+double WideBfvParams::noise_ceiling_bits() const {
+  double bits = 0;
+  for (u64 m : moduli) bits += std::log2(static_cast<double>(m));
+  return bits - std::log2(2.0 * static_cast<double>(t));
+}
+
+void WideBfvParams::validate() const {
+  if (n < 8 || (n & (n - 1)) != 0) throw std::invalid_argument("WideBfvParams: bad n");
+  if (moduli.size() < 2) throw std::invalid_argument("WideBfvParams: need >= 2 limbs (use BfvParams otherwise)");
+  for (u64 m : moduli) {
+    if (!hemath::is_prime(m) || (m - 1) % (2 * n) != 0) {
+      throw std::invalid_argument("WideBfvParams: every limb must be an NTT prime");
+    }
+  }
+  if (noise_ceiling_bits() < 10.0) throw std::invalid_argument("WideBfvParams: q too small for t");
+}
+
+WideBfvParams WideBfvParams::create(std::size_t n, int log_t, const std::vector<int>& limb_bits) {
+  WideBfvParams p;
+  p.n = n;
+  p.t = u64{1} << log_t;
+  for (int bits : limb_bits) {
+    u64 candidate = hemath::find_ntt_prime(bits, n);
+    while (std::find(p.moduli.begin(), p.moduli.end(), candidate) != p.moduli.end()) {
+      candidate = hemath::next_prime_congruent(candidate + 1, 2 * n);
+    }
+    p.moduli.push_back(candidate);
+  }
+  p.validate();
+  return p;
+}
+
+WideBfv::WideBfv(WideBfvParams params, std::uint64_t seed)
+    : params_(std::move(params)), rns_(params_.moduli, params_.n), sampler_(seed),
+      secret_([&] {
+        std::vector<i64> s(params_.n);
+        std::uniform_int_distribution<int> dist(-1, 1);
+        for (auto& v : s) v = dist(sampler_.rng());
+        return s;
+      }()),
+      secret_rns_(RnsPoly::from_signed(rns_, secret_)) {
+  params_.validate();
+}
+
+RnsPoly WideBfv::delta_scaled(const std::vector<i64>& values) const {
+  if (values.size() != params_.n) throw std::invalid_argument("WideBfv: value count mismatch");
+  const u128 delta = params_.big_q() / params_.t;
+  RnsPoly out(rns_);
+  for (std::size_t l = 0; l < rns_.limbs(); ++l) {
+    const u64 q = rns_.basis().moduli()[l];
+    const u64 delta_mod = static_cast<u64>(delta % q);
+    auto& limb = out.mutable_limb(l);
+    for (std::size_t i = 0; i < params_.n; ++i) {
+      limb[i] = hemath::mul_mod(hemath::from_signed(values[i], q), delta_mod, q);
+    }
+  }
+  return out;
+}
+
+WideCiphertext WideBfv::encrypt(const std::vector<i64>& values) {
+  // Symmetric RLWE: c1 = a uniform per limb (consistent across limbs via a
+  // single signed draw is unnecessary — a is uniform mod Q, drawn limb-wise
+  // from one uniform big value per coefficient).
+  RnsPoly a(rns_);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    // Draw each limb residue independently: CRT of independent uniforms is
+    // uniform mod Q.
+    for (std::size_t l = 0; l < rns_.limbs(); ++l) {
+      a.mutable_limb(l)[i] = sampler_.uniform_mod(rns_.basis().moduli()[l]);
+    }
+  }
+  std::vector<i64> e(params_.n);
+  std::normal_distribution<double> gauss(0.0, params_.error_sigma);
+  for (auto& v : e) v = static_cast<i64>(std::llround(gauss(sampler_.rng())));
+
+  RnsPoly c0 = delta_scaled(values);
+  c0.add_inplace(RnsPoly::from_signed(rns_, e));
+  RnsPoly as = hemath::multiply(a, secret_rns_);
+  c0.sub_inplace(as);
+  return {std::move(c0), std::move(a)};
+}
+
+RnsPoly WideBfv::noisy_scaled_message(const WideCiphertext& ct) const {
+  RnsPoly v = hemath::multiply(ct.c1, secret_rns_);
+  v.add_inplace(ct.c0);
+  return v;
+}
+
+std::vector<i64> WideBfv::decrypt(const WideCiphertext& ct) const {
+  const RnsPoly v = noisy_scaled_message(ct);
+  const u128 big_q = params_.big_q();
+  std::vector<i64> out(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    const auto [neg, mag] = v.coeff_centered(i);
+    // round(t * x / Q) on the centered representative; long double carries
+    // 64 mantissa bits, ample since the quotient is < t.
+    const long double scaled = static_cast<long double>(mag) * static_cast<long double>(params_.t) /
+                               static_cast<long double>(big_q);
+    i64 m = static_cast<i64>(std::llroundl(scaled));
+    if (neg) m = -m;
+    out[i] = hemath::to_signed(hemath::from_signed(m, params_.t), params_.t);
+  }
+  return out;
+}
+
+double WideBfv::invariant_noise_budget(const WideCiphertext& ct) const {
+  const RnsPoly v = noisy_scaled_message(ct);
+  const std::vector<i64> m = decrypt(ct);
+  const RnsPoly expect = delta_scaled(m);
+  RnsPoly noise = v;
+  noise.sub_inplace(expect);
+  long double max_bits = 0.0;
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    const auto [neg, mag] = noise.coeff_centered(i);
+    (void)neg;
+    const long double bits = mag > 0 ? std::log2l(static_cast<long double>(mag)) : 0.0;
+    max_bits = std::max(max_bits, bits);
+  }
+  return params_.noise_ceiling_bits() - static_cast<double>(max_bits);
+}
+
+void WideBfv::add_plain_inplace(WideCiphertext& ct, const std::vector<i64>& values) const {
+  ct.c0.add_inplace(delta_scaled(values));
+}
+
+void WideBfv::sub_plain_inplace(WideCiphertext& ct, const std::vector<i64>& values) const {
+  ct.c0.sub_inplace(delta_scaled(values));
+}
+
+WideCiphertext WideBfv::multiply_plain(const WideCiphertext& ct,
+                                       const std::vector<i64>& weights) const {
+  const RnsPoly w = RnsPoly::from_signed(rns_, weights);
+  return {hemath::multiply(ct.c0, w), hemath::multiply(ct.c1, w)};
+}
+
+void WideBfv::add_inplace(WideCiphertext& a, const WideCiphertext& b) const {
+  a.c0.add_inplace(b.c0);
+  a.c1.add_inplace(b.c1);
+}
+
+}  // namespace flash::bfv

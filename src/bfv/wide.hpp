@@ -1,0 +1,69 @@
+// Wide-modulus BFV over an RNS ciphertext modulus.
+//
+// Cheetah's production parameters use q ~ 2^109; accelerators hold such
+// ciphertexts limb-wise (one NTT prime per limb) — exactly the layout the
+// FLASH/F1/ARK cost models assume. This context implements the protocol's
+// homomorphic subset (symmetric encryption, ⊞/⊟ plain, ⊠ plain, decryption)
+// over hemath::RnsPoly, demonstrating the system end to end at
+// beyond-64-bit moduli. The approximate-FFT observation carries over
+// limb-wise: each limb's NTT is what FLASH's FFT path replaces.
+#pragma once
+
+#include <random>
+
+#include "bfv/context.hpp"
+#include "hemath/rns_poly.hpp"
+
+namespace flash::bfv {
+
+struct WideBfvParams {
+  std::size_t n = 4096;
+  u64 t = u64{1} << 20;           // plaintext / sharing modulus
+  std::vector<u64> moduli;        // NTT primes; Q = prod
+  double error_sigma = 3.2;
+
+  hemath::u128 big_q() const;
+  double noise_ceiling_bits() const;  // log2(Q / 2t)
+  void validate() const;
+
+  /// n, log2(t), and per-limb prime sizes (e.g. {45, 45} for Q ~ 2^90).
+  static WideBfvParams create(std::size_t n, int log_t, const std::vector<int>& limb_bits);
+};
+
+struct WideCiphertext {
+  hemath::RnsPoly c0;
+  hemath::RnsPoly c1;
+};
+
+class WideBfv {
+ public:
+  WideBfv(WideBfvParams params, std::uint64_t seed);
+
+  const WideBfvParams& params() const { return params_; }
+  const hemath::RnsContext& rns() const { return rns_; }
+
+  /// Symmetric encryption of signed values (centered mod t).
+  WideCiphertext encrypt(const std::vector<i64>& values);
+
+  std::vector<i64> decrypt(const WideCiphertext& ct) const;
+  double invariant_noise_budget(const WideCiphertext& ct) const;
+
+  /// ct ⊞ pt (Delta-scaled) and ct ⊠ pt (small signed weights).
+  void add_plain_inplace(WideCiphertext& ct, const std::vector<i64>& values) const;
+  void sub_plain_inplace(WideCiphertext& ct, const std::vector<i64>& values) const;
+  WideCiphertext multiply_plain(const WideCiphertext& ct, const std::vector<i64>& weights) const;
+
+  void add_inplace(WideCiphertext& a, const WideCiphertext& b) const;
+
+ private:
+  hemath::RnsPoly delta_scaled(const std::vector<i64>& values) const;
+  hemath::RnsPoly noisy_scaled_message(const WideCiphertext& ct) const;
+
+  WideBfvParams params_;
+  hemath::RnsContext rns_;
+  hemath::Sampler sampler_;
+  std::vector<i64> secret_;       // ternary key (signed)
+  hemath::RnsPoly secret_rns_;
+};
+
+}  // namespace flash::bfv

@@ -1,0 +1,175 @@
+#include "dse/bayesopt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flash::dse {
+
+double GaussianProcess::kernel(const std::vector<double>& a, const std::vector<double>& b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return signal_var_ * std::exp(-d2 / (2.0 * length_scale_ * length_scale_));
+}
+
+void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double> y) {
+  if (x.size() != y.size() || x.empty()) throw std::invalid_argument("GaussianProcess::fit: bad data");
+  x_ = std::move(x);
+  const std::size_t n = x_.size();
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  y_mean_ /= static_cast<double>(n);
+
+  // K + noise*I, lower Cholesky.
+  chol_.assign(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> k(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) k[i][j] = k[j][i] = kernel(x_[i], x_[j]);
+    k[i][i] += noise_var_ + 1e-10;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = k[i][j];
+      for (std::size_t l = 0; l < j; ++l) sum -= chol_[i][l] * chol_[j][l];
+      if (i == j) {
+        chol_[i][i] = std::sqrt(std::max(sum, 1e-12));
+      } else {
+        chol_[i][j] = sum / chol_[j][j];
+      }
+    }
+  }
+  // alpha = K^-1 (y - mean) via forward/back substitution.
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = y[i] - y_mean_;
+    for (std::size_t l = 0; l < i; ++l) sum -= chol_[i][l] * z[l];
+    z[i] = sum / chol_[i][i];
+  }
+  alpha_.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t l = ii + 1; l < n; ++l) sum -= chol_[l][ii] * alpha_[l];
+    alpha_[ii] = sum / chol_[ii][ii];
+  }
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(const std::vector<double>& x) const {
+  if (!fitted()) throw std::logic_error("GaussianProcess::predict before fit");
+  const std::size_t n = x_.size();
+  std::vector<double> kx(n);
+  for (std::size_t i = 0; i < n; ++i) kx[i] = kernel(x, x_[i]);
+  Prediction out;
+  out.mean = y_mean_;
+  for (std::size_t i = 0; i < n; ++i) out.mean += kx[i] * alpha_[i];
+  // v = L^-1 kx; var = k(x,x) - v.v
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = kx[i];
+    for (std::size_t l = 0; l < i; ++l) sum -= chol_[i][l] * v[l];
+    v[i] = sum / chol_[i][i];
+  }
+  double vv = 0.0;
+  for (double e : v) vv += e * e;
+  out.variance = std::max(kernel(x, x) - vv, 1e-12);
+  return out;
+}
+
+BayesianExplorer::BayesianExplorer(DesignSpace space, ErrorModel error_model, CostModel cost_model,
+                                   std::uint64_t seed)
+    : space_(std::move(space)), error_model_(std::move(error_model)),
+      cost_model_(std::move(cost_model)), rng_(seed) {}
+
+std::vector<double> BayesianExplorer::normalize(const DesignPoint& p) const {
+  const auto& b = space_.bounds();
+  std::vector<double> x;
+  x.reserve(p.stage_widths.size() + 1);
+  for (int w : p.stage_widths) {
+    x.push_back(static_cast<double>(w - b.min_width) / static_cast<double>(b.max_width - b.min_width));
+  }
+  x.push_back(static_cast<double>(p.twiddle_k - b.min_k) / static_cast<double>(b.max_k - b.min_k));
+  return x;
+}
+
+std::vector<EvaluatedPoint> BayesianExplorer::explore(const BayesOptions& options) {
+  std::vector<EvaluatedPoint> all;
+  all.reserve(options.evaluations);
+
+  auto evaluate = [&](const DesignPoint& p) {
+    EvaluatedPoint e;
+    e.point = p;
+    e.error_variance = error_model_.predict_variance(space_, p);
+    e.normalized_power = cost_model_.normalized_power(p);
+    all.push_back(e);
+    return e;
+  };
+
+  for (std::size_t i = 0; i < options.initial_random && all.size() < options.evaluations; ++i) {
+    evaluate(space_.random(rng_));
+  }
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  while (all.size() < options.evaluations) {
+    // ParEGO: random Chebyshev scalarization of (log error, power), both
+    // normalized to the observed ranges; smaller is better.
+    double lo_e = 1e300, hi_e = -1e300, lo_p = 1e300, hi_p = -1e300;
+    for (const auto& e : all) {
+      const double le = std::log10(std::max(e.error_variance, options.error_floor));
+      lo_e = std::min(lo_e, le);
+      hi_e = std::max(hi_e, le);
+      lo_p = std::min(lo_p, e.normalized_power);
+      hi_p = std::max(hi_p, e.normalized_power);
+    }
+    const double lambda = unit(rng_);
+    auto scalarize = [&](double err_var, double power) {
+      const double le = (std::log10(std::max(err_var, options.error_floor)) - lo_e) /
+                        std::max(hi_e - lo_e, 1e-9);
+      const double pw = (power - lo_p) / std::max(hi_p - lo_p, 1e-9);
+      return std::max(lambda * le, (1.0 - lambda) * pw) + 0.05 * (lambda * le + (1.0 - lambda) * pw);
+    };
+
+    // GP training set: most recent evaluations (the surrogate is local).
+    const std::size_t train = std::min(options.max_train_points, all.size());
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    xs.reserve(train);
+    double best_y = 1e300;
+    for (std::size_t i = all.size() - train; i < all.size(); ++i) {
+      xs.push_back(normalize(all[i].point));
+      ys.push_back(scalarize(all[i].error_variance, all[i].normalized_power));
+      best_y = std::min(best_y, ys.back());
+    }
+    GaussianProcess gp(0.35, 0.5, 1e-4);
+    gp.fit(std::move(xs), std::move(ys));
+
+    // Candidate pool: random + mutations of the current non-dominated set.
+    const auto front = pareto_front(all);
+    DesignPoint best_candidate = space_.random(rng_);
+    double best_ei = -1.0;
+    for (std::size_t c = 0; c < options.candidate_pool; ++c) {
+      DesignPoint cand;
+      if (!front.empty() && (c & 1)) {
+        cand = space_.mutate(front[rng_() % front.size()].point, rng_);
+      } else {
+        cand = space_.random(rng_);
+      }
+      const auto pred = gp.predict(normalize(cand));
+      const double sigma = std::sqrt(pred.variance);
+      // Expected improvement over the incumbent scalarized best.
+      const double z = (best_y - pred.mean) / sigma;
+      const double phi = std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979);
+      const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
+      const double ei = (best_y - pred.mean) * cdf + sigma * phi;
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = cand;
+      }
+    }
+    evaluate(best_candidate);
+  }
+  return all;
+}
+
+}  // namespace flash::dse

@@ -1,0 +1,53 @@
+#include "dse/cost_model.hpp"
+
+#include <stdexcept>
+
+#include "accel/unit_costs.hpp"
+#include "hemath/bitrev.hpp"
+
+namespace flash::dse {
+
+CostModel::CostModel(std::size_t fft_size, const SpaceBounds& bounds) : m_(fft_size), bounds_(bounds) {
+  const int widths = bounds_.max_width - bounds_.min_width + 1;
+  const int ks = bounds_.max_k - bounds_.min_k + 1;
+  lut_.resize(static_cast<std::size_t>(widths) * static_cast<std::size_t>(ks));
+  constexpr double kFreq = 1e9;
+  for (int w = bounds_.min_width; w <= bounds_.max_width; ++w) {
+    for (int k = bounds_.min_k; k <= bounds_.max_k; ++k) {
+      const std::size_t idx = static_cast<std::size_t>(w - bounds_.min_width) * ks +
+                              static_cast<std::size_t>(k - bounds_.min_k);
+      lut_[idx] = accel::approx_bu(w, k).energy_pj(kFreq);
+    }
+  }
+  fp_reference_pj_ = accel::fp_bu(39).energy_pj(kFreq);
+}
+
+double CostModel::bu_energy_pj(int width, int k) const {
+  if (width < bounds_.min_width || width > bounds_.max_width || k < bounds_.min_k || k > bounds_.max_k) {
+    throw std::out_of_range("CostModel::bu_energy_pj: outside LUT grid");
+  }
+  const int ks = bounds_.max_k - bounds_.min_k + 1;
+  return lut_[static_cast<std::size_t>(width - bounds_.min_width) * ks +
+              static_cast<std::size_t>(k - bounds_.min_k)];
+}
+
+double CostModel::energy_per_transform_pj(const DesignPoint& p) const {
+  const int stages = hemath::log2_exact(m_);
+  if (p.stage_widths.size() != static_cast<std::size_t>(stages)) {
+    throw std::invalid_argument("CostModel: point stage count mismatch");
+  }
+  const double bflies_per_stage = static_cast<double>(m_ / 2);
+  double total = 0.0;
+  for (int s = 0; s < stages; ++s) {
+    total += bflies_per_stage * bu_energy_pj(p.stage_widths[static_cast<std::size_t>(s)], p.twiddle_k);
+  }
+  return total;
+}
+
+double CostModel::normalized_power(const DesignPoint& p) const {
+  const int stages = hemath::log2_exact(m_);
+  const double fp_total = static_cast<double>(m_ / 2) * stages * fp_reference_pj_;
+  return energy_per_transform_pj(p) / fp_total;
+}
+
+}  // namespace flash::dse

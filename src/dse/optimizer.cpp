@@ -1,0 +1,111 @@
+#include "dse/optimizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flash::dse {
+
+bool dominates(const EvaluatedPoint& a, const EvaluatedPoint& b) {
+  const bool no_worse = a.error_variance <= b.error_variance && a.normalized_power <= b.normalized_power;
+  const bool better = a.error_variance < b.error_variance || a.normalized_power < b.normalized_power;
+  return no_worse && better;
+}
+
+std::vector<EvaluatedPoint> pareto_front(std::vector<EvaluatedPoint> points) {
+  std::vector<EvaluatedPoint> front;
+  for (const auto& p : points) {
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const EvaluatedPoint& a, const EvaluatedPoint& b) {
+              return a.normalized_power < b.normalized_power;
+            });
+  // Deduplicate identical objective pairs.
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const EvaluatedPoint& a, const EvaluatedPoint& b) {
+                            return a.normalized_power == b.normalized_power &&
+                                   a.error_variance == b.error_variance;
+                          }),
+              front.end());
+  return front;
+}
+
+DseExplorer::DseExplorer(DesignSpace space, ErrorModel error_model, CostModel cost_model,
+                         std::uint64_t seed)
+    : space_(std::move(space)), error_model_(std::move(error_model)),
+      cost_model_(std::move(cost_model)), rng_(seed) {}
+
+EvaluatedPoint DseExplorer::evaluate(const DesignPoint& p) const {
+  EvaluatedPoint e;
+  e.point = p;
+  e.error_variance = error_model_.predict_variance(space_, p);
+  e.normalized_power = cost_model_.normalized_power(p);
+  return e;
+}
+
+std::vector<EvaluatedPoint> DseExplorer::explore(const DseOptions& options) {
+  std::vector<EvaluatedPoint> all;
+  all.reserve(options.evaluations);
+  std::vector<EvaluatedPoint> archive;  // current non-dominated set
+
+  auto admit = [&](const EvaluatedPoint& e) {
+    all.push_back(e);
+    for (const auto& q : archive) {
+      if (dominates(q, e)) return;
+    }
+    archive.erase(std::remove_if(archive.begin(), archive.end(),
+                                 [&](const EvaluatedPoint& q) { return dominates(e, q); }),
+                  archive.end());
+    archive.push_back(e);
+  };
+
+  // Seed with random points (plus the full-precision corner as an anchor).
+  admit(evaluate(space_.full_precision()));
+  for (std::size_t i = 0; i < options.population && all.size() < options.evaluations; ++i) {
+    admit(evaluate(space_.random(rng_)));
+  }
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  while (all.size() < options.evaluations) {
+    const auto& a = archive[rng_() % archive.size()].point;
+    DesignPoint candidate;
+    if (archive.size() > 1 && unit(rng_) < options.crossover_rate) {
+      const auto& b = archive[rng_() % archive.size()].point;
+      candidate = space_.mutate(space_.crossover(a, b, rng_), rng_);
+    } else {
+      candidate = space_.mutate(a, rng_);
+    }
+    admit(evaluate(candidate));
+  }
+
+  if (options.error_threshold > 0.0) {
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&](const EvaluatedPoint& e) {
+                               return e.error_variance > options.error_threshold;
+                             }),
+              all.end());
+  }
+  return all;
+}
+
+EvaluatedPoint DseExplorer::best_under_threshold(const std::vector<EvaluatedPoint>& points,
+                                                 double error_threshold) {
+  const EvaluatedPoint* best = nullptr;
+  for (const auto& p : points) {
+    if (p.error_variance <= error_threshold &&
+        (best == nullptr || p.normalized_power < best->normalized_power)) {
+      best = &p;
+    }
+  }
+  if (best == nullptr) throw std::runtime_error("best_under_threshold: no feasible point");
+  return *best;
+}
+
+}  // namespace flash::dse

@@ -1,0 +1,59 @@
+// Multi-objective exploration of the approximate-FFT space.
+//
+// The paper uses Bayesian optimization; we substitute an elitist
+// evolutionary Pareto search (random restarts + mutation + crossover over a
+// non-dominated archive). Both are derivative-free sample-efficient
+// optimizers over the same objectives — error variance (analytical model)
+// vs. power (LUT model) — and the deliverable is the same: a Pareto front of
+// ~1000 evaluated design points per layer (Fig. 11(b)(c)). See DESIGN.md.
+#pragma once
+
+#include "dse/cost_model.hpp"
+#include "dse/error_model.hpp"
+
+namespace flash::dse {
+
+struct EvaluatedPoint {
+  DesignPoint point;
+  double error_variance = 0.0;
+  double normalized_power = 0.0;
+};
+
+/// a dominates b (strictly better on one objective, not worse on the other).
+bool dominates(const EvaluatedPoint& a, const EvaluatedPoint& b);
+
+/// Extract the non-dominated subset, sorted by power.
+std::vector<EvaluatedPoint> pareto_front(std::vector<EvaluatedPoint> points);
+
+struct DseOptions {
+  std::size_t evaluations = 1000;
+  std::size_t population = 32;
+  double crossover_rate = 0.4;
+  /// Optional constraint: discard points with error variance above this
+  /// threshold (the paper's T_err); 0 disables.
+  double error_threshold = 0.0;
+};
+
+class DseExplorer {
+ public:
+  DseExplorer(DesignSpace space, ErrorModel error_model, CostModel cost_model, std::uint64_t seed);
+
+  /// Run the search; returns every evaluated point (the scatter of
+  /// Fig. 11(b)(c)).
+  std::vector<EvaluatedPoint> explore(const DseOptions& options);
+
+  EvaluatedPoint evaluate(const DesignPoint& p) const;
+
+  /// Cheapest point meeting the error threshold (the paper's argmin power
+  /// s.t. err <= T_err); throws if none found.
+  static EvaluatedPoint best_under_threshold(const std::vector<EvaluatedPoint>& points,
+                                             double error_threshold);
+
+ private:
+  DesignSpace space_;
+  ErrorModel error_model_;
+  CostModel cost_model_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace flash::dse

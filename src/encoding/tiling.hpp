@@ -1,0 +1,103 @@
+// Analytic tiling model: how a whole CNN layer maps onto polynomials.
+//
+// Large layers do not fit one polynomial, so Cheetah tiles them:
+//   * strided convolutions are decomposed into up to s^2 stride-1
+//     sub-convolutions over phase-subsampled inputs (kernel ceil(k/s));
+//   * the (padded) spatial extent is split into overlapping tiles whose
+//     input patch fits the degree-N polynomial;
+//   * input channels are grouped into the largest count that fits.
+//
+// From the decomposition we derive the exact operation inventory of the
+// layer's HConv — how many weight transforms, activation transforms, inverse
+// transforms and pointwise multiplications are needed — which drives the
+// Fig. 1 profile, the Fig. 11 ablations, and Table III/IV models. The key
+// amortizations (paper §III-B): activation transforms are shared across all
+// output channels, and weight transforms are shared across all spatial tiles.
+#pragma once
+
+#include <cstdint>
+
+#include "encoding/encoder.hpp"
+#include "tensor/resnet.hpp"
+
+namespace flash::encoding {
+
+struct LayerTiling {
+  std::size_t n = 0;
+
+  // Stride decomposition.
+  std::size_t sub_convs = 1;   // number of nonempty phase sub-convolutions
+  std::size_t sub_k = 0;       // sub-convolution kernel size
+  std::size_t sub_h = 0;       // sub-sampled (padded) input spatial dims
+  std::size_t sub_w = 0;
+
+  // Per-sub-conv tiling. Patch sides are rounded up to powers of two (zero
+  // padded): the paper's "skipping" optimization depends on valid data
+  // landing at power-of-two strides, and the hardware dataflow is configured
+  // per layer, so the encoder trades a little polynomial capacity for far
+  // cheaper weight transforms.
+  std::size_t tile_out = 0;       // spatial tile side (output elements)
+  std::size_t patch_h = 0;        // encoded input patch dims (powers of two)
+  std::size_t patch_w = 0;
+  std::size_t spatial_tiles = 0;  // tiles per sub-conv
+  std::size_t channels_per_poly = 0;
+  std::size_t channel_tiles = 0;
+
+  // Polynomial inventory for the full layer.
+  std::uint64_t input_polys = 0;   // ciphertexts sent by the client
+  std::uint64_t weight_polys = 0;  // distinct encoded weight polynomials
+  std::uint64_t output_polys = 0;  // result ciphertexts
+
+  // Transform/operation inventory (a ciphertext has 2 ring elements).
+  std::uint64_t weight_transforms = 0;
+  std::uint64_t cipher_transforms = 0;   // forward, on ciphertext elements
+  std::uint64_t inverse_transforms = 0;  // on ciphertext elements
+  std::uint64_t pointwise_polys = 0;     // ct-element x weight spectral products
+
+  /// Nonzeros in each encoded weight polynomial.
+  std::size_t weight_nnz = 0;
+  /// Fraction of dense FFT multiplications the sparse (skip+merge) dataflow
+  /// executes for this layer's encoded weight pattern (merged accounting).
+  double weight_mult_fraction = 1.0;
+  double weight_sparsity() const {
+    return 1.0 - static_cast<double>(weight_nnz) / static_cast<double>(n);
+  }
+
+  std::uint64_t total_transforms() const {
+    return weight_transforms + cipher_transforms + inverse_transforms;
+  }
+};
+
+/// Plan a layer for polynomial degree n: evaluates every power-of-two patch
+/// size, measures the sparse-dataflow multiplication fraction of the
+/// resulting weight pattern, and picks the candidate with the lowest
+/// estimated accelerator cost (weight array + FP array + point-wise array,
+/// weighted by the FLASH unit ratios). Throws only if no patch fits at all.
+LayerTiling plan_layer(const tensor::LayerConfig& layer, std::size_t n);
+
+/// Merged-accounting multiplication fraction of the structural weight
+/// pattern of a geometry, folded onto the n/2-point FFT.
+double sparse_weight_fraction(const ConvGeometry& geometry);
+
+/// Convenience: total transform counts over a list of layers.
+struct NetworkTransformCounts {
+  std::uint64_t weight_transforms = 0;
+  std::uint64_t cipher_transforms = 0;
+  std::uint64_t inverse_transforms = 0;
+  std::uint64_t pointwise_polys = 0;
+};
+NetworkTransformCounts plan_network(const std::vector<tensor::LayerConfig>& layers, std::size_t n);
+
+/// Protocol communication for a network's HConvs: ciphertexts up (input
+/// polynomials) and down (output polynomials), at the given bytes per
+/// ciphertext. The one-round hybrid protocol sends nothing else for the
+/// linear layers.
+struct NetworkCommunication {
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t total() const { return bytes_up + bytes_down; }
+};
+NetworkCommunication plan_communication(const std::vector<tensor::LayerConfig>& layers,
+                                        std::size_t n, std::uint64_t ciphertext_bytes);
+
+}  // namespace flash::encoding

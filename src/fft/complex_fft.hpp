@@ -1,0 +1,49 @@
+// Iterative complex FFT with the same decimation-in-time dataflow as the
+// paper's Fig. 3: bit-reverse the input, then log2(M) stages of Cooley-Tukey
+// butterflies. The explicit stage structure is shared with the fixed-point
+// FFT and the sparse-dataflow planner so all three agree on op counts.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace flash::fft {
+
+using cplx = std::complex<double>;
+
+/// A reusable plan for M-point FFTs (M a power of two).
+///
+/// sign = +1 computes sum a[m] e^{+2*pi*i*m*k/M} (the orientation used by the
+/// folded negacyclic transform); sign = -1 the conjugate kernel. inverse()
+/// applies the conjugate kernel and scales by 1/M.
+class FftPlan {
+ public:
+  FftPlan(std::size_t m, int sign);
+
+  std::size_t size() const { return m_; }
+  int stages() const { return log_m_; }
+  int sign() const { return sign_; }
+
+  /// Twiddle W_M^(sign * j * M / 2^s) used at stage s (1-based) for butterfly
+  /// offset j within a block; exposed for the sparse planner and FXP FFT.
+  cplx twiddle(int stage, std::size_t j) const;
+
+  /// In-place transform: standard-order input, standard-order output
+  /// (bit-reversal applied internally, then DIT stages).
+  void forward(std::vector<cplx>& a) const;
+
+  /// In-place inverse of forward(): conjugate kernel with 1/M scaling.
+  void inverse(std::vector<cplx>& a) const;
+
+ private:
+  std::size_t m_;
+  int log_m_;
+  int sign_;
+  std::vector<cplx> root_pow_;  // W_M^(sign*j), j = 0..M/2-1
+};
+
+/// O(M^2) reference DFT with kernel e^{sign*2*pi*i*mk/M}; the test oracle.
+std::vector<cplx> dft_reference(const std::vector<cplx>& a, int sign);
+
+}  // namespace flash::fft

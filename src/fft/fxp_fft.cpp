@@ -1,0 +1,225 @@
+#include "fft/fxp_fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "hemath/bitrev.hpp"
+
+namespace flash::fft {
+
+namespace {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+struct FxpComplex {
+  i64 re = 0;
+  i64 im = 0;
+};
+
+/// Saturate a wide value into `width` total bits (two's complement).
+i64 saturate(i128 v, int width, FxpFftStats* stats) {
+  const i128 lim = (i128{1} << (width - 1)) - 1;
+  if (v > lim) {
+    if (stats) ++stats->saturations;
+    return static_cast<i64>(lim);
+  }
+  if (v < -lim) {
+    if (stats) ++stats->saturations;
+    return static_cast<i64>(-lim);
+  }
+  return static_cast<i64>(v);
+}
+
+/// Shift a mantissa right by `s` bits (s >= 0) with the configured rounding.
+i128 shift_right(i128 v, int s, RoundingMode mode) {
+  if (s == 0) return v;
+  if (mode == RoundingMode::kRoundToNearest) v += i128{1} << (s - 1);
+  return v >> s;  // arithmetic shift (implementation-defined pre-C++20; GCC/Clang do the right thing)
+}
+
+/// Multiply mantissa m (frac bits f) by one CSD-quantized scalar; the result
+/// keeps f fraction bits. Each digit sign*2^e contributes sign*(m >> -e)
+/// conceptually; we accumulate exactly in 128 bits and round once per digit
+/// (matching a shift-add array that truncates at the adder inputs).
+i128 csd_multiply(i64 m, const CsdValue& w, RoundingMode mode, FxpFftStats* stats) {
+  i128 acc = 0;
+  for (const CsdDigit& d : w.digits) {
+    i128 term;
+    if (d.exponent >= 0) {
+      term = i128{m} << d.exponent;
+    } else {
+      term = shift_right(m, -d.exponent, mode);
+    }
+    acc += d.sign > 0 ? term : -term;
+    if (stats) ++stats->shift_add_terms;
+  }
+  return acc;
+}
+
+/// Full complex multiply by a quantized twiddle; frac bits preserved.
+FxpComplex twiddle_multiply(FxpComplex a, const QuantizedTwiddle& w, int width, RoundingMode mode,
+                            FxpFftStats* stats) {
+  const i128 rr = csd_multiply(a.re, w.re, mode, stats);
+  const i128 ii = csd_multiply(a.im, w.im, mode, stats);
+  const i128 ri = csd_multiply(a.re, w.im, mode, stats);
+  const i128 ir = csd_multiply(a.im, w.re, mode, stats);
+  FxpComplex out;
+  out.re = saturate(rr - ii, width, stats);
+  out.im = saturate(ri + ir, width, stats);
+  return out;
+}
+
+/// Requantize from f_from fraction bits to f_to, saturating to width.
+FxpComplex requantize(FxpComplex a, int f_from, int f_to, int width, RoundingMode mode,
+                      FxpFftStats* stats) {
+  const int shift = f_from - f_to;
+  i128 re = a.re, im = a.im;
+  if (shift > 0) {
+    re = shift_right(re, shift, mode);
+    im = shift_right(im, shift, mode);
+  } else if (shift < 0) {
+    re <<= -shift;
+    im <<= -shift;
+  }
+  return {saturate(re, width, stats), saturate(im, width, stats)};
+}
+
+i64 quantize_to_mantissa(double v, int frac_bits, int width, FxpFftStats* stats) {
+  const double scaled = std::ldexp(v, frac_bits);
+  i128 m = static_cast<i128>(std::llround(scaled));
+  return saturate(m, width, stats);
+}
+
+}  // namespace
+
+FxpFftConfig FxpFftConfig::uniform(std::size_t m, int frac_bits, int data_width, int twiddle_k) {
+  FxpFftConfig cfg;
+  cfg.input_frac_bits = frac_bits;
+  cfg.stage_frac_bits.assign(static_cast<std::size_t>(hemath::log2_exact(m)), frac_bits);
+  cfg.data_width = data_width;
+  cfg.twiddle_k = twiddle_k;
+  return cfg;
+}
+
+FxpFft::FxpFft(std::size_t m, FxpFftConfig config) : m_(m), config_(std::move(config)) {
+  log_m_ = hemath::log2_exact(m);
+  if (config_.stage_frac_bits.size() != static_cast<std::size_t>(log_m_)) {
+    throw std::invalid_argument("FxpFft: stage_frac_bits must have log2(M) entries");
+  }
+  if (config_.data_width < 4 || config_.data_width > 62) {
+    throw std::invalid_argument("FxpFft: data_width out of range [4, 62]");
+  }
+  twiddles_ = quantize_fft_twiddles(m_, +1, config_.twiddle_k, config_.twiddle_min_exp);
+}
+
+std::vector<cplx> FxpFft::forward(const std::vector<cplx>& in, FxpFftStats* stats) const {
+  if (in.size() != m_) throw std::invalid_argument("FxpFft::forward: size mismatch");
+
+  std::vector<FxpComplex> a(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    a[i].re = quantize_to_mantissa(in[i].real(), config_.input_frac_bits, config_.data_width, stats);
+    a[i].im = quantize_to_mantissa(in[i].imag(), config_.input_frac_bits, config_.data_width, stats);
+  }
+  hemath::bit_reverse_permute(a);
+
+  int frac = config_.input_frac_bits;
+  for (int s = 1; s <= log_m_; ++s) {
+    const int out_frac = config_.stage_frac_bits[static_cast<std::size_t>(s - 1)];
+    const std::size_t half = std::size_t{1} << (s - 1);
+    const std::size_t len = half << 1;
+    const std::size_t stride = m_ >> s;
+    for (std::size_t block = 0; block < m_; block += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const QuantizedTwiddle& w = twiddles_[j * stride];
+        FxpComplex& u = a[block + j];
+        FxpComplex& v = a[block + j + half];
+        const FxpComplex t = twiddle_multiply(v, w, config_.data_width, config_.rounding, stats);
+        FxpComplex top{saturate(i128{u.re} + t.re, config_.data_width, stats),
+                       saturate(i128{u.im} + t.im, config_.data_width, stats)};
+        FxpComplex bot{saturate(i128{u.re} - t.re, config_.data_width, stats),
+                       saturate(i128{u.im} - t.im, config_.data_width, stats)};
+        u = requantize(top, frac, out_frac, config_.data_width, config_.rounding, stats);
+        v = requantize(bot, frac, out_frac, config_.data_width, config_.rounding, stats);
+        if (stats) ++stats->butterflies;
+      }
+    }
+    frac = out_frac;
+  }
+
+  std::vector<cplx> out(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    out[i] = cplx{std::ldexp(static_cast<double>(a[i].re), -frac),
+                  std::ldexp(static_cast<double>(a[i].im), -frac)};
+  }
+  return out;
+}
+
+std::vector<cplx> FxpFft::inverse(const std::vector<cplx>& in, FxpFftStats* stats) const {
+  if (in.size() != m_) throw std::invalid_argument("FxpFft::inverse: size mismatch");
+  // inverse(x) = conj(forward(conj(x))) / M with the sign=+1 kernel; the
+  // conjugations are sign flips (free) and /M is an exact shift of the
+  // output fraction interpretation.
+  std::vector<cplx> conj_in(m_);
+  for (std::size_t i = 0; i < m_; ++i) conj_in[i] = std::conj(in[i]);
+  std::vector<cplx> out = forward(conj_in, stats);
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  for (auto& v : out) v = std::conj(v) * inv_m;
+  return out;
+}
+
+FxpNegacyclicTransform::FxpNegacyclicTransform(std::size_t n, FxpFftConfig config)
+    : n_(n), fft_(n / 2, std::move(config)) {
+  if (n < 4 || (n & (n - 1)) != 0) throw std::invalid_argument("FxpNegacyclicTransform: bad degree");
+  const std::size_t m = n_ / 2;
+  twist_.resize(m);
+  const double base = std::numbers::pi / static_cast<double>(n_);
+  const auto& cfg = fft_.config();
+  for (std::size_t s = 0; s < m; ++s) {
+    twist_[s] = quantize_twiddle(std::polar(1.0, base * static_cast<double>(s)), cfg.twiddle_k,
+                                 cfg.twiddle_min_exp);
+  }
+}
+
+std::vector<cplx> FxpNegacyclicTransform::forward(const std::vector<double>& a,
+                                                  FxpFftStats* stats) const {
+  if (a.size() != n_) throw std::invalid_argument("FxpNegacyclicTransform::forward: size mismatch");
+  const std::size_t m = n_ / 2;
+  std::vector<cplx> z(m);
+  for (std::size_t s = 0; s < m; ++s) {
+    // Twist in the quantized domain: the hardware applies the same shift-add
+    // multiplier used for stage twiddles.
+    z[s] = cplx{a[s], a[s + m]} * twist_[s].value();
+  }
+  return fft_.forward(z, stats);
+}
+
+std::vector<double> FxpNegacyclicTransform::inverse(const std::vector<cplx>& spec,
+                                                    FxpFftStats* stats) const {
+  const std::size_t m = n_ / 2;
+  if (spec.size() != m) throw std::invalid_argument("FxpNegacyclicTransform::inverse: size mismatch");
+  const std::vector<cplx> z = fft_.inverse(spec, stats);
+  std::vector<double> a(n_);
+  for (std::size_t s = 0; s < m; ++s) {
+    const cplx w = z[s] * std::conj(twist_[s].value());
+    a[s] = w.real();
+    a[s + m] = w.imag();
+  }
+  return a;
+}
+
+double relative_spectrum_rmse(const std::vector<cplx>& approx, const std::vector<cplx>& exact) {
+  if (approx.size() != exact.size() || exact.empty()) {
+    throw std::invalid_argument("relative_spectrum_rmse: size mismatch");
+  }
+  double err = 0.0, mag = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    err += std::norm(approx[i] - exact[i]);
+    mag += std::norm(exact[i]);
+  }
+  if (mag == 0.0) return std::sqrt(err / static_cast<double>(exact.size()));
+  return std::sqrt(err / mag);
+}
+
+}  // namespace flash::fft

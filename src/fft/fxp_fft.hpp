@@ -1,0 +1,106 @@
+// Bit-accurate fixed-point FFT simulator (paper Section IV-C).
+//
+// FLASH's weight transforms run on approximate butterfly units: fixed-point
+// data with a per-stage bit-width chosen by the DSE, and twiddle factors
+// quantized to k CSD digits so each multiplication is a k-term shift-add.
+// This simulator reproduces that arithmetic exactly: values are held as
+// 64-bit integer mantissas, twiddle products are evaluated digit-by-digit as
+// arithmetic shifts and adds, and every stage output is rounded/saturated to
+// the configured format. The result is bit-identical to what the RTL would
+// compute, which is what the error-model validation and the accuracy
+// experiments (Fig. 5(b), Fig. 11(b)(c)) need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fft/complex_fft.hpp"
+#include "fft/twiddle.hpp"
+
+namespace flash::fft {
+
+/// Rounding applied when narrowing a mantissa.
+enum class RoundingMode {
+  kTruncate,        // drop LSBs (cheapest hardware)
+  kRoundToNearest,  // add half-ulp then drop
+};
+
+/// Full parameterization of one approximate FFT instance. This is the DSE's
+/// design point.
+struct FxpFftConfig {
+  /// Fraction bits of the data entering stage 1 (after fold/twist quantization).
+  int input_frac_bits = 16;
+  /// Fraction bits retained after each stage; size must equal log2(M).
+  std::vector<int> stage_frac_bits;
+  /// Total data width (sign + integer + fraction) used for saturation.
+  int data_width = 39;
+  /// CSD digits per twiddle component (the paper's k).
+  int twiddle_k = 5;
+  /// Smallest representable twiddle digit exponent (fraction depth of Fig. 9).
+  int twiddle_min_exp = -20;
+  RoundingMode rounding = RoundingMode::kRoundToNearest;
+
+  /// Uniform per-stage fraction bits convenience constructor.
+  static FxpFftConfig uniform(std::size_t m, int frac_bits, int data_width, int twiddle_k);
+};
+
+/// Dynamic instruction counts of one transform; drives the energy model.
+struct FxpFftStats {
+  std::uint64_t shift_add_terms = 0;  // executed CSD terms (hardware adds)
+  std::uint64_t butterflies = 0;
+  std::uint64_t saturations = 0;      // overflow clamps (should be ~0 in a sane design)
+};
+
+/// M-point complex FFT over fixed-point mantissas with the e^{+2*pi*i/M}
+/// kernel (matching FftPlan sign=+1 and the folded negacyclic transform).
+class FxpFft {
+ public:
+  FxpFft(std::size_t m, FxpFftConfig config);
+
+  std::size_t size() const { return m_; }
+  const FxpFftConfig& config() const { return config_; }
+  const std::vector<QuantizedTwiddle>& twiddles() const { return twiddles_; }
+
+  /// Simulate the transform. Input/output are doubles; the internal
+  /// arithmetic is exact integer shift-add per the configuration.
+  std::vector<cplx> forward(const std::vector<cplx>& in, FxpFftStats* stats = nullptr) const;
+
+  /// Inverse transform on the same approximate datapath (conjugate CSD
+  /// twiddles; the 1/M scaling is an exact arithmetic shift). FLASH runs the
+  /// dense inverse transforms of HConv on the approximate array, so this is
+  /// part of the modelled hardware, not just a test convenience.
+  std::vector<cplx> inverse(const std::vector<cplx>& in, FxpFftStats* stats = nullptr) const;
+
+ private:
+  std::size_t m_;
+  int log_m_;
+  FxpFftConfig config_;
+  std::vector<QuantizedTwiddle> twiddles_;  // W_M^j, j in [0, M/2)
+};
+
+/// Approximate forward negacyclic transform of an integer polynomial:
+/// fold + (quantized) twist + FxpFft. This is exactly the datapath of one
+/// FLASH approximate PE transforming a weight plaintext.
+class FxpNegacyclicTransform {
+ public:
+  FxpNegacyclicTransform(std::size_t n, FxpFftConfig config);
+
+  std::size_t degree() const { return n_; }
+  const FxpFft& fft() const { return fft_; }
+
+  std::vector<cplx> forward(const std::vector<double>& a, FxpFftStats* stats = nullptr) const;
+
+  /// Half-spectrum back to n real coefficients on the approximate datapath.
+  std::vector<double> inverse(const std::vector<cplx>& spec, FxpFftStats* stats = nullptr) const;
+
+ private:
+  std::size_t n_;
+  FxpFft fft_;
+  std::vector<QuantizedTwiddle> twist_;  // zeta^s, CSD-quantized
+};
+
+/// Root-mean-square error between an approximate and an exact spectrum,
+/// normalized by the RMS magnitude of the exact spectrum.
+double relative_spectrum_rmse(const std::vector<cplx>& approx, const std::vector<cplx>& exact);
+
+}  // namespace flash::fft

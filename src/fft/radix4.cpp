@@ -1,0 +1,130 @@
+#include "fft/radix4.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "hemath/bitrev.hpp"
+
+namespace flash::fft {
+
+namespace {
+
+/// i^r * v computed exactly (rotations are wiring, not multipliers).
+cplx rotate_i(cplx v, int r) {
+  switch (r & 3) {
+    case 0: return v;
+    case 1: return {-v.imag(), v.real()};
+    case 2: return -v;
+    default: return {v.imag(), -v.real()};
+  }
+}
+
+void fft_recursive(std::vector<cplx>& a, double root_angle, std::size_t total_m,
+                   Radix4Stats* stats) {
+  const std::size_t n = a.size();
+  if (n == 1) return;
+  if (n == 2) {
+    const cplx u = a[0], v = a[1];
+    a[0] = u + v;
+    a[1] = u - v;
+    if (stats) {
+      ++stats->trivial_mults;
+      stats->complex_adds += 2;
+    }
+    return;
+  }
+  if (n % 4 == 0) {
+    const std::size_t quarter = n / 4;
+    std::vector<cplx> sub[4];
+    for (int r = 0; r < 4; ++r) {
+      sub[r].resize(quarter);
+      for (std::size_t j = 0; j < quarter; ++j) sub[r][j] = a[4 * j + static_cast<std::size_t>(r)];
+      fft_recursive(sub[r], root_angle, total_m, stats);
+    }
+    for (std::size_t k = 0; k < quarter; ++k) {
+      cplx t[4];
+      t[0] = sub[0][k];
+      for (int r = 1; r < 4; ++r) {
+        const std::size_t exp = static_cast<std::size_t>(r) * k;
+        // Twiddles that are powers of i (exp*4 = 0 mod n) are free rotations.
+        if ((exp * 4) % n == 0) {
+          t[r] = rotate_i(sub[r][k], static_cast<int>(exp * 4 / n));
+          if (stats) ++stats->trivial_mults;
+        } else {
+          t[r] = sub[r][k] * std::polar(1.0, root_angle * static_cast<double>(exp) *
+                                                 (static_cast<double>(total_m) / static_cast<double>(n)));
+          if (stats) ++stats->complex_mults;
+        }
+      }
+      for (int q = 0; q < 4; ++q) {
+        cplx acc{0.0, 0.0};
+        for (int r = 0; r < 4; ++r) acc += rotate_i(t[r], q * r);
+        a[static_cast<std::size_t>(q) * quarter + k] = acc;
+        if (stats) stats->complex_adds += 3;
+      }
+    }
+    return;
+  }
+  // n = 2 mod 4: one radix-2 split, radix-4 below.
+  const std::size_t half = n / 2;
+  std::vector<cplx> even(half), odd(half);
+  for (std::size_t j = 0; j < half; ++j) {
+    even[j] = a[2 * j];
+    odd[j] = a[2 * j + 1];
+  }
+  fft_recursive(even, root_angle, total_m, stats);
+  fft_recursive(odd, root_angle, total_m, stats);
+  for (std::size_t k = 0; k < half; ++k) {
+    const std::size_t exp = k * (total_m / n);
+    cplx t;
+    if ((exp * 4) % total_m == 0) {
+      t = rotate_i(odd[k], static_cast<int>(exp * 4 / total_m));
+      if (stats) ++stats->trivial_mults;
+    } else {
+      t = odd[k] * std::polar(1.0, root_angle * static_cast<double>(k) *
+                                       (static_cast<double>(total_m) / static_cast<double>(n)));
+      if (stats) ++stats->complex_mults;
+    }
+    a[k] = even[k] + t;
+    a[k + half] = even[k] - t;
+    if (stats) stats->complex_adds += 2;
+  }
+}
+
+}  // namespace
+
+void radix4_forward(std::vector<cplx>& a, Radix4Stats* stats) {
+  const std::size_t m = a.size();
+  if (m == 0 || (m & (m - 1)) != 0) throw std::invalid_argument("radix4_forward: size must be a power of two");
+  const double root_angle = 2.0 * std::numbers::pi / static_cast<double>(m);
+  fft_recursive(a, root_angle, m, stats);
+}
+
+Radix4Stats radix4_dense_cost(std::size_t m) {
+  std::vector<cplx> zeros(m, cplx{0.0, 0.0});
+  Radix4Stats stats;
+  radix4_forward(zeros, &stats);
+  return stats;
+}
+
+Radix4Stats radix2_dense_cost(std::size_t m) {
+  Radix4Stats stats;
+  const int log_m = hemath::log2_exact(m);
+  for (int s = 1; s <= log_m; ++s) {
+    const std::size_t half = std::size_t{1} << (s - 1);
+    const std::size_t stride = m >> s;
+    const std::size_t blocks = m / (half << 1);
+    for (std::size_t j = 0; j < half; ++j) {
+      const std::size_t exp = j * stride;
+      if ((exp * 4) % m == 0) {
+        stats.trivial_mults += blocks;
+      } else {
+        stats.complex_mults += blocks;
+      }
+      stats.complex_adds += 2 * blocks;
+    }
+  }
+  return stats;
+}
+
+}  // namespace flash::fft

@@ -1,0 +1,33 @@
+// Radix-4 FFT: the hardware-relevant dataflow alternative.
+//
+// A radix-4 butterfly produces 4 outputs with 3 non-trivial twiddle
+// multiplications (vs 4 halves of radix-2 needing 4), cutting complex
+// multiplications ~25% at the cost of a wider BU. FLASH's ablations use
+// radix-2 BUs (4 per PE); this module provides the radix-4 variant for the
+// dataflow-design ablation bench and verifies both produce identical
+// spectra.
+#pragma once
+
+#include <cstdint>
+
+#include "fft/complex_fft.hpp"
+
+namespace flash::fft {
+
+struct Radix4Stats {
+  std::uint64_t complex_mults = 0;   // non-trivial twiddle multiplications
+  std::uint64_t trivial_mults = 0;   // W = 1 or +/-i (free rotations)
+  std::uint64_t complex_adds = 0;
+};
+
+/// In-place M-point transform with the e^{+2*pi*i/M} kernel (matching
+/// FftPlan(m, +1)): radix-4 stages, with one leading radix-2 stage when
+/// log2(M) is odd. Standard order in, standard order out.
+void radix4_forward(std::vector<cplx>& a, Radix4Stats* stats = nullptr);
+
+/// Multiplication counts of a dense M-point transform under each dataflow
+/// (for the ablation bench).
+Radix4Stats radix4_dense_cost(std::size_t m);
+Radix4Stats radix2_dense_cost(std::size_t m);
+
+}  // namespace flash::fft

@@ -1,0 +1,55 @@
+#include "fft/twiddle.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace flash::fft {
+
+CsdValue csd_quantize(double x, int k, int min_exponent) {
+  CsdValue out;
+  double residual = x;
+  for (int i = 0; i < k; ++i) {
+    if (residual == 0.0) break;
+    const double mag = std::abs(residual);
+    // Closest power of two to |residual|: round log2 to nearest integer.
+    int e = static_cast<int>(std::lround(std::log2(mag)));
+    // Rounding log2 picks between 2^e and 2^(e-1)/2^(e+1); nudge to the true
+    // nearest power by direct comparison.
+    if (std::abs(mag - std::ldexp(1.0, e + 1)) < std::abs(mag - std::ldexp(1.0, e))) ++e;
+    if (std::abs(mag - std::ldexp(1.0, e - 1)) < std::abs(mag - std::ldexp(1.0, e))) --e;
+    if (e < min_exponent) break;
+    const int sign = residual > 0 ? 1 : -1;
+    out.digits.push_back({e, sign});
+    residual -= sign * std::ldexp(1.0, e);
+  }
+  out.value = x - residual;
+  out.error = -residual;
+  return out;
+}
+
+QuantizedTwiddle quantize_twiddle(std::complex<double> w, int k, int min_exponent) {
+  QuantizedTwiddle q;
+  q.re = csd_quantize(w.real(), k, min_exponent);
+  q.im = csd_quantize(w.imag(), k, min_exponent);
+  return q;
+}
+
+std::vector<QuantizedTwiddle> quantize_fft_twiddles(std::size_t m, int sign, int k, int min_exponent) {
+  std::vector<QuantizedTwiddle> table(m / 2);
+  const double base = 2.0 * std::numbers::pi * sign / static_cast<double>(m);
+  for (std::size_t j = 0; j < m / 2; ++j) {
+    table[j] = quantize_twiddle(std::polar(1.0, base * static_cast<double>(j)), k, min_exponent);
+  }
+  return table;
+}
+
+double twiddle_rms_error(const std::vector<QuantizedTwiddle>& table) {
+  if (table.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& t : table) {
+    acc += t.re.error * t.re.error + t.im.error * t.im.error;
+  }
+  return std::sqrt(acc / (2.0 * static_cast<double>(table.size())));
+}
+
+}  // namespace flash::fft

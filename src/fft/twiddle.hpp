@@ -1,0 +1,52 @@
+// Quantized twiddle factors (paper Section IV-C1).
+//
+// FLASH quantizes each twiddle-factor component to a canonical-signed-digit
+// (CSD) form with at most k nonzero digits, so multiplication by a twiddle
+// becomes k shift-add terms steered by small MUXes (Fig. 9). k is the knob
+// the DSE explores: k ~ 18 keeps accuracy loss < 1% without retraining and
+// k ~ 5 suffices after approximation-aware training.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace flash::fft {
+
+/// One signed power-of-two term: sign * 2^exponent.
+struct CsdDigit {
+  int exponent = 0;  // typically negative (twiddles lie in [-1, 1])
+  int sign = 1;      // +1 or -1
+};
+
+/// CSD approximation of a real scalar.
+struct CsdValue {
+  std::vector<CsdDigit> digits;  // at most k terms
+  double value = 0.0;            // the reconstructed approximation
+  double error = 0.0;            // value - original
+};
+
+/// Greedy CSD quantization: repeatedly subtract the closest signed power of
+/// two until k digits are used or the residual underflows 2^min_exponent.
+/// Digits with exponent < min_exponent are dropped (hardware fraction limit).
+CsdValue csd_quantize(double x, int k, int min_exponent);
+
+/// A complex twiddle factor with both components CSD-quantized.
+struct QuantizedTwiddle {
+  CsdValue re;
+  CsdValue im;
+  std::complex<double> value() const { return {re.value, im.value}; }
+  /// Total nonzero digits across both components (the shift-add cost driver).
+  int digit_count() const { return static_cast<int>(re.digits.size() + im.digits.size()); }
+};
+
+QuantizedTwiddle quantize_twiddle(std::complex<double> w, int k, int min_exponent);
+
+/// Quantize every distinct twiddle of an M-point FFT (the power table
+/// W_M^j, j = 0..M/2-1, with kernel sign `sign`).
+std::vector<QuantizedTwiddle> quantize_fft_twiddles(std::size_t m, int sign, int k, int min_exponent);
+
+/// RMS quantization error over a twiddle table (feeds the DSE error model).
+double twiddle_rms_error(const std::vector<QuantizedTwiddle>& table);
+
+}  // namespace flash::fft

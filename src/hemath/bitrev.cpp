@@ -1,0 +1,23 @@
+#include "hemath/bitrev.hpp"
+
+#include <stdexcept>
+
+namespace flash::hemath {
+
+int log2_exact(std::size_t n) {
+  if (n == 0 || (n & (n - 1)) != 0) throw std::invalid_argument("log2_exact: not a power of two");
+  int l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+std::vector<std::uint32_t> bit_reverse_table(std::size_t n) {
+  const int bits = log2_exact(n);
+  std::vector<std::uint32_t> table(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    table[i] = bit_reverse(static_cast<std::uint32_t>(i), bits);
+  }
+  return table;
+}
+
+}  // namespace flash::hemath

@@ -1,0 +1,38 @@
+// Bit-reversal permutation utilities shared by NTT and FFT kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flash::hemath {
+
+/// Reverse the low `bits` bits of x.
+inline std::uint32_t bit_reverse(std::uint32_t x, int bits) {
+  std::uint32_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+/// log2 of a power of two.
+int log2_exact(std::size_t n);
+
+/// Precomputed bit-reversal table for length n (power of two).
+std::vector<std::uint32_t> bit_reverse_table(std::size_t n);
+
+/// In-place bit-reversal permutation of a sequence.
+template <typename T>
+void bit_reverse_permute(std::vector<T>& a) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+}  // namespace flash::hemath

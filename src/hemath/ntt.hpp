@@ -1,0 +1,60 @@
+// Negacyclic number-theoretic transform over Z_q[X]/(X^N+1).
+//
+// Implements the standard merged-ψ NTT: the forward transform is a
+// Cooley-Tukey butterfly network with powers of the primitive 2N-th root ψ
+// folded into the twiddle factors, producing the evaluation of the polynomial
+// at the odd powers of ψ. The inverse is a Gentleman-Sande network with ψ^-1
+// and a final scaling by N^-1. Pointwise multiplication in this domain equals
+// negacyclic convolution, which is the PolyMul at the heart of BFV HConv.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hemath/modular.hpp"
+
+namespace flash::hemath {
+
+/// Precomputed tables for a fixed (q, N) pair. Construction cost is O(N);
+/// reuse tables across transforms of the same ring.
+class NttTables {
+ public:
+  /// q must be prime with q ≡ 1 (mod 2N); N a power of two.
+  NttTables(u64 q, std::size_t n);
+
+  u64 modulus() const { return q_; }
+  std::size_t degree() const { return n_; }
+  u64 psi() const { return psi_; }
+
+  /// In-place forward negacyclic NTT. Input in standard order, output in
+  /// bit-reversed order (matching the paper's Fig. 3 DIT dataflow).
+  void forward(std::vector<u64>& a) const;
+
+  /// In-place inverse: accepts bit-reversed order, returns standard order.
+  void inverse(std::vector<u64>& a) const;
+
+  /// Pointwise product c[i] = a[i]*b[i] mod q.
+  void pointwise(const std::vector<u64>& a, const std::vector<u64>& b,
+                 std::vector<u64>& c) const;
+
+ private:
+  u64 q_;
+  std::size_t n_;
+  int log_n_;
+  u64 psi_;       // primitive 2N-th root of unity
+  u64 n_inv_;     // N^-1 mod q
+  std::vector<u64> psi_br_;      // ψ^bitrev(i), forward twiddles
+  std::vector<u64> psi_inv_br_;  // ψ^-bitrev(i), inverse twiddles
+};
+
+/// Negacyclic polynomial multiplication via NTT: c = a*b mod (X^N+1, q).
+/// Convenience wrapper; allocates. a and b must have size N.
+std::vector<u64> negacyclic_multiply(const NttTables& tables,
+                                     const std::vector<u64>& a,
+                                     const std::vector<u64>& b);
+
+/// Schoolbook negacyclic multiplication (O(N^2)); the correctness oracle.
+std::vector<u64> negacyclic_multiply_schoolbook(u64 q, const std::vector<u64>& a,
+                                                const std::vector<u64>& b);
+
+}  // namespace flash::hemath

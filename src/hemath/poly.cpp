@@ -1,0 +1,69 @@
+#include "hemath/poly.hpp"
+
+#include <stdexcept>
+
+namespace flash::hemath {
+
+std::size_t Poly::weight() const {
+  std::size_t w = 0;
+  for (u64 c : coeffs_) {
+    if (c != 0) ++w;
+  }
+  return w;
+}
+
+double Poly::sparsity() const {
+  if (coeffs_.empty()) return 0.0;
+  return 1.0 - static_cast<double>(weight()) / static_cast<double>(coeffs_.size());
+}
+
+Poly& Poly::add_inplace(const Poly& other) {
+  if (q_ != other.q_ || coeffs_.size() != other.coeffs_.size()) {
+    throw std::invalid_argument("Poly::add_inplace: ring mismatch");
+  }
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) coeffs_[i] = add_mod(coeffs_[i], other.coeffs_[i], q_);
+  return *this;
+}
+
+Poly& Poly::sub_inplace(const Poly& other) {
+  if (q_ != other.q_ || coeffs_.size() != other.coeffs_.size()) {
+    throw std::invalid_argument("Poly::sub_inplace: ring mismatch");
+  }
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) coeffs_[i] = sub_mod(coeffs_[i], other.coeffs_[i], q_);
+  return *this;
+}
+
+Poly& Poly::negate_inplace() {
+  for (auto& c : coeffs_) c = neg_mod(c, q_);
+  return *this;
+}
+
+Poly& Poly::scale_inplace(u64 c) {
+  for (auto& x : coeffs_) x = mul_mod(x, c, q_);
+  return *this;
+}
+
+Poly multiply(const NttTables& tables, const Poly& a, const Poly& b) {
+  if (a.modulus() != tables.modulus() || b.modulus() != tables.modulus() ||
+      a.degree() != tables.degree() || b.degree() != tables.degree()) {
+    throw std::invalid_argument("multiply: ring mismatch with tables");
+  }
+  return Poly(a.modulus(), negacyclic_multiply(tables, a.coeffs(), b.coeffs()));
+}
+
+Poly multiply_schoolbook(const Poly& a, const Poly& b) {
+  if (a.modulus() != b.modulus() || a.degree() != b.degree()) {
+    throw std::invalid_argument("multiply_schoolbook: ring mismatch");
+  }
+  return Poly(a.modulus(), negacyclic_multiply_schoolbook(a.modulus(), a.coeffs(), b.coeffs()));
+}
+
+Poly mod_switch(const Poly& a, u64 q_to) {
+  Poly out(q_to, a.degree());
+  for (std::size_t i = 0; i < a.degree(); ++i) {
+    out[i] = from_signed(to_signed(a[i], a.modulus()), q_to);
+  }
+  return out;
+}
+
+}  // namespace flash::hemath

@@ -1,0 +1,59 @@
+// Polynomials over Z_q[X]/(X^N+1), the plaintext/ciphertext element type of
+// the BFV layer. Coefficients are stored in standard (power-of-X) order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hemath/modular.hpp"
+#include "hemath/ntt.hpp"
+
+namespace flash::hemath {
+
+/// A dense element of R_q = Z_q[X]/(X^N+1).
+class Poly {
+ public:
+  Poly() = default;
+  Poly(u64 q, std::size_t n) : q_(q), coeffs_(n, 0) {}
+  Poly(u64 q, std::vector<u64> coeffs) : q_(q), coeffs_(std::move(coeffs)) {}
+
+  u64 modulus() const { return q_; }
+  std::size_t degree() const { return coeffs_.size(); }
+  const std::vector<u64>& coeffs() const { return coeffs_; }
+  std::vector<u64>& coeffs() { return coeffs_; }
+  u64 operator[](std::size_t i) const { return coeffs_[i]; }
+  u64& operator[](std::size_t i) { return coeffs_[i]; }
+
+  bool operator==(const Poly& other) const = default;
+
+  /// Number of nonzero coefficients.
+  std::size_t weight() const;
+  /// 1 - weight/N.
+  double sparsity() const;
+
+  Poly& add_inplace(const Poly& other);
+  Poly& sub_inplace(const Poly& other);
+  Poly& negate_inplace();
+  /// Multiply every coefficient by scalar c mod q.
+  Poly& scale_inplace(u64 c);
+
+  friend Poly operator+(Poly a, const Poly& b) { return a.add_inplace(b); }
+  friend Poly operator-(Poly a, const Poly& b) { return a.sub_inplace(b); }
+
+ private:
+  u64 q_ = 0;
+  std::vector<u64> coeffs_;
+};
+
+/// Negacyclic product via the supplied NTT tables (must match q, N).
+Poly multiply(const NttTables& tables, const Poly& a, const Poly& b);
+
+/// O(N^2) oracle product.
+Poly multiply_schoolbook(const Poly& a, const Poly& b);
+
+/// Lift a polynomial's coefficients from modulus q_from to q_to by centered
+/// (signed) representative — used when moving plaintexts into the ciphertext
+/// ring and when the protocol reshares values.
+Poly mod_switch(const Poly& a, u64 q_to);
+
+}  // namespace flash::hemath

@@ -1,0 +1,70 @@
+#include "hemath/rns.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace flash::hemath {
+
+RnsBasis::RnsBasis(std::vector<u64> moduli) : moduli_(std::move(moduli)) {
+  if (moduli_.empty()) throw std::invalid_argument("RnsBasis: empty basis");
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    for (std::size_t j = i + 1; j < moduli_.size(); ++j) {
+      if (std::gcd(moduli_[i], moduli_[j]) != 1) {
+        throw std::invalid_argument("RnsBasis: moduli not coprime");
+      }
+    }
+  }
+  for (u64 q : moduli_) {
+    u128 next = big_q_ * q;
+    if (next / q != big_q_) throw std::overflow_error("RnsBasis: total modulus exceeds 128 bits");
+    big_q_ = next;
+  }
+  punctured_inv_.resize(moduli_.size());
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    const u64 qi = moduli_[i];
+    u64 punct = 1;
+    for (std::size_t j = 0; j < moduli_.size(); ++j) {
+      if (j != i) punct = mul_mod(punct, moduli_[j] % qi, qi);
+    }
+    punctured_inv_[i] = inv_mod(punct, qi);
+  }
+}
+
+std::vector<u64> RnsBasis::decompose(u128 x) const {
+  std::vector<u64> out(moduli_.size());
+  for (std::size_t i = 0; i < moduli_.size(); ++i) out[i] = static_cast<u64>(x % moduli_[i]);
+  return out;
+}
+
+namespace {
+/// (a * b) mod m for 128-bit a, m and 64-bit b, via shift-and-add so the
+/// intermediate never exceeds 128 bits (requires m < 2^127).
+u128 mul_mod_128(u128 a, u64 b, u128 m) {
+  a %= m;
+  u128 acc = 0;
+  while (b != 0) {
+    if (b & 1) {
+      acc += a;
+      if (acc >= m) acc -= m;
+    }
+    a <<= 1;
+    if (a >= m) a -= m;
+    b >>= 1;
+  }
+  return acc;
+}
+}  // namespace
+
+u128 RnsBasis::compose(const std::vector<u64>& residues) const {
+  if (residues.size() != moduli_.size()) throw std::invalid_argument("RnsBasis::compose: size mismatch");
+  u128 acc = 0;
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    const u64 qi = moduli_[i];
+    const u128 punct = big_q_ / qi;
+    const u64 term = mul_mod(residues[i] % qi, punctured_inv_[i], qi);
+    acc = (acc + mul_mod_128(punct, term, big_q_)) % big_q_;
+  }
+  return acc;
+}
+
+}  // namespace flash::hemath

@@ -1,0 +1,39 @@
+// Residue number system (RNS) tools.
+//
+// Large HE moduli are usually represented as products of word-sized NTT
+// primes; accelerators like F1/ARK operate limb-wise. FLASH's BFV layer uses
+// a single 64-bit prime, but the RNS basis is provided (and tested) because
+// the baseline accelerator cost models are parameterized by limb count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hemath/modular.hpp"
+
+namespace flash::hemath {
+
+/// An RNS basis {q_0, ..., q_{L-1}} of pairwise-coprime word-size moduli.
+class RnsBasis {
+ public:
+  explicit RnsBasis(std::vector<u64> moduli);
+
+  std::size_t size() const { return moduli_.size(); }
+  const std::vector<u64>& moduli() const { return moduli_; }
+
+  /// Total modulus Q = prod q_i as a 128-bit value (throws if it overflows).
+  u128 total_modulus() const { return big_q_; }
+
+  /// Decompose x (< Q) into residues.
+  std::vector<u64> decompose(u128 x) const;
+
+  /// CRT-recompose residues into the unique x in [0, Q).
+  u128 compose(const std::vector<u64>& residues) const;
+
+ private:
+  std::vector<u64> moduli_;
+  u128 big_q_ = 1;
+  std::vector<u64> punctured_inv_;  // (Q/q_i)^-1 mod q_i
+};
+
+}  // namespace flash::hemath

@@ -1,0 +1,79 @@
+#include "hemath/rns_poly.hpp"
+
+#include <stdexcept>
+
+namespace flash::hemath {
+
+RnsContext::RnsContext(std::vector<u64> moduli, std::size_t n) : basis_(std::move(moduli)), n_(n) {
+  ntt_.reserve(basis_.size());
+  for (u64 q : basis_.moduli()) ntt_.emplace_back(q, n);
+}
+
+RnsPoly::RnsPoly(const RnsContext& ctx) : ctx_(&ctx) {
+  limbs_.assign(ctx.limbs(), std::vector<u64>(ctx.degree(), 0));
+}
+
+RnsPoly RnsPoly::from_signed(const RnsContext& ctx, const std::vector<i64>& coeffs) {
+  if (coeffs.size() != ctx.degree()) throw std::invalid_argument("RnsPoly::from_signed: size mismatch");
+  RnsPoly out(ctx);
+  for (std::size_t l = 0; l < ctx.limbs(); ++l) {
+    const u64 q = ctx.basis().moduli()[l];
+    for (std::size_t i = 0; i < ctx.degree(); ++i) out.limbs_[l][i] = hemath::from_signed(coeffs[i], q);
+  }
+  return out;
+}
+
+u128 RnsPoly::coeff(std::size_t i) const {
+  std::vector<u64> residues(ctx_->limbs());
+  for (std::size_t l = 0; l < ctx_->limbs(); ++l) residues[l] = limbs_[l][i];
+  return ctx_->basis().compose(residues);
+}
+
+std::pair<bool, u128> RnsPoly::coeff_centered(std::size_t i) const {
+  const u128 v = coeff(i);
+  const u128 q = ctx_->modulus();
+  if (v > q / 2) return {true, q - v};
+  return {false, v};
+}
+
+RnsPoly& RnsPoly::add_inplace(const RnsPoly& other) {
+  if (ctx_ != other.ctx_) throw std::invalid_argument("RnsPoly::add_inplace: context mismatch");
+  for (std::size_t l = 0; l < limbs_.size(); ++l) {
+    const u64 q = ctx_->basis().moduli()[l];
+    for (std::size_t i = 0; i < limbs_[l].size(); ++i) {
+      limbs_[l][i] = add_mod(limbs_[l][i], other.limbs_[l][i], q);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::sub_inplace(const RnsPoly& other) {
+  if (ctx_ != other.ctx_) throw std::invalid_argument("RnsPoly::sub_inplace: context mismatch");
+  for (std::size_t l = 0; l < limbs_.size(); ++l) {
+    const u64 q = ctx_->basis().moduli()[l];
+    for (std::size_t i = 0; i < limbs_[l].size(); ++i) {
+      limbs_[l][i] = sub_mod(limbs_[l][i], other.limbs_[l][i], q);
+    }
+  }
+  return *this;
+}
+
+RnsPoly& RnsPoly::negate_inplace() {
+  for (std::size_t l = 0; l < limbs_.size(); ++l) {
+    const u64 q = ctx_->basis().moduli()[l];
+    for (auto& v : limbs_[l]) v = neg_mod(v, q);
+  }
+  return *this;
+}
+
+RnsPoly multiply(const RnsPoly& a, const RnsPoly& b) {
+  if (&a.context() != &b.context()) throw std::invalid_argument("RnsPoly multiply: context mismatch");
+  const RnsContext& ctx = a.context();
+  RnsPoly out(ctx);
+  for (std::size_t l = 0; l < ctx.limbs(); ++l) {
+    out.mutable_limb(l) = negacyclic_multiply(ctx.ntt(l), a.limb(l), b.limb(l));
+  }
+  return out;
+}
+
+}  // namespace flash::hemath

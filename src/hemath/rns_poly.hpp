@@ -1,0 +1,66 @@
+// Polynomial arithmetic over an RNS (multi-limb) ciphertext modulus.
+//
+// Production HE deployments (Cheetah's q ~ 2^109, F1/ARK's RNS limbs) hold
+// ring elements as per-prime residue vectors and run one NTT per limb. The
+// single-word BFV above suffices for FLASH's experiments; this module
+// provides the wide-modulus substrate so the cost models' limb counts
+// correspond to real arithmetic, and demonstrates >64-bit moduli end to end.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hemath/ntt.hpp"
+#include "hemath/rns.hpp"
+
+namespace flash::hemath {
+
+/// Shared precomputation for a fixed (basis, N) pair.
+class RnsContext {
+ public:
+  RnsContext(std::vector<u64> moduli, std::size_t n);
+
+  const RnsBasis& basis() const { return basis_; }
+  std::size_t degree() const { return n_; }
+  std::size_t limbs() const { return basis_.size(); }
+  const NttTables& ntt(std::size_t limb) const { return ntt_[limb]; }
+  u128 modulus() const { return basis_.total_modulus(); }
+
+ private:
+  RnsBasis basis_;
+  std::size_t n_;
+  std::vector<NttTables> ntt_;
+};
+
+/// An element of Z_Q[X]/(X^N+1) with Q = prod(q_i), stored limb-wise.
+class RnsPoly {
+ public:
+  explicit RnsPoly(const RnsContext& ctx);
+
+  /// Lift signed coefficients into every limb.
+  static RnsPoly from_signed(const RnsContext& ctx, const std::vector<i64>& coeffs);
+
+  const RnsContext& context() const { return *ctx_; }
+  const std::vector<u64>& limb(std::size_t i) const { return limbs_[i]; }
+  std::vector<u64>& mutable_limb(std::size_t i) { return limbs_[i]; }
+
+  /// CRT-composed coefficient value in [0, Q).
+  u128 coeff(std::size_t i) const;
+  /// Centered representative in (-Q/2, Q/2], returned as (negative?, |value|).
+  std::pair<bool, u128> coeff_centered(std::size_t i) const;
+
+  RnsPoly& add_inplace(const RnsPoly& other);
+  RnsPoly& sub_inplace(const RnsPoly& other);
+  RnsPoly& negate_inplace();
+
+  bool operator==(const RnsPoly& other) const { return limbs_ == other.limbs_; }
+
+ private:
+  const RnsContext* ctx_;
+  std::vector<std::vector<u64>> limbs_;
+};
+
+/// Negacyclic product via one NTT per limb.
+RnsPoly multiply(const RnsPoly& a, const RnsPoly& b);
+
+}  // namespace flash::hemath

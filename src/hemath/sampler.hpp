@@ -1,0 +1,64 @@
+// Randomness for the HE layer: uniform ring elements, ternary secrets, and
+// centered-binomial "discrete Gaussian-like" error, all from a seedable PRNG
+// so every test and benchmark is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "hemath/poly.hpp"
+
+namespace flash::hemath {
+
+class Sampler {
+ public:
+  explicit Sampler(std::uint64_t seed) : rng_(seed) {}
+
+  /// Uniform element of Z_q.
+  u64 uniform_mod(u64 q);
+
+  /// Uniform polynomial in R_q.
+  Poly uniform_poly(u64 q, std::size_t n);
+
+  /// Ternary polynomial with coefficients in {-1, 0, 1} mod q (BFV secret key).
+  Poly ternary_poly(u64 q, std::size_t n);
+
+  /// Centered binomial error with parameter eta (variance eta/2); the standard
+  /// RLWE error substitute for a discrete Gaussian with sigma ~ sqrt(eta/2).
+  Poly cbd_poly(u64 q, std::size_t n, int eta);
+
+  /// Rounded continuous Gaussian with standard deviation sigma.
+  Poly gaussian_poly(u64 q, std::size_t n, double sigma);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Cumulative-distribution-table (CDT) discrete Gaussian sampler — the
+/// table-based sampler production RLWE implementations use (constant-time
+/// friendly, no floating point at sampling time). Probabilities are
+/// tabulated once at construction up to a tail cut; each sample is one
+/// uniform draw plus a table scan.
+class CdtGaussianSampler {
+ public:
+  explicit CdtGaussianSampler(double sigma, double tail_cut = 9.0);
+
+  double sigma() const { return sigma_; }
+  i64 max_magnitude() const { return static_cast<i64>(cdt_.size()) - 1; }
+
+  /// One sample from the centered discrete Gaussian.
+  i64 sample(std::mt19937_64& rng) const;
+
+  /// A polynomial of samples lifted mod q.
+  Poly sample_poly(u64 q, std::size_t n, std::mt19937_64& rng) const;
+
+ private:
+  double sigma_;
+  // cdt_[k] = P(|X| <= k) scaled to 2^63 (half-distribution table; the sign
+  // is a separate uniform bit, with k = 0 weighted half).
+  std::vector<u64> cdt_;
+};
+
+}  // namespace flash::hemath

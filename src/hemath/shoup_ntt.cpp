@@ -1,0 +1,99 @@
+#include "hemath/shoup_ntt.hpp"
+
+#include <stdexcept>
+
+#include "hemath/bitrev.hpp"
+#include "hemath/primes.hpp"
+
+namespace flash::hemath {
+
+namespace {
+u64 shoup_precompute(u64 w, u64 q) {
+  return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+}
+}  // namespace
+
+ShoupNttTables::ShoupNttTables(u64 q, std::size_t n) : q_(q), two_q_(2 * q), n_(n) {
+  if (n < 2 || (n & (n - 1)) != 0) throw std::invalid_argument("ShoupNttTables: n must be a power of two");
+  if ((q - 1) % (2 * n) != 0) throw std::invalid_argument("ShoupNttTables: q != 1 mod 2N");
+  if (q >= (u64{1} << 61)) throw std::invalid_argument("ShoupNttTables: q must be < 2^61");
+  log_n_ = log2_exact(n);
+  const u64 psi = root_of_unity(q, 2 * static_cast<u64>(n));
+  const u64 psi_inv = inv_mod(psi, q);
+  n_inv_ = inv_mod(static_cast<u64>(n), q);
+  n_inv_shoup_ = shoup_precompute(n_inv_, q);
+
+  std::vector<u64> pow(n), pow_inv(n);
+  u64 p = 1, pi = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    pow[i] = p;
+    pow_inv[i] = pi;
+    p = mul_mod(p, psi, q);
+    pi = mul_mod(pi, psi_inv, q);
+  }
+  psi_br_.resize(n);
+  psi_br_shoup_.resize(n);
+  psi_inv_br_.resize(n);
+  psi_inv_br_shoup_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = bit_reverse(static_cast<std::uint32_t>(i), log_n_);
+    psi_br_[i] = pow[r];
+    psi_br_shoup_[i] = shoup_precompute(pow[r], q);
+    psi_inv_br_[i] = pow_inv[r];
+    psi_inv_br_shoup_[i] = shoup_precompute(pow_inv[r], q);
+  }
+}
+
+void ShoupNttTables::forward(std::vector<u64>& a) const {
+  if (a.size() != n_) throw std::invalid_argument("ShoupNttTables::forward: size mismatch");
+  // Invariant: coefficients stay < 2q (Harvey lazy reduction).
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const u64 w = psi_br_[m + i];
+      const u64 ws = psi_br_shoup_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        u64 u = a[j];
+        if (u >= two_q_) u -= two_q_;
+        const u64 v = mul_lazy(a[j + t], w, ws, q_);  // < 2q
+        a[j] = u + v;             // < 4q, corrected lazily next visit
+        a[j + t] = u + two_q_ - v;  // < 4q
+      }
+    }
+  }
+  for (auto& x : a) {
+    if (x >= two_q_) x -= two_q_;
+    if (x >= q_) x -= q_;
+  }
+}
+
+void ShoupNttTables::inverse(std::vector<u64>& a) const {
+  if (a.size() != n_) throw std::invalid_argument("ShoupNttTables::inverse: size mismatch");
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    std::size_t j1 = 0;
+    const std::size_t h = m >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+      const u64 w = psi_inv_br_[h + i];
+      const u64 ws = psi_inv_br_shoup_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        u64 u = a[j];
+        u64 v = a[j + t];
+        if (u >= two_q_) u -= two_q_;
+        if (v >= two_q_) v -= two_q_;
+        a[j] = u + v;  // < 4q
+        a[j + t] = mul_lazy(u + two_q_ - v, w, ws, q_);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (auto& x : a) {
+    x = mul_lazy(x >= two_q_ ? x - two_q_ : x, n_inv_, n_inv_shoup_, q_);
+    if (x >= q_) x -= q_;
+  }
+}
+
+}  // namespace flash::hemath

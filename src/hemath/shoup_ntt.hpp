@@ -1,0 +1,49 @@
+// Harvey-style lazy-reduction NTT with Shoup multiplication.
+//
+// The reference NttTables reduces fully after every butterfly via 128-bit
+// remainders. Hardware and optimized software (SEAL, HEXL) instead use
+// Shoup's trick: each twiddle w is stored with a precomputed
+// w' = floor(w * 2^64 / q), turning the modular product into two plain
+// 64-bit multiplies and one subtraction with a result in [0, 2q), and keep
+// coefficients lazily reduced below 2q across stages (Harvey 2014). This is
+// the software analogue of the pipelined modular multipliers in the CHAM/F1
+// baselines, and the microbench quantifies the gap against the reference.
+#pragma once
+
+#include <vector>
+
+#include "hemath/modular.hpp"
+
+namespace flash::hemath {
+
+class ShoupNttTables {
+ public:
+  /// q must be an NTT prime for degree n with q < 2^61.
+  ShoupNttTables(u64 q, std::size_t n);
+
+  u64 modulus() const { return q_; }
+  std::size_t degree() const { return n_; }
+
+  /// In-place forward/inverse negacyclic NTT, same semantics as NttTables
+  /// (fully reduced outputs; lazy arithmetic is internal).
+  void forward(std::vector<u64>& a) const;
+  void inverse(std::vector<u64>& a) const;
+
+ private:
+  /// x * w mod q with precomputed w_shoup, result in [0, 2q).
+  static u64 mul_lazy(u64 x, u64 w, u64 w_shoup, u64 q) {
+    const u64 hi = static_cast<u64>((static_cast<u128>(x) * w_shoup) >> 64);
+    return x * w - hi * q;  // wraps mod 2^64; lands in [0, 2q)
+  }
+
+  u64 q_;
+  u64 two_q_;
+  std::size_t n_;
+  int log_n_;
+  u64 n_inv_;
+  u64 n_inv_shoup_;
+  std::vector<u64> psi_br_, psi_br_shoup_;
+  std::vector<u64> psi_inv_br_, psi_inv_br_shoup_;
+};
+
+}  // namespace flash::hemath

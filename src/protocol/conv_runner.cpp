@@ -1,0 +1,171 @@
+#include "protocol/conv_runner.hpp"
+
+#include <stdexcept>
+
+#include "encoding/encoder.hpp"
+
+namespace flash::protocol {
+
+namespace {
+
+tensor::Tensor3 pad_input(const tensor::Tensor3& x, std::size_t pad) {
+  if (pad == 0) return x;
+  tensor::Tensor3 out(x.channels(), x.height() + 2 * pad, x.width() + 2 * pad);
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    for (std::size_t y = 0; y < x.height(); ++y) {
+      for (std::size_t xx = 0; xx < x.width(); ++xx) out.at(c, y + pad, xx + pad) = x.at(c, y, xx);
+    }
+  }
+  return out;
+}
+
+/// Phase-subsample: x_ab[c, u, v] = x[c, s*u + a, s*v + b].
+tensor::Tensor3 subsample(const tensor::Tensor3& x, std::size_t s, std::size_t a, std::size_t b) {
+  const std::size_t h = (x.height() > a) ? (x.height() - a + s - 1) / s : 0;
+  const std::size_t w = (x.width() > b) ? (x.width() - b + s - 1) / s : 0;
+  tensor::Tensor3 out(x.channels(), h, w);
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    for (std::size_t u = 0; u < h; ++u) {
+      for (std::size_t v = 0; v < w; ++v) out.at(c, u, v) = x.at(c, s * u + a, s * v + b);
+    }
+  }
+  return out;
+}
+
+/// Kernel phase: w_ab[m, c, i, j] = w[m, c, s*i + a, s*j + b].
+tensor::Tensor4 kernel_phase(const tensor::Tensor4& w, std::size_t s, std::size_t a, std::size_t b) {
+  const std::size_t kh = (w.kernel_h() > a) ? (w.kernel_h() - a + s - 1) / s : 0;
+  const std::size_t kw = (w.kernel_w() > b) ? (w.kernel_w() - b + s - 1) / s : 0;
+  tensor::Tensor4 out(w.out_channels(), w.in_channels(), kh, kw);
+  for (std::size_t m = 0; m < w.out_channels(); ++m) {
+    for (std::size_t c = 0; c < w.in_channels(); ++c) {
+      for (std::size_t i = 0; i < kh; ++i) {
+        for (std::size_t j = 0; j < kw; ++j) out.at(m, c, i, j) = w.at(m, c, s * i + a, s * j + b);
+      }
+    }
+  }
+  return out;
+}
+
+void add_shares_inplace(tensor::Tensor3& acc, const tensor::Tensor3& other, u64 t) {
+  for (std::size_t i = 0; i < acc.data().size(); ++i) {
+    acc.data()[i] = static_cast<tensor::i64>(
+        hemath::add_mod(static_cast<u64>(acc.data()[i]), static_cast<u64>(other.data()[i]), t));
+  }
+}
+
+}  // namespace
+
+tensor::Tensor3 ConvRunnerResult::reconstruct(u64 t) const {
+  tensor::Tensor3 out(client_share.channels(), client_share.height(), client_share.width());
+  for (std::size_t i = 0; i < out.data().size(); ++i) {
+    out.data()[i] = hemath::to_signed(
+        hemath::add_mod(static_cast<u64>(client_share.data()[i]),
+                        static_cast<u64>(server_share.data()[i]), t),
+        t);
+  }
+  return out;
+}
+
+ConvRunnerResult ConvRunner::run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights) {
+  const auto& p = protocol_.context().params();
+  const std::size_t kh = weights.kernel_h();
+  const std::size_t kw = weights.kernel_w();
+  const std::size_t out_h = x.height() - kh + 1;
+  const std::size_t out_w = x.width() - kw + 1;
+
+  ConvRunnerResult result;
+  result.client_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
+  result.server_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
+
+  // Choose the largest output tile whose input patch fits one polynomial.
+  std::size_t tile = std::max(out_h, out_w);
+  auto fits = [&](std::size_t side) {
+    const std::size_t patch_h = std::min(side + kh - 1, x.height());
+    const std::size_t patch_w = std::min(side + kw - 1, x.width());
+    const encoding::ConvGeometry g{p.n, 1, patch_h, patch_w, kh, kw};
+    return g.channels_per_poly() >= 1;
+  };
+  while (tile > 1 && !fits(tile)) --tile;
+  if (!fits(tile)) throw std::invalid_argument("ConvRunner: kernel too large for polynomial degree");
+
+  for (std::size_t ty = 0; ty < out_h; ty += tile) {
+    for (std::size_t tx = 0; tx < out_w; tx += tile) {
+      const std::size_t th = std::min(tile, out_h - ty);
+      const std::size_t tw = std::min(tile, out_w - tx);
+      tensor::Tensor3 patch(x.channels(), th + kh - 1, tw + kw - 1);
+      for (std::size_t c = 0; c < x.channels(); ++c) {
+        for (std::size_t y = 0; y < th + kh - 1; ++y) {
+          for (std::size_t xx = 0; xx < tw + kw - 1; ++xx) {
+            patch.at(c, y, xx) = x.at(c, ty + y, tx + xx);
+          }
+        }
+      }
+      const HConvResult r = protocol_.run(patch, weights);
+      ++result.hconv_calls;
+      result.bytes_client_to_server += r.profile.bytes_client_to_server;
+      result.bytes_server_to_client += r.profile.bytes_server_to_client;
+      for (std::size_t m = 0; m < weights.out_channels(); ++m) {
+        std::size_t idx = 0;
+        for (std::size_t y = 0; y < th; ++y) {
+          for (std::size_t xx = 0; xx < tw; ++xx, ++idx) {
+            result.client_share.at(m, ty + y, tx + xx) = static_cast<tensor::i64>(r.client_share[m][idx]);
+            result.server_share.at(m, ty + y, tx + xx) = static_cast<tensor::i64>(r.server_share[m][idx]);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const tensor::Tensor4& weights,
+                                 std::size_t stride, std::size_t pad) {
+  if (stride == 0) throw std::invalid_argument("ConvRunner: stride must be >= 1");
+  const tensor::Tensor3 padded = pad_input(x, pad);
+  if (stride == 1) return run_stride1(padded, weights);
+
+  const auto& p = protocol_.context().params();
+  const std::size_t k = weights.kernel_h();
+  const std::size_t out_h = (padded.height() - k) / stride + 1;
+  const std::size_t out_w = (padded.width() - k) / stride + 1;
+
+  ConvRunnerResult total;
+  total.client_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
+  total.server_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
+  bool first = true;
+  for (std::size_t a = 0; a < std::min(stride, k); ++a) {
+    for (std::size_t b = 0; b < std::min(stride, k); ++b) {
+      const tensor::Tensor4 wp = kernel_phase(weights, stride, a, b);
+      if (wp.kernel_h() == 0 || wp.kernel_w() == 0) continue;
+      const tensor::Tensor3 xp = subsample(padded, stride, a, b);
+      ConvRunnerResult phase = run_stride1(xp, wp);
+      total.hconv_calls += phase.hconv_calls;
+      total.bytes_client_to_server += phase.bytes_client_to_server;
+      total.bytes_server_to_client += phase.bytes_server_to_client;
+      // Crop the phase result to the strided output extent and accumulate
+      // the shares locally (mod t).
+      tensor::Tensor3 crop_c(weights.out_channels(), out_h, out_w);
+      tensor::Tensor3 crop_s(weights.out_channels(), out_h, out_w);
+      for (std::size_t m = 0; m < weights.out_channels(); ++m) {
+        for (std::size_t y = 0; y < out_h; ++y) {
+          for (std::size_t xx = 0; xx < out_w; ++xx) {
+            crop_c.at(m, y, xx) = phase.client_share.at(m, y, xx);
+            crop_s.at(m, y, xx) = phase.server_share.at(m, y, xx);
+          }
+        }
+      }
+      if (first) {
+        total.client_share = crop_c;
+        total.server_share = crop_s;
+        first = false;
+      } else {
+        add_shares_inplace(total.client_share, crop_c, p.t);
+        add_shares_inplace(total.server_share, crop_s, p.t);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace flash::protocol

@@ -1,0 +1,48 @@
+// General convolution over the one-round protocol: padding, stride
+// decomposition and spatial tiling on top of the stride-1 HConv core.
+//
+// * 'same'/custom padding is applied to the cleartext input before sharing
+//   (both parties know the geometry; zeros carry no information).
+// * A stride-s convolution decomposes into up to s^2 stride-1 sub-
+//   convolutions over phase-subsampled inputs (the decomposition the tiling
+//   planner models); each phase's result *shares* are summed locally, so the
+//   decomposition costs no extra communication rounds.
+// * Inputs whose patch exceeds the polynomial capacity are split into
+//   overlapping spatial tiles (halo = kernel - 1).
+//
+// This is what lets the HE/2PC path run every ResNet layer shape, not just
+// the ones that fit a single polynomial.
+#pragma once
+
+#include "protocol/hconv_protocol.hpp"
+
+namespace flash::protocol {
+
+struct ConvRunnerResult {
+  tensor::Tensor3 client_share;  // mod-t share values stored as i64
+  tensor::Tensor3 server_share;
+  std::uint64_t bytes_client_to_server = 0;
+  std::uint64_t bytes_server_to_client = 0;
+  std::size_t hconv_calls = 0;
+
+  /// Reconstruct the cleartext sum-product tensor.
+  tensor::Tensor3 reconstruct(u64 t) const;
+};
+
+class ConvRunner {
+ public:
+  explicit ConvRunner(HConvProtocol& protocol) : protocol_(protocol) {}
+
+  /// General conv2d over the protocol: any stride >= 1, any padding, spatial
+  /// tiling as needed.
+  ConvRunnerResult run(const tensor::Tensor3& x, const tensor::Tensor4& weights,
+                       std::size_t stride, std::size_t pad);
+
+ private:
+  /// Stride-1 valid conv with spatial tiling.
+  ConvRunnerResult run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights);
+
+  HConvProtocol& protocol_;
+};
+
+}  // namespace flash::protocol

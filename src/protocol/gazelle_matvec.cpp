@@ -1,0 +1,100 @@
+#include "protocol/gazelle_matvec.hpp"
+
+#include <stdexcept>
+
+#include "protocol/hconv_protocol.hpp"
+
+namespace flash::protocol {
+
+GazelleMatVec::GazelleMatVec(const bfv::BfvContext& ctx, std::size_t in_features,
+                             std::size_t out_features, std::uint64_t seed)
+    : ctx_(ctx), in_features_(in_features), out_features_(out_features), sampler_(seed),
+      keygen_(ctx_, sampler_), sk_(keygen_.secret_key()), pk_(keygen_.public_key(sk_)),
+      encryptor_(ctx_, sampler_), decryptor_(ctx_, sk_),
+      evaluator_(ctx_, bfv::PolyMulBackend::kNtt), encoder_(ctx_), galois_keys_([&] {
+        // One Galois key per rotation step used by the diagonal method.
+        // 8-bit digits keep the key-switch noise small enough that the
+        // subsequent multiplication by a *dense* batched plaintext (whose
+        // polynomial norm is ~sqrt(N) t/2, far worse than Cheetah's sparse
+        // encodings) still decrypts.
+        bfv::KeySwitcher switcher(ctx_, sampler_, /*digit_bits=*/8);
+        std::vector<hemath::u64> elements;
+        for (std::size_t d = 1; d < in_features; ++d) {
+          elements.push_back(bfv::galois_element_for_step(static_cast<int>(d), ctx_.params().n));
+        }
+        return switcher.make_galois_keys(sk_, elements);
+      }()) {
+  if (out_features_ > in_features_) {
+    throw std::invalid_argument("GazelleMatVec: requires out_features <= in_features (pad W)");
+  }
+  if (2 * in_features_ > encoder_.row_size()) {
+    throw std::invalid_argument("GazelleMatVec: requires 2*in_features <= N/2");
+  }
+}
+
+GazelleMatVec::Result GazelleMatVec::run(const std::vector<i64>& x,
+                                         const std::vector<i64>& w_row_major) {
+  const auto& p = ctx_.params();
+  if (x.size() != in_features_ || w_row_major.size() != in_features_ * out_features_) {
+    throw std::invalid_argument("GazelleMatVec::run: size mismatch");
+  }
+  Result result;
+
+  // Client: batch-encode x twice (the rotation wrap trick) and encrypt.
+  std::vector<i64> slots(2 * in_features_);
+  for (std::size_t i = 0; i < in_features_; ++i) {
+    slots[i] = x[i];
+    slots[i + in_features_] = x[i];
+  }
+  bfv::Ciphertext ct = encryptor_.encrypt(encoder_.encode(slots), pk_);
+  result.bytes_client_to_server += ciphertext_bytes(p);
+
+  // Server: accumulate diag_d (.) rotate(ct, d) over all diagonals.
+  bfv::Ciphertext acc = ctx_.make_ciphertext();
+  bool acc_used = false;
+  for (std::size_t d = 0; d < in_features_; ++d) {
+    // diag_d[j] = W[j][(j + d) mod in_f] for j < out_f; skip zero diagonals.
+    std::vector<i64> diag(2 * in_features_, 0);
+    bool nonzero = false;
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      const i64 v = w_row_major[j * in_features_ + (j + d) % in_features_];
+      diag[j] = v;
+      nonzero = nonzero || v != 0;
+    }
+    if (!nonzero) continue;
+
+    bfv::Ciphertext rotated = ct;
+    if (d != 0) {
+      rotated = evaluator_.rotate_rows(ct, static_cast<int>(d), galois_keys_);
+      ++result.rotations;
+    }
+    const bfv::Ciphertext term = evaluator_.multiply_plain(rotated, encoder_.encode(diag));
+    ++result.plain_mults;
+    if (acc_used) {
+      evaluator_.add_inplace(acc, term);
+    } else {
+      acc = term;
+      acc_used = true;
+    }
+  }
+
+  // Server: mask; client: decrypt; reconstruct.
+  std::vector<i64> mask_slots(encoder_.slots());
+  for (auto& v : mask_slots) {
+    v = hemath::to_signed(sampler_.uniform_mod(p.t), p.t);
+  }
+  const bfv::Plaintext mask = encoder_.encode(mask_slots);
+  evaluator_.sub_plain_inplace(acc, mask);
+  result.bytes_server_to_client += ciphertext_bytes(p);
+
+  const std::vector<i64> decoded = encoder_.decode(decryptor_.decrypt(acc));
+  result.y.resize(out_features_);
+  for (std::size_t j = 0; j < out_features_; ++j) {
+    const hemath::u64 client = hemath::from_signed(decoded[j], p.t);
+    const hemath::u64 server = hemath::from_signed(mask_slots[j], p.t);
+    result.y[j] = hemath::to_signed(hemath::add_mod(client, server, p.t), p.t);
+  }
+  return result;
+}
+
+}  // namespace flash::protocol

@@ -1,0 +1,56 @@
+// GAZELLE-style rotation-based matrix-vector product — the baseline
+// approach Cheetah's coefficient encoding (and hence FLASH) avoids.
+//
+// With SIMD batching, y = W x is computed by the diagonal method:
+//     y = sum_d  diag_d(W) (.) rotate(x, d)
+// which costs one homomorphic *rotation* (Galois automorphism + key switch)
+// per nonzero diagonal. Rotations are the expensive primitive (each is ~a
+// key-switch worth of NTTs); the paper's Table I positions Cheetah/FLASH
+// against exactly this cost. We implement it fully — batching, Galois keys,
+// masking — so the comparison bench counts real operations.
+#pragma once
+
+#include "bfv/batch_encoder.hpp"
+#include "bfv/encrypt.hpp"
+#include "bfv/evaluator.hpp"
+#include "protocol/secret_sharing.hpp"
+
+namespace flash::protocol {
+
+class GazelleMatVec {
+ public:
+  /// Requires batching-capable parameters (prime t = 1 mod 2N) and
+  /// 2 * in_features <= N/2 (the doubled-input rotation trick).
+  GazelleMatVec(const bfv::BfvContext& ctx, std::size_t in_features, std::size_t out_features,
+                std::uint64_t seed);
+
+  struct Result {
+    std::vector<i64> y;                    // reconstructed result (mod t, centered)
+    std::size_t rotations = 0;             // homomorphic rotations performed
+    std::size_t plain_mults = 0;           // diagonal (.) ct products
+    std::uint64_t bytes_client_to_server = 0;
+    std::uint64_t bytes_server_to_client = 0;
+  };
+
+  /// Run the full protocol: encrypt x, rotate+multiply+accumulate per
+  /// diagonal, mask, decrypt, reconstruct.
+  Result run(const std::vector<i64>& x, const std::vector<i64>& w_row_major);
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+ private:
+  const bfv::BfvContext& ctx_;
+  std::size_t in_features_, out_features_;
+  hemath::Sampler sampler_;
+  bfv::KeyGenerator keygen_;
+  bfv::SecretKey sk_;
+  bfv::PublicKey pk_;
+  bfv::Encryptor encryptor_;
+  bfv::Decryptor decryptor_;
+  bfv::Evaluator evaluator_;
+  bfv::BatchEncoder encoder_;
+  bfv::GaloisKeys galois_keys_;
+};
+
+}  // namespace flash::protocol

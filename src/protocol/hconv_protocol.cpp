@@ -1,0 +1,223 @@
+#include "protocol/hconv_protocol.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "encoding/matvec.hpp"
+
+namespace flash::protocol {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+}  // namespace
+
+std::uint64_t ciphertext_bytes(const bfv::BfvParams& params) {
+  const std::uint64_t bits_per_coeff =
+      static_cast<std::uint64_t>(std::ceil(std::log2(static_cast<double>(params.q))));
+  return 2 * params.n * ((bits_per_coeff + 7) / 8);
+}
+
+tensor::Tensor3 HConvResult::reconstruct(u64 t) const {
+  tensor::Tensor3 out(client_share.size(), out_h, out_w);
+  for (std::size_t m = 0; m < client_share.size(); ++m) {
+    const std::vector<i64> vals = protocol::reconstruct(client_share[m], server_share[m], t);
+    std::size_t idx = 0;
+    for (std::size_t y = 0; y < out_h; ++y) {
+      for (std::size_t x = 0; x < out_w; ++x) out.at(m, y, x) = vals[idx++];
+    }
+  }
+  return out;
+}
+
+HConvProtocol::HConvProtocol(const bfv::BfvContext& ctx, bfv::PolyMulBackend backend,
+                             std::optional<fft::FxpFftConfig> approx_config, std::uint64_t seed)
+    : ctx_(ctx),
+      sampler_(seed),
+      share_rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+      keygen_(ctx_, sampler_),
+      sk_(keygen_.secret_key()),
+      pk_(keygen_.public_key(sk_)),
+      encryptor_(ctx_, sampler_),
+      decryptor_(ctx_, sk_),
+      evaluator_(ctx_, backend, std::move(approx_config)) {}
+
+HConvResult HConvProtocol::run(const tensor::Tensor3& x, const tensor::Tensor4& weights) {
+  const auto& p = ctx_.params();
+  encoding::ConvEncoder enc(p.n, x.channels(), x.height(), x.width(), weights.kernel_h(), weights.kernel_w());
+  const auto& geo = enc.geometry();
+  const std::size_t tiles = geo.channel_tiles();
+  const std::size_t out_channels = weights.out_channels();
+
+  HConvResult result;
+  result.out_h = geo.out_h();
+  result.out_w = geo.out_w();
+  evaluator_.engine().reset_counters();
+
+  auto t0 = std::chrono::steady_clock::now();
+
+  // --- Sharing: both parties obtain additive shares of the activation.
+  const SharedVector xs = share_tensor(x, p.t, share_rng_);
+  tensor::Tensor3 x_client(x.channels(), x.height(), x.width());
+  tensor::Tensor3 x_server(x.channels(), x.height(), x.width());
+  for (std::size_t i = 0; i < xs.client.size(); ++i) {
+    x_client.data()[i] = static_cast<i64>(xs.client[i]);
+    x_server.data()[i] = static_cast<i64>(xs.server[i]);
+  }
+  result.profile.share_encode_s += seconds_since(t0);
+
+  // --- Client: encrypt its encoded share, one ciphertext per channel tile.
+  t0 = std::chrono::steady_clock::now();
+  std::vector<bfv::Ciphertext> cts;
+  cts.reserve(tiles);
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    bfv::Plaintext pt = ctx_.make_plaintext();
+    const std::vector<i64> coeffs = enc.encode_activation(x_client, tile);
+    for (std::size_t i = 0; i < p.n; ++i) pt.poly[i] = static_cast<u64>(coeffs[i]) % p.t;
+    cts.push_back(encryptor_.encrypt(pt, pk_));
+    result.profile.bytes_client_to_server += ciphertext_bytes(p);
+  }
+  result.profile.encrypt_s += seconds_since(t0);
+
+  // --- Server: fold in its own share (ct ⊞ {x}^S).
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    bfv::Plaintext pt = ctx_.make_plaintext();
+    const std::vector<i64> coeffs = enc.encode_activation(x_server, tile);
+    for (std::size_t i = 0; i < p.n; ++i) pt.poly[i] = static_cast<u64>(coeffs[i]) % p.t;
+    evaluator_.add_plain_inplace(cts[tile], pt);
+  }
+  result.profile.share_encode_s += seconds_since(t0);
+
+  // --- Server: weight transforms (the FLASH-accelerated hot loop).
+  t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<bfv::PlainSpectrum>> wspec(out_channels);
+  for (std::size_t m = 0; m < out_channels; ++m) {
+    wspec[m].reserve(tiles);
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      bfv::Plaintext pt = ctx_.make_plaintext();
+      const std::vector<i64> coeffs = enc.encode_weight(weights, m, tile);
+      for (std::size_t i = 0; i < p.n; ++i) pt.poly[i] = hemath::from_signed(coeffs[i], p.t);
+      wspec[m].push_back(evaluator_.transform_plain(pt));
+    }
+  }
+  result.profile.weight_transform_s += seconds_since(t0);
+
+  // --- Server: ct ⊠ w through the spectral pipeline of Fig. 4(b): each
+  // ciphertext is transformed once (shared across all output channels),
+  // channel tiles accumulate point-wise, and one inverse transform produces
+  // each output ciphertext.
+  t0 = std::chrono::steady_clock::now();
+  std::vector<bfv::Evaluator::CiphertextSpectrum> ct_specs;
+  ct_specs.reserve(tiles);
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    ct_specs.push_back(evaluator_.transform_ciphertext(cts[tile]));
+  }
+  std::vector<bfv::Ciphertext> acc;
+  acc.reserve(out_channels);
+  for (std::size_t m = 0; m < out_channels; ++m) {
+    bfv::Evaluator::CiphertextAccumulator accum;
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      evaluator_.multiply_accumulate(ct_specs[tile], wspec[m][tile], accum);
+    }
+    acc.push_back(evaluator_.finalize(accum));
+  }
+  result.profile.cipher_transform_mul_s += seconds_since(t0);
+
+  // --- Server: mask (⊟ s) and "send" back; keep its own share.
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<std::size_t> positions = enc.output_positions();
+  result.server_share.resize(out_channels);
+  for (std::size_t m = 0; m < out_channels; ++m) {
+    bfv::Plaintext mask = ctx_.make_plaintext();
+    mask.poly = sampler_.uniform_poly(p.t, p.n);
+    evaluator_.sub_plain_inplace(acc[m], mask);
+    result.profile.bytes_server_to_client += ciphertext_bytes(p);
+    auto& share = result.server_share[m];
+    share.reserve(positions.size());
+    for (std::size_t pos : positions) share.push_back(mask.poly[pos]);
+  }
+  result.profile.mask_s += seconds_since(t0);
+
+  // --- Client: decrypt and extract.
+  t0 = std::chrono::steady_clock::now();
+  result.client_share.resize(out_channels);
+  for (std::size_t m = 0; m < out_channels; ++m) {
+    const bfv::Plaintext dec = decryptor_.decrypt(acc[m]);
+    auto& share = result.client_share[m];
+    share.reserve(positions.size());
+    for (std::size_t pos : positions) share.push_back(dec.poly[pos]);
+  }
+  result.profile.decrypt_s += seconds_since(t0);
+
+  result.ops = evaluator_.engine().counters();
+  return result;
+}
+
+
+HConvProtocol::MatVecResult HConvProtocol::run_matvec(const std::vector<i64>& x,
+                                                      const std::vector<i64>& w_row_major,
+                                                      std::size_t out_features) {
+  const auto& p = ctx_.params();
+  encoding::MatVecEncoder enc(p.n, x.size(), out_features);
+  MatVecResult result;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const SharedVector xs = share(x, p.t, share_rng_);
+  result.profile.share_encode_s += seconds_since(t0);
+
+  // Client: encode + encrypt its share (one polynomial; the vector fits by
+  // MatVecEncoder's constructor contract).
+  t0 = std::chrono::steady_clock::now();
+  std::vector<i64> client_vals(x.size()), server_vals(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    client_vals[i] = static_cast<i64>(xs.client[i]);
+    server_vals[i] = static_cast<i64>(xs.server[i]);
+  }
+  bfv::Plaintext pt_c = ctx_.make_plaintext();
+  const std::vector<i64> enc_c = enc.encode_vector(client_vals);
+  for (std::size_t i = 0; i < p.n; ++i) pt_c.poly[i] = static_cast<u64>(enc_c[i]) % p.t;
+  bfv::Ciphertext ct = encryptor_.encrypt(pt_c, pk_);
+  result.profile.bytes_client_to_server += ciphertext_bytes(p);
+  result.profile.encrypt_s += seconds_since(t0);
+
+  // Server: fold in its share.
+  t0 = std::chrono::steady_clock::now();
+  bfv::Plaintext pt_s = ctx_.make_plaintext();
+  const std::vector<i64> enc_s = enc.encode_vector(server_vals);
+  for (std::size_t i = 0; i < p.n; ++i) pt_s.poly[i] = static_cast<u64>(enc_s[i]) % p.t;
+  evaluator_.add_plain_inplace(ct, pt_s);
+  result.profile.share_encode_s += seconds_since(t0);
+
+  // Server: matrix chunks, spectral pipeline, mask, extract.
+  t0 = std::chrono::steady_clock::now();
+  const bfv::Evaluator::CiphertextSpectrum ct_spec = evaluator_.transform_ciphertext(ct);
+  for (std::size_t chunk = 0; chunk < enc.poly_count(); ++chunk) {
+    bfv::Plaintext ptw = ctx_.make_plaintext();
+    const std::vector<i64> wv = enc.encode_matrix(w_row_major, chunk);
+    for (std::size_t i = 0; i < p.n; ++i) ptw.poly[i] = hemath::from_signed(wv[i], p.t);
+    const bfv::PlainSpectrum wspec = evaluator_.transform_plain(ptw);
+
+    bfv::Evaluator::CiphertextAccumulator accum;
+    evaluator_.multiply_accumulate(ct_spec, wspec, accum);
+    bfv::Ciphertext out = evaluator_.finalize(accum);
+
+    bfv::Plaintext mask = ctx_.make_plaintext();
+    mask.poly = sampler_.uniform_poly(p.t, p.n);
+    evaluator_.sub_plain_inplace(out, mask);
+    result.profile.bytes_server_to_client += ciphertext_bytes(p);
+
+    const bfv::Plaintext dec = decryptor_.decrypt(out);
+    for (std::size_t pos : enc.output_positions(chunk)) {
+      result.server_share.push_back(mask.poly[pos]);
+      result.client_share.push_back(dec.poly[pos]);
+    }
+  }
+  result.profile.cipher_transform_mul_s += seconds_since(t0);
+  result.client_share.resize(out_features);
+  result.server_share.resize(out_features);
+  return result;
+}
+
+}  // namespace flash::protocol

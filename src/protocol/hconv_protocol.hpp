@@ -1,0 +1,97 @@
+// One-round hybrid HE/2PC homomorphic convolution (paper Fig. 1 flow).
+//
+// The client holds {x}^C and the key pair; the server holds {x}^S, the
+// weights and a fresh random mask s:
+//
+//   client:  ct = Enc({x}^C)                                     -> server
+//   server:  acc_m = (ct ⊞ {x}^S) ⊠ w_m ⊟ s_m                    -> client
+//   client:  {y}^C = extract(Dec(acc_m)),  server: {y}^S = extract(s_m)
+//
+// with y = {y}^C + {y}^S (mod t) the exact convolution sum-products. Both
+// parties run in-process; message sizes are counted, and each pipeline phase
+// is wall-clock profiled (this is the Fig. 1 latency-breakdown instrument).
+#pragma once
+
+#include <cstdint>
+
+#include "bfv/encrypt.hpp"
+#include "bfv/evaluator.hpp"
+#include "encoding/encoder.hpp"
+#include "protocol/secret_sharing.hpp"
+#include "tensor/conv.hpp"
+
+namespace flash::protocol {
+
+/// Wall-clock seconds per pipeline phase plus message sizes.
+struct HConvProfile {
+  double share_encode_s = 0;
+  double encrypt_s = 0;
+  double weight_transform_s = 0;
+  double cipher_transform_mul_s = 0;  // ct transforms + pointwise + inverse
+  double mask_s = 0;
+  double decrypt_s = 0;
+  std::uint64_t bytes_client_to_server = 0;
+  std::uint64_t bytes_server_to_client = 0;
+
+  double total_s() const {
+    return share_encode_s + encrypt_s + weight_transform_s + cipher_transform_mul_s + mask_s +
+           decrypt_s;
+  }
+};
+
+struct HConvResult {
+  /// Shares of the M x out_h x out_w sum-product tensor, flattened per
+  /// output channel (mod t).
+  std::vector<std::vector<u64>> client_share;
+  std::vector<std::vector<u64>> server_share;
+  std::size_t out_h = 0, out_w = 0;
+  HConvProfile profile;
+  bfv::PolyMulCounters ops;
+
+  /// Reconstruct the cleartext result tensor (centered mod t).
+  tensor::Tensor3 reconstruct(u64 t) const;
+};
+
+class HConvProtocol {
+ public:
+  /// backend selects the server's PolyMul datapath (NTT = CPU baseline,
+  /// kApproxFft = the FLASH datapath).
+  HConvProtocol(const bfv::BfvContext& ctx, bfv::PolyMulBackend backend,
+                std::optional<fft::FxpFftConfig> approx_config, std::uint64_t seed);
+
+  /// Run a stride-1 valid convolution over a pre-padded input. The input is
+  /// secret-shared internally (the caller plays both parties).
+  HConvResult run(const tensor::Tensor3& x, const tensor::Tensor4& weights);
+
+  /// Fully-connected layer: y = W x over the same one-round protocol, using
+  /// the matrix-vector coefficient encoding (Table IV's FC head).
+  struct MatVecResult {
+    std::vector<u64> client_share;  // mod t, length out_features
+    std::vector<u64> server_share;
+    HConvProfile profile;
+    std::vector<i64> reconstruct(u64 t) const {
+      return protocol::reconstruct(client_share, server_share, t);
+    }
+  };
+  MatVecResult run_matvec(const std::vector<i64>& x, const std::vector<i64>& w_row_major,
+                          std::size_t out_features);
+
+  const bfv::BfvContext& context() const { return ctx_; }
+
+ private:
+  const bfv::BfvContext& ctx_;
+  hemath::Sampler sampler_;
+  std::mt19937_64 share_rng_;
+  bfv::KeyGenerator keygen_;
+  bfv::SecretKey sk_;
+  bfv::PublicKey pk_;
+  bfv::Encryptor encryptor_;
+  bfv::Decryptor decryptor_;
+  bfv::Evaluator evaluator_;
+};
+
+/// Size in bytes of one ciphertext on the wire (2 ring elements, log2(q)
+/// bits per coefficient, byte-aligned).
+std::uint64_t ciphertext_bytes(const bfv::BfvParams& params);
+
+}  // namespace flash::protocol

@@ -1,0 +1,33 @@
+#include "protocol/secret_sharing.hpp"
+
+#include <stdexcept>
+
+namespace flash::protocol {
+
+SharedVector share(const std::vector<i64>& values, u64 t, std::mt19937_64& rng) {
+  SharedVector out;
+  out.client.resize(values.size());
+  out.server.resize(values.size());
+  std::uniform_int_distribution<u64> dist(0, t - 1);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const u64 x = hemath::from_signed(values[i], t);
+    out.client[i] = dist(rng);
+    out.server[i] = hemath::sub_mod(x, out.client[i], t);
+  }
+  return out;
+}
+
+std::vector<i64> reconstruct(const std::vector<u64>& a, const std::vector<u64>& b, u64 t) {
+  if (a.size() != b.size()) throw std::invalid_argument("reconstruct: size mismatch");
+  std::vector<i64> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = hemath::to_signed(hemath::add_mod(a[i], b[i], t), t);
+  }
+  return out;
+}
+
+SharedVector share_tensor(const tensor::Tensor3& x, u64 t, std::mt19937_64& rng) {
+  return share(x.data(), t, rng);
+}
+
+}  // namespace flash::protocol

@@ -1,0 +1,33 @@
+// Arithmetic secret sharing over Z_t (paper §II-B).
+//
+// An l-bit value x is held as x = {x}^C + {x}^S (mod t) with the client share
+// uniformly random. The plaintext modulus of the BFV instance doubles as the
+// sharing modulus, so shares embed directly into plaintext polynomials.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "hemath/modular.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flash::protocol {
+
+using hemath::i64;
+using hemath::u64;
+
+struct SharedVector {
+  std::vector<u64> client;  // uniform mod t
+  std::vector<u64> server;  // x - client mod t
+};
+
+/// Split signed values into additive shares mod t.
+SharedVector share(const std::vector<i64>& values, u64 t, std::mt19937_64& rng);
+
+/// Recombine shares into centered signed values.
+std::vector<i64> reconstruct(const std::vector<u64>& a, const std::vector<u64>& b, u64 t);
+
+/// Share a tensor channel-wise (flattened row-major).
+SharedVector share_tensor(const tensor::Tensor3& x, u64 t, std::mt19937_64& rng);
+
+}  // namespace flash::protocol

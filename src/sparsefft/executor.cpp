@@ -1,0 +1,171 @@
+#include "sparsefft/executor.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "hemath/bitrev.hpp"
+
+namespace flash::sparsefft {
+
+namespace {
+
+cplx grid_round(cplx v, int frac_bits) {
+  return {std::ldexp(std::nearbyint(std::ldexp(v.real(), frac_bits)), -frac_bits),
+          std::ldexp(std::nearbyint(std::ldexp(v.imag(), frac_bits)), -frac_bits)};
+}
+
+template <typename TwiddleFn, typename RoundFn>
+std::vector<cplx> run(const SparseFftPlan& plan, const std::vector<cplx>& input,
+                      TwiddleFn&& twiddle_of, RoundFn&& round_stage) {
+  const std::size_t m = plan.size();
+  if (input.size() != m) throw std::invalid_argument("sparsefft::execute: size mismatch");
+  std::vector<cplx> a = input;
+  hemath::bit_reverse_permute(a);
+  for (int s = 0; s < plan.stages(); ++s) {
+    for (const ButterflyOp& op : plan.stage(s)) {
+      cplx& u = a[op.u];
+      cplx& v = a[op.v];
+      switch (op.kind) {
+        case OpKind::kFull: {
+          const cplx t = v * twiddle_of(op.twiddle_index);
+          v = round_stage(u - t, s);
+          u = round_stage(u + t, s);
+          break;
+        }
+        case OpKind::kMulOnly: {
+          const cplx t = round_stage(v * twiddle_of(op.twiddle_index), s);
+          u = t;
+          v = -t;
+          break;
+        }
+        case OpKind::kCopy:
+          v = u;
+          break;
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<cplx> execute(const SparseFftPlan& plan, const std::vector<cplx>& input) {
+  const std::size_t m = plan.size();
+  const double base = 2.0 * std::numbers::pi / static_cast<double>(m);
+  auto twiddle_of = [base](std::uint32_t t) { return std::polar(1.0, base * static_cast<double>(t)); };
+  auto no_round = [](cplx v, int) { return v; };
+  return run(plan, input, twiddle_of, no_round);
+}
+
+namespace {
+
+/// A value that may still owe a twiddle multiplication. `quadrant` holds an
+/// extra factor i^quadrant applied exactly (swap/negate — free in hardware);
+/// `twiddle` holds the deferred non-trivial factor when `lazy` is set.
+struct LazyValue {
+  cplx base{0.0, 0.0};
+  cplx twiddle{1.0, 0.0};
+  int quadrant = 0;  // base is additionally multiplied by i^quadrant
+  bool lazy = false; // true: a non-trivial twiddle is pending
+
+  static cplx rotate(cplx v, int quadrant) {
+    switch (quadrant & 3) {
+      case 0: return v;
+      case 1: return {-v.imag(), v.real()};
+      case 2: return -v;
+      default: return {v.imag(), -v.real()};
+    }
+  }
+
+  cplx materialize(std::uint64_t& mults) const {
+    cplx v = rotate(base, quadrant);
+    if (lazy) {
+      v *= twiddle;
+      ++mults;
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<cplx> execute_merged(const SparseFftPlan& plan, const std::vector<cplx>& input,
+                                 std::uint64_t* mults_issued) {
+  const std::size_t m = plan.size();
+  if (input.size() != m) throw std::invalid_argument("execute_merged: size mismatch");
+  const double base_angle = 2.0 * std::numbers::pi / static_cast<double>(m);
+
+  std::vector<cplx> init = input;
+  hemath::bit_reverse_permute(init);
+  std::vector<LazyValue> vals(m);
+  for (std::size_t i = 0; i < m; ++i) vals[i].base = init[i];
+
+  std::uint64_t mults = 0;
+  for (int s = 0; s < plan.stages(); ++s) {
+    for (const ButterflyOp& op : plan.stage(s)) {
+      LazyValue& u = vals[op.u];
+      LazyValue& v = vals[op.v];
+      const bool trivial = is_trivial_twiddle(op.twiddle_index, m);
+      switch (op.kind) {
+        case OpKind::kFull: {
+          // Materialize u; fold this stage's twiddle into v, then materialize.
+          const cplx uv = u.materialize(mults);
+          cplx tv;
+          if (trivial) {
+            // W in {1, i}: exact quadrant rotation, no multiplication.
+            LazyValue vv = v;
+            if (op.twiddle_index != 0) vv.quadrant += 1;
+            tv = vv.materialize(mults);
+          } else {
+            LazyValue vv = v;
+            vv.twiddle *= std::polar(1.0, base_angle * static_cast<double>(op.twiddle_index));
+            vv.lazy = true;
+            tv = vv.materialize(mults);
+          }
+          u = LazyValue{uv + tv, {1.0, 0.0}, 0, false};
+          v = LazyValue{uv - tv, {1.0, 0.0}, 0, false};
+          break;
+        }
+        case OpKind::kMulOnly: {
+          // Outputs (+Wv, -Wv): defer the twiddle, sign flips are free.
+          LazyValue next = v;
+          if (trivial) {
+            if (op.twiddle_index != 0) next.quadrant += 1;
+          } else {
+            next.twiddle *= std::polar(1.0, base_angle * static_cast<double>(op.twiddle_index));
+            next.lazy = true;
+          }
+          u = next;
+          v = next;
+          v.quadrant += 2;  // additive inverse
+          break;
+        }
+        case OpKind::kCopy:
+          v = u;
+          break;
+      }
+    }
+  }
+
+  std::vector<cplx> out(m);
+  for (std::size_t i = 0; i < m; ++i) out[i] = vals[i].materialize(mults);
+  if (mults_issued) *mults_issued = mults;
+  return out;
+}
+
+std::vector<cplx> execute_quantized(const SparseFftPlan& plan, const std::vector<cplx>& input,
+                                    const QuantizedExecution& quant) {
+  const std::size_t m = plan.size();
+  if (quant.stage_frac_bits.size() != static_cast<std::size_t>(plan.stages())) {
+    throw std::invalid_argument("execute_quantized: stage_frac_bits size mismatch");
+  }
+  const auto table = fft::quantize_fft_twiddles(m, +1, quant.twiddle_k, quant.twiddle_min_exp);
+  auto twiddle_of = [&table](std::uint32_t t) { return table[t].value(); };
+  auto round_stage = [&quant](cplx v, int s) {
+    return grid_round(v, quant.stage_frac_bits[static_cast<std::size_t>(s)]);
+  };
+  return run(plan, input, twiddle_of, round_stage);
+}
+
+}  // namespace flash::sparsefft

@@ -1,0 +1,50 @@
+// Executes a SparseFftPlan.
+//
+// The executor runs exactly the operations the planner scheduled — skipped
+// butterflies are genuinely never touched — so its output agreeing with the
+// dense FFT is the end-to-end proof that "skipping" and "merging" are exact
+// (they are: zeros contribute nothing). A quantized execution mode applies
+// CSD twiddles and per-stage grid rounding, modelling the combined
+// sparse+approximate datapath of FLASH's approximate PEs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fft/complex_fft.hpp"
+#include "fft/fxp_fft.hpp"
+#include "sparsefft/planner.hpp"
+
+namespace flash::sparsefft {
+
+using fft::cplx;
+
+/// Exact execution: standard-order input (only positions in the plan's
+/// pattern are read; others are treated as zero), standard-order output.
+/// Equivalent to FftPlan(m, +1).forward on the dense vector.
+std::vector<cplx> execute(const SparseFftPlan& plan, const std::vector<cplx>& input);
+
+/// Quantized execution: twiddles replaced by their CSD approximations and
+/// every produced value rounded to 2^-frac_bits grid per stage, modelling the
+/// approximate BU datapath numerics on top of the sparse schedule.
+struct QuantizedExecution {
+  int twiddle_k = 5;
+  int twiddle_min_exp = -20;
+  std::vector<int> stage_frac_bits;  // size = log2(M)
+};
+
+std::vector<cplx> execute_quantized(const SparseFftPlan& plan, const std::vector<cplx>& input,
+                                    const QuantizedExecution& quant);
+
+/// Merged execution: values flowing through single-source butterfly chains
+/// stay *lazy* — a (base value, accumulated twiddle) pair whose twiddle
+/// product is tracked by exponent addition, exactly the paper's "summing
+/// twiddle factor exponents". A complex multiplication is issued only when a
+/// value materializes (two-input butterfly or transform output). The number
+/// of multiplications issued equals the plan's merged_mults accounting —
+/// asserted when `mults_issued` is provided — and the result matches the
+/// dense FFT.
+std::vector<cplx> execute_merged(const SparseFftPlan& plan, const std::vector<cplx>& input,
+                                 std::uint64_t* mults_issued = nullptr);
+
+}  // namespace flash::sparsefft

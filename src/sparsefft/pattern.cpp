@@ -1,0 +1,55 @@
+#include "sparsefft/pattern.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hemath/bitrev.hpp"
+
+namespace flash::sparsefft {
+
+SparsityPattern::SparsityPattern(std::size_t n, std::vector<std::size_t> nonzero_positions)
+    : n_(n), nonzeros_(std::move(nonzero_positions)), active_(n, false) {
+  std::sort(nonzeros_.begin(), nonzeros_.end());
+  nonzeros_.erase(std::unique(nonzeros_.begin(), nonzeros_.end()), nonzeros_.end());
+  for (std::size_t i : nonzeros_) {
+    if (i >= n_) throw std::out_of_range("SparsityPattern: position out of range");
+    active_[i] = true;
+  }
+}
+
+double SparsityPattern::sparsity() const {
+  if (n_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(nonzeros_.size()) / static_cast<double>(n_);
+}
+
+SparsityPattern SparsityPattern::bit_reversed() const {
+  const int bits = hemath::log2_exact(n_);
+  std::vector<std::size_t> nz;
+  nz.reserve(nonzeros_.size());
+  for (std::size_t i : nonzeros_) {
+    nz.push_back(hemath::bit_reverse(static_cast<std::uint32_t>(i), bits));
+  }
+  return SparsityPattern(n_, std::move(nz));
+}
+
+PatternShape SparsityPattern::classify() const {
+  if (nonzeros_.empty()) return PatternShape::kEmpty;
+  // Contiguous prefix: nonzeros == {0, 1, ..., w-1}.
+  if (nonzeros_.back() == nonzeros_.size() - 1) return PatternShape::kContiguous;
+  if (nonzeros_.size() == 1) return PatternShape::kScattered;
+  // Uniform spacing with no adjacency.
+  const std::size_t gap = nonzeros_[1] - nonzeros_[0];
+  if (gap > 1) {
+    bool uniform = true;
+    for (std::size_t i = 2; i < nonzeros_.size(); ++i) {
+      if (nonzeros_[i] - nonzeros_[i - 1] != gap) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) return PatternShape::kScattered;
+  }
+  return PatternShape::kMixed;
+}
+
+}  // namespace flash::sparsefft

@@ -1,0 +1,59 @@
+// Sparsity patterns of coefficient-encoded weight polynomials (paper §III-B).
+//
+// After Cheetah encoding, a weight polynomial of degree N has at most k*k
+// valid coefficients per H*W-sized channel stripe, so >90% of coefficients
+// are zero, in one of two shapes after bit-reversal (paper Fig. 8):
+//   * contiguous  — valid data occupies a prefix, enabling "skipping";
+//   * scattered   — isolated valid values at uniform intervals, enabling
+//                   "merging".
+// This header captures the pattern and classifies it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flash::sparsefft {
+
+enum class PatternShape {
+  kEmpty,       // all-zero polynomial
+  kContiguous,  // valid values form a prefix after bit-reversal
+  kScattered,   // isolated valid values at uniform spacing after bit-reversal
+  kMixed,       // anything else
+};
+
+/// The set of nonzero positions of a length-n sequence.
+class SparsityPattern {
+ public:
+  SparsityPattern(std::size_t n, std::vector<std::size_t> nonzero_positions);
+
+  /// Build from the coefficients themselves.
+  template <typename T>
+  static SparsityPattern from_values(const std::vector<T>& values) {
+    std::vector<std::size_t> nz;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (values[i] != T{}) nz.push_back(i);
+    }
+    return SparsityPattern(values.size(), std::move(nz));
+  }
+
+  std::size_t size() const { return n_; }
+  const std::vector<std::size_t>& nonzeros() const { return nonzeros_; }
+  std::size_t weight() const { return nonzeros_.size(); }
+  double sparsity() const;
+  bool is_active(std::size_t i) const { return active_[i]; }
+
+  /// The same pattern with indices bit-reverse permuted (what the butterfly
+  /// network's first stage sees).
+  SparsityPattern bit_reversed() const;
+
+  /// Shape classification of *this* pattern (call on the bit-reversed one to
+  /// match the paper's Fig. 8 discussion).
+  PatternShape classify() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> nonzeros_;  // sorted
+  std::vector<bool> active_;
+};
+
+}  // namespace flash::sparsefft

@@ -1,0 +1,149 @@
+#include "sparsefft/planner.hpp"
+
+#include <stdexcept>
+
+#include "hemath/bitrev.hpp"
+
+namespace flash::sparsefft {
+
+bool is_trivial_twiddle(std::size_t twiddle_index, std::size_t m) {
+  return twiddle_index == 0 || twiddle_index == m / 4;
+}
+
+namespace {
+
+/// Lazy-materialization state for the merged cost accounting.
+enum class MergeState : std::uint8_t {
+  kZero,    // no data
+  kMat,     // holds a concrete value (source or full-butterfly output)
+  kLazyId,  // +/-i^j times a concrete value: free to materialize
+  kLazy,    // W_cum times a concrete value: one mult to materialize
+};
+
+/// Cost (0 or 1 mult) of producing W * value from a state, folding W into the
+/// pending twiddle product; `trivial` marks W in {1, i}.
+std::uint64_t materialize_with_twiddle(MergeState s, bool trivial) {
+  switch (s) {
+    case MergeState::kZero:
+      return 0;
+    case MergeState::kMat:
+    case MergeState::kLazyId:
+      return trivial ? 0 : 1;
+    case MergeState::kLazy:
+      return 1;  // source * (W_cum * W): still a single multiplication
+  }
+  return 0;
+}
+
+/// State after multiplying by W without materializing.
+MergeState defer_twiddle(MergeState s, bool trivial) {
+  if (s == MergeState::kZero) return MergeState::kZero;
+  if (trivial) {
+    // Powers of i are sign/swap games: kMat stays free to use, lazy states
+    // keep their class.
+    return s == MergeState::kMat ? MergeState::kLazyId : s;
+  }
+  return MergeState::kLazy;
+}
+
+}  // namespace
+
+SparseFftPlan::SparseFftPlan(std::size_t m, const SparsityPattern& pattern) : m_(m) {
+  if (pattern.size() != m) throw std::invalid_argument("SparseFftPlan: pattern size mismatch");
+  const int log_m = hemath::log2_exact(m);
+  stage_ops_.resize(static_cast<std::size_t>(log_m));
+
+  // Activity of the in-place work array, starting from the bit-reversed input.
+  const SparsityPattern br = pattern.bit_reversed();
+  std::vector<bool> active(m);
+  std::vector<MergeState> merge(m, MergeState::kZero);
+  for (std::size_t i = 0; i < m; ++i) {
+    active[i] = br.is_active(i);
+    if (active[i]) merge[i] = MergeState::kMat;
+  }
+
+  for (int s = 1; s <= log_m; ++s) {
+    auto& ops = stage_ops_[static_cast<std::size_t>(s - 1)];
+    const std::size_t half = std::size_t{1} << (s - 1);
+    const std::size_t len = half << 1;
+    const std::size_t stride = m >> s;
+    for (std::size_t block = 0; block < m; block += len) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const std::size_t iu = block + j;
+        const std::size_t iv = iu + half;
+        const bool au = active[iu];
+        const bool av = active[iv];
+        if (!au && !av) continue;  // dead butterfly: nothing scheduled
+        ButterflyOp op;
+        op.u = static_cast<std::uint32_t>(iu);
+        op.v = static_cast<std::uint32_t>(iv);
+        op.twiddle_index = static_cast<std::uint32_t>(j * stride);
+        const bool trivial = is_trivial_twiddle(op.twiddle_index, m);
+        if (au && av) {
+          op.kind = OpKind::kFull;
+          if (trivial) {
+            ++cost_.trivial_mults;
+          } else {
+            ++cost_.complex_mults;
+          }
+          cost_.complex_adds += 2;
+          // Merged accounting: both operands must materialize here.
+          cost_.merged_mults += materialize_with_twiddle(merge[iu], true);
+          cost_.merged_mults += materialize_with_twiddle(merge[iv], trivial);
+          cost_.merged_adds += 2;
+          merge[iu] = MergeState::kMat;
+          merge[iv] = MergeState::kMat;
+        } else if (!au) {
+          // Merging path: bottom-only input, outputs (+Wv, -Wv).
+          op.kind = OpKind::kMulOnly;
+          if (trivial) {
+            ++cost_.trivial_mults;
+          } else {
+            ++cost_.complex_mults;
+          }
+          const MergeState next = defer_twiddle(merge[iv], trivial);
+          merge[iu] = next;
+          merge[iv] = next;  // additive inverse: sign flip is free
+        } else {
+          // Skipping path: top-only input duplicates downward.
+          op.kind = OpKind::kCopy;
+          ++cost_.copies;
+          merge[iv] = merge[iu];
+        }
+        ops.push_back(op);
+        active[iu] = true;
+        active[iv] = true;
+      }
+    }
+  }
+
+  // Transform outputs that are still lazy pay their deferred multiplication.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (merge[i] == MergeState::kLazy) ++cost_.merged_mults;
+  }
+}
+
+PlanCost SparseFftPlan::dense_cost(std::size_t m) {
+  PlanCost cost;
+  const int log_m = hemath::log2_exact(m);
+  for (int s = 1; s <= log_m; ++s) {
+    const std::size_t half = std::size_t{1} << (s - 1);
+    const std::size_t stride = m >> s;
+    const std::size_t blocks = m / (half << 1);
+    for (std::size_t j = 0; j < half; ++j) {
+      const bool trivial = is_trivial_twiddle(j * stride, m);
+      if (trivial) {
+        cost.trivial_mults += blocks;
+      } else {
+        cost.complex_mults += blocks;
+      }
+      cost.complex_adds += 2 * blocks;
+    }
+  }
+  // A dense transform has no single-source chains: merged == per-stage.
+  cost.merged_mults = cost.complex_mults;
+  cost.merged_adds = cost.complex_adds;
+  return cost;
+}
+
+}  // namespace flash::sparsefft

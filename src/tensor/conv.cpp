@@ -1,0 +1,99 @@
+#include "tensor/conv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flash::tensor {
+
+Tensor3 conv2d(const Tensor3& input, const Tensor4& weights, const ConvSpec& spec) {
+  if (input.channels() != weights.in_channels()) {
+    throw std::invalid_argument("conv2d: channel mismatch");
+  }
+  const std::size_t k_h = weights.kernel_h();
+  const std::size_t k_w = weights.kernel_w();
+  const std::size_t out_h = spec.out_dim(input.height(), k_h);
+  const std::size_t out_w = spec.out_dim(input.width(), k_w);
+  Tensor3 out(weights.out_channels(), out_h, out_w);
+  for (std::size_t m = 0; m < weights.out_channels(); ++m) {
+    for (std::size_t y = 0; y < out_h; ++y) {
+      for (std::size_t x = 0; x < out_w; ++x) {
+        i64 acc = 0;
+        for (std::size_t c = 0; c < input.channels(); ++c) {
+          for (std::size_t i = 0; i < k_h; ++i) {
+            const std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y * spec.stride + i) -
+                                      static_cast<std::ptrdiff_t>(spec.pad);
+            if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(input.height())) continue;
+            for (std::size_t j = 0; j < k_w; ++j) {
+              const std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x * spec.stride + j) -
+                                        static_cast<std::ptrdiff_t>(spec.pad);
+              if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(input.width())) continue;
+              acc += input.at(c, static_cast<std::size_t>(yy), static_cast<std::size_t>(xx)) *
+                     weights.at(m, c, i, j);
+            }
+          }
+        }
+        out.at(m, y, x) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 relu(Tensor3 input) {
+  for (auto& v : input.data()) v = std::max<i64>(v, 0);
+  return input;
+}
+
+Tensor3 max_pool2(const Tensor3& input) {
+  if (input.height() % 2 != 0 || input.width() % 2 != 0) {
+    throw std::invalid_argument("max_pool2: dims must be even");
+  }
+  Tensor3 out(input.channels(), input.height() / 2, input.width() / 2);
+  for (std::size_t c = 0; c < input.channels(); ++c) {
+    for (std::size_t y = 0; y < out.height(); ++y) {
+      for (std::size_t x = 0; x < out.width(); ++x) {
+        out.at(c, y, x) = std::max(std::max(input.at(c, 2 * y, 2 * x), input.at(c, 2 * y, 2 * x + 1)),
+                                   std::max(input.at(c, 2 * y + 1, 2 * x), input.at(c, 2 * y + 1, 2 * x + 1)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<i64> global_avg_pool(const Tensor3& input) {
+  std::vector<i64> out(input.channels(), 0);
+  const i64 area = static_cast<i64>(input.height() * input.width());
+  for (std::size_t c = 0; c < input.channels(); ++c) {
+    i64 acc = 0;
+    for (std::size_t y = 0; y < input.height(); ++y) {
+      for (std::size_t x = 0; x < input.width(); ++x) acc += input.at(c, y, x);
+    }
+    out[c] = (acc + area / 2) / area;
+  }
+  return out;
+}
+
+std::vector<i64> linear(const std::vector<i64>& input, const std::vector<i64>& weights,
+                        std::size_t out_features) {
+  if (weights.size() != input.size() * out_features) {
+    throw std::invalid_argument("linear: weight size mismatch");
+  }
+  std::vector<i64> out(out_features, 0);
+  for (std::size_t j = 0; j < out_features; ++j) {
+    i64 acc = 0;
+    for (std::size_t i = 0; i < input.size(); ++i) acc += input[i] * weights[j * input.size() + i];
+    out[j] = acc;
+  }
+  return out;
+}
+
+Tensor3 add(const Tensor3& a, const Tensor3& b) {
+  if (a.channels() != b.channels() || a.height() != b.height() || a.width() != b.width()) {
+    throw std::invalid_argument("add: shape mismatch");
+  }
+  Tensor3 out = a;
+  for (std::size_t i = 0; i < out.data().size(); ++i) out.data()[i] += b.data()[i];
+  return out;
+}
+
+}  // namespace flash::tensor

@@ -1,0 +1,38 @@
+// Integer convolution and the other quantized-CNN layer primitives. The
+// direct convolution here is the cleartext oracle every homomorphic path is
+// checked against.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace flash::tensor {
+
+struct ConvSpec {
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_dim(std::size_t in, std::size_t k) const {
+    return (in + 2 * pad - k) / stride + 1;
+  }
+};
+
+/// Direct conv2d: out[m, y, x] = sum_{c,i,j} in[c, y*s+i-p, x*s+j-p] * w[m,c,i,j].
+Tensor3 conv2d(const Tensor3& input, const Tensor4& weights, const ConvSpec& spec);
+
+/// Elementwise max(v, 0).
+Tensor3 relu(Tensor3 input);
+
+/// 2x2 stride-2 max pool (dims must be even).
+Tensor3 max_pool2(const Tensor3& input);
+
+/// Global average pool to a C-vector (integer mean, rounded).
+std::vector<i64> global_avg_pool(const Tensor3& input);
+
+/// Fully connected layer: out[j] = sum_i in[i] * w[j*len+i].
+std::vector<i64> linear(const std::vector<i64>& input, const std::vector<i64>& weights,
+                        std::size_t out_features);
+
+/// Residual add (shapes must match).
+Tensor3 add(const Tensor3& a, const Tensor3& b);
+
+}  // namespace flash::tensor

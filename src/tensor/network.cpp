@@ -1,0 +1,44 @@
+#include "tensor/network.hpp"
+
+#include <stdexcept>
+
+namespace flash::tensor {
+
+ConvFn reference_conv() {
+  return [](const Tensor3& x, const Tensor4& w) {
+    return conv2d(x, w, ConvSpec{1, w.kernel_h() / 2});
+  };
+}
+
+SmallQuantNet SmallQuantNet::random(std::size_t in_c, std::size_t width, std::size_t depth,
+                                    std::size_t classes, std::size_t spatial, int w_bits,
+                                    int a_bits, std::mt19937_64& rng) {
+  SmallQuantNet net;
+  net.stem = random_weights(width, in_c, 3, w_bits, rng);
+  net.act_bits = a_bits;
+  net.stem_shift = sum_product_bits(a_bits, w_bits, in_c * 9) - a_bits - 2;
+  if (net.stem_shift < 0) net.stem_shift = 0;
+  for (std::size_t d = 0; d < depth; ++d) {
+    net.blocks.push_back(QuantizedBlock::random(width, 3, w_bits, a_bits, rng));
+  }
+  net.head = SyntheticClassifier::random(width * spatial * spatial, classes, w_bits, rng);
+  return net;
+}
+
+Tensor3 SmallQuantNet::features(const Tensor3& x, const ConvFn& conv) const {
+  Tensor3 sp = conv(x, stem);
+  requantize(sp.data(), stem_shift, act_bits);
+  Tensor3 a = relu(std::move(sp));
+  for (const QuantizedBlock& block : blocks) a = block.forward_with(a, conv);
+  return a;
+}
+
+std::size_t SmallQuantNet::predict(const Tensor3& x, const ConvFn& conv) const {
+  const Tensor3 f = features(x, conv);
+  if (f.data().size() != head.fc_weights.size() / head.classes) {
+    throw std::invalid_argument("SmallQuantNet::predict: head/feature size mismatch");
+  }
+  return head.predict(f.data());
+}
+
+}  // namespace flash::tensor

@@ -1,0 +1,41 @@
+// A small synthetic quantized CNN assembled from the residual blocks — the
+// end-to-end inference substrate. The convolution executor is injectable so
+// the same network runs on the cleartext reference path or through the
+// hybrid HE/2PC protocol (core::FlashAccelerator provides that executor),
+// which is how the integration example and tests check full-network
+// equivalence.
+#pragma once
+
+#include <functional>
+
+#include "tensor/resnet.hpp"
+
+namespace flash::tensor {
+
+/// A stride-1 'same' convolution executor: takes the (unpadded) input and
+/// the weights, returns the raw sum-products.
+using ConvFn = std::function<Tensor3(const Tensor3&, const Tensor4&)>;
+
+/// The cleartext reference executor.
+ConvFn reference_conv();
+
+/// stem conv -> depth x residual blocks -> flatten -> classifier head.
+struct SmallQuantNet {
+  Tensor4 stem;  // in_c -> width, 3x3 'same'
+  int stem_shift = 4;
+  std::vector<QuantizedBlock> blocks;
+  SyntheticClassifier head;
+  int act_bits = 4;
+
+  static SmallQuantNet random(std::size_t in_c, std::size_t width, std::size_t depth,
+                              std::size_t classes, std::size_t spatial, int w_bits, int a_bits,
+                              std::mt19937_64& rng);
+
+  /// Feature extraction through stem + blocks with the given conv executor.
+  Tensor3 features(const Tensor3& x, const ConvFn& conv) const;
+
+  /// Argmax class.
+  std::size_t predict(const Tensor3& x, const ConvFn& conv) const;
+};
+
+}  // namespace flash::tensor

@@ -1,0 +1,50 @@
+#include "tensor/quant.hpp"
+
+#include <cmath>
+
+namespace flash::tensor {
+
+i64 quant_min(int bits) { return -(i64{1} << (bits - 1)); }
+i64 quant_max(int bits) { return (i64{1} << (bits - 1)) - 1; }
+
+i64 clamp_to_bits(i64 v, int bits) {
+  const i64 lo = quant_min(bits), hi = quant_max(bits);
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+i64 requantize(i64 sum_product, int shift, int out_bits) {
+  if (shift > 0) {
+    const i64 half = i64{1} << (shift - 1);
+    sum_product = (sum_product + half) >> shift;
+  }
+  return clamp_to_bits(sum_product, out_bits);
+}
+
+void requantize(std::vector<i64>& values, int shift, int out_bits) {
+  for (auto& v : values) v = requantize(v, shift, out_bits);
+}
+
+int sum_product_bits(int a_bits, int w_bits, std::size_t taps) {
+  double bits = a_bits + w_bits + std::log2(static_cast<double>(taps == 0 ? 1 : taps));
+  return static_cast<int>(std::ceil(bits)) + 1;  // +1 sign
+}
+
+Tensor4 random_weights(std::size_t m, std::size_t c, std::size_t k, int bits, std::mt19937_64& rng) {
+  Tensor4 w(m, c, k, k);
+  // sigma ~ quarter of the positive range gives realistic clipping (~2%).
+  std::normal_distribution<double> dist(0.0, static_cast<double>(quant_max(bits)) / 2.5);
+  for (auto& v : w.data()) v = clamp_to_bits(static_cast<i64>(std::llround(dist(rng))), bits);
+  return w;
+}
+
+Tensor3 random_activations(std::size_t c, std::size_t h, std::size_t w, int bits, std::mt19937_64& rng) {
+  Tensor3 x(c, h, w);
+  std::normal_distribution<double> dist(0.0, static_cast<double>(quant_max(bits)) / 2.0);
+  for (auto& v : x.data()) {
+    const i64 s = static_cast<i64>(std::llround(std::abs(dist(rng))));
+    v = s > quant_max(bits) ? quant_max(bits) : s;
+  }
+  return x;
+}
+
+}  // namespace flash::tensor

@@ -1,0 +1,37 @@
+// Quantization helpers for low-bit CNN inference (paper Fig. 5(a)).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flash::tensor {
+
+/// Symmetric signed range of a b-bit quantizer: [-2^(b-1), 2^(b-1) - 1].
+i64 quant_min(int bits);
+i64 quant_max(int bits);
+
+/// Clamp into the b-bit signed range.
+i64 clamp_to_bits(i64 v, int bits);
+
+/// Requantization: arithmetic shift right with round-to-nearest, then clamp
+/// to the target bit-width. This is the layer-level robustness mechanism —
+/// errors confined to the discarded LSBs vanish here.
+i64 requantize(i64 sum_product, int shift, int out_bits);
+void requantize(std::vector<i64>& values, int shift, int out_bits);
+
+/// Bit-width needed to represent the worst-case sum-product of a conv layer
+/// with `taps` = C*k*k accumulated products of a_bits x w_bits operands.
+int sum_product_bits(int a_bits, int w_bits, std::size_t taps);
+
+/// Synthetic "pretrained-like" low-bit weights: zero-mean discretized
+/// Gaussian clipped to the quantizer range (matches the bell-shaped weight
+/// histograms of trained CNNs far better than uniform noise).
+Tensor4 random_weights(std::size_t m, std::size_t c, std::size_t k, int bits, std::mt19937_64& rng);
+
+/// Synthetic activations: non-negative (post-ReLU) discretized half-Gaussian.
+Tensor3 random_activations(std::size_t c, std::size_t h, std::size_t w, int bits, std::mt19937_64& rng);
+
+}  // namespace flash::tensor

@@ -1,0 +1,153 @@
+#include "tensor/resnet.hpp"
+
+#include <stdexcept>
+
+namespace flash::tensor {
+
+std::uint64_t LayerConfig::macs() const {
+  return static_cast<std::uint64_t>(out_c) * in_c * kernel * kernel * out_h() * out_w();
+}
+
+namespace {
+
+LayerConfig conv(std::string name, std::size_t in_c, std::size_t hw, std::size_t out_c,
+                 std::size_t k, std::size_t stride) {
+  LayerConfig c;
+  c.name = std::move(name);
+  c.in_c = in_c;
+  c.in_h = c.in_w = hw;
+  c.out_c = out_c;
+  c.kernel = k;
+  c.stride = stride;
+  c.pad = k / 2;  // "same" padding for odd kernels, none for 1x1
+  return c;
+}
+
+}  // namespace
+
+std::vector<LayerConfig> resnet18_conv_layers() {
+  std::vector<LayerConfig> layers;
+  layers.push_back(conv("conv1", 3, 224, 64, 7, 2));
+  // layer1: two basic blocks at 56x56, 64 channels.
+  for (int b = 0; b < 2; ++b) {
+    layers.push_back(conv("layer1." + std::to_string(b) + ".conv1", 64, 56, 64, 3, 1));
+    layers.push_back(conv("layer1." + std::to_string(b) + ".conv2", 64, 56, 64, 3, 1));
+  }
+  // layer2: first block downsamples 56 -> 28, 64 -> 128.
+  layers.push_back(conv("layer2.0.conv1", 64, 56, 128, 3, 2));
+  layers.push_back(conv("layer2.0.conv2", 128, 28, 128, 3, 1));
+  layers.push_back(conv("layer2.0.downsample", 64, 56, 128, 1, 2));
+  layers.push_back(conv("layer2.1.conv1", 128, 28, 128, 3, 1));
+  layers.push_back(conv("layer2.1.conv2", 128, 28, 128, 3, 1));
+  // layer3: 28 -> 14, 128 -> 256.
+  layers.push_back(conv("layer3.0.conv1", 128, 28, 256, 3, 2));
+  layers.push_back(conv("layer3.0.conv2", 256, 14, 256, 3, 1));
+  layers.push_back(conv("layer3.0.downsample", 128, 28, 256, 1, 2));
+  layers.push_back(conv("layer3.1.conv1", 256, 14, 256, 3, 1));
+  layers.push_back(conv("layer3.1.conv2", 256, 14, 256, 3, 1));
+  // layer4: 14 -> 7, 256 -> 512.
+  layers.push_back(conv("layer4.0.conv1", 256, 14, 512, 3, 2));
+  layers.push_back(conv("layer4.0.conv2", 512, 7, 512, 3, 1));
+  layers.push_back(conv("layer4.0.downsample", 256, 14, 512, 1, 2));
+  layers.push_back(conv("layer4.1.conv1", 512, 7, 512, 3, 1));
+  layers.push_back(conv("layer4.1.conv2", 512, 7, 512, 3, 1));
+  return layers;
+}
+
+std::vector<LayerConfig> resnet50_conv_layers() {
+  std::vector<LayerConfig> layers;
+  layers.push_back(conv("conv1", 3, 224, 64, 7, 2));
+
+  struct Stage {
+    std::size_t blocks, in_c, mid_c, out_c, hw;  // hw = input spatial dim of stage
+    std::size_t stride;                          // stride of the first block's 3x3
+  };
+  const Stage stages[] = {
+      {3, 64, 64, 256, 56, 1},
+      {4, 256, 128, 512, 56, 2},
+      {6, 512, 256, 1024, 28, 2},
+      {3, 1024, 512, 2048, 14, 2},
+  };
+  int stage_idx = 1;
+  for (const Stage& st : stages) {
+    std::size_t in_c = st.in_c;
+    std::size_t hw = st.hw;
+    for (std::size_t b = 0; b < st.blocks; ++b) {
+      const std::string prefix = "layer" + std::to_string(stage_idx) + "." + std::to_string(b);
+      const std::size_t stride = (b == 0) ? st.stride : 1;
+      layers.push_back(conv(prefix + ".conv1", in_c, hw, st.mid_c, 1, 1));
+      layers.push_back(conv(prefix + ".conv2", st.mid_c, hw, st.mid_c, 3, stride));
+      const std::size_t out_hw = (b == 0) ? hw / st.stride : hw;
+      layers.push_back(conv(prefix + ".conv3", st.mid_c, out_hw, st.out_c, 1, 1));
+      if (b == 0) {
+        layers.push_back(conv(prefix + ".downsample", in_c, hw, st.out_c, 1, st.stride));
+      }
+      in_c = st.out_c;
+      hw = out_hw;
+    }
+    ++stage_idx;
+  }
+  return layers;
+}
+
+QuantizedBlock QuantizedBlock::random(std::size_t channels, std::size_t k, int w_bits, int a_bits,
+                                      std::mt19937_64& rng) {
+  QuantizedBlock block;
+  block.conv1 = random_weights(channels, channels, k, w_bits, rng);
+  block.conv2 = random_weights(channels, channels, k, w_bits, rng);
+  block.weight_bits = w_bits;
+  block.act_bits = a_bits;
+  // Shift chosen so typical sum-products land back in the activation range.
+  block.requant_shift = sum_product_bits(a_bits, w_bits, channels * k * k) - a_bits - 2;
+  if (block.requant_shift < 0) block.requant_shift = 0;
+  return block;
+}
+
+Tensor3 QuantizedBlock::forward(const Tensor3& input) const {
+  const Tensor3 zero1, zero2;
+  return forward_with_error(input, zero1, zero2);
+}
+
+Tensor3 QuantizedBlock::forward_with_error(const Tensor3& input, const Tensor3& err1,
+                                           const Tensor3& err2) const {
+  const ConvSpec spec{1, conv1.kernel_h() / 2};
+  Tensor3 sp1 = conv2d(input, conv1, spec);
+  if (err1.size() != 0) {
+    if (err1.size() != sp1.size()) throw std::invalid_argument("forward_with_error: err1 shape");
+    for (std::size_t i = 0; i < sp1.data().size(); ++i) sp1.data()[i] += err1.data()[i];
+  }
+  requantize(sp1.data(), requant_shift, act_bits);
+  Tensor3 a1 = relu(std::move(sp1));
+
+  Tensor3 sp2 = conv2d(a1, conv2, spec);
+  if (err2.size() != 0) {
+    if (err2.size() != sp2.size()) throw std::invalid_argument("forward_with_error: err2 shape");
+    for (std::size_t i = 0; i < sp2.data().size(); ++i) sp2.data()[i] += err2.data()[i];
+  }
+  requantize(sp2.data(), requant_shift, act_bits);
+
+  Tensor3 out = add(sp2, input);  // residual connection
+  for (auto& v : out.data()) v = clamp_to_bits(v, act_bits);
+  return relu(std::move(out));
+}
+
+SyntheticClassifier SyntheticClassifier::random(std::size_t features, std::size_t classes, int bits,
+                                                std::mt19937_64& rng) {
+  SyntheticClassifier c;
+  c.classes = classes;
+  c.fc_weights.resize(features * classes);
+  std::normal_distribution<double> dist(0.0, static_cast<double>(quant_max(bits)) / 2.5);
+  for (auto& v : c.fc_weights) v = clamp_to_bits(static_cast<i64>(std::llround(dist(rng))), bits);
+  return c;
+}
+
+std::size_t SyntheticClassifier::predict(const std::vector<i64>& features) const {
+  const std::vector<i64> logits = linear(features, fc_weights, classes);
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < logits.size(); ++j) {
+    if (logits[j] > logits[best]) best = j;
+  }
+  return best;
+}
+
+}  // namespace flash::tensor

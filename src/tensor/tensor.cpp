@@ -1,0 +1,16 @@
+#include "tensor/tensor.hpp"
+
+#include <cstdlib>
+
+namespace flash::tensor {
+
+i64 max_abs(const std::vector<i64>& values) {
+  i64 m = 0;
+  for (i64 v : values) {
+    const i64 a = v < 0 ? -v : v;
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+}  // namespace flash::tensor

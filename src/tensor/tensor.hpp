@@ -1,0 +1,71 @@
+// Minimal dense integer tensors for the quantized-CNN substrate.
+//
+// The private-inference protocol computes over low-bit quantized integers
+// (W4A4 in the paper), so the canonical element type is int64 holding small
+// quantized values; the wide type absorbs sum-products without overflow.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace flash::tensor {
+
+using i64 = std::int64_t;
+
+/// C x H x W activation tensor.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(std::size_t c, std::size_t h, std::size_t w) : c_(c), h_(h), w_(w), data_(c * h * w, 0) {}
+
+  std::size_t channels() const { return c_; }
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  std::size_t size() const { return data_.size(); }
+
+  i64& at(std::size_t c, std::size_t y, std::size_t x) { return data_[(c * h_ + y) * w_ + x]; }
+  i64 at(std::size_t c, std::size_t y, std::size_t x) const { return data_[(c * h_ + y) * w_ + x]; }
+
+  const std::vector<i64>& data() const { return data_; }
+  std::vector<i64>& data() { return data_; }
+
+  bool operator==(const Tensor3&) const = default;
+
+ private:
+  std::size_t c_ = 0, h_ = 0, w_ = 0;
+  std::vector<i64> data_;
+};
+
+/// M x C x K x K weight tensor.
+class Tensor4 {
+ public:
+  Tensor4() = default;
+  Tensor4(std::size_t m, std::size_t c, std::size_t kh, std::size_t kw)
+      : m_(m), c_(c), kh_(kh), kw_(kw), data_(m * c * kh * kw, 0) {}
+
+  std::size_t out_channels() const { return m_; }
+  std::size_t in_channels() const { return c_; }
+  std::size_t kernel_h() const { return kh_; }
+  std::size_t kernel_w() const { return kw_; }
+  std::size_t size() const { return data_.size(); }
+
+  i64& at(std::size_t m, std::size_t c, std::size_t i, std::size_t j) {
+    return data_[((m * c_ + c) * kh_ + i) * kw_ + j];
+  }
+  i64 at(std::size_t m, std::size_t c, std::size_t i, std::size_t j) const {
+    return data_[((m * c_ + c) * kh_ + i) * kw_ + j];
+  }
+
+  const std::vector<i64>& data() const { return data_; }
+  std::vector<i64>& data() { return data_; }
+
+ private:
+  std::size_t m_ = 0, c_ = 0, kh_ = 0, kw_ = 0;
+  std::vector<i64> data_;
+};
+
+/// Max |value| in a tensor.
+i64 max_abs(const std::vector<i64>& values);
+
+}  // namespace flash::tensor

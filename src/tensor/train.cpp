@@ -1,0 +1,123 @@
+#include "tensor/train.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/quant.hpp"
+
+namespace flash::tensor {
+
+namespace {
+i64 dot(const std::vector<i64>& w, std::size_t row, const std::vector<i64>& x) {
+  i64 acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += w[row * x.size() + i] * x[i];
+  return acc;
+}
+
+std::size_t argmax_class(const std::vector<i64>& w, std::size_t classes,
+                         const std::vector<i64>& x) {
+  std::size_t best = 0;
+  i64 best_v = dot(w, 0, x);
+  for (std::size_t c = 1; c < classes; ++c) {
+    const i64 v = dot(w, c, x);
+    if (v > best_v) {
+      best_v = v;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<i64> add_noise(const std::vector<i64>& x, double noise_std, std::mt19937_64& rng) {
+  if (noise_std <= 0.0) return x;
+  std::normal_distribution<double> noise(0.0, noise_std);
+  std::vector<i64> out = x;
+  for (auto& v : out) v += static_cast<i64>(std::llround(noise(rng)));
+  return out;
+}
+}  // namespace
+
+LabeledDataset LabeledDataset::synthetic(std::size_t samples, std::size_t features,
+                                         std::size_t classes, int bits, double min_margin,
+                                         std::mt19937_64& rng) {
+  LabeledDataset data;
+  data.classes = classes;
+  // Hidden teacher.
+  std::normal_distribution<double> wdist(0.0, static_cast<double>(quant_max(bits)) / 2.0);
+  std::vector<i64> teacher(features * classes);
+  for (auto& v : teacher) v = clamp_to_bits(static_cast<i64>(std::llround(wdist(rng))), bits);
+
+  std::uniform_int_distribution<i64> xdist(quant_min(bits), quant_max(bits));
+  while (data.features.size() < samples) {
+    std::vector<i64> x(features);
+    for (auto& v : x) v = xdist(rng);
+    // Label by the teacher; reject small-margin samples so the task is
+    // cleanly separable.
+    std::vector<i64> scores(classes);
+    for (std::size_t c = 0; c < classes; ++c) scores[c] = dot(teacher, c, x);
+    std::size_t label = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (scores[c] > scores[label]) label = c;
+    }
+    i64 second = scores[label == 0 ? 1 : 0];
+    for (std::size_t c = 0; c < classes; ++c) {
+      if (c != label) second = std::max(second, scores[c]);
+    }
+    if (static_cast<double>(scores[label] - second) < min_margin) continue;
+    data.features.push_back(std::move(x));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+std::size_t LinearModel::predict(const std::vector<i64>& x) const {
+  return argmax_class(weights_, classes_, x);
+}
+
+std::size_t LinearModel::predict_noisy(const std::vector<i64>& x, double noise_std,
+                                       std::mt19937_64& rng) const {
+  return predict(add_noise(x, noise_std, rng));
+}
+
+LinearModel train(const LabeledDataset& data, const TrainOptions& options, std::mt19937_64& rng) {
+  if (data.features.empty()) throw std::invalid_argument("train: empty dataset");
+  const std::size_t features = data.features.front().size();
+  LinearModel model(features, data.classes);
+  // Averaged perceptron: accumulate weight snapshots for stability.
+  std::vector<i64> sum(features * data.classes, 0);
+  std::uint64_t snapshots = 0;
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (std::size_t s = 0; s < data.features.size(); ++s) {
+      for (int d = 0; d < std::max(options.noise_draws, 1); ++d) {
+        const std::vector<i64> x = add_noise(data.features[s], options.train_noise_std, rng);
+        const std::size_t pred = model.predict(x);
+        const std::size_t truth = data.labels[s];
+        if (pred != truth) {
+          for (std::size_t i = 0; i < features; ++i) {
+            model.weights()[truth * features + i] += x[i];
+            model.weights()[pred * features + i] -= x[i];
+          }
+        }
+      }
+      for (std::size_t i = 0; i < sum.size(); ++i) sum[i] += model.weights()[i];
+      ++snapshots;
+    }
+  }
+  LinearModel averaged(features, data.classes);
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    averaged.weights()[i] = sum[i] / static_cast<i64>(snapshots);
+  }
+  return averaged;
+}
+
+double evaluate(const LinearModel& model, const LabeledDataset& data, double noise_std,
+                std::mt19937_64& rng) {
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < data.features.size(); ++s) {
+    correct += model.predict_noisy(data.features[s], noise_std, rng) == data.labels[s];
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.features.size());
+}
+
+}  // namespace flash::tensor

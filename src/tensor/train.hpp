@@ -1,0 +1,69 @@
+// Approximation-aware training (paper §IV-C1): "with further
+// approximation-aware training, k can be reduced to around 5 ... while the
+// inference accuracy remains nearly unchanged".
+//
+// The mechanism is noise-injection training: exposing the network to the
+// approximate datapath's error during training teaches it margins that
+// absorb the error at inference. We reproduce it in miniature: a multi-class
+// perceptron trained on synthetic labeled features, with Gaussian noise of
+// the approximate-FFT-calibrated magnitude injected into the features of
+// every update. The claim to verify: under test-time noise, the
+// noise-trained model retains (almost) clean accuracy while the clean-
+// trained model degrades.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "tensor/resnet.hpp"
+
+namespace flash::tensor {
+
+struct LabeledDataset {
+  std::vector<std::vector<i64>> features;
+  std::vector<std::size_t> labels;
+  std::size_t classes = 0;
+
+  /// Linearly separable synthetic data: a hidden teacher classifier labels
+  /// random quantized feature vectors (ties/small margins are rejected so
+  /// clean training can reach ~100%).
+  static LabeledDataset synthetic(std::size_t samples, std::size_t features, std::size_t classes,
+                                  int bits, double min_margin, std::mt19937_64& rng);
+};
+
+struct TrainOptions {
+  std::size_t epochs = 12;
+  /// Std of the Gaussian feature noise injected during training (0 = clean
+  /// training). Calibrate to the approximate datapath's conv-output error.
+  double train_noise_std = 0.0;
+  /// Independent noise draws averaged per update (stabilizes training).
+  int noise_draws = 1;
+};
+
+/// Multi-class averaged perceptron.
+class LinearModel {
+ public:
+  LinearModel(std::size_t features, std::size_t classes)
+      : features_(features), classes_(classes), weights_(features * classes, 0) {}
+
+  std::size_t predict(const std::vector<i64>& x) const;
+  std::size_t predict_noisy(const std::vector<i64>& x, double noise_std, std::mt19937_64& rng) const;
+
+  const std::vector<i64>& weights() const { return weights_; }
+  std::vector<i64>& weights() { return weights_; }
+  std::size_t classes() const { return classes_; }
+
+ private:
+  std::size_t features_, classes_;
+  std::vector<i64> weights_;
+};
+
+/// Train on the dataset (optionally with injected noise) and return the
+/// averaged model.
+LinearModel train(const LabeledDataset& data, const TrainOptions& options, std::mt19937_64& rng);
+
+/// Accuracy (fraction correct) with test-time feature noise of the given std.
+double evaluate(const LinearModel& model, const LabeledDataset& data, double noise_std,
+                std::mt19937_64& rng);
+
+}  // namespace flash::tensor

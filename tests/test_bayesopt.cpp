@@ -1,0 +1,98 @@
+// Gaussian-process surrogate and the Bayesian DSE explorer.
+#include <gtest/gtest.h>
+
+#include "dse/bayesopt.hpp"
+
+namespace flash::dse {
+namespace {
+
+SpaceBounds test_bounds() { return SpaceBounds{10, 39, 2, 18}; }
+
+TEST(GaussianProcess, InterpolatesTrainingData) {
+  GaussianProcess gp(0.5, 1.0, 1e-8);
+  std::vector<std::vector<double>> x = {{0.0}, {0.3}, {0.7}, {1.0}};
+  std::vector<double> y = {1.0, 2.0, -1.0, 0.5};
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto pred = gp.predict(x[i]);
+    EXPECT_NEAR(pred.mean, y[i], 1e-3) << i;
+    EXPECT_LT(pred.variance, 1e-3) << i;
+  }
+}
+
+TEST(GaussianProcess, UncertaintyGrowsAwayFromData) {
+  GaussianProcess gp(0.2, 1.0, 1e-6);
+  gp.fit({{0.0}, {0.1}}, {0.0, 0.1});
+  const double var_near = gp.predict({0.05}).variance;
+  const double var_far = gp.predict({0.9}).variance;
+  EXPECT_GT(var_far, 10.0 * var_near);
+}
+
+TEST(GaussianProcess, SmoothPredictionBetweenPoints) {
+  GaussianProcess gp(0.4, 1.0, 1e-6);
+  gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+  const double mid = gp.predict({0.5}).mean;
+  EXPECT_GT(mid, 0.1);
+  EXPECT_LT(mid, 0.9);
+}
+
+TEST(GaussianProcess, RejectsBadInput) {
+  GaussianProcess gp(0.5, 1.0, 1e-6);
+  EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(gp.predict({0.0}), std::logic_error);
+}
+
+TEST(BayesianExplorer, ProducesBudgetedEvaluationsAndFront) {
+  const std::size_t n = 512;
+  DesignSpace space(n / 2, test_bounds());
+  ErrorModel model = ErrorModel::from_weight_stats(n, 36, 8.0);
+  CostModel cost(n / 2, test_bounds());
+  BayesianExplorer explorer(std::move(space), std::move(model), std::move(cost), 777);
+  BayesOptions opts;
+  opts.evaluations = 120;
+  const auto all = explorer.explore(opts);
+  EXPECT_EQ(all.size(), 120u);
+  const auto front = pareto_front(all);
+  EXPECT_GE(front.size(), 3u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LE(front[i].error_variance, front[i - 1].error_variance);
+  }
+}
+
+TEST(BayesianExplorer, ComparableToEvolutionaryAtEqualBudget) {
+  // Both searches should reach low-power feasible points; BO must be within
+  // a modest factor of the evolutionary archive on the common threshold.
+  const std::size_t n = 512;
+  const SpaceBounds bounds = test_bounds();
+  const ErrorModel model = ErrorModel::from_weight_stats(n, 36, 8.0);
+  const CostModel cost(n / 2, bounds);
+  const std::size_t budget = 200;
+
+  BayesianExplorer bo(DesignSpace(n / 2, bounds), ErrorModel(model), CostModel(cost), 4242);
+  BayesOptions bopts;
+  bopts.evaluations = budget;
+  const auto bo_points = bo.explore(bopts);
+
+  DseExplorer evo(DesignSpace(n / 2, bounds), ErrorModel(model), CostModel(cost), 4242);
+  DseOptions eopts;
+  eopts.evaluations = budget;
+  const auto evo_points = evo.explore(eopts);
+
+  const double threshold = 1e-6;
+  auto best_power = [&](const std::vector<EvaluatedPoint>& pts) {
+    double best = 1e300;
+    for (const auto& e : pts) {
+      if (e.error_variance <= threshold) best = std::min(best, e.normalized_power);
+    }
+    return best;
+  };
+  const double bo_best = best_power(bo_points);
+  const double evo_best = best_power(evo_points);
+  ASSERT_LT(bo_best, 1e300) << "BO found no feasible point";
+  ASSERT_LT(evo_best, 1e300) << "evolutionary found no feasible point";
+  EXPECT_LT(bo_best, 2.0 * evo_best);
+  EXPECT_LT(evo_best, 2.0 * bo_best);
+}
+
+}  // namespace
+}  // namespace flash::dse

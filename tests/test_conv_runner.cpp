@@ -1,0 +1,91 @@
+// ConvRunner: padding, stride decomposition and spatial tiling over the
+// HE/2PC protocol, validated against the direct convolution oracle.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "protocol/conv_runner.hpp"
+#include "tensor/quant.hpp"
+
+namespace flash::protocol {
+namespace {
+
+struct Fixture {
+  bfv::BfvContext ctx;
+  HConvProtocol proto;
+  ConvRunner runner;
+
+  Fixture() : ctx(bfv::BfvParams::create(1024, 18, 46)),
+              proto(ctx, bfv::PolyMulBackend::kFft, std::nullopt, 71), runner(proto) {}
+};
+
+class ConvRunnerShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t,
+                                                 std::size_t, std::size_t>> {};
+
+TEST_P(ConvRunnerShapes, MatchesDirectConv) {
+  const auto [c, hw, out_c, k, stride, pad] = GetParam();
+  Fixture f;
+  std::mt19937_64 rng(c * 100 + hw + k * 10 + stride);
+  const tensor::Tensor3 x = tensor::random_activations(c, hw, hw, 4, rng);
+  const tensor::Tensor4 w = tensor::random_weights(out_c, c, k, 4, rng);
+  const ConvRunnerResult r = f.runner.run(x, w, stride, pad);
+  const tensor::Tensor3 got = r.reconstruct(f.ctx.params().t);
+  const tensor::Tensor3 expect = tensor::conv2d(x, w, {stride, pad});
+  EXPECT_EQ(got.data(), expect.data());
+  EXPECT_EQ(got.height(), expect.height());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvRunnerShapes,
+    ::testing::Values(
+        // stride 1 with 'same' padding, single tile
+        std::make_tuple(std::size_t{4}, std::size_t{8}, std::size_t{3}, std::size_t{3},
+                        std::size_t{1}, std::size_t{1}),
+        // stride 1, input too large for one polynomial -> spatial tiling
+        std::make_tuple(std::size_t{2}, std::size_t{40}, std::size_t{2}, std::size_t{3},
+                        std::size_t{1}, std::size_t{1}),
+        // stride 2, 3x3 kernel (4 phases)
+        std::make_tuple(std::size_t{4}, std::size_t{12}, std::size_t{3}, std::size_t{3},
+                        std::size_t{2}, std::size_t{1}),
+        // stride 2, 1x1 downsample (single phase)
+        std::make_tuple(std::size_t{6}, std::size_t{10}, std::size_t{4}, std::size_t{1},
+                        std::size_t{2}, std::size_t{0}),
+        // stride 2, 7x7 stem kernel (ragged phase kernels)
+        std::make_tuple(std::size_t{3}, std::size_t{14}, std::size_t{2}, std::size_t{7},
+                        std::size_t{2}, std::size_t{3}),
+        // stride 4 exceeds kernel: only k^2 phases carry taps
+        std::make_tuple(std::size_t{2}, std::size_t{16}, std::size_t{2}, std::size_t{3},
+                        std::size_t{4}, std::size_t{1})));
+
+TEST(ConvRunner, SpatialTilingUsesMultipleHConvs) {
+  Fixture f;
+  std::mt19937_64 rng(9);
+  const tensor::Tensor3 x = tensor::random_activations(2, 40, 40, 4, rng);
+  const tensor::Tensor4 w = tensor::random_weights(1, 2, 3, 4, rng);
+  const ConvRunnerResult r = f.runner.run(x, w, 1, 0);
+  EXPECT_GT(r.hconv_calls, 1u);  // 40x40 patch cannot fit a 1024-degree poly
+  EXPECT_EQ(r.reconstruct(f.ctx.params().t).data(), tensor::conv2d(x, w, {1, 0}).data());
+}
+
+TEST(ConvRunner, StridePhasesShareNoExtraRound) {
+  // The stride decomposition sums *shares* locally: communication equals the
+  // sum of the phases' ciphertext traffic, nothing more.
+  Fixture f;
+  std::mt19937_64 rng(10);
+  const tensor::Tensor3 x = tensor::random_activations(3, 8, 8, 4, rng);
+  const tensor::Tensor4 w = tensor::random_weights(2, 3, 3, 4, rng);
+  const ConvRunnerResult r = f.runner.run(x, w, 2, 1);
+  EXPECT_EQ(r.hconv_calls, 4u);  // min(k, s)^2 = 4 phases, one tile each
+  EXPECT_EQ(r.bytes_client_to_server, 4 * ciphertext_bytes(f.ctx.params()));
+}
+
+TEST(ConvRunner, RejectsZeroStride) {
+  Fixture f;
+  const tensor::Tensor3 x(1, 4, 4);
+  const tensor::Tensor4 w(1, 1, 1, 1);
+  EXPECT_THROW(f.runner.run(x, w, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flash::protocol

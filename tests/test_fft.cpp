@@ -1,0 +1,171 @@
+// Complex FFT and the folded negacyclic transform: reference-DFT agreement,
+// inverse property, and exactness of integer negacyclic products.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "fft/complex_fft.hpp"
+#include "fft/negacyclic.hpp"
+#include "hemath/ntt.hpp"
+
+namespace flash::fft {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+void expect_close(const std::vector<cplx>& a, const std::vector<cplx>& b, double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), tol) << "i=" << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), tol) << "i=" << i;
+  }
+}
+
+std::vector<cplx> random_signal(std::size_t m, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<cplx> a(m);
+  for (auto& x : a) x = {dist(rng), dist(rng)};
+  return a;
+}
+
+class FftPlanTest : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(FftPlanTest, MatchesReferenceDft) {
+  const auto [m, sign] = GetParam();
+  std::mt19937_64 rng(31);
+  const auto a = random_signal(m, rng);
+  auto b = a;
+  FftPlan plan(m, sign);
+  plan.forward(b);
+  expect_close(b, dft_reference(a, sign), 1e-8 * static_cast<double>(m));
+}
+
+TEST_P(FftPlanTest, InverseRoundTrip) {
+  const auto [m, sign] = GetParam();
+  std::mt19937_64 rng(32);
+  const auto a = random_signal(m, rng);
+  auto b = a;
+  FftPlan plan(m, sign);
+  plan.forward(b);
+  plan.inverse(b);
+  expect_close(b, a, kTol * static_cast<double>(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndSigns, FftPlanTest,
+                         ::testing::Combine(::testing::Values(std::size_t{2}, std::size_t{8},
+                                                              std::size_t{64}, std::size_t{1024}),
+                                            ::testing::Values(+1, -1)));
+
+TEST(FftPlan, ImpulseGivesFlatSpectrum) {
+  FftPlan plan(16, +1);
+  std::vector<cplx> a(16, cplx{0, 0});
+  a[0] = 1.0;
+  plan.forward(a);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.real(), 1.0, kTol);
+    EXPECT_NEAR(v.imag(), 0.0, kTol);
+  }
+}
+
+TEST(FftPlan, RejectsBadSizes) {
+  EXPECT_THROW(FftPlan(0, 1), std::invalid_argument);
+  EXPECT_THROW(FftPlan(12, 1), std::invalid_argument);
+  EXPECT_THROW(FftPlan(16, 2), std::invalid_argument);
+}
+
+class NegacyclicTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NegacyclicTest, FoldUnfoldRoundTrip) {
+  const std::size_t n = GetParam();
+  NegacyclicFft fft(n);
+  std::mt19937_64 rng(33);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  std::vector<double> a(n);
+  for (auto& x : a) x = dist(rng);
+  const auto z = fft.fold(a);
+  EXPECT_EQ(z.size(), n / 2);
+  const auto back = fft.unfold(z);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], a[i], kTol);
+}
+
+TEST_P(NegacyclicTest, ForwardInverseRoundTrip) {
+  const std::size_t n = GetParam();
+  NegacyclicFft fft(n);
+  std::mt19937_64 rng(34);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  std::vector<double> a(n);
+  for (auto& x : a) x = dist(rng);
+  const auto back = fft.inverse(fft.forward(a));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], a[i], 1e-8);
+}
+
+TEST_P(NegacyclicTest, IntegerMultiplyMatchesSchoolbook) {
+  const std::size_t n = GetParam();
+  NegacyclicFft fft(n);
+  std::mt19937_64 rng(35);
+  std::uniform_int_distribution<i64> dist(-100, 100);
+  std::vector<i64> a(n), b(n);
+  for (auto& x : a) x = dist(rng);
+  for (auto& x : b) x = dist(rng);
+  EXPECT_EQ(fft.multiply(a, b), negacyclic_multiply_i64(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NegacyclicTest,
+                         ::testing::Values(std::size_t{4}, std::size_t{16}, std::size_t{256},
+                                           std::size_t{2048}));
+
+TEST(Negacyclic, SpectrumEvaluatesAtOddRoots) {
+  // forward()[u] must equal a(zeta^(4u+1)) with zeta = e^{i pi / n}.
+  const std::size_t n = 16;
+  NegacyclicFft fft(n);
+  std::mt19937_64 rng(36);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> a(n);
+  for (auto& x : a) x = dist(rng);
+  const auto spec = fft.forward(a);
+  for (std::size_t u = 0; u < n / 2; ++u) {
+    const double theta = std::numbers::pi * static_cast<double>(4 * u + 1) / static_cast<double>(n);
+    cplx eval{0, 0};
+    for (std::size_t j = 0; j < n; ++j) {
+      eval += a[j] * std::polar(1.0, theta * static_cast<double>(j));
+    }
+    EXPECT_NEAR(spec[u].real(), eval.real(), 1e-9) << u;
+    EXPECT_NEAR(spec[u].imag(), eval.imag(), 1e-9) << u;
+  }
+}
+
+TEST(Negacyclic, MultiplyModMatchesNtt) {
+  const std::size_t n = 64;
+  const u64 q = 65537;  // 1 mod 128
+  NegacyclicFft fft(n);
+  std::mt19937_64 rng(37);
+  std::vector<u64> a(n), b(n);
+  for (auto& x : a) x = rng() % q;
+  for (auto& x : b) x = rng() % 16;  // small weights: products stay exact in double
+  const auto via_fft = fft.multiply_mod(a, b, q);
+  const auto expect = hemath::negacyclic_multiply_schoolbook(q, a, b);
+  EXPECT_EQ(via_fft, expect);
+}
+
+TEST(Negacyclic, MultiplyLinearInFirstArgument) {
+  const std::size_t n = 32;
+  NegacyclicFft fft(n);
+  std::mt19937_64 rng(38);
+  std::uniform_int_distribution<i64> dist(-50, 50);
+  std::vector<i64> a(n), b(n), c(n), apb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+    c[i] = dist(rng);
+    apb[i] = a[i] + b[i];
+  }
+  const auto lhs = fft.multiply(apb, c);
+  const auto ra = fft.multiply(a, c);
+  const auto rb = fft.multiply(b, c);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(lhs[i], ra[i] + rb[i]);
+}
+
+}  // namespace
+}  // namespace flash::fft

@@ -1,0 +1,228 @@
+// Bit-accurate fixed-point FFT: convergence to the exact FFT with width,
+// stats counting, saturation behaviour, and the negacyclic weight transform.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fft/fxp_fft.hpp"
+#include "fft/negacyclic.hpp"
+
+namespace flash::fft {
+namespace {
+
+std::vector<cplx> random_small(std::size_t m, std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> dist(-8, 8);
+  std::vector<cplx> a(m);
+  for (auto& x : a) x = {static_cast<double>(dist(rng)), static_cast<double>(dist(rng))};
+  return a;
+}
+
+TEST(FxpFft, HighPrecisionMatchesExact) {
+  const std::size_t m = 64;
+  FxpFftConfig cfg = FxpFftConfig::uniform(m, 30, 56, 18);
+  cfg.twiddle_min_exp = -30;
+  FxpFft fxp(m, cfg);
+  FftPlan exact(m, +1);
+  std::mt19937_64 rng(41);
+  const auto a = random_small(m, rng);
+  auto ref = a;
+  exact.forward(ref);
+  const auto approx = fxp.forward(a);
+  EXPECT_LT(relative_spectrum_rmse(approx, ref), 1e-6);
+}
+
+TEST(FxpFft, ErrorDecreasesWithWidth) {
+  const std::size_t m = 128;
+  std::mt19937_64 rng(42);
+  const auto a = random_small(m, rng);
+  FftPlan exact(m, +1);
+  auto ref = a;
+  exact.forward(ref);
+  double prev = 1e9;
+  for (int frac : {4, 8, 14, 22}) {
+    FxpFftConfig cfg = FxpFftConfig::uniform(m, frac, 50, 16);
+    cfg.twiddle_min_exp = -(frac + 8);
+    FxpFft fxp(m, cfg);
+    const double err = relative_spectrum_rmse(fxp.forward(a), ref);
+    EXPECT_LT(err, prev) << frac;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-4);
+}
+
+TEST(FxpFft, ErrorDecreasesWithTwiddleK) {
+  const std::size_t m = 128;
+  std::mt19937_64 rng(43);
+  const auto a = random_small(m, rng);
+  FftPlan exact(m, +1);
+  auto ref = a;
+  exact.forward(ref);
+  double prev = 1e9;
+  for (int k : {1, 3, 6, 12}) {
+    FxpFftConfig cfg = FxpFftConfig::uniform(m, 24, 52, k);
+    cfg.twiddle_min_exp = -28;
+    FxpFft fxp(m, cfg);
+    const double err = relative_spectrum_rmse(fxp.forward(a), ref);
+    EXPECT_LE(err, prev * 1.05) << k;  // monotone modulo tiny noise
+    prev = err;
+  }
+}
+
+TEST(FxpFft, StatsCountButterfliesAndTerms) {
+  const std::size_t m = 32;
+  const int k = 4;
+  FxpFftConfig cfg = FxpFftConfig::uniform(m, 12, 30, k);
+  FxpFft fxp(m, cfg);
+  std::mt19937_64 rng(44);
+  FxpFftStats stats;
+  fxp.forward(random_small(m, rng), &stats);
+  EXPECT_EQ(stats.butterflies, (m / 2) * 5);  // (M/2) log2 M
+  // Each butterfly runs 4 CSD multiplies with <= k digits each.
+  EXPECT_LE(stats.shift_add_terms, stats.butterflies * 4 * k);
+  EXPECT_GT(stats.shift_add_terms, 0u);
+  EXPECT_EQ(stats.saturations, 0u);
+}
+
+TEST(FxpFft, NarrowWidthSaturates) {
+  const std::size_t m = 64;
+  // 6-bit total width cannot hold the magnitude growth of 6 stages.
+  FxpFftConfig cfg = FxpFftConfig::uniform(m, 2, 6, 8);
+  FxpFft fxp(m, cfg);
+  std::mt19937_64 rng(45);
+  FxpFftStats stats;
+  fxp.forward(random_small(m, rng), &stats);
+  EXPECT_GT(stats.saturations, 0u);
+}
+
+TEST(FxpFft, TruncateRoundingBiasLargerThanNearest) {
+  const std::size_t m = 256;
+  std::mt19937_64 rng(46);
+  const auto a = random_small(m, rng);
+  FftPlan exact(m, +1);
+  auto ref = a;
+  exact.forward(ref);
+
+  FxpFftConfig nearest = FxpFftConfig::uniform(m, 10, 40, 16);
+  nearest.twiddle_min_exp = -26;
+  FxpFftConfig trunc = nearest;
+  trunc.rounding = RoundingMode::kTruncate;
+  const double err_nearest = relative_spectrum_rmse(FxpFft(m, nearest).forward(a), ref);
+  const double err_trunc = relative_spectrum_rmse(FxpFft(m, trunc).forward(a), ref);
+  EXPECT_GT(err_trunc, err_nearest);
+}
+
+TEST(FxpFft, PerStageWidthsAccepted) {
+  const std::size_t m = 16;
+  FxpFftConfig cfg;
+  cfg.input_frac_bits = 20;
+  cfg.stage_frac_bits = {20, 18, 16, 14};
+  cfg.data_width = 45;
+  cfg.twiddle_k = 10;
+  cfg.twiddle_min_exp = -24;
+  FxpFft fxp(m, cfg);
+  std::mt19937_64 rng(47);
+  const auto a = random_small(m, rng);
+  FftPlan exact(m, +1);
+  auto ref = a;
+  exact.forward(ref);
+  EXPECT_LT(relative_spectrum_rmse(fxp.forward(a), ref), 1e-3);
+}
+
+TEST(FxpFft, RejectsBadConfig) {
+  FxpFftConfig cfg = FxpFftConfig::uniform(16, 10, 30, 4);
+  cfg.stage_frac_bits.pop_back();
+  EXPECT_THROW(FxpFft(16, cfg), std::invalid_argument);
+  FxpFftConfig wide = FxpFftConfig::uniform(16, 10, 70, 4);
+  EXPECT_THROW(FxpFft(16, wide), std::invalid_argument);
+}
+
+TEST(FxpNegacyclic, WeightTransformTracksExact) {
+  const std::size_t n = 512;
+  FxpFftConfig cfg = FxpFftConfig::uniform(n / 2, 18, 45, 14);
+  cfg.twiddle_min_exp = -24;
+  FxpNegacyclicTransform approx(n, cfg);
+  NegacyclicFft exact(n);
+  std::mt19937_64 rng(48);
+  std::uniform_int_distribution<int> w(-8, 8);
+  std::vector<double> a(n, 0.0);
+  for (int i = 0; i < 60; ++i) a[rng() % n] = static_cast<double>(w(rng));
+  const auto ref = exact.forward(a);
+  const auto got = approx.forward(a);
+  EXPECT_LT(relative_spectrum_rmse(got, ref), 1e-3);
+}
+
+TEST(FxpNegacyclic, Paper27BitConfigIsAccurate) {
+  // The paper's operating point: 27-bit data path, k = 5 twiddles, on sparse
+  // 4-bit weight polynomials. Relative spectrum error should be well below
+  // the HE noise headroom (~2^-10 relative is ample).
+  const std::size_t n = 2048;
+  const std::size_t m = n / 2;
+  FxpFftConfig cfg;
+  cfg.data_width = 27;
+  cfg.twiddle_k = 5;
+  cfg.twiddle_min_exp = -20;
+  const int stages = 10;
+  cfg.input_frac_bits = 22;  // |z| <= 8*sqrt(2): 5 int bits incl sign
+  cfg.stage_frac_bits.resize(stages);
+  for (int s = 1; s <= stages; ++s) {
+    cfg.stage_frac_bits[s - 1] = std::max(0, 27 - (5 + s));
+  }
+  FxpNegacyclicTransform approx(n, cfg);
+  NegacyclicFft exact(n);
+  std::mt19937_64 rng(49);
+  std::uniform_int_distribution<int> w(-8, 8);
+  std::vector<double> a(n, 0.0);
+  for (int i = 0; i < 9 * 16; ++i) a[rng() % n] = static_cast<double>(w(rng));
+  EXPECT_LT(relative_spectrum_rmse(approx.forward(a), exact.forward(a)), 2e-2);
+  (void)m;
+}
+
+
+TEST(FxpFft, InverseRoundTripOnApproxDatapath) {
+  const std::size_t m = 128;
+  FxpFftConfig cfg = FxpFftConfig::uniform(m, 24, 52, 16);
+  cfg.twiddle_min_exp = -28;
+  FxpFft fxp(m, cfg);
+  std::mt19937_64 rng(50);
+  const auto a = random_small(m, rng);
+  const auto round_trip = fxp.inverse(fxp.forward(a));
+  double err = 0, mag = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    err += std::norm(round_trip[i] - a[i]);
+    mag += std::norm(a[i]);
+  }
+  EXPECT_LT(std::sqrt(err / mag), 1e-3);
+}
+
+TEST(FxpFft, InverseMatchesExactInverse) {
+  const std::size_t m = 256;
+  FxpFftConfig cfg = FxpFftConfig::uniform(m, 26, 54, 18);
+  cfg.twiddle_min_exp = -30;
+  FxpFft fxp(m, cfg);
+  std::mt19937_64 rng(51);
+  const auto spec = random_small(m, rng);
+  auto exact = spec;
+  FftPlan(m, +1).inverse(exact);
+  const auto approx = fxp.inverse(spec);
+  EXPECT_LT(relative_spectrum_rmse(approx, exact), 1e-4);
+}
+
+TEST(FxpNegacyclic, FullPipelineRoundTrip) {
+  // forward + pointwise-identity + inverse on the approximate datapath
+  // recovers the polynomial: the complete weight-transform/inverse loop the
+  // accelerator's approximate array executes.
+  const std::size_t n = 512;
+  FxpFftConfig cfg = FxpFftConfig::uniform(n / 2, 22, 50, 16);
+  cfg.twiddle_min_exp = -26;
+  FxpNegacyclicTransform fxp(n, cfg);
+  std::mt19937_64 rng(52);
+  std::vector<double> a(n, 0.0);
+  for (int i = 0; i < 60; ++i) a[rng() % n] = static_cast<double>(static_cast<int>(rng() % 15) - 7);
+  const auto back = fxp.inverse(fxp.forward(a));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], a[i], 2e-2) << i;
+  }
+}
+
+}  // namespace
+}  // namespace flash::fft

@@ -1,0 +1,88 @@
+// The GAZELLE rotation-based matvec baseline: correctness and the rotation
+// count Cheetah/FLASH coefficient encoding eliminates.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "protocol/gazelle_matvec.hpp"
+#include "protocol/hconv_protocol.hpp"
+#include "tensor/conv.hpp"
+
+namespace flash::protocol {
+namespace {
+
+bfv::BfvParams gazelle_params() { return bfv::BfvParams::create_batching(1024, 14, 60); }
+
+TEST(Gazelle, MatVecMatchesLinear) {
+  bfv::BfvContext ctx(gazelle_params());
+  const std::size_t in_f = 32, out_f = 16;
+  GazelleMatVec gz(ctx, in_f, out_f, 41);
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<i64> wdist(-7, 7), xdist(0, 15);
+  std::vector<i64> w(in_f * out_f), x(in_f);
+  for (auto& v : w) v = wdist(rng);
+  for (auto& v : x) v = xdist(rng);
+  const auto result = gz.run(x, w);
+  EXPECT_EQ(result.y, tensor::linear(x, w, out_f));
+}
+
+TEST(Gazelle, RotationCountIsDiagonalCount) {
+  bfv::BfvContext ctx(gazelle_params());
+  const std::size_t in_f = 16, out_f = 16;
+  GazelleMatVec gz(ctx, in_f, out_f, 42);
+  std::mt19937_64 rng(2);
+  std::vector<i64> w(in_f * out_f), x(in_f, 1);
+  for (auto& v : w) v = static_cast<i64>(rng() % 13) - 6;
+  const auto result = gz.run(x, w);
+  // Dense W: one rotation per nonzero diagonal except d = 0.
+  EXPECT_EQ(result.rotations, in_f - 1);
+  EXPECT_EQ(result.plain_mults, in_f);
+  EXPECT_EQ(result.y, tensor::linear(x, w, out_f));
+}
+
+TEST(Gazelle, SparseDiagonalsAreSkipped) {
+  bfv::BfvContext ctx(gazelle_params());
+  const std::size_t in_f = 16, out_f = 16;
+  GazelleMatVec gz(ctx, in_f, out_f, 43);
+  // Only the main diagonal and diagonal 3 are nonzero.
+  std::vector<i64> w(in_f * out_f, 0);
+  for (std::size_t j = 0; j < out_f; ++j) {
+    w[j * in_f + j] = 2;
+    w[j * in_f + (j + 3) % in_f] = -1;
+  }
+  std::mt19937_64 rng(3);
+  std::vector<i64> x(in_f);
+  for (auto& v : x) v = static_cast<i64>(rng() % 16);
+  const auto result = gz.run(x, w);
+  EXPECT_EQ(result.rotations, 1u);  // only d = 3 needs a rotation
+  EXPECT_EQ(result.plain_mults, 2u);
+  EXPECT_EQ(result.y, tensor::linear(x, w, out_f));
+}
+
+TEST(Gazelle, RejectsOversizedInputs) {
+  bfv::BfvContext ctx(gazelle_params());
+  EXPECT_THROW(GazelleMatVec(ctx, 512, 512, 44), std::invalid_argument);  // 2*512 > 512
+  EXPECT_THROW(GazelleMatVec(ctx, 16, 32, 45), std::invalid_argument);    // out > in
+}
+
+TEST(Gazelle, CheetahAvoidsAllRotations) {
+  // The comparison FLASH's Table I is about: the same matvec through the
+  // coefficient encoding performs zero rotations.
+  bfv::BfvContext ctx(gazelle_params());
+  const std::size_t in_f = 32, out_f = 16;
+  GazelleMatVec gz(ctx, in_f, out_f, 46);
+  std::mt19937_64 rng(4);
+  std::vector<i64> w(in_f * out_f), x(in_f);
+  for (auto& v : w) v = static_cast<i64>(rng() % 13) - 6;
+  for (auto& v : x) v = static_cast<i64>(rng() % 16);
+  const auto gz_result = gz.run(x, w);
+  EXPECT_GT(gz_result.rotations, 0u);
+
+  HConvProtocol cheetah(ctx, bfv::PolyMulBackend::kNtt, std::nullopt, 47);
+  const auto ch_result = cheetah.run_matvec(x, w, out_f);
+  EXPECT_EQ(ch_result.reconstruct(ctx.params().t), gz_result.y);
+  // Coefficient encoding: no Galois keys, no rotations, by construction.
+}
+
+}  // namespace
+}  // namespace flash::protocol

@@ -1,0 +1,149 @@
+// Matrix-vector (FC layer) encoding and the merged lazy-materialization
+// sparse-FFT executor.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "encoding/matvec.hpp"
+#include "fft/complex_fft.hpp"
+#include "sparsefft/executor.hpp"
+#include "tensor/conv.hpp"
+
+namespace flash {
+namespace {
+
+using tensor::i64;
+
+std::vector<i64> random_vec(std::size_t n, i64 lo, i64 hi, std::mt19937_64& rng) {
+  std::uniform_int_distribution<i64> dist(lo, hi);
+  std::vector<i64> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+class MatVecShapes : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(MatVecShapes, MatchesDirectLinear) {
+  const auto [n, in_f, out_f] = GetParam();
+  std::mt19937_64 rng(in_f * 131 + out_f);
+  const auto w = random_vec(in_f * out_f, -7, 7, rng);
+  const auto x = random_vec(in_f, -7, 7, rng);
+  const auto got = encoding::matvec_via_encoding(w, x, out_f, n);
+  const auto expect = tensor::linear(x, w, out_f);
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatVecShapes,
+    ::testing::Values(std::make_tuple(std::size_t{64}, std::size_t{8}, std::size_t{8}),
+                      std::make_tuple(std::size_t{64}, std::size_t{64}, std::size_t{3}),
+                      std::make_tuple(std::size_t{128}, std::size_t{10}, std::size_t{50}),
+                      std::make_tuple(std::size_t{1024}, std::size_t{512}, std::size_t{10}),
+                      std::make_tuple(std::size_t{256}, std::size_t{7}, std::size_t{100})));
+
+TEST(MatVec, ChunkingCoversAllRows) {
+  encoding::MatVecEncoder enc(128, 10, 50);
+  EXPECT_EQ(enc.rows_per_poly(), 12u);
+  EXPECT_EQ(enc.poly_count(), 5u);  // ceil(50/12)
+  std::size_t rows = 0;
+  for (std::size_t c = 0; c < enc.poly_count(); ++c) rows += enc.output_positions(c).size();
+  EXPECT_EQ(rows, 50u);
+}
+
+TEST(MatVec, RejectsBadShapes) {
+  EXPECT_THROW(encoding::MatVecEncoder(64, 65, 1), std::invalid_argument);
+  EXPECT_THROW(encoding::MatVecEncoder(64, 0, 1), std::invalid_argument);
+  EXPECT_THROW(encoding::MatVecEncoder(64, 8, 0), std::invalid_argument);
+}
+
+TEST(MatVec, ResNetFcHead) {
+  // The ResNet-50 FC head: 2048 -> 1000 over N = 4096 polynomials.
+  encoding::MatVecEncoder enc(4096, 2048, 1000);
+  EXPECT_EQ(enc.rows_per_poly(), 2u);
+  EXPECT_EQ(enc.poly_count(), 500u);
+  std::mt19937_64 rng(9);
+  const auto w = random_vec(2048 * 4, -7, 7, rng);  // 4 rows suffice for the check
+  const auto x = random_vec(2048, 0, 15, rng);
+  EXPECT_EQ(encoding::matvec_via_encoding(w, x, 4, 4096), tensor::linear(x, w, 4));
+}
+
+// --- merged executor --------------------------------------------------------
+
+std::vector<fft::cplx> sparse_input(const sparsefft::SparsityPattern& p, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> dist(-4.0, 4.0);
+  std::vector<fft::cplx> a(p.size(), {0.0, 0.0});
+  for (std::size_t i : p.nonzeros()) a[i] = {dist(rng), dist(rng)};
+  return a;
+}
+
+class MergedExecutor : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(MergedExecutor, MatchesDenseAndCountsMergedMults) {
+  const auto [m, nnz] = GetParam();
+  std::mt19937_64 rng(m * 7 + nnz);
+  std::vector<std::size_t> pos;
+  for (std::size_t i = 0; i < nnz; ++i) pos.push_back(rng() % m);
+  const sparsefft::SparsityPattern pattern(m, std::move(pos));
+  const sparsefft::SparseFftPlan plan(m, pattern);
+  const auto input = sparse_input(pattern, rng);
+
+  std::uint64_t mults = 0;
+  const auto merged = sparsefft::execute_merged(plan, input, &mults);
+  auto dense = input;
+  fft::FftPlan(m, +1).forward(dense);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(merged[i].real(), dense[i].real(), 1e-8) << i;
+    EXPECT_NEAR(merged[i].imag(), dense[i].imag(), 1e-8) << i;
+  }
+  // The lazy executor issues exactly the planner's merged multiplication
+  // count — the numbers behind Fig. 11(a) correspond to real executions.
+  EXPECT_EQ(mults, plan.cost().merged_mults);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MergedExecutor,
+    ::testing::Combine(::testing::Values(std::size_t{16}, std::size_t{64}, std::size_t{512},
+                                         std::size_t{2048}),
+                       ::testing::Values(std::size_t{1}, std::size_t{9}, std::size_t{72})));
+
+TEST(MergedExecutorSpecial, SingleElementIssuesAboutMMults) {
+  const std::size_t m = 1024;
+  const sparsefft::SparsityPattern p(m, {6});
+  const sparsefft::SparseFftPlan plan(m, p);
+  std::mt19937_64 rng(10);
+  std::uint64_t mults = 0;
+  const auto out = sparsefft::execute_merged(plan, sparse_input(p, rng), &mults);
+  EXPECT_LE(mults, m);  // paper: (N/2)log2(N) butterflies collapse to ~N mults
+  EXPECT_GT(mults, m / 4);
+  auto dense = sparse_input(p, rng);
+  (void)dense;
+  (void)out;
+}
+
+TEST(MergedExecutorSpecial, ContiguousPatternIssuesFewMults) {
+  // Example 4.1 geometry: valid data at multiples of m/4 -> pure skipping,
+  // only the 4-point sub-network multiplies.
+  const std::size_t m = 1024;
+  std::vector<std::size_t> pos{0, m / 4, m / 2, 3 * m / 4};
+  const sparsefft::SparsityPattern p(m, std::move(pos));
+  const sparsefft::SparseFftPlan plan(m, p);
+  std::mt19937_64 rng(11);
+  std::uint64_t mults = 0;
+  (void)sparsefft::execute_merged(plan, sparse_input(p, rng), &mults);
+  EXPECT_LE(mults, 2u);  // the 4-point network has only trivial twiddles
+}
+
+TEST(MergedExecutorSpecial, DensePatternIssuesDenseMults) {
+  const std::size_t m = 64;
+  std::vector<std::size_t> all(m);
+  for (std::size_t i = 0; i < m; ++i) all[i] = i;
+  const sparsefft::SparsityPattern p(m, std::move(all));
+  const sparsefft::SparseFftPlan plan(m, p);
+  std::mt19937_64 rng(12);
+  std::uint64_t mults = 0;
+  (void)sparsefft::execute_merged(plan, sparse_input(p, rng), &mults);
+  EXPECT_EQ(mults, sparsefft::SparseFftPlan::dense_cost(m).merged_mults);
+}
+
+}  // namespace
+}  // namespace flash

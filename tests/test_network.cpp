@@ -1,0 +1,69 @@
+// End-to-end quantized network with injectable convolution executors:
+// cleartext vs hybrid HE/2PC equivalence over the full stack.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/flash_accelerator.hpp"
+#include "tensor/network.hpp"
+#include "tensor/quant.hpp"
+
+namespace flash {
+namespace {
+
+TEST(SmallQuantNet, FeatureShapesAndDeterminism) {
+  std::mt19937_64 rng(1);
+  const auto net = tensor::SmallQuantNet::random(3, 8, 2, 10, 6, 4, 4, rng);
+  const tensor::Tensor3 x = tensor::random_activations(3, 6, 6, 4, rng);
+  const auto conv = tensor::reference_conv();
+  const tensor::Tensor3 f = net.features(x, conv);
+  EXPECT_EQ(f.channels(), 8u);
+  EXPECT_EQ(f.height(), 6u);
+  EXPECT_EQ(net.predict(x, conv), net.predict(x, conv));
+  for (tensor::i64 v : f.data()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, tensor::quant_max(4));
+  }
+}
+
+TEST(SmallQuantNet, HeadSizeMismatchThrows) {
+  std::mt19937_64 rng(2);
+  auto net = tensor::SmallQuantNet::random(3, 8, 1, 10, 6, 4, 4, rng);
+  const tensor::Tensor3 wrong = tensor::random_activations(3, 8, 8, 4, rng);  // 8x8 vs head 6x6
+  EXPECT_THROW(net.predict(wrong, tensor::reference_conv()), std::invalid_argument);
+}
+
+TEST(SmallQuantNet, PrivateInferenceMatchesCleartext) {
+  const bfv::BfvParams params = bfv::BfvParams::create(1024, 18, 46);
+  core::FlashOptions options;
+  options.backend = bfv::PolyMulBackend::kApproxFft;
+  options.approx_config = core::high_accuracy_approx_config(params.n, params.t);
+  core::FlashAccelerator acc(params, options);
+
+  std::mt19937_64 rng(3);
+  const auto net = tensor::SmallQuantNet::random(3, 6, 2, 8, 6, 4, 4, rng);
+  const auto reference = tensor::reference_conv();
+  auto private_conv = acc.hconv_executor();
+
+  for (int s = 0; s < 2; ++s) {
+    const tensor::Tensor3 x = tensor::random_activations(3, 6, 6, 4, rng);
+    const tensor::Tensor3 ref_features = net.features(x, reference);
+    const tensor::Tensor3 got_features = net.features(x, private_conv);
+    EXPECT_EQ(got_features.data(), ref_features.data()) << "sample " << s;
+    EXPECT_EQ(net.predict(x, private_conv), net.predict(x, reference)) << "sample " << s;
+  }
+}
+
+TEST(SmallQuantNet, NttBackendAlsoExact) {
+  const bfv::BfvParams params = bfv::BfvParams::create(1024, 18, 46);
+  core::FlashOptions options;
+  options.backend = bfv::PolyMulBackend::kNtt;
+  core::FlashAccelerator acc(params, options);
+  std::mt19937_64 rng(4);
+  const auto net = tensor::SmallQuantNet::random(2, 4, 1, 6, 6, 4, 4, rng);
+  const tensor::Tensor3 x = tensor::random_activations(2, 6, 6, 4, rng);
+  EXPECT_EQ(net.predict(x, acc.hconv_executor()), net.predict(x, tensor::reference_conv()));
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,96 @@
+// Polynomial ring element tests: arithmetic, weight/sparsity, mod switching.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hemath/poly.hpp"
+#include "hemath/primes.hpp"
+#include "hemath/sampler.hpp"
+
+namespace flash::hemath {
+namespace {
+
+TEST(Poly, AddSubNegateRoundTrip) {
+  const u64 q = find_ntt_prime(30, 64);
+  Sampler sampler(5);
+  Poly a = sampler.uniform_poly(q, 64);
+  Poly b = sampler.uniform_poly(q, 64);
+  Poly c = a + b;
+  Poly d = c - b;
+  EXPECT_EQ(d, a);
+  Poly e = a;
+  e.negate_inplace();
+  Poly zero = a + e;
+  EXPECT_EQ(zero, Poly(q, 64));
+}
+
+TEST(Poly, ScaleMatchesRepeatedAdd) {
+  const u64 q = 97;
+  Poly a(q, 8);
+  for (std::size_t i = 0; i < 8; ++i) a[i] = static_cast<u64>(i * 7 % q);
+  Poly three = a;
+  three.scale_inplace(3);
+  Poly sum = a;
+  sum.add_inplace(a);
+  sum.add_inplace(a);
+  EXPECT_EQ(three, sum);
+}
+
+TEST(Poly, WeightAndSparsity) {
+  Poly a(17, 10);
+  EXPECT_EQ(a.weight(), 0u);
+  EXPECT_DOUBLE_EQ(a.sparsity(), 1.0);
+  a[0] = 1;
+  a[9] = 16;
+  EXPECT_EQ(a.weight(), 2u);
+  EXPECT_DOUBLE_EQ(a.sparsity(), 0.8);
+}
+
+TEST(Poly, MultiplyMatchesSchoolbook) {
+  const std::size_t n = 128;
+  const u64 q = find_ntt_prime(40, n);
+  NttTables tables(q, n);
+  Sampler sampler(6);
+  const Poly a = sampler.uniform_poly(q, n);
+  const Poly b = sampler.uniform_poly(q, n);
+  EXPECT_EQ(multiply(tables, a, b), multiply_schoolbook(a, b));
+}
+
+TEST(Poly, MultiplyRingMismatchThrows) {
+  const u64 q = find_ntt_prime(30, 64);
+  NttTables tables(q, 64);
+  Poly a(q, 64), b(q, 32);
+  EXPECT_THROW(multiply(tables, a, b), std::invalid_argument);
+  Poly c(q + 0, 64), d(17, 64);
+  EXPECT_THROW(c.add_inplace(d), std::invalid_argument);
+}
+
+TEST(Poly, ModSwitchPreservesSignedValues) {
+  const u64 q_from = 1000003, q_to = 65537;
+  Poly a(q_from, 4);
+  a[0] = 5;                      // +5
+  a[1] = q_from - 9;             // -9
+  a[2] = 0;
+  a[3] = q_from / 2;             // large positive
+  const Poly b = mod_switch(a, q_to);
+  EXPECT_EQ(to_signed(b[0], q_to), 5);
+  EXPECT_EQ(to_signed(b[1], q_to), -9);
+  EXPECT_EQ(b[2], 0u);
+}
+
+TEST(Poly, DistributivityProperty) {
+  const std::size_t n = 64;
+  const u64 q = find_ntt_prime(35, n);
+  NttTables tables(q, n);
+  Sampler sampler(7);
+  const Poly a = sampler.uniform_poly(q, n);
+  const Poly b = sampler.uniform_poly(q, n);
+  const Poly c = sampler.uniform_poly(q, n);
+  // a*(b+c) == a*b + a*c
+  const Poly lhs = multiply(tables, a, b + c);
+  const Poly rhs = multiply(tables, a, b) + multiply(tables, a, c);
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace flash::hemath

@@ -1,0 +1,176 @@
+// Cross-module property tests and fuzz-style robustness checks.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bfv/encrypt.hpp"
+#include "bfv/evaluator.hpp"
+#include "bfv/multiply.hpp"
+#include "bfv/serialization.hpp"
+#include "fft/negacyclic.hpp"
+#include "hemath/primes.hpp"
+
+namespace flash {
+namespace {
+
+using hemath::i64;
+using hemath::u64;
+
+TEST(Property, NegacyclicHalfSpectrumParseval) {
+  // The norm relation the DESIGN.md error analysis relies on:
+  // sum |a_hat_half|^2 = (N/2) * sum a^2 for real input.
+  for (std::size_t n : {std::size_t{16}, std::size_t{256}, std::size_t{2048}}) {
+    fft::NegacyclicFft transform(n);
+    std::mt19937_64 rng(n);
+    std::uniform_real_distribution<double> dist(-3.0, 3.0);
+    std::vector<double> a(n);
+    double time_energy = 0;
+    for (auto& v : a) {
+      v = dist(rng);
+      time_energy += v * v;
+    }
+    const auto spec = transform.forward(a);
+    double spec_energy = 0;
+    for (const auto& s : spec) spec_energy += std::norm(s);
+    EXPECT_NEAR(spec_energy, static_cast<double>(n) / 2.0 * time_energy,
+                1e-6 * spec_energy)
+        << n;
+  }
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendEquivalence, NttAndFftBackendsAgree) {
+  // Random parameter sets: the double-FFT backend must match the exact NTT
+  // backend bit-for-bit whenever the rounding-noise margin holds.
+  std::mt19937_64 seed_rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = std::size_t{1} << (9 + seed_rng() % 3);  // 512..2048
+  const int log_t = 14 + static_cast<int>(seed_rng() % 5);
+  const int log_q = log_t + 26 + static_cast<int>(seed_rng() % 4);
+  const bfv::BfvParams params = bfv::BfvParams::create(n, log_t, log_q);
+  bfv::BfvContext ctx(params);
+  hemath::Sampler sampler(GetParam());
+  bfv::KeyGenerator keygen(ctx, sampler);
+  const bfv::SecretKey sk = keygen.secret_key();
+  const bfv::PublicKey pk = keygen.public_key(sk);
+  bfv::Encryptor enc(ctx, sampler);
+  bfv::Decryptor dec(ctx, sk);
+  bfv::Evaluator ntt_ev(ctx, bfv::PolyMulBackend::kNtt);
+  bfv::Evaluator fft_ev(ctx, bfv::PolyMulBackend::kFft);
+
+  std::mt19937_64 rng(GetParam() * 17 + 1);
+  std::vector<i64> va(n), vw(n, 0);
+  for (auto& v : va) v = static_cast<i64>(rng() % 16);
+  for (int i = 0; i < 100; ++i) vw[rng() % n] = static_cast<i64>(rng() % 15) - 7;
+
+  const bfv::Ciphertext ct = enc.encrypt(ctx.encode_signed(va), pk);
+  const bfv::Plaintext ptw = ctx.encode_signed(vw);
+  const auto a = ctx.decode_signed(dec.decrypt(ntt_ev.multiply_plain(ct, ptw)));
+  const auto b = ctx.decode_signed(dec.decrypt(fft_ev.multiply_plain(ct, ptw)));
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalence, ::testing::Range(1, 9));
+
+TEST(Property, WideMultiplierMatchesExactSchoolbook) {
+  const bfv::BfvParams params = bfv::BfvParams::create_batching(64, 14, 40);
+  bfv::BfvContext ctx(params);
+  bfv::WideMultiplier wide(ctx);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    bfv::Poly a(params.q, params.n), b(params.q, params.n);
+    for (std::size_t i = 0; i < params.n; ++i) {
+      a[i] = rng() % params.q;
+      b[i] = rng() % params.q;
+    }
+    const bfv::Poly got = wide.scaled_product(a, b);
+    // Exact oracle: 256-bit-safe schoolbook via __int128 partial sums on the
+    // centered representatives, then round(t * x / q).
+    for (std::size_t k = 0; k < params.n; ++k) {
+      __int128 acc = 0;
+      for (std::size_t i = 0; i < params.n; ++i) {
+        const std::size_t j = (k + params.n - i) % params.n;
+        const __int128 term = static_cast<__int128>(hemath::to_signed(a[i], params.q)) *
+                              hemath::to_signed(b[j], params.q);
+        acc += (i + j == k) ? term : -term;  // j wrapped iff i + j != k
+      }
+      const bool neg = acc < 0;
+      const unsigned __int128 mag = neg ? static_cast<unsigned __int128>(-acc)
+                                        : static_cast<unsigned __int128>(acc);
+      const unsigned __int128 scaled =
+          (mag * params.t + params.q / 2) / params.q;
+      const u64 expect_mag = static_cast<u64>(scaled % params.q);
+      const u64 expect = neg ? hemath::neg_mod(expect_mag, params.q) : expect_mag;
+      ASSERT_EQ(got[k], expect) << "trial " << trial << " coeff " << k;
+    }
+  }
+}
+
+TEST(Fuzz, SerializationNeverCrashesOnCorruption) {
+  const bfv::BfvParams params = bfv::BfvParams::create(256, 14, 40);
+  bfv::BfvContext ctx(params);
+  hemath::Sampler sampler(1);
+  bfv::KeyGenerator keygen(ctx, sampler);
+  const bfv::SecretKey sk = keygen.secret_key();
+  const bfv::PublicKey pk = keygen.public_key(sk);
+  bfv::Encryptor enc(ctx, sampler);
+  const bfv::Ciphertext ct = enc.encrypt(ctx.encode_signed({1, 2, 3}), pk);
+  const bfv::Bytes clean = bfv::serialize(params, ct);
+
+  std::mt19937_64 rng(2);
+  int throws = 0, accepts = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    bfv::Bytes fuzzed = clean;
+    switch (trial % 3) {
+      case 0:  // truncate
+        fuzzed.resize(rng() % (clean.size() + 1));
+        break;
+      case 1:  // flip random bytes
+        for (int f = 0; f < 4; ++f) fuzzed[rng() % fuzzed.size()] ^= static_cast<std::uint8_t>(rng());
+        break;
+      case 2:  // append garbage
+        for (int f = 0; f < 8; ++f) fuzzed.push_back(static_cast<std::uint8_t>(rng()));
+        break;
+    }
+    try {
+      const bfv::Ciphertext out = bfv::deserialize_ciphertext(ctx, fuzzed);
+      // If accepted, the object must at least be structurally valid.
+      EXPECT_EQ(out.c0.degree(), params.n);
+      EXPECT_EQ(out.c0.modulus(), params.q);
+      for (std::size_t i = 0; i < params.n; ++i) ASSERT_LT(out.c0[i], params.q);
+      ++accepts;
+    } catch (const std::runtime_error&) {
+      ++throws;
+    }
+  }
+  EXPECT_GT(throws, 150);  // most corruptions are detected
+  EXPECT_EQ(throws + accepts, 300);
+}
+
+TEST(Fuzz, PlaintextLoaderRejectsCrossTypeBuffers) {
+  const bfv::BfvParams params = bfv::BfvParams::create(256, 14, 40);
+  bfv::BfvContext ctx(params);
+  const bfv::Bytes params_bytes = bfv::serialize(params);
+  EXPECT_THROW(bfv::deserialize_plaintext(ctx, params_bytes), std::runtime_error);
+  const bfv::Bytes empty;
+  EXPECT_THROW(bfv::deserialize_plaintext(ctx, empty), std::runtime_error);
+}
+
+TEST(Property, EncryptionIsRandomized) {
+  const bfv::BfvParams params = bfv::BfvParams::create(256, 14, 40);
+  bfv::BfvContext ctx(params);
+  hemath::Sampler sampler(3);
+  bfv::KeyGenerator keygen(ctx, sampler);
+  const bfv::SecretKey sk = keygen.secret_key();
+  const bfv::PublicKey pk = keygen.public_key(sk);
+  bfv::Encryptor enc(ctx, sampler);
+  const bfv::Plaintext pt = ctx.encode_signed({42});
+  const bfv::Ciphertext a = enc.encrypt(pt, pk);
+  const bfv::Ciphertext b = enc.encrypt(pt, pk);
+  EXPECT_NE(a.c0, b.c0);  // semantic security: fresh randomness per call
+  bfv::Decryptor dec(ctx, sk);
+  EXPECT_EQ(dec.decrypt(a).poly, dec.decrypt(b).poly);
+}
+
+}  // namespace
+}  // namespace flash

@@ -1,0 +1,65 @@
+// RNS basis compose/decompose round trips and error handling.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hemath/primes.hpp"
+#include "hemath/rns.hpp"
+
+namespace flash::hemath {
+namespace {
+
+TEST(Rns, SmallRoundTrip) {
+  RnsBasis basis({3, 5, 7});
+  EXPECT_EQ(static_cast<u64>(basis.total_modulus()), 105u);
+  for (u64 x = 0; x < 105; ++x) {
+    EXPECT_EQ(static_cast<u64>(basis.compose(basis.decompose(x))), x);
+  }
+}
+
+TEST(Rns, LargePrimesRoundTrip) {
+  const auto primes = find_ntt_primes(40, 1024, 3);
+  RnsBasis basis(primes);
+  std::mt19937_64 rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const u128 x = (static_cast<u128>(rng()) << 50) ^ rng();
+    const u128 v = x % basis.total_modulus();
+    EXPECT_TRUE(basis.compose(basis.decompose(v)) == v);
+  }
+}
+
+TEST(Rns, DecomposeIsResidue) {
+  RnsBasis basis({11, 13});
+  const auto r = basis.decompose(100);
+  EXPECT_EQ(r[0], 100u % 11);
+  EXPECT_EQ(r[1], 100u % 13);
+}
+
+TEST(Rns, HomomorphicAddition) {
+  RnsBasis basis({97, 101, 103});
+  const u128 big_q = basis.total_modulus();
+  std::mt19937_64 rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const u128 a = rng() % big_q;
+    const u128 b = rng() % big_q;
+    auto ra = basis.decompose(a);
+    const auto rb = basis.decompose(b);
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      ra[j] = add_mod(ra[j], rb[j], basis.moduli()[j]);
+    }
+    EXPECT_TRUE(basis.compose(ra) == (a + b) % big_q);
+  }
+}
+
+TEST(Rns, RejectsNonCoprime) {
+  EXPECT_THROW(RnsBasis({6, 9}), std::invalid_argument);
+  EXPECT_THROW(RnsBasis({}), std::invalid_argument);
+}
+
+TEST(Rns, ComposeSizeMismatchThrows) {
+  RnsBasis basis({3, 5});
+  EXPECT_THROW(basis.compose({1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flash::hemath

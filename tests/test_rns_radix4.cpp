@@ -1,0 +1,131 @@
+// RNS (multi-limb) polynomial arithmetic and the radix-4 FFT dataflow.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fft/radix4.hpp"
+#include "hemath/primes.hpp"
+#include "hemath/rns_poly.hpp"
+
+namespace flash {
+namespace {
+
+using hemath::i64;
+using hemath::u128;
+using hemath::u64;
+
+TEST(RnsPoly, WideModulusRoundTrip) {
+  // Two 45-bit NTT primes: a ~90-bit modulus, beyond any single word.
+  const auto primes = hemath::find_ntt_primes(45, 64, 2);
+  hemath::RnsContext ctx(primes, 64);
+  EXPECT_GT(ctx.modulus(), u128{1} << 88);
+
+  std::mt19937_64 rng(1);
+  std::vector<i64> coeffs(64);
+  for (auto& c : coeffs) c = static_cast<i64>(rng() % 2001) - 1000;
+  const hemath::RnsPoly p = hemath::RnsPoly::from_signed(ctx, coeffs);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const auto [neg, mag] = p.coeff_centered(i);
+    const i64 got = neg ? -static_cast<i64>(mag) : static_cast<i64>(mag);
+    EXPECT_EQ(got, coeffs[i]) << i;
+  }
+}
+
+TEST(RnsPoly, AddSubNegate) {
+  const auto primes = hemath::find_ntt_primes(40, 32, 2);
+  hemath::RnsContext ctx(primes, 32);
+  std::mt19937_64 rng(2);
+  std::vector<i64> va(32), vb(32);
+  for (auto& c : va) c = static_cast<i64>(rng() % 201) - 100;
+  for (auto& c : vb) c = static_cast<i64>(rng() % 201) - 100;
+  hemath::RnsPoly a = hemath::RnsPoly::from_signed(ctx, va);
+  const hemath::RnsPoly b = hemath::RnsPoly::from_signed(ctx, vb);
+  a.add_inplace(b);
+  a.sub_inplace(b);
+  EXPECT_EQ(a, hemath::RnsPoly::from_signed(ctx, va));
+  a.negate_inplace();
+  a.add_inplace(hemath::RnsPoly::from_signed(ctx, va));
+  EXPECT_EQ(a, hemath::RnsPoly(ctx));
+}
+
+TEST(RnsPoly, MultiplyMatchesWideSchoolbook) {
+  // Products of ~30-bit coefficients overflow 64 bits; the RNS product must
+  // still be exact. Oracle: schoolbook negacyclic convolution in 128-bit.
+  const auto primes = hemath::find_ntt_primes(45, 16, 2);
+  hemath::RnsContext ctx(primes, 16);
+  std::mt19937_64 rng(3);
+  std::vector<i64> va(16), vb(16);
+  for (auto& c : va) c = static_cast<i64>(rng() % (1 << 30)) - (1 << 29);
+  for (auto& c : vb) c = static_cast<i64>(rng() % (1 << 30)) - (1 << 29);
+
+  const hemath::RnsPoly prod =
+      hemath::multiply(hemath::RnsPoly::from_signed(ctx, va), hemath::RnsPoly::from_signed(ctx, vb));
+
+  for (std::size_t k = 0; k < 16; ++k) {
+    __int128 acc = 0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (std::size_t j = 0; j < 16; ++j) {
+        const __int128 term = static_cast<__int128>(va[i]) * vb[j];
+        if (i + j == k) acc += term;
+        if (i + j == k + 16) acc -= term;
+      }
+    }
+    const auto [neg, mag] = prod.coeff_centered(k);
+    const __int128 got = neg ? -static_cast<__int128>(mag) : static_cast<__int128>(mag);
+    EXPECT_TRUE(got == acc) << "coefficient " << k;
+  }
+}
+
+TEST(RnsPoly, ContextMismatchThrows) {
+  const auto primes = hemath::find_ntt_primes(40, 16, 2);
+  hemath::RnsContext ctx1(primes, 16), ctx2(primes, 16);
+  hemath::RnsPoly a(ctx1), b(ctx2);
+  EXPECT_THROW(a.add_inplace(b), std::invalid_argument);
+}
+
+class Radix4 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Radix4, MatchesRadix2Plan) {
+  const std::size_t m = GetParam();
+  std::mt19937_64 rng(m);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<fft::cplx> a(m);
+  for (auto& v : a) v = {dist(rng), dist(rng)};
+  auto b = a;
+  fft::radix4_forward(a);
+  fft::FftPlan(m, +1).forward(b);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-8 * static_cast<double>(m)) << i;
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-8 * static_cast<double>(m)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Radix4,
+                         ::testing::Values(std::size_t{2}, std::size_t{4}, std::size_t{8},
+                                           std::size_t{16}, std::size_t{64}, std::size_t{128},
+                                           std::size_t{1024}, std::size_t{2048}));
+
+TEST(Radix4Cost, FewerMultsThanRadix2) {
+  for (std::size_t m : {std::size_t{64}, std::size_t{256}, std::size_t{2048}}) {
+    const auto r4 = fft::radix4_dense_cost(m);
+    const auto r2 = fft::radix2_dense_cost(m);
+    EXPECT_LT(r4.complex_mults, r2.complex_mults) << m;
+    // Classic result: radix-4 saves ~25% of the complex multiplications.
+    const double ratio = static_cast<double>(r4.complex_mults) / static_cast<double>(r2.complex_mults);
+    EXPECT_GT(ratio, 0.6) << m;
+    EXPECT_LT(ratio, 0.95) << m;
+  }
+}
+
+TEST(Radix4Cost, StatsMatchExecution) {
+  const std::size_t m = 256;
+  std::vector<fft::cplx> a(m, fft::cplx{1.0, -0.5});
+  fft::Radix4Stats stats;
+  fft::radix4_forward(a, &stats);
+  const auto dense = fft::radix4_dense_cost(m);
+  EXPECT_EQ(stats.complex_mults, dense.complex_mults);
+  EXPECT_EQ(stats.complex_adds, dense.complex_adds);
+}
+
+}  // namespace
+}  // namespace flash

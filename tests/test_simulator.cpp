@@ -1,0 +1,124 @@
+// Cycle-level pipeline simulator: per-transform cycle formulas, dependency
+// correctness (via conservation laws), and agreement with the analytic
+// throughput model.
+#include <gtest/gtest.h>
+
+#include "accel/simulator.hpp"
+#include "encoding/tiling.hpp"
+#include "tensor/resnet.hpp"
+
+namespace flash::accel {
+namespace {
+
+sparsefft::SparseFftPlan plan_for(const encoding::LayerTiling& t) {
+  std::vector<std::size_t> pos;
+  for (std::size_t c = 0; c < t.channels_per_poly; ++c) {
+    for (std::size_t i = 0; i < t.sub_k; ++i) {
+      for (std::size_t j = 0; j < t.sub_k; ++j) {
+        pos.push_back((c * t.patch_h * t.patch_w + i * t.patch_w + j) % (t.n / 2));
+      }
+    }
+  }
+  return sparsefft::SparseFftPlan(t.n / 2, sparsefft::SparsityPattern(t.n / 2, std::move(pos)));
+}
+
+tensor::LayerConfig toy_layer(std::size_t c, std::size_t hw, std::size_t out, std::size_t k) {
+  tensor::LayerConfig l;
+  l.name = "toy";
+  l.in_c = c;
+  l.in_h = l.in_w = hw;
+  l.out_c = out;
+  l.kernel = k;
+  l.stride = 1;
+  l.pad = k / 2;
+  return l;
+}
+
+TEST(CycleSimulator, DenseTransformCycles) {
+  CycleSimulator sim(FlashConfig::paper_default());
+  // N = 4096 -> 2048-point FFT: 11 stages of 1024 butterflies on 4 BUs.
+  EXPECT_EQ(sim.dense_transform_cycles(4096, 4), 11u * 256u);
+  EXPECT_EQ(sim.dense_transform_cycles(4096, 8), 11u * 128u);
+}
+
+TEST(CycleSimulator, SparseTransformFasterThanDense) {
+  CycleSimulator sim(FlashConfig::paper_default());
+  const auto t = encoding::plan_layer(toy_layer(64, 56, 64, 1), 4096);
+  const auto plan = plan_for(t);
+  const std::uint64_t sparse = sim.sparse_transform_cycles(plan);
+  const std::uint64_t dense = sim.dense_transform_cycles(4096, 4);
+  EXPECT_LT(sparse, dense / 4);
+  EXPECT_GE(sparse, 1u);
+}
+
+TEST(CycleSimulator, PointwiseCycles) {
+  CycleSimulator sim(FlashConfig::paper_default());
+  EXPECT_EQ(sim.pointwise_cycles(4096), (2048u + 239u) / 240u);
+}
+
+TEST(CycleSimulator, BusyCyclesConserveWork) {
+  const FlashConfig cfg = FlashConfig::paper_default();
+  CycleSimulator sim(cfg);
+  const auto t = encoding::plan_layer(toy_layer(16, 16, 8, 3), 4096);
+  const auto plan = plan_for(t);
+  const SimResult r = sim.simulate_layer(t, plan);
+
+  const std::size_t groups = t.sub_convs * t.channel_tiles;
+  const std::size_t outputs = t.weight_polys / groups;
+  const std::uint64_t expect_weight = outputs * groups * sim.sparse_transform_cycles(plan) +
+                                      outputs * 2 * sim.dense_transform_cycles(t.n, cfg.bus_per_approx_pe);
+  const std::uint64_t expect_fp = groups * 2 * sim.dense_transform_cycles(t.n, cfg.bus_per_fp_pe);
+  const std::uint64_t expect_pw = outputs * groups * 2 * sim.pointwise_cycles(t.n);
+  EXPECT_EQ(r.weight_busy, expect_weight);
+  EXPECT_EQ(r.fp_busy, expect_fp);
+  EXPECT_EQ(r.pointwise_busy, expect_pw);
+  EXPECT_LE(r.weight_utilization, 1.0);
+  EXPECT_LE(r.fp_utilization, 1.0);
+}
+
+TEST(CycleSimulator, MakespanRespectsLowerBounds) {
+  const FlashConfig cfg = FlashConfig::paper_default();
+  CycleSimulator sim(cfg);
+  const auto t = encoding::plan_layer(toy_layer(32, 16, 32, 3), 4096);
+  const auto plan = plan_for(t);
+  const SimResult r = sim.simulate_layer(t, plan);
+
+  // Resource bounds: no array can finish before its busy time / width.
+  EXPECT_GE(r.cycles, r.weight_busy / cfg.approx_pes);
+  EXPECT_GE(r.cycles, r.fp_busy / cfg.fp_pes);
+  EXPECT_GE(r.cycles, r.pointwise_busy);
+  // Critical-path bound: at least one A -> P -> I chain.
+  EXPECT_GE(r.cycles, sim.dense_transform_cycles(t.n, cfg.bus_per_fp_pe) + sim.pointwise_cycles(t.n) +
+                          sim.dense_transform_cycles(t.n, cfg.bus_per_approx_pe));
+}
+
+TEST(CycleSimulator, AgreesWithAnalyticModelWithinPipelineFactor) {
+  // The analytic model assumes perfect overlap; the scheduled makespan must
+  // land between the busiest-array bound and a small multiple of it.
+  const FlashConfig cfg = FlashConfig::paper_default();
+  CycleSimulator sim(cfg);
+  for (const auto& layer : {toy_layer(64, 16, 64, 3), toy_layer(16, 16, 128, 1)}) {
+    const auto t = encoding::plan_layer(layer, 4096);
+    const auto plan = plan_for(t);
+    const SimResult r = sim.simulate_layer(t, plan);
+    const std::uint64_t bound = std::max({r.weight_busy / cfg.approx_pes,
+                                          r.fp_busy / cfg.fp_pes, r.pointwise_busy});
+    EXPECT_GE(r.cycles, bound) << layer.name;
+    EXPECT_LE(r.cycles, 3 * bound + 10000) << "pipeline stalls too large";
+  }
+}
+
+TEST(CycleSimulator, MoreApproxPesShortenWeightBoundLayers) {
+  const auto t = encoding::plan_layer(toy_layer(64, 16, 256, 3), 4096);
+  const auto plan = plan_for(t);
+  FlashConfig small = FlashConfig::paper_default();
+  small.approx_pes = 15;
+  FlashConfig big = FlashConfig::paper_default();
+  big.approx_pes = 120;
+  const SimResult rs = CycleSimulator(small).simulate_layer(t, plan);
+  const SimResult rb = CycleSimulator(big).simulate_layer(t, plan);
+  EXPECT_LT(rb.cycles, rs.cycles);
+}
+
+}  // namespace
+}  // namespace flash::accel

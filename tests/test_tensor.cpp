@@ -1,0 +1,205 @@
+// Quantized CNN substrate: conv2d oracle behaviour, layer primitives,
+// quantization, ResNet layer inventories, and error-injection plumbing.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "tensor/conv.hpp"
+#include "tensor/quant.hpp"
+#include "tensor/resnet.hpp"
+
+namespace flash::tensor {
+namespace {
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Tensor3 x(1, 4, 4);
+  for (std::size_t i = 0; i < 16; ++i) x.data()[i] = static_cast<i64>(i);
+  Tensor4 w(1, 1, 1, 1);
+  w.at(0, 0, 0, 0) = 1;
+  const Tensor3 y = conv2d(x, w, {1, 0});
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(Conv2d, KnownSmallExample) {
+  // 1x3x3 input, 1x1x2x2 all-ones kernel, valid conv.
+  Tensor3 x(1, 3, 3);
+  i64 v = 1;
+  for (auto& e : x.data()) e = v++;
+  Tensor4 w(1, 1, 2, 2);
+  for (auto& e : w.data()) e = 1;
+  const Tensor3 y = conv2d(x, w, {1, 0});
+  ASSERT_EQ(y.height(), 2u);
+  ASSERT_EQ(y.width(), 2u);
+  EXPECT_EQ(y.at(0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_EQ(y.at(0, 0, 1), 2 + 3 + 5 + 6);
+  EXPECT_EQ(y.at(0, 1, 0), 4 + 5 + 7 + 8);
+  EXPECT_EQ(y.at(0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2d, PaddingAndStride) {
+  Tensor3 x(1, 4, 4);
+  for (auto& e : x.data()) e = 1;
+  Tensor4 w(1, 1, 3, 3);
+  for (auto& e : w.data()) e = 1;
+  const Tensor3 same = conv2d(x, w, {1, 1});
+  ASSERT_EQ(same.height(), 4u);
+  EXPECT_EQ(same.at(0, 0, 0), 4);  // corner sees 2x2 of the input
+  EXPECT_EQ(same.at(0, 1, 1), 9);  // interior sees full 3x3
+  const Tensor3 strided = conv2d(x, w, {2, 1});
+  EXPECT_EQ(strided.height(), 2u);
+  EXPECT_EQ(strided.width(), 2u);
+}
+
+TEST(Conv2d, MultiChannelAccumulation) {
+  std::mt19937_64 rng(61);
+  const Tensor3 x = random_activations(3, 5, 5, 4, rng);
+  const Tensor4 w = random_weights(2, 3, 3, 4, rng);
+  const Tensor3 y = conv2d(x, w, {1, 0});
+  // Manual check of one output element.
+  i64 acc = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) acc += x.at(c, 1 + i, 2 + j) * w.at(1, c, i, j);
+    }
+  }
+  EXPECT_EQ(y.at(1, 1, 2), acc);
+}
+
+TEST(Layers, ReluPoolLinear) {
+  Tensor3 x(1, 2, 2);
+  x.data() = {-5, 3, 0, -1};
+  const Tensor3 r = relu(x);
+  EXPECT_EQ(r.data(), (std::vector<i64>{0, 3, 0, 0}));
+
+  Tensor3 p(1, 2, 2);
+  p.data() = {1, 9, 4, 2};
+  EXPECT_EQ(max_pool2(p).at(0, 0, 0), 9);
+
+  Tensor3 g(2, 2, 2);
+  g.data() = {1, 2, 3, 4, 10, 10, 10, 10};
+  const auto pooled = global_avg_pool(g);
+  EXPECT_EQ(pooled[0], 3);  // round(2.5)
+  EXPECT_EQ(pooled[1], 10);
+
+  const auto out = linear({1, 2}, {3, 4, 5, 6}, 2);
+  EXPECT_EQ(out, (std::vector<i64>{11, 17}));
+}
+
+TEST(Quant, RequantizeRoundsAndClamps) {
+  EXPECT_EQ(requantize(127, 4, 4), 7);    // clamps to int4 max
+  EXPECT_EQ(requantize(-1000, 4, 4), -8);
+  EXPECT_EQ(requantize(24, 4, 8), 2);     // 24/16 = 1.5 -> 2
+  EXPECT_EQ(requantize(23, 4, 8), 1);     // 23/16 = 1.44 -> 1
+  EXPECT_EQ(requantize(5, 0, 8), 5);      // no shift
+}
+
+TEST(Quant, RequantizeDiscardsLsbErrors) {
+  // Layer-level robustness (paper Fig. 5(b)): errors below the discarded
+  // LSBs do not change the requantized value.
+  const i64 clean = 1 << 10;
+  for (i64 err = -7; err <= 7; ++err) {
+    EXPECT_EQ(requantize(clean + err, 4, 12), requantize(clean, 4, 12)) << err;
+  }
+}
+
+TEST(Quant, SumProductBits) {
+  // W4A4 with 576 taps: 4+4+log2(576) ~ 17.2 -> 19 bits with sign.
+  EXPECT_EQ(sum_product_bits(4, 4, 576), 19);
+  EXPECT_GE(sum_product_bits(8, 8, 1), 17);
+}
+
+TEST(Quant, RandomTensorsInRange) {
+  std::mt19937_64 rng(62);
+  const Tensor4 w = random_weights(4, 4, 3, 4, rng);
+  for (i64 v : w.data()) {
+    EXPECT_GE(v, quant_min(4));
+    EXPECT_LE(v, quant_max(4));
+  }
+  const Tensor3 x = random_activations(4, 8, 8, 4, rng);
+  for (i64 v : x.data()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, quant_max(4));
+  }
+}
+
+TEST(Resnet, Resnet18LayerInventory) {
+  const auto layers = resnet18_conv_layers();
+  ASSERT_EQ(layers.size(), 20u);  // 17 convs + 3 downsamples
+  EXPECT_EQ(layers.front().name, "conv1");
+  EXPECT_EQ(layers.front().out_h(), 112u);
+  // Total MACs of ResNet-18 convs: ~1.8 GMACs.
+  std::uint64_t macs = 0;
+  for (const auto& l : layers) macs += l.macs();
+  EXPECT_GT(macs, 1'700'000'000ULL);
+  EXPECT_LT(macs, 1'900'000'000ULL);
+}
+
+TEST(Resnet, Resnet50LayerInventory) {
+  const auto layers = resnet50_conv_layers();
+  ASSERT_EQ(layers.size(), 53u);  // 1 + 16 blocks x 3 + 4 downsamples
+  std::uint64_t macs = 0;
+  for (const auto& l : layers) macs += l.macs();
+  // ResNet-50 convs: ~4 GMACs.
+  EXPECT_GT(macs, 3'500'000'000ULL);
+  EXPECT_LT(macs, 4'500'000'000ULL);
+}
+
+TEST(Resnet, LayerShapesChain) {
+  // Output dims of each layer must match the input dims of the next layer in
+  // the same stage chain (spot-check the ResNet-50 bottleneck chain).
+  const auto layers = resnet50_conv_layers();
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+    if (layers[i + 1].name.find(".conv2") != std::string::npos &&
+        layers[i].name.find(".conv1") != std::string::npos) {
+      EXPECT_EQ(layers[i].out_c, layers[i + 1].in_c) << layers[i].name;
+      EXPECT_EQ(layers[i].out_h(), layers[i + 1].in_h) << layers[i].name;
+    }
+  }
+}
+
+TEST(Resnet, QuantizedBlockForward) {
+  std::mt19937_64 rng(63);
+  const QuantizedBlock block = QuantizedBlock::random(8, 3, 4, 4, rng);
+  const Tensor3 x = random_activations(8, 6, 6, 4, rng);
+  const Tensor3 y = block.forward(x);
+  EXPECT_EQ(y.channels(), 8u);
+  EXPECT_EQ(y.height(), 6u);
+  for (i64 v : y.data()) {
+    EXPECT_GE(v, 0);  // post-ReLU
+    EXPECT_LE(v, quant_max(4));
+  }
+}
+
+TEST(Resnet, SmallErrorsVanishAfterRequant) {
+  // Network-level robustness: small injected sum-product errors often leave
+  // the block output unchanged (and never corrupt it structurally).
+  std::mt19937_64 rng(64);
+  const QuantizedBlock block = QuantizedBlock::random(8, 3, 4, 4, rng);
+  const Tensor3 x = random_activations(8, 6, 6, 4, rng);
+  const Tensor3 clean = block.forward(x);
+
+  Tensor3 err1(8, 6, 6), err2(8, 6, 6);
+  std::uniform_int_distribution<i64> small(-2, 2);
+  for (auto& e : err1.data()) e = small(rng);
+  for (auto& e : err2.data()) e = small(rng);
+  const Tensor3 noisy = block.forward_with_error(x, err1, err2);
+
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < clean.data().size(); ++i) {
+    if (clean.data()[i] != noisy.data()[i]) ++diffs;
+  }
+  // Errors of magnitude <= 2 against a requant shift discarding 2^shift
+  // LSBs: the overwhelming majority of outputs are bit-identical.
+  EXPECT_LT(static_cast<double>(diffs) / static_cast<double>(clean.data().size()), 0.2);
+}
+
+TEST(Resnet, ClassifierDeterministic) {
+  std::mt19937_64 rng(65);
+  const SyntheticClassifier clf = SyntheticClassifier::random(16, 10, 4, rng);
+  const std::vector<i64> feat(16, 3);
+  EXPECT_EQ(clf.predict(feat), clf.predict(feat));
+  EXPECT_LT(clf.predict(feat), 10u);
+}
+
+}  // namespace
+}  // namespace flash::tensor

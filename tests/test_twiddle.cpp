@@ -1,0 +1,100 @@
+// CSD twiddle quantization: digit counts, approximation error bounds, and
+// monotone improvement with k.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fft/twiddle.hpp"
+
+namespace flash::fft {
+namespace {
+
+TEST(Csd, ExactPowersOfTwoUseOneDigit) {
+  for (double x : {0.5, -0.25, 1.0, 0.0078125}) {
+    const CsdValue v = csd_quantize(x, 8, -30);
+    EXPECT_EQ(v.digits.size(), 1u) << x;
+    EXPECT_DOUBLE_EQ(v.value, x);
+    EXPECT_DOUBLE_EQ(v.error, 0.0);
+  }
+}
+
+TEST(Csd, ZeroHasNoDigits) {
+  const CsdValue v = csd_quantize(0.0, 5, -20);
+  EXPECT_TRUE(v.digits.empty());
+  EXPECT_DOUBLE_EQ(v.value, 0.0);
+}
+
+TEST(Csd, PaperExample21Over32) {
+  // omega = 21/32 = 2^-1 + 2^-3 + 2^-5 (the paper's shift-add example).
+  const CsdValue v = csd_quantize(21.0 / 32.0, 8, -30);
+  EXPECT_LE(v.digits.size(), 3u);
+  EXPECT_NEAR(v.value, 21.0 / 32.0, 1e-12);
+}
+
+TEST(Csd, RespectsDigitBudget) {
+  const CsdValue v = csd_quantize(0.7071067811865476, 3, -30);
+  EXPECT_LE(v.digits.size(), 3u);
+  // Greedy CSD halves the residual per digit at worst.
+  EXPECT_LT(std::abs(v.value - 0.7071067811865476), std::exp2(-3));
+}
+
+TEST(Csd, ErrorShrinksWithK) {
+  const double x = 0.6180339887;
+  double prev = 1.0;
+  for (int k = 1; k <= 10; ++k) {
+    const CsdValue v = csd_quantize(x, k, -40);
+    const double err = std::abs(v.value - x);
+    EXPECT_LE(err, prev + 1e-15) << k;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(Csd, MinExponentTruncates) {
+  const CsdValue v = csd_quantize(0.333333333, 20, -6);
+  for (const auto& d : v.digits) EXPECT_GE(d.exponent, -6);
+  EXPECT_LT(std::abs(v.error), std::exp2(-6));
+}
+
+TEST(Csd, NegativeValues) {
+  const CsdValue v = csd_quantize(-0.6875, 8, -30);  // -(2^-1 + 2^-3 + 2^-4)
+  EXPECT_NEAR(v.value, -0.6875, 1e-12);
+  EXPECT_LE(v.digits.size(), 3u);
+}
+
+TEST(Twiddle, TableErrorDecreasesWithK) {
+  double prev = 1.0;
+  for (int k : {1, 2, 4, 8, 12}) {
+    const auto table = quantize_fft_twiddles(256, +1, k, -24);
+    const double rms = twiddle_rms_error(table);
+    EXPECT_LT(rms, prev) << k;
+    prev = rms;
+  }
+  EXPECT_LT(prev, 1e-4);
+}
+
+TEST(Twiddle, UnitMagnitudeApproximatelyPreserved) {
+  const auto table = quantize_fft_twiddles(128, +1, 8, -24);
+  for (const auto& t : table) {
+    EXPECT_NEAR(std::abs(t.value()), 1.0, 0.01);
+  }
+}
+
+TEST(Twiddle, FirstEntryIsExactOne) {
+  const auto table = quantize_fft_twiddles(64, +1, 3, -20);
+  EXPECT_DOUBLE_EQ(table[0].value().real(), 1.0);
+  EXPECT_DOUBLE_EQ(table[0].value().imag(), 0.0);
+  EXPECT_EQ(table[0].digit_count(), 1);
+}
+
+TEST(Twiddle, DigitCountBounded) {
+  const int k = 5;
+  const auto table = quantize_fft_twiddles(512, +1, k, -24);
+  for (const auto& t : table) {
+    EXPECT_LE(static_cast<int>(t.re.digits.size()), k);
+    EXPECT_LE(static_cast<int>(t.im.digits.size()), k);
+  }
+}
+
+}  // namespace
+}  // namespace flash::fft
