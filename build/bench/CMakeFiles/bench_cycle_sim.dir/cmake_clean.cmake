@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cycle_sim.dir/bench_cycle_sim.cpp.o"
+  "CMakeFiles/bench_cycle_sim.dir/bench_cycle_sim.cpp.o.d"
+  "bench_cycle_sim"
+  "bench_cycle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cycle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

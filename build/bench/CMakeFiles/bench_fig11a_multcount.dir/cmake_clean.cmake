@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_multcount.dir/bench_fig11a_multcount.cpp.o"
+  "CMakeFiles/bench_fig11a_multcount.dir/bench_fig11a_multcount.cpp.o.d"
+  "bench_fig11a_multcount"
+  "bench_fig11a_multcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_multcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bitwidth.dir/bench_fig5_bitwidth.cpp.o"
+  "CMakeFiles/bench_fig5_bitwidth.dir/bench_fig5_bitwidth.cpp.o.d"
+  "bench_fig5_bitwidth"
+  "bench_fig5_bitwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bitwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

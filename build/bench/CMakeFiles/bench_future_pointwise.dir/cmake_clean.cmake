@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_pointwise.dir/bench_future_pointwise.cpp.o"
+  "CMakeFiles/bench_future_pointwise.dir/bench_future_pointwise.cpp.o.d"
+  "bench_future_pointwise"
+  "bench_future_pointwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_pointwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

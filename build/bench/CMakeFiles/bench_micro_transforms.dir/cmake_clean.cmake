@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_transforms.dir/bench_micro_transforms.cpp.o"
+  "CMakeFiles/bench_micro_transforms.dir/bench_micro_transforms.cpp.o.d"
+  "bench_micro_transforms"
+  "bench_micro_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

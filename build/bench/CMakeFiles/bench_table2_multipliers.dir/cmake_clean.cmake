@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_multipliers.dir/bench_table2_multipliers.cpp.o"
+  "CMakeFiles/bench_table2_multipliers.dir/bench_table2_multipliers.cpp.o.d"
+  "bench_table2_multipliers"
+  "bench_table2_multipliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_multipliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

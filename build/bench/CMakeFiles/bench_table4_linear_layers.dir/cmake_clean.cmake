@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_linear_layers.dir/bench_table4_linear_layers.cpp.o"
+  "CMakeFiles/bench_table4_linear_layers.dir/bench_table4_linear_layers.cpp.o.d"
+  "bench_table4_linear_layers"
+  "bench_table4_linear_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_linear_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

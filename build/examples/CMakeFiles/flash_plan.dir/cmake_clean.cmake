@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_plan.dir/flash_plan.cpp.o"
+  "CMakeFiles/flash_plan.dir/flash_plan.cpp.o.d"
+  "flash_plan"
+  "flash_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gazelle_vs_cheetah.dir/gazelle_vs_cheetah.cpp.o"
+  "CMakeFiles/gazelle_vs_cheetah.dir/gazelle_vs_cheetah.cpp.o.d"
+  "gazelle_vs_cheetah"
+  "gazelle_vs_cheetah.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gazelle_vs_cheetah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gazelle_vs_cheetah.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_inference_demo.dir/private_inference_demo.cpp.o"
+  "CMakeFiles/private_inference_demo.dir/private_inference_demo.cpp.o.d"
+  "private_inference_demo"
+  "private_inference_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_inference_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_resnet_block.dir/private_resnet_block.cpp.o"
+  "CMakeFiles/private_resnet_block.dir/private_resnet_block.cpp.o.d"
+  "private_resnet_block"
+  "private_resnet_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_resnet_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_dataflow.dir/sparse_dataflow.cpp.o"
+  "CMakeFiles/sparse_dataflow.dir/sparse_dataflow.cpp.o.d"
+  "sparse_dataflow"
+  "sparse_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wide_params_demo.cpp" "examples/CMakeFiles/wide_params_demo.dir/wide_params_demo.cpp.o" "gcc" "examples/CMakeFiles/wide_params_demo.dir/wide_params_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfv/CMakeFiles/bfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsefft/CMakeFiles/sparsefft.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/hemath/CMakeFiles/hemath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

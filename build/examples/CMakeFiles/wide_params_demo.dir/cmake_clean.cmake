@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_params_demo.dir/wide_params_demo.cpp.o"
+  "CMakeFiles/wide_params_demo.dir/wide_params_demo.cpp.o.d"
+  "wide_params_demo"
+  "wide_params_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_params_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/baselines.cpp" "src/accel/CMakeFiles/accel.dir/baselines.cpp.o" "gcc" "src/accel/CMakeFiles/accel.dir/baselines.cpp.o.d"
+  "/root/repo/src/accel/flash_config.cpp" "src/accel/CMakeFiles/accel.dir/flash_config.cpp.o" "gcc" "src/accel/CMakeFiles/accel.dir/flash_config.cpp.o.d"
+  "/root/repo/src/accel/memory.cpp" "src/accel/CMakeFiles/accel.dir/memory.cpp.o" "gcc" "src/accel/CMakeFiles/accel.dir/memory.cpp.o.d"
+  "/root/repo/src/accel/simulator.cpp" "src/accel/CMakeFiles/accel.dir/simulator.cpp.o" "gcc" "src/accel/CMakeFiles/accel.dir/simulator.cpp.o.d"
+  "/root/repo/src/accel/unit_costs.cpp" "src/accel/CMakeFiles/accel.dir/unit_costs.cpp.o" "gcc" "src/accel/CMakeFiles/accel.dir/unit_costs.cpp.o.d"
+  "/root/repo/src/accel/workload.cpp" "src/accel/CMakeFiles/accel.dir/workload.cpp.o" "gcc" "src/accel/CMakeFiles/accel.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encoding/CMakeFiles/encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsefft/CMakeFiles/sparsefft.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/hemath/CMakeFiles/hemath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel.dir/baselines.cpp.o"
+  "CMakeFiles/accel.dir/baselines.cpp.o.d"
+  "CMakeFiles/accel.dir/flash_config.cpp.o"
+  "CMakeFiles/accel.dir/flash_config.cpp.o.d"
+  "CMakeFiles/accel.dir/memory.cpp.o"
+  "CMakeFiles/accel.dir/memory.cpp.o.d"
+  "CMakeFiles/accel.dir/simulator.cpp.o"
+  "CMakeFiles/accel.dir/simulator.cpp.o.d"
+  "CMakeFiles/accel.dir/unit_costs.cpp.o"
+  "CMakeFiles/accel.dir/unit_costs.cpp.o.d"
+  "CMakeFiles/accel.dir/workload.cpp.o"
+  "CMakeFiles/accel.dir/workload.cpp.o.d"
+  "libaccel.a"
+  "libaccel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

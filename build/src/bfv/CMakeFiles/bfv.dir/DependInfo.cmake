@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfv/batch_encoder.cpp" "src/bfv/CMakeFiles/bfv.dir/batch_encoder.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/batch_encoder.cpp.o.d"
+  "/root/repo/src/bfv/context.cpp" "src/bfv/CMakeFiles/bfv.dir/context.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/context.cpp.o.d"
+  "/root/repo/src/bfv/encrypt.cpp" "src/bfv/CMakeFiles/bfv.dir/encrypt.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/encrypt.cpp.o.d"
+  "/root/repo/src/bfv/evaluator.cpp" "src/bfv/CMakeFiles/bfv.dir/evaluator.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/evaluator.cpp.o.d"
+  "/root/repo/src/bfv/keyswitch.cpp" "src/bfv/CMakeFiles/bfv.dir/keyswitch.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/keyswitch.cpp.o.d"
+  "/root/repo/src/bfv/multiply.cpp" "src/bfv/CMakeFiles/bfv.dir/multiply.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/multiply.cpp.o.d"
+  "/root/repo/src/bfv/noise.cpp" "src/bfv/CMakeFiles/bfv.dir/noise.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/noise.cpp.o.d"
+  "/root/repo/src/bfv/params.cpp" "src/bfv/CMakeFiles/bfv.dir/params.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/params.cpp.o.d"
+  "/root/repo/src/bfv/polymul_engine.cpp" "src/bfv/CMakeFiles/bfv.dir/polymul_engine.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/polymul_engine.cpp.o.d"
+  "/root/repo/src/bfv/serialization.cpp" "src/bfv/CMakeFiles/bfv.dir/serialization.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/serialization.cpp.o.d"
+  "/root/repo/src/bfv/wide.cpp" "src/bfv/CMakeFiles/bfv.dir/wide.cpp.o" "gcc" "src/bfv/CMakeFiles/bfv.dir/wide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hemath/CMakeFiles/hemath.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfv.dir/batch_encoder.cpp.o"
+  "CMakeFiles/bfv.dir/batch_encoder.cpp.o.d"
+  "CMakeFiles/bfv.dir/context.cpp.o"
+  "CMakeFiles/bfv.dir/context.cpp.o.d"
+  "CMakeFiles/bfv.dir/encrypt.cpp.o"
+  "CMakeFiles/bfv.dir/encrypt.cpp.o.d"
+  "CMakeFiles/bfv.dir/evaluator.cpp.o"
+  "CMakeFiles/bfv.dir/evaluator.cpp.o.d"
+  "CMakeFiles/bfv.dir/keyswitch.cpp.o"
+  "CMakeFiles/bfv.dir/keyswitch.cpp.o.d"
+  "CMakeFiles/bfv.dir/multiply.cpp.o"
+  "CMakeFiles/bfv.dir/multiply.cpp.o.d"
+  "CMakeFiles/bfv.dir/noise.cpp.o"
+  "CMakeFiles/bfv.dir/noise.cpp.o.d"
+  "CMakeFiles/bfv.dir/params.cpp.o"
+  "CMakeFiles/bfv.dir/params.cpp.o.d"
+  "CMakeFiles/bfv.dir/polymul_engine.cpp.o"
+  "CMakeFiles/bfv.dir/polymul_engine.cpp.o.d"
+  "CMakeFiles/bfv.dir/serialization.cpp.o"
+  "CMakeFiles/bfv.dir/serialization.cpp.o.d"
+  "CMakeFiles/bfv.dir/wide.cpp.o"
+  "CMakeFiles/bfv.dir/wide.cpp.o.d"
+  "libbfv.a"
+  "libbfv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

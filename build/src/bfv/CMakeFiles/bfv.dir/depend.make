@@ -1,0 +1,2 @@
+# Empty dependencies file for bfv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/flash_accelerator.cpp.o"
+  "CMakeFiles/core.dir/flash_accelerator.cpp.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse.dir/bayesopt.cpp.o"
+  "CMakeFiles/dse.dir/bayesopt.cpp.o.d"
+  "CMakeFiles/dse.dir/cost_model.cpp.o"
+  "CMakeFiles/dse.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dse.dir/error_model.cpp.o"
+  "CMakeFiles/dse.dir/error_model.cpp.o.d"
+  "CMakeFiles/dse.dir/optimizer.cpp.o"
+  "CMakeFiles/dse.dir/optimizer.cpp.o.d"
+  "CMakeFiles/dse.dir/space.cpp.o"
+  "CMakeFiles/dse.dir/space.cpp.o.d"
+  "libdse.a"
+  "libdse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

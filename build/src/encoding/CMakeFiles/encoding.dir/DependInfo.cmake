@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/encoder.cpp" "src/encoding/CMakeFiles/encoding.dir/encoder.cpp.o" "gcc" "src/encoding/CMakeFiles/encoding.dir/encoder.cpp.o.d"
+  "/root/repo/src/encoding/matvec.cpp" "src/encoding/CMakeFiles/encoding.dir/matvec.cpp.o" "gcc" "src/encoding/CMakeFiles/encoding.dir/matvec.cpp.o.d"
+  "/root/repo/src/encoding/tiling.cpp" "src/encoding/CMakeFiles/encoding.dir/tiling.cpp.o" "gcc" "src/encoding/CMakeFiles/encoding.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparsefft/CMakeFiles/sparsefft.dir/DependInfo.cmake"
+  "/root/repo/build/src/hemath/CMakeFiles/hemath.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

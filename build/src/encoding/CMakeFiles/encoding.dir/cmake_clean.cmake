@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding.dir/encoder.cpp.o"
+  "CMakeFiles/encoding.dir/encoder.cpp.o.d"
+  "CMakeFiles/encoding.dir/matvec.cpp.o"
+  "CMakeFiles/encoding.dir/matvec.cpp.o.d"
+  "CMakeFiles/encoding.dir/tiling.cpp.o"
+  "CMakeFiles/encoding.dir/tiling.cpp.o.d"
+  "libencoding.a"
+  "libencoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

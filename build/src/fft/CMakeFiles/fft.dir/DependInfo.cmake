@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/complex_fft.cpp" "src/fft/CMakeFiles/fft.dir/complex_fft.cpp.o" "gcc" "src/fft/CMakeFiles/fft.dir/complex_fft.cpp.o.d"
+  "/root/repo/src/fft/fxp_fft.cpp" "src/fft/CMakeFiles/fft.dir/fxp_fft.cpp.o" "gcc" "src/fft/CMakeFiles/fft.dir/fxp_fft.cpp.o.d"
+  "/root/repo/src/fft/negacyclic.cpp" "src/fft/CMakeFiles/fft.dir/negacyclic.cpp.o" "gcc" "src/fft/CMakeFiles/fft.dir/negacyclic.cpp.o.d"
+  "/root/repo/src/fft/radix4.cpp" "src/fft/CMakeFiles/fft.dir/radix4.cpp.o" "gcc" "src/fft/CMakeFiles/fft.dir/radix4.cpp.o.d"
+  "/root/repo/src/fft/twiddle.cpp" "src/fft/CMakeFiles/fft.dir/twiddle.cpp.o" "gcc" "src/fft/CMakeFiles/fft.dir/twiddle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hemath/CMakeFiles/hemath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

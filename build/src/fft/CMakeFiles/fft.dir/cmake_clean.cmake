@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft.dir/complex_fft.cpp.o"
+  "CMakeFiles/fft.dir/complex_fft.cpp.o.d"
+  "CMakeFiles/fft.dir/fxp_fft.cpp.o"
+  "CMakeFiles/fft.dir/fxp_fft.cpp.o.d"
+  "CMakeFiles/fft.dir/negacyclic.cpp.o"
+  "CMakeFiles/fft.dir/negacyclic.cpp.o.d"
+  "CMakeFiles/fft.dir/radix4.cpp.o"
+  "CMakeFiles/fft.dir/radix4.cpp.o.d"
+  "CMakeFiles/fft.dir/twiddle.cpp.o"
+  "CMakeFiles/fft.dir/twiddle.cpp.o.d"
+  "libfft.a"
+  "libfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

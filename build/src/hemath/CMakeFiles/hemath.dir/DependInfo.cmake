@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hemath/bitrev.cpp" "src/hemath/CMakeFiles/hemath.dir/bitrev.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/bitrev.cpp.o.d"
+  "/root/repo/src/hemath/modular.cpp" "src/hemath/CMakeFiles/hemath.dir/modular.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/modular.cpp.o.d"
+  "/root/repo/src/hemath/ntt.cpp" "src/hemath/CMakeFiles/hemath.dir/ntt.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/ntt.cpp.o.d"
+  "/root/repo/src/hemath/poly.cpp" "src/hemath/CMakeFiles/hemath.dir/poly.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/poly.cpp.o.d"
+  "/root/repo/src/hemath/primes.cpp" "src/hemath/CMakeFiles/hemath.dir/primes.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/primes.cpp.o.d"
+  "/root/repo/src/hemath/rns.cpp" "src/hemath/CMakeFiles/hemath.dir/rns.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/rns.cpp.o.d"
+  "/root/repo/src/hemath/rns_poly.cpp" "src/hemath/CMakeFiles/hemath.dir/rns_poly.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/rns_poly.cpp.o.d"
+  "/root/repo/src/hemath/sampler.cpp" "src/hemath/CMakeFiles/hemath.dir/sampler.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/sampler.cpp.o.d"
+  "/root/repo/src/hemath/shoup_ntt.cpp" "src/hemath/CMakeFiles/hemath.dir/shoup_ntt.cpp.o" "gcc" "src/hemath/CMakeFiles/hemath.dir/shoup_ntt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hemath.dir/bitrev.cpp.o"
+  "CMakeFiles/hemath.dir/bitrev.cpp.o.d"
+  "CMakeFiles/hemath.dir/modular.cpp.o"
+  "CMakeFiles/hemath.dir/modular.cpp.o.d"
+  "CMakeFiles/hemath.dir/ntt.cpp.o"
+  "CMakeFiles/hemath.dir/ntt.cpp.o.d"
+  "CMakeFiles/hemath.dir/poly.cpp.o"
+  "CMakeFiles/hemath.dir/poly.cpp.o.d"
+  "CMakeFiles/hemath.dir/primes.cpp.o"
+  "CMakeFiles/hemath.dir/primes.cpp.o.d"
+  "CMakeFiles/hemath.dir/rns.cpp.o"
+  "CMakeFiles/hemath.dir/rns.cpp.o.d"
+  "CMakeFiles/hemath.dir/rns_poly.cpp.o"
+  "CMakeFiles/hemath.dir/rns_poly.cpp.o.d"
+  "CMakeFiles/hemath.dir/sampler.cpp.o"
+  "CMakeFiles/hemath.dir/sampler.cpp.o.d"
+  "CMakeFiles/hemath.dir/shoup_ntt.cpp.o"
+  "CMakeFiles/hemath.dir/shoup_ntt.cpp.o.d"
+  "libhemath.a"
+  "libhemath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hemath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol.dir/conv_runner.cpp.o"
+  "CMakeFiles/protocol.dir/conv_runner.cpp.o.d"
+  "CMakeFiles/protocol.dir/gazelle_matvec.cpp.o"
+  "CMakeFiles/protocol.dir/gazelle_matvec.cpp.o.d"
+  "CMakeFiles/protocol.dir/hconv_protocol.cpp.o"
+  "CMakeFiles/protocol.dir/hconv_protocol.cpp.o.d"
+  "CMakeFiles/protocol.dir/secret_sharing.cpp.o"
+  "CMakeFiles/protocol.dir/secret_sharing.cpp.o.d"
+  "libprotocol.a"
+  "libprotocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparsefft/executor.cpp" "src/sparsefft/CMakeFiles/sparsefft.dir/executor.cpp.o" "gcc" "src/sparsefft/CMakeFiles/sparsefft.dir/executor.cpp.o.d"
+  "/root/repo/src/sparsefft/pattern.cpp" "src/sparsefft/CMakeFiles/sparsefft.dir/pattern.cpp.o" "gcc" "src/sparsefft/CMakeFiles/sparsefft.dir/pattern.cpp.o.d"
+  "/root/repo/src/sparsefft/planner.cpp" "src/sparsefft/CMakeFiles/sparsefft.dir/planner.cpp.o" "gcc" "src/sparsefft/CMakeFiles/sparsefft.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/hemath/CMakeFiles/hemath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsefft.dir/executor.cpp.o"
+  "CMakeFiles/sparsefft.dir/executor.cpp.o.d"
+  "CMakeFiles/sparsefft.dir/pattern.cpp.o"
+  "CMakeFiles/sparsefft.dir/pattern.cpp.o.d"
+  "CMakeFiles/sparsefft.dir/planner.cpp.o"
+  "CMakeFiles/sparsefft.dir/planner.cpp.o.d"
+  "libsparsefft.a"
+  "libsparsefft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsefft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/conv.cpp" "src/tensor/CMakeFiles/tensor.dir/conv.cpp.o" "gcc" "src/tensor/CMakeFiles/tensor.dir/conv.cpp.o.d"
+  "/root/repo/src/tensor/network.cpp" "src/tensor/CMakeFiles/tensor.dir/network.cpp.o" "gcc" "src/tensor/CMakeFiles/tensor.dir/network.cpp.o.d"
+  "/root/repo/src/tensor/quant.cpp" "src/tensor/CMakeFiles/tensor.dir/quant.cpp.o" "gcc" "src/tensor/CMakeFiles/tensor.dir/quant.cpp.o.d"
+  "/root/repo/src/tensor/resnet.cpp" "src/tensor/CMakeFiles/tensor.dir/resnet.cpp.o" "gcc" "src/tensor/CMakeFiles/tensor.dir/resnet.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/tensor.dir/tensor.cpp.o.d"
+  "/root/repo/src/tensor/train.cpp" "src/tensor/CMakeFiles/tensor.dir/train.cpp.o" "gcc" "src/tensor/CMakeFiles/tensor.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hemath/CMakeFiles/hemath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor.dir/conv.cpp.o"
+  "CMakeFiles/tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/tensor.dir/network.cpp.o"
+  "CMakeFiles/tensor.dir/network.cpp.o.d"
+  "CMakeFiles/tensor.dir/quant.cpp.o"
+  "CMakeFiles/tensor.dir/quant.cpp.o.d"
+  "CMakeFiles/tensor.dir/resnet.cpp.o"
+  "CMakeFiles/tensor.dir/resnet.cpp.o.d"
+  "CMakeFiles/tensor.dir/tensor.cpp.o"
+  "CMakeFiles/tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/tensor.dir/train.cpp.o"
+  "CMakeFiles/tensor.dir/train.cpp.o.d"
+  "libtensor.a"
+  "libtensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

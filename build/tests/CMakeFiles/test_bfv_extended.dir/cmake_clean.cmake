@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfv_extended.dir/test_bfv_extended.cpp.o"
+  "CMakeFiles/test_bfv_extended.dir/test_bfv_extended.cpp.o.d"
+  "test_bfv_extended"
+  "test_bfv_extended.pdb"
+  "test_bfv_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfv_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_runner.dir/test_conv_runner.cpp.o"
+  "CMakeFiles/test_conv_runner.dir/test_conv_runner.cpp.o.d"
+  "test_conv_runner"
+  "test_conv_runner.pdb"
+  "test_conv_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

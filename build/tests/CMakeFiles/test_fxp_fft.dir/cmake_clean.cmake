@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fxp_fft.dir/test_fxp_fft.cpp.o"
+  "CMakeFiles/test_fxp_fft.dir/test_fxp_fft.cpp.o.d"
+  "test_fxp_fft"
+  "test_fxp_fft.pdb"
+  "test_fxp_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fxp_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gazelle.dir/test_gazelle.cpp.o"
+  "CMakeFiles/test_gazelle.dir/test_gazelle.cpp.o.d"
+  "test_gazelle"
+  "test_gazelle.pdb"
+  "test_gazelle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gazelle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

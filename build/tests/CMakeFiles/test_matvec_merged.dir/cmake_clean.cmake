@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matvec_merged.dir/test_matvec_merged.cpp.o"
+  "CMakeFiles/test_matvec_merged.dir/test_matvec_merged.cpp.o.d"
+  "test_matvec_merged"
+  "test_matvec_merged.pdb"
+  "test_matvec_merged[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matvec_merged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rns_radix4.dir/test_rns_radix4.cpp.o"
+  "CMakeFiles/test_rns_radix4.dir/test_rns_radix4.cpp.o.d"
+  "test_rns_radix4"
+  "test_rns_radix4.pdb"
+  "test_rns_radix4[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rns_radix4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shoup_ntt.dir/test_shoup_ntt.cpp.o"
+  "CMakeFiles/test_shoup_ntt.dir/test_shoup_ntt.cpp.o.d"
+  "test_shoup_ntt"
+  "test_shoup_ntt.pdb"
+  "test_shoup_ntt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shoup_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsefft.dir/test_sparsefft.cpp.o"
+  "CMakeFiles/test_sparsefft.dir/test_sparsefft.cpp.o.d"
+  "test_sparsefft"
+  "test_sparsefft.pdb"
+  "test_sparsefft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsefft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train_noise.dir/test_train_noise.cpp.o"
+  "CMakeFiles/test_train_noise.dir/test_train_noise.cpp.o.d"
+  "test_train_noise"
+  "test_train_noise.pdb"
+  "test_train_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

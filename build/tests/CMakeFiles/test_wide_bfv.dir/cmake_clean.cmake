@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wide_bfv.dir/test_wide_bfv.cpp.o"
+  "CMakeFiles/test_wide_bfv.dir/test_wide_bfv.cpp.o.d"
+  "test_wide_bfv"
+  "test_wide_bfv.pdb"
+  "test_wide_bfv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wide_bfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
