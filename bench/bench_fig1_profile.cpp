@@ -10,21 +10,37 @@
 // the paper's channel-to-spatial ratio) and report wall-clock per phase plus
 // the transform-count breakdown for the true ResNet-50 block.
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "accel/memory.hpp"
+#include "core/thread_pool.hpp"
 #include "encoding/tiling.hpp"
 #include "protocol/hconv_protocol.hpp"
 #include "tensor/quant.hpp"
 #include "tensor/resnet.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flash;
 
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  if (threads == 0) threads = core::ThreadPool::default_thread_count();
+
   std::printf("=== Fig. 1: hybrid HE/2PC HConv latency breakdown (CPU, NTT backend) ===\n\n");
+  std::printf("protocol threads: %zu%s\n\n", threads,
+              threads == 1 ? " (pass --threads N to pool the per-channel loops)" : "");
 
   const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
   bfv::BfvContext ctx(params);
-  protocol::HConvProtocol proto(ctx, bfv::PolyMulBackend::kNtt, std::nullopt, 20250307);
+  std::unique_ptr<core::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<core::ThreadPool>(threads);
+  protocol::HConvProtocol proto(ctx, bfv::PolyMulBackend::kNtt, std::nullopt, 20250307,
+                                pool.get());
 
   // A bottleneck-block-shaped conv: 32 channels of 16x16, 3x3, 32 outputs
   // (the 58x58x64 original is identical in structure; this size keeps the

@@ -2,10 +2,14 @@
 
 #include <stdexcept>
 
+#include "fft/transform_cache.hpp"
+
 namespace flash::bfv {
 
 BfvContext::BfvContext(BfvParams params)
-    : params_(params), ntt_(params.q, params.n), fft_(params.n) {
+    : params_(params),
+      ntt_(fft::shared_ntt_tables(params.q, params.n)),
+      fft_(fft::shared_negacyclic_fft(params.n)) {
   params_.validate();
 }
 

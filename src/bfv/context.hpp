@@ -40,8 +40,8 @@ class BfvContext {
   explicit BfvContext(BfvParams params);
 
   const BfvParams& params() const { return params_; }
-  const hemath::NttTables& ntt() const { return ntt_; }
-  const fft::NegacyclicFft& fft() const { return fft_; }
+  const hemath::NttTables& ntt() const { return *ntt_; }
+  const fft::NegacyclicFft& fft() const { return *fft_; }
 
   Plaintext make_plaintext() const { return {Poly(params_.t, params_.n)}; }
   Ciphertext make_ciphertext() const { return {Poly(params_.q, params_.n), Poly(params_.q, params_.n)}; }
@@ -55,8 +55,10 @@ class BfvContext {
 
  private:
   BfvParams params_;
-  hemath::NttTables ntt_;
-  fft::NegacyclicFft fft_;
+  // Shared process-wide (fft::transform_cache): contexts on the same (q, N)
+  // reuse one set of immutable tables instead of recomputing them.
+  std::shared_ptr<const hemath::NttTables> ntt_;
+  std::shared_ptr<const fft::NegacyclicFft> fft_;
 };
 
 }  // namespace flash::bfv

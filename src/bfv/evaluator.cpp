@@ -59,7 +59,7 @@ Ciphertext Evaluator::finalize(const CiphertextAccumulator& accum) const {
 }
 
 const WideMultiplier& Evaluator::wide() const {
-  if (!wide_) wide_ = std::make_unique<WideMultiplier>(ctx_);
+  std::call_once(wide_once_, [this] { wide_ = std::make_unique<WideMultiplier>(ctx_); });
   return *wide_;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "bfv/keyswitch.hpp"
 #include "bfv/multiply.hpp"
@@ -79,6 +80,7 @@ class Evaluator {
   const BfvContext& ctx_;
   mutable PolyMulEngine engine_;
   mutable std::unique_ptr<WideMultiplier> wide_;  // built on first ct x ct
+  mutable std::once_flag wide_once_;              // first build may race otherwise
 };
 
 }  // namespace flash::bfv

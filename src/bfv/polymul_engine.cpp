@@ -3,14 +3,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fft/transform_cache.hpp"
+
 namespace flash::bfv {
+
+namespace {
+/// Relaxed tally: counters are statistics, not synchronization.
+inline void bump(std::atomic<std::uint64_t>& c, std::uint64_t by = 1) {
+  c.fetch_add(by, std::memory_order_relaxed);
+}
+}  // namespace
 
 PolyMulEngine::PolyMulEngine(const BfvContext& ctx, PolyMulBackend backend,
                              std::optional<fft::FxpFftConfig> approx_config)
     : ctx_(ctx), backend_(backend) {
   if (backend_ == PolyMulBackend::kApproxFft) {
     if (!approx_config) throw std::invalid_argument("PolyMulEngine: kApproxFft requires a config");
-    approx_.emplace(ctx_.params().n, *approx_config);
+    approx_ = fft::shared_fxp_transform(ctx_.params().n, *approx_config);
   }
 }
 
@@ -18,7 +27,7 @@ PlainSpectrum PolyMulEngine::transform_plain(const Plaintext& pt) const {
   const auto& p = ctx_.params();
   PlainSpectrum out;
   out.backend = backend_;
-  ++counters_.plain_transforms;
+  bump(counters_.plain_transforms);
   switch (backend_) {
     case PolyMulBackend::kNtt: {
       std::vector<u64> lifted(p.n);
@@ -55,14 +64,14 @@ std::vector<fft::cplx> PolyMulEngine::transform_cipher(const Poly& ct_poly) cons
   for (std::size_t i = 0; i < p.n; ++i) {
     vals[i] = static_cast<double>(hemath::to_signed(ct_poly[i], p.q));
   }
-  ++counters_.cipher_transforms;
+  bump(counters_.cipher_transforms);
   return ctx_.fft().forward(vals);
 }
 
 std::vector<u64> PolyMulEngine::transform_cipher_ntt(const Poly& ct_poly) const {
   std::vector<u64> vals = ct_poly.coeffs();
   ctx_.ntt().forward(vals);
-  ++counters_.cipher_transforms;
+  bump(counters_.cipher_transforms);
   return vals;
 }
 
@@ -74,14 +83,14 @@ std::vector<fft::cplx> PolyMulEngine::pointwise(const std::vector<fft::cplx>& ct
   if (ct_spec.size() != w.fft.size()) throw std::invalid_argument("pointwise: size mismatch");
   std::vector<fft::cplx> out(ct_spec.size());
   for (std::size_t i = 0; i < ct_spec.size(); ++i) out[i] = ct_spec[i] * w.fft[i];
-  counters_.pointwise_products += ct_spec.size();
+  bump(counters_.pointwise_products, ct_spec.size());
   return out;
 }
 
 Poly PolyMulEngine::inverse_to_poly(const std::vector<fft::cplx>& spec) const {
   const auto& p = ctx_.params();
   std::vector<double> vals = ctx_.fft().inverse(spec);
-  ++counters_.inverse_transforms;
+  bump(counters_.inverse_transforms);
   Poly out(p.q, p.n);
   for (std::size_t i = 0; i < p.n; ++i) {
     out[i] = hemath::from_signed(static_cast<i64>(std::llround(vals[i])), p.q);
@@ -115,7 +124,7 @@ void PolyMulEngine::multiply_accumulate(const CipherSpectrum& ct_spec, const Pla
     for (std::size_t i = 0; i < p.n; ++i) {
       accum.ntt[i] = hemath::add_mod(accum.ntt[i], hemath::mul_mod(ct_spec.ntt[i], w.ntt[i], p.q), p.q);
     }
-    counters_.pointwise_products += p.n;
+    bump(counters_.pointwise_products, p.n);
   } else {
     if (accum.empty) {
       accum.backend = backend_;
@@ -123,7 +132,7 @@ void PolyMulEngine::multiply_accumulate(const CipherSpectrum& ct_spec, const Pla
       accum.empty = false;
     }
     for (std::size_t i = 0; i < p.n / 2; ++i) accum.fft[i] += ct_spec.fft[i] * w.fft[i];
-    counters_.pointwise_products += p.n / 2;
+    bump(counters_.pointwise_products, p.n / 2);
   }
 }
 
@@ -134,7 +143,7 @@ Poly PolyMulEngine::finalize(const SpectralAccumulator& accum) const {
   if (backend_ == PolyMulBackend::kNtt) {
     std::vector<u64> coeffs = accum.ntt;
     ctx_.ntt().inverse(coeffs);
-    ++counters_.inverse_transforms;
+    bump(counters_.inverse_transforms);
     return Poly(p.q, std::move(coeffs));
   }
   return inverse_to_poly(accum.fft);
@@ -148,9 +157,9 @@ Poly PolyMulEngine::multiply(const Poly& ct_poly, const PlainSpectrum& w) const 
       std::vector<u64> ct = transform_cipher_ntt(ct_poly);
       std::vector<u64> prod;
       ctx_.ntt().pointwise(ct, w.ntt, prod);
-      counters_.pointwise_products += p.n;
+      bump(counters_.pointwise_products, p.n);
       ctx_.ntt().inverse(prod);
-      ++counters_.inverse_transforms;
+      bump(counters_.inverse_transforms);
       return Poly(p.q, std::move(prod));
     }
     case PolyMulBackend::kFft:

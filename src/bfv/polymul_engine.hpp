@@ -15,6 +15,8 @@
 // transforms across ciphertext tiles and both ciphertext components.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -51,13 +53,19 @@ struct SpectralAccumulator {
 };
 
 /// Operation counters for profiling (feeds the Fig. 1 breakdown and the
-/// accelerator energy model).
+/// accelerator energy model). Plain value type: snapshots of the engine's
+/// internal atomic tallies.
 struct PolyMulCounters {
   std::uint64_t plain_transforms = 0;   // weight-side forward transforms
   std::uint64_t cipher_transforms = 0;  // ciphertext-side forward transforms
   std::uint64_t inverse_transforms = 0;
   std::uint64_t pointwise_products = 0;  // complex (or modular) point products
 };
+
+inline PolyMulCounters operator-(const PolyMulCounters& a, const PolyMulCounters& b) {
+  return {a.plain_transforms - b.plain_transforms, a.cipher_transforms - b.cipher_transforms,
+          a.inverse_transforms - b.inverse_transforms, a.pointwise_products - b.pointwise_products};
+}
 
 class PolyMulEngine {
  public:
@@ -66,8 +74,20 @@ class PolyMulEngine {
                 std::optional<fft::FxpFftConfig> approx_config = std::nullopt);
 
   PolyMulBackend backend() const { return backend_; }
-  const PolyMulCounters& counters() const { return counters_; }
-  void reset_counters() { counters_ = {}; }
+  /// Consistent snapshot of the cumulative tallies. Totals are exact even
+  /// when many threads share one engine (relaxed atomics; no tally is lost).
+  PolyMulCounters counters() const {
+    return {counters_.plain_transforms.load(std::memory_order_relaxed),
+            counters_.cipher_transforms.load(std::memory_order_relaxed),
+            counters_.inverse_transforms.load(std::memory_order_relaxed),
+            counters_.pointwise_products.load(std::memory_order_relaxed)};
+  }
+  void reset_counters() {
+    counters_.plain_transforms.store(0, std::memory_order_relaxed);
+    counters_.cipher_transforms.store(0, std::memory_order_relaxed);
+    counters_.inverse_transforms.store(0, std::memory_order_relaxed);
+    counters_.pointwise_products.store(0, std::memory_order_relaxed);
+  }
 
   /// Transform a plaintext (weight) polynomial into the backend's spectral
   /// domain. Coefficients are lifted to signed representatives mod t.
@@ -94,10 +114,21 @@ class PolyMulEngine {
   Poly inverse_to_poly(const std::vector<fft::cplx>& spec) const;
 
  private:
+  /// Internal tallies are atomics so that transform methods — which are
+  /// const and otherwise touch only immutable shared tables — stay safe to
+  /// call from many threads at once (the seed code's plain mutable fields
+  /// were a data race the moment two threads shared one engine).
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> plain_transforms{0};
+    std::atomic<std::uint64_t> cipher_transforms{0};
+    std::atomic<std::uint64_t> inverse_transforms{0};
+    std::atomic<std::uint64_t> pointwise_products{0};
+  };
+
   const BfvContext& ctx_;
   PolyMulBackend backend_;
-  std::optional<fft::FxpNegacyclicTransform> approx_;
-  mutable PolyMulCounters counters_;
+  std::shared_ptr<const fft::FxpNegacyclicTransform> approx_;  // process-wide cache
+  mutable AtomicCounters counters_;
 };
 
 }  // namespace flash::bfv

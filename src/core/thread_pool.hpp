@@ -1,0 +1,176 @@
+// Fixed-size thread pool with a blocking parallel_for over index ranges.
+//
+// Deliberately work-stealing-free: one shared claim counter per job, indices
+// handed out one at a time. Our parallel bodies are heavyweight (a whole
+// HConv call, a full N-point transform), so claim contention is negligible
+// and the simple design keeps the memory model easy to audit under TSan.
+//
+// The calling thread participates in its own job, which makes nested
+// parallel_for calls (tiles -> output channels) deadlock-free: a caller
+// whose workers are all busy simply executes every index itself.
+//
+// Exceptions thrown by a body are captured (first one wins), remaining
+// indices of that job are skipped, and the exception is rethrown on the
+// calling thread once the job has drained.
+//
+// Header-only so any layer (protocol, bfv, benches) can use it without a
+// link-time dependency on the core library.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flash::core {
+
+class ThreadPool {
+ public:
+  /// What a ThreadPool(0) resolves to: hardware_concurrency, floored at 1.
+  static std::size_t default_thread_count() {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// threads = total concurrency (workers spawned = threads - 1; the caller
+  /// of parallel_for is the remaining thread). threads == 0 means
+  /// hardware_concurrency. threads == 1 spawns nothing and runs inline.
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) threads = default_thread_count();
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Run body(i) for every i in [begin, end), distributed over the pool.
+  /// Blocks until every index has finished; rethrows the first exception.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body) {
+    if (end <= begin) return;
+    const std::size_t count = end - begin;
+    if (workers_.empty() || count == 1) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+
+    Job job;
+    job.begin = begin;
+    job.count = count;
+    job.body = &body;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.push_back(&job);
+    }
+    work_cv_.notify_all();
+
+    run_job(job);  // the caller works too
+
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return job.done.load() == count && job.active == 0; });
+      for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+        if (*it == &job) {
+          jobs_.erase(it);
+          break;
+        }
+      }
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::size_t active = 0;  // worker threads currently inside run_job (mu_)
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  /// Claim and execute indices until the job's range is exhausted.
+  void run_job(Job& job) {
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.count) break;
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          (*job.body)(job.begin + i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job.error_mu);
+          if (!job.error) job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      job.done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      Job* job = nullptr;
+      work_cv_.wait(lock, [&] {
+        if (stop_) return true;
+        for (Job* j : jobs_) {
+          if (j->next.load(std::memory_order_relaxed) < j->count) {
+            job = j;
+            return true;
+          }
+        }
+        return false;
+      });
+      if (stop_) return;
+      if (!job) continue;
+      ++job->active;
+      lock.unlock();
+      run_job(*job);
+      lock.lock();
+      --job->active;
+      done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new job / shutdown
+  std::condition_variable done_cv_;  // callers: job drained
+  std::deque<Job*> jobs_;
+  bool stop_ = false;
+};
+
+/// Convenience: distribute [0, count) over pool, or run inline when pool is
+/// null. The shape every call site in the protocol layer uses.
+inline void for_range(ThreadPool* pool, std::size_t count,
+                      const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+  } else {
+    pool->parallel_for(0, count, body);
+  }
+}
+
+}  // namespace flash::core

@@ -1,0 +1,88 @@
+#include "fft/transform_cache.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace flash::fft {
+
+namespace {
+
+struct Caches {
+  std::mutex mu;
+  std::map<std::pair<hemath::u64, std::size_t>, std::shared_ptr<const hemath::NttTables>> ntt;
+  std::map<std::size_t, std::shared_ptr<const NegacyclicFft>> fft;
+  std::map<std::string, std::shared_ptr<const FxpNegacyclicTransform>> fxp;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+Caches& caches() {
+  static Caches c;  // leaked at exit by design (function-local static)
+  return c;
+}
+
+/// Every field of the config participates in the key: two design points that
+/// differ anywhere produce different twiddle tables / rounding behavior.
+std::string fxp_key(std::size_t n, const FxpFftConfig& cfg) {
+  std::ostringstream key;
+  key << n << '|' << cfg.input_frac_bits << '|' << cfg.data_width << '|' << cfg.twiddle_k << '|'
+      << cfg.twiddle_min_exp << '|' << static_cast<int>(cfg.rounding) << '|';
+  for (int b : cfg.stage_frac_bits) key << b << ',';
+  return key.str();
+}
+
+}  // namespace
+
+/// find-or-construct under the cache lock; construction failures (invalid
+/// parameters) propagate without leaving an empty entry behind.
+template <typename Map, typename Key, typename Make>
+auto lookup(Caches& c, Map& map, const Key& key, const Make& make) {
+  std::lock_guard<std::mutex> lock(c.mu);
+  auto it = map.find(key);
+  if (it != map.end()) {
+    ++c.hits;
+    return it->second;
+  }
+  auto made = make();
+  ++c.misses;
+  map.emplace(key, made);
+  return made;
+}
+
+std::shared_ptr<const hemath::NttTables> shared_ntt_tables(hemath::u64 q, std::size_t n) {
+  Caches& c = caches();
+  return lookup(c, c.ntt, std::make_pair(q, n),
+                [&] { return std::make_shared<const hemath::NttTables>(q, n); });
+}
+
+std::shared_ptr<const NegacyclicFft> shared_negacyclic_fft(std::size_t n) {
+  Caches& c = caches();
+  return lookup(c, c.fft, n, [&] { return std::make_shared<const NegacyclicFft>(n); });
+}
+
+std::shared_ptr<const FxpNegacyclicTransform> shared_fxp_transform(std::size_t n,
+                                                                  const FxpFftConfig& config) {
+  Caches& c = caches();
+  return lookup(c, c.fxp, fxp_key(n, config),
+                [&] { return std::make_shared<const FxpNegacyclicTransform>(n, config); });
+}
+
+TransformCacheStats transform_cache_stats() {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return {c.ntt.size(), c.fft.size(), c.fxp.size(), c.hits, c.misses};
+}
+
+void clear_transform_caches() {
+  Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.ntt.clear();
+  c.fft.clear();
+  c.fxp.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
+}  // namespace flash::fft

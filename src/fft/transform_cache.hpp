@@ -1,0 +1,44 @@
+// Process-wide shared transform tables.
+//
+// NTT twiddle tables, negacyclic FFT plans and fixed-point transform
+// instances are pure functions of their parameters, immutable after
+// construction, and O(N) to build — yet the seed code rebuilt them for
+// every BfvContext / PolyMulEngine instance. These caches construct each
+// distinct table once and hand out shared_ptrs; concurrent lookups are
+// mutex-guarded, concurrent *use* of a cached table needs no locking
+// (every transform method is const over immutable state).
+//
+// Keys: (q, N) for NTT tables, N for the FP negacyclic plan, and
+// (N, full FxpFftConfig) for the approximate transform — two engines with
+// different stage widths or twiddle quantization must not share tables.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "fft/fxp_fft.hpp"
+#include "fft/negacyclic.hpp"
+#include "hemath/ntt.hpp"
+
+namespace flash::fft {
+
+std::shared_ptr<const hemath::NttTables> shared_ntt_tables(hemath::u64 q, std::size_t n);
+std::shared_ptr<const NegacyclicFft> shared_negacyclic_fft(std::size_t n);
+std::shared_ptr<const FxpNegacyclicTransform> shared_fxp_transform(std::size_t n,
+                                                                   const FxpFftConfig& config);
+
+/// Cache observability (tests assert construction happens once).
+struct TransformCacheStats {
+  std::size_t ntt_entries = 0;
+  std::size_t fft_entries = 0;
+  std::size_t fxp_entries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+TransformCacheStats transform_cache_stats();
+
+/// Drop every cached table (entries still referenced by live contexts stay
+/// alive through their shared_ptrs). Intended for tests.
+void clear_transform_caches();
+
+}  // namespace flash::fft

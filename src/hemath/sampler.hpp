@@ -1,6 +1,14 @@
 // Randomness for the HE layer: uniform ring elements, ternary secrets, and
 // centered-binomial "discrete Gaussian-like" error, all from a seedable PRNG
 // so every test and benchmark is reproducible.
+//
+// Concurrency model: a Sampler (and any bare std::mt19937_64) is single-
+// thread state — sharing one across tasks is a data race AND destroys
+// reproducibility, because interleaving reorders the draws. Parallel code
+// must give every task its own stream via derive_stream_seed()/fork(): the
+// derived seed depends only on (base seed, stream index), so a fixed seed
+// yields the same per-task randomness no matter how many threads run or in
+// what order tasks are scheduled.
 #pragma once
 
 #include <cstdint>
@@ -10,9 +18,26 @@
 
 namespace flash::hemath {
 
+/// SplitMix64-style mix of a base seed and a stream index: statistically
+/// independent, deterministic per (base, stream) pair. The standard way to
+/// fan one seed out into per-task PRNG streams.
+inline std::uint64_t derive_stream_seed(std::uint64_t base, std::uint64_t stream) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Sampler {
  public:
-  explicit Sampler(std::uint64_t seed) : rng_(seed) {}
+  explicit Sampler(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// Construction seed (not the evolving PRNG state); forks derive from it.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Independent per-task sampler: deterministic in (this sampler's seed,
+  /// stream), unaffected by how many draws this sampler has made.
+  Sampler fork(std::uint64_t stream) const { return Sampler(derive_stream_seed(seed_, stream)); }
 
   /// Uniform element of Z_q.
   u64 uniform_mod(u64 q);
@@ -33,6 +58,7 @@ class Sampler {
   std::mt19937_64& rng() { return rng_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 rng_;
 };
 
@@ -41,6 +67,12 @@ class Sampler {
 /// friendly, no floating point at sampling time). Probabilities are
 /// tabulated once at construction up to a tail cut; each sample is one
 /// uniform draw plus a table scan.
+///
+/// The object itself is immutable after construction and safe to share
+/// across threads; all mutable state lives in the std::mt19937_64 the
+/// caller passes in, which must be a per-thread / per-task stream (seed it
+/// with derive_stream_seed) — handing several threads one shared rng is a
+/// data race on the generator state.
 class CdtGaussianSampler {
  public:
   explicit CdtGaussianSampler(double sigma, double tail_cut = 9.0);

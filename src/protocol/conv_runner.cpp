@@ -1,5 +1,6 @@
 #include "protocol/conv_runner.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "encoding/encoder.hpp"
@@ -67,7 +68,8 @@ tensor::Tensor3 ConvRunnerResult::reconstruct(u64 t) const {
   return out;
 }
 
-ConvRunnerResult ConvRunner::run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights) {
+ConvRunnerResult ConvRunner::run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights,
+                                         std::uint64_t stream_base) {
   const auto& p = protocol_.context().params();
   const std::size_t kh = weights.kernel_h();
   const std::size_t kw = weights.kernel_w();
@@ -89,33 +91,46 @@ ConvRunnerResult ConvRunner::run_stride1(const tensor::Tensor3& x, const tensor:
   while (tile > 1 && !fits(tile)) --tile;
   if (!fits(tile)) throw std::invalid_argument("ConvRunner: kernel too large for polynomial degree");
 
+  // Collect the spatial tile grid, then fan it out: every tile writes a
+  // disjoint output window and draws a stream id fixed by its grid position,
+  // so the parallel result is bit-identical to the serial one.
+  struct TileTask {
+    std::size_t ty, tx, th, tw;
+  };
+  std::vector<TileTask> tasks;
   for (std::size_t ty = 0; ty < out_h; ty += tile) {
     for (std::size_t tx = 0; tx < out_w; tx += tile) {
-      const std::size_t th = std::min(tile, out_h - ty);
-      const std::size_t tw = std::min(tile, out_w - tx);
-      tensor::Tensor3 patch(x.channels(), th + kh - 1, tw + kw - 1);
-      for (std::size_t c = 0; c < x.channels(); ++c) {
-        for (std::size_t y = 0; y < th + kh - 1; ++y) {
-          for (std::size_t xx = 0; xx < tw + kw - 1; ++xx) {
-            patch.at(c, y, xx) = x.at(c, ty + y, tx + xx);
-          }
-        }
-      }
-      const HConvResult r = protocol_.run(patch, weights);
-      ++result.hconv_calls;
-      result.bytes_client_to_server += r.profile.bytes_client_to_server;
-      result.bytes_server_to_client += r.profile.bytes_server_to_client;
-      for (std::size_t m = 0; m < weights.out_channels(); ++m) {
-        std::size_t idx = 0;
-        for (std::size_t y = 0; y < th; ++y) {
-          for (std::size_t xx = 0; xx < tw; ++xx, ++idx) {
-            result.client_share.at(m, ty + y, tx + xx) = static_cast<tensor::i64>(r.client_share[m][idx]);
-            result.server_share.at(m, ty + y, tx + xx) = static_cast<tensor::i64>(r.server_share[m][idx]);
-          }
+      tasks.push_back({ty, tx, std::min(tile, out_h - ty), std::min(tile, out_w - tx)});
+    }
+  }
+
+  std::atomic<std::uint64_t> bytes_c2s{0}, bytes_s2c{0};
+  core::for_range(pool_, tasks.size(), [&](std::size_t i) {
+    const TileTask& tk = tasks[i];
+    tensor::Tensor3 patch(x.channels(), tk.th + kh - 1, tk.tw + kw - 1);
+    for (std::size_t c = 0; c < x.channels(); ++c) {
+      for (std::size_t y = 0; y < tk.th + kh - 1; ++y) {
+        for (std::size_t xx = 0; xx < tk.tw + kw - 1; ++xx) {
+          patch.at(c, y, xx) = x.at(c, tk.ty + y, tk.tx + xx);
         }
       }
     }
-  }
+    const HConvResult r = protocol_.run_stream(patch, weights, stream_base + i);
+    bytes_c2s.fetch_add(r.profile.bytes_client_to_server, std::memory_order_relaxed);
+    bytes_s2c.fetch_add(r.profile.bytes_server_to_client, std::memory_order_relaxed);
+    for (std::size_t m = 0; m < weights.out_channels(); ++m) {
+      std::size_t idx = 0;
+      for (std::size_t y = 0; y < tk.th; ++y) {
+        for (std::size_t xx = 0; xx < tk.tw; ++xx, ++idx) {
+          result.client_share.at(m, tk.ty + y, tk.tx + xx) = static_cast<tensor::i64>(r.client_share[m][idx]);
+          result.server_share.at(m, tk.ty + y, tk.tx + xx) = static_cast<tensor::i64>(r.server_share[m][idx]);
+        }
+      }
+    }
+  });
+  result.hconv_calls = tasks.size();
+  result.bytes_client_to_server = bytes_c2s.load();
+  result.bytes_server_to_client = bytes_s2c.load();
   return result;
 }
 
@@ -123,7 +138,7 @@ ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const tensor::Tensor4
                                  std::size_t stride, std::size_t pad) {
   if (stride == 0) throw std::invalid_argument("ConvRunner: stride must be >= 1");
   const tensor::Tensor3 padded = pad_input(x, pad);
-  if (stride == 1) return run_stride1(padded, weights);
+  if (stride == 1) return run_stride1(padded, weights, 0);
 
   const auto& p = protocol_.context().params();
   const std::size_t k = weights.kernel_h();
@@ -133,36 +148,57 @@ ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const tensor::Tensor4
   ConvRunnerResult total;
   total.client_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
   total.server_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
-  bool first = true;
+
+  // Enumerate the live stride phases first; each is an independent stride-1
+  // sub-convolution, so they fan out over the pool. Phase p owns the stream
+  // block [p * 2^16, (p+1) * 2^16) for its spatial tiles.
+  struct PhaseTask {
+    std::size_t a, b, index;
+  };
+  std::vector<PhaseTask> phases;
   for (std::size_t a = 0; a < std::min(stride, k); ++a) {
     for (std::size_t b = 0; b < std::min(stride, k); ++b) {
-      const tensor::Tensor4 wp = kernel_phase(weights, stride, a, b);
-      if (wp.kernel_h() == 0 || wp.kernel_w() == 0) continue;
-      const tensor::Tensor3 xp = subsample(padded, stride, a, b);
-      ConvRunnerResult phase = run_stride1(xp, wp);
-      total.hconv_calls += phase.hconv_calls;
-      total.bytes_client_to_server += phase.bytes_client_to_server;
-      total.bytes_server_to_client += phase.bytes_server_to_client;
-      // Crop the phase result to the strided output extent and accumulate
-      // the shares locally (mod t).
-      tensor::Tensor3 crop_c(weights.out_channels(), out_h, out_w);
-      tensor::Tensor3 crop_s(weights.out_channels(), out_h, out_w);
-      for (std::size_t m = 0; m < weights.out_channels(); ++m) {
-        for (std::size_t y = 0; y < out_h; ++y) {
-          for (std::size_t xx = 0; xx < out_w; ++xx) {
-            crop_c.at(m, y, xx) = phase.client_share.at(m, y, xx);
-            crop_s.at(m, y, xx) = phase.server_share.at(m, y, xx);
-          }
+      const std::size_t kh = (k > a) ? (k - a + stride - 1) / stride : 0;
+      const std::size_t kw = (k > b) ? (k - b + stride - 1) / stride : 0;
+      if (kh == 0 || kw == 0) continue;
+      phases.push_back({a, b, phases.size()});
+    }
+  }
+
+  std::vector<ConvRunnerResult> phase_results(phases.size());
+  core::for_range(pool_, phases.size(), [&](std::size_t i) {
+    const PhaseTask& ph = phases[i];
+    const tensor::Tensor4 wp = kernel_phase(weights, stride, ph.a, ph.b);
+    const tensor::Tensor3 xp = subsample(padded, stride, ph.a, ph.b);
+    phase_results[i] = run_stride1(xp, wp, ph.index << 16);
+  });
+
+  // Crop each phase to the strided output extent and sum the shares locally
+  // (mod t) in fixed phase order. Modular addition is exact, so any order
+  // gives the same bits; fixed order keeps it auditable.
+  bool first = true;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    ConvRunnerResult& phase = phase_results[i];
+    total.hconv_calls += phase.hconv_calls;
+    total.bytes_client_to_server += phase.bytes_client_to_server;
+    total.bytes_server_to_client += phase.bytes_server_to_client;
+    tensor::Tensor3 crop_c(weights.out_channels(), out_h, out_w);
+    tensor::Tensor3 crop_s(weights.out_channels(), out_h, out_w);
+    for (std::size_t m = 0; m < weights.out_channels(); ++m) {
+      for (std::size_t y = 0; y < out_h; ++y) {
+        for (std::size_t xx = 0; xx < out_w; ++xx) {
+          crop_c.at(m, y, xx) = phase.client_share.at(m, y, xx);
+          crop_s.at(m, y, xx) = phase.server_share.at(m, y, xx);
         }
       }
-      if (first) {
-        total.client_share = crop_c;
-        total.server_share = crop_s;
-        first = false;
-      } else {
-        add_shares_inplace(total.client_share, crop_c, p.t);
-        add_shares_inplace(total.server_share, crop_s, p.t);
-      }
+    }
+    if (first) {
+      total.client_share = crop_c;
+      total.server_share = crop_s;
+      first = false;
+    } else {
+      add_shares_inplace(total.client_share, crop_c, p.t);
+      add_shares_inplace(total.server_share, crop_s, p.t);
     }
   }
   return total;

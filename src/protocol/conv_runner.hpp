@@ -31,7 +31,16 @@ struct ConvRunnerResult {
 
 class ConvRunner {
  public:
-  explicit ConvRunner(HConvProtocol& protocol) : protocol_(protocol) {}
+  /// pool (optional, non-owning) fans the independent HConv units — stride
+  /// phases and spatial tiles — out over threads; each unit also hands the
+  /// pool down to HConvProtocol for its per-channel loops. Every unit gets a
+  /// deterministic RNG stream id derived from its (phase, tile) position, so
+  /// the result is bit-identical to the serial path for a fixed protocol
+  /// seed, independent of thread count and scheduling.
+  explicit ConvRunner(HConvProtocol& protocol, core::ThreadPool* pool = nullptr)
+      : protocol_(protocol), pool_(pool) {
+    if (pool_ != nullptr) protocol_.set_pool(pool_);
+  }
 
   /// General conv2d over the protocol: any stride >= 1, any padding, spatial
   /// tiling as needed.
@@ -39,10 +48,13 @@ class ConvRunner {
                        std::size_t stride, std::size_t pad);
 
  private:
-  /// Stride-1 valid conv with spatial tiling.
-  ConvRunnerResult run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights);
+  /// Stride-1 valid conv with spatial tiling; HConv unit i draws RNG stream
+  /// stream_base + i.
+  ConvRunnerResult run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights,
+                               std::uint64_t stream_base);
 
   HConvProtocol& protocol_;
+  core::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace flash::protocol

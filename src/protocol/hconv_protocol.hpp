@@ -12,10 +12,12 @@
 // is wall-clock profiled (this is the Fig. 1 latency-breakdown instrument).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "bfv/encrypt.hpp"
 #include "bfv/evaluator.hpp"
+#include "core/thread_pool.hpp"
 #include "encoding/encoder.hpp"
 #include "protocol/secret_sharing.hpp"
 #include "tensor/conv.hpp"
@@ -46,6 +48,9 @@ struct HConvResult {
   std::vector<std::vector<u64>> server_share;
   std::size_t out_h = 0, out_w = 0;
   HConvProfile profile;
+  /// Engine counter delta across this run. Exact when runs are sequential;
+  /// when several runs share one protocol concurrently the global engine
+  /// totals stay exact (atomics) but per-run attribution overlaps.
   bfv::PolyMulCounters ops;
 
   /// Reconstruct the cleartext result tensor (centered mod t).
@@ -55,13 +60,31 @@ struct HConvResult {
 class HConvProtocol {
  public:
   /// backend selects the server's PolyMul datapath (NTT = CPU baseline,
-  /// kApproxFft = the FLASH datapath).
+  /// kApproxFft = the FLASH datapath). pool (optional, non-owning)
+  /// parallelizes the per-tile and per-output-channel loops; null = serial.
+  ///
+  /// Concurrency model: keys and the evaluator are built once and then only
+  /// read (the engine's counters are atomic); every run() draws all of its
+  /// randomness from streams derived from (seed, stream id, task index), so
+  /// concurrent run() calls are race-free and a fixed seed reproduces the
+  /// same shares/masks regardless of thread count or scheduling.
   HConvProtocol(const bfv::BfvContext& ctx, bfv::PolyMulBackend backend,
-                std::optional<fft::FxpFftConfig> approx_config, std::uint64_t seed);
+                std::optional<fft::FxpFftConfig> approx_config, std::uint64_t seed,
+                core::ThreadPool* pool = nullptr);
+
+  void set_pool(core::ThreadPool* pool) { pool_ = pool; }
+  core::ThreadPool* pool() const { return pool_; }
 
   /// Run a stride-1 valid convolution over a pre-padded input. The input is
-  /// secret-shared internally (the caller plays both parties).
+  /// secret-shared internally (the caller plays both parties). Each call
+  /// consumes one RNG stream id from an internal counter.
   HConvResult run(const tensor::Tensor3& x, const tensor::Tensor4& weights);
+
+  /// Same, with an explicit RNG stream id. Callers that fan HConvs out over
+  /// a pool (ConvRunner) assign ids deterministically per task, making the
+  /// parallel result bit-identical to the serial one.
+  HConvResult run_stream(const tensor::Tensor3& x, const tensor::Tensor4& weights,
+                         std::uint64_t stream);
 
   /// Fully-connected layer: y = W x over the same one-round protocol, using
   /// the matrix-vector coefficient encoding (Table IV's FC head).
@@ -80,14 +103,15 @@ class HConvProtocol {
 
  private:
   const bfv::BfvContext& ctx_;
-  hemath::Sampler sampler_;
-  std::mt19937_64 share_rng_;
+  std::uint64_t seed_;
+  hemath::Sampler keygen_sampler_;  // consumed at construction only
   bfv::KeyGenerator keygen_;
   bfv::SecretKey sk_;
   bfv::PublicKey pk_;
-  bfv::Encryptor encryptor_;
   bfv::Decryptor decryptor_;
   bfv::Evaluator evaluator_;
+  core::ThreadPool* pool_ = nullptr;        // non-owning
+  std::atomic<std::uint64_t> next_stream_;  // default stream ids for run()
 };
 
 /// Size in bytes of one ciphertext on the wire (2 ring elements, log2(q)

@@ -1,5 +1,6 @@
 #include "tensor/resnet.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace flash::tensor {
@@ -139,6 +140,27 @@ SyntheticClassifier SyntheticClassifier::random(std::size_t features, std::size_
   std::normal_distribution<double> dist(0.0, static_cast<double>(quant_max(bits)) / 2.5);
   for (auto& v : c.fc_weights) v = clamp_to_bits(static_cast<i64>(std::llround(dist(rng))), bits);
   return c;
+}
+
+std::vector<LayerConfig> scale_layers_for_sweep(const std::vector<LayerConfig>& layers,
+                                                std::size_t max_hw, std::size_t max_c) {
+  std::vector<LayerConfig> out;
+  for (const LayerConfig& l : layers) {
+    LayerConfig s = l;
+    // Keep the input at least one kernel (minus padding) tall so the scaled
+    // layer still has a non-empty output.
+    const std::size_t min_hw = l.kernel > 2 * l.pad ? l.kernel - 2 * l.pad : 1;
+    s.in_h = std::max(min_hw, std::min(l.in_h, max_hw));
+    s.in_w = std::max(min_hw, std::min(l.in_w, max_hw));
+    s.in_c = std::min(l.in_c, max_c);
+    s.out_c = std::min(l.out_c, max_c);
+    const bool dup = std::any_of(out.begin(), out.end(), [&](const LayerConfig& o) {
+      return o.in_c == s.in_c && o.in_h == s.in_h && o.in_w == s.in_w && o.out_c == s.out_c &&
+             o.kernel == s.kernel && o.stride == s.stride && o.pad == s.pad;
+    });
+    if (!dup) out.push_back(s);
+  }
+  return out;
 }
 
 std::size_t SyntheticClassifier::predict(const std::vector<i64>& features) const {

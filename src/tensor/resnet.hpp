@@ -37,6 +37,15 @@ std::vector<LayerConfig> resnet18_conv_layers();
 /// Every conv layer of ResNet-50 (ImageNet, 224x224 input), in order.
 std::vector<LayerConfig> resnet50_conv_layers();
 
+/// Scale a layer inventory to a CPU-tractable software sweep: spatial
+/// extents capped at max_hw and channel counts at max_c, preserving kernel /
+/// stride / padding geometry (so the protocol still exercises the same
+/// phase decompositions and tilings), and deduplicating layers that collapse
+/// to the same scaled shape. This is what the `--threads` layer-sweep
+/// benches actually execute through the HE/2PC protocol.
+std::vector<LayerConfig> scale_layers_for_sweep(const std::vector<LayerConfig>& layers,
+                                                std::size_t max_hw, std::size_t max_c);
+
 /// A quantized residual block (paper Fig. 5(a)): conv -> requant -> relu ->
 /// conv -> requant -> add identity -> relu. Weight/activation bit-widths are
 /// parameters (W4A4 in the paper's headline experiments).
