@@ -28,6 +28,12 @@ void check_header(ByteReader& r, std::uint8_t tag, const BfvParams& p) {
     throw std::runtime_error("deserialize: parameter mismatch");
   }
 }
+
+// Top-level loaders own the whole buffer; leftover bytes mean a framing bug
+// (or a concatenated/corrupted stream), not a valid object.
+void check_exhausted(const ByteReader& r) {
+  if (!r.exhausted()) throw std::runtime_error("deserialize: trailing bytes after object");
+}
 }  // namespace
 
 void ByteWriter::write_u64(u64 v) {
@@ -103,6 +109,7 @@ Plaintext deserialize_plaintext(const BfvContext& ctx, const Bytes& bytes) {
   check_header(r, kTagPlaintext, ctx.params());
   Plaintext pt{deserialize_poly(r)};
   if (pt.poly.modulus() != ctx.params().t) throw std::runtime_error("plaintext: wrong modulus");
+  check_exhausted(r);
   return pt;
 }
 
@@ -121,6 +128,7 @@ Ciphertext deserialize_ciphertext(const BfvContext& ctx, const Bytes& bytes) {
   if (ct.c0.modulus() != ctx.params().q || ct.c1.modulus() != ctx.params().q) {
     throw std::runtime_error("ciphertext: wrong modulus");
   }
+  check_exhausted(r);
   return ct;
 }
 
@@ -134,7 +142,9 @@ Bytes serialize(const BfvParams& params, const SecretKey& sk) {
 SecretKey deserialize_secret_key(const BfvContext& ctx, const Bytes& bytes) {
   ByteReader r(bytes);
   check_header(r, kTagSecretKey, ctx.params());
-  return {deserialize_poly(r)};
+  SecretKey sk{deserialize_poly(r)};
+  check_exhausted(r);
+  return sk;
 }
 
 Bytes serialize(const BfvParams& params, const PublicKey& pk) {
@@ -148,7 +158,9 @@ Bytes serialize(const BfvParams& params, const PublicKey& pk) {
 PublicKey deserialize_public_key(const BfvContext& ctx, const Bytes& bytes) {
   ByteReader r(bytes);
   check_header(r, kTagPublicKey, ctx.params());
-  return {deserialize_poly(r), deserialize_poly(r)};
+  PublicKey pk{deserialize_poly(r), deserialize_poly(r)};
+  check_exhausted(r);
+  return pk;
 }
 
 Bytes serialize(const BfvParams& params, const KeySwitchKey& key) {
@@ -174,6 +186,7 @@ KeySwitchKey deserialize_key_switch_key(const BfvContext& ctx, const Bytes& byte
     key.k0.push_back(deserialize_poly(r));
     key.k1.push_back(deserialize_poly(r));
   }
+  check_exhausted(r);
   return key;
 }
 

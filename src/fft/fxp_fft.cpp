@@ -58,21 +58,29 @@ i128 csd_multiply(i64 m, const CsdValue& w, RoundingMode mode, FxpFftStats* stat
   return acc;
 }
 
-/// Full complex multiply by a quantized twiddle; frac bits preserved.
-FxpComplex twiddle_multiply(FxpComplex a, const QuantizedTwiddle& w, int width, RoundingMode mode,
-                            FxpFftStats* stats) {
+/// Combinational (pre-register) value: the multiplier and adder keep full
+/// precision; only the stage output register narrows back to data_width.
+struct WideComplex {
+  i128 re = 0;
+  i128 im = 0;
+};
+
+/// Full complex multiply by a quantized twiddle; frac bits preserved. The
+/// product stays wide — in hardware the multiplier output feeds the
+/// butterfly adder combinationally, so clamping here would drop the carry
+/// headroom the requantizer is entitled to round away.
+WideComplex twiddle_multiply(FxpComplex a, const QuantizedTwiddle& w, RoundingMode mode,
+                             FxpFftStats* stats) {
   const i128 rr = csd_multiply(a.re, w.re, mode, stats);
   const i128 ii = csd_multiply(a.im, w.im, mode, stats);
   const i128 ri = csd_multiply(a.re, w.im, mode, stats);
   const i128 ir = csd_multiply(a.im, w.re, mode, stats);
-  FxpComplex out;
-  out.re = saturate(rr - ii, width, stats);
-  out.im = saturate(ri + ir, width, stats);
-  return out;
+  return {rr - ii, ri + ir};
 }
 
-/// Requantize from f_from fraction bits to f_to, saturating to width.
-FxpComplex requantize(FxpComplex a, int f_from, int f_to, int width, RoundingMode mode,
+/// Requantize from f_from fraction bits to f_to, saturating to width — the
+/// stage output register: the one place a stage narrows its result.
+FxpComplex requantize(WideComplex a, int f_from, int f_to, int width, RoundingMode mode,
                       FxpFftStats* stats) {
   const int shift = f_from - f_to;
   i128 re = a.re, im = a.im;
@@ -135,11 +143,14 @@ std::vector<cplx> FxpFft::forward(const std::vector<cplx>& in, FxpFftStats* stat
         const QuantizedTwiddle& w = twiddles_[j * stride];
         FxpComplex& u = a[block + j];
         FxpComplex& v = a[block + j + half];
-        const FxpComplex t = twiddle_multiply(v, w, config_.data_width, config_.rounding, stats);
-        FxpComplex top{saturate(i128{u.re} + t.re, config_.data_width, stats),
-                       saturate(i128{u.im} + t.im, config_.data_width, stats)};
-        FxpComplex bot{saturate(i128{u.re} - t.re, config_.data_width, stats),
-                       saturate(i128{u.im} - t.im, config_.data_width, stats)};
+        // The butterfly sum/difference stays wide until the stage output
+        // register: saturating the adder at the *input* fraction scale would
+        // clamp legitimately-doubled values that the requantizer's right
+        // shift is about to bring back in range (a rare-input, large-error
+        // bug the differential fuzzer caught).
+        const WideComplex t = twiddle_multiply(v, w, config_.rounding, stats);
+        WideComplex top{i128{u.re} + t.re, i128{u.im} + t.im};
+        WideComplex bot{i128{u.re} - t.re, i128{u.im} - t.im};
         u = requantize(top, frac, out_frac, config_.data_width, config_.rounding, stats);
         v = requantize(bot, frac, out_frac, config_.data_width, config_.rounding, stats);
         if (stats) ++stats->butterflies;

@@ -1,0 +1,152 @@
+#include "testing/fuzz.hpp"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "hemath/sampler.hpp"
+#include "testing/shrink.hpp"
+
+namespace flash::testing {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A corpus line may be a full spec or a bare integer seed.
+bool parse_bare_seed(const std::string& line, std::uint64_t& seed) {
+  try {
+    std::size_t used = 0;
+    seed = std::stoull(line, &used, 0);
+    return used == line.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+struct FuzzEngine {
+  const FuzzOptions& options;
+  std::ostream& log;
+  PolymulOracle polymul;
+  HConvOracle hconv;
+  FuzzResult result;
+  Clock::time_point start = Clock::now();
+
+  FuzzEngine(const FuzzOptions& opt, std::ostream& out)
+      : options(opt), log(out), polymul(opt.oracle), hconv(opt.oracle) {}
+
+  bool out_of_budget() const {
+    if (options.time_budget_s > 0.0 && seconds_since(start) >= options.time_budget_s) return true;
+    return result.failures.size() >= options.max_failures;
+  }
+
+  void record_failure(const std::string& original, const std::string& reproducer,
+                      const std::string& report, std::size_t steps) {
+    result.failures.push_back({original, reproducer, report, steps});
+    log << "FAIL " << original << "\n     " << report << "\n     reproducer (after " << steps
+        << " shrink steps): " << reproducer << "\n";
+  }
+
+  void check_polymul(PolymulSpec spec) {
+    PolymulCase c = make_polymul_case(spec);
+    ++result.cases_run;
+    const OracleReport report = polymul.run(c);
+    if (options.verbose) log << "  " << c.spec.describe() << " -> " << report.summary() << "\n";
+    if (report.ok) return;
+    const auto outcome = shrink_spec(c.spec, polymul_reducers(), [this](const PolymulSpec& s) {
+      return !polymul.run(make_polymul_case(s)).ok;
+    });
+    const OracleReport shrunk_report = polymul.run(make_polymul_case(outcome.spec));
+    record_failure(c.spec.describe(), outcome.spec.describe(),
+                   shrunk_report.ok ? report.summary() : shrunk_report.summary(), outcome.steps);
+  }
+
+  void check_conv(ConvSpec spec) {
+    ConvCase c = make_conv_case(spec);
+    ++result.cases_run;
+    const OracleReport report = hconv.run(c);
+    if (options.verbose) log << "  " << c.spec.describe() << " -> " << report.summary() << "\n";
+    if (report.ok) return;
+    const auto outcome = shrink_spec(c.spec, conv_reducers(), [this](const ConvSpec& s) {
+      return !hconv.run(make_conv_case(s)).ok;
+    });
+    const OracleReport shrunk_report = hconv.run(make_conv_case(outcome.spec));
+    record_failure(c.spec.describe(), outcome.spec.describe(),
+                   shrunk_report.ok ? report.summary() : shrunk_report.summary(), outcome.steps);
+  }
+
+  void run_corpus_entry(const std::string& line) {
+    PolymulSpec pm;
+    ConvSpec cv;
+    std::uint64_t seed = 0;
+    if (parse_polymul_spec(line, pm)) {
+      check_polymul(pm);
+    } else if (parse_conv_spec(line, cv)) {
+      check_conv(cv);
+    } else if (parse_bare_seed(line, seed)) {
+      check_polymul(PolymulSpec{seed});
+      if (!out_of_budget()) check_conv(ConvSpec{seed});
+    } else {
+      throw std::invalid_argument("fuzz corpus: malformed entry: " + line);
+    }
+  }
+};
+
+}  // namespace
+
+FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log) {
+  FuzzEngine engine(options, log);
+
+  for (const std::string& entry : options.corpus) {
+    if (engine.out_of_budget()) break;
+    engine.run_corpus_entry(entry);
+  }
+
+  for (std::size_t i = 0; i < options.iters && !engine.out_of_budget(); ++i) {
+    const std::uint64_t case_seed = hemath::derive_stream_seed(options.seed, i);
+    if (options.conv_every != 0 && i % options.conv_every == options.conv_every - 1) {
+      engine.check_conv(ConvSpec{case_seed});
+    } else {
+      engine.check_polymul(PolymulSpec{case_seed});
+    }
+  }
+
+  log << "fuzz: " << engine.result.cases_run << " cases, " << engine.result.failures.size()
+      << " failure(s), " << seconds_since(engine.start) << " s\n";
+  return engine.result;
+}
+
+OracleReport run_repro(const std::string& line, const OracleOptions& options) {
+  PolymulSpec pm;
+  ConvSpec cv;
+  std::uint64_t seed = 0;
+  if (parse_polymul_spec(line, pm)) return PolymulOracle(options).run(make_polymul_case(pm));
+  if (parse_conv_spec(line, cv)) return HConvOracle(options).run(make_conv_case(cv));
+  if (parse_bare_seed(line, seed)) {
+    const OracleReport report = PolymulOracle(options).run(make_polymul_case(PolymulSpec{seed}));
+    if (!report.ok) return report;
+    return HConvOracle(options).run(make_conv_case(ConvSpec{seed}));
+  }
+  throw std::invalid_argument("run_repro: malformed spec: " + line);
+}
+
+std::vector<std::string> load_seed_corpus(std::istream& in) {
+  std::vector<std::string> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line.empty() || line[0] == '#') continue;
+    entries.push_back(line);
+  }
+  return entries;
+}
+
+}  // namespace flash::testing

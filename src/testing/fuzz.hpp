@@ -1,0 +1,61 @@
+// The differential fuzz engine behind the `flash_fuzz` driver and the
+// ctest `diff` suite.
+//
+// Case i of a run draws its seed as derive_stream_seed(base_seed, i), so a
+// run is reproducible from (base seed, iteration count) and any individual
+// failure reproduces from the single printed spec line. On failure the
+// engine shrinks the case (see shrink.hpp) and reports the smallest
+// still-failing spec — that line is also the format of the committed seed
+// corpus, which is replayed before the random cases.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "testing/oracle.hpp"
+
+namespace flash::testing {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iters = 100;
+  /// Wall-clock cap in seconds; 0 = unlimited. Whichever of iters /
+  /// time_budget_s trips first ends the run (the "quick vs nightly" knob).
+  double time_budget_s = 0.0;
+  /// Every conv_every-th iteration runs the end-to-end HConv oracle instead
+  /// of the (much cheaper) polymul oracle. 0 disables conv cases.
+  std::size_t conv_every = 16;
+  /// Stop after this many distinct failures (each one costs a shrink).
+  std::size_t max_failures = 3;
+  OracleOptions oracle;
+  /// Corpus entries (spec lines or bare seeds) replayed before random cases.
+  std::vector<std::string> corpus;
+  bool verbose = false;
+};
+
+struct FuzzFailure {
+  std::string original;    // spec that first failed
+  std::string reproducer;  // smallest still-failing spec after shrinking
+  std::string report;      // oracle check + detail
+  std::size_t shrink_steps = 0;
+};
+
+struct FuzzResult {
+  std::size_t cases_run = 0;
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+FuzzResult run_fuzz(const FuzzOptions& options, std::ostream& log);
+
+/// Run the oracle on one reproducer line ("polymul:..." / "conv:..." /
+/// a bare seed, which runs both families). Returns the first failure's
+/// report, or an ok report. Throws std::invalid_argument on a malformed line.
+OracleReport run_repro(const std::string& line, const OracleOptions& options);
+
+/// Read a corpus file: one entry per line, '#' comments and blanks skipped.
+std::vector<std::string> load_seed_corpus(std::istream& in);
+
+}  // namespace flash::testing

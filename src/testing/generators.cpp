@@ -1,0 +1,195 @@
+#include "testing/generators.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "encoding/encoder.hpp"
+#include "hemath/sampler.hpp"
+#include "tensor/quant.hpp"
+
+namespace flash::testing {
+
+namespace {
+
+// Sub-stream indices of a case seed. Each aspect of a case draws from its
+// own stream so a shape override (the shrinker) never shifts the draws of
+// another aspect.
+enum Stream : std::uint64_t { kShape = 0, kPattern = 1, kValues = 2 };
+
+std::mt19937_64 stream_rng(std::uint64_t seed, std::uint64_t stream) {
+  return std::mt19937_64(hemath::derive_stream_seed(seed, stream));
+}
+
+/// Largest square spatial dim whose single channel (plus encoding slack)
+/// fits a degree-n polynomial with a k x k kernel.
+std::size_t fitting_hw(std::size_t n, std::size_t k) {
+  std::size_t hw = k;
+  while ((hw + 1) * (hw + 1) + (k - 1) * (hw + 1) + (k - 1) <= n) ++hw;
+  return hw;
+}
+
+bool parse_fields(const std::string& text, const std::string& tag,
+                  std::vector<std::pair<std::string, std::uint64_t>>& fields) {
+  if (text.rfind(tag + ":", 0) != 0) return false;
+  std::stringstream body(text.substr(tag.size() + 1));
+  std::string item;
+  while (std::getline(body, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(item.substr(eq + 1), nullptr, 0);
+    } catch (const std::exception&) {
+      return false;
+    }
+    fields.emplace_back(item.substr(0, eq), value);
+  }
+  return !fields.empty();
+}
+
+}  // namespace
+
+std::string PolymulSpec::describe() const {
+  std::stringstream out;
+  out << "polymul:seed=0x" << std::hex << seed << std::dec << ",n=" << n << ",nnz=" << nnz
+      << ",densify=" << (densify ? 1 : 0);
+  return out.str();
+}
+
+std::string ConvSpec::describe() const {
+  std::stringstream out;
+  out << "conv:seed=0x" << std::hex << seed << std::dec << ",c=" << c << ",m=" << m << ",h=" << h
+      << ",w=" << w << ",k=" << k << ",stride=" << stride << ",pad=" << pad;
+  return out.str();
+}
+
+bool parse_polymul_spec(const std::string& text, PolymulSpec& out) {
+  std::vector<std::pair<std::string, std::uint64_t>> fields;
+  if (!parse_fields(text, "polymul", fields)) return false;
+  PolymulSpec spec;
+  for (const auto& [key, value] : fields) {
+    if (key == "seed") spec.seed = value;
+    else if (key == "n") spec.n = value;
+    else if (key == "nnz") spec.nnz = value;
+    else if (key == "densify") spec.densify = value != 0;
+    else return false;
+  }
+  out = spec;
+  return true;
+}
+
+bool parse_conv_spec(const std::string& text, ConvSpec& out) {
+  std::vector<std::pair<std::string, std::uint64_t>> fields;
+  if (!parse_fields(text, "conv", fields)) return false;
+  ConvSpec spec;
+  for (const auto& [key, value] : fields) {
+    if (key == "seed") spec.seed = value;
+    else if (key == "c") spec.c = value;
+    else if (key == "m") spec.m = value;
+    else if (key == "h") spec.h = value;
+    else if (key == "w") spec.w = value;
+    else if (key == "k") spec.k = value;
+    else if (key == "stride") spec.stride = value;
+    else if (key == "pad") spec.pad = static_cast<int>(value);
+    else return false;
+  }
+  out = spec;
+  return true;
+}
+
+PolymulCase make_polymul_case(PolymulSpec spec) {
+  auto shape = stream_rng(spec.seed, kShape);
+  // Every shape quantity is drawn unconditionally so that an override never
+  // changes what later draws see.
+  const std::size_t derived_n = std::size_t{1} << (8 + shape() % 3);  // 256..1024
+  const int log_t = 13 + static_cast<int>(shape() % 5);
+  const int log_q = log_t + 26 + static_cast<int>(shape() % 3);
+  const bool cheetah = (shape() & 1) != 0;
+  const i64 max_w = (shape() & 1) != 0 ? 7 : 3;
+  const std::size_t derived_budget = 8 + shape() % 120;  // target nonzeros
+
+  if (spec.n == 0) spec.n = derived_n;
+  const std::size_t n = spec.n;
+
+  PolymulCase c;
+  c.params = bfv::BfvParams::create(n, log_t, log_q);
+  c.max_w = max_w;
+
+  // Ciphertext-side operand: uniform mod q.
+  auto values = stream_rng(spec.seed, kValues);
+  c.ct.resize(n);
+  std::uniform_int_distribution<u64> coeff(0, c.params.q - 1);
+  for (auto& v : c.ct) v = coeff(values);
+
+  // Weight pattern: Cheetah-encoded structure (k*k taps per channel stripe)
+  // or uniformly random positions; stay well inside the double-FFT
+  // exactness margin (nnz <= n/8, |w| <= 7).
+  auto pattern_rng = stream_rng(spec.seed, kPattern);
+  std::vector<std::size_t> candidates;
+  if (cheetah) {
+    const std::size_t k = 3;
+    encoding::ConvEncoder enc(n, 64, fitting_hw(n, k), fitting_hw(n, k), k);
+    candidates = enc.weight_pattern().nonzeros();
+  } else {
+    std::set<std::size_t> unique;
+    std::uniform_int_distribution<std::size_t> pos(0, n - 1);
+    for (std::size_t draw = 0; draw < 2 * derived_budget; ++draw) unique.insert(pos(pattern_rng));
+    candidates.assign(unique.begin(), unique.end());
+  }
+  const std::size_t cap = std::max<std::size_t>(1, n / 8);
+  std::size_t nnz = spec.nnz ? spec.nnz : std::min(derived_budget, candidates.size());
+  nnz = std::min({nnz, candidates.size(), cap});
+
+  // Deterministic nnz-subset of the candidate positions.
+  std::shuffle(candidates.begin(), candidates.end(), pattern_rng);
+  candidates.resize(nnz);
+  if (spec.densify) {
+    candidates.clear();
+    for (std::size_t i = 0; i < nnz; ++i) candidates.push_back(i);
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  c.w.assign(n, 0);
+  std::uniform_int_distribution<i64> mag(1, max_w);
+  for (std::size_t p : candidates) {
+    const i64 v = mag(values);
+    c.w[p] = (values() & 1) != 0 ? v : -v;
+  }
+  c.nnz = candidates.size();
+  spec.nnz = c.nnz;
+  c.spec = spec;
+  return c;
+}
+
+ConvCase make_conv_case(ConvSpec spec) {
+  auto shape = stream_rng(spec.seed, kShape);
+  const std::size_t n = (shape() & 1) != 0 ? 1024 : 512;
+  const int log_t = 14 + static_cast<int>(shape() % 4);
+  const std::size_t derived_c = 1 + shape() % 3;
+  const std::size_t derived_m = 1 + shape() % 3;
+  const std::size_t derived_k = 1 + shape() % 3;
+  const std::size_t derived_hw = derived_k + 1 + shape() % 8;
+  const std::size_t derived_stride = 1 + shape() % 2;
+  const int derived_pad = static_cast<int>(shape() % 2);
+
+  if (spec.c == 0) spec.c = derived_c;
+  if (spec.m == 0) spec.m = derived_m;
+  if (spec.k == 0) spec.k = derived_k;
+  if (spec.h == 0) spec.h = std::max(derived_hw, spec.k);
+  if (spec.w == 0) spec.w = std::max(derived_hw, spec.k);
+  if (spec.stride == 0) spec.stride = derived_stride;
+  if (spec.pad < 0) spec.pad = derived_pad;
+
+  ConvCase c;
+  c.spec = spec;
+  c.params = bfv::BfvParams::create(n, log_t, log_t + 27);
+
+  auto values = stream_rng(spec.seed, kValues);
+  c.x = tensor::random_activations(spec.c, spec.h, spec.w, 4, values);
+  c.weights = tensor::random_weights(spec.m, spec.c, spec.k, 4, values);
+  return c;
+}
+
+}  // namespace flash::testing

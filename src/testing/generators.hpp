@@ -1,0 +1,82 @@
+// Deterministic workload generators for the differential-oracle suite.
+//
+// Every case is a pure function of a 64-bit seed plus a handful of shape
+// overrides: the seed fans out into independent sub-streams (shape, pattern,
+// values) via hemath::derive_stream_seed, so a printed `seed=...` line is a
+// complete reproducer, and the shrinker can edit one shape knob (halve n,
+// strip channels, densify the pattern) without perturbing anything else the
+// case derives from the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bfv/params.hpp"
+#include "sparsefft/pattern.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flash::testing {
+
+using hemath::i64;
+using hemath::u64;
+
+/// Shape of one negacyclic-polymul differential case. Zero means "derive
+/// from the seed"; the generator writes the resolved values back, so the
+/// spec attached to a generated case is always fully explicit (what the
+/// shrinker mutates and the reproducer prints).
+struct PolymulSpec {
+  std::uint64_t seed = 0;
+  std::size_t n = 0;    // ring degree (power of two)
+  std::size_t nnz = 0;  // weight nonzeros
+  /// Replace the (possibly Cheetah-structured) pattern by a contiguous
+  /// prefix of the same weight — the shrinker's "is sparsity structure
+  /// essential to this failure?" probe.
+  bool densify = false;
+
+  std::string describe() const;
+  bool operator==(const PolymulSpec&) const = default;
+};
+
+struct PolymulCase {
+  PolymulSpec spec;  // resolved
+  bfv::BfvParams params;
+  std::vector<u64> ct;  // uniform mod q: the ciphertext-side operand
+  std::vector<i64> w;   // sparse signed weight values, |w[i]| <= max_w
+  i64 max_w = 0;
+  std::size_t nnz = 0;  // actual nonzero count of w
+};
+
+PolymulCase make_polymul_case(PolymulSpec spec);
+
+/// Shape of one end-to-end HConv differential case (run through the full
+/// one-round protocol and checked against cleartext conv2d). Zero fields
+/// derive from the seed; `pad` uses -1 as the derive sentinel because 0 is a
+/// meaningful padding.
+struct ConvSpec {
+  std::uint64_t seed = 0;
+  std::size_t c = 0, m = 0;    // input / output channels
+  std::size_t h = 0, w = 0;    // input spatial dims (pre-padding)
+  std::size_t k = 0;           // square kernel
+  std::size_t stride = 0;
+  int pad = -1;
+
+  std::string describe() const;
+  bool operator==(const ConvSpec&) const = default;
+};
+
+struct ConvCase {
+  ConvSpec spec;  // resolved
+  bfv::BfvParams params;
+  tensor::Tensor3 x;
+  tensor::Tensor4 weights;
+};
+
+ConvCase make_conv_case(ConvSpec spec);
+
+/// Parse the output of PolymulSpec/ConvSpec::describe back into a spec.
+/// Returns false on malformed input. This is the `flash_fuzz --repro` path.
+bool parse_polymul_spec(const std::string& text, PolymulSpec& out);
+bool parse_conv_spec(const std::string& text, ConvSpec& out);
+
+}  // namespace flash::testing

@@ -1,0 +1,264 @@
+#include "testing/oracle.hpp"
+
+#include <cmath>
+#include <complex>
+#include <sstream>
+
+#include "bfv/context.hpp"
+#include "bfv/polymul_engine.hpp"
+#include "core/flash_accelerator.hpp"
+#include "dse/space.hpp"
+#include "hemath/ntt.hpp"
+#include "hemath/shoup_ntt.hpp"
+#include "protocol/conv_runner.hpp"
+#include "sparsefft/executor.hpp"
+#include "tensor/conv.hpp"
+
+namespace flash::testing {
+
+namespace {
+
+using hemath::add_mod;
+using hemath::from_signed;
+using hemath::mul_mod;
+using hemath::to_signed;
+
+OracleReport fail(const std::string& check, const std::string& detail) {
+  return OracleReport{false, check, detail};
+}
+
+std::string coeff_mismatch(std::size_t i, u64 got, u64 want) {
+  std::stringstream out;
+  out << "coeff " << i << ": got " << got << ", want " << want;
+  return out.str();
+}
+
+/// Degrade the CSD twiddle quantization to a single digit of depth 2 — far
+/// outside any sane design point, but structurally the same arithmetic.
+void inject_twiddle_fault(fft::FxpFftConfig& config) {
+  config.twiddle_k = 1;
+  config.twiddle_min_exp = -2;
+}
+
+}  // namespace
+
+OracleReport PolymulOracle::run(const PolymulCase& c) const {
+  const auto& p = c.params;
+  const std::size_t n = p.n;
+  bfv::BfvContext ctx(p);
+
+  bfv::Plaintext pt = ctx.make_plaintext();
+  for (std::size_t i = 0; i < n; ++i) pt.poly[i] = from_signed(c.w[i], p.t);
+  const hemath::Poly ct(p.q, c.ct);
+
+  // Reference: the exact NTT engine (what SEAL/F1/CHAM compute).
+  const bfv::PolyMulEngine ntt_engine(ctx, bfv::PolyMulBackend::kNtt);
+  const hemath::Poly ref = ntt_engine.multiply(ct, ntt_engine.transform_plain(pt));
+
+  // Weight lifted to signed representatives mod q (the engines' lift).
+  std::vector<u64> w_lifted(n);
+  for (std::size_t i = 0; i < n; ++i) w_lifted[i] = from_signed(c.w[i], p.q);
+
+  // --- 1. Ground truth: schoolbook mod-q negacyclic product (small n). ---
+  if (n <= 512) {
+    const std::vector<u64> sb = hemath::negacyclic_multiply_schoolbook(p.q, c.ct, w_lifted);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sb[i] != ref[i]) return fail("ntt-vs-schoolbook", coeff_mismatch(i, ref[i], sb[i]));
+    }
+  }
+
+  // --- 2. Shoup/Harvey lazy-reduction NTT: bit-equal to the reference. ---
+  {
+    const hemath::ShoupNttTables shoup(p.q, n);
+    std::vector<u64> ws = w_lifted;
+    std::vector<u64> cs = c.ct;
+    shoup.forward(ws);
+    shoup.forward(cs);
+    std::vector<u64> prod(n);
+    for (std::size_t i = 0; i < n; ++i) prod[i] = mul_mod(cs[i], ws[i], p.q);
+    shoup.inverse(prod);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (prod[i] != ref[i]) return fail("shoup-vs-ntt", coeff_mismatch(i, prod[i], ref[i]));
+    }
+  }
+
+  // --- 3. Double-precision FFT engine: within the FP rounding margin. ---
+  // Product coefficients reach (q/2) * max_w * nnz, which can exceed the
+  // 53-bit window where doubles round exactly, so the honest contract is a
+  // deviation bound of a few ulps at that magnitude — still ~2^25x smaller
+  // than the q/(2t) quantum that decryption rounds away (the level at which
+  // the seed's BackendEquivalence test proves exact agreement), so any real
+  // transform bug lands far outside it.
+  const double product_magnitude = 0.5 * static_cast<double>(p.q) * static_cast<double>(c.max_w) *
+                                   static_cast<double>(std::max<std::size_t>(c.nnz, 1));
+  const double fp_tol =
+      std::max(1.5, std::ldexp(product_magnitude, -52) * std::log2(static_cast<double>(n)));
+  const auto fp_deviation_check = [&](const char* check, const hemath::Poly& out,
+                                      const hemath::Poly& want) -> OracleReport {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dev =
+          static_cast<double>(to_signed(hemath::sub_mod(out[i], want[i], p.q), p.q));
+      if (std::abs(dev) > fp_tol) {
+        std::stringstream detail;
+        detail << coeff_mismatch(i, out[i], want[i]) << " (deviation " << dev
+               << " exceeds FP margin " << fp_tol << ")";
+        return fail(check, detail.str());
+      }
+    }
+    return OracleReport{};
+  };
+
+  const bfv::PolyMulEngine fft_engine(ctx, bfv::PolyMulBackend::kFft);
+  {
+    const hemath::Poly out = fft_engine.multiply(ct, fft_engine.transform_plain(pt));
+    const OracleReport r = fp_deviation_check("fft-vs-ntt", out, ref);
+    if (!r.ok) return r;
+  }
+
+  // Shared FP-side ingredients for the sparse and approximate checks.
+  std::vector<double> w_real(n);
+  for (std::size_t i = 0; i < n; ++i) w_real[i] = static_cast<double>(c.w[i]);
+  const std::vector<fft::cplx> exact_spec = ctx.fft().forward(w_real);
+  const std::vector<fft::cplx> ct_spec = fft_engine.transform_cipher(ct);
+
+  // --- 4. Sparse planner/executor: skipping and merging are exact. ---
+  {
+    const std::vector<fft::cplx> z = ctx.fft().fold(w_real);
+    const auto pattern = sparsefft::SparsityPattern::from_values(z);
+    const sparsefft::SparseFftPlan plan(n / 2, pattern);
+    const std::vector<fft::cplx> sparse_spec = sparsefft::execute(plan, z);
+
+    std::vector<fft::cplx> prod(n / 2);
+    for (std::size_t i = 0; i < n / 2; ++i) prod[i] = ct_spec[i] * sparse_spec[i];
+    const hemath::Poly out = fft_engine.inverse_to_poly(prod);
+    // Same double-precision pipeline as the dense FFT engine (different
+    // operation order), hence the same FP margin rather than bit-equality.
+    const OracleReport r = fp_deviation_check("sparse-vs-ntt", out, ref);
+    if (!r.ok) return r;
+
+    // Merged (lazy-twiddle) execution: same spectrum, and the number of
+    // multiplications issued must equal the plan's merged accounting.
+    std::uint64_t mults = 0;
+    const std::vector<fft::cplx> merged = sparsefft::execute_merged(plan, z, &mults);
+    if (mults != plan.cost().merged_mults) {
+      std::stringstream detail;
+      detail << "issued " << mults << " mults, plan accounted " << plan.cost().merged_mults;
+      return fail("merged-mult-count", detail.str());
+    }
+    double scale = 1.0;
+    for (const auto& s : sparse_spec) scale = std::max(scale, std::abs(s));
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      if (std::abs(merged[i] - sparse_spec[i]) > 1e-9 * scale) {
+        std::stringstream detail;
+        detail << "spectrum element " << i << " differs by " << std::abs(merged[i] - sparse_spec[i]);
+        return fail("merged-vs-sparse", detail.str());
+      }
+    }
+  }
+
+  // --- 5. Approximate FXP FFT: error within the dse/error_model budget,
+  //        and the output deviation exactly explained by the weight-spectrum
+  //        deviation (two design points: the budget point under test and the
+  //        full-precision corner). ---
+  const dse::DesignSpace space(n / 2, dse::SpaceBounds{});
+  const dse::ErrorModel model = dse::ErrorModel::from_weight_stats(
+      n, std::max<std::size_t>(c.nnz, 1), static_cast<double>(c.max_w));
+
+  dse::DesignPoint budget_point;
+  budget_point.stage_widths.assign(static_cast<std::size_t>(space.stages()), options_.approx_width);
+  budget_point.twiddle_k = options_.approx_twiddle_k;
+
+  for (const dse::DesignPoint& point : {budget_point, space.full_precision()}) {
+    fft::FxpFftConfig config = space.to_config(point, model.input_max_abs());
+    if (options_.fault == FaultInjection::kTwiddleQuantization) inject_twiddle_fault(config);
+    const double predicted = model.predict_variance(space, point);
+
+    const bfv::PolyMulEngine approx_engine(ctx, bfv::PolyMulBackend::kApproxFft, config);
+    const bfv::PlainSpectrum w_approx = approx_engine.transform_plain(pt);
+
+    // (a) Spectrum error variance within the analytical budget.
+    double mse = 0.0;
+    for (std::size_t i = 0; i < n / 2; ++i) mse += std::norm(w_approx.fft[i] - exact_spec[i]);
+    mse /= static_cast<double>(n / 2);
+    if (mse > predicted * options_.budget_slack) {
+      std::stringstream detail;
+      detail << "width " << point.stage_widths.front() << " k " << point.twiddle_k
+             << ": measured spectrum error variance " << mse << " exceeds predicted " << predicted
+             << " x slack " << options_.budget_slack;
+      return fail("approx-error-budget", detail.str());
+    }
+
+    // (b) Output deviation == inverse transform of the spectrum deviation.
+    // Error propagation through the (exact-FP) pointwise product and inverse
+    // transform is linear, so the observed integer deviation from the NTT
+    // reference must equal round(F^-1[(W_approx - W) .* CT]) to within the
+    // two roundings involved.
+    std::vector<fft::cplx> err_spec(n / 2);
+    for (std::size_t i = 0; i < n / 2; ++i) err_spec[i] = (w_approx.fft[i] - exact_spec[i]) * ct_spec[i];
+    const std::vector<double> err_out = ctx.fft().inverse(err_spec);
+    const hemath::Poly out = approx_engine.multiply(ct, w_approx);
+    for (std::size_t i = 0; i < n; ++i) {
+      const i64 observed = to_signed(hemath::sub_mod(out[i], ref[i], p.q), p.q);
+      const double expected = err_out[i];
+      const double tol = 2.0 + 1e-9 * std::abs(expected);
+      if (std::abs(static_cast<double>(observed) - expected) > tol) {
+        std::stringstream detail;
+        detail << "width " << point.stage_widths.front() << " coeff " << i << ": observed deviation "
+               << observed << " vs spectrum-explained " << expected;
+        return fail("approx-propagation", detail.str());
+      }
+    }
+  }
+
+  return OracleReport{};
+}
+
+OracleReport HConvOracle::run(const ConvCase& c) const {
+  bfv::BfvContext ctx(c.params);
+  const u64 t = c.params.t;
+  const tensor::Tensor3 expect = tensor::conv2d(
+      c.x, c.weights, tensor::ConvSpec{c.spec.stride, static_cast<std::size_t>(c.spec.pad)});
+
+  fft::FxpFftConfig approx_cfg = core::high_accuracy_approx_config(c.params.n, t);
+  if (options_.fault == FaultInjection::kTwiddleQuantization) inject_twiddle_fault(approx_cfg);
+
+  struct BackendRun {
+    const char* name;
+    bfv::PolyMulBackend backend;
+    std::optional<fft::FxpFftConfig> config;
+  };
+  const BackendRun runs[] = {
+      {"ntt", bfv::PolyMulBackend::kNtt, std::nullopt},
+      {"fft", bfv::PolyMulBackend::kFft, std::nullopt},
+      {"approx-fft", bfv::PolyMulBackend::kApproxFft, approx_cfg},
+  };
+
+  std::optional<protocol::ConvRunnerResult> first;
+  const char* first_name = nullptr;
+  for (const BackendRun& run : runs) {
+    protocol::HConvProtocol proto(ctx, run.backend, run.config, c.spec.seed);
+    protocol::ConvRunner runner(proto);
+    const protocol::ConvRunnerResult result =
+        runner.run(c.x, c.weights, c.spec.stride, static_cast<std::size_t>(c.spec.pad));
+
+    if (result.reconstruct(t).data() != expect.data()) {
+      return fail(std::string("hconv-") + run.name + "-vs-cleartext",
+                  "reconstructed shares disagree with direct conv2d (" + c.spec.describe() + ")");
+    }
+    if (!first) {
+      first = result;
+      first_name = run.name;
+    } else {
+      // Shares — not just reconstructions — are backend-independent: masks
+      // come from the seeded streams, and the exact backends agree bit-wise.
+      if (result.client_share.data() != first->client_share.data() ||
+          result.server_share.data() != first->server_share.data()) {
+        return fail(std::string("hconv-shares-") + run.name,
+                    std::string("party shares differ from the ") + first_name + " backend");
+      }
+    }
+  }
+  return OracleReport{};
+}
+
+}  // namespace flash::testing

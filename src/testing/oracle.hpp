@@ -1,0 +1,78 @@
+// Differential oracles: run the same negacyclic polymul / HConv workload
+// through every back-end the codebase offers and cross-check the results.
+//
+// Exactness hierarchy (who must match whom, and how):
+//   * schoolbook mod-q multiplication      — the ground truth (small n);
+//   * NttTables (the kNtt engine path)     — bit-equal to schoolbook;
+//   * ShoupNttTables                       — bit-equal to the NTT reference;
+//   * double-FFT engine (kFft)             — bit-equal while the workload
+//     stays inside the rounding-noise margin (the generators enforce it);
+//   * sparse planner/executor              — bit-equal: skipping/merging are
+//     exact, zeros contribute nothing;
+//   * approximate FXP FFT (kApproxFft)     — error-within-budget: the
+//     weight-spectrum error must stay inside the dse/error_model prediction
+//     times a documented slack, and the *output* deviation must be exactly
+//     the inverse transform of that spectrum deviation (error propagation
+//     is linear), so an out-of-model bug cannot hide inside "approximate".
+#pragma once
+
+#include <string>
+
+#include "dse/error_model.hpp"
+#include "testing/generators.hpp"
+
+namespace flash::testing {
+
+/// Deliberate defect injected into the datapath under test, used to prove
+/// the oracle (and the fuzz driver's shrinking) actually detects bugs.
+/// kTwiddleQuantization degrades the CSD twiddle quantization of the
+/// approximate path to one digit of depth 2 — the "wrong twiddle table"
+/// class of hardware bug.
+enum class FaultInjection { kNone, kTwiddleQuantization };
+
+struct OracleOptions {
+  /// Budget-mode approximate design point: uniform per-stage data width and
+  /// CSD twiddle depth (converted per case through DesignSpace::to_config).
+  int approx_width = 26;
+  int approx_twiddle_k = 8;
+  /// Multiplicative slack on the analytical error-model prediction. The
+  /// model is documented (test_dse) to track the bit-accurate simulator
+  /// within a couple of orders of magnitude; 300x is that envelope, and the
+  /// injected twiddle fault overshoots it by many more orders.
+  double budget_slack = 300.0;
+  FaultInjection fault = FaultInjection::kNone;
+};
+
+struct OracleReport {
+  bool ok = true;
+  std::string check;   // name of the first failed cross-check
+  std::string detail;  // human-readable mismatch description
+
+  std::string summary() const { return ok ? "ok" : check + ": " + detail; }
+};
+
+/// Cross-checks one polymul case across schoolbook / NTT / Shoup NTT /
+/// double FFT / sparse executor / approximate FXP FFT.
+class PolymulOracle {
+ public:
+  explicit PolymulOracle(OracleOptions options = {}) : options_(options) {}
+  OracleReport run(const PolymulCase& c) const;
+
+ private:
+  OracleOptions options_;
+};
+
+/// Runs one conv workload end-to-end through the one-round HE/2PC protocol
+/// (padding, stride decomposition, channel tiling, share reconstruction) on
+/// every PolyMul backend and checks each against cleartext conv2d — plus
+/// cross-backend bit-equality of both parties' shares.
+class HConvOracle {
+ public:
+  explicit HConvOracle(OracleOptions options = {}) : options_(options) {}
+  OracleReport run(const ConvCase& c) const;
+
+ private:
+  OracleOptions options_;
+};
+
+}  // namespace flash::testing

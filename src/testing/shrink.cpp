@@ -1,0 +1,66 @@
+#include "testing/shrink.hpp"
+
+#include <algorithm>
+
+namespace flash::testing {
+
+std::vector<Reducer<PolymulSpec>> polymul_reducers() {
+  return {
+      [](PolymulSpec& s) {
+        if (s.n <= 16) return false;
+        s.n /= 2;
+        s.nnz = std::min(s.nnz, std::max<std::size_t>(1, s.n / 8));
+        return true;
+      },
+      [](PolymulSpec& s) {
+        if (s.nnz <= 1) return false;
+        s.nnz /= 2;
+        return true;
+      },
+      // Fine-grained tail: once halving overshoots, step down one nonzero at
+      // a time so the reported reproducer is exactly minimal in nnz.
+      [](PolymulSpec& s) {
+        if (s.nnz <= 1) return false;
+        s.nnz -= 1;
+        return true;
+      },
+      [](PolymulSpec& s) {
+        if (s.densify) return false;
+        s.densify = true;
+        return true;
+      },
+  };
+}
+
+std::vector<Reducer<ConvSpec>> conv_reducers() {
+  return {
+      [](ConvSpec& s) {
+        if (s.m <= 1) return false;
+        s.m = (s.m + 1) / 2;
+        return true;
+      },
+      [](ConvSpec& s) {
+        if (s.c <= 1) return false;
+        s.c = (s.c + 1) / 2;
+        return true;
+      },
+      [](ConvSpec& s) {
+        if (s.h <= s.k && s.w <= s.k) return false;
+        s.h = std::max(s.k, (s.h + 1) / 2);
+        s.w = std::max(s.k, (s.w + 1) / 2);
+        return true;
+      },
+      [](ConvSpec& s) {
+        if (s.stride <= 1) return false;
+        s.stride = 1;
+        return true;
+      },
+      [](ConvSpec& s) {
+        if (s.pad <= 0) return false;
+        s.pad = 0;
+        return true;
+      },
+  };
+}
+
+}  // namespace flash::testing

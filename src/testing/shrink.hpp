@@ -1,0 +1,64 @@
+// Greedy failing-case shrinking.
+//
+// A reducer mutates one shape knob of a spec toward "smaller" (halve n,
+// strip channels, densify the pattern). The shrinker repeatedly applies the
+// first reducer whose result still fails the oracle, restarting the reducer
+// list after every success, until no reducer makes progress. Because specs
+// are tiny value types regenerated deterministically from their seed, every
+// intermediate candidate is a complete, reproducible case.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "testing/generators.hpp"
+
+namespace flash::testing {
+
+/// Mutates the spec toward a smaller case; returns false when it cannot
+/// reduce any further (the shrinker then tries the next reducer).
+template <typename Spec>
+using Reducer = std::function<bool(Spec&)>;
+
+template <typename Spec>
+struct ShrinkOutcome {
+  Spec spec;               // smallest still-failing spec found
+  std::size_t steps = 0;   // successful reductions applied
+  std::size_t tried = 0;   // oracle evaluations spent
+};
+
+/// `still_fails(spec)` must regenerate the case and rerun the oracle.
+/// `max_evals` caps oracle invocations so shrinking can't eat the fuzz
+/// budget on a pathological case.
+template <typename Spec, typename StillFails>
+ShrinkOutcome<Spec> shrink_spec(Spec failing, const std::vector<Reducer<Spec>>& reducers,
+                                StillFails&& still_fails, std::size_t max_evals = 64) {
+  ShrinkOutcome<Spec> outcome{failing, 0, 0};
+  bool progressed = true;
+  while (progressed && outcome.tried < max_evals) {
+    progressed = false;
+    for (const auto& reduce : reducers) {
+      if (outcome.tried >= max_evals) break;
+      Spec candidate = outcome.spec;
+      if (!reduce(candidate)) continue;
+      ++outcome.tried;
+      if (still_fails(candidate)) {
+        outcome.spec = candidate;
+        ++outcome.steps;
+        progressed = true;
+        break;  // restart from the most aggressive reducer
+      }
+    }
+  }
+  return outcome;
+}
+
+/// The standard reducer sets for the two case families: halve the ring
+/// degree, halve the weight nonzeros, densify the pattern (polymul); strip
+/// output/input channels, halve the spatial extent, drop stride and padding
+/// back to the trivial geometry (conv).
+std::vector<Reducer<PolymulSpec>> polymul_reducers();
+std::vector<Reducer<ConvSpec>> conv_reducers();
+
+}  // namespace flash::testing

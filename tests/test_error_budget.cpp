@@ -1,0 +1,113 @@
+// Error-budget regression: the analytical error model must keep predicting
+// the approximate FFT's real behavior for the paper's Table-1 operating
+// points. Each config's measured spectrum-error variance over 1000 random
+// sparse weight polynomials has to stay within the model's prediction times
+// a documented slack factor.
+//
+// kBudgetSlack = 300 is the analytical-vs-Monte-Carlo envelope already
+// demonstrated by test_dse (AnalyticalWithinOrdersOfMagnitude): the
+// closed-form model tracks the measurement to well under three orders of
+// magnitude across the whole design space. If either the FXP FFT or the
+// model drifts past that envelope, this test is the tripwire.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dse/error_model.hpp"
+#include "dse/space.hpp"
+#include "hemath/sampler.hpp"
+
+namespace flash {
+namespace {
+
+constexpr double kBudgetSlack = 300.0;
+constexpr std::size_t kTrials = 1000;
+constexpr std::uint64_t kBaseSeed = 0xe44b1dULL;
+
+struct Workload {
+  std::size_t n;
+  std::size_t nnz;
+  std::int64_t max_w;
+};
+
+// Cheetah-style HConv weight populations at both ring sizes.
+const Workload kWorkloads[] = {
+    {512, 18, 7},
+    {1024, 36, 7},
+    {1024, 128, 3},
+};
+
+dse::DesignPoint uniform_point(const dse::DesignSpace& space, int width, int k) {
+  dse::DesignPoint p;
+  p.stage_widths.assign(static_cast<std::size_t>(space.stages()), width);
+  p.twiddle_k = k;
+  return p;
+}
+
+/// Measured-vs-predicted check for one (workload, design point) pair.
+void expect_within_budget(const Workload& wl, int width, int k, std::uint64_t stream) {
+  const dse::DesignSpace space(wl.n / 2, dse::SpaceBounds{});
+  const dse::DesignPoint point = uniform_point(space, width, k);
+  const dse::ErrorModel model =
+      dse::ErrorModel::from_weight_stats(wl.n, wl.nnz, static_cast<double>(wl.max_w));
+  const double predicted = model.predict_variance(space, point);
+  ASSERT_GT(predicted, 0.0);
+
+  const fft::FxpFftConfig config = space.to_config(point, model.input_max_abs());
+  std::mt19937_64 rng(hemath::derive_stream_seed(kBaseSeed, stream));
+  const double measured =
+      dse::measured_error_variance(wl.n, config, wl.nnz, wl.max_w, kTrials, rng);
+
+  // The model must not *underestimate* reality by more than the slack —
+  // that is the direction that silently breaks accuracy guarantees.
+  EXPECT_LE(measured, predicted * kBudgetSlack)
+      << "n=" << wl.n << " nnz=" << wl.nnz << " width=" << width << " k=" << k
+      << ": measured " << measured << " vs predicted " << predicted;
+  // Nor be uselessly pessimistic when there is measurable error.
+  if (measured > 0.0) {
+    EXPECT_LE(predicted, measured * kBudgetSlack)
+        << "n=" << wl.n << " nnz=" << wl.nnz << " width=" << width << " k=" << k
+        << ": predicted " << predicted << " vs measured " << measured;
+  }
+}
+
+// Table-1 headline operating point: uniform 27-bit data path, k = 5 CSD
+// twiddles (requires approximation-aware training downstream).
+TEST(ErrorBudget, DefaultApproxConfigWithinModelBudget) {
+  std::uint64_t stream = 0;
+  for (const Workload& wl : kWorkloads) expect_within_budget(wl, 27, 5, stream++);
+}
+
+// Table-1 conservative operating point: 39-bit data path, k = 18 twiddles
+// ("accuracy degradation within 1%, no retraining").
+TEST(ErrorBudget, HighAccuracyConfigWithinModelBudget) {
+  std::uint64_t stream = 16;
+  for (const Workload& wl : kWorkloads) expect_within_budget(wl, 39, 18, stream++);
+}
+
+// The two operating points must stay ordered: the conservative config's
+// measured error has to be far below the headline config's, otherwise the
+// "no retraining" promise quietly degrades even if both fit their budgets.
+TEST(ErrorBudget, HighAccuracyBeatsDefaultByOrdersOfMagnitude) {
+  const Workload wl{1024, 36, 7};
+  const dse::DesignSpace space(wl.n / 2, dse::SpaceBounds{});
+  const dse::ErrorModel model =
+      dse::ErrorModel::from_weight_stats(wl.n, wl.nnz, static_cast<double>(wl.max_w));
+
+  std::mt19937_64 rng_default(hemath::derive_stream_seed(kBaseSeed, 32));
+  std::mt19937_64 rng_high(hemath::derive_stream_seed(kBaseSeed, 33));
+  const double measured_default = dse::measured_error_variance(
+      wl.n, space.to_config(uniform_point(space, 27, 5), model.input_max_abs()), wl.nnz, wl.max_w,
+      kTrials, rng_default);
+  const double measured_high = dse::measured_error_variance(
+      wl.n, space.to_config(uniform_point(space, 39, 18), model.input_max_abs()), wl.nnz, wl.max_w,
+      kTrials, rng_high);
+
+  EXPECT_LT(measured_high * 100.0, measured_default);
+  // And the model predicts the same ordering.
+  EXPECT_LT(model.predict_variance(space, uniform_point(space, 39, 18)),
+            model.predict_variance(space, uniform_point(space, 27, 5)));
+}
+
+}  // namespace
+}  // namespace flash

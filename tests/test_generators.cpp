@@ -1,0 +1,154 @@
+// Meta-tests for the differential-testing subsystem itself: generator
+// determinism and reproducer fidelity (a printed spec line regenerates the
+// exact same case), spec parsing, shrinker behavior, and the corpus reader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testing/fuzz.hpp"
+#include "testing/generators.hpp"
+#include "testing/oracle.hpp"
+#include "testing/shrink.hpp"
+
+namespace flash::testing {
+namespace {
+
+TEST(Generators, PolymulCaseIsDeterministic) {
+  const PolymulCase a = make_polymul_case({.seed = 42});
+  const PolymulCase b = make_polymul_case({.seed = 42});
+  EXPECT_EQ(a.spec, b.spec);
+  EXPECT_EQ(a.ct, b.ct);
+  EXPECT_EQ(a.w, b.w);
+  const PolymulCase other = make_polymul_case({.seed = 43});
+  EXPECT_NE(a.ct, other.ct);
+}
+
+TEST(Generators, ResolvedSpecIsAFaithfulReproducer) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 0xdecafull}) {
+    const PolymulCase original = make_polymul_case({.seed = seed});
+    // The resolved spec must be fully explicit...
+    EXPECT_GT(original.spec.n, 0u);
+    EXPECT_GT(original.spec.nnz, 0u);
+    // ...and regenerating from it (as `flash_fuzz --repro` does, via the
+    // printed line) must rebuild the identical case.
+    PolymulSpec parsed;
+    ASSERT_TRUE(parse_polymul_spec(original.spec.describe(), parsed));
+    EXPECT_EQ(parsed, original.spec);
+    const PolymulCase rebuilt = make_polymul_case(parsed);
+    EXPECT_EQ(rebuilt.ct, original.ct);
+    EXPECT_EQ(rebuilt.w, original.w);
+  }
+}
+
+TEST(Generators, ShapeOverridesDoNotPerturbOtherStreams) {
+  const PolymulCase base = make_polymul_case({.seed = 9});
+  // Forcing a different ring degree changes the shape but must not change
+  // how the seed resolves the *other* aspects (modulus split, weight bound).
+  PolymulSpec halved = base.spec;
+  halved.n = base.spec.n / 2;
+  halved.nnz = 0;  // re-derive under the new cap
+  const PolymulCase smaller = make_polymul_case(halved);
+  EXPECT_EQ(smaller.spec.n, base.spec.n / 2);
+  EXPECT_EQ(smaller.max_w, base.max_w);
+  EXPECT_EQ(smaller.params.t, base.params.t);
+}
+
+TEST(Generators, DensifyKeepsNnzAndMagnitudes) {
+  const PolymulCase sparse = make_polymul_case({.seed = 11});
+  PolymulSpec dense_spec = sparse.spec;
+  dense_spec.densify = true;
+  const PolymulCase dense = make_polymul_case(dense_spec);
+  EXPECT_EQ(dense.nnz, sparse.nnz);
+  // Densified pattern is the contiguous prefix.
+  for (std::size_t i = 0; i < dense.nnz; ++i) EXPECT_NE(dense.w[i], 0);
+  for (std::size_t i = dense.nnz; i < dense.w.size(); ++i) EXPECT_EQ(dense.w[i], 0);
+}
+
+TEST(Generators, ConvCaseIsDeterministicAndReproducible) {
+  const ConvCase a = make_conv_case({.seed = 42});
+  const ConvCase b = make_conv_case({.seed = 42});
+  EXPECT_EQ(a.spec, b.spec);
+  EXPECT_TRUE(a.x == b.x);
+  EXPECT_EQ(a.weights.data(), b.weights.data());
+
+  ConvSpec parsed;
+  ASSERT_TRUE(parse_conv_spec(a.spec.describe(), parsed));
+  EXPECT_EQ(parsed, a.spec);
+  const ConvCase rebuilt = make_conv_case(parsed);
+  EXPECT_TRUE(rebuilt.x == a.x);
+  EXPECT_EQ(rebuilt.weights.data(), a.weights.data());
+}
+
+TEST(Generators, ParseRejectsMalformedSpecs) {
+  PolymulSpec pm;
+  ConvSpec cv;
+  EXPECT_FALSE(parse_polymul_spec("", pm));
+  EXPECT_FALSE(parse_polymul_spec("polymul:", pm));
+  EXPECT_FALSE(parse_polymul_spec("polymul:bogus", pm));
+  EXPECT_FALSE(parse_polymul_spec("polymul:unknown=3", pm));
+  EXPECT_FALSE(parse_polymul_spec("conv:seed=1", pm));
+  EXPECT_FALSE(parse_conv_spec("polymul:seed=1", cv));
+  EXPECT_TRUE(parse_polymul_spec("polymul:seed=0x2a,n=256", pm));
+  EXPECT_EQ(pm.seed, 42u);
+  EXPECT_EQ(pm.n, 256u);
+}
+
+TEST(Shrink, GreedyShrinkFindsSmallCase) {
+  // Synthetic failure: any case with n >= 64 "fails". The shrinker should
+  // walk n down to exactly 64 (one halving further would pass).
+  PolymulSpec failing = make_polymul_case({.seed = 5, .n = 1024}).spec;
+  const auto outcome =
+      shrink_spec<PolymulSpec>(failing, polymul_reducers(), [](const PolymulSpec& s) {
+        return make_polymul_case(s).spec.n >= 64;
+      });
+  EXPECT_EQ(outcome.spec.n, 64u);
+  EXPECT_GT(outcome.steps, 0u);
+}
+
+TEST(Shrink, ShrunkSpecStillFailsThePredicate) {
+  PolymulSpec failing = make_polymul_case({.seed = 6}).spec;
+  const auto predicate = [](const PolymulSpec& s) { return make_polymul_case(s).nnz >= 2; };
+  ASSERT_TRUE(predicate(failing));
+  const auto outcome = shrink_spec<PolymulSpec>(failing, polymul_reducers(), predicate);
+  EXPECT_TRUE(predicate(outcome.spec));
+  EXPECT_EQ(make_polymul_case(outcome.spec).nnz, 2u);
+}
+
+TEST(Shrink, ConvReducersReachMinimalGeometry) {
+  ConvSpec failing = make_conv_case({.seed = 3, .c = 3, .m = 3, .h = 9, .w = 9, .k = 2}).spec;
+  // Everything "fails": the shrinker should bottom out at the smallest
+  // geometry the reducers can express.
+  const auto outcome =
+      shrink_spec<ConvSpec>(failing, conv_reducers(), [](const ConvSpec&) { return true; });
+  EXPECT_EQ(outcome.spec.c, 1u);
+  EXPECT_EQ(outcome.spec.m, 1u);
+  EXPECT_EQ(outcome.spec.stride, 1u);
+  EXPECT_EQ(outcome.spec.pad, 0);
+  EXPECT_EQ(outcome.spec.h, outcome.spec.k);
+  EXPECT_EQ(outcome.spec.w, outcome.spec.k);
+}
+
+TEST(Fuzz, CorpusReaderSkipsCommentsAndBlanks) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "42\n"
+      "  polymul:seed=0x1,n=256,nnz=4,densify=0  \n"
+      "\t# indented comment\n"
+      "conv:seed=0x2,c=1,m=1,h=4,w=4,k=2,stride=1,pad=0\n");
+  const auto entries = load_seed_corpus(in);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], "42");
+  EXPECT_EQ(entries[1], "polymul:seed=0x1,n=256,nnz=4,densify=0");
+  EXPECT_EQ(entries[2], "conv:seed=0x2,c=1,m=1,h=4,w=4,k=2,stride=1,pad=0");
+}
+
+TEST(Fuzz, RunReproAcceptsAllThreeLineForms) {
+  OracleOptions options;
+  EXPECT_TRUE(run_repro("polymul:seed=0x2a", options).ok);
+  EXPECT_TRUE(run_repro("42", options).ok);
+  EXPECT_THROW(run_repro("garbage", options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flash::testing

@@ -1,4 +1,9 @@
 // Cross-module property tests and fuzz-style robustness checks.
+//
+// Workload-shaped inputs come from the src/testing generators: every case is
+// a pure function of a derive_stream_seed stream, so any failure here
+// reproduces from the fixed kPropertySeed below (see tests/README.md for the
+// seed-reproduction workflow).
 #include <gtest/gtest.h>
 
 #include <random>
@@ -8,13 +13,19 @@
 #include "bfv/multiply.hpp"
 #include "bfv/serialization.hpp"
 #include "fft/negacyclic.hpp"
+#include "hemath/ntt.hpp"
 #include "hemath/primes.hpp"
+#include "hemath/sampler.hpp"
+#include "hemath/shoup_ntt.hpp"
+#include "testing/generators.hpp"
 
 namespace flash {
 namespace {
 
 using hemath::i64;
 using hemath::u64;
+
+constexpr std::uint64_t kPropertySeed = 0x9209e127;
 
 TEST(Property, NegacyclicHalfSpectrumParseval) {
   // The norm relation the DESIGN.md error analysis relies on:
@@ -154,6 +165,90 @@ TEST(Fuzz, PlaintextLoaderRejectsCrossTypeBuffers) {
   EXPECT_THROW(bfv::deserialize_plaintext(ctx, params_bytes), std::runtime_error);
   const bfv::Bytes empty;
   EXPECT_THROW(bfv::deserialize_plaintext(ctx, empty), std::runtime_error);
+}
+
+// --- Algebraic identities over generator-produced workloads. ---
+
+TEST(Property, NegacyclicMultiplyCommutes) {
+  // a * b == b * a mod (X^N + 1, q), through the NTT fast path (whose
+  // forward/pointwise/inverse pipeline treats the operands asymmetrically
+  // in table order, so this is not vacuous).
+  for (std::uint64_t stream = 0; stream < 4; ++stream) {
+    const testing::PolymulCase c =
+        testing::make_polymul_case({.seed = hemath::derive_stream_seed(kPropertySeed, stream)});
+    const u64 q = c.params.q;
+    std::vector<u64> w(c.spec.n);
+    for (std::size_t i = 0; i < c.spec.n; ++i) w[i] = hemath::from_signed(c.w[i], q);
+    const hemath::NttTables tables(q, c.spec.n);
+    EXPECT_EQ(hemath::negacyclic_multiply(tables, c.ct, w),
+              hemath::negacyclic_multiply(tables, w, c.ct))
+        << c.spec.describe();
+  }
+}
+
+TEST(Property, NegacyclicMultiplyIsLinear) {
+  // ct * (w1 + w2) == ct * w1 + ct * w2 mod q, with the two weight vectors
+  // drawn as independent generator cases sharing the ciphertext operand.
+  const testing::PolymulCase c1 =
+      testing::make_polymul_case({.seed = hemath::derive_stream_seed(kPropertySeed, 10)});
+  testing::PolymulSpec other_spec{.seed = hemath::derive_stream_seed(kPropertySeed, 11),
+                                  .n = c1.spec.n};
+  const testing::PolymulCase c2 = testing::make_polymul_case(other_spec);
+  const u64 q = c1.params.q;
+  const std::size_t n = c1.spec.n;
+  const hemath::NttTables tables(q, n);
+
+  std::vector<u64> w1(n), w2(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w1[i] = hemath::from_signed(c1.w[i], q);
+    w2[i] = hemath::from_signed(c2.w[i], q);
+    sum[i] = hemath::add_mod(w1[i], w2[i], q);
+  }
+  const std::vector<u64> lhs = hemath::negacyclic_multiply(tables, c1.ct, sum);
+  const std::vector<u64> p1 = hemath::negacyclic_multiply(tables, c1.ct, w1);
+  const std::vector<u64> p2 = hemath::negacyclic_multiply(tables, c1.ct, w2);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(lhs[i], hemath::add_mod(p1[i], p2[i], q)) << "coeff " << i;
+  }
+}
+
+TEST(Property, NttInverseIsIdentityAcrossPrimesAndDegrees) {
+  // NTT o INTT == id for both transform implementations, across fresh
+  // NTT-friendly primes of several bit sizes and all supported ring degrees.
+  for (std::size_t n : {std::size_t{16}, std::size_t{256}, std::size_t{2048}}) {
+    for (int bits : {30, 45, 59}) {
+      const u64 q = hemath::find_ntt_prime(bits, n);
+      hemath::Sampler sampler(hemath::derive_stream_seed(kPropertySeed, n * 100 + bits));
+      const std::vector<u64> original = sampler.uniform_poly(q, n).coeffs();
+
+      std::vector<u64> a = original;
+      const hemath::NttTables tables(q, n);
+      tables.forward(a);
+      EXPECT_NE(a, original) << "forward NTT was a no-op (n=" << n << ", bits=" << bits << ")";
+      tables.inverse(a);
+      EXPECT_EQ(a, original) << "NttTables n=" << n << " bits=" << bits;
+
+      std::vector<u64> b = original;
+      const hemath::ShoupNttTables shoup(q, n);
+      shoup.forward(b);
+      shoup.inverse(b);
+      EXPECT_EQ(b, original) << "ShoupNttTables n=" << n << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Property, SchoolbookAgreesWithNttOnGeneratedCases) {
+  // The O(N^2) oracle and the fast path agree on generator workloads (the
+  // same pairing the differential fuzzer uses, pinned here as a quick test).
+  const testing::PolymulCase c = testing::make_polymul_case(
+      {.seed = hemath::derive_stream_seed(kPropertySeed, 20), .n = 256});
+  const u64 q = c.params.q;
+  std::vector<u64> w(c.spec.n);
+  for (std::size_t i = 0; i < c.spec.n; ++i) w[i] = hemath::from_signed(c.w[i], q);
+  const hemath::NttTables tables(q, c.spec.n);
+  EXPECT_EQ(hemath::negacyclic_multiply(tables, c.ct, w),
+            hemath::negacyclic_multiply_schoolbook(q, c.ct, w))
+      << c.spec.describe();
 }
 
 TEST(Property, EncryptionIsRandomized) {
