@@ -1,0 +1,135 @@
+#include "analysis/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flash::analysis {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+// Double-precision bound arithmetic accumulates its own rounding; inflate
+// every derived bound by one part in 10^12 so "proven" stays on the safe
+// side of the exact rational bound.
+double up(double v) { return v * (1.0 + 1e-12); }
+
+/// Per-component rounding introduced by one shift-right at `frac` fraction
+/// bits: half an ulp for round-to-nearest, a full ulp for truncation.
+double round_ulp(int frac, fft::RoundingMode mode) {
+  const double ulp = std::ldexp(1.0, -frac);
+  return mode == fft::RoundingMode::kRoundToNearest ? 0.5 * ulp : ulp;
+}
+
+/// Count of digits in a CSD value that require a right shift (only those
+/// round; non-negative exponents are exact left shifts).
+int rounding_digits(const fft::CsdValue& w) {
+  int count = 0;
+  for (const fft::CsdDigit& d : w.digits) {
+    if (d.exponent < 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+double ComplexInterval::component_bound() const {
+  return std::min(std::max(re_max, im_max), mag_max);
+}
+
+ComplexInterval input_interval(double component_max, double quantize_ulp) {
+  ComplexInterval z;
+  z.re_max = component_max;
+  z.im_max = component_max;
+  z.mag_max = up(kSqrt2 * component_max);
+  z.round_err = up(kSqrt2 * quantize_ulp);  // one rounding per component
+  z.drift_err = 0.0;
+  return z;
+}
+
+ComplexInterval zero_interval() { return ComplexInterval{}; }
+
+ComplexInterval twisted_input_interval(double coeff_max, const fft::QuantizedTwiddle& twist,
+                                       double quantize_ulp) {
+  const double tr = std::abs(twist.re.value);
+  const double ti = std::abs(twist.im.value);
+  const double t_mag = std::hypot(twist.re.value, twist.im.value);
+  ComplexInterval z;
+  // Box: |Re((a+ib)t)| = |a Re t - b Im t| <= (|Re t| + |Im t|) * coeff_max.
+  z.re_max = up((tr + ti) * coeff_max);
+  z.im_max = z.re_max;
+  z.mag_max = up(t_mag * kSqrt2 * coeff_max);
+  z.re_max = std::min(z.re_max, z.mag_max);
+  z.im_max = std::min(z.im_max, z.mag_max);
+  z.round_err = up(kSqrt2 * quantize_ulp);
+  z.drift_err = up(std::hypot(twist.re.error, twist.im.error) * kSqrt2 * coeff_max);
+  return z;
+}
+
+ComplexInterval twiddle_mul_interval(const ComplexInterval& z, const fft::QuantizedTwiddle& w,
+                                     int frac_bits, fft::RoundingMode mode) {
+  const double wr = std::abs(w.re.value);
+  const double wi = std::abs(w.im.value);
+  const double w_mag = std::hypot(w.re.value, w.im.value);
+
+  // Component bounds of the input, tightened by the disc.
+  const double zr = std::min(z.re_max, z.mag_max);
+  const double zi = std::min(z.im_max, z.mag_max);
+
+  ComplexInterval out;
+  // Box: |Re(wz)| <= |wr||Re z| + |wi||Im z|, |Im(wz)| <= |wi||Re z| + |wr||Im z|.
+  out.re_max = up(wr * zr + wi * zi);
+  out.im_max = up(wi * zr + wr * zi);
+  // Disc: |wz| = |w||z|.
+  out.mag_max = up(w_mag * z.mag_max);
+  out.re_max = std::min(out.re_max, out.mag_max);
+  out.im_max = std::min(out.im_max, out.mag_max);
+
+  // Datapath rounding: the previous error is scaled by |w_q|, and each of
+  // the four real CSD products rounds once per negative-exponent digit. A
+  // component's two products contribute (digits(re)+digits(im)) roundings;
+  // the component error pair folds into the complex bound with sqrt(2).
+  const double digit_round =
+      round_ulp(frac_bits, mode) * static_cast<double>(rounding_digits(w.re) + rounding_digits(w.im));
+  out.round_err = up(w_mag * z.round_err + kSqrt2 * digit_round);
+
+  // Twiddle drift: |w_q z_hat - w_e z_exact| <= |w_q||z_hat - z_exact|
+  //                                            + |w_q - w_e||z_exact|
+  // with |z_exact| <= |z_hat| + drift <= mag_max + drift_err.
+  const double dw = std::hypot(w.re.error, w.im.error);
+  out.drift_err = up(w_mag * z.drift_err + dw * (z.mag_max + z.drift_err));
+  return out;
+}
+
+ComplexInterval add_interval(const ComplexInterval& a, const ComplexInterval& b) {
+  ComplexInterval out;
+  out.re_max = up(std::min(a.re_max, a.mag_max) + std::min(b.re_max, b.mag_max));
+  out.im_max = up(std::min(a.im_max, a.mag_max) + std::min(b.im_max, b.mag_max));
+  out.mag_max = up(std::min(a.mag_max + b.mag_max, std::hypot(out.re_max, out.im_max)));
+  out.round_err = up(a.round_err + b.round_err);
+  out.drift_err = up(a.drift_err + b.drift_err);
+  return out;
+}
+
+ComplexInterval requantize_interval(const ComplexInterval& z, int frac_from, int frac_to,
+                                    fft::RoundingMode mode) {
+  ComplexInterval out = z;
+  if (frac_from > frac_to) {
+    // One rounding per component; fold the pair into the complex error.
+    out.round_err = up(out.round_err + kSqrt2 * round_ulp(frac_to, mode));
+  }
+  // Widening (frac_from < frac_to) is an exact left shift; value bounds are
+  // scale-independent either way.
+  return out;
+}
+
+double mantissa_bound(const ComplexInterval& z, int frac_bits) {
+  // The hardware mantissa realizes z_fxp = z_hat + (rounding), so the
+  // saturator sees at most (component bound + round_err) * 2^frac. Twiddle
+  // drift is *not* added: the value bounds already use the quantized
+  // twiddle magnitudes. The +1.0 absorbs any residual sub-ulp slop and
+  // keeps the comparison sound when the bound lands exactly on the limit.
+  return up(std::ldexp(z.component_bound() + z.round_err, frac_bits)) + 1.0;
+}
+
+}  // namespace flash::analysis

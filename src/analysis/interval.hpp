@@ -1,0 +1,87 @@
+// Worst-case interval arithmetic for the fixed-point FFT datapath.
+//
+// A ComplexInterval bounds one wire of the butterfly network. The reference
+// point is the *model value* z_hat: the value the datapath would compute
+// with the quantized twiddles but exact real arithmetic. Three bounds form
+// the value interval for z_hat — separate magnitudes for the real and
+// imaginary components (a box) and a bound on the complex magnitude (a
+// disc). Both are sound; their intersection is what keeps the analysis
+// tight: trivial twiddles (1, +/-i) grow the box exactly, while chains of
+// rotating twiddles are capped by the disc (a rotation never grows |z|, but
+// compounds sqrt(2) per stage in a pure box analysis).
+//
+// Two error terms ride along:
+//   round_err — |z_fxp - z_hat|: rounding of the fixed-point datapath
+//               (input quantize, CSD shift-add truncation, stage
+//               requantize). This is what the saturation check adds to the
+//               value bound, because the hardware mantissa realizes z_fxp.
+//   drift_err — |z_hat - z_exact|: deviation introduced by the twiddle
+//               tables themselves (CsdValue::error). Kept separate so the
+//               saturation check does not double-count it — the value
+//               bounds already use the quantized twiddle magnitudes.
+// The total quantization error versus the exact-twiddle FFT is
+// round_err + drift_err.
+//
+// All bounds are in the value domain (mantissa / 2^frac); the analyzer
+// converts to mantissa units only at the stage output register where the
+// hardware saturates. Every operation rounds its bound up, so "proven
+// overflow-free" is sound with respect to the bit-accurate FxpFft simulator.
+#pragma once
+
+#include <cstddef>
+
+#include "fft/fxp_fft.hpp"
+#include "fft/twiddle.hpp"
+
+namespace flash::analysis {
+
+struct ComplexInterval {
+  double re_max = 0.0;     // bound on |Re z_hat|
+  double im_max = 0.0;     // bound on |Im z_hat|
+  double mag_max = 0.0;    // bound on |z_hat|
+  double round_err = 0.0;  // bound on |z_fxp - z_hat| (complex magnitude)
+  double drift_err = 0.0;  // bound on |z_hat - z_exact| (twiddle drift)
+
+  /// Tightest available bound on either component of z_hat.
+  double component_bound() const;
+
+  /// Total quantization error versus the exact-twiddle exact-arithmetic FFT.
+  double total_error() const { return round_err + drift_err; }
+};
+
+/// Interval of an input element whose components are bounded by
+/// component_max (the disc bound is derived: |z| <= sqrt(2) * component_max).
+/// `quantize_ulp` is the value-domain rounding of the input quantizer
+/// (half an ulp at input_frac_bits, per component), zero for an exact input.
+ComplexInterval input_interval(double component_max, double quantize_ulp);
+
+/// The exactly-zero wire (inactive element of a sparse plan).
+ComplexInterval zero_interval();
+
+/// Interval of one folded+twisted negacyclic input element: z = (a + ib) * t
+/// with |a|, |b| <= coeff_max and t the CSD-quantized twist factor. The
+/// twist's own quantization error lands in drift_err; `quantize_ulp` is the
+/// per-component input-quantizer rounding (as for input_interval).
+ComplexInterval twisted_input_interval(double coeff_max, const fft::QuantizedTwiddle& twist,
+                                       double quantize_ulp);
+
+/// Bound of w * z for a CSD-quantized twiddle, including the per-digit
+/// shift-add rounding at `frac_bits` fraction bits and the twiddle table's
+/// own quantization error (CsdValue::error).
+ComplexInterval twiddle_mul_interval(const ComplexInterval& z, const fft::QuantizedTwiddle& w,
+                                     int frac_bits, fft::RoundingMode mode);
+
+/// Bound of a + b (and equally of a - b: bounds are symmetric in sign).
+ComplexInterval add_interval(const ComplexInterval& a, const ComplexInterval& b);
+
+/// Stage output register: re-scaling from frac_from to frac_to fraction bits
+/// adds one rounding when the shift narrows. Value bounds are unchanged.
+ComplexInterval requantize_interval(const ComplexInterval& z, int frac_from, int frac_to,
+                                    fft::RoundingMode mode);
+
+/// Upper bound on the |mantissa| this interval can produce at `frac_bits`
+/// fraction bits, including the datapath rounding error and a final margin.
+/// This is the number the stage saturator compares against 2^(width-1)-1.
+double mantissa_bound(const ComplexInterval& z, int frac_bits);
+
+}  // namespace flash::analysis

@@ -59,7 +59,10 @@ Ciphertext Evaluator::finalize(const CiphertextAccumulator& accum) const {
 }
 
 const WideMultiplier& Evaluator::wide() const {
-  std::call_once(wide_once_, [this] { wide_ = std::make_unique<WideMultiplier>(ctx_); });
+  std::lock_guard<std::mutex> lock(wide_mu_);
+  if (!wide_) wide_ = std::make_unique<WideMultiplier>(ctx_);
+  // Safe to hand out unlocked: once built, the object is immutable and the
+  // pointer is never reset for the lifetime of the Evaluator.
   return *wide_;
 }
 

@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 
+#include "core/thread_annotations.hpp"
+
 #include "bfv/keyswitch.hpp"
 #include "bfv/multiply.hpp"
 #include "bfv/polymul_engine.hpp"
@@ -79,8 +81,12 @@ class Evaluator {
 
   const BfvContext& ctx_;
   mutable PolyMulEngine engine_;
-  mutable std::unique_ptr<WideMultiplier> wide_;  // built on first ct x ct
-  mutable std::once_flag wide_once_;              // first build may race otherwise
+  // Lazily built on the first ct x ct; the mutex makes the double-checked
+  // initialization visible to the thread-safety analysis (a once_flag would
+  // not be), and a WideMultiplier construction is far more expensive than an
+  // uncontended lock acquisition per multiply.
+  mutable std::mutex wide_mu_;
+  mutable std::unique_ptr<WideMultiplier> wide_ FLASH_GUARDED_BY(wide_mu_);
 };
 
 }  // namespace flash::bfv

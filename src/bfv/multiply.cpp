@@ -86,11 +86,13 @@ Poly WideMultiplier::compose_and_scale(const std::vector<std::vector<u64>>& acc)
     if (negative) x = big_q - x;
     // round(t * x / q) without overflowing 128 bits: split x = q*A + r.
     const u128 quotient = x / p.q;
+    // flash-lint: allow(raw-mod): 128-bit scale-and-round split; the hemath helpers are u64-only
     const u64 remainder = static_cast<u64>(x % p.q);
     const u128 tr = static_cast<u128>(p.t) * remainder;
     const u64 rounded_rem = static_cast<u64>((tr + p.q / 2) / p.q);
+    // flash-lint: allow(raw-mod): reducing fresh 128-bit intermediates into the modulus domain
     u64 res = hemath::mul_mod(p.t % p.q, static_cast<u64>(quotient % p.q), p.q);
-    res = hemath::add_mod(res, rounded_rem % p.q, p.q);
+    res = hemath::add_mod(res, rounded_rem % p.q, p.q);  // flash-lint: allow(raw-mod): rounded_rem is in [0, q^2), one reduction admits it
     out[i] = negative ? hemath::neg_mod(res, p.q) : res;
   }
   return out;

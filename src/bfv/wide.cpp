@@ -67,6 +67,7 @@ RnsPoly WideBfv::delta_scaled(const std::vector<i64>& values) const {
   RnsPoly out(rns_);
   for (std::size_t l = 0; l < rns_.limbs(); ++l) {
     const u64 q = rns_.basis().moduli()[l];
+    // flash-lint: allow(raw-mod): delta is u128 (the hemath helpers are u64-only)
     const u64 delta_mod = static_cast<u64>(delta % q);
     auto& limb = out.mutable_limb(l);
     for (std::size_t i = 0; i < params_.n; ++i) {

@@ -1,0 +1,39 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// Under clang with -Wthread-safety these expand to the static-analysis
+// attributes that let the compiler prove lock discipline at compile time
+// (which mutex guards which field, which functions require or exclude which
+// locks). Under gcc — which has no such attributes — they expand to nothing,
+// so annotated headers stay warning-clean everywhere.
+//
+// Conventions (documented in ARCHITECTURE.md §7):
+//   * every mutable field shared across threads is GUARDED_BY its mutex;
+//   * private helpers that assume a held lock are REQUIRES(mu);
+//   * public entry points that take the lock themselves are EXCLUDES(mu);
+//   * condition-variable wait loops whose predicates legitimately read
+//     guarded state under the waited-on lock get NO_THREAD_SAFETY_ANALYSIS
+//     with a comment, never a blanket cast.
+//
+// CI builds the library targets with clang -Wthread-safety -Werror (the
+// static-analysis job); libc++ is required there because libstdc++'s
+// std::mutex carries no capability attributes.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FLASH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FLASH_THREAD_ANNOTATION
+#define FLASH_THREAD_ANNOTATION(x)
+#endif
+
+#define FLASH_CAPABILITY(x) FLASH_THREAD_ANNOTATION(capability(x))
+#define FLASH_GUARDED_BY(x) FLASH_THREAD_ANNOTATION(guarded_by(x))
+#define FLASH_PT_GUARDED_BY(x) FLASH_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FLASH_REQUIRES(...) FLASH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FLASH_EXCLUDES(...) FLASH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FLASH_ACQUIRE(...) FLASH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FLASH_RELEASE(...) FLASH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FLASH_RETURN_CAPABILITY(x) FLASH_THREAD_ANNOTATION(lock_returned(x))
+#define FLASH_NO_THREAD_SAFETY_ANALYSIS FLASH_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dse/safety.hpp"
+
 namespace flash::dse {
 
 double GaussianProcess::kernel(const std::vector<double>& a, const std::vector<double>& b) const {
@@ -106,8 +108,26 @@ std::vector<EvaluatedPoint> BayesianExplorer::explore(const BayesOptions& option
     return e;
   };
 
+  // Same admission rule as the evolutionary explorer: only points the
+  // interval analyzer proves overflow-free are evaluated; unprovable draws
+  // are resampled so the evaluation budget stays exact.
+  SafetyCache safety(space_, error_model_);
+  if (!safety.proven_safe(space_.full_precision())) {
+    throw std::runtime_error(
+        "BayesianExplorer::explore: even the full-precision corner cannot be proven "
+        "overflow-free for this input bound");
+  }
+  constexpr int kMaxDraws = 64;
+  auto safe_random = [&]() {
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+      DesignPoint p = space_.random(rng_);
+      if (safety.proven_safe(p)) return p;
+    }
+    return space_.full_precision();
+  };
+
   for (std::size_t i = 0; i < options.initial_random && all.size() < options.evaluations; ++i) {
-    evaluate(space_.random(rng_));
+    evaluate(safe_random());
   }
 
   std::uniform_real_distribution<double> unit(0.0, 1.0);
@@ -145,8 +165,10 @@ std::vector<EvaluatedPoint> BayesianExplorer::explore(const BayesOptions& option
     gp.fit(std::move(xs), std::move(ys));
 
     // Candidate pool: random + mutations of the current non-dominated set.
+    // Safety is checked lazily — only when a candidate would become the EI
+    // incumbent — so the analyzer runs O(log pool) times per iteration.
     const auto front = pareto_front(all);
-    DesignPoint best_candidate = space_.random(rng_);
+    DesignPoint best_candidate = safe_random();
     double best_ei = -1.0;
     for (std::size_t c = 0; c < options.candidate_pool; ++c) {
       DesignPoint cand;
@@ -162,7 +184,7 @@ std::vector<EvaluatedPoint> BayesianExplorer::explore(const BayesOptions& option
       const double phi = std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979);
       const double cdf = 0.5 * std::erfc(-z / std::sqrt(2.0));
       const double ei = (best_y - pred.mean) * cdf + sigma * phi;
-      if (ei > best_ei) {
+      if (ei > best_ei && safety.proven_safe(cand)) {
         best_ei = ei;
         best_candidate = cand;
       }

@@ -6,8 +6,10 @@
 
 namespace flash::dse {
 
-ErrorModel::ErrorModel(std::size_t m, double input_power, double input_max_abs)
-    : m_(m), input_power_(input_power), input_max_abs_(input_max_abs) {}
+ErrorModel::ErrorModel(std::size_t m, double input_power, double input_max_abs,
+                       double coefficient_max_abs)
+    : m_(m), input_power_(input_power), input_max_abs_(input_max_abs),
+      coefficient_max_abs_(coefficient_max_abs > 0.0 ? coefficient_max_abs : input_max_abs) {}
 
 ErrorModel ErrorModel::from_weight_stats(std::size_t n, std::size_t weight_nnz, double max_w) {
   // Weight coefficients: nnz values of variance ~ (max_w/2)^2 among n slots.
@@ -15,7 +17,7 @@ ErrorModel ErrorModel::from_weight_stats(std::size_t n, std::size_t weight_nnz, 
   // per-point expected power is 2 * (nnz/n) * var.
   const double var = (max_w / 2.0) * (max_w / 2.0);
   const double power = 2.0 * static_cast<double>(weight_nnz) / static_cast<double>(n) * var;
-  return ErrorModel(n / 2, power, max_w * 1.4143);  // folded |z| <= sqrt(2)*max_w
+  return ErrorModel(n / 2, power, max_w * 1.4143, max_w);  // folded |z| <= sqrt(2)*max_w
 }
 
 double ErrorModel::predict_variance(const DesignSpace& space, const DesignPoint& p) const {

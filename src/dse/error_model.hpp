@@ -23,13 +23,19 @@ class ErrorModel {
  public:
   /// m: FFT size. input_power: E[|z|^2] of the (folded, twisted) input
   /// sequence. input_max_abs: bound on |input| coefficients.
-  ErrorModel(std::size_t m, double input_power, double input_max_abs);
+  /// coefficient_max_abs: bound on the *pre-fold* real polynomial
+  /// coefficients (what the static overflow analyzer needs); defaults to
+  /// input_max_abs, which is conservative since the folded |z| bound always
+  /// dominates the coefficient bound.
+  ErrorModel(std::size_t m, double input_power, double input_max_abs,
+             double coefficient_max_abs = 0.0);
 
   /// Predicted per-element error variance of the output spectrum.
   double predict_variance(const DesignSpace& space, const DesignPoint& p) const;
 
   double input_power() const { return input_power_; }
   double input_max_abs() const { return input_max_abs_; }
+  double coefficient_max_abs() const { return coefficient_max_abs_; }
 
   /// Input statistics measured from an actual coefficient-encoded weight
   /// polynomial population: nnz values of magnitude <= max_w in a degree-n
@@ -40,6 +46,7 @@ class ErrorModel {
   std::size_t m_;
   double input_power_;
   double input_max_abs_;
+  double coefficient_max_abs_;
 };
 
 /// Monte-Carlo ground truth: mean per-element squared error of the

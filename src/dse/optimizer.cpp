@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dse/safety.hpp"
+
 namespace flash::dse {
 
 bool dominates(const EvaluatedPoint& a, const EvaluatedPoint& b) {
@@ -66,21 +68,48 @@ std::vector<EvaluatedPoint> DseExplorer::explore(const DseOptions& options) {
     archive.push_back(e);
   };
 
+  // Every admitted candidate must first be *proven* overflow-free by the
+  // interval analyzer; unprovable draws are resampled (never silently
+  // filtered, so the evaluation budget stays exact). The full-precision
+  // corner is the provably-safe fallback when sampling runs dry.
+  SafetyCache safety(space_, error_model_);
+  if (!safety.proven_safe(space_.full_precision())) {
+    throw std::runtime_error(
+        "DseExplorer::explore: even the full-precision corner cannot be proven "
+        "overflow-free for this input bound");
+  }
+  constexpr int kMaxDraws = 64;
+
   // Seed with random points (plus the full-precision corner as an anchor).
   admit(evaluate(space_.full_precision()));
   for (std::size_t i = 0; i < options.population && all.size() < options.evaluations; ++i) {
-    admit(evaluate(space_.random(rng_)));
+    DesignPoint p = space_.full_precision();
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+      DesignPoint q = space_.random(rng_);
+      if (safety.proven_safe(q)) {
+        p = std::move(q);
+        break;
+      }
+    }
+    admit(evaluate(p));
   }
 
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   while (all.size() < options.evaluations) {
-    const auto& a = archive[rng_() % archive.size()].point;
-    DesignPoint candidate;
-    if (archive.size() > 1 && unit(rng_) < options.crossover_rate) {
-      const auto& b = archive[rng_() % archive.size()].point;
-      candidate = space_.mutate(space_.crossover(a, b, rng_), rng_);
-    } else {
-      candidate = space_.mutate(a, rng_);
+    DesignPoint candidate = space_.full_precision();
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+      const auto& a = archive[rng_() % archive.size()].point;
+      DesignPoint q;
+      if (archive.size() > 1 && unit(rng_) < options.crossover_rate) {
+        const auto& b = archive[rng_() % archive.size()].point;
+        q = space_.mutate(space_.crossover(a, b, rng_), rng_);
+      } else {
+        q = space_.mutate(a, rng_);
+      }
+      if (safety.proven_safe(q)) {
+        candidate = std::move(q);
+        break;
+      }
     }
     admit(evaluate(candidate));
   }

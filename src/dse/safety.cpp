@@ -1,0 +1,27 @@
+#include "dse/safety.hpp"
+
+namespace flash::dse {
+
+analysis::AnalysisResult analyze_design_point(const DesignSpace& space, const ErrorModel& model,
+                                              const DesignPoint& point) {
+  const fft::FxpFftConfig cfg = space.to_config(point, model.input_max_abs());
+  analysis::AnalyzerOptions opts;
+  opts.input_max_abs = model.coefficient_max_abs();
+  return analysis::analyze_negacyclic(2 * space.fft_size(), cfg, opts);
+}
+
+bool design_point_proven_safe(const DesignSpace& space, const ErrorModel& model,
+                              const DesignPoint& point) {
+  return analyze_design_point(space, model, point).overflow_free();
+}
+
+bool SafetyCache::proven_safe(const DesignPoint& point) {
+  const auto key = std::make_pair(point.stage_widths, point.twiddle_k);
+  const auto it = verdicts_.find(key);
+  if (it != verdicts_.end()) return it->second;
+  const bool safe = design_point_proven_safe(space_, model_, point);
+  verdicts_.emplace(key, safe);
+  return safe;
+}
+
+}  // namespace flash::dse

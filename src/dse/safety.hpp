@@ -1,0 +1,46 @@
+// Static proof obligation for DSE candidates.
+//
+// Before a design point is admitted into the search archive it must be
+// *proven* overflow-free by the interval analyzer: the negacyclic weight
+// transform of degree 2*fft_size, configured exactly the way the search
+// would ship it (to_config with the model's folded input bound), analyzed
+// against the model's worst-case coefficient magnitude. Candidates that
+// cannot be proven are resampled before the (more expensive) error/power
+// evaluation — the static-analysis analogue of the paper rejecting infeasible
+// points before simulation.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analysis/fxp_analyzer.hpp"
+#include "dse/error_model.hpp"
+#include "dse/space.hpp"
+
+namespace flash::dse {
+
+/// Run the overflow analyzer on one design point (degree = 2 * fft_size).
+analysis::AnalysisResult analyze_design_point(const DesignSpace& space, const ErrorModel& model,
+                                              const DesignPoint& point);
+
+/// True iff every stage of the point's transform is provably saturation-free.
+bool design_point_proven_safe(const DesignSpace& space, const ErrorModel& model,
+                              const DesignPoint& point);
+
+/// Memoizing wrapper for search loops: mutation/crossover revisit points, and
+/// the analysis (twiddle-table construction + interval sweep) is worth
+/// caching across the few hundred evaluations of one explore() call.
+class SafetyCache {
+ public:
+  SafetyCache(const DesignSpace& space, const ErrorModel& model) : space_(space), model_(model) {}
+
+  bool proven_safe(const DesignPoint& point);
+
+ private:
+  const DesignSpace& space_;
+  const ErrorModel& model_;
+  std::map<std::pair<std::vector<int>, int>, bool> verdicts_;
+};
+
+}  // namespace flash::dse

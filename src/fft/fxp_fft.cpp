@@ -1,5 +1,6 @@
 #include "fft/fxp_fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -18,18 +19,20 @@ struct FxpComplex {
   i64 im = 0;
 };
 
-/// Saturate a wide value into `width` total bits (two's complement).
+/// Saturate a wide value into `width` total bits (two's complement). This is
+/// the one place the FXP path may narrow the accumulator: every value below
+/// is clamped into [-lim, lim] first, so the casts cannot drop set bits.
 i64 saturate(i128 v, int width, FxpFftStats* stats) {
   const i128 lim = (i128{1} << (width - 1)) - 1;
   if (v > lim) {
     if (stats) ++stats->saturations;
-    return static_cast<i64>(lim);
+    return static_cast<i64>(lim);  // flash-lint: allow(narrowing-fxp): lim < 2^62 by config validation
   }
   if (v < -lim) {
     if (stats) ++stats->saturations;
-    return static_cast<i64>(-lim);
+    return static_cast<i64>(-lim);  // flash-lint: allow(narrowing-fxp): lim < 2^62 by config validation
   }
-  return static_cast<i64>(v);
+  return static_cast<i64>(v);  // flash-lint: allow(narrowing-fxp): v clamped into [-lim, lim] above
 }
 
 /// Shift a mantissa right by `s` bits (s >= 0) with the configured rounding.
@@ -94,6 +97,18 @@ FxpComplex requantize(WideComplex a, int f_from, int f_to, int width, RoundingMo
   return {saturate(re, width, stats), saturate(im, width, stats)};
 }
 
+/// Record the post-saturation mantissa magnitude at pipeline cut `idx`
+/// (0 = input quantizer, s = stage s output register). Values are clamped to
+/// +/-(2^(width-1)-1) already, so the negation cannot overflow.
+void note_peak(FxpFftStats* stats, std::size_t idx, FxpComplex v) {
+  if (stats == nullptr) return;
+  auto& peaks = stats->stage_peak_mantissa;
+  if (peaks.size() <= idx) peaks.resize(idx + 1, 0);
+  const std::uint64_t re = static_cast<std::uint64_t>(v.re < 0 ? -v.re : v.re);
+  const std::uint64_t im = static_cast<std::uint64_t>(v.im < 0 ? -v.im : v.im);
+  peaks[idx] = std::max(peaks[idx], std::max(re, im));
+}
+
 i64 quantize_to_mantissa(double v, int frac_bits, int width, FxpFftStats* stats) {
   const double scaled = std::ldexp(v, frac_bits);
   i128 m = static_cast<i128>(std::llround(scaled));
@@ -129,6 +144,7 @@ std::vector<cplx> FxpFft::forward(const std::vector<cplx>& in, FxpFftStats* stat
   for (std::size_t i = 0; i < m_; ++i) {
     a[i].re = quantize_to_mantissa(in[i].real(), config_.input_frac_bits, config_.data_width, stats);
     a[i].im = quantize_to_mantissa(in[i].imag(), config_.input_frac_bits, config_.data_width, stats);
+    note_peak(stats, 0, a[i]);
   }
   hemath::bit_reverse_permute(a);
 
@@ -153,6 +169,8 @@ std::vector<cplx> FxpFft::forward(const std::vector<cplx>& in, FxpFftStats* stat
         WideComplex bot{i128{u.re} - t.re, i128{u.im} - t.im};
         u = requantize(top, frac, out_frac, config_.data_width, config_.rounding, stats);
         v = requantize(bot, frac, out_frac, config_.data_width, config_.rounding, stats);
+        note_peak(stats, static_cast<std::size_t>(s), u);
+        note_peak(stats, static_cast<std::size_t>(s), v);
         if (stats) ++stats->butterflies;
       }
     }

@@ -49,6 +49,12 @@ struct FxpFftStats {
   std::uint64_t shift_add_terms = 0;  // executed CSD terms (hardware adds)
   std::uint64_t butterflies = 0;
   std::uint64_t saturations = 0;      // overflow clamps (should be ~0 in a sane design)
+  /// Largest |mantissa| observed at each pipeline cut, maximized across every
+  /// transform sharing this stats object: index 0 is the input quantizer
+  /// output, index s the stage-s output register. Grown lazily on first use;
+  /// the static analyzer's per-stage bounds (analysis/fxp_analyzer.hpp) must
+  /// dominate these, which flash_fuzz cross-checks.
+  std::vector<std::uint64_t> stage_peak_mantissa;
 };
 
 /// M-point complex FFT over fixed-point mantissas with the e^{+2*pi*i/M}

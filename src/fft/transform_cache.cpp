@@ -5,17 +5,20 @@
 #include <sstream>
 #include <string>
 
+#include "core/thread_annotations.hpp"
+
 namespace flash::fft {
 
 namespace {
 
 struct Caches {
   std::mutex mu;
-  std::map<std::pair<hemath::u64, std::size_t>, std::shared_ptr<const hemath::NttTables>> ntt;
-  std::map<std::size_t, std::shared_ptr<const NegacyclicFft>> fft;
-  std::map<std::string, std::shared_ptr<const FxpNegacyclicTransform>> fxp;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::map<std::pair<hemath::u64, std::size_t>, std::shared_ptr<const hemath::NttTables>> ntt
+      FLASH_GUARDED_BY(mu);
+  std::map<std::size_t, std::shared_ptr<const NegacyclicFft>> fft FLASH_GUARDED_BY(mu);
+  std::map<std::string, std::shared_ptr<const FxpNegacyclicTransform>> fxp FLASH_GUARDED_BY(mu);
+  std::uint64_t hits FLASH_GUARDED_BY(mu) = 0;
+  std::uint64_t misses FLASH_GUARDED_BY(mu) = 0;
 };
 
 Caches& caches() {
@@ -35,11 +38,11 @@ std::string fxp_key(std::size_t n, const FxpFftConfig& cfg) {
 
 }  // namespace
 
-/// find-or-construct under the cache lock; construction failures (invalid
-/// parameters) propagate without leaving an empty entry behind.
+/// find-or-construct; the caller holds the cache lock (so the guarded maps
+/// may be passed by reference). Construction failures (invalid parameters)
+/// propagate without leaving an empty entry behind.
 template <typename Map, typename Key, typename Make>
-auto lookup(Caches& c, Map& map, const Key& key, const Make& make) {
-  std::lock_guard<std::mutex> lock(c.mu);
+auto lookup(Caches& c, Map& map, const Key& key, const Make& make) FLASH_REQUIRES(c.mu) {
   auto it = map.find(key);
   if (it != map.end()) {
     ++c.hits;
@@ -53,18 +56,21 @@ auto lookup(Caches& c, Map& map, const Key& key, const Make& make) {
 
 std::shared_ptr<const hemath::NttTables> shared_ntt_tables(hemath::u64 q, std::size_t n) {
   Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
   return lookup(c, c.ntt, std::make_pair(q, n),
                 [&] { return std::make_shared<const hemath::NttTables>(q, n); });
 }
 
 std::shared_ptr<const NegacyclicFft> shared_negacyclic_fft(std::size_t n) {
   Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
   return lookup(c, c.fft, n, [&] { return std::make_shared<const NegacyclicFft>(n); });
 }
 
 std::shared_ptr<const FxpNegacyclicTransform> shared_fxp_transform(std::size_t n,
                                                                   const FxpFftConfig& config) {
   Caches& c = caches();
+  std::lock_guard<std::mutex> lock(c.mu);
   return lookup(c, c.fxp, fxp_key(n, config),
                 [&] { return std::make_shared<const FxpNegacyclicTransform>(n, config); });
 }

@@ -77,6 +77,7 @@ HConvResult HConvProtocol::run_stream(const tensor::Tensor3& x, const tensor::Te
   auto t0 = std::chrono::steady_clock::now();
 
   // --- Sharing: both parties obtain additive shares of the activation.
+  // flash-lint: allow(raw-rng): substream() derives the seed via derive_stream_seed
   std::mt19937_64 share_rng(substream(run_seed, kStreamShare, 0));
   const SharedVector xs = share_tensor(x, p.t, share_rng);
   tensor::Tensor3 x_client(x.channels(), x.height(), x.width());
@@ -192,6 +193,7 @@ HConvProtocol::MatVecResult HConvProtocol::run_matvec(const std::vector<i64>& x,
                                  next_stream_.fetch_add(1, std::memory_order_relaxed));
 
   auto t0 = std::chrono::steady_clock::now();
+  // flash-lint: allow(raw-rng): substream() derives the seed via derive_stream_seed
   std::mt19937_64 share_rng(substream(run_seed, kStreamShare, 0));
   const SharedVector xs = share(x, p.t, share_rng);
   result.profile.share_encode_s += seconds_since(t0);

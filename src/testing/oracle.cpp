@@ -4,6 +4,7 @@
 #include <complex>
 #include <sstream>
 
+#include "analysis/fxp_analyzer.hpp"
 #include "bfv/context.hpp"
 #include "bfv/polymul_engine.hpp"
 #include "core/flash_accelerator.hpp"
@@ -207,6 +208,26 @@ OracleReport PolymulOracle::run(const PolymulCase& c) const {
                << observed << " vs spectrum-explained " << expected;
         return fail("approx-propagation", detail.str());
       }
+    }
+
+    // (c) Static/dynamic cross-check: the interval analyzer's proven
+    // per-stage mantissa bounds must dominate the peaks this transform
+    // actually produced (soundness tripwire for the analyzer — and for the
+    // simulator, since both walk the same dataflow with the same quantized
+    // tables, including any injected fault).
+    analysis::AnalyzerOptions aopts;
+    aopts.input_max_abs = model.coefficient_max_abs();
+    const analysis::AnalysisResult proven = analysis::analyze_negacyclic(n, config, aopts);
+    fft::FxpFftStats fxp_stats;
+    const fft::FxpNegacyclicTransform fxp(n, config);
+    fxp.forward(w_real, &fxp_stats);
+    if (const analysis::StageReport* v = analysis::first_interval_violation(proven, fxp_stats)) {
+      std::stringstream detail;
+      detail << "width " << point.stage_widths.front() << " stage " << v->stage
+             << ": observed peak mantissa "
+             << fxp_stats.stage_peak_mantissa[static_cast<std::size_t>(v->stage)]
+             << " exceeds proven bound " << v->mantissa_bound;
+      return fail("approx-outside-proven-interval", detail.str());
     }
   }
 

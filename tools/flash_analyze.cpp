@@ -1,0 +1,209 @@
+// flash_analyze: command-line front end for the static FXP overflow analyzer.
+//
+// Manual mode prints the per-stage interval report for one design point:
+//
+//   flash_analyze --n 512 --width 27 --k 5 --max-w 7
+//
+// (--n is the ring degree; the negacyclic weight transform of size n/2 is
+// analyzed, which is the dataflow every shipped config runs.)
+//
+// --selfcheck runs the acceptance gauntlet the CI static-analysis job gates
+// on: every shipped configuration (core defaults, the paper's Table-1
+// points, a small fixed-seed DSE front) must be *proven* overflow-free, and
+// the PR-2 bug variant (adder saturating before the requantizer) must be
+// *flagged* with a concrete witness bound. Exit 0 iff all checks hold.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/fxp_analyzer.hpp"
+#include "core/flash_accelerator.hpp"
+#include "dse/bayesopt.hpp"
+#include "dse/cost_model.hpp"
+#include "dse/optimizer.hpp"
+#include "dse/safety.hpp"
+
+namespace {
+
+const char* verdict_name(flash::analysis::StageVerdict v) {
+  switch (v) {
+    case flash::analysis::StageVerdict::kProvenSafe: return "proven-safe";
+    case flash::analysis::StageVerdict::kSaturationPossible: return "SATURATION-POSSIBLE";
+    case flash::analysis::StageVerdict::kWidthWasteful: return "width-wasteful";
+  }
+  return "?";
+}
+
+void print_report(const flash::analysis::AnalysisResult& res) {
+  std::printf("m=%zu data_width=%d twiddle_k=%d\n", res.m, res.config.data_width,
+              res.config.twiddle_k);
+  std::printf("%-6s %-5s %-13s %-13s %-13s %-6s %s\n", "stage", "frac", "bound", "adder",
+              "limit", "guard", "verdict");
+  for (const auto& st : res.stages) {
+    std::printf("%-6d %-5d %-13.6g %-13.6g %-13.6g %-6d %s\n", st.stage, st.frac_bits,
+                st.mantissa_bound, st.adder_bound, st.sat_limit, st.guard_bits,
+                verdict_name(st.verdict));
+  }
+  std::printf("output error bound: %.6g\n", res.output_error_bound);
+  std::printf("overall: %s\n", res.overflow_free() ? "overflow-free (proven)"
+                                                   : "NOT provable overflow-free");
+}
+
+int checks_failed = 0;
+
+void expect(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
+  if (!ok) ++checks_failed;
+}
+
+/// Shipped configs are sized via DesignSpace::to_config for a folded |z|
+/// bound; the matching coefficient bound is |z|/sqrt(2) (folding a+bi from
+/// two coefficients grows magnitude by at most sqrt(2)).
+constexpr double kSqrt2 = 1.4143;
+
+flash::analysis::AnalysisResult analyze_shipped(std::size_t n, const flash::fft::FxpFftConfig& cfg,
+                                                double coefficient_max_abs,
+                                                bool pr2_variant = false) {
+  flash::analysis::AnalyzerOptions opts;
+  opts.input_max_abs = coefficient_max_abs;
+  opts.clamp_adder_pre_requantize = pr2_variant;
+  return flash::analysis::analyze_negacyclic(n, cfg, opts);
+}
+
+int selfcheck() {
+  std::printf("core default / high-accuracy configs:\n");
+  for (std::size_t n : {512u, 2048u}) {
+    const std::uint64_t t = 65537;
+    const double coeff_max = std::min<double>(static_cast<double>(t / 2), 64.0) / kSqrt2;
+    const auto dflt = analyze_shipped(n, flash::core::default_approx_config(n, t), coeff_max);
+    expect(dflt.overflow_free(), "default_approx_config n=" + std::to_string(n) + " proven");
+    const auto high = analyze_shipped(n, flash::core::high_accuracy_approx_config(n, t), coeff_max);
+    expect(high.overflow_free(), "high_accuracy_approx_config n=" + std::to_string(n) + " proven");
+  }
+
+  std::printf("paper Table-1 workload points:\n");
+  for (auto [n, nnz, max_w] : {std::tuple<std::size_t, std::size_t, double>{512, 18, 7},
+                               {1024, 36, 7},
+                               {1024, 128, 3}}) {
+    flash::dse::DesignSpace space(n / 2, flash::dse::SpaceBounds{10, 39, 2, 18});
+    const auto model = flash::dse::ErrorModel::from_weight_stats(n, nnz, max_w);
+    for (int width : {27, 39}) {
+      flash::dse::DesignPoint p;
+      p.stage_widths.assign(static_cast<std::size_t>(space.stages()), width);
+      p.twiddle_k = width == 27 ? 5 : 18;
+      const auto res = flash::dse::analyze_design_point(space, model, p);
+      expect(res.overflow_free(), "n=" + std::to_string(n) + " max_w=" +
+                                      std::to_string(static_cast<int>(max_w)) + " width=" +
+                                      std::to_string(width) + " proven");
+
+      // The PR-2 datapath (adder clamps at the input fraction scale, before
+      // the requantizer's shift) must be flagged with a concrete witness.
+      const auto cfg = space.to_config(p, model.input_max_abs());
+      const auto bug = analyze_shipped(n, cfg, model.coefficient_max_abs(), /*pr2=*/true);
+      const auto* sat = bug.first_saturation_possible();
+      expect(sat != nullptr, "  PR-2 variant flagged");
+      if (sat != nullptr) {
+        const double witness = std::max(sat->mantissa_bound, sat->adder_bound);
+        expect(witness > sat->sat_limit,
+               "  PR-2 witness concrete: stage " + std::to_string(sat->stage) + " bound " +
+                   std::to_string(witness) + " > limit " + std::to_string(sat->sat_limit));
+      }
+    }
+  }
+
+  std::printf("fixed-seed DSE fronts (every returned point must be provable):\n");
+  {
+    const std::size_t n = 512;
+    flash::dse::DesignSpace space(n / 2, flash::dse::SpaceBounds{10, 39, 2, 18});
+    const auto model = flash::dse::ErrorModel::from_weight_stats(n, 18, 7);
+    const flash::dse::CostModel cost(space.fft_size(), space.bounds());
+
+    flash::dse::DseExplorer evo(space, model, cost, /*seed=*/41);
+    flash::dse::DseOptions evo_opts;
+    evo_opts.evaluations = 120;
+    evo_opts.population = 24;
+    std::size_t unproven = 0;
+    for (const auto& e : pareto_front(evo.explore(evo_opts))) {
+      if (!flash::dse::design_point_proven_safe(space, model, e.point)) ++unproven;
+    }
+    expect(unproven == 0, "evolutionary front: 0 unprovable points");
+
+    flash::dse::BayesianExplorer bayes(space, model, cost, /*seed=*/43);
+    flash::dse::BayesOptions bayes_opts;
+    bayes_opts.evaluations = 48;
+    bayes_opts.initial_random = 12;
+    bayes_opts.candidate_pool = 48;
+    unproven = 0;
+    for (const auto& e : pareto_front(bayes.explore(bayes_opts))) {
+      if (!flash::dse::design_point_proven_safe(space, model, e.point)) ++unproven;
+    }
+    expect(unproven == 0, "bayesopt front: 0 unprovable points");
+  }
+
+  std::printf("negative control (a config the analyzer must reject):\n");
+  {
+    flash::analysis::AnalyzerOptions opts;
+    opts.input_max_abs = 8.0;
+    const auto cfg = flash::fft::FxpFftConfig::uniform(256, 12, 14, 8);
+    const auto res = flash::analysis::analyze_fxp_fft(256, cfg, opts);
+    expect(!res.overflow_free(), "14-bit dense FFT with |z|<=8 not provable");
+  }
+
+  std::printf(checks_failed == 0 ? "selfcheck: all checks passed\n"
+                                 : "selfcheck: %d check(s) FAILED\n",
+              checks_failed);
+  return checks_failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 512;
+  int width = 27, k = 5;
+  double max_w = 7.0;
+  bool run_selfcheck = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flash_analyze: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--selfcheck") {
+      run_selfcheck = true;
+    } else if (arg == "--n") {
+      n = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--width") {
+      width = std::atoi(next());
+    } else if (arg == "--k") {
+      k = std::atoi(next());
+    } else if (arg == "--max-w") {
+      max_w = std::atof(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: flash_analyze [--selfcheck] [--n N] [--width W] [--k K] [--max-w M]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "flash_analyze: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (run_selfcheck) return selfcheck();
+
+  flash::dse::DesignSpace space(n / 2, flash::dse::SpaceBounds{8, 62, 2, 20});
+  const auto model = flash::dse::ErrorModel::from_weight_stats(n, n / 8, max_w);
+  flash::dse::DesignPoint p;
+  p.stage_widths.assign(static_cast<std::size_t>(space.stages()), width);
+  p.twiddle_k = k;
+  const auto res = flash::dse::analyze_design_point(space, model, p);
+  print_report(res);
+  return res.overflow_free() ? 0 : 1;
+}

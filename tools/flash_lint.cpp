@@ -1,0 +1,284 @@
+// flash_lint: project-specific domain lint for the FLASH tree.
+//
+// clang-tidy catches generic C++ bugs; these three rules encode *project*
+// invariants that no generic checker knows about:
+//
+//   raw-mod        Modulus-domain arithmetic outside src/hemath must go
+//                  through mul_mod/add_mod/... — a raw `x % q` on a u64 that
+//                  already sits in [0, q) is either redundant or, far worse,
+//                  a sign that a product was formed without the 128-bit
+//                  widening the hemath helpers guarantee.
+//   raw-rng        std::mt19937_64 may only be constructed in
+//                  src/hemath/sampler.* and src/testing/generators.*.
+//                  Everyone else derives a stream with derive_stream_seed()
+//                  (directly or via a documented wrapper) so that seeds
+//                  printed in failure logs replay deterministically and
+//                  parallel tasks never share a generator.
+//   narrowing-fxp  In the fixed-point FFT path (src/fft/*fxp*), casts from
+//                  the wide accumulator type to a narrower integer are only
+//                  legal after saturation; anywhere else they silently drop
+//                  overflow bits the interval analyzer proved could be set.
+//
+// Intentional boundary crossings are annotated in-source:
+//
+//     ... code ...  // flash-lint: allow(raw-mod): reason
+//
+// (same line or the immediately preceding line). The reason is mandatory —
+// an allow() without one is itself reported.
+//
+// Usage:  flash_lint [-p <builddir>] [<repo-root>]
+//
+// With -p, the file list comes from <builddir>/compile_commands.json (plus
+// all headers under src/); without it, the src/ tree is walked directly.
+// Exit status: 0 = clean, 1 = findings, 2 = usage/setup error.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Rule {
+  std::string name;
+  std::regex pattern;
+  std::string message;
+  bool (*applies)(const std::string& rel);
+};
+
+/// Forward-slashed path relative to the repo root.
+std::string relative_path(const fs::path& file, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(file, root, ec);
+  std::string s = (ec ? file : rel).generic_string();
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool in_src_outside_hemath(const std::string& rel) {
+  return starts_with(rel, "src/") && !starts_with(rel, "src/hemath/");
+}
+
+bool rng_rule_applies(const std::string& rel) {
+  if (!starts_with(rel, "src/")) return false;
+  if (starts_with(rel, "src/hemath/sampler")) return false;
+  if (starts_with(rel, "src/testing/generators")) return false;
+  return true;
+}
+
+bool fxp_fft_path(const std::string& rel) {
+  return starts_with(rel, "src/fft/") && rel.find("fxp") != std::string::npos;
+}
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"raw-mod",
+       // `% q`, `% p.q`, `% ctx->modulus`, ... : a modulo whose right operand
+       // is a modulus-named identifier or member.
+       std::regex(R"(%\s*(?:[A-Za-z_][A-Za-z0-9_]*\s*(?:\.|->)\s*)?(?:q|modulus|prime)\b)"),
+       "raw % on a modulus-domain value outside src/hemath; use the "
+       "hemath mul_mod/add_mod/reduce helpers",
+       &in_src_outside_hemath},
+      {"raw-rng",
+       // Construction of a mt19937_64 (named object or temporary) — as
+       // opposed to taking one by reference or declaring a default member.
+       std::regex(R"(mt19937(?:_64)?\s+[A-Za-z_][A-Za-z0-9_]*\s*[({]|mt19937(?:_64)?\s*[({])"),
+       "std::mt19937_64 constructed outside hemath/sampler and "
+       "testing/generators; derive the seed with derive_stream_seed()",
+       &rng_rule_applies},
+      {"narrowing-fxp",
+       std::regex(R"(static_cast<\s*(?:flash::)?(?:hemath::)?(?:i8|i16|i32|i64|std::int8_t|std::int16_t|std::int32_t|std::int64_t|int|short)\s*>)"),
+       "narrowing integer cast in the FXP FFT path; only the saturation "
+       "helper may drop accumulator bits",
+       &fxp_fft_path},
+  };
+  return kRules;
+}
+
+/// Blanks comments and string/char literal contents so the rule regexes never
+/// match inside either. `in_block` carries /* ... */ state across lines.
+std::string strip_code(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      out.push_back(' ');
+      if (!in_block) out.push_back(' ');
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;  // rest is comment
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      out.append("  ");
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out.append("  ");
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        out.push_back(' ');
+        ++i;
+      }
+      if (i < line.size()) out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Returns the rule name if the raw line carries a well-formed allow marker;
+/// sets `malformed` when the marker is present but lacks a reason.
+std::string allow_marker(const std::string& raw, bool& malformed) {
+  static const std::regex kAllow(R"(flash-lint:\s*allow\(([a-z-]+)\)\s*(:?)\s*(.*))");
+  std::smatch m;
+  if (!std::regex_search(raw, m, kAllow)) return {};
+  const std::string reason = m[3].str();
+  malformed = (m[2].str().empty() || reason.find_first_not_of(" \t") == std::string::npos);
+  return m[1].str();
+}
+
+void lint_file(const fs::path& file, const fs::path& root, std::vector<Finding>& findings) {
+  std::ifstream in(file);
+  if (!in) {
+    findings.push_back({file.string(), 0, "io", "cannot open file"});
+    return;
+  }
+  const std::string rel = relative_path(file, root);
+
+  std::vector<Rule> active;
+  for (const Rule& r : rules()) {
+    if (r.applies(rel)) active.push_back(r);
+  }
+  if (active.empty()) return;
+
+  std::string line;
+  std::string prev_allow;  // marker on the previous line covers this one
+  bool in_block = false;
+  for (std::size_t lineno = 1; std::getline(in, line); ++lineno) {
+    bool malformed = false;
+    const std::string here_allow = allow_marker(line, malformed);
+    if (malformed) {
+      findings.push_back({rel, lineno, "lint-marker",
+                          "flash-lint: allow(" + here_allow + ") needs a ': reason'"});
+    }
+    const std::string code = strip_code(line, in_block);
+    for (const Rule& r : active) {
+      if (!std::regex_search(code, r.pattern)) continue;
+      if ((here_allow == r.name || prev_allow == r.name) && !malformed) continue;
+      findings.push_back({rel, lineno, r.name, r.message});
+    }
+    prev_allow = malformed ? std::string{} : here_allow;
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Pulls every "file" entry out of compile_commands.json. The format is
+/// machine-generated and flat, so a targeted scan beats a JSON dependency.
+std::vector<fs::path> files_from_compdb(const fs::path& builddir) {
+  std::vector<fs::path> out;
+  std::ifstream in(builddir / "compile_commands.json");
+  if (!in) return out;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  static const std::regex kFile(R"rx("file"\s*:\s*"([^"]+)")rx");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kFile);
+       it != std::sregex_iterator(); ++it) {
+    out.emplace_back((*it)[1].str());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path builddir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-p") {
+      if (i + 1 >= argc) {
+        std::cerr << "flash_lint: -p needs a build directory\n";
+        return 2;
+      }
+      builddir = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: flash_lint [-p <builddir>] [<repo-root>]\n";
+      return 0;
+    } else {
+      root = arg;
+    }
+  }
+
+  std::vector<fs::path> files;
+  if (!builddir.empty()) {
+    for (const fs::path& f : files_from_compdb(builddir)) {
+      if (lintable(f) && relative_path(f, root).rfind("src/", 0) == 0) files.push_back(f);
+    }
+    if (files.empty()) {
+      std::cerr << "flash_lint: no entries read from " << (builddir / "compile_commands.json")
+                << "\n";
+      return 2;
+    }
+  }
+  // Headers never appear in the compilation database; walk src/ for them
+  // (and for everything, in the no-builddir mode).
+  const fs::path srcdir = root / "src";
+  if (!fs::is_directory(srcdir)) {
+    std::cerr << "flash_lint: " << srcdir << " is not a directory\n";
+    return 2;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(srcdir)) {
+    if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+    if (builddir.empty() || entry.path().extension() != ".cpp") files.push_back(entry.path());
+  }
+
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) lint_file(f, root, findings);
+
+  for (const Finding& f : findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "flash_lint: " << files.size() << " files clean\n";
+    return 0;
+  }
+  std::cerr << "flash_lint: " << findings.size() << " finding(s) in " << files.size()
+            << " files\n";
+  return 1;
+}
