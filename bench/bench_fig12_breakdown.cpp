@@ -4,8 +4,11 @@
 // array, the point-wise FP multipliers dominate both area and power (the
 // "new bottleneck" the paper defers to future work).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "accel/flash_config.hpp"
+#include "bench_json.hpp"
 
 namespace {
 
@@ -24,10 +27,30 @@ void print_breakdown(const char* title, const flash::accel::AreaPowerBreakdown& 
   std::printf("  %-22s %10.3f          %12.3f\n\n", "total", b.total_area(), b.total_power());
 }
 
+void append_records(std::vector<flash::benchjson::Record>& recs, const std::string& prefix,
+                    const flash::accel::AreaPowerBreakdown& b) {
+  auto add = [&](const std::string& name, double v, const char* unit) {
+    recs.push_back({prefix + "/" + name, v, unit, 1});
+  };
+  add("approx_bu_area", b.approx_bu_area, "mm2");
+  add("fp_bu_area", b.fp_bu_area, "mm2");
+  add("fp_mult_area", b.fp_mult_area, "mm2");
+  add("fp_acc_area", b.fp_acc_area, "mm2");
+  add("other_area", b.other_area, "mm2");
+  add("total_area", b.total_area(), "mm2");
+  add("approx_bu_power", b.approx_bu_power, "W");
+  add("fp_bu_power", b.fp_bu_power, "W");
+  add("fp_mult_power", b.fp_mult_power, "W");
+  add("fp_acc_power", b.fp_acc_power, "W");
+  add("other_power", b.other_power, "W");
+  add("total_power", b.total_power(), "W");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace flash::accel;
+  const std::string json_path = flash::benchjson::extract_json_path(argc, argv);
   std::printf("=== Fig. 12: FLASH area & power breakdown (28nm @ 1GHz) ===\n\n");
 
   print_breakdown("full FLASH (60 approx PEs x4 BU, 4 FP PEs x4 BU, 240 FP MUL/ACC):",
@@ -41,5 +64,13 @@ int main() {
               (full.fp_mult_power > full.approx_bu_power && full.fp_mult_area > full.approx_bu_area)
                   ? "REPRODUCED"
                   : "NOT reproduced");
+  if (!json_path.empty()) {
+    // Model outputs are deterministic: the JSON records gate against drift in
+    // the cost model itself, not against timer noise.
+    std::vector<flash::benchjson::Record> recs;
+    append_records(recs, "fig12/full", full);
+    append_records(recs, "fig12/weight", flash_breakdown(FlashConfig::weight_transform_only()));
+    if (!flash::benchjson::write_json(json_path, "bench_fig12_breakdown", recs)) return 1;
+  }
   return 0;
 }

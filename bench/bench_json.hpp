@@ -1,0 +1,142 @@
+// Machine-readable bench output for the perf-regression harness.
+//
+// Benches that opt in accept `--json <path>` (or `--json=<path>`) and write a
+// versioned record set that tools/flash_benchdiff understands:
+//
+//   {"flash_bench_schema": 1,
+//    "binary": "bench_micro_transforms",
+//    "results": [{"name": "BM_FxpFftForward/4096", "value": 12345.6,
+//                 "unit": "ns", "iterations": 100}, ...]}
+//
+// `value` is the per-iteration real time in nanoseconds for timed benches, or
+// a deterministic model quantity (area, power, ...) for model benches — the
+// schema is shared so one diff tool gates both. Console output is unchanged;
+// --json only adds the file.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flash::benchjson {
+
+struct Record {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  std::int64_t iterations = 1;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Writes the schema-1 document. Returns false (and prints to stderr) on I/O
+/// failure so callers can exit non-zero rather than silently gate on nothing.
+inline bool write_json(const std::string& path, const std::string& binary,
+                       const std::vector<Record>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"flash_bench_schema\": 1,\n  \"binary\": \"%s\",\n  \"results\": [\n",
+               json_escape(binary).c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6f, \"unit\": \"%s\", \"iterations\": %lld}%s\n",
+                 json_escape(r.name).c_str(), r.value, json_escape(r.unit).c_str(),
+                 static_cast<long long>(r.iterations), i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "bench_json: write to %s failed\n", path.c_str());
+  return ok;
+}
+
+/// Pulls `--json <path>` / `--json=<path>` out of argv (so google-benchmark
+/// never sees it) and returns the path, or "" if absent.
+inline std::string extract_json_path(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+/// Console reporter that additionally collects per-iteration real time (ns)
+/// into Records. Used as the display reporter so no --benchmark_out plumbing
+/// is needed.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.value = run.real_accumulated_time / iters * 1e9;
+      rec.unit = "ns";
+      rec.iterations = run.iterations;
+      records_.push_back(std::move(rec));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+inline std::string basename_of(const char* argv0) {
+  std::string s = argv0 ? argv0 : "bench";
+  const std::size_t slash = s.find_last_of('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body with --json support.
+inline int run_benchmarks(int argc, char** argv) {
+  const std::string binary = basename_of(argc > 0 ? argv[0] : nullptr);
+  const std::string json_path = extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  JsonCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  return write_json(json_path, binary, collector.records()) ? 0 : 1;
+}
+
+}  // namespace flash::benchjson
+
+#define FLASH_BENCH_JSON_MAIN()                                     \
+  int main(int argc, char** argv) {                                 \
+    return flash::benchjson::run_benchmarks(argc, argv);            \
+  }

@@ -6,13 +6,17 @@
 
 #include <random>
 
+#include "bench_json.hpp"
 #include "bfv/encrypt.hpp"
 #include "bfv/evaluator.hpp"
 #include "core/flash_accelerator.hpp"
+#include "core/scratch.hpp"
 #include "fft/negacyclic.hpp"
 #include "hemath/ntt.hpp"
+#include "hemath/pointwise.hpp"
 #include "hemath/primes.hpp"
 #include "hemath/shoup_ntt.hpp"
+#include "hemath/simd.hpp"
 #include "sparsefft/executor.hpp"
 
 namespace {
@@ -73,6 +77,69 @@ void BM_FxpFftForward(benchmark::State& state) {
 }
 BENCHMARK(BM_FxpFftForward)->Arg(2048)->Arg(4096);
 
+/// Same transform with the SIMD level pinned to scalar: the vectorization
+/// win is BM_FxpFftForward vs this, in one binary.
+void BM_FxpFftForwardScalar(benchmark::State& state) {
+  hemath::simd::ScopedSimdLevel scalar(hemath::simd::SimdLevel::kScalar);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::FxpNegacyclicTransform fxp(n, core::default_approx_config(n, 1u << 18));
+  std::mt19937_64 rng(3);
+  std::vector<double> a(n, 0.0);
+  for (int i = 0; i < 72; ++i) a[rng() % n] = static_cast<double>(static_cast<int>(rng() % 15) - 7);
+  for (auto _ : state) {
+    auto spec = fxp.forward(a);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_FxpFftForwardScalar)->Arg(2048)->Arg(4096);
+
+/// Steady-state hot path: caller-owned output + thread scratch arena, zero
+/// heap allocations per iteration after warmup.
+void BM_FxpFftForwardInto(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  fft::FxpNegacyclicTransform fxp(n, core::default_approx_config(n, 1u << 18));
+  std::mt19937_64 rng(3);
+  std::vector<double> a(n, 0.0);
+  for (int i = 0; i < 72; ++i) a[rng() % n] = static_cast<double>(static_cast<int>(rng() % 15) - 7);
+  std::vector<fft::cplx> spec(n / 2);
+  core::ScratchArena& arena = core::thread_scratch();
+  fxp.forward_into(a, spec, nullptr, &arena);  // warm the arena
+  for (auto _ : state) {
+    fxp.forward_into(a, spec, nullptr, &arena);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_FxpFftForwardInto)->Arg(2048)->Arg(4096);
+
+void BM_PointwiseMulmod(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const hemath::u64 q = hemath::find_ntt_prime(49, n);
+  hemath::Sampler sampler(7);
+  std::vector<hemath::u64> a = sampler.uniform_poly(q, n).coeffs();
+  std::vector<hemath::u64> b = sampler.uniform_poly(q, n).coeffs();
+  std::vector<hemath::u64> c(n);
+  for (auto _ : state) {
+    hemath::pointwise_mulmod(a.data(), b.data(), c.data(), n, q);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_PointwiseMulmod)->Arg(2048)->Arg(4096);
+
+void BM_PointwiseMulmodScalar(benchmark::State& state) {
+  hemath::simd::ScopedSimdLevel scalar(hemath::simd::SimdLevel::kScalar);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const hemath::u64 q = hemath::find_ntt_prime(49, n);
+  hemath::Sampler sampler(7);
+  std::vector<hemath::u64> a = sampler.uniform_poly(q, n).coeffs();
+  std::vector<hemath::u64> b = sampler.uniform_poly(q, n).coeffs();
+  std::vector<hemath::u64> c(n);
+  for (auto _ : state) {
+    hemath::pointwise_mulmod(a.data(), b.data(), c.data(), n, q);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_PointwiseMulmodScalar)->Arg(2048)->Arg(4096);
+
 void BM_SparseExecute(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0)) / 2;
   std::vector<std::size_t> pos;
@@ -129,4 +196,4 @@ BENCHMARK(BM_MultiplyPlain)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FLASH_BENCH_JSON_MAIN()

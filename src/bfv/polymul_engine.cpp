@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/scratch.hpp"
 #include "fft/transform_cache.hpp"
+#include "hemath/pointwise.hpp"
 
 namespace flash::bfv {
 
@@ -39,19 +41,23 @@ PlainSpectrum PolyMulEngine::transform_plain(const Plaintext& pt) const {
       break;
     }
     case PolyMulBackend::kFft: {
-      std::vector<double> vals(p.n);
+      core::ScratchFrame frame(core::thread_scratch());
+      std::span<double> vals = frame.alloc<double>(p.n);
       for (std::size_t i = 0; i < p.n; ++i) {
         vals[i] = static_cast<double>(hemath::to_signed(pt.poly[i], p.t));
       }
-      out.fft = ctx_.fft().forward(vals);
+      out.fft.resize(p.n / 2);
+      ctx_.fft().forward_into(vals, out.fft);
       break;
     }
     case PolyMulBackend::kApproxFft: {
-      std::vector<double> vals(p.n);
+      core::ScratchFrame frame(core::thread_scratch());
+      std::span<double> vals = frame.alloc<double>(p.n);
       for (std::size_t i = 0; i < p.n; ++i) {
         vals[i] = static_cast<double>(hemath::to_signed(pt.poly[i], p.t));
       }
-      out.fft = approx_->forward(vals);
+      out.fft.resize(p.n / 2);
+      approx_->forward_into(vals, out.fft);
       break;
     }
   }
@@ -60,12 +66,15 @@ PlainSpectrum PolyMulEngine::transform_plain(const Plaintext& pt) const {
 
 std::vector<fft::cplx> PolyMulEngine::transform_cipher(const Poly& ct_poly) const {
   const auto& p = ctx_.params();
-  std::vector<double> vals(p.n);
+  core::ScratchFrame frame(core::thread_scratch());
+  std::span<double> vals = frame.alloc<double>(p.n);
   for (std::size_t i = 0; i < p.n; ++i) {
     vals[i] = static_cast<double>(hemath::to_signed(ct_poly[i], p.q));
   }
   bump(counters_.cipher_transforms);
-  return ctx_.fft().forward(vals);
+  std::vector<fft::cplx> out(p.n / 2);
+  ctx_.fft().forward_into(vals, out);
+  return out;
 }
 
 std::vector<u64> PolyMulEngine::transform_cipher_ntt(const Poly& ct_poly) const {
@@ -89,7 +98,9 @@ std::vector<fft::cplx> PolyMulEngine::pointwise(const std::vector<fft::cplx>& ct
 
 Poly PolyMulEngine::inverse_to_poly(const std::vector<fft::cplx>& spec) const {
   const auto& p = ctx_.params();
-  std::vector<double> vals = ctx_.fft().inverse(spec);
+  core::ScratchFrame frame(core::thread_scratch());
+  std::span<double> vals = frame.alloc<double>(p.n);
+  ctx_.fft().inverse_into(spec, vals, &frame.arena());
   bump(counters_.inverse_transforms);
   Poly out(p.q, p.n);
   for (std::size_t i = 0; i < p.n; ++i) {
@@ -121,9 +132,8 @@ void PolyMulEngine::multiply_accumulate(const CipherSpectrum& ct_spec, const Pla
       accum.ntt.assign(p.n, 0);
       accum.empty = false;
     }
-    for (std::size_t i = 0; i < p.n; ++i) {
-      accum.ntt[i] = hemath::add_mod(accum.ntt[i], hemath::mul_mod(ct_spec.ntt[i], w.ntt[i], p.q), p.q);
-    }
+    hemath::pointwise_mulmod_accumulate(accum.ntt.data(), ct_spec.ntt.data(), w.ntt.data(), p.n,
+                                        p.q);
     bump(counters_.pointwise_products, p.n);
   } else {
     if (accum.empty) {

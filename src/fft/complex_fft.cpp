@@ -4,7 +4,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "fft/fft_kernels.hpp"
 #include "hemath/bitrev.hpp"
+#include "hemath/simd.hpp"
 
 namespace flash::fft {
 
@@ -17,6 +19,16 @@ FftPlan::FftPlan(std::size_t m, int sign) : m_(m), sign_(sign) {
   for (std::size_t j = 0; j < m / 2; ++j) {
     root_pow_[j] = std::polar(1.0, base * static_cast<double>(j));
   }
+  // Flatten the per-stage twiddle rows (same doubles as root_pow_, copied,
+  // so the scalar and vector stage loops read identical values unit-stride).
+  stage_tw_.resize(m - 1);
+  for (int s = 1; s <= log_m_; ++s) {
+    const std::size_t half = std::size_t{1} << (s - 1);
+    const std::size_t stride = m_ >> s;
+    for (std::size_t j = 0; j < half; ++j) {
+      stage_tw_[(half - 1) + j] = root_pow_[j * stride];
+    }
+  }
 }
 
 cplx FftPlan::twiddle(int stage, std::size_t j) const {
@@ -25,15 +37,21 @@ cplx FftPlan::twiddle(int stage, std::size_t j) const {
   return root_pow_[j * stride];
 }
 
-void FftPlan::forward(std::vector<cplx>& a) const {
+void FftPlan::forward(std::span<cplx> a) const {
   if (a.size() != m_) throw std::invalid_argument("FftPlan::forward: size mismatch");
   hemath::bit_reverse_permute(a);
+  const bool avx2 = hemath::simd::active_simd_level() == hemath::simd::SimdLevel::kAvx2;
   for (int s = 1; s <= log_m_; ++s) {
     const std::size_t half = std::size_t{1} << (s - 1);
     const std::size_t len = half << 1;
+    const cplx* tw = stage_tw_.data() + (half - 1);
+    if (avx2 && half >= 2) {
+      detail::fft_stage_avx2(a.data(), tw, m_, half);
+      continue;
+    }
     for (std::size_t block = 0; block < m_; block += len) {
       for (std::size_t j = 0; j < half; ++j) {
-        const cplx w = twiddle(s, j);
+        const cplx w = tw[j];
         cplx& u = a[block + j];
         cplx& v = a[block + j + half];
         const cplx t = v * w;
@@ -44,7 +62,7 @@ void FftPlan::forward(std::vector<cplx>& a) const {
   }
 }
 
-void FftPlan::inverse(std::vector<cplx>& a) const {
+void FftPlan::inverse(std::span<cplx> a) const {
   if (a.size() != m_) throw std::invalid_argument("FftPlan::inverse: size mismatch");
   for (auto& x : a) x = std::conj(x);
   forward(a);

@@ -6,6 +6,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace flash::fft {
@@ -17,6 +18,12 @@ using cplx = std::complex<double>;
 /// sign = +1 computes sum a[m] e^{+2*pi*i*m*k/M} (the orientation used by the
 /// folded negacyclic transform); sign = -1 the conjugate kernel. inverse()
 /// applies the conjugate kernel and scales by 1/M.
+///
+/// forward()/inverse() are allocation-free and dispatch each stage with at
+/// least two butterflies per block to an AVX2 row kernel when available
+/// (fft_kernels.hpp). The whole fft library is built with -ffp-contract=off,
+/// so the scalar butterflies perform the same IEEE mul/add/sub sequence as
+/// the vector lanes and the two paths are bit-identical.
 class FftPlan {
  public:
   FftPlan(std::size_t m, int sign);
@@ -31,16 +38,22 @@ class FftPlan {
 
   /// In-place transform: standard-order input, standard-order output
   /// (bit-reversal applied internally, then DIT stages).
-  void forward(std::vector<cplx>& a) const;
+  void forward(std::span<cplx> a) const;
+  void forward(std::vector<cplx>& a) const { forward(std::span<cplx>(a)); }
 
   /// In-place inverse of forward(): conjugate kernel with 1/M scaling.
-  void inverse(std::vector<cplx>& a) const;
+  void inverse(std::span<cplx> a) const;
+  void inverse(std::vector<cplx>& a) const { inverse(std::span<cplx>(a)); }
 
  private:
   std::size_t m_;
   int log_m_;
   int sign_;
   std::vector<cplx> root_pow_;  // W_M^(sign*j), j = 0..M/2-1
+  // Per-stage flattened twiddles: stage s (1-based) owns the 2^(s-1)
+  // contiguous entries at offset 2^(s-1)-1 (value root_pow_[j * (m >> s)]).
+  // The row kernel streams these unit-stride instead of striding root_pow_.
+  std::vector<cplx> stage_tw_;
 };
 
 /// O(M^2) reference DFT with kernel e^{sign*2*pi*i*mk/M}; the test oracle.

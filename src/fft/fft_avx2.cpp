@@ -1,0 +1,53 @@
+// AVX2 radix-2 butterfly rows for the double-precision FFT. Two complex
+// values per 256-bit vector, AoS layout ([re0 im0 re1 im1]).
+//
+// Bit-identity with the scalar path: the complex product t = v*w is
+// evaluated as (v.re*w.re - v.im*w.im, v.im*w.re + v.re*w.im) — two
+// multiplies and one add/sub per component, exactly the operation sequence
+// the scalar butterflies perform under -ffp-contract=off (libstdc++'s
+// complex operator* fast path). vaddsubpd performs the even-lane subtract /
+// odd-lane add in one instruction with ordinary IEEE rounding per lane, and
+// intrinsics are never FMA-contracted, so every lane matches the scalar
+// result bit for bit (validated over the differential corpus by
+// tests/test_simd_kernels.cpp).
+#include "fft/fft_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace flash::fft::detail {
+
+void fft_stage_avx2(cplx* a, const cplx* tw, std::size_t m, std::size_t half) {
+  const std::size_t len = half * 2;
+  double* d = reinterpret_cast<double*>(a);
+  const double* w = reinterpret_cast<const double*>(tw);
+  for (std::size_t block = 0; block < m; block += len) {
+    double* ub = d + 2 * block;
+    double* vb = ub + 2 * half;
+    for (std::size_t j = 0; j < half; j += 2) {
+      const __m256d vu = _mm256_loadu_pd(ub + 2 * j);
+      const __m256d vv = _mm256_loadu_pd(vb + 2 * j);
+      const __m256d vw = _mm256_loadu_pd(w + 2 * j);
+      const __m256d wr = _mm256_movedup_pd(vw);        // [w0.re w0.re w1.re w1.re]
+      const __m256d wi = _mm256_permute_pd(vw, 0xF);   // [w0.im w0.im w1.im w1.im]
+      const __m256d vswap = _mm256_permute_pd(vv, 0x5);  // [v0.im v0.re v1.im v1.re]
+      // even lanes: v.re*w.re - v.im*w.im ; odd lanes: v.im*w.re + v.re*w.im
+      const __m256d t = _mm256_addsub_pd(_mm256_mul_pd(vv, wr), _mm256_mul_pd(vswap, wi));
+      _mm256_storeu_pd(ub + 2 * j, _mm256_add_pd(vu, t));
+      _mm256_storeu_pd(vb + 2 * j, _mm256_sub_pd(vu, t));
+    }
+  }
+}
+
+}  // namespace flash::fft::detail
+
+#else  // !__AVX2__ — non-x86 build: unreachable stub (dispatch never selects AVX2).
+
+#include <cstdlib>
+
+namespace flash::fft::detail {
+void fft_stage_avx2(cplx*, const cplx*, std::size_t, std::size_t) { std::abort(); }
+}  // namespace flash::fft::detail
+
+#endif

@@ -1,0 +1,22 @@
+// Internal interface of the double-precision AVX2 butterfly row kernel,
+// shared between FftPlan (complex_fft.cpp) and fft_avx2.cpp. Not installed
+// with the public headers.
+#pragma once
+
+#include <cstddef>
+
+#include "fft/complex_fft.hpp"
+
+namespace flash::fft::detail {
+
+/// One DIT stage over the whole array: for every block of 2*half elements
+/// and every butterfly j in [0, half), t = a[block+j+half] * tw[j];
+/// a[block+j+half] = a[block+j] - t; a[block+j] += t. Processes two
+/// butterflies (four doubles) per vector op, so requires half >= 2 (half is
+/// a power of two — no remainder). Compiled with -mavx2; callers must have
+/// checked simd::active_simd_level(). Performs the identical IEEE operation
+/// sequence as the scalar loop built with -ffp-contract=off, so outputs are
+/// bit-identical.
+void fft_stage_avx2(cplx* a, const cplx* tw, std::size_t m, std::size_t half);
+
+}  // namespace flash::fft::detail

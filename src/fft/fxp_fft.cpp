@@ -5,7 +5,10 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/scratch.hpp"
+#include "fft/fxp_kernels.hpp"
 #include "hemath/bitrev.hpp"
+#include "hemath/simd.hpp"
 
 namespace flash::fft {
 
@@ -13,11 +16,22 @@ namespace {
 
 using i64 = std::int64_t;
 using i128 = __int128;
+using u128 = unsigned __int128;
 
 struct FxpComplex {
   i64 re = 0;
   i64 im = 0;
 };
+
+/// Left shift that is well defined for negative mantissas: shifts the two's
+/// complement bit pattern (what the hardware barrel shifter does). A plain
+/// `v << s` on a negative value is UB until C++20 and trips
+/// -fsanitize=shift; the unsigned round-trip computes the same bits.
+i128 shift_left(i128 v, int s) { return static_cast<i128>(static_cast<u128>(v) << s); }
+
+i64 shift_left64(i64 v, int s) {
+  return static_cast<i64>(static_cast<std::uint64_t>(v) << s);  // flash-lint: allow(narrowing-fxp): value-preserving two's-complement reinterpretation, no bits dropped
+}
 
 /// Saturate a wide value into `width` total bits (two's complement). This is
 /// the one place the FXP path may narrow the accumulator: every value below
@@ -51,7 +65,7 @@ i128 csd_multiply(i64 m, const CsdValue& w, RoundingMode mode, FxpFftStats* stat
   for (const CsdDigit& d : w.digits) {
     i128 term;
     if (d.exponent >= 0) {
-      term = i128{m} << d.exponent;
+      term = shift_left(m, d.exponent);
     } else {
       term = shift_right(m, -d.exponent, mode);
     }
@@ -91,8 +105,8 @@ FxpComplex requantize(WideComplex a, int f_from, int f_to, int width, RoundingMo
     re = shift_right(re, shift, mode);
     im = shift_right(im, shift, mode);
   } else if (shift < 0) {
-    re <<= -shift;
-    im <<= -shift;
+    re = shift_left(re, -shift);
+    im = shift_left(im, -shift);
   }
   return {saturate(re, width, stats), saturate(im, width, stats)};
 }
@@ -109,13 +123,140 @@ void note_peak(FxpFftStats* stats, std::size_t idx, FxpComplex v) {
   peaks[idx] = std::max(peaks[idx], std::max(re, im));
 }
 
-i64 quantize_to_mantissa(double v, int frac_bits, int width, FxpFftStats* stats) {
-  const double scaled = std::ldexp(v, frac_bits);
-  i128 m = static_cast<i128>(std::llround(scaled));
+/// Record an order-independent per-stage peak computed by a narrow-path
+/// stage kernel.
+void note_peak_value(FxpFftStats* stats, std::size_t idx, std::uint64_t peak) {
+  if (stats == nullptr) return;
+  auto& peaks = stats->stage_peak_mantissa;
+  if (peaks.size() <= idx) peaks.resize(idx + 1, 0);
+  peaks[idx] = std::max(peaks[idx], peak);
+}
+
+i64 quantize_to_mantissa(double v, double scale, int width, FxpFftStats* stats) {
+  // scale is 2^frac_bits, so the multiply is the exact ldexp(v, frac_bits).
+  i128 m = static_cast<i128>(std::llround(v * scale));
   return saturate(m, width, stats);
 }
 
+// ---------------------------------------------------------------------------
+// Narrow (64-bit) path: same integers, provably overflow-free.
+// ---------------------------------------------------------------------------
+
+/// One CSD multiply on the narrow plan. Mirrors csd_multiply digit for
+/// digit; the constructor's interval analysis guarantees the round-add and
+/// the accumulator stay inside int64, so every operation here computes the
+/// same value as its 128-bit counterpart.
+i64 csd_narrow(i64 m, const detail::NarrowDigit* digits, std::size_t count, bool round_nearest) {
+  i64 acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const int s = digits[i].shift;
+    i64 term;
+    if (s <= 0) {
+      term = shift_left64(m, -s);
+    } else {
+      term = m;
+      if (round_nearest) term += i64{1} << (s - 1);
+      term >>= s;
+    }
+    acc += digits[i].sign > 0 ? term : -term;
+  }
+  return acc;
+}
+
+i64 requantize_narrow(i64 v, int shift, bool round_nearest, i64 lim, std::uint64_t* sats) {
+  if (shift > 0) {
+    if (round_nearest) v += i64{1} << (shift - 1);
+    v >>= shift;
+  } else if (shift < 0) {
+    v = shift_left64(v, -shift);
+  }
+  if (v > lim) {
+    ++*sats;
+    return lim;
+  }
+  if (v < -lim) {
+    ++*sats;
+    return -lim;
+  }
+  return v;
+}
+
+/// Scalar narrow stage: reference implementation the AVX2 kernel must match
+/// bit for bit. Loops j (twiddle) outer / block inner like the vector
+/// kernel; butterflies within a stage are independent, so the order does not
+/// affect values, and all stats are order-independent aggregates.
+void fxp_stage_scalar(i64* re, i64* im, const detail::FxpStageParams& p, FxpFftStats* stats) {
+  const std::size_t len = p.half * 2;
+  const std::size_t nblocks = p.m / len;
+  std::uint64_t sats = 0;
+  std::uint64_t terms = 0;
+  std::uint64_t peak = 0;
+  for (std::size_t j = 0; j < p.half; ++j) {
+    const detail::NarrowTwiddle& tw = p.tw[j * p.stride];
+    const detail::NarrowDigit* wre = p.pool + tw.re_off;
+    const detail::NarrowDigit* wim = p.pool + tw.im_off;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t u = b * len + j;
+      const std::size_t v = u + p.half;
+      const i64 vr = re[v];
+      const i64 vi = im[v];
+      const i64 rr = csd_narrow(vr, wre, tw.re_cnt, p.round_nearest);
+      const i64 ii = csd_narrow(vi, wim, tw.im_cnt, p.round_nearest);
+      const i64 ri = csd_narrow(vr, wim, tw.im_cnt, p.round_nearest);
+      const i64 ir = csd_narrow(vi, wre, tw.re_cnt, p.round_nearest);
+      const i64 tre = rr - ii;
+      const i64 tim = ri + ir;
+      const i64 ure = re[u];
+      const i64 uim = im[u];
+      re[u] = requantize_narrow(ure + tre, p.shift, p.round_nearest, p.lim, &sats);
+      im[u] = requantize_narrow(uim + tim, p.shift, p.round_nearest, p.lim, &sats);
+      re[v] = requantize_narrow(ure - tre, p.shift, p.round_nearest, p.lim, &sats);
+      im[v] = requantize_narrow(uim - tim, p.shift, p.round_nearest, p.lim, &sats);
+      const std::uint64_t m1 =
+          std::max(static_cast<std::uint64_t>(re[u] < 0 ? -re[u] : re[u]),
+                   static_cast<std::uint64_t>(im[u] < 0 ? -im[u] : im[u]));
+      const std::uint64_t m2 =
+          std::max(static_cast<std::uint64_t>(re[v] < 0 ? -re[v] : re[v]),
+                   static_cast<std::uint64_t>(im[v] < 0 ? -im[v] : im[v]));
+      peak = std::max(peak, std::max(m1, m2));
+    }
+    terms += nblocks * 2u * (tw.re_cnt + tw.im_cnt);
+  }
+  if (stats != nullptr) {
+    stats->butterflies += p.half * nblocks;
+    stats->shift_add_terms += terms;
+    stats->saturations += sats;
+    note_peak_value(stats, p.stage_idx, peak);
+  }
+}
+
+/// Interval bound of |csd_multiply(m, w)| for |m| <= lim, including the
+/// per-digit round-add, evaluated exactly in 128 bits.
+u128 csd_bound(const CsdValue& w, u128 lim) {
+  u128 b = 0;
+  for (const CsdDigit& d : w.digits) {
+    if (d.exponent >= 0) {
+      b += lim << d.exponent;
+    } else {
+      b += (lim >> -d.exponent) + 1;  // +1 covers the round-to-nearest bias
+    }
+  }
+  return b;
+}
+
 }  // namespace
+
+void FxpFftStats::merge(const FxpFftStats& other) {
+  shift_add_terms += other.shift_add_terms;
+  butterflies += other.butterflies;
+  saturations += other.saturations;
+  if (stage_peak_mantissa.size() < other.stage_peak_mantissa.size()) {
+    stage_peak_mantissa.resize(other.stage_peak_mantissa.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.stage_peak_mantissa.size(); ++i) {
+    stage_peak_mantissa[i] = std::max(stage_peak_mantissa[i], other.stage_peak_mantissa[i]);
+  }
+}
 
 FxpFftConfig FxpFftConfig::uniform(std::size_t m, int frac_bits, int data_width, int twiddle_k) {
   FxpFftConfig cfg;
@@ -135,15 +276,135 @@ FxpFft::FxpFft(std::size_t m, FxpFftConfig config) : m_(m), config_(std::move(co
     throw std::invalid_argument("FxpFft: data_width out of range [4, 62]");
   }
   twiddles_ = quantize_fft_twiddles(m_, +1, config_.twiddle_k, config_.twiddle_min_exp);
+  build_narrow_plan();
 }
 
-std::vector<cplx> FxpFft::forward(const std::vector<cplx>& in, FxpFftStats* stats) const {
-  if (in.size() != m_) throw std::invalid_argument("FxpFft::forward: size mismatch");
+void FxpFft::build_narrow_plan() {
+  // Static overflow analysis for the 64-bit path. Every narrow intermediate
+  // is one of:
+  //   (a) a CSD term with its round-add: |m| + 2^(s-1), then shifted;
+  //   (b) a CSD accumulator: bounded by the sum of term magnitudes B_w;
+  //   (c) a butterfly leg u +/- t: |.| <= lim + max_w B_w;
+  //   (d) the requantizer input: (c) plus the round-add, or (c) shifted
+  //       left by -shift.
+  // We require every bound to stay below 2^62 — a 2x margin under the int64
+  // limit — evaluated exactly in 128-bit arithmetic. When the analysis
+  // fails (exotic design points), narrow_ok_ stays false and the generic
+  // 128-bit path runs.
+  const u128 cap = u128{1} << 62;
+  const u128 lim = (u128{1} << (config_.data_width - 1)) - 1;
 
-  std::vector<FxpComplex> a(m_);
+  u128 max_b = 0;
+  bool ok = true;
+  for (const QuantizedTwiddle& w : twiddles_) {
+    for (const CsdDigit& d : w.re.digits) {
+      if (d.exponent < 0 && lim + (u128{1} << (-d.exponent - 1)) >= cap) ok = false;
+      if (d.exponent > 60) ok = false;
+    }
+    for (const CsdDigit& d : w.im.digits) {
+      if (d.exponent < 0 && lim + (u128{1} << (-d.exponent - 1)) >= cap) ok = false;
+      if (d.exponent > 60) ok = false;
+    }
+    const u128 b = csd_bound(w.re, lim) + csd_bound(w.im, lim);
+    max_b = std::max(max_b, b);
+  }
+  const u128 stage_in = lim + max_b;  // |u +/- t|
+  if (stage_in >= cap) ok = false;
+
+  int frac = config_.input_frac_bits;
+  for (int s = 1; s <= log_m_; ++s) {
+    const int out_frac = config_.stage_frac_bits[static_cast<std::size_t>(s - 1)];
+    const int shift = frac - out_frac;
+    if (shift > 0) {
+      if (shift >= 62 || stage_in + (u128{1} << (shift - 1)) >= cap) ok = false;
+    } else if (shift < 0) {
+      if (-shift >= 62 || (stage_in << -shift) >= cap) ok = false;
+    }
+    frac = out_frac;
+  }
+  if (!ok) {
+    narrow_ok_ = false;
+    return;
+  }
+
+  // Flatten each twiddle's CSD digits into one pool (re run then im run) so
+  // a stage walks contiguous memory.
+  digit_pool_.clear();
+  narrow_tw_.clear();
+  narrow_tw_.reserve(twiddles_.size());
+  auto push_digits = [this](const CsdValue& c) {
+    const auto off = static_cast<std::uint32_t>(digit_pool_.size());
+    for (const CsdDigit& d : c.digits) {
+      detail::NarrowDigit nd;
+      nd.shift = static_cast<std::int16_t>(-d.exponent);  // flash-lint: allow(narrowing-fxp): exponents are config-bounded small integers
+      nd.sign = static_cast<std::int16_t>(d.sign);        // flash-lint: allow(narrowing-fxp): sign is +/-1
+      digit_pool_.push_back(nd);
+    }
+    return std::pair{off, static_cast<std::uint32_t>(c.digits.size())};
+  };
+  for (const QuantizedTwiddle& w : twiddles_) {
+    detail::NarrowTwiddle nt;
+    std::tie(nt.re_off, nt.re_cnt) = push_digits(w.re);
+    std::tie(nt.im_off, nt.im_cnt) = push_digits(w.im);
+    narrow_tw_.push_back(nt);
+  }
+  narrow_ok_ = true;
+}
+
+void FxpFft::forward_into(std::span<const cplx> in, std::span<cplx> out, FxpFftStats* stats,
+                          core::ScratchArena* arena_p) const {
+  if (in.size() != m_ || out.size() != m_) {
+    throw std::invalid_argument("FxpFft::forward: size mismatch");
+  }
+  core::ScratchArena& arena = core::scratch_or_thread(arena_p);
+  core::ScratchFrame frame(arena);
+  const double in_scale = std::ldexp(1.0, config_.input_frac_bits);
+
+  if (narrow_ok_) {
+    std::span<i64> re = frame.alloc<i64>(m_);
+    std::span<i64> im = frame.alloc<i64>(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      re[i] = quantize_to_mantissa(in[i].real(), in_scale, config_.data_width, stats);
+      im[i] = quantize_to_mantissa(in[i].imag(), in_scale, config_.data_width, stats);
+      note_peak(stats, 0, FxpComplex{re[i], im[i]});
+    }
+    hemath::bit_reverse_permute(re);
+    hemath::bit_reverse_permute(im);
+
+    const bool avx2 = hemath::simd::active_simd_level() == hemath::simd::SimdLevel::kAvx2;
+    int frac = config_.input_frac_bits;
+    for (int s = 1; s <= log_m_; ++s) {
+      const int out_frac = config_.stage_frac_bits[static_cast<std::size_t>(s - 1)];
+      detail::FxpStageParams p;
+      p.pool = digit_pool_.data();
+      p.tw = narrow_tw_.data();
+      p.m = m_;
+      p.half = std::size_t{1} << (s - 1);
+      p.stride = m_ >> s;
+      p.stage_idx = static_cast<std::size_t>(s);
+      p.shift = frac - out_frac;
+      p.lim = (i64{1} << (config_.data_width - 1)) - 1;
+      p.round_nearest = config_.rounding == RoundingMode::kRoundToNearest;
+      if (avx2 && (m_ >> s) >= 4) {
+        detail::fxp_stage_avx2(re.data(), im.data(), p, stats);
+      } else {
+        fxp_stage_scalar(re.data(), im.data(), p, stats);
+      }
+      frac = out_frac;
+    }
+
+    const double out_scale = std::ldexp(1.0, -frac);
+    for (std::size_t i = 0; i < m_; ++i) {
+      out[i] = cplx{static_cast<double>(re[i]) * out_scale, static_cast<double>(im[i]) * out_scale};
+    }
+    return;
+  }
+
+  // Generic 128-bit fallback (design points the narrow analysis rejects).
+  std::span<FxpComplex> a = frame.alloc<FxpComplex>(m_);
   for (std::size_t i = 0; i < m_; ++i) {
-    a[i].re = quantize_to_mantissa(in[i].real(), config_.input_frac_bits, config_.data_width, stats);
-    a[i].im = quantize_to_mantissa(in[i].imag(), config_.input_frac_bits, config_.data_width, stats);
+    a[i].re = quantize_to_mantissa(in[i].real(), in_scale, config_.data_width, stats);
+    a[i].im = quantize_to_mantissa(in[i].imag(), in_scale, config_.data_width, stats);
     note_peak(stats, 0, a[i]);
   }
   hemath::bit_reverse_permute(a);
@@ -177,24 +438,39 @@ std::vector<cplx> FxpFft::forward(const std::vector<cplx>& in, FxpFftStats* stat
     frac = out_frac;
   }
 
-  std::vector<cplx> out(m_);
+  const double out_scale = std::ldexp(1.0, -frac);
   for (std::size_t i = 0; i < m_; ++i) {
-    out[i] = cplx{std::ldexp(static_cast<double>(a[i].re), -frac),
-                  std::ldexp(static_cast<double>(a[i].im), -frac)};
+    out[i] = cplx{static_cast<double>(a[i].re) * out_scale,
+                  static_cast<double>(a[i].im) * out_scale};
   }
+}
+
+void FxpFft::inverse_into(std::span<const cplx> in, std::span<cplx> out, FxpFftStats* stats,
+                          core::ScratchArena* arena_p) const {
+  if (in.size() != m_ || out.size() != m_) {
+    throw std::invalid_argument("FxpFft::inverse: size mismatch");
+  }
+  // inverse(x) = conj(forward(conj(x))) / M with the sign=+1 kernel; the
+  // conjugations are sign flips (free) and /M is an exact scaling by a
+  // power of two.
+  core::ScratchArena& arena = core::scratch_or_thread(arena_p);
+  core::ScratchFrame frame(arena);
+  std::span<cplx> conj_in = frame.alloc<cplx>(m_);
+  for (std::size_t i = 0; i < m_; ++i) conj_in[i] = std::conj(in[i]);
+  forward_into(conj_in, out, stats, &arena);
+  const double inv_m = 1.0 / static_cast<double>(m_);
+  for (auto& v : out) v = std::conj(v) * inv_m;
+}
+
+std::vector<cplx> FxpFft::forward(const std::vector<cplx>& in, FxpFftStats* stats) const {
+  std::vector<cplx> out(m_);
+  forward_into(in, out, stats);
   return out;
 }
 
 std::vector<cplx> FxpFft::inverse(const std::vector<cplx>& in, FxpFftStats* stats) const {
-  if (in.size() != m_) throw std::invalid_argument("FxpFft::inverse: size mismatch");
-  // inverse(x) = conj(forward(conj(x))) / M with the sign=+1 kernel; the
-  // conjugations are sign flips (free) and /M is an exact shift of the
-  // output fraction interpretation.
-  std::vector<cplx> conj_in(m_);
-  for (std::size_t i = 0; i < m_; ++i) conj_in[i] = std::conj(in[i]);
-  std::vector<cplx> out = forward(conj_in, stats);
-  const double inv_m = 1.0 / static_cast<double>(m_);
-  for (auto& v : out) v = std::conj(v) * inv_m;
+  std::vector<cplx> out(m_);
+  inverse_into(in, out, stats);
   return out;
 }
 
@@ -211,31 +487,56 @@ FxpNegacyclicTransform::FxpNegacyclicTransform(std::size_t n, FxpFftConfig confi
   }
 }
 
-std::vector<cplx> FxpNegacyclicTransform::forward(const std::vector<double>& a,
-                                                  FxpFftStats* stats) const {
+void FxpNegacyclicTransform::forward_into(std::span<const double> a, std::span<cplx> out,
+                                          FxpFftStats* stats, core::ScratchArena* arena_p) const {
   if (a.size() != n_) throw std::invalid_argument("FxpNegacyclicTransform::forward: size mismatch");
   const std::size_t m = n_ / 2;
-  std::vector<cplx> z(m);
+  if (out.size() != m) {
+    throw std::invalid_argument("FxpNegacyclicTransform::forward: bad output size");
+  }
+  core::ScratchArena& arena = core::scratch_or_thread(arena_p);
+  core::ScratchFrame frame(arena);
+  std::span<cplx> z = frame.alloc<cplx>(m);
   for (std::size_t s = 0; s < m; ++s) {
     // Twist in the quantized domain: the hardware applies the same shift-add
     // multiplier used for stage twiddles.
     z[s] = cplx{a[s], a[s + m]} * twist_[s].value();
   }
-  return fft_.forward(z, stats);
+  fft_.forward_into(z, out, stats, &arena);
+}
+
+void FxpNegacyclicTransform::inverse_into(std::span<const cplx> spec, std::span<double> out,
+                                          FxpFftStats* stats, core::ScratchArena* arena_p) const {
+  const std::size_t m = n_ / 2;
+  if (spec.size() != m) {
+    throw std::invalid_argument("FxpNegacyclicTransform::inverse: size mismatch");
+  }
+  if (out.size() != n_) {
+    throw std::invalid_argument("FxpNegacyclicTransform::inverse: bad output size");
+  }
+  core::ScratchArena& arena = core::scratch_or_thread(arena_p);
+  core::ScratchFrame frame(arena);
+  std::span<cplx> z = frame.alloc<cplx>(m);
+  fft_.inverse_into(spec, z, stats, &arena);
+  for (std::size_t s = 0; s < m; ++s) {
+    const cplx w = z[s] * std::conj(twist_[s].value());
+    out[s] = w.real();
+    out[s + m] = w.imag();
+  }
+}
+
+std::vector<cplx> FxpNegacyclicTransform::forward(const std::vector<double>& a,
+                                                  FxpFftStats* stats) const {
+  std::vector<cplx> out(n_ / 2);
+  forward_into(a, out, stats);
+  return out;
 }
 
 std::vector<double> FxpNegacyclicTransform::inverse(const std::vector<cplx>& spec,
                                                     FxpFftStats* stats) const {
-  const std::size_t m = n_ / 2;
-  if (spec.size() != m) throw std::invalid_argument("FxpNegacyclicTransform::inverse: size mismatch");
-  const std::vector<cplx> z = fft_.inverse(spec, stats);
-  std::vector<double> a(n_);
-  for (std::size_t s = 0; s < m; ++s) {
-    const cplx w = z[s] * std::conj(twist_[s].value());
-    a[s] = w.real();
-    a[s + m] = w.imag();
-  }
-  return a;
+  std::vector<double> out(n_);
+  inverse_into(spec, out, stats);
+  return out;
 }
 
 double relative_spectrum_rmse(const std::vector<cplx>& approx, const std::vector<cplx>& exact) {

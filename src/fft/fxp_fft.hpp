@@ -9,15 +9,48 @@
 // the configured format. The result is bit-identical to what the RTL would
 // compute, which is what the error-model validation and the accuracy
 // experiments (Fig. 5(b), Fig. 11(b)(c)) need.
+//
+// Two execution paths compute the same integers:
+//   * a generic 128-bit accumulator path, valid for every legal config;
+//   * a narrow 64-bit SoA path (with an AVX2 stage kernel, see
+//     fxp_kernels.hpp), taken when a constructor-time overflow analysis
+//     proves every intermediate fits int64 — then 64-bit two's-complement
+//     arithmetic is exact and the paths are bit-identical by construction
+//     (pinned by tests/test_simd_kernels.cpp over the differential corpus).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fft/complex_fft.hpp"
 #include "fft/twiddle.hpp"
 
+namespace flash::core {
+class ScratchArena;
+}  // namespace flash::core
+
 namespace flash::fft {
+
+namespace detail {
+
+/// One flattened CSD digit of the narrow plan: multiply contributes
+/// sign * (m >> shift), where a negative shift encodes a left shift.
+struct NarrowDigit {
+  std::int16_t shift = 0;  // arithmetic right-shift count; negative = left
+  std::int16_t sign = 1;   // +1 or -1
+};
+
+/// Digit-pool slice for one twiddle: [re_off, re_off+re_cnt) are the real
+/// component's digits, likewise im. Indexed by twiddle power.
+struct NarrowTwiddle {
+  std::uint32_t re_off = 0;
+  std::uint32_t re_cnt = 0;
+  std::uint32_t im_off = 0;
+  std::uint32_t im_cnt = 0;
+};
+
+}  // namespace detail
 
 /// Rounding applied when narrowing a mantissa.
 enum class RoundingMode {
@@ -45,6 +78,10 @@ struct FxpFftConfig {
 };
 
 /// Dynamic instruction counts of one transform; drives the energy model.
+///
+/// Not thread-safe: each thread accumulates into its own instance and the
+/// owner combines them with merge() (per-thread stats replaced the old
+/// shared-object pattern, whose note_peak resize raced under the pipeline).
 struct FxpFftStats {
   std::uint64_t shift_add_terms = 0;  // executed CSD terms (hardware adds)
   std::uint64_t butterflies = 0;
@@ -55,6 +92,10 @@ struct FxpFftStats {
   /// the static analyzer's per-stage bounds (analysis/fxp_analyzer.hpp) must
   /// dominate these, which flash_fuzz cross-checks.
   std::vector<std::uint64_t> stage_peak_mantissa;
+
+  /// Fold another thread's (or call's) counts into this one: sums the
+  /// counters, elementwise-maxes the per-stage peaks.
+  void merge(const FxpFftStats& other);
 };
 
 /// M-point complex FFT over fixed-point mantissas with the e^{+2*pi*i/M}
@@ -66,6 +107,9 @@ class FxpFft {
   std::size_t size() const { return m_; }
   const FxpFftConfig& config() const { return config_; }
   const std::vector<QuantizedTwiddle>& twiddles() const { return twiddles_; }
+  /// True when the 64-bit SoA path (and thus the AVX2 stage kernel) is
+  /// provably overflow-free for this design point.
+  bool uses_narrow_path() const { return narrow_ok_; }
 
   /// Simulate the transform. Input/output are doubles; the internal
   /// arithmetic is exact integer shift-add per the configuration.
@@ -77,11 +121,27 @@ class FxpFft {
   /// part of the modelled hardware, not just a test convenience.
   std::vector<cplx> inverse(const std::vector<cplx>& in, FxpFftStats* stats = nullptr) const;
 
+  /// Allocation-free variants: working storage comes from `arena` (the
+  /// calling thread's arena when null); `out` must have size() elements and
+  /// may not alias `in`. Steady state performs zero heap allocations.
+  void forward_into(std::span<const cplx> in, std::span<cplx> out, FxpFftStats* stats = nullptr,
+                    core::ScratchArena* arena = nullptr) const;
+  void inverse_into(std::span<const cplx> in, std::span<cplx> out, FxpFftStats* stats = nullptr,
+                    core::ScratchArena* arena = nullptr) const;
+
  private:
+  void build_narrow_plan();
+
   std::size_t m_;
   int log_m_;
   FxpFftConfig config_;
   std::vector<QuantizedTwiddle> twiddles_;  // W_M^j, j in [0, M/2)
+  // Narrow-path plan: per-twiddle digit runs flattened into one pool so a
+  // stage kernel touches contiguous memory instead of chasing CsdValue
+  // vectors (empty when narrow_ok_ is false).
+  std::vector<detail::NarrowDigit> digit_pool_;
+  std::vector<detail::NarrowTwiddle> narrow_tw_;
+  bool narrow_ok_ = false;
 };
 
 /// Approximate forward negacyclic transform of an integer polynomial:
@@ -98,6 +158,12 @@ class FxpNegacyclicTransform {
 
   /// Half-spectrum back to n real coefficients on the approximate datapath.
   std::vector<double> inverse(const std::vector<cplx>& spec, FxpFftStats* stats = nullptr) const;
+
+  /// Allocation-free variants; `out` sized n/2 (forward) / n (inverse).
+  void forward_into(std::span<const double> a, std::span<cplx> out, FxpFftStats* stats = nullptr,
+                    core::ScratchArena* arena = nullptr) const;
+  void inverse_into(std::span<const cplx> spec, std::span<double> out,
+                    FxpFftStats* stats = nullptr, core::ScratchArena* arena = nullptr) const;
 
  private:
   std::size_t n_;

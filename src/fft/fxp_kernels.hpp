@@ -1,0 +1,39 @@
+// Internal stage-kernel interface of the narrow (64-bit) fixed-point FFT
+// path, shared between the scalar driver (fxp_fft.cpp) and the AVX2 kernel
+// (fxp_avx2.cpp). Not installed with the public headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fft/fxp_fft.hpp"
+
+namespace flash::fft::detail {
+
+/// Everything one DIT stage needs. The stage transforms SoA mantissa arrays
+/// re/im (length m) in place: for each block of len = 2*half elements and
+/// each butterfly j in [0, half), twiddle tw[j*stride] multiplies the lower
+/// leg, the sum/difference is requantized by `shift` fraction bits and
+/// saturated to +/-lim.
+struct FxpStageParams {
+  const NarrowDigit* pool = nullptr;
+  const NarrowTwiddle* tw = nullptr;  // indexed by twiddle power j*stride
+  std::size_t m = 0;
+  std::size_t half = 0;     // butterflies per block = 2^(s-1)
+  std::size_t stride = 0;   // twiddle power stride = m >> s
+  std::size_t stage_idx = 0;  // pipeline cut index for stage_peak_mantissa
+  int shift = 0;            // requantize right-shift (negative = left)
+  std::int64_t lim = 0;     // saturation bound 2^(width-1)-1
+  bool round_nearest = true;
+};
+
+/// AVX2 stage kernel, compiled with -mavx2 in its own TU; callers must have
+/// checked simd::active_simd_level() and that the stage has at least four
+/// blocks (m / (2*half) >= 4). Vectorizes across four blocks sharing one
+/// twiddle, so every lane runs the same shift counts. Bit-identical to the
+/// scalar narrow path (same shifts, adds and clamps, in 64-bit lanes) and
+/// updates `stats` to the same totals (counts are order-independent).
+void fxp_stage_avx2(std::int64_t* re, std::int64_t* im, const FxpStageParams& p,
+                    FxpFftStats* stats);
+
+}  // namespace flash::fft::detail

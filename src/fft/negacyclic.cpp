@@ -1,8 +1,11 @@
 #include "fft/negacyclic.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+
+#include "core/scratch.hpp"
 
 namespace flash::fft {
 
@@ -55,6 +58,33 @@ std::vector<cplx> NegacyclicFft::forward(const std::vector<double>& a) const {
 std::vector<double> NegacyclicFft::inverse(std::vector<cplx> spec) const {
   plan_.inverse(spec);
   return unfold(spec);
+}
+
+void NegacyclicFft::forward_into(std::span<const double> a, std::span<cplx> out) const {
+  if (a.size() != n_) throw std::invalid_argument("NegacyclicFft::forward: size mismatch");
+  const std::size_t m = n_ / 2;
+  if (out.size() != m) throw std::invalid_argument("NegacyclicFft::forward: bad output size");
+  for (std::size_t s = 0; s < m; ++s) {
+    out[s] = cplx{a[s], a[s + m]} * twist_[s];
+  }
+  plan_.forward(out);
+}
+
+void NegacyclicFft::inverse_into(std::span<const cplx> spec, std::span<double> out,
+                                 core::ScratchArena* arena_p) const {
+  const std::size_t m = n_ / 2;
+  if (spec.size() != m) throw std::invalid_argument("NegacyclicFft::inverse: size mismatch");
+  if (out.size() != n_) throw std::invalid_argument("NegacyclicFft::inverse: bad output size");
+  core::ScratchArena& arena = core::scratch_or_thread(arena_p);
+  core::ScratchFrame frame(arena);
+  std::span<cplx> z = frame.alloc<cplx>(m);
+  std::copy(spec.begin(), spec.end(), z.begin());
+  plan_.inverse(z);
+  for (std::size_t s = 0; s < m; ++s) {
+    const cplx w = z[s] * untwist_[s];
+    out[s] = w.real();
+    out[s + m] = w.imag();
+  }
 }
 
 std::vector<i64> NegacyclicFft::multiply(const std::vector<i64>& a, const std::vector<i64>& b) const {

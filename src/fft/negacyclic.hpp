@@ -11,10 +11,15 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fft/complex_fft.hpp"
 #include "hemath/modular.hpp"
+
+namespace flash::core {
+class ScratchArena;
+}  // namespace flash::core
 
 namespace flash::fft {
 
@@ -42,6 +47,15 @@ class NegacyclicFft {
 
   /// Inverse: half-spectrum back to n real coefficients.
   std::vector<double> inverse(std::vector<cplx> spec) const;
+
+  /// Allocation-free forward: folds directly into `out` (size n/2) and
+  /// transforms in place. Needs no scratch at all.
+  void forward_into(std::span<const double> a, std::span<cplx> out) const;
+
+  /// Allocation-free inverse: working copy of `spec` comes from `arena`
+  /// (the calling thread's arena when null); `out` has size n.
+  void inverse_into(std::span<const cplx> spec, std::span<double> out,
+                    core::ScratchArena* arena = nullptr) const;
 
   /// Negacyclic product of two integer polynomials with exact rounding of the
   /// floating result. Coefficient magnitudes must stay within double's exact

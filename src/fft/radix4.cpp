@@ -3,6 +3,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "core/scratch.hpp"
 #include "hemath/bitrev.hpp"
 
 namespace flash::fft {
@@ -19,8 +20,11 @@ cplx rotate_i(cplx v, int r) {
   }
 }
 
-void fft_recursive(std::vector<cplx>& a, double root_angle, std::size_t total_m,
-                   Radix4Stats* stats) {
+/// Recursion scratch comes from the caller's arena: the de-interleaved
+/// sub-sequences live in a frame that dies when this level returns, so the
+/// whole transform touches the heap only while the arena warms up.
+void fft_recursive(std::span<cplx> a, double root_angle, std::size_t total_m, Radix4Stats* stats,
+                   core::ScratchArena& arena) {
   const std::size_t n = a.size();
   if (n == 1) return;
   if (n == 2) {
@@ -33,13 +37,14 @@ void fft_recursive(std::vector<cplx>& a, double root_angle, std::size_t total_m,
     }
     return;
   }
+  core::ScratchFrame frame(arena);
   if (n % 4 == 0) {
     const std::size_t quarter = n / 4;
-    std::vector<cplx> sub[4];
+    std::span<cplx> sub[4];
     for (int r = 0; r < 4; ++r) {
-      sub[r].resize(quarter);
+      sub[r] = frame.alloc<cplx>(quarter);
       for (std::size_t j = 0; j < quarter; ++j) sub[r][j] = a[4 * j + static_cast<std::size_t>(r)];
-      fft_recursive(sub[r], root_angle, total_m, stats);
+      fft_recursive(sub[r], root_angle, total_m, stats, arena);
     }
     for (std::size_t k = 0; k < quarter; ++k) {
       cplx t[4];
@@ -67,13 +72,14 @@ void fft_recursive(std::vector<cplx>& a, double root_angle, std::size_t total_m,
   }
   // n = 2 mod 4: one radix-2 split, radix-4 below.
   const std::size_t half = n / 2;
-  std::vector<cplx> even(half), odd(half);
+  std::span<cplx> even = frame.alloc<cplx>(half);
+  std::span<cplx> odd = frame.alloc<cplx>(half);
   for (std::size_t j = 0; j < half; ++j) {
     even[j] = a[2 * j];
     odd[j] = a[2 * j + 1];
   }
-  fft_recursive(even, root_angle, total_m, stats);
-  fft_recursive(odd, root_angle, total_m, stats);
+  fft_recursive(even, root_angle, total_m, stats, arena);
+  fft_recursive(odd, root_angle, total_m, stats, arena);
   for (std::size_t k = 0; k < half; ++k) {
     const std::size_t exp = k * (total_m / n);
     cplx t;
@@ -97,7 +103,7 @@ void radix4_forward(std::vector<cplx>& a, Radix4Stats* stats) {
   const std::size_t m = a.size();
   if (m == 0 || (m & (m - 1)) != 0) throw std::invalid_argument("radix4_forward: size must be a power of two");
   const double root_angle = 2.0 * std::numbers::pi / static_cast<double>(m);
-  fft_recursive(a, root_angle, m, stats);
+  fft_recursive(std::span<cplx>(a), root_angle, m, stats, core::thread_scratch());
 }
 
 Radix4Stats radix4_dense_cost(std::size_t m) {

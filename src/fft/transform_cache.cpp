@@ -1,9 +1,11 @@
 #include "fft/transform_cache.hpp"
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "core/thread_annotations.hpp"
 
@@ -11,14 +13,88 @@ namespace flash::fft {
 
 namespace {
 
+std::atomic<void (*)(const char*)> g_make_hook{nullptr};
+
+void run_make_hook(const char* kind) {
+  if (auto* hook = g_make_hook.load(std::memory_order_acquire)) hook(kind);
+}
+
+/// One cache shard: the mutex guards only the key → entry map (find/insert,
+/// O(log entries) on tiny maps). The table itself is built through the
+/// entry's once_flag *after* the lock is dropped, so a slow construction
+/// convoys nobody but same-key waiters — the PR-1 lock-convoy fix.
+template <typename Key, typename Value>
+class Shard {
+ public:
+  template <typename Make>
+  std::shared_ptr<const Value> get_or_make(const Key& key, const char* kind, const Make& make) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto [it, inserted] = map_.try_emplace(key);
+      if (inserted) it->second = std::make_shared<Entry>();
+      entry = it->second;
+      if (entry->ready.load(std::memory_order_acquire)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return entry->value;
+      }
+    }
+    // Outside the shard lock: first toucher constructs; same-key racers wait
+    // inside call_once; a throwing make() leaves the flag unset so a later
+    // lookup retries construction instead of caching the failure.
+    bool constructed = false;
+    std::call_once(entry->once, [&] {
+      run_make_hook(kind);
+      entry->value = make();
+      entry->ready.store(true, std::memory_order_release);
+      constructed = true;
+    });
+    if (constructed) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return entry->value;
+  }
+
+  std::size_t ready_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& [key, entry] : map_) {
+      if (entry->ready.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();  // in-flight constructions keep their Entry alive via shared_ptr
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::atomic<bool> ready{false};
+    // Written exactly once inside call_once, read only after `ready` is
+    // observed true (or after the call_once fence) — no lock needed.
+    std::shared_ptr<const Value> value;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<Entry>> map_ FLASH_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
 struct Caches {
-  std::mutex mu;
-  std::map<std::pair<hemath::u64, std::size_t>, std::shared_ptr<const hemath::NttTables>> ntt
-      FLASH_GUARDED_BY(mu);
-  std::map<std::size_t, std::shared_ptr<const NegacyclicFft>> fft FLASH_GUARDED_BY(mu);
-  std::map<std::string, std::shared_ptr<const FxpNegacyclicTransform>> fxp FLASH_GUARDED_BY(mu);
-  std::uint64_t hits FLASH_GUARDED_BY(mu) = 0;
-  std::uint64_t misses FLASH_GUARDED_BY(mu) = 0;
+  Shard<std::pair<hemath::u64, std::size_t>, hemath::NttTables> ntt;
+  Shard<std::size_t, NegacyclicFft> fft;
+  Shard<std::string, FxpNegacyclicTransform> fxp;
 };
 
 Caches& caches() {
@@ -38,57 +114,45 @@ std::string fxp_key(std::size_t n, const FxpFftConfig& cfg) {
 
 }  // namespace
 
-/// find-or-construct; the caller holds the cache lock (so the guarded maps
-/// may be passed by reference). Construction failures (invalid parameters)
-/// propagate without leaving an empty entry behind.
-template <typename Map, typename Key, typename Make>
-auto lookup(Caches& c, Map& map, const Key& key, const Make& make) FLASH_REQUIRES(c.mu) {
-  auto it = map.find(key);
-  if (it != map.end()) {
-    ++c.hits;
-    return it->second;
-  }
-  auto made = make();
-  ++c.misses;
-  map.emplace(key, made);
-  return made;
-}
-
 std::shared_ptr<const hemath::NttTables> shared_ntt_tables(hemath::u64 q, std::size_t n) {
-  Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
-  return lookup(c, c.ntt, std::make_pair(q, n),
-                [&] { return std::make_shared<const hemath::NttTables>(q, n); });
+  return caches().ntt.get_or_make(std::make_pair(q, n), "ntt",
+                                  [&] { return std::make_shared<const hemath::NttTables>(q, n); });
 }
 
 std::shared_ptr<const NegacyclicFft> shared_negacyclic_fft(std::size_t n) {
-  Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
-  return lookup(c, c.fft, n, [&] { return std::make_shared<const NegacyclicFft>(n); });
+  return caches().fft.get_or_make(n, "fft",
+                                  [&] { return std::make_shared<const NegacyclicFft>(n); });
 }
 
 std::shared_ptr<const FxpNegacyclicTransform> shared_fxp_transform(std::size_t n,
                                                                   const FxpFftConfig& config) {
-  Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
-  return lookup(c, c.fxp, fxp_key(n, config),
-                [&] { return std::make_shared<const FxpNegacyclicTransform>(n, config); });
+  return caches().fxp.get_or_make(fxp_key(n, config), "fxp", [&] {
+    return std::make_shared<const FxpNegacyclicTransform>(n, config);
+  });
 }
 
 TransformCacheStats transform_cache_stats() {
   Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
-  return {c.ntt.size(), c.fft.size(), c.fxp.size(), c.hits, c.misses};
+  TransformCacheStats s;
+  s.ntt_entries = c.ntt.ready_entries();
+  s.fft_entries = c.fft.ready_entries();
+  s.fxp_entries = c.fxp.ready_entries();
+  s.hits = c.ntt.hits() + c.fft.hits() + c.fxp.hits();
+  s.misses = c.ntt.misses() + c.fft.misses() + c.fxp.misses();
+  return s;
 }
 
 void clear_transform_caches() {
   Caches& c = caches();
-  std::lock_guard<std::mutex> lock(c.mu);
   c.ntt.clear();
   c.fft.clear();
   c.fxp.clear();
-  c.hits = 0;
-  c.misses = 0;
 }
+
+namespace testing_hooks {
+void set_transform_cache_make_hook(void (*hook)(const char* kind)) {
+  g_make_hook.store(hook, std::memory_order_release);
+}
+}  // namespace testing_hooks
 
 }  // namespace flash::fft

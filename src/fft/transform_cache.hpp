@@ -4,9 +4,17 @@
 // instances are pure functions of their parameters, immutable after
 // construction, and O(N) to build — yet the seed code rebuilt them for
 // every BfvContext / PolyMulEngine instance. These caches construct each
-// distinct table once and hand out shared_ptrs; concurrent lookups are
-// mutex-guarded, concurrent *use* of a cached table needs no locking
-// (every transform method is const over immutable state).
+// distinct table once and hand out shared_ptrs; concurrent *use* of a
+// cached table needs no locking (every transform method is const over
+// immutable state).
+//
+// Locking design (ARCHITECTURE.md §8): one shard per table kind, each with
+// its own mutex that guards only the key → entry map. Construction runs
+// *outside* the shard lock through a per-entry std::once_flag, so a hit —
+// on any key, in any shard — never blocks behind a concurrent miss's O(N)
+// table build, and concurrent first-touches of the same key construct the
+// table exactly once (losers of the call_once race wait for that entry
+// only).
 //
 // Keys: (q, N) for NTT tables, N for the FP negacyclic plan, and
 // (N, full FxpFftConfig) for the approximate transform — two engines with
@@ -40,5 +48,14 @@ TransformCacheStats transform_cache_stats();
 /// Drop every cached table (entries still referenced by live contexts stay
 /// alive through their shared_ptrs). Intended for tests.
 void clear_transform_caches();
+
+namespace testing_hooks {
+/// Test-only: invoked at the start of every cache-miss construction, outside
+/// any shard lock, with the shard kind ("ntt" / "fft" / "fxp"). Lets the
+/// convoy regression test stall a miss and prove hits still complete, and
+/// count constructions. Install/remove only while no other thread touches
+/// the caches. Pass nullptr to remove.
+void set_transform_cache_make_hook(void (*hook)(const char* kind));
+}  // namespace testing_hooks
 
 }  // namespace flash::fft

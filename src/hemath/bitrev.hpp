@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace flash::hemath {
@@ -25,7 +26,7 @@ std::vector<std::uint32_t> bit_reverse_table(std::size_t n);
 
 /// In-place bit-reversal permutation of a sequence.
 template <typename T>
-void bit_reverse_permute(std::vector<T>& a) {
+void bit_reverse_permute(std::span<T> a) {
   const std::size_t n = a.size();
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
@@ -33,6 +34,11 @@ void bit_reverse_permute(std::vector<T>& a) {
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
   }
+}
+
+template <typename T>
+void bit_reverse_permute(std::vector<T>& a) {
+  bit_reverse_permute(std::span<T>(a));
 }
 
 }  // namespace flash::hemath

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "hemath/bitrev.hpp"
+#include "hemath/pointwise.hpp"
 #include "hemath/primes.hpp"
 
 namespace flash::hemath {
@@ -32,7 +33,7 @@ NttTables::NttTables(u64 q, std::size_t n) : q_(q), n_(n) {
   }
 }
 
-void NttTables::forward(std::vector<u64>& a) const {
+void NttTables::forward(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("NttTables::forward: size mismatch");
   std::size_t t = n_;
   for (std::size_t m = 1; m < n_; m <<= 1) {
@@ -50,7 +51,7 @@ void NttTables::forward(std::vector<u64>& a) const {
   }
 }
 
-void NttTables::inverse(std::vector<u64>& a) const {
+void NttTables::inverse(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("NttTables::inverse: size mismatch");
   std::size_t t = 1;
   for (std::size_t m = n_; m > 1; m >>= 1) {
@@ -71,11 +72,12 @@ void NttTables::inverse(std::vector<u64>& a) const {
   for (auto& x : a) x = mul_mod(x, n_inv_, q_);
 }
 
-void NttTables::pointwise(const std::vector<u64>& a, const std::vector<u64>& b,
-                          std::vector<u64>& c) const {
-  if (a.size() != n_ || b.size() != n_) throw std::invalid_argument("NttTables::pointwise: size mismatch");
-  c.resize(n_);
-  for (std::size_t i = 0; i < n_; ++i) c[i] = mul_mod(a[i], b[i], q_);
+void NttTables::pointwise(std::span<const u64> a, std::span<const u64> b,
+                          std::span<u64> c) const {
+  if (a.size() != n_ || b.size() != n_ || c.size() != n_) {
+    throw std::invalid_argument("NttTables::pointwise: size mismatch");
+  }
+  pointwise_mulmod(a.data(), b.data(), c.data(), n_, q_);
 }
 
 std::vector<u64> negacyclic_multiply(const NttTables& tables, const std::vector<u64>& a,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hemath/modular.hpp"
@@ -28,14 +29,21 @@ class NttTables {
 
   /// In-place forward negacyclic NTT. Input in standard order, output in
   /// bit-reversed order (matching the paper's Fig. 3 DIT dataflow).
-  void forward(std::vector<u64>& a) const;
+  void forward(std::span<u64> a) const;
+  void forward(std::vector<u64>& a) const { forward(std::span<u64>(a)); }
 
   /// In-place inverse: accepts bit-reversed order, returns standard order.
-  void inverse(std::vector<u64>& a) const;
+  void inverse(std::span<u64> a) const;
+  void inverse(std::vector<u64>& a) const { inverse(std::span<u64>(a)); }
 
-  /// Pointwise product c[i] = a[i]*b[i] mod q.
+  /// Pointwise product c[i] = a[i]*b[i] mod q (vectorized, hemath/pointwise).
+  /// The span form writes into caller-sized storage and never allocates.
+  void pointwise(std::span<const u64> a, std::span<const u64> b, std::span<u64> c) const;
   void pointwise(const std::vector<u64>& a, const std::vector<u64>& b,
-                 std::vector<u64>& c) const;
+                 std::vector<u64>& c) const {
+    c.resize(n_);
+    pointwise(std::span<const u64>(a), std::span<const u64>(b), std::span<u64>(c));
+  }
 
  private:
   u64 q_;

@@ -1,0 +1,35 @@
+#include "hemath/pointwise.hpp"
+
+#include "hemath/simd.hpp"
+
+namespace flash::hemath {
+
+namespace {
+
+bool use_avx2(std::size_t n, u64 q) {
+  // Barrett constants assume q < 2^62 and q not a power of two (the
+  // quotient-estimate constant would need 65 bits); tiny arrays are not
+  // worth the setup.
+  return simd::active_simd_level() == simd::SimdLevel::kAvx2 && n >= 8 && q < (u64{1} << 62) &&
+         (q & (q - 1)) != 0;
+}
+
+}  // namespace
+
+void pointwise_mulmod(const u64* a, const u64* b, u64* c, std::size_t n, u64 q) {
+  if (use_avx2(n, q)) {
+    detail::pointwise_mulmod_avx2(a, b, c, n, q);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) c[i] = mul_mod(a[i], b[i], q);
+}
+
+void pointwise_mulmod_accumulate(u64* acc, const u64* a, const u64* b, std::size_t n, u64 q) {
+  if (use_avx2(n, q)) {
+    detail::pointwise_mulmod_accumulate_avx2(acc, a, b, n, q);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) acc[i] = add_mod(acc[i], mul_mod(a[i], b[i], q), q);
+}
+
+}  // namespace flash::hemath

@@ -1,0 +1,147 @@
+// AVX2 Barrett pointwise mulmod. Compiled with -mavx2 (see CMakeLists);
+// never called unless the CPU reports AVX2 (hemath/simd.hpp dispatch).
+//
+// Exactness: with s = bitlen(q) (q not a power of two, q < 2^62) and
+// v = floor(2^(64+s-1) / q) < 2^64, the estimate
+//   quot = floor(t * v / 2^64),  t = floor(x / 2^(s-1)),
+// never overshoots floor(x/q) and undershoots it by at most 2 for x < q^2,
+// so r = x - quot*q lies in [0, 3q) and two conditional subtracts land the
+// canonical residue — the same value the scalar (u128 remainder) path
+// produces, hence bit-identical results. One vector mulhi per reduction
+// instead of a full 128x128 product keeps this ahead of the scalar divq.
+// All limb arithmetic below is exact 64x64->128 schoolbook.
+#include "hemath/pointwise.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace flash::hemath::detail {
+
+namespace {
+
+struct U64x4 {
+  __m256i v;
+};
+
+inline __m256i xor_sign(__m256i a) { return _mm256_xor_si256(a, _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL))); }
+
+/// Unsigned a < b per 64-bit lane (all-ones mask when true).
+inline __m256i ltu64(__m256i a, __m256i b) { return _mm256_cmpgt_epi64(xor_sign(b), xor_sign(a)); }
+
+/// Low 64 bits of a*b per lane.
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);
+  const __m256i mid = _mm256_add_epi64(lh, hl);
+  return _mm256_add_epi64(ll, _mm256_slli_epi64(mid, 32));
+}
+
+/// Full 128-bit product per lane: returns lo, writes hi.
+inline __m256i mul64wide(__m256i a, __m256i b, __m256i* hi_out) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+  const __m256i t1 = _mm256_add_epi64(ll, _mm256_slli_epi64(lh, 32));
+  const __m256i c1 = ltu64(t1, ll);  // all-ones == carry
+  const __m256i t2 = _mm256_add_epi64(t1, _mm256_slli_epi64(hl, 32));
+  const __m256i c2 = ltu64(t2, t1);
+  __m256i hi = _mm256_add_epi64(hh, _mm256_add_epi64(_mm256_srli_epi64(lh, 32), _mm256_srli_epi64(hl, 32)));
+  // Subtracting an all-ones mask adds one.
+  hi = _mm256_sub_epi64(hi, c1);
+  hi = _mm256_sub_epi64(hi, c2);
+  *hi_out = hi;
+  return t2;
+}
+
+/// High 64 bits of a*b per lane.
+inline __m256i mulhi64(__m256i a, __m256i b) {
+  __m256i hi;
+  (void)mul64wide(a, b, &hi);
+  return hi;
+}
+
+struct Barrett {
+  __m256i q;
+  __m256i v;         // floor(2^(64+s-1) / q), s = bitlen(q)
+  __m128i shift_lo;  // s - 1
+  __m128i shift_hi;  // 64 - (s - 1)
+};
+
+inline Barrett make_barrett(u64 q) {
+  int s = 0;
+  for (u64 t = q; t != 0; t >>= 1) ++s;
+  Barrett b;
+  b.q = _mm256_set1_epi64x(static_cast<long long>(q));
+  b.v = _mm256_set1_epi64x(static_cast<long long>(static_cast<u64>((u128{1} << (64 + s - 1)) / q)));
+  b.shift_lo = _mm_cvtsi32_si128(s - 1);
+  b.shift_hi = _mm_cvtsi32_si128(64 - (s - 1));
+  return b;
+}
+
+/// (a*b) mod q per lane; a, b < q < 2^62, q not a power of two.
+inline __m256i mulmod4(__m256i a, __m256i b, const Barrett& bar) {
+  __m256i xh;
+  const __m256i xl = mul64wide(a, b, &xh);
+  // t = x >> (s-1) fits a lane: x < q^2 < 2^(2s) so t < 2^(s+1) <= 2^63.
+  const __m256i t = _mm256_or_si256(_mm256_srl_epi64(xl, bar.shift_lo),
+                                    _mm256_sll_epi64(xh, bar.shift_hi));
+  // quot <= floor(x/q) <= quot + 2, so r = x - quot*q in [0, 3q) and 3q < 2^64.
+  const __m256i quot = mulhi64(t, bar.v);
+  __m256i r = _mm256_sub_epi64(xl, mullo64(quot, bar.q));
+  r = _mm256_sub_epi64(r, _mm256_andnot_si256(ltu64(r, bar.q), bar.q));
+  r = _mm256_sub_epi64(r, _mm256_andnot_si256(ltu64(r, bar.q), bar.q));
+  return r;
+}
+
+/// (a + b) mod q per lane; a, b < q < 2^63.
+inline __m256i addmod4(__m256i a, __m256i b, __m256i q) {
+  const __m256i s = _mm256_add_epi64(a, b);
+  return _mm256_sub_epi64(s, _mm256_andnot_si256(ltu64(s, q), q));
+}
+
+}  // namespace
+
+void pointwise_mulmod_avx2(const u64* a, const u64* b, u64* c, std::size_t n, u64 q) {
+  const Barrett bar = make_barrett(q);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i), mulmod4(va, vb, bar));
+  }
+  for (; i < n; ++i) c[i] = mul_mod(a[i], b[i], q);
+}
+
+void pointwise_mulmod_accumulate_avx2(u64* acc, const u64* a, const u64* b, std::size_t n, u64 q) {
+  const Barrett bar = make_barrett(q);
+  const __m256i vq = _mm256_set1_epi64x(static_cast<long long>(q));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vacc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i prod = mulmod4(va, vb, bar);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), addmod4(vacc, prod, vq));
+  }
+  for (; i < n; ++i) acc[i] = add_mod(acc[i], mul_mod(a[i], b[i], q), q);
+}
+
+}  // namespace flash::hemath::detail
+
+#else  // !__AVX2__ — non-x86 build: unreachable stubs (dispatch never selects AVX2).
+
+#include <cstdlib>
+
+namespace flash::hemath::detail {
+void pointwise_mulmod_avx2(const u64*, const u64*, u64*, std::size_t, u64) { std::abort(); }
+void pointwise_mulmod_accumulate_avx2(u64*, const u64*, const u64*, std::size_t, u64) { std::abort(); }
+}  // namespace flash::hemath::detail
+
+#endif

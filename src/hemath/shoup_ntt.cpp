@@ -44,7 +44,7 @@ ShoupNttTables::ShoupNttTables(u64 q, std::size_t n) : q_(q), two_q_(2 * q), n_(
   }
 }
 
-void ShoupNttTables::forward(std::vector<u64>& a) const {
+void ShoupNttTables::forward(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("ShoupNttTables::forward: size mismatch");
   // Invariant: coefficients stay < 2q (Harvey lazy reduction).
   std::size_t t = n_;
@@ -69,7 +69,7 @@ void ShoupNttTables::forward(std::vector<u64>& a) const {
   }
 }
 
-void ShoupNttTables::inverse(std::vector<u64>& a) const {
+void ShoupNttTables::inverse(std::span<u64> a) const {
   if (a.size() != n_) throw std::invalid_argument("ShoupNttTables::inverse: size mismatch");
   std::size_t t = 1;
   for (std::size_t m = n_; m > 1; m >>= 1) {

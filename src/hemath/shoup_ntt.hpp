@@ -10,6 +10,7 @@
 // baselines, and the microbench quantifies the gap against the reference.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "hemath/modular.hpp"
@@ -26,8 +27,10 @@ class ShoupNttTables {
 
   /// In-place forward/inverse negacyclic NTT, same semantics as NttTables
   /// (fully reduced outputs; lazy arithmetic is internal).
-  void forward(std::vector<u64>& a) const;
-  void inverse(std::vector<u64>& a) const;
+  void forward(std::span<u64> a) const;
+  void forward(std::vector<u64>& a) const { forward(std::span<u64>(a)); }
+  void inverse(std::span<u64> a) const;
+  void inverse(std::vector<u64>& a) const { inverse(std::span<u64>(a)); }
 
  private:
   /// x * w mod q with precomputed w_shoup, result in [0, 2q).

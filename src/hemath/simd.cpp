@@ -1,0 +1,56 @@
+#include "hemath/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace flash::hemath::simd {
+
+namespace {
+
+bool detect_avx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel detect_level() {
+  const char* force = std::getenv("FLASH_FORCE_SCALAR");
+  if (force != nullptr && std::strcmp(force, "0") != 0 && force[0] != '\0') {
+    return SimdLevel::kScalar;
+  }
+  return detect_avx2() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+}
+
+std::atomic<SimdLevel>& level_slot() {
+  static std::atomic<SimdLevel> level{detect_level()};
+  return level;
+}
+
+}  // namespace
+
+bool cpu_has_avx2() {
+  static const bool has = detect_avx2();
+  return has;
+}
+
+SimdLevel active_simd_level() { return level_slot().load(std::memory_order_relaxed); }
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+ScopedSimdLevel::ScopedSimdLevel(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !cpu_has_avx2()) level = SimdLevel::kScalar;
+  prev_ = level_slot().exchange(level, std::memory_order_relaxed);
+}
+
+ScopedSimdLevel::~ScopedSimdLevel() { level_slot().store(prev_, std::memory_order_relaxed); }
+
+}  // namespace flash::hemath::simd

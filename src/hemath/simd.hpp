@@ -1,0 +1,51 @@
+// Runtime SIMD dispatch for the transform kernels.
+//
+// The vector kernels (AVX2 today) are bit-identical to their scalar
+// fallbacks — integer lanes compute the same shifts/adds, floating lanes the
+// same IEEE mul/add sequence with contraction disabled — so selecting a
+// level is purely a performance decision. The level is detected once at
+// first use:
+//   * FLASH_FORCE_SCALAR=1 in the environment pins the scalar fallback
+//     (baseline measurements, debugging);
+//   * otherwise AVX2 is used when the CPU reports it;
+//   * ScopedSimdLevel overrides the level for the current process, used by
+//     the differential tests and benches to compare both paths in one run.
+//
+// Dispatch sites read active_simd_level() per call (a relaxed atomic load);
+// kernels themselves live in *_avx2.cpp translation units compiled with
+// -mavx2 so the rest of the tree keeps the portable baseline ISA.
+#pragma once
+
+namespace flash::hemath::simd {
+
+enum class SimdLevel {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// True if the CPU this process runs on supports AVX2 (ignores the env
+/// override).
+bool cpu_has_avx2();
+
+/// The level dispatch sites use. Detected once (env override included);
+/// changed only by ScopedSimdLevel.
+SimdLevel active_simd_level();
+
+const char* simd_level_name(SimdLevel level);
+
+/// Scoped override for tests/benches. Requesting kAvx2 on a CPU without
+/// AVX2 keeps kScalar. Restores the previous level on destruction. Not
+/// thread-safe against concurrent transform calls by design: use only in
+/// single-threaded test/bench setup.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level);
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+  ~ScopedSimdLevel();
+
+ private:
+  SimdLevel prev_;
+};
+
+}  // namespace flash::hemath::simd

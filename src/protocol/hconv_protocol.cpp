@@ -115,7 +115,12 @@ HConvResult HConvProtocol::run_stream(const tensor::Tensor3& x, const tensor::Te
   result.profile.share_encode_s += seconds_since(t0);
 
   // --- Server: weight transforms (the FLASH-accelerated hot loop),
-  // embarrassingly parallel over (output channel, tile) pairs.
+  // embarrassingly parallel over (output channel, tile) pairs. Workers rely
+  // on two per-thread/per-process guarantees from the transform layer: the
+  // first touch of a transform config builds its tables outside the cache
+  // shard lock (concurrent first-touches here used to convoy the pool), and
+  // each worker's transform scratch comes from its own thread-local arena,
+  // so the steady-state tile loop does not allocate.
   t0 = std::chrono::steady_clock::now();
   std::vector<std::vector<bfv::PlainSpectrum>> wspec(out_channels,
                                                      std::vector<bfv::PlainSpectrum>(tiles));

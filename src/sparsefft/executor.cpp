@@ -1,5 +1,6 @@
 #include "sparsefft/executor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -16,11 +17,12 @@ cplx grid_round(cplx v, int frac_bits) {
 }
 
 template <typename TwiddleFn, typename RoundFn>
-std::vector<cplx> run(const SparseFftPlan& plan, const std::vector<cplx>& input,
-                      TwiddleFn&& twiddle_of, RoundFn&& round_stage) {
+void run_into(const SparseFftPlan& plan, std::span<const cplx> input, std::span<cplx> a,
+              TwiddleFn&& twiddle_of, RoundFn&& round_stage) {
   const std::size_t m = plan.size();
   if (input.size() != m) throw std::invalid_argument("sparsefft::execute: size mismatch");
-  std::vector<cplx> a = input;
+  if (a.size() != m) throw std::invalid_argument("sparsefft::execute: bad output size");
+  std::copy(input.begin(), input.end(), a.begin());
   hemath::bit_reverse_permute(a);
   for (int s = 0; s < plan.stages(); ++s) {
     for (const ButterflyOp& op : plan.stage(s)) {
@@ -45,17 +47,22 @@ std::vector<cplx> run(const SparseFftPlan& plan, const std::vector<cplx>& input,
       }
     }
   }
-  return a;
 }
 
 }  // namespace
 
-std::vector<cplx> execute(const SparseFftPlan& plan, const std::vector<cplx>& input) {
+void execute_into(const SparseFftPlan& plan, std::span<const cplx> input, std::span<cplx> out) {
   const std::size_t m = plan.size();
   const double base = 2.0 * std::numbers::pi / static_cast<double>(m);
   auto twiddle_of = [base](std::uint32_t t) { return std::polar(1.0, base * static_cast<double>(t)); };
   auto no_round = [](cplx v, int) { return v; };
-  return run(plan, input, twiddle_of, no_round);
+  run_into(plan, input, out, twiddle_of, no_round);
+}
+
+std::vector<cplx> execute(const SparseFftPlan& plan, const std::vector<cplx>& input) {
+  std::vector<cplx> out(plan.size());
+  execute_into(plan, input, out);
+  return out;
 }
 
 namespace {
@@ -165,7 +172,9 @@ std::vector<cplx> execute_quantized(const SparseFftPlan& plan, const std::vector
   auto round_stage = [&quant](cplx v, int s) {
     return grid_round(v, quant.stage_frac_bits[static_cast<std::size_t>(s)]);
   };
-  return run(plan, input, twiddle_of, round_stage);
+  std::vector<cplx> out(m);
+  run_into(plan, input, out, twiddle_of, round_stage);
+  return out;
 }
 
 }  // namespace flash::sparsefft

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fft/complex_fft.hpp"
@@ -23,6 +24,10 @@ using fft::cplx;
 /// pattern are read; others are treated as zero), standard-order output.
 /// Equivalent to FftPlan(m, +1).forward on the dense vector.
 std::vector<cplx> execute(const SparseFftPlan& plan, const std::vector<cplx>& input);
+
+/// Allocation-free exact execution: copies `input` into `out` (both size M,
+/// non-aliasing) and runs the scheduled ops in place. No scratch needed.
+void execute_into(const SparseFftPlan& plan, std::span<const cplx> input, std::span<cplx> out);
 
 /// Quantized execution: twiddles replaced by their CSD approximations and
 /// every produced value rounded to 2^-frac_bits grid per stage, modelling the

@@ -1,0 +1,185 @@
+// Steady-state allocation tests: after warmup, the _into transform APIs must
+// perform ZERO heap allocations (the scratch arena absorbs all working
+// storage). Global operator new/delete are replaced with counting versions;
+// each test runs one warmup call, snapshots the counter, runs the hot call
+// again, and asserts the delta is exactly zero.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "core/flash_accelerator.hpp"
+#include "core/scratch.hpp"
+#include "fft/complex_fft.hpp"
+#include "fft/fxp_fft.hpp"
+#include "fft/negacyclic.hpp"
+#include "fft/radix4.hpp"
+#include "hemath/ntt.hpp"
+#include "hemath/pointwise.hpp"
+#include "hemath/primes.hpp"
+#include "hemath/sampler.hpp"
+#include "hemath/shoup_ntt.hpp"
+#include "sparsefft/executor.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// Counting global allocator. Deletes are intentionally not counted: freeing
+// is allowed in steady state only if nothing was allocated, and the assert
+// is on the allocation count alone.
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace flash {
+namespace {
+
+using fft::cplx;
+using hemath::u64;
+
+std::uint64_t allocs() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+TEST(AllocFree, FxpNegacyclicForwardAndInverseInto) {
+  const std::size_t n = 1024;
+  fft::FxpNegacyclicTransform fxp(n, core::default_approx_config(n, 1u << 10));
+  std::vector<double> a(n, 0.0);
+  for (std::size_t i = 0; i < n; i += 5) a[i] = static_cast<double>(i % 11) - 5.0;
+  std::vector<cplx> spec(n / 2);
+  std::vector<double> back(n);
+  core::ScratchArena& arena = core::thread_scratch();
+  fft::FxpFftStats stats;
+  fxp.forward_into(a, spec, &stats, &arena);  // warmup: arena grows, stats vector sizes
+  fxp.inverse_into(spec, back, &stats, &arena);
+
+  const std::uint64_t before = allocs();
+  fxp.forward_into(a, spec, &stats, &arena);
+  fxp.inverse_into(spec, back, &stats, &arena);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, NegacyclicFftForwardAndInverseInto) {
+  const std::size_t n = 2048;
+  fft::NegacyclicFft nfft(n);
+  std::vector<double> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = static_cast<double>((i * 7) % 255) - 127.0;
+  std::vector<cplx> spec(n / 2);
+  std::vector<double> back(n);
+  core::ScratchArena& arena = core::thread_scratch();
+  nfft.forward_into(a, spec);
+  nfft.inverse_into(spec, back, &arena);
+
+  const std::uint64_t before = allocs();
+  nfft.forward_into(a, spec);
+  nfft.inverse_into(spec, back, &arena);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, FftPlanSpanForwardInverse) {
+  const std::size_t m = 1024;
+  fft::FftPlan plan(m, +1);
+  std::vector<cplx> a(m, cplx{1.0, -1.0});
+  const std::uint64_t before = allocs();
+  plan.forward(std::span<cplx>(a));
+  plan.inverse(std::span<cplx>(a));
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, NttSpanForwardInversePointwise) {
+  const std::size_t n = 2048;
+  const u64 q = hemath::find_ntt_prime(49, n);
+  hemath::NttTables tables(q, n);
+  hemath::Sampler sampler(9);
+  std::vector<u64> a = sampler.uniform_poly(q, n).coeffs();
+  std::vector<u64> b = sampler.uniform_poly(q, n).coeffs();
+  std::vector<u64> c(n);
+  const std::uint64_t before = allocs();
+  tables.forward(std::span<u64>(a));
+  tables.forward(std::span<u64>(b));
+  tables.pointwise(std::span<const u64>(a), std::span<const u64>(b), std::span<u64>(c));
+  tables.inverse(std::span<u64>(c));
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, ShoupNttSpanForwardInverse) {
+  const std::size_t n = 2048;
+  const u64 q = hemath::find_ntt_prime(49, n);
+  hemath::ShoupNttTables tables(q, n);
+  hemath::Sampler sampler(10);
+  std::vector<u64> a = sampler.uniform_poly(q, n).coeffs();
+  const std::uint64_t before = allocs();
+  tables.forward(std::span<u64>(a));
+  tables.inverse(std::span<u64>(a));
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, PointwiseMulmodRaw) {
+  const std::size_t n = 4096;
+  const u64 q = hemath::find_ntt_prime(49, n);
+  std::vector<u64> a(n, q - 1), b(n, q - 2), c(n);
+  const std::uint64_t before = allocs();
+  hemath::pointwise_mulmod(a.data(), b.data(), c.data(), n, q);
+  hemath::pointwise_mulmod_accumulate(c.data(), a.data(), b.data(), n, q);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, SparseExecuteInto) {
+  const std::size_t m = 1024;
+  std::vector<std::size_t> pos;
+  for (std::size_t i = 0; i < 72; ++i) pos.push_back((i * 37) % m);
+  sparsefft::SparsityPattern pattern(m, std::move(pos));
+  sparsefft::SparseFftPlan plan(m, pattern);
+  std::vector<cplx> input(m, cplx{0.0, 0.0});
+  for (std::size_t p : pattern.nonzeros()) input[p] = {2.0, 0.0};
+  std::vector<cplx> out(m);
+  const std::uint64_t before = allocs();
+  sparsefft::execute_into(plan, input, out);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, Radix4ForwardAfterWarmup) {
+  const std::size_t m = 1024;
+  std::vector<cplx> a(m, cplx{1.5, -0.5});
+  std::vector<cplx> work = a;
+  fft::radix4_forward(work, nullptr);  // warmup: grows the thread arena
+  work = a;
+  const std::uint64_t before = allocs();
+  fft::radix4_forward(work, nullptr);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+}  // namespace
+}  // namespace flash

@@ -224,5 +224,100 @@ TEST(FxpNegacyclic, FullPipelineRoundTrip) {
   }
 }
 
+// Regression (PR-4 shift UB fix): left-shifting a negative mantissa was UB
+// before the unsigned-cast shift_left helpers. All-negative inputs drive
+// negative mantissas through every CSD digit with a non-negative exponent;
+// under -fsanitize=shift the old code aborts here.
+TEST(FxpFft, NegativeInputsExerciseNegativeMantissaShifts) {
+  const std::size_t m = 128;
+  FxpFftConfig cfg = FxpFftConfig::uniform(m, 16, 48, 8);
+  cfg.twiddle_min_exp = -20;
+  FxpFft fxp(m, cfg);
+  std::vector<cplx> a(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    a[i] = {-static_cast<double>((i % 7) + 1), -static_cast<double>((i % 5) + 1)};
+  }
+  FftPlan exact(m, +1);
+  auto ref = a;
+  exact.forward(ref);
+  FxpFftStats stats;
+  const auto out = fxp.forward(a, &stats);
+  EXPECT_LT(relative_spectrum_rmse(out, ref), 1e-3);
+  EXPECT_GT(stats.shift_add_terms, 0u);
+}
+
+// Regression (PR-4): stage_frac_bits increasing across stages makes the
+// requantize shift negative (values must be scaled UP), which the old code
+// expressed as a raw `<<` on possibly-negative accumulators.
+TEST(FxpFft, IncreasingStageFracBitsHitsNegativeRequantizeShift) {
+  const std::size_t m = 32;
+  FxpFftConfig cfg;
+  cfg.input_frac_bits = 8;
+  cfg.stage_frac_bits = {10, 12, 14, 16, 18};  // each stage gains fraction bits
+  cfg.data_width = 52;
+  cfg.twiddle_k = 8;
+  cfg.twiddle_min_exp = -20;
+  FxpFft fxp(m, cfg);
+  std::mt19937_64 rng(48);
+  const auto a = random_small(m, rng);
+  FftPlan exact(m, +1);
+  auto ref = a;
+  exact.forward(ref);
+  FxpFftStats stats;
+  EXPECT_LT(relative_spectrum_rmse(fxp.forward(a, &stats), ref), 1e-2);
+  EXPECT_EQ(stats.saturations, 0u);
+}
+
+TEST(FxpFft, StatsMergeSumsCountersAndMaxesPeaks) {
+  const std::size_t m = 64;
+  FxpFft fxp(m, FxpFftConfig::uniform(m, 12, 40, 6));
+  std::mt19937_64 rng(49);
+  const auto small = random_small(m, rng);
+  std::vector<cplx> big(m);
+  for (std::size_t i = 0; i < m; ++i) big[i] = small[i] * 4.0;
+
+  FxpFftStats a, b;
+  fxp.forward(small, &a);
+  fxp.forward(big, &b);
+  FxpFftStats merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.butterflies, a.butterflies + b.butterflies);
+  EXPECT_EQ(merged.shift_add_terms, a.shift_add_terms + b.shift_add_terms);
+  EXPECT_EQ(merged.saturations, a.saturations + b.saturations);
+  ASSERT_EQ(merged.stage_peak_mantissa.size(), b.stage_peak_mantissa.size());
+  for (std::size_t s = 0; s < merged.stage_peak_mantissa.size(); ++s) {
+    const std::uint64_t peak_a =
+        s < a.stage_peak_mantissa.size() ? a.stage_peak_mantissa[s] : std::uint64_t{0};
+    EXPECT_EQ(merged.stage_peak_mantissa[s], std::max(peak_a, b.stage_peak_mantissa[s])) << s;
+  }
+  // Merging into a default-constructed stats object is a plain copy.
+  FxpFftStats fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.butterflies, a.butterflies);
+  EXPECT_EQ(fresh.stage_peak_mantissa, a.stage_peak_mantissa);
+}
+
+// The narrow i64 plan and the generic wide path must agree: a config just
+// past the narrow eligibility bound falls back to the generic path and both
+// still track the exact FFT.
+TEST(FxpFft, WideConfigFallsBackToGenericPath) {
+  const std::size_t m = 64;
+  FxpFftConfig narrow_cfg = FxpFftConfig::uniform(m, 20, 50, 8);
+  narrow_cfg.twiddle_min_exp = -24;
+  FxpFftConfig wide_cfg = FxpFftConfig::uniform(m, 44, 62, 8);
+  wide_cfg.twiddle_min_exp = -48;
+  FxpFft narrow_fft(m, narrow_cfg);
+  FxpFft wide_fft(m, wide_cfg);
+  EXPECT_TRUE(narrow_fft.uses_narrow_path());
+  EXPECT_FALSE(wide_fft.uses_narrow_path());
+  std::mt19937_64 rng(50);
+  const auto a = random_small(m, rng);
+  FftPlan exact(m, +1);
+  auto ref = a;
+  exact.forward(ref);
+  EXPECT_LT(relative_spectrum_rmse(narrow_fft.forward(a), ref), 1e-4);
+  EXPECT_LT(relative_spectrum_rmse(wide_fft.forward(a), ref), 1e-5);
+}
+
 }  // namespace
 }  // namespace flash::fft

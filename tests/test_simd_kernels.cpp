@@ -1,0 +1,229 @@
+// SIMD/scalar differential tests: every vector kernel must be bit-identical
+// to its scalar fallback (the dispatch level is purely a performance choice).
+// Exercises the corpus degrees of the PR-2 differential oracle: dense and
+// sparse inputs, the negacyclic twist, the double FFT, and RNS pointwise
+// mulmod including edge residues. Skips the comparisons on CPUs without AVX2.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/flash_accelerator.hpp"
+#include "fft/complex_fft.hpp"
+#include "fft/fxp_fft.hpp"
+#include "fft/negacyclic.hpp"
+#include "hemath/modular.hpp"
+#include "hemath/pointwise.hpp"
+#include "hemath/primes.hpp"
+#include "hemath/simd.hpp"
+
+namespace flash {
+namespace {
+
+using fft::cplx;
+using hemath::u64;
+using hemath::simd::ScopedSimdLevel;
+using hemath::simd::SimdLevel;
+
+bool has_avx2() { return hemath::simd::cpu_has_avx2(); }
+
+std::vector<cplx> random_complex(std::size_t m, std::mt19937_64& rng, int mag) {
+  std::uniform_int_distribution<int> dist(-mag, mag);
+  std::vector<cplx> a(m);
+  for (auto& x : a) x = {static_cast<double>(dist(rng)), static_cast<double>(dist(rng))};
+  return a;
+}
+
+std::vector<double> sparse_reals(std::size_t n, std::mt19937_64& rng, int nonzeros) {
+  std::vector<double> a(n, 0.0);
+  std::uniform_int_distribution<int> dist(-7, 7);
+  for (int i = 0; i < nonzeros; ++i) a[rng() % n] = static_cast<double>(dist(rng));
+  return a;
+}
+
+void expect_bit_identical(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // EXPECT_EQ on doubles is exact comparison — bit-identical modulo ±0.
+    EXPECT_EQ(a[i].real(), b[i].real()) << i;
+    EXPECT_EQ(a[i].imag(), b[i].imag()) << i;
+  }
+}
+
+TEST(SimdKernels, FxpFftScalarVsAvx2BitIdenticalAcrossCorpus) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  std::mt19937_64 rng(101);
+  for (std::size_t m : {16u, 64u, 256u, 1024u, 4096u}) {
+    fft::FxpFftConfig cfg = core::default_approx_config(m * 2, 1u << 10);
+    fft::FxpFft fxp(m, cfg);
+    ASSERT_TRUE(fxp.uses_narrow_path()) << m;
+    const auto dense = random_complex(m, rng, 8);
+    auto sparse = std::vector<cplx>(m, cplx{0.0, 0.0});
+    for (std::size_t i = 0; i < m; i += 17) sparse[i] = {3.0, -2.0};
+    for (const auto& input : {dense, sparse}) {
+      fft::FxpFftStats scalar_stats, avx2_stats;
+      std::vector<cplx> scalar_out, avx2_out;
+      {
+        ScopedSimdLevel level(SimdLevel::kScalar);
+        scalar_out = fxp.forward(input, &scalar_stats);
+      }
+      {
+        ScopedSimdLevel level(SimdLevel::kAvx2);
+        avx2_out = fxp.forward(input, &avx2_stats);
+      }
+      expect_bit_identical(scalar_out, avx2_out);
+      // Stats must agree too: both paths execute the same arithmetic.
+      EXPECT_EQ(scalar_stats.butterflies, avx2_stats.butterflies) << m;
+      EXPECT_EQ(scalar_stats.shift_add_terms, avx2_stats.shift_add_terms) << m;
+      EXPECT_EQ(scalar_stats.saturations, avx2_stats.saturations) << m;
+      ASSERT_EQ(scalar_stats.stage_peak_mantissa.size(), avx2_stats.stage_peak_mantissa.size());
+      for (std::size_t s = 0; s < scalar_stats.stage_peak_mantissa.size(); ++s) {
+        EXPECT_EQ(scalar_stats.stage_peak_mantissa[s], avx2_stats.stage_peak_mantissa[s])
+            << m << " stage " << s;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, FxpInverseScalarVsAvx2BitIdentical) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  std::mt19937_64 rng(102);
+  const std::size_t m = 512;
+  fft::FxpFft fxp(m, core::default_approx_config(m * 2, 1u << 10));
+  const auto input = random_complex(m, rng, 6);
+  std::vector<cplx> scalar_out, avx2_out;
+  {
+    ScopedSimdLevel level(SimdLevel::kScalar);
+    scalar_out = fxp.inverse(input);
+  }
+  {
+    ScopedSimdLevel level(SimdLevel::kAvx2);
+    avx2_out = fxp.inverse(input);
+  }
+  expect_bit_identical(scalar_out, avx2_out);
+}
+
+TEST(SimdKernels, NegacyclicFxpTransformScalarVsAvx2BitIdentical) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  std::mt19937_64 rng(103);
+  for (std::size_t n : {128u, 1024u, 8192u}) {
+    fft::FxpNegacyclicTransform fxp(n, core::default_approx_config(n, 1u << 10));
+    const auto a = sparse_reals(n, rng, 72);
+    std::vector<cplx> scalar_spec, avx2_spec;
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      scalar_spec = fxp.forward(a);
+    }
+    {
+      ScopedSimdLevel level(SimdLevel::kAvx2);
+      avx2_spec = fxp.forward(a);
+    }
+    expect_bit_identical(scalar_spec, avx2_spec);
+    // Round-trip through the inverse stays identical as well.
+    std::vector<double> scalar_back, avx2_back;
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      scalar_back = fxp.inverse(scalar_spec);
+    }
+    {
+      ScopedSimdLevel level(SimdLevel::kAvx2);
+      avx2_back = fxp.inverse(avx2_spec);
+    }
+    ASSERT_EQ(scalar_back.size(), avx2_back.size());
+    for (std::size_t i = 0; i < scalar_back.size(); ++i) {
+      EXPECT_EQ(scalar_back[i], avx2_back[i]) << n << " @" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, DoubleFftScalarVsAvx2BitIdentical) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  std::mt19937_64 rng(104);
+  for (std::size_t m : {8u, 64u, 512u, 2048u}) {
+    fft::FftPlan plan(m, +1);
+    const auto input = random_complex(m, rng, 100);
+    std::vector<cplx> scalar_out = input, avx2_out = input;
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      plan.forward(scalar_out);
+    }
+    {
+      ScopedSimdLevel level(SimdLevel::kAvx2);
+      plan.forward(avx2_out);
+    }
+    expect_bit_identical(scalar_out, avx2_out);
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      plan.inverse(scalar_out);
+    }
+    {
+      ScopedSimdLevel level(SimdLevel::kAvx2);
+      plan.inverse(avx2_out);
+    }
+    expect_bit_identical(scalar_out, avx2_out);
+  }
+}
+
+TEST(SimdKernels, PointwiseMulmodScalarVsAvx2Exact) {
+  if (!has_avx2()) GTEST_SKIP() << "no AVX2 on this host";
+  std::mt19937_64 rng(105);
+  for (int bits : {30, 49, 61}) {
+    const std::size_t n = 1024;
+    const u64 q = hemath::find_ntt_prime(bits, n);
+    std::vector<u64> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng() % q;
+      b[i] = rng() % q;
+    }
+    // Edge residues: 0, 1, q-1 in adjacent lanes.
+    a[0] = 0; b[0] = q - 1;
+    a[1] = q - 1; b[1] = q - 1;
+    a[2] = 1; b[2] = q - 1;
+    a[3] = q - 1; b[3] = 1;
+    std::vector<u64> scalar_c(n), avx2_c(n);
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      hemath::pointwise_mulmod(a.data(), b.data(), scalar_c.data(), n, q);
+    }
+    {
+      ScopedSimdLevel level(SimdLevel::kAvx2);
+      hemath::pointwise_mulmod(a.data(), b.data(), avx2_c.data(), n, q);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(scalar_c[i], avx2_c[i]) << bits << " @" << i;
+      ASSERT_EQ(scalar_c[i], hemath::mul_mod(a[i], b[i], q)) << bits << " @" << i;
+    }
+    // Accumulating variant.
+    std::vector<u64> scalar_acc(n), avx2_acc(n);
+    for (std::size_t i = 0; i < n; ++i) scalar_acc[i] = avx2_acc[i] = rng() % q;
+    const std::vector<u64> acc0 = scalar_acc;
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      hemath::pointwise_mulmod_accumulate(scalar_acc.data(), a.data(), b.data(), n, q);
+    }
+    {
+      ScopedSimdLevel level(SimdLevel::kAvx2);
+      hemath::pointwise_mulmod_accumulate(avx2_acc.data(), a.data(), b.data(), n, q);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(scalar_acc[i], avx2_acc[i]) << bits << " @" << i;
+      ASSERT_EQ(scalar_acc[i],
+                hemath::add_mod(acc0[i], hemath::mul_mod(a[i], b[i], q), q))
+          << bits << " @" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, ForceScalarEnvironmentOverrideIsScalar) {
+  // The env var is read once at startup, so this test only checks the
+  // introspection path: whatever level is active, ScopedSimdLevel(kScalar)
+  // pins scalar and restores on exit.
+  const SimdLevel before = hemath::simd::active_simd_level();
+  {
+    ScopedSimdLevel level(SimdLevel::kScalar);
+    EXPECT_EQ(hemath::simd::active_simd_level(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(hemath::simd::active_simd_level(), before);
+}
+
+}  // namespace
+}  // namespace flash

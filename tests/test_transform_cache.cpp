@@ -1,0 +1,182 @@
+// Sharded transform cache: exactly-once construction under concurrent
+// first-touch, hits never blocking behind a miss's O(N) build (the PR-4
+// lock-convoy regression), and per-thread FxpFftStats merge semantics.
+// Runs under the ThreadSanitizer build (`ctest -L mt`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/flash_accelerator.hpp"
+#include "core/thread_pool.hpp"
+#include "fft/transform_cache.hpp"
+#include "hemath/primes.hpp"
+
+namespace flash::fft {
+namespace {
+
+// The make hook is a plain function pointer, so test state lives in globals.
+std::atomic<int> g_make_calls{0};
+std::atomic<bool> g_miss_entered{false};
+std::atomic<bool> g_release_miss{false};
+
+void counting_hook(const char*) { g_make_calls.fetch_add(1, std::memory_order_relaxed); }
+
+void stalling_hook(const char* kind) {
+  g_make_calls.fetch_add(1, std::memory_order_relaxed);
+  if (std::string_view(kind) == "ntt") {
+    g_miss_entered.store(true, std::memory_order_release);
+    while (!g_release_miss.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+class TransformCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear_transform_caches();
+    g_make_calls.store(0);
+    g_miss_entered.store(false);
+    g_release_miss.store(false);
+  }
+  void TearDown() override {
+    testing_hooks::set_transform_cache_make_hook(nullptr);
+    clear_transform_caches();
+  }
+};
+
+TEST_F(TransformCacheTest, ConcurrentFirstTouchConstructsExactlyOnce) {
+  testing_hooks::set_transform_cache_make_hook(&counting_hook);
+  constexpr int kConfigs = 4;
+  constexpr int kThreads = 8;
+  const std::size_t ns[kConfigs] = {64, 128, 256, 512};
+
+  std::vector<std::shared_ptr<const NegacyclicFft>> seen(
+      static_cast<std::size_t>(kConfigs) * kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int c = 0; c < kConfigs; ++c) {
+        seen[static_cast<std::size_t>(t) * kConfigs + static_cast<std::size_t>(c)] =
+            shared_negacyclic_fft(ns[c]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // K distinct configs were built exactly once each, no matter how many
+  // threads raced on first touch.
+  EXPECT_EQ(g_make_calls.load(), kConfigs);
+  const TransformCacheStats stats = transform_cache_stats();
+  EXPECT_EQ(stats.fft_entries, static_cast<std::size_t>(kConfigs));
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kConfigs));
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kConfigs) * (kThreads - 1));
+  // Every thread got the same instance per key.
+  for (int c = 0; c < kConfigs; ++c) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(t) * kConfigs + static_cast<std::size_t>(c)].get(),
+                seen[static_cast<std::size_t>(c)].get());
+    }
+  }
+}
+
+TEST_F(TransformCacheTest, HitsCompleteWhileMissConstructionIsStalled) {
+  // Warm the FFT shard so later lookups of this key are pure hits.
+  auto warm = shared_negacyclic_fft(256);
+  testing_hooks::set_transform_cache_make_hook(&stalling_hook);
+
+  // A miss on the NTT shard stalls inside make() — outside any lock.
+  std::thread miss([] {
+    const hemath::u64 q = hemath::find_ntt_prime(30, 1024);
+    (void)shared_ntt_tables(q, 1024);
+  });
+  while (!g_miss_entered.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // While the miss is stalled, hits — same shard kind or not — must finish.
+  std::atomic<int> hits_done{0};
+  std::vector<std::thread> hitters;
+  for (int t = 0; t < 4; ++t) {
+    hitters.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        ASSERT_NE(shared_negacyclic_fft(256), nullptr);
+      }
+      hits_done.fetch_add(1);
+    });
+  }
+  for (auto& th : hitters) th.join();
+  // All hit traffic drained while the miss was still blocked in make().
+  EXPECT_EQ(hits_done.load(), 4);
+  EXPECT_TRUE(g_miss_entered.load());
+
+  g_release_miss.store(true, std::memory_order_release);
+  miss.join();
+  EXPECT_EQ(transform_cache_stats().ntt_entries, 1u);
+}
+
+TEST_F(TransformCacheTest, StatsTrackHitsAndMisses) {
+  (void)shared_negacyclic_fft(64);
+  (void)shared_negacyclic_fft(64);
+  const hemath::u64 q = hemath::find_ntt_prime(30, 64);
+  (void)shared_ntt_tables(q, 64);
+  const TransformCacheStats stats = transform_cache_stats();
+  EXPECT_EQ(stats.fft_entries, 1u);
+  EXPECT_EQ(stats.ntt_entries, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(TransformCacheTest, ThrowingMakeLeavesEntryRetryable) {
+  // An FxpFftConfig with a stage_frac_bits size mismatch throws in the
+  // FxpFft constructor; the cache must surface the exception and allow a
+  // later corrected request (same n) to succeed.
+  FxpFftConfig bad = core::default_approx_config(64, 1u << 10);
+  bad.stage_frac_bits.pop_back();
+  EXPECT_THROW((void)shared_fxp_transform(64, bad), std::invalid_argument);
+  const FxpFftConfig good = core::default_approx_config(64, 1u << 10);
+  EXPECT_NE(shared_fxp_transform(64, good), nullptr);
+}
+
+// Per-thread stats + merge() is the documented pattern for multithreaded
+// transform use (FxpFftStats is not internally synchronized). Under TSan
+// this asserts the shared transform instance plus thread-local stats are
+// race-free, and that merge() aggregates exactly.
+TEST_F(TransformCacheTest, PerThreadStatsMergeUnderThreadPool) {
+  const std::size_t n = 256;
+  const FxpFftConfig cfg = core::default_approx_config(n, 1u << 10);
+  auto fxp = shared_fxp_transform(n, cfg);
+
+  std::vector<double> input(n, 0.0);
+  for (std::size_t i = 0; i < n; i += 7) input[i] = static_cast<double>((i % 13)) - 6.0;
+
+  // Reference: one transform's stats, which every task below reproduces.
+  FxpFftStats one;
+  (void)fxp->forward(input, &one);
+
+  constexpr std::size_t kTasks = 16;
+  std::vector<FxpFftStats> per_task(kTasks);
+  core::ThreadPool pool(4);
+  pool.parallel_for(0, kTasks, [&](std::size_t i) {
+    std::vector<cplx> out(n / 2);
+    fxp->forward_into(input, out, &per_task[i]);
+  });
+
+  FxpFftStats merged;
+  for (const FxpFftStats& s : per_task) merged.merge(s);
+  EXPECT_EQ(merged.butterflies, one.butterflies * kTasks);
+  EXPECT_EQ(merged.shift_add_terms, one.shift_add_terms * kTasks);
+  EXPECT_EQ(merged.saturations, one.saturations * kTasks);
+  ASSERT_EQ(merged.stage_peak_mantissa.size(), one.stage_peak_mantissa.size());
+  for (std::size_t s = 0; s < one.stage_peak_mantissa.size(); ++s) {
+    EXPECT_EQ(merged.stage_peak_mantissa[s], one.stage_peak_mantissa[s]) << s;
+  }
+}
+
+}  // namespace
+}  // namespace flash::fft
