@@ -1,0 +1,156 @@
+// Serving-layer throughput: plan-batched ConvServer vs one-request-at-a-time.
+//
+// Scenario (the §9 serving model's headline claim): 8 concurrent client
+// sessions all hit the same layer (same weight plan). The baseline runs each
+// request through a bare ConvRunner, paying the full weight-transform phase
+// per request; the server registers the plan once (weight spectra prepared
+// up front) and batches same-plan requests, so each request pays only the
+// input-dependent phases. Under the approximate-FFT datapath the weight
+// transforms are ~70% of an HConv (bench_fig1_profile), so batched serving
+// must clear >= 1.5x throughput — the benchdiff gate on the committed
+// BENCH_serve_pr5.json enforces it (ratio record, lower is better).
+//
+// Both paths run the same deterministic RNG stream per request (request
+// index << 32), and the bench *asserts* the batched results are bit-
+// identical to the serial ones before reporting any number.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bfv/context.hpp"
+#include "core/flash_accelerator.hpp"
+#include "serve/conv_server.hpp"
+#include "tensor/quant.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flash;
+
+  const std::string json_path = benchjson::extract_json_path(argc, argv);
+
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kRequestsPerSession = 3;
+  constexpr std::size_t kRequests = kSessions * kRequestsPerSession;
+
+  // FLASH datapath (approximate FXP FFT) at the paper's ring degree: the
+  // weight-transform share is largest here, i.e. this is the design point
+  // the serving layer exists for.
+  const bfv::BfvParams params = bfv::BfvParams::create(4096, 20, 49);
+  bfv::BfvContext ctx(params);
+  const fft::FxpFftConfig approx_cfg = core::high_accuracy_approx_config(params.n, params.t);
+  constexpr std::uint64_t kSeed = 20250806;
+
+  std::mt19937_64 rng(7);
+  const tensor::Tensor4 weights = tensor::random_weights(32, 16, 3, 4, rng);
+  std::vector<tensor::Tensor3> inputs;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    inputs.push_back(tensor::random_activations(16, 12, 12, 4, rng));
+  }
+
+  std::printf("=== serve: plan-batched ConvServer vs per-request ConvRunner ===\n\n");
+  std::printf("layer: 16ch 12x12, 3x3 -> 32ch; backend approx-fft (N=%zu); "
+              "%zu sessions x %zu requests\n\n",
+              params.n, kSessions, kRequestsPerSession);
+
+  // --- Baseline: one request at a time, full weight transform each. ---
+  protocol::HConvProtocol serial_proto(ctx, bfv::PolyMulBackend::kApproxFft, approx_cfg, kSeed);
+  protocol::ConvRunner serial_runner(serial_proto);
+  std::vector<protocol::ConvRunnerResult> serial_results;
+  const Clock::time_point serial_start = Clock::now();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    serial_results.push_back(
+        serial_runner.run(inputs[i], weights, 1, 1, static_cast<std::uint64_t>(i) << 32));
+  }
+  const double serial_s = seconds_since(serial_start);
+
+  // --- Served: plan registered once, 8 session threads submit concurrently.
+  // Plan preparation is deliberately outside the timed window: it is the
+  // once-per-layer cost the server amortizes across every future request.
+  serve::ServerOptions sopts;
+  sopts.max_queue = kRequests;
+  sopts.max_batch = kSessions;
+  sopts.dispatchers = 1;
+  serve::ConvServer server(sopts);
+  serve::PlanSpec pspec;
+  pspec.ctx = &ctx;
+  pspec.backend = bfv::PolyMulBackend::kApproxFft;
+  pspec.approx_config = approx_cfg;
+  pspec.protocol_seed = kSeed;
+  pspec.weights = weights;
+  pspec.stride = 1;
+  pspec.pad = 1;
+  pspec.in_h = 12;
+  pspec.in_w = 12;
+  const serve::PlanId plan = server.register_plan(pspec);
+
+  std::vector<serve::ConvFuture> futures(kRequests);
+  const Clock::time_point batched_start = Clock::now();
+  {
+    std::vector<std::thread> sessions;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      sessions.emplace_back([&, s] {
+        for (std::size_t r = 0; r < kRequestsPerSession; ++r) {
+          const std::size_t i = s * kRequestsPerSession + r;
+          serve::SubmitOptions opts;
+          opts.stream = i;
+          futures[i] = server.submit(plan, inputs[i], opts);
+        }
+      });
+    }
+    for (auto& t : sessions) t.join();
+  }
+  server.drain();
+  const double batched_s = seconds_since(batched_start);
+
+  // Bit-identity gate: a throughput number for wrong results is worthless.
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    if (futures[i].state() != serve::RequestState::kDone ||
+        futures[i].result().client_share.data() != serial_results[i].client_share.data() ||
+        futures[i].result().server_share.data() != serial_results[i].server_share.data()) {
+      std::fprintf(stderr, "bench_serve: request %zu not bit-identical to serial run\n", i);
+      return 1;
+    }
+  }
+
+  const double serial_ns = serial_s * 1e9 / static_cast<double>(kRequests);
+  const double batched_ns = batched_s * 1e9 / static_cast<double>(kRequests);
+  const double ratio = batched_ns / serial_ns;
+  const auto stats = server.metrics().plan_batches().at(plan);
+
+  std::printf("serial   (per-request weight transforms): %8.2f ms/req\n", serial_ns * 1e-6);
+  std::printf("batched  (plan-cached, %zu dispatch(es)):  %8.2f ms/req\n",
+              static_cast<std::size_t>(stats.batches), batched_ns * 1e-6);
+  std::printf("batched/serial ratio: %.3f  (speedup %.2fx; gate requires >= 1.5x)\n", ratio,
+              1.0 / ratio);
+  std::printf("mean batch size: %.2f, max %zu\n\n", stats.mean_batch(), stats.max_batch);
+
+  if (ratio > 1.0 / 1.5) {
+    std::fprintf(stderr, "bench_serve: batched speedup %.2fx below the 1.5x floor\n", 1.0 / ratio);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::vector<benchjson::Record> records;
+    records.push_back({"serve_serial_ns_per_req", serial_ns, "ns",
+                       static_cast<std::int64_t>(kRequests)});
+    records.push_back({"serve_batched_ns_per_req", batched_ns, "ns",
+                       static_cast<std::int64_t>(kRequests)});
+    records.push_back({"serve_batched_over_serial_ratio", ratio, "ratio",
+                       static_cast<std::int64_t>(kRequests)});
+    if (!benchjson::write_json(json_path, "bench_serve", records)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -64,6 +64,14 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size() + 1; }
 
+  /// Jobs currently enqueued (their callers are inside parallel_for). An
+  /// instantaneous observability reading for the serve metrics exporter —
+  /// not a synchronization primitive.
+  std::size_t pending_jobs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+  }
+
   /// Run body(i) for every i in [begin, end), distributed over the pool.
   /// Blocks until every index has finished; rethrows the first exception.
   void parallel_for(std::size_t begin, std::size_t end,
@@ -177,7 +185,7 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: new job / shutdown
   std::condition_variable done_cv_;  // callers: job drained
   std::deque<Job*> jobs_ FLASH_GUARDED_BY(mu_);

@@ -137,8 +137,14 @@ TransformCacheStats transform_cache_stats() {
   s.ntt_entries = c.ntt.ready_entries();
   s.fft_entries = c.fft.ready_entries();
   s.fxp_entries = c.fxp.ready_entries();
-  s.hits = c.ntt.hits() + c.fft.hits() + c.fxp.hits();
-  s.misses = c.ntt.misses() + c.fft.misses() + c.fxp.misses();
+  s.ntt_hits = c.ntt.hits();
+  s.ntt_misses = c.ntt.misses();
+  s.fft_hits = c.fft.hits();
+  s.fft_misses = c.fft.misses();
+  s.fxp_hits = c.fxp.hits();
+  s.fxp_misses = c.fxp.misses();
+  s.hits = s.ntt_hits + s.fft_hits + s.fxp_hits;
+  s.misses = s.ntt_misses + s.fft_misses + s.fxp_misses;
   return s;
 }
 

@@ -35,13 +35,18 @@ std::shared_ptr<const NegacyclicFft> shared_negacyclic_fft(std::size_t n);
 std::shared_ptr<const FxpNegacyclicTransform> shared_fxp_transform(std::size_t n,
                                                                    const FxpFftConfig& config);
 
-/// Cache observability (tests assert construction happens once).
+/// Cache observability (tests assert construction happens once; the serve
+/// metrics exporter publishes the per-kind counters so a serving process can
+/// tell which table kind is churning).
 struct TransformCacheStats {
   std::size_t ntt_entries = 0;
   std::size_t fft_entries = 0;
   std::size_t fxp_entries = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t hits = 0;    // sum of the per-kind hits
+  std::uint64_t misses = 0;  // sum of the per-kind misses
+  std::uint64_t ntt_hits = 0, ntt_misses = 0;
+  std::uint64_t fft_hits = 0, fft_misses = 0;
+  std::uint64_t fxp_hits = 0, fxp_misses = 0;
 };
 TransformCacheStats transform_cache_stats();
 

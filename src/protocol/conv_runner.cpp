@@ -55,6 +55,61 @@ void add_shares_inplace(tensor::Tensor3& acc, const tensor::Tensor3& other, u64 
   }
 }
 
+/// The spatial tile grid of one stride-1 conv: the largest square output
+/// tile whose input patch fits a polynomial, then the row-major task list.
+/// prepare() and run_stride1() both go through here, so a plan's tile
+/// enumeration cannot drift from the execution's.
+struct TileTask {
+  std::size_t ty, tx, th, tw;
+};
+
+std::vector<TileTask> tile_grid(std::size_t poly_n, std::size_t in_h, std::size_t in_w,
+                                std::size_t kh, std::size_t kw) {
+  const std::size_t out_h = in_h - kh + 1;
+  const std::size_t out_w = in_w - kw + 1;
+  std::size_t tile = std::max(out_h, out_w);
+  auto fits = [&](std::size_t side) {
+    const std::size_t patch_h = std::min(side + kh - 1, in_h);
+    const std::size_t patch_w = std::min(side + kw - 1, in_w);
+    const encoding::ConvGeometry g{poly_n, 1, patch_h, patch_w, kh, kw};
+    return g.channels_per_poly() >= 1;
+  };
+  while (tile > 1 && !fits(tile)) --tile;
+  if (!fits(tile)) throw std::invalid_argument("ConvRunner: kernel too large for polynomial degree");
+
+  std::vector<TileTask> tasks;
+  for (std::size_t ty = 0; ty < out_h; ty += tile) {
+    for (std::size_t tx = 0; tx < out_w; tx += tile) {
+      tasks.push_back({ty, tx, std::min(tile, out_h - ty), std::min(tile, out_w - tx)});
+    }
+  }
+  return tasks;
+}
+
+/// The live stride phases of a kernel, in the fixed order run() dispatches
+/// them (phase p owns the stream block [p << 16, (p+1) << 16)).
+struct PhaseDef {
+  std::size_t a, b, index;
+};
+
+std::vector<PhaseDef> live_phases(std::size_t k, std::size_t stride) {
+  std::vector<PhaseDef> phases;
+  for (std::size_t a = 0; a < std::min(stride, k); ++a) {
+    for (std::size_t b = 0; b < std::min(stride, k); ++b) {
+      const std::size_t kh = (k > a) ? (k - a + stride - 1) / stride : 0;
+      const std::size_t kw = (k > b) ? (k - b + stride - 1) / stride : 0;
+      if (kh == 0 || kw == 0) continue;
+      phases.push_back({a, b, phases.size()});
+    }
+  }
+  return phases;
+}
+
+/// Subsampled extent along one axis (matches subsample()).
+std::size_t phase_extent(std::size_t full, std::size_t s, std::size_t offset) {
+  return (full > offset) ? (full - offset + s - 1) / s : 0;
+}
+
 }  // namespace
 
 tensor::Tensor3 ConvRunnerResult::reconstruct(u64 t) const {
@@ -69,7 +124,7 @@ tensor::Tensor3 ConvRunnerResult::reconstruct(u64 t) const {
 }
 
 ConvRunnerResult ConvRunner::run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights,
-                                         std::uint64_t stream_base) {
+                                         std::uint64_t stream_base, const ConvPlan::Phase* phase) {
   const auto& p = protocol_.context().params();
   const std::size_t kh = weights.kernel_h();
   const std::size_t kw = weights.kernel_w();
@@ -80,42 +135,33 @@ ConvRunnerResult ConvRunner::run_stride1(const tensor::Tensor3& x, const tensor:
   result.client_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
   result.server_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
 
-  // Choose the largest output tile whose input patch fits one polynomial.
-  std::size_t tile = std::max(out_h, out_w);
-  auto fits = [&](std::size_t side) {
-    const std::size_t patch_h = std::min(side + kh - 1, x.height());
-    const std::size_t patch_w = std::min(side + kw - 1, x.width());
-    const encoding::ConvGeometry g{p.n, 1, patch_h, patch_w, kh, kw};
-    return g.channels_per_poly() >= 1;
-  };
-  while (tile > 1 && !fits(tile)) --tile;
-  if (!fits(tile)) throw std::invalid_argument("ConvRunner: kernel too large for polynomial degree");
-
-  // Collect the spatial tile grid, then fan it out: every tile writes a
-  // disjoint output window and draws a stream id fixed by its grid position,
-  // so the parallel result is bit-identical to the serial one.
-  struct TileTask {
-    std::size_t ty, tx, th, tw;
-  };
-  std::vector<TileTask> tasks;
-  for (std::size_t ty = 0; ty < out_h; ty += tile) {
-    for (std::size_t tx = 0; tx < out_w; tx += tile) {
-      tasks.push_back({ty, tx, std::min(tile, out_h - ty), std::min(tile, out_w - tx)});
-    }
-  }
+  // Every tile writes a disjoint output window and draws a stream id fixed
+  // by its grid position, so the parallel result is bit-identical to the
+  // serial one.
+  const std::vector<TileTask> tasks = tile_grid(p.n, x.height(), x.width(), kh, kw);
 
   std::atomic<std::uint64_t> bytes_c2s{0}, bytes_s2c{0};
   core::for_range(pool_, tasks.size(), [&](std::size_t i) {
     const TileTask& tk = tasks[i];
-    tensor::Tensor3 patch(x.channels(), tk.th + kh - 1, tk.tw + kw - 1);
+    const std::size_t patch_h = tk.th + kh - 1;
+    const std::size_t patch_w = tk.tw + kw - 1;
+    tensor::Tensor3 patch(x.channels(), patch_h, patch_w);
     for (std::size_t c = 0; c < x.channels(); ++c) {
-      for (std::size_t y = 0; y < tk.th + kh - 1; ++y) {
-        for (std::size_t xx = 0; xx < tk.tw + kw - 1; ++xx) {
+      for (std::size_t y = 0; y < patch_h; ++y) {
+        for (std::size_t xx = 0; xx < patch_w; ++xx) {
           patch.at(c, y, xx) = x.at(c, tk.ty + y, tk.tx + xx);
         }
       }
     }
-    const HConvResult r = protocol_.run_stream(patch, weights, stream_base + i);
+    const HConvProtocol::PreparedWeights* cached = nullptr;
+    if (phase != nullptr) {
+      const auto it = phase->tiles.find({patch_h, patch_w});
+      if (it == phase->tiles.end()) {
+        throw std::invalid_argument("ConvRunner: plan is missing a tile patch shape");
+      }
+      cached = it->second.get();
+    }
+    const HConvResult r = protocol_.run_stream(patch, weights, stream_base + i, cached);
     bytes_c2s.fetch_add(r.profile.bytes_client_to_server, std::memory_order_relaxed);
     bytes_s2c.fetch_add(r.profile.bytes_server_to_client, std::memory_order_relaxed);
     for (std::size_t m = 0; m < weights.out_channels(); ++m) {
@@ -134,11 +180,13 @@ ConvRunnerResult ConvRunner::run_stride1(const tensor::Tensor3& x, const tensor:
   return result;
 }
 
-ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const tensor::Tensor4& weights,
-                                 std::size_t stride, std::size_t pad) {
-  if (stride == 0) throw std::invalid_argument("ConvRunner: stride must be >= 1");
-  const tensor::Tensor3 padded = pad_input(x, pad);
-  if (stride == 1) return run_stride1(padded, weights, 0);
+ConvRunnerResult ConvRunner::run_padded(const tensor::Tensor3& padded,
+                                        const tensor::Tensor4& weights, std::size_t stride,
+                                        std::uint64_t stream_base, const ConvPlan* plan) {
+  if (stride == 1) {
+    return run_stride1(padded, weights, stream_base,
+                       plan != nullptr ? &plan->phases.front() : nullptr);
+  }
 
   const auto& p = protocol_.context().params();
   const std::size_t k = weights.kernel_h();
@@ -149,28 +197,19 @@ ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const tensor::Tensor4
   total.client_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
   total.server_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
 
-  // Enumerate the live stride phases first; each is an independent stride-1
-  // sub-convolution, so they fan out over the pool. Phase p owns the stream
-  // block [p * 2^16, (p+1) * 2^16) for its spatial tiles.
-  struct PhaseTask {
-    std::size_t a, b, index;
-  };
-  std::vector<PhaseTask> phases;
-  for (std::size_t a = 0; a < std::min(stride, k); ++a) {
-    for (std::size_t b = 0; b < std::min(stride, k); ++b) {
-      const std::size_t kh = (k > a) ? (k - a + stride - 1) / stride : 0;
-      const std::size_t kw = (k > b) ? (k - b + stride - 1) / stride : 0;
-      if (kh == 0 || kw == 0) continue;
-      phases.push_back({a, b, phases.size()});
-    }
-  }
+  // Each live phase is an independent stride-1 sub-convolution, so they fan
+  // out over the pool. Phase p owns the stream block
+  // [stream_base + (p << 16), stream_base + ((p+1) << 16)) for its tiles.
+  const std::vector<PhaseDef> phases = live_phases(k, stride);
 
   std::vector<ConvRunnerResult> phase_results(phases.size());
   core::for_range(pool_, phases.size(), [&](std::size_t i) {
-    const PhaseTask& ph = phases[i];
-    const tensor::Tensor4 wp = kernel_phase(weights, stride, ph.a, ph.b);
+    const PhaseDef& ph = phases[i];
+    const ConvPlan::Phase* planned = plan != nullptr ? &plan->phases[i] : nullptr;
+    const tensor::Tensor4 wp =
+        planned != nullptr ? planned->weights : kernel_phase(weights, stride, ph.a, ph.b);
     const tensor::Tensor3 xp = subsample(padded, stride, ph.a, ph.b);
-    phase_results[i] = run_stride1(xp, wp, ph.index << 16);
+    phase_results[i] = run_stride1(xp, wp, stream_base + (ph.index << 16), planned);
   });
 
   // Crop each phase to the strided output extent and sum the shares locally
@@ -202,6 +241,71 @@ ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const tensor::Tensor4
     }
   }
   return total;
+}
+
+ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const tensor::Tensor4& weights,
+                                 std::size_t stride, std::size_t pad, std::uint64_t stream_base) {
+  if (stride == 0) throw std::invalid_argument("ConvRunner: stride must be >= 1");
+  return run_padded(pad_input(x, pad), weights, stride, stream_base, nullptr);
+}
+
+std::shared_ptr<const ConvPlan> ConvRunner::prepare(std::size_t in_c, std::size_t in_h,
+                                                    std::size_t in_w,
+                                                    const tensor::Tensor4& weights,
+                                                    std::size_t stride, std::size_t pad) const {
+  if (stride == 0) throw std::invalid_argument("ConvRunner: stride must be >= 1");
+  if (in_c != weights.in_channels()) {
+    throw std::invalid_argument("ConvRunner: plan channels do not match the weights");
+  }
+  const auto& p = protocol_.context().params();
+  const std::size_t padded_h = in_h + 2 * pad;
+  const std::size_t padded_w = in_w + 2 * pad;
+
+  auto plan = std::make_shared<ConvPlan>();
+  plan->in_c = in_c;
+  plan->in_h = in_h;
+  plan->in_w = in_w;
+  plan->stride = stride;
+  plan->pad = pad;
+  plan->weights = weights;
+
+  if (stride == 1) {
+    ConvPlan::Phase phase;
+    phase.weights = weights;
+    plan->phases.push_back(std::move(phase));
+  } else {
+    for (const PhaseDef& ph : live_phases(weights.kernel_h(), stride)) {
+      ConvPlan::Phase phase;
+      phase.a = ph.a;
+      phase.b = ph.b;
+      phase.index = ph.index;
+      phase.weights = kernel_phase(weights, stride, ph.a, ph.b);
+      plan->phases.push_back(std::move(phase));
+    }
+  }
+
+  // Walk the exact tile grid run_stride1 will walk and prepare one spectrum
+  // set per distinct patch shape (interior tiles all share one entry).
+  for (ConvPlan::Phase& phase : plan->phases) {
+    const std::size_t kh = phase.weights.kernel_h();
+    const std::size_t kw = phase.weights.kernel_w();
+    const std::size_t h = stride == 1 ? padded_h : phase_extent(padded_h, stride, phase.a);
+    const std::size_t w = stride == 1 ? padded_w : phase_extent(padded_w, stride, phase.b);
+    for (const TileTask& tk : tile_grid(p.n, h, w, kh, kw)) {
+      const std::pair<std::size_t, std::size_t> shape{tk.th + kh - 1, tk.tw + kw - 1};
+      if (phase.tiles.contains(shape)) continue;
+      phase.tiles[shape] = protocol_.prepare_weights(shape.first, shape.second, phase.weights);
+    }
+  }
+  return plan;
+}
+
+ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const ConvPlan& plan,
+                                 std::uint64_t stream_base) {
+  if (x.channels() != plan.in_c || x.height() != plan.in_h || x.width() != plan.in_w) {
+    throw std::invalid_argument("ConvRunner: activation shape does not match the plan");
+  }
+  return run_padded(pad_input(x, plan.pad), plan.weights, plan.stride, stream_base, &plan);
 }
 
 }  // namespace flash::protocol

@@ -14,9 +14,35 @@
 // the ones that fit a single polynomial.
 #pragma once
 
+#include <map>
+
 #include "protocol/hconv_protocol.hpp"
 
 namespace flash::protocol {
+
+/// Everything about one (input shape, weights, stride, pad) layer that can
+/// be computed before any activation arrives: the stride-phase kernels and,
+/// per phase, the weight spectra of every distinct spatial-tile patch shape
+/// the tiling grid produces. Built by ConvRunner::prepare(), immutable
+/// afterwards, safe to share across threads — this is the "weight plan" a
+/// serving layer keys batches on (ARCHITECTURE.md §9).
+struct ConvPlan {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;  // pre-padding activation shape
+  std::size_t stride = 1, pad = 0;
+  tensor::Tensor4 weights;  // the original (un-subsampled) kernel
+
+  struct Phase {
+    std::size_t a = 0, b = 0;   // stride-phase offsets (0,0 for stride 1)
+    std::size_t index = 0;      // stream-block index (matches run's order)
+    tensor::Tensor4 weights;    // phase-subsampled kernel
+    /// Patch shape (height, width) -> prepared spectra. One entry per
+    /// distinct tile shape: interior tiles share one, edge tiles theirs.
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::shared_ptr<const HConvProtocol::PreparedWeights>>
+        tiles;
+  };
+  std::vector<Phase> phases;
+};
 
 struct ConvRunnerResult {
   tensor::Tensor3 client_share;  // mod-t share values stored as i64
@@ -43,15 +69,36 @@ class ConvRunner {
   }
 
   /// General conv2d over the protocol: any stride >= 1, any padding, spatial
-  /// tiling as needed.
+  /// tiling as needed. `stream_base` offsets every HConv unit's RNG stream:
+  /// two runs with distinct bases draw disjoint mask/encryption streams
+  /// (bases must be >= 2^32 apart; serve uses request index << 32), while
+  /// the same base reproduces the same shares bit-for-bit.
   ConvRunnerResult run(const tensor::Tensor3& x, const tensor::Tensor4& weights,
-                       std::size_t stride, std::size_t pad);
+                       std::size_t stride, std::size_t pad, std::uint64_t stream_base = 0);
+
+  /// Precompute the weight plan for activations of shape (in_c, in_h, in_w):
+  /// phase kernels plus per-tile-shape weight spectra. Requests served with
+  /// the plan skip the dominant weight-transform phase yet produce bit-
+  /// identical results to plan-less runs (the spectra are deterministic).
+  std::shared_ptr<const ConvPlan> prepare(std::size_t in_c, std::size_t in_h, std::size_t in_w,
+                                          const tensor::Tensor4& weights, std::size_t stride,
+                                          std::size_t pad) const;
+
+  /// Run against a prepared plan. x must have the plan's shape
+  /// (std::invalid_argument otherwise). Bit-identical to
+  /// run(x, weights, stride, pad, stream_base) with the plan's weights.
+  ConvRunnerResult run(const tensor::Tensor3& x, const ConvPlan& plan,
+                       std::uint64_t stream_base = 0);
 
  private:
   /// Stride-1 valid conv with spatial tiling; HConv unit i draws RNG stream
-  /// stream_base + i.
+  /// stream_base + i. `phase` (optional) supplies prepared spectra per tile
+  /// patch shape.
   ConvRunnerResult run_stride1(const tensor::Tensor3& x, const tensor::Tensor4& weights,
-                               std::uint64_t stream_base);
+                               std::uint64_t stream_base, const ConvPlan::Phase* phase = nullptr);
+
+  ConvRunnerResult run_padded(const tensor::Tensor3& padded, const tensor::Tensor4& weights,
+                              std::size_t stride, std::uint64_t stream_base, const ConvPlan* plan);
 
   HConvProtocol& protocol_;
   core::ThreadPool* pool_ = nullptr;

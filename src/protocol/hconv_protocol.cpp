@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "encoding/matvec.hpp"
 
@@ -60,9 +61,42 @@ HConvResult HConvProtocol::run(const tensor::Tensor3& x, const tensor::Tensor4& 
   return run_stream(x, weights, next_stream_.fetch_add(1, std::memory_order_relaxed));
 }
 
-HConvResult HConvProtocol::run_stream(const tensor::Tensor3& x, const tensor::Tensor4& weights,
-                                      std::uint64_t stream) {
+std::shared_ptr<const HConvProtocol::PreparedWeights> HConvProtocol::prepare_weights(
+    std::size_t in_h, std::size_t in_w, const tensor::Tensor4& weights) const {
   const auto& p = ctx_.params();
+  encoding::ConvEncoder enc(p.n, weights.in_channels(), in_h, in_w, weights.kernel_h(),
+                            weights.kernel_w());
+  const std::size_t tiles = enc.geometry().channel_tiles();
+  const std::size_t out_channels = weights.out_channels();
+
+  auto prepared = std::make_shared<PreparedWeights>();
+  prepared->in_channels = weights.in_channels();
+  prepared->in_h = in_h;
+  prepared->in_w = in_w;
+  prepared->out_channels = out_channels;
+  prepared->kh = weights.kernel_h();
+  prepared->kw = weights.kernel_w();
+  prepared->spec.assign(out_channels, std::vector<bfv::PlainSpectrum>(tiles));
+  // Same (m, tile) fan-out — and the same encode + transform per pair — as
+  // the inline weight loop of run_stream, so cached and uncached spectra are
+  // bit-identical.
+  core::for_range(pool_, out_channels * tiles, [&](std::size_t idx) {
+    const std::size_t m = idx / tiles;
+    const std::size_t tile = idx % tiles;
+    bfv::Plaintext pt = ctx_.make_plaintext();
+    const std::vector<i64> coeffs = enc.encode_weight(weights, m, tile);
+    for (std::size_t i = 0; i < p.n; ++i) pt.poly[i] = hemath::from_signed(coeffs[i], p.t);
+    prepared->spec[m][tile] = evaluator_.transform_plain(pt);
+  });
+  return prepared;
+}
+
+HConvResult HConvProtocol::run_stream(const tensor::Tensor3& x, const tensor::Tensor4& weights,
+                                      std::uint64_t stream, const PreparedWeights* cached) {
+  const auto& p = ctx_.params();
+  if (cached != nullptr && !cached->matches(x, weights)) {
+    throw std::invalid_argument("HConvProtocol: prepared weights do not match this request");
+  }
   encoding::ConvEncoder enc(p.n, x.channels(), x.height(), x.width(), weights.kernel_h(), weights.kernel_w());
   const auto& geo = enc.geometry();
   const std::size_t tiles = geo.channel_tiles();
@@ -122,17 +156,21 @@ HConvResult HConvProtocol::run_stream(const tensor::Tensor3& x, const tensor::Te
   // each worker's transform scratch comes from its own thread-local arena,
   // so the steady-state tile loop does not allocate.
   t0 = std::chrono::steady_clock::now();
-  std::vector<std::vector<bfv::PlainSpectrum>> wspec(out_channels,
-                                                     std::vector<bfv::PlainSpectrum>(tiles));
-  core::for_range(pool_, out_channels * tiles, [&](std::size_t idx) {
-    const std::size_t m = idx / tiles;
-    const std::size_t tile = idx % tiles;
-    bfv::Plaintext pt = ctx_.make_plaintext();
-    const std::vector<i64> coeffs = enc.encode_weight(weights, m, tile);
-    for (std::size_t i = 0; i < p.n; ++i) pt.poly[i] = hemath::from_signed(coeffs[i], p.t);
-    wspec[m][tile] = evaluator_.transform_plain(pt);
-  });
-  result.profile.weight_transform_s += seconds_since(t0);
+  std::vector<std::vector<bfv::PlainSpectrum>> wspec_local;
+  if (cached == nullptr) {
+    wspec_local.assign(out_channels, std::vector<bfv::PlainSpectrum>(tiles));
+    core::for_range(pool_, out_channels * tiles, [&](std::size_t idx) {
+      const std::size_t m = idx / tiles;
+      const std::size_t tile = idx % tiles;
+      bfv::Plaintext pt = ctx_.make_plaintext();
+      const std::vector<i64> coeffs = enc.encode_weight(weights, m, tile);
+      for (std::size_t i = 0; i < p.n; ++i) pt.poly[i] = hemath::from_signed(coeffs[i], p.t);
+      wspec_local[m][tile] = evaluator_.transform_plain(pt);
+    });
+    result.profile.weight_transform_s += seconds_since(t0);
+  }
+  const std::vector<std::vector<bfv::PlainSpectrum>>& wspec =
+      cached != nullptr ? cached->spec : wspec_local;
 
   // --- Server: ct ⊠ w through the spectral pipeline of Fig. 4(b): each
   // ciphertext is transformed once (shared across all output channels),

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "bfv/encrypt.hpp"
 #include "bfv/evaluator.hpp"
@@ -59,6 +60,24 @@ struct HConvResult {
 
 class HConvProtocol {
  public:
+  /// Weight spectra precomputed for one (activation geometry, weights) pair.
+  /// Transforming the weight polynomials is the dominant server-side cost of
+  /// an HConv (paper Fig. 1), yet the spectra are a pure function of the
+  /// weights and the encoder geometry — a serving layer that sees many
+  /// requests against the same layer computes them once and reuses them.
+  /// Instances are immutable after prepare_weights() returns and safe to
+  /// share across threads and concurrent run_stream() calls.
+  struct PreparedWeights {
+    std::size_t in_channels = 0, in_h = 0, in_w = 0;  // activation geometry
+    std::size_t out_channels = 0, kh = 0, kw = 0;     // weight geometry
+    /// spec[m][tile] — exactly the wspec the non-cached path computes.
+    std::vector<std::vector<bfv::PlainSpectrum>> spec;
+
+    bool matches(const tensor::Tensor3& x, const tensor::Tensor4& w) const {
+      return in_channels == x.channels() && in_h == x.height() && in_w == x.width() &&
+             out_channels == w.out_channels() && kh == w.kernel_h() && kw == w.kernel_w();
+    }
+  };
   /// backend selects the server's PolyMul datapath (NTT = CPU baseline,
   /// kApproxFft = the FLASH datapath). pool (optional, non-owning)
   /// parallelizes the per-tile and per-output-channel loops; null = serial.
@@ -83,8 +102,21 @@ class HConvProtocol {
   /// Same, with an explicit RNG stream id. Callers that fan HConvs out over
   /// a pool (ConvRunner) assign ids deterministically per task, making the
   /// parallel result bit-identical to the serial one.
+  ///
+  /// `cached` (optional) supplies the weight spectra from prepare_weights();
+  /// it must match (x, weights) geometry (std::invalid_argument otherwise).
+  /// The transform of the weight values themselves is deterministic, so a
+  /// cached run is bit-identical to an uncached one — the cache only moves
+  /// the weight_transform phase out of the request's critical path (its
+  /// profile entry reads 0 and its engine ops are attributed to
+  /// prepare_weights' caller).
   HConvResult run_stream(const tensor::Tensor3& x, const tensor::Tensor4& weights,
-                         std::uint64_t stream);
+                         std::uint64_t stream, const PreparedWeights* cached = nullptr);
+
+  /// Precompute the weight spectra for activations of shape
+  /// (weights.in_channels(), in_h, in_w). Fans out over the pool when set.
+  std::shared_ptr<const PreparedWeights> prepare_weights(std::size_t in_h, std::size_t in_w,
+                                                         const tensor::Tensor4& weights) const;
 
   /// Fully-connected layer: y = W x over the same one-round protocol, using
   /// the matrix-vector coefficient encoding (Table IV's FC head).

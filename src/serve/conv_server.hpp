@@ -1,0 +1,192 @@
+// Plan-keyed batching front-end for the one-round HConv protocol
+// (ARCHITECTURE.md §9).
+//
+// A serving process sees many concurrent inference sessions hitting a small
+// set of layers. The expensive, input-independent part of an HConv — the
+// weight transforms, ~70% of a request under the approximate-FFT datapath —
+// is a pure function of the *plan* (layer shape + weights + design point),
+// so the server:
+//
+//   * registers each distinct plan once (deduplicated by a content key) and
+//     precomputes its ConvPlan (phase kernels + per-tile weight spectra);
+//   * admits requests into one bounded FIFO queue (reject-with-retry-after
+//     once full — backpressure, never unbounded memory);
+//   * dispatches requests plan-by-plan: a dispatcher drains up to max_batch
+//     same-plan requests in one batch, so consecutive requests share the
+//     cached spectra and the warmed transform-table cache;
+//   * completes a future per request, with per-request deadlines (checked at
+//     admission and at batch pickup) and client-side cancellation that wins
+//     or loses a claim race exactly once.
+//
+// Determinism contract: a request executed with stream index s is
+// bit-identical to a bare `ConvRunner::run(x, w, stride, pad, s << 32)` on a
+// protocol with the plan's seed — batching, queueing order, thread count and
+// cancellations of *other* requests never change a request's bytes. The
+// extended HConvOracle (testing/oracle.hpp) enforces exactly this.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <thread>
+
+#include "core/thread_annotations.hpp"
+#include "protocol/conv_runner.hpp"
+#include "serve/metrics.hpp"
+
+namespace flash::serve {
+
+using PlanId = std::size_t;
+using Clock = std::chrono::steady_clock;
+
+/// One servable layer: everything but the activation.
+struct PlanSpec {
+  /// Non-owning; must outlive the server (contexts are heavy and callers
+  /// routinely share one across plans).
+  const bfv::BfvContext* ctx = nullptr;
+  bfv::PolyMulBackend backend = bfv::PolyMulBackend::kNtt;
+  std::optional<fft::FxpFftConfig> approx_config;
+  std::uint64_t protocol_seed = 0;
+  tensor::Tensor4 weights{1, 1, 1, 1};
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  std::size_t in_h = 0, in_w = 0;  // expected activation spatial shape (pre-pad)
+};
+
+enum class RequestState {
+  kQueued,
+  kRunning,
+  kDone,
+  kRejected,          // backpressure or draining; retry_after_s() says when to retry
+  kCancelled,
+  kDeadlineExceeded,
+  kFailed,            // the protocol threw; error() carries the message
+};
+
+const char* to_string(RequestState s);
+
+struct SubmitOptions {
+  /// Absolute deadline; alternatively set `timeout` (relative, wins if both).
+  std::optional<Clock::time_point> deadline;
+  std::optional<std::chrono::nanoseconds> timeout;
+  /// Request stream index (determinism key). Defaults to a per-plan counter
+  /// (admission order). The ConvRunner stream base is `stream << 32`.
+  std::optional<std::uint64_t> stream;
+};
+
+/// Handle to one submitted request. Copyable; all copies share one state.
+/// Safe to wait on / cancel from any thread, including after the server is
+/// gone (by then every request is terminal).
+class ConvFuture {
+ public:
+  ConvFuture() = default;
+
+  void wait() const;
+  bool wait_for(std::chrono::nanoseconds d) const;
+  bool done() const;  // terminal state reached
+  RequestState state() const;
+
+  /// Valid iff state() == kDone (std::logic_error otherwise).
+  const protocol::ConvRunnerResult& result() const;
+  std::string error() const;
+  /// Backpressure hint, valid iff state() == kRejected.
+  double retry_after_s() const;
+  /// The stream index this request was assigned (for serial reproduction).
+  std::uint64_t stream() const;
+
+  /// Cancel if still queued. True iff this call won the race against batch
+  /// pickup; false means the request already ran (or finished, or was never
+  /// admitted) and its result stands.
+  bool cancel();
+
+ private:
+  friend class ConvServer;
+  struct Shared;
+  explicit ConvFuture(std::shared_ptr<Shared> shared) : shared_(std::move(shared)) {}
+  std::shared_ptr<Shared> shared_;
+};
+
+struct ServerOptions {
+  /// Admission queue bound; 0 = reject every submit (a valid, tested
+  /// configuration — the "serve nothing, shed everything" circuit breaker).
+  std::size_t max_queue = 64;
+  /// Max same-plan requests per batch dispatch.
+  std::size_t max_batch = 8;
+  /// Dispatcher threads. 0 = manual mode: nothing runs until the caller
+  /// invokes dispatch_once() — the deterministic-scheduler unit-test tier.
+  std::size_t dispatchers = 1;
+  /// Shared compute pool for the protocol's inner loops (non-owning; null =
+  /// serial compute inside each dispatcher).
+  core::ThreadPool* pool = nullptr;
+  /// retry_after_s fallback before the first batch has been timed.
+  double default_retry_after_s = 0.05;
+};
+
+class ConvServer {
+ public:
+  explicit ConvServer(ServerOptions options = {});
+  ~ConvServer();  // drains, then stops dispatchers
+
+  ConvServer(const ConvServer&) = delete;
+  ConvServer& operator=(const ConvServer&) = delete;
+
+  /// Register (or look up) a plan. Two specs with identical content — same
+  /// context parameters, backend, design point, seed, geometry and weight
+  /// values — return the same PlanId, so independent sessions serving the
+  /// same layer batch together. Prepares the weight spectra eagerly.
+  PlanId register_plan(const PlanSpec& spec);
+
+  /// Admit one request. Never blocks; inspect the returned future for
+  /// kRejected (+ retry_after_s) under backpressure.
+  ConvFuture submit(PlanId plan, tensor::Tensor3 x, SubmitOptions options = {});
+
+  /// Manual mode: dispatch one batch on the calling thread. Returns false
+  /// when the queue is empty. Also callable alongside dispatcher threads
+  /// (a caller "lending a hand" is the same claim path).
+  bool dispatch_once();
+
+  /// Stop admitting (subsequent submits are kRejected with
+  /// rejected_draining) and wait until the queue is empty and nothing is
+  /// inflight. In manual mode, drains the queue on the calling thread.
+  void drain();
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  std::string metrics_json() const;
+
+ private:
+  struct Plan;
+
+  void dispatcher_loop();
+  /// Pre: lock held, queue non-empty. Pops one plan-batch, runs it unlocked,
+  /// re-locks before returning.
+  void dispatch_batch(std::unique_lock<std::mutex>& lock);
+  void run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::Shared>>& batch);
+  double retry_after_estimate_s() const;
+
+  ServerOptions options_;
+  ServerMetrics metrics_;
+
+  mutable std::mutex plans_mu_;
+  std::vector<std::shared_ptr<Plan>> plans_ FLASH_GUARDED_BY(plans_mu_);
+
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<ConvFuture::Shared>> queue_ FLASH_GUARDED_BY(mu_);
+  bool draining_ FLASH_GUARDED_BY(mu_) = false;
+  bool stop_ FLASH_GUARDED_BY(mu_) = false;
+  std::condition_variable queue_cv_;  // dispatchers: work available / stop
+  std::condition_variable drain_cv_;  // drain(): queue empty + idle
+  std::atomic<std::uint64_t> batch_ns_ewma_{0};
+
+  std::vector<std::thread> dispatchers_;
+};
+
+namespace testing_hooks {
+/// Test-only: invoked at the start of every batch execution (after the
+/// batch left the queue, before any member is claimed) with (plan id, batch
+/// size). Lets tests inject slow workers and pin the cancel-vs-claim race.
+/// Install/remove only around a quiesced server. Pass nullptr to remove.
+void set_batch_hook(void (*hook)(std::size_t plan, std::size_t batch_size));
+}  // namespace testing_hooks
+
+}  // namespace flash::serve

@@ -1,0 +1,125 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "fft/transform_cache.hpp"
+
+namespace flash::serve {
+
+namespace {
+
+/// Index of the highest set bit; 0 for 0.
+int log2_floor(std::uint64_t v) {
+  int i = 0;
+  while (v >>= 1) ++i;
+  return i;
+}
+
+}  // namespace
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  buckets_[static_cast<std::size_t>(log2_floor(ns))].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::quantile_ns(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cumulative) >= target) {
+      return std::ldexp(1.0, static_cast<int>(i) + 1);  // bucket upper bound
+    }
+  }
+  return std::ldexp(1.0, 64);
+}
+
+void ServerMetrics::note_batch(std::size_t plan, std::size_t size) {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  PlanBatchStats& s = plans_[plan];
+  ++s.batches;
+  s.requests += size;
+  s.max_batch = std::max(s.max_batch, size);
+}
+
+std::map<std::size_t, PlanBatchStats> ServerMetrics::plan_batches() const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  return plans_;
+}
+
+std::uint64_t ServerMetrics::terminal() const {
+  return rejected_queue_full.value() + rejected_draining.value() + completed.value() +
+         failed.value() + cancelled.value() + deadline_expired_at_admission.value() +
+         deadline_expired_in_queue.value();
+}
+
+std::string ServerMetrics::to_json(std::int64_t pool_threads, std::int64_t pool_pending) const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  const std::pair<const char*, const Counter*> counters[] = {
+      {"submitted", &submitted},
+      {"admitted", &admitted},
+      {"rejected_queue_full", &rejected_queue_full},
+      {"rejected_draining", &rejected_draining},
+      {"completed", &completed},
+      {"failed", &failed},
+      {"cancelled", &cancelled},
+      {"deadline_expired_at_admission", &deadline_expired_at_admission},
+      {"deadline_expired_in_queue", &deadline_expired_in_queue},
+      {"batches_dispatched", &batches_dispatched},
+  };
+  for (std::size_t i = 0; i < std::size(counters); ++i) {
+    out << (i ? ", " : "") << "\"" << counters[i].first << "\": " << counters[i].second->value();
+  }
+  out << "},\n  \"gauges\": {\"queue_depth\": " << queue_depth.value()
+      << ", \"inflight\": " << inflight.value() << "},\n  \"latency_ns\": {";
+  const std::pair<const char*, const LatencyHistogram*> histograms[] = {
+      {"queue_wait", &queue_wait}, {"service", &service}, {"end_to_end", &end_to_end}};
+  for (std::size_t i = 0; i < std::size(histograms); ++i) {
+    const LatencyHistogram& h = *histograms[i].second;
+    const double mean =
+        h.count() == 0 ? 0.0 : static_cast<double>(h.sum_ns()) / static_cast<double>(h.count());
+    out << (i ? ", " : "") << "\"" << histograms[i].first << "\": {\"count\": " << h.count()
+        << ", \"p50\": " << h.quantile_ns(0.50) << ", \"p95\": " << h.quantile_ns(0.95)
+        << ", \"p99\": " << h.quantile_ns(0.99) << ", \"mean\": " << mean << "}";
+  }
+  out << "},\n  \"plans\": {";
+  {
+    const auto plans = plan_batches();
+    bool first = true;
+    for (const auto& [id, s] : plans) {
+      out << (first ? "" : ", ") << "\"" << id << "\": {\"batches\": " << s.batches
+          << ", \"requests\": " << s.requests << ", \"max_batch\": " << s.max_batch
+          << ", \"mean_batch\": " << s.mean_batch() << "}";
+      first = false;
+    }
+  }
+  const fft::TransformCacheStats tc = fft::transform_cache_stats();
+  out << "},\n  \"transform_cache\": {\"hits\": " << tc.hits << ", \"misses\": " << tc.misses
+      << ", \"ntt_hits\": " << tc.ntt_hits << ", \"ntt_misses\": " << tc.ntt_misses
+      << ", \"fft_hits\": " << tc.fft_hits << ", \"fft_misses\": " << tc.fft_misses
+      << ", \"fxp_hits\": " << tc.fxp_hits << ", \"fxp_misses\": " << tc.fxp_misses
+      << ", \"entries\": " << tc.ntt_entries + tc.fft_entries + tc.fxp_entries
+      << "},\n  \"pool\": {\"threads\": " << pool_threads << ", \"pending_jobs\": " << pool_pending
+      << "}\n}\n";
+  return out.str();
+}
+
+double json_number_at(const std::string& json, const std::string& context,
+                      const std::string& key) {
+  std::size_t from = 0;
+  if (!context.empty()) {
+    from = json.find(context);
+    if (from == std::string::npos) return std::nan("");
+  }
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return std::nan("");
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+}  // namespace flash::serve

@@ -1,5 +1,6 @@
 #include "testing/fuzz.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <istream>
 #include <ostream>
@@ -16,6 +17,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::atomic<void (*)()> g_oracle_delay_hook{nullptr};
+
+void run_oracle_delay_hook() {
+  if (auto* hook = g_oracle_delay_hook.load(std::memory_order_acquire)) hook();
 }
 
 /// A corpus line may be a full spec or a bare integer seed.
@@ -40,9 +47,15 @@ struct FuzzEngine {
   FuzzEngine(const FuzzOptions& opt, std::ostream& out)
       : options(opt), log(out), polymul(opt.oracle), hconv(opt.oracle) {}
 
-  bool out_of_budget() const {
-    if (options.time_budget_s > 0.0 && seconds_since(start) >= options.time_budget_s) return true;
-    return result.failures.size() >= options.max_failures;
+  bool past_time_budget() {
+    if (options.time_budget_s <= 0.0) return false;
+    if (seconds_since(start) < options.time_budget_s) return false;
+    result.budget_exhausted = true;
+    return true;
+  }
+
+  bool out_of_budget() {
+    return past_time_budget() || result.failures.size() >= options.max_failures;
   }
 
   void record_failure(const std::string& original, const std::string& reproducer,
@@ -52,32 +65,60 @@ struct FuzzEngine {
         << " shrink steps): " << reproducer << "\n";
   }
 
+  // Each check re-verifies the wall-clock budget immediately before every
+  // oracle evaluation it performs — the initial run, every shrink candidate
+  // (via the shrink_spec stop callback) and the post-shrink confirmation —
+  // so a slow case or an expensive shrink can overshoot --time-budget by at
+  // most one evaluation, not by max_evals of them.
+
   void check_polymul(PolymulSpec spec) {
+    if (past_time_budget()) return;
     PolymulCase c = make_polymul_case(spec);
     ++result.cases_run;
+    run_oracle_delay_hook();
     const OracleReport report = polymul.run(c);
     if (options.verbose) log << "  " << c.spec.describe() << " -> " << report.summary() << "\n";
     if (report.ok) return;
-    const auto outcome = shrink_spec(c.spec, polymul_reducers(), [this](const PolymulSpec& s) {
-      return !polymul.run(make_polymul_case(s)).ok;
-    });
-    const OracleReport shrunk_report = polymul.run(make_polymul_case(outcome.spec));
-    record_failure(c.spec.describe(), outcome.spec.describe(),
-                   shrunk_report.ok ? report.summary() : shrunk_report.summary(), outcome.steps);
+    const auto outcome = shrink_spec(
+        c.spec, polymul_reducers(),
+        [this](const PolymulSpec& s) {
+          run_oracle_delay_hook();
+          return !polymul.run(make_polymul_case(s)).ok;
+        },
+        64, [this] { return past_time_budget(); });
+    OracleReport final_report = report;
+    if (outcome.steps > 0 && !past_time_budget()) {
+      run_oracle_delay_hook();
+      const OracleReport shrunk_report = polymul.run(make_polymul_case(outcome.spec));
+      if (!shrunk_report.ok) final_report = shrunk_report;
+    }
+    record_failure(c.spec.describe(), outcome.spec.describe(), final_report.summary(),
+                   outcome.steps);
   }
 
   void check_conv(ConvSpec spec) {
+    if (past_time_budget()) return;
     ConvCase c = make_conv_case(spec);
     ++result.cases_run;
+    run_oracle_delay_hook();
     const OracleReport report = hconv.run(c);
     if (options.verbose) log << "  " << c.spec.describe() << " -> " << report.summary() << "\n";
     if (report.ok) return;
-    const auto outcome = shrink_spec(c.spec, conv_reducers(), [this](const ConvSpec& s) {
-      return !hconv.run(make_conv_case(s)).ok;
-    });
-    const OracleReport shrunk_report = hconv.run(make_conv_case(outcome.spec));
-    record_failure(c.spec.describe(), outcome.spec.describe(),
-                   shrunk_report.ok ? report.summary() : shrunk_report.summary(), outcome.steps);
+    const auto outcome = shrink_spec(
+        c.spec, conv_reducers(),
+        [this](const ConvSpec& s) {
+          run_oracle_delay_hook();
+          return !hconv.run(make_conv_case(s)).ok;
+        },
+        64, [this] { return past_time_budget(); });
+    OracleReport final_report = report;
+    if (outcome.steps > 0 && !past_time_budget()) {
+      run_oracle_delay_hook();
+      const OracleReport shrunk_report = hconv.run(make_conv_case(outcome.spec));
+      if (!shrunk_report.ok) final_report = shrunk_report;
+    }
+    record_failure(c.spec.describe(), outcome.spec.describe(), final_report.summary(),
+                   outcome.steps);
   }
 
   void run_corpus_entry(const std::string& line) {
@@ -134,6 +175,12 @@ OracleReport run_repro(const std::string& line, const OracleOptions& options) {
   }
   throw std::invalid_argument("run_repro: malformed spec: " + line);
 }
+
+namespace testing_hooks {
+void set_oracle_delay_hook(void (*hook)()) {
+  g_oracle_delay_hook.store(hook, std::memory_order_release);
+}
+}  // namespace testing_hooks
 
 std::vector<std::string> load_seed_corpus(std::istream& in) {
   std::vector<std::string> entries;

@@ -45,6 +45,9 @@ struct FuzzFailure {
 struct FuzzResult {
   std::size_t cases_run = 0;
   std::vector<FuzzFailure> failures;
+  /// True when the wall-clock budget ended the run (as opposed to the
+  /// iteration count or the failure cap).
+  bool budget_exhausted = false;
   bool ok() const { return failures.empty(); }
 };
 
@@ -57,5 +60,14 @@ OracleReport run_repro(const std::string& line, const OracleOptions& options);
 
 /// Read a corpus file: one entry per line, '#' comments and blanks skipped.
 std::vector<std::string> load_seed_corpus(std::istream& in);
+
+namespace testing_hooks {
+/// Test-only: invoked immediately before every oracle evaluation the fuzz
+/// engine performs — initial checks and shrink candidates alike. Lets the
+/// budget-overshoot regression test make each evaluation artificially slow
+/// and measure how far past --time-budget the engine runs. Install/remove
+/// only around a quiesced engine. Pass nullptr to remove.
+void set_oracle_delay_hook(void (*hook)());
+}  // namespace testing_hooks
 
 }  // namespace flash::testing

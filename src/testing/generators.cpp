@@ -16,7 +16,7 @@ namespace {
 // Sub-stream indices of a case seed. Each aspect of a case draws from its
 // own stream so a shape override (the shrinker) never shifts the draws of
 // another aspect.
-enum Stream : std::uint64_t { kShape = 0, kPattern = 1, kValues = 2 };
+enum Stream : std::uint64_t { kShape = 0, kPattern = 1, kValues = 2, kTrace = 3 };
 
 std::mt19937_64 stream_rng(std::uint64_t seed, std::uint64_t stream) {
   return std::mt19937_64(hemath::derive_stream_seed(seed, stream));
@@ -58,6 +58,13 @@ std::string PolymulSpec::describe() const {
   return out.str();
 }
 
+std::string ServeTraceSpec::describe() const {
+  std::stringstream out;
+  out << "trace:seed=0x" << std::hex << seed << std::dec << ",plans=" << plans
+      << ",requests=" << requests;
+  return out.str();
+}
+
 std::string ConvSpec::describe() const {
   std::stringstream out;
   out << "conv:seed=0x" << std::hex << seed << std::dec << ",c=" << c << ",m=" << m << ",h=" << h
@@ -93,6 +100,20 @@ bool parse_conv_spec(const std::string& text, ConvSpec& out) {
     else if (key == "k") spec.k = value;
     else if (key == "stride") spec.stride = value;
     else if (key == "pad") spec.pad = static_cast<int>(value);
+    else return false;
+  }
+  out = spec;
+  return true;
+}
+
+bool parse_serve_trace_spec(const std::string& text, ServeTraceSpec& out) {
+  std::vector<std::pair<std::string, std::uint64_t>> fields;
+  if (!parse_fields(text, "trace", fields)) return false;
+  ServeTraceSpec spec;
+  for (const auto& [key, value] : fields) {
+    if (key == "seed") spec.seed = value;
+    else if (key == "plans") spec.plans = value;
+    else if (key == "requests") spec.requests = value;
     else return false;
   }
   out = spec;
@@ -190,6 +211,39 @@ ConvCase make_conv_case(ConvSpec spec) {
   c.x = tensor::random_activations(spec.c, spec.h, spec.w, 4, values);
   c.weights = tensor::random_weights(spec.m, spec.c, spec.k, 4, values);
   return c;
+}
+
+ServeTrace make_serve_trace(ServeTraceSpec spec) {
+  auto trace_rng = stream_rng(spec.seed, kTrace);
+  // Draw unconditionally so overrides never shift later draws.
+  const std::size_t derived_plans = 1 + trace_rng() % 3;
+  const std::size_t derived_requests = 4 + trace_rng() % 9;  // 4..12
+  if (spec.plans == 0) spec.plans = derived_plans;
+  if (spec.requests == 0) spec.requests = derived_requests;
+
+  ServeTrace trace;
+  // Each plan is a full ConvCase derived from its own seed, so a trace plan
+  // is individually reproducible as a plain conv case.
+  trace.plan_cases.reserve(spec.plans);
+  for (std::size_t p = 0; p < spec.plans; ++p) {
+    const std::uint64_t plan_seed =
+        hemath::derive_stream_seed(hemath::derive_stream_seed(spec.seed, kTrace), p);
+    trace.plan_cases.push_back(make_conv_case(ConvSpec{plan_seed}));
+  }
+
+  // Request sequence: plan choice and activation values both come from the
+  // trace stream (fresh activations per request — the plans share weights,
+  // never inputs).
+  trace.requests.reserve(spec.requests);
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    ServeTrace::Request req;
+    req.plan = trace_rng() % spec.plans;
+    const ConvCase& layer = trace.plan_cases[req.plan];
+    req.x = tensor::random_activations(layer.spec.c, layer.spec.h, layer.spec.w, 4, trace_rng);
+    trace.requests.push_back(std::move(req));
+  }
+  trace.spec = spec;
+  return trace;
 }
 
 }  // namespace flash::testing

@@ -74,9 +74,38 @@ struct ConvCase {
 
 ConvCase make_conv_case(ConvSpec spec);
 
+/// Shape of one mixed-plan serving trace: a handful of distinct layer plans
+/// plus a request sequence that interleaves them (the ConvServer batching
+/// workload). Zero fields derive from the seed. The trace draws from its own
+/// kTrace sub-stream, so a trace and the conv cases embedded in it never
+/// perturb each other's derivations.
+struct ServeTraceSpec {
+  std::uint64_t seed = 0;
+  std::size_t plans = 0;     // distinct layer plans
+  std::size_t requests = 0;  // total requests across all plans
+
+  std::string describe() const;
+  bool operator==(const ServeTraceSpec&) const = default;
+};
+
+struct ServeTrace {
+  ServeTraceSpec spec;  // resolved
+  /// One layer per plan (params + weights + geometry); the embedded `x` is
+  /// the plan's canonical activation shape, not a request.
+  std::vector<ConvCase> plan_cases;
+  struct Request {
+    std::size_t plan = 0;
+    tensor::Tensor3 x{1, 1, 1};  // fresh activation with the plan's shape
+  };
+  std::vector<Request> requests;  // submission order
+};
+
+ServeTrace make_serve_trace(ServeTraceSpec spec);
+
 /// Parse the output of PolymulSpec/ConvSpec::describe back into a spec.
 /// Returns false on malformed input. This is the `flash_fuzz --repro` path.
 bool parse_polymul_spec(const std::string& text, PolymulSpec& out);
 bool parse_conv_spec(const std::string& text, ConvSpec& out);
+bool parse_serve_trace_spec(const std::string& text, ServeTraceSpec& out);
 
 }  // namespace flash::testing

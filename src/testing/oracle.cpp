@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <complex>
+#include <deque>
 #include <sstream>
 
 #include "analysis/fxp_analyzer.hpp"
@@ -12,6 +13,7 @@
 #include "hemath/ntt.hpp"
 #include "hemath/shoup_ntt.hpp"
 #include "protocol/conv_runner.hpp"
+#include "serve/conv_server.hpp"
 #include "sparsefft/executor.hpp"
 #include "tensor/conv.hpp"
 
@@ -278,6 +280,94 @@ OracleReport HConvOracle::run(const ConvCase& c) const {
                     std::string("party shares differ from the ") + first_name + " backend");
       }
     }
+  }
+  return OracleReport{};
+}
+
+OracleReport HConvOracle::run_trace(const ServeTrace& trace, std::size_t dispatchers,
+                                    std::size_t max_batch) const {
+  // One context per plan (plans may carry different parameter sets); deque
+  // keeps addresses stable for the non-owning PlanSpec pointers.
+  std::deque<bfv::BfvContext> contexts;
+
+  serve::ServerOptions sopts;
+  sopts.max_queue = trace.requests.size();
+  sopts.max_batch = max_batch;
+  sopts.dispatchers = dispatchers;
+  serve::ConvServer server(sopts);
+
+  std::vector<serve::PlanId> plan_ids;
+  for (const ConvCase& layer : trace.plan_cases) {
+    contexts.emplace_back(layer.params);
+    serve::PlanSpec spec;
+    spec.ctx = &contexts.back();
+    spec.backend = bfv::PolyMulBackend::kNtt;
+    spec.protocol_seed = layer.spec.seed;
+    spec.weights = layer.weights;
+    spec.stride = layer.spec.stride;
+    spec.pad = static_cast<std::size_t>(layer.spec.pad);
+    spec.in_h = layer.spec.h;
+    spec.in_w = layer.spec.w;
+    plan_ids.push_back(server.register_plan(spec));
+  }
+
+  std::vector<serve::ConvFuture> futures;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    serve::SubmitOptions opts;
+    opts.stream = i;  // pin the determinism key to the trace position
+    futures.push_back(server.submit(plan_ids[trace.requests[i].plan], trace.requests[i].x, opts));
+  }
+  server.drain();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeTrace::Request& req = trace.requests[i];
+    const ConvCase& layer = trace.plan_cases[req.plan];
+    if (futures[i].state() != serve::RequestState::kDone) {
+      return fail("trace-request-state",
+                  "request " + std::to_string(i) + " ended " +
+                      serve::to_string(futures[i].state()) + " (" + futures[i].error() + "), " +
+                      trace.spec.describe());
+    }
+    const protocol::ConvRunnerResult& served = futures[i].result();
+
+    // Serial reference: a fresh protocol with the plan's seed, same stream.
+    protocol::HConvProtocol proto(contexts[req.plan], bfv::PolyMulBackend::kNtt, std::nullopt,
+                                  layer.spec.seed);
+    protocol::ConvRunner runner(proto);
+    const protocol::ConvRunnerResult serial =
+        runner.run(req.x, layer.weights, layer.spec.stride,
+                   static_cast<std::size_t>(layer.spec.pad), static_cast<std::uint64_t>(i) << 32);
+    if (served.client_share.data() != serial.client_share.data() ||
+        served.server_share.data() != serial.server_share.data()) {
+      return fail("trace-batched-vs-serial",
+                  "request " + std::to_string(i) + " shares differ from the serial run (" +
+                      trace.spec.describe() + ")");
+    }
+
+    const tensor::Tensor3 expect =
+        tensor::conv2d(req.x, layer.weights,
+                       tensor::ConvSpec{layer.spec.stride,
+                                        static_cast<std::size_t>(layer.spec.pad)});
+    if (served.reconstruct(layer.params.t).data() != expect.data()) {
+      return fail("trace-vs-cleartext", "request " + std::to_string(i) +
+                                            " disagrees with direct conv2d (" +
+                                            trace.spec.describe() + ")");
+    }
+  }
+
+  const serve::ServerMetrics& m = server.metrics();
+  if (m.terminal() != m.submitted.value()) {
+    return fail("trace-metrics-conservation",
+                std::to_string(m.submitted.value()) + " submitted but " +
+                    std::to_string(m.terminal()) + " terminal outcomes");
+  }
+  if (m.queue_depth.value() != 0 || m.inflight.value() != 0) {
+    return fail("trace-metrics-drained", "queue_depth/inflight nonzero after drain");
+  }
+  if (m.completed.value() != trace.requests.size()) {
+    return fail("trace-metrics-completed",
+                std::to_string(m.completed.value()) + " completed, expected " +
+                    std::to_string(trace.requests.size()));
   }
   return OracleReport{};
 }

@@ -71,6 +71,21 @@ class HConvOracle {
   explicit HConvOracle(OracleOptions options = {}) : options_(options) {}
   OracleReport run(const ConvCase& c) const;
 
+  /// Batched-equivalence check: plays a mixed-plan request trace through a
+  /// ConvServer (every plan registered once, all requests submitted up
+  /// front, plan-batched dispatch) and requires each request's shares to be
+  /// *bit-identical* to a standalone serial ConvRunner call with the same
+  /// seed and stream — batching, queueing and plan interleaving must not be
+  /// able to change a single output bit — plus correct against cleartext
+  /// conv2d, plus metrics conservation (every submitted request terminal,
+  /// queue drained to zero).
+  ///
+  /// dispatchers = 0 runs the server in deterministic manual-dispatch mode
+  /// on the calling thread; >= 1 exercises the real dispatcher threads (the
+  /// soak tier runs this under TSan).
+  OracleReport run_trace(const ServeTrace& trace, std::size_t dispatchers = 1,
+                         std::size_t max_batch = 4) const;
+
  private:
   OracleOptions options_;
 };

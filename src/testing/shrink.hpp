@@ -30,16 +30,21 @@ struct ShrinkOutcome {
 
 /// `still_fails(spec)` must regenerate the case and rerun the oracle.
 /// `max_evals` caps oracle invocations so shrinking can't eat the fuzz
-/// budget on a pathological case.
+/// budget on a pathological case. `stop` (optional) is polled before every
+/// oracle evaluation; once it returns true the shrinker returns the best
+/// spec found so far — this is how a fuzz wall-clock budget cuts a shrink
+/// short instead of overshooting by up to max_evals oracle runs.
 template <typename Spec, typename StillFails>
 ShrinkOutcome<Spec> shrink_spec(Spec failing, const std::vector<Reducer<Spec>>& reducers,
-                                StillFails&& still_fails, std::size_t max_evals = 64) {
+                                StillFails&& still_fails, std::size_t max_evals = 64,
+                                const std::function<bool()>& stop = {}) {
   ShrinkOutcome<Spec> outcome{failing, 0, 0};
   bool progressed = true;
   while (progressed && outcome.tried < max_evals) {
     progressed = false;
     for (const auto& reduce : reducers) {
       if (outcome.tried >= max_evals) break;
+      if (stop && stop()) return outcome;
       Spec candidate = outcome.spec;
       if (!reduce(candidate)) continue;
       ++outcome.tried;

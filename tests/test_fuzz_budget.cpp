@@ -1,0 +1,95 @@
+// Regression tests for flash_fuzz --time-budget overshoot.
+//
+// The engine historically checked the wall clock only between iterations, so
+// a case that failed *at* the budget edge would still run a full shrink —
+// up to 64 additional oracle evaluations — past the deadline. With the
+// oracle-delay hook making each evaluation artificially slow (the
+// slow-workload injection the issue asks for), the old behavior overshoots a
+// 50 ms budget by multiple seconds; the fixed engine re-checks the budget
+// before every evaluation (initial, shrink candidate, and post-shrink
+// confirmation) and must land within a couple of evaluations of the budget.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "testing/fuzz.hpp"
+
+namespace flash::testing {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kEvalDelay = std::chrono::milliseconds(30);
+
+void slow_oracle_hook() { std::this_thread::sleep_for(kEvalDelay); }
+
+double run_and_time(const FuzzOptions& options, FuzzResult& result) {
+  std::ostringstream log;
+  const Clock::time_point start = Clock::now();
+  result = run_fuzz(options, log);
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TEST(FuzzBudget, BudgetStopsCleanRunWithinOneEvaluation) {
+  testing_hooks::set_oracle_delay_hook(&slow_oracle_hook);
+  FuzzOptions options;
+  options.seed = 42;
+  options.iters = 100000;  // far more than the budget allows
+  options.conv_every = 0;  // polymul-only: every iteration costs ~kEvalDelay
+  options.time_budget_s = 0.05;
+  FuzzResult result;
+  const double elapsed = run_and_time(options, result);
+  testing_hooks::set_oracle_delay_hook(nullptr);
+
+  EXPECT_TRUE(result.ok()) << result.failures.size() << " unexpected failures";
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_LT(result.cases_run, 10u);
+  // Budget + at most ~2 delayed evaluations of slack (the one in flight when
+  // the budget expires, plus scheduling noise). The unfixed engine is only
+  // bounded by iters here, so this bound is also meaningful for clean runs.
+  EXPECT_LT(elapsed, 0.05 + 10 * 0.030);
+}
+
+TEST(FuzzBudget, BudgetCutsShrinkShortOnInjectedFailure) {
+  testing_hooks::set_oracle_delay_hook(&slow_oracle_hook);
+  FuzzOptions options;
+  options.seed = 42;
+  options.iters = 4;
+  options.conv_every = 0;
+  options.oracle.fault = FaultInjection::kTwiddleQuantization;  // every case fails
+  options.max_failures = 8;
+  options.time_budget_s = 0.05;
+  FuzzResult result;
+  const double elapsed = run_and_time(options, result);
+  testing_hooks::set_oracle_delay_hook(nullptr);
+
+  // The failure is still reported (with the unshrunk spec as reproducer if
+  // the budget killed the shrink)...
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_FALSE(result.failures.front().reproducer.empty());
+  EXPECT_TRUE(result.budget_exhausted);
+  // ...but the shrink must not have burned its 64-evaluation cap after the
+  // deadline: pre-fix this run takes >= 64 * 30 ms ~= 2 s.
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(FuzzBudget, UnbudgetedRunsStillShrink) {
+  // Guard against over-correcting: with no time budget the shrink still
+  // runs to completion and reduces the injected failure.
+  FuzzOptions options;
+  options.seed = 42;
+  options.iters = 1;
+  options.conv_every = 0;
+  options.oracle.fault = FaultInjection::kTwiddleQuantization;
+  options.max_failures = 1;
+  FuzzResult result;
+  run_and_time(options, result);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_GT(result.failures.front().shrink_steps, 0u);
+}
+
+}  // namespace
+}  // namespace flash::testing
