@@ -1,0 +1,165 @@
+// Network-session serving throughput: pipelined NetworkServer sessions vs
+// one-session-at-a-time serial execution (ARCHITECTURE.md §10).
+//
+// Scenario: 4 concurrent private-inference sessions run the same
+// resnet18-like stack (stem, two residual stages, strided downsample, FC
+// head). The sequential baseline runs each session through
+// run_network_serial — a bare ConvRunner per session, paying the full
+// weight-transform phase for every conv layer of every session. The served
+// path lowers the stack to a NetworkProgram once (each conv layer's plan
+// registered and its weight spectra prepared up front, deduplicated across
+// sessions) and starts all sessions together, so layer k of session A
+// batches with layer k of session B and each request pays only the
+// input-dependent phases. With weight transforms ~70% of an approximate-FFT
+// HConv (bench_fig1_profile), the pipelined path must clear >= 1.5x — the
+// benchdiff gate on the committed BENCH_network_pr6.json enforces it
+// (ratio record, lower is better).
+//
+// Determinism first: session s uses stream base s * kSessionStreamStride on
+// both paths, and the bench *asserts* every recorded layer output (and the
+// final features/logits) of every pipelined session is bit-identical to its
+// serial run before reporting any number.
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bfv/context.hpp"
+#include "core/flash_accelerator.hpp"
+#include "serve/network_session.hpp"
+#include "tensor/quant.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flash;
+
+  const std::string json_path = benchjson::extract_json_path(argc, argv);
+
+  constexpr std::size_t kSessions = 4;
+  constexpr std::uint64_t kSeed = 20250808;
+
+  // FLASH datapath (approximate FXP FFT): the design point whose per-request
+  // weight-transform share the session layer exists to amortize.
+  const bfv::BfvParams params = bfv::BfvParams::create(2048, 17, 44);
+  bfv::BfvContext ctx(params);
+  const fft::FxpFftConfig approx_cfg = core::high_accuracy_approx_config(params.n, params.t);
+
+  std::mt19937_64 rng(11);
+  const tensor::LayerStack stack = tensor::LayerStack::resnet18_like(3, 4, 8, 4, 4, 4, rng);
+  std::size_t conv_layers = 0;
+  for (const auto& l : stack.layers) {
+    if (l.kind == tensor::NetLayer::Kind::kConv) ++conv_layers;
+  }
+  std::vector<tensor::Tensor3> inputs;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    inputs.push_back(tensor::random_activations(3, 8, 8, 4, rng));
+  }
+
+  std::printf("=== network serve: pipelined sessions vs serial per-session ===\n\n");
+  std::printf("network: resnet18-like 3ch 8x8 -> 4 classes, %zu layers (%zu conv); "
+              "backend approx-fft (N=%zu); %zu sessions\n\n",
+              stack.layers.size(), conv_layers, params.n, kSessions);
+
+  // --- Baseline: sessions one after another, each with its own runner (full
+  // weight transforms per conv layer per session). Also the bit-identity
+  // reference for the served path.
+  std::vector<tensor::NetworkResult> serial_results(kSessions);
+  std::vector<std::vector<tensor::Tensor3>> serial_outputs(kSessions);
+  const Clock::time_point serial_start = Clock::now();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    serial_results[s] = serve::run_network_serial(
+        stack, ctx, bfv::PolyMulBackend::kApproxFft, approx_cfg, kSeed, inputs[s],
+        s * serve::kSessionStreamStride, &serial_outputs[s]);
+  }
+  const double serial_s = seconds_since(serial_start);
+
+  // --- Served: program lowered once (plan prep outside the timed window —
+  // the once-per-network cost the server amortizes), then all sessions start
+  // together and pipeline through one dispatcher.
+  serve::ServerOptions sopts;
+  sopts.max_queue = kSessions * conv_layers;
+  sopts.max_batch = kSessions;
+  sopts.dispatchers = 1;
+  serve::ConvServer server(sopts);
+  serve::NetworkServer net(server);
+  const auto program = std::make_shared<const serve::NetworkProgram>(serve::NetworkProgram::build(
+      server, stack, ctx, bfv::PolyMulBackend::kApproxFft, approx_cfg, kSeed,
+      tensor::Shape3{3, 8, 8}));
+
+  std::vector<serve::NetworkSession> sessions(kSessions);
+  const Clock::time_point piped_start = Clock::now();
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    serve::SessionOptions opts;
+    opts.stream_base = s * serve::kSessionStreamStride;
+    opts.record_layer_outputs = true;
+    sessions[s] = net.start(program, inputs[s], opts);
+  }
+  net.run_to_completion();
+  const double piped_s = seconds_since(piped_start);
+
+  // Bit-identity gate: a throughput number for wrong results is worthless.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    if (sessions[s].state() != serve::SessionState::kCompleted) {
+      std::fprintf(stderr, "bench_network_serve: session %zu not completed: %s\n", s,
+                   sessions[s].error().c_str());
+      return 1;
+    }
+    const auto outputs = sessions[s].layer_outputs();
+    if (outputs.size() != serial_outputs[s].size()) {
+      std::fprintf(stderr, "bench_network_serve: session %zu layer count mismatch\n", s);
+      return 1;
+    }
+    for (std::size_t l = 0; l < outputs.size(); ++l) {
+      if (outputs[l].data() != serial_outputs[s][l].data()) {
+        std::fprintf(stderr,
+                     "bench_network_serve: session %zu layer %zu not bit-identical to serial\n", s,
+                     l);
+        return 1;
+      }
+    }
+    if (sessions[s].features().data() != serial_results[s].features.data() ||
+        sessions[s].has_logits() != serial_results[s].has_logits ||
+        (sessions[s].has_logits() && sessions[s].logits() != serial_results[s].logits)) {
+      std::fprintf(stderr, "bench_network_serve: session %zu features/logits mismatch\n", s);
+      return 1;
+    }
+  }
+
+  const double serial_ns = serial_s * 1e9 / static_cast<double>(kSessions);
+  const double piped_ns = piped_s * 1e9 / static_cast<double>(kSessions);
+  const double ratio = piped_ns / serial_ns;
+
+  std::printf("sequential (per-session weight transforms): %8.2f ms/session\n", serial_ns * 1e-6);
+  std::printf("pipelined  (shared program, plan-batched):  %8.2f ms/session\n", piped_ns * 1e-6);
+  std::printf("pipelined/sequential ratio: %.3f  (speedup %.2fx; gate requires >= 1.5x)\n", ratio,
+              1.0 / ratio);
+
+  if (ratio > 1.0 / 1.5) {
+    std::fprintf(stderr, "bench_network_serve: pipelined speedup %.2fx below the 1.5x floor\n",
+                 1.0 / ratio);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::vector<benchjson::Record> records;
+    records.push_back({"network_serve_sequential_ns_per_session", serial_ns, "ns",
+                       static_cast<std::int64_t>(kSessions)});
+    records.push_back({"network_serve_pipelined_ns_per_session", piped_ns, "ns",
+                       static_cast<std::int64_t>(kSessions)});
+    records.push_back({"network_serve_pipelined_over_sequential_ratio", ratio, "ratio",
+                       static_cast<std::int64_t>(kSessions)});
+    if (!benchjson::write_json(json_path, "bench_network_serve", records)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

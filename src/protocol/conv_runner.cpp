@@ -92,12 +92,12 @@ struct PhaseDef {
   std::size_t a, b, index;
 };
 
-std::vector<PhaseDef> live_phases(std::size_t k, std::size_t stride) {
+std::vector<PhaseDef> live_phases(std::size_t kernel_h, std::size_t kernel_w, std::size_t stride) {
   std::vector<PhaseDef> phases;
-  for (std::size_t a = 0; a < std::min(stride, k); ++a) {
-    for (std::size_t b = 0; b < std::min(stride, k); ++b) {
-      const std::size_t kh = (k > a) ? (k - a + stride - 1) / stride : 0;
-      const std::size_t kw = (k > b) ? (k - b + stride - 1) / stride : 0;
+  for (std::size_t a = 0; a < std::min(stride, kernel_h); ++a) {
+    for (std::size_t b = 0; b < std::min(stride, kernel_w); ++b) {
+      const std::size_t kh = (kernel_h > a) ? (kernel_h - a + stride - 1) / stride : 0;
+      const std::size_t kw = (kernel_w > b) ? (kernel_w - b + stride - 1) / stride : 0;
       if (kh == 0 || kw == 0) continue;
       phases.push_back({a, b, phases.size()});
     }
@@ -189,9 +189,8 @@ ConvRunnerResult ConvRunner::run_padded(const tensor::Tensor3& padded,
   }
 
   const auto& p = protocol_.context().params();
-  const std::size_t k = weights.kernel_h();
-  const std::size_t out_h = (padded.height() - k) / stride + 1;
-  const std::size_t out_w = (padded.width() - k) / stride + 1;
+  const std::size_t out_h = (padded.height() - weights.kernel_h()) / stride + 1;
+  const std::size_t out_w = (padded.width() - weights.kernel_w()) / stride + 1;
 
   ConvRunnerResult total;
   total.client_share = tensor::Tensor3(weights.out_channels(), out_h, out_w);
@@ -200,7 +199,7 @@ ConvRunnerResult ConvRunner::run_padded(const tensor::Tensor3& padded,
   // Each live phase is an independent stride-1 sub-convolution, so they fan
   // out over the pool. Phase p owns the stream block
   // [stream_base + (p << 16), stream_base + ((p+1) << 16)) for its tiles.
-  const std::vector<PhaseDef> phases = live_phases(k, stride);
+  const std::vector<PhaseDef> phases = live_phases(weights.kernel_h(), weights.kernel_w(), stride);
 
   std::vector<ConvRunnerResult> phase_results(phases.size());
   core::for_range(pool_, phases.size(), [&](std::size_t i) {
@@ -274,7 +273,7 @@ std::shared_ptr<const ConvPlan> ConvRunner::prepare(std::size_t in_c, std::size_
     phase.weights = weights;
     plan->phases.push_back(std::move(phase));
   } else {
-    for (const PhaseDef& ph : live_phases(weights.kernel_h(), stride)) {
+    for (const PhaseDef& ph : live_phases(weights.kernel_h(), weights.kernel_w(), stride)) {
       ConvPlan::Phase phase;
       phase.a = ph.a;
       phase.b = ph.b;

@@ -82,15 +82,31 @@ struct ConvFuture::Shared {
   protocol::ConvRunnerResult result FLASH_GUARDED_BY(mu);
   std::string error FLASH_GUARDED_BY(mu);
   double retry_after_s FLASH_GUARDED_BY(mu) = 0.0;
+  /// Fired exactly once, after the terminal transition and with no locks
+  /// held (see ConvFuture::on_terminal). Taken under mu, invoked outside it.
+  std::function<void()> on_terminal FLASH_GUARDED_BY(mu);
 
   static bool terminal(RequestState s) {
     return s != RequestState::kQueued && s != RequestState::kRunning;
   }
 
+  /// Move the callback out under the lock so the (unlocked) caller fires it
+  /// exactly once; every terminal transition site goes through this.
+  std::function<void()> take_callback() FLASH_REQUIRES(mu) {
+    std::function<void()> cb = std::move(on_terminal);
+    on_terminal = nullptr;
+    return cb;
+  }
+
   void complete(RequestState terminal_state) {
-    std::lock_guard<std::mutex> lock(mu);
-    state = terminal_state;
-    cv.notify_all();
+    std::function<void()> cb;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      state = terminal_state;
+      cb = take_callback();
+      cv.notify_all();
+    }
+    if (cb) cb();
   }
 };
 
@@ -140,17 +156,33 @@ std::uint64_t ConvFuture::stream() const { return shared_->stream; }
 
 bool ConvFuture::cancel() {
   ServerMetrics* metrics = nullptr;
+  std::function<void()> cb;
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
     if (shared_->state != RequestState::kQueued) return false;
     shared_->state = RequestState::kCancelled;
     metrics = shared_->metrics;
+    cb = shared_->take_callback();
     shared_->cv.notify_all();
   }
   // A kQueued request implies the server is alive (drain forces every queued
   // request terminal before the server dies), so `metrics` is valid here.
   metrics->cancelled.inc();
+  if (cb) cb();
   return true;
+}
+
+void ConvFuture::on_terminal(std::function<void()> fn) {
+  bool fire_now = false;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (Shared::terminal(shared_->state)) {
+      fire_now = true;  // fire below, outside the lock
+    } else {
+      shared_->on_terminal = std::move(fn);
+    }
+  }
+  if (fire_now) fn();
 }
 
 /// One registered layer: its own protocol instance (per-plan seed and
@@ -325,19 +357,30 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
     // Claim: exactly one of {this claim, a racing cancel()} wins. A lost
     // claim (already cancelled) just releases the slot.
     {
-      std::lock_guard<std::mutex> lock(req->mu);
-      if (req->state == RequestState::kCancelled) {
-        metrics_.inflight.sub(1);
-        continue;
+      bool deadline_expired = false;
+      std::function<void()> cb;
+      {
+        std::lock_guard<std::mutex> lock(req->mu);
+        if (req->state == RequestState::kCancelled) {
+          // cancel() already fired the completion callback.
+          metrics_.inflight.sub(1);
+          continue;
+        }
+        if (req->deadline.has_value() && Clock::now() >= *req->deadline) {
+          req->state = RequestState::kDeadlineExceeded;
+          cb = req->take_callback();
+          req->cv.notify_all();
+          deadline_expired = true;
+        } else {
+          req->state = RequestState::kRunning;
+        }
       }
-      if (req->deadline.has_value() && Clock::now() >= *req->deadline) {
-        req->state = RequestState::kDeadlineExceeded;
-        req->cv.notify_all();
+      if (deadline_expired) {
         metrics_.deadline_expired_in_queue.inc();
         metrics_.inflight.sub(1);
+        if (cb) cb();
         continue;
       }
-      req->state = RequestState::kRunning;
     }
     const Clock::time_point start = Clock::now();
     metrics_.queue_wait.record_ns(elapsed_ns(req->admit_time, start));
@@ -353,6 +396,7 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
     }
 
     const Clock::time_point end = Clock::now();
+    std::function<void()> cb;
     {
       std::lock_guard<std::mutex> lock(req->mu);
       if (ok) {
@@ -362,12 +406,17 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
         req->error = std::move(error);
         req->state = RequestState::kFailed;
       }
+      cb = req->take_callback();
       req->cv.notify_all();
     }
     (ok ? metrics_.completed : metrics_.failed).inc();
     metrics_.service.record_ns(elapsed_ns(start, end));
     metrics_.end_to_end.record_ns(elapsed_ns(req->admit_time, end));
     metrics_.inflight.sub(1);
+    // Fired after the metrics update so a callback observing the server
+    // sees this request fully accounted; no locks are held here, so the
+    // callback may submit follow-up requests.
+    if (cb) cb();
     ++executed;
   }
 
@@ -375,21 +424,25 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
     metrics_.batches_dispatched.inc();
     metrics_.note_batch(batch.front()->plan, executed);
     const std::uint64_t batch_ns = elapsed_ns(pickup, Clock::now());
-    const std::uint64_t prev = batch_ns_ewma_.load(std::memory_order_relaxed);
-    batch_ns_ewma_.store(prev == 0 ? batch_ns : (3 * prev + batch_ns) / 4,
-                         std::memory_order_relaxed);
+    const std::uint64_t prev = batch_ewma_q8_.load(std::memory_order_relaxed);
+    batch_ewma_q8_.store(ewma::update_q8(prev, batch_ns), std::memory_order_relaxed);
   }
 }
 
 double ConvServer::retry_after_estimate_s() const {
-  const std::uint64_t per_batch_ns = batch_ns_ewma_.load(std::memory_order_relaxed);
-  if (per_batch_ns == 0) return options_.default_retry_after_s;
+  const std::uint64_t per_batch_ns = ewma::ewma_ns(batch_ewma_q8_.load(std::memory_order_relaxed));
+  if (per_batch_ns == 0) {
+    // Cold start: no batch has been timed yet. The configured default is
+    // the hint, clamped to the positive floor — a 0 here would tell every
+    // rejected client to hammer the server again immediately.
+    return std::max(options_.default_retry_after_s, kMinRetryAfterS);
+  }
   // Full queue => ~max_queue/max_batch batches ahead of a retried request.
   const double batches_ahead =
       static_cast<double>(options_.max_queue) /
           static_cast<double>(std::max<std::size_t>(options_.max_batch, 1)) +
       1.0;
-  return batches_ahead * static_cast<double>(per_batch_ns) * 1e-9;
+  return std::max(batches_ahead * static_cast<double>(per_batch_ns) * 1e-9, kMinRetryAfterS);
 }
 
 void ConvServer::drain() FLASH_NO_THREAD_SAFETY_ANALYSIS {

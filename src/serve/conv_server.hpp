@@ -28,6 +28,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <thread>
 
@@ -39,6 +40,36 @@ namespace flash::serve {
 
 using PlanId = std::size_t;
 using Clock = std::chrono::steady_clock;
+
+/// Hard floor on every retry_after_s backpressure hint. A rejected client
+/// told to "retry in 0s" retries immediately — a thundering herd exactly
+/// when the server is coldest (no batch timed yet) or slowest, so even a
+/// misconfigured default_retry_after_s <= 0 never reaches the client as 0.
+inline constexpr double kMinRetryAfterS = 1e-3;
+
+/// Batch-time EWMA with 3/4 decay, kept in Q8 fixed point. The plain
+/// integer update (3*prev + sample)/4 truncates toward zero every step: it
+/// can never settle on values not divisible by 4 (fixpoints sit at up to
+/// sample-1 from below) and systematically under-reports. In Q8 the sticky
+/// fixpoints are within 2/256 ns of the target and the rounding readout
+/// maps them exactly onto it, so the estimate converges bit-exactly from
+/// above and from below (pinned in test_serve).
+namespace ewma {
+inline constexpr int kFracBits = 8;
+
+/// One filter step. prev_q8 == 0 means "no sample yet": the first sample
+/// seeds the filter directly. Samples are clamped to >= 1 ns so a genuine
+/// 0 ns batch cannot masquerade as the unset sentinel.
+constexpr std::uint64_t update_q8(std::uint64_t prev_q8, std::uint64_t sample_ns) {
+  const std::uint64_t sample_q8 = (sample_ns == 0 ? 1 : sample_ns) << kFracBits;
+  return prev_q8 == 0 ? sample_q8 : (3 * prev_q8 + sample_q8 + 2) >> 2;
+}
+
+/// Round-to-nearest nanosecond readout; 0 iff no sample was ever recorded.
+constexpr std::uint64_t ewma_ns(std::uint64_t q8) {
+  return (q8 + (std::uint64_t{1} << (kFracBits - 1))) >> kFracBits;
+}
+}  // namespace ewma
 
 /// One servable layer: everything but the activation.
 struct PlanSpec {
@@ -100,6 +131,15 @@ class ConvFuture {
   /// admitted) and its result stands.
   bool cancel();
 
+  /// Register a completion callback, invoked exactly once when the request
+  /// reaches a terminal state — immediately on the calling thread if it
+  /// already has. The callback always runs with no server or request locks
+  /// held, so it may submit follow-up requests to the same server: the
+  /// network session layer chains layer k+1 on layer k's completion this
+  /// way. At most one callback per request; registering again replaces an
+  /// unfired callback.
+  void on_terminal(std::function<void()> fn);
+
  private:
   friend class ConvServer;
   struct Shared;
@@ -119,7 +159,9 @@ struct ServerOptions {
   /// Shared compute pool for the protocol's inner loops (non-owning; null =
   /// serial compute inside each dispatcher).
   core::ThreadPool* pool = nullptr;
-  /// retry_after_s fallback before the first batch has been timed.
+  /// retry_after_s fallback before the first batch has been timed. Values
+  /// <= kMinRetryAfterS are clamped up to it at estimate time (a cold
+  /// server must never hint "retry now").
   double default_retry_after_s = 0.05;
 };
 
@@ -176,7 +218,7 @@ class ConvServer {
   bool stop_ FLASH_GUARDED_BY(mu_) = false;
   std::condition_variable queue_cv_;  // dispatchers: work available / stop
   std::condition_variable drain_cv_;  // drain(): queue empty + idle
-  std::atomic<std::uint64_t> batch_ns_ewma_{0};
+  std::atomic<std::uint64_t> batch_ewma_q8_{0};  // ewma::update_q8 state
 
   std::vector<std::thread> dispatchers_;
 };

@@ -38,6 +38,69 @@ double LatencyHistogram::quantile_ns(double p) const {
   return std::ldexp(1.0, 64);
 }
 
+void append_histogram_json(std::ostream& out, const LatencyHistogram& h) {
+  const std::uint64_t count = h.count();
+  if (count == 0) {
+    // Empty histogram: all-zero literals. quantile_ns/mean each guard the
+    // division individually, but the exporter must not depend on that —
+    // a single NaN would corrupt the whole JSON document.
+    out << "{\"count\": 0, \"p50\": 0, \"p95\": 0, \"p99\": 0, \"mean\": 0}";
+    return;
+  }
+  const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  const double mean = static_cast<double>(h.sum_ns()) / static_cast<double>(count);
+  out << "{\"count\": " << count << ", \"p50\": " << finite(h.quantile_ns(0.50))
+      << ", \"p95\": " << finite(h.quantile_ns(0.95)) << ", \"p99\": " << finite(h.quantile_ns(0.99))
+      << ", \"mean\": " << finite(mean) << "}";
+}
+
+LatencyHistogram& SessionMetrics::layer_latency(std::size_t layer) {
+  std::lock_guard<std::mutex> lock(layers_mu_);
+  std::unique_ptr<LatencyHistogram>& slot = layers_[layer];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::size_t SessionMetrics::layer_count() const {
+  std::lock_guard<std::mutex> lock(layers_mu_);
+  return layers_.size();
+}
+
+std::uint64_t SessionMetrics::terminal() const {
+  return completed.value() + failed.value() + deadline_exceeded.value() + rejected.value();
+}
+
+std::string SessionMetrics::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  const std::pair<const char*, const Counter*> counters[] = {
+      {"started", &started},
+      {"completed", &completed},
+      {"failed", &failed},
+      {"deadline_exceeded", &deadline_exceeded},
+      {"rejected", &rejected},
+      {"layers_completed", &layers_completed},
+  };
+  for (std::size_t i = 0; i < std::size(counters); ++i) {
+    out << (i ? ", " : "") << "\"" << counters[i].first << "\": " << counters[i].second->value();
+  }
+  out << "},\n  \"gauges\": {\"active\": " << active.value()
+      << "},\n  \"latency_ns\": {\"session_e2e\": ";
+  append_histogram_json(out, session_e2e);
+  out << "},\n  \"layers\": {";
+  {
+    std::lock_guard<std::mutex> lock(layers_mu_);
+    bool first = true;
+    for (const auto& [index, h] : layers_) {
+      out << (first ? "" : ", ") << "\"" << index << "\": ";
+      append_histogram_json(out, *h);
+      first = false;
+    }
+  }
+  out << "}\n}\n";
+  return out.str();
+}
+
 void ServerMetrics::note_batch(std::size_t plan, std::size_t size) {
   std::lock_guard<std::mutex> lock(plans_mu_);
   PlanBatchStats& s = plans_[plan];
@@ -80,12 +143,8 @@ std::string ServerMetrics::to_json(std::int64_t pool_threads, std::int64_t pool_
   const std::pair<const char*, const LatencyHistogram*> histograms[] = {
       {"queue_wait", &queue_wait}, {"service", &service}, {"end_to_end", &end_to_end}};
   for (std::size_t i = 0; i < std::size(histograms); ++i) {
-    const LatencyHistogram& h = *histograms[i].second;
-    const double mean =
-        h.count() == 0 ? 0.0 : static_cast<double>(h.sum_ns()) / static_cast<double>(h.count());
-    out << (i ? ", " : "") << "\"" << histograms[i].first << "\": {\"count\": " << h.count()
-        << ", \"p50\": " << h.quantile_ns(0.50) << ", \"p95\": " << h.quantile_ns(0.95)
-        << ", \"p99\": " << h.quantile_ns(0.99) << ", \"mean\": " << mean << "}";
+    out << (i ? ", " : "") << "\"" << histograms[i].first << "\": ";
+    append_histogram_json(out, *histograms[i].second);
   }
   out << "},\n  \"plans\": {";
   {

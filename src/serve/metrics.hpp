@@ -21,7 +21,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -67,6 +69,14 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_ns_{0};
 };
+
+/// Append one histogram as {"count":..,"p50":..,"p95":..,"p99":..,"mean":..}.
+/// Centralized so every exporter (ServerMetrics, SessionMetrics, the
+/// per-layer histograms) shares one empty-histogram guard: count == 0 emits
+/// literal zeros — never a 0/0 NaN — and any non-finite value (impossible by
+/// construction, but JSON has no NaN/inf literal, so a regression here would
+/// corrupt every archived document) is coerced to 0.
+void append_histogram_json(std::ostream& out, const LatencyHistogram& h);
 
 struct PlanBatchStats {
   std::uint64_t batches = 0;
@@ -119,6 +129,46 @@ class ServerMetrics {
  private:
   mutable std::mutex plans_mu_;
   std::map<std::size_t, PlanBatchStats> plans_ FLASH_GUARDED_BY(plans_mu_);
+};
+
+/// The instrument set of one NetworkServer (serve/network_session.hpp),
+/// under the same conservation law as ServerMetrics one level up: every
+/// started session reaches exactly one of {completed, failed,
+/// deadline_exceeded, rejected}, so after quiescence
+/// terminal() == started and active == 0.
+class SessionMetrics {
+ public:
+  Counter started;
+  Counter completed;
+  Counter failed;
+  Counter deadline_exceeded;
+  Counter rejected;
+  /// Network layers finished across all sessions (conv and local alike).
+  Counter layers_completed;
+
+  Gauge active;
+
+  LatencyHistogram session_e2e;  // start() -> terminal state
+
+  /// Per-layer-index latency across sessions: layer k of every session
+  /// feeds histogram k, which is the pipelining view — batching layer k of
+  /// concurrent sessions together is exactly what should compress these.
+  /// Lazily created, stable address (the recorder keeps the reference).
+  LatencyHistogram& layer_latency(std::size_t layer);
+  std::size_t layer_count() const;
+
+  /// Terminal-outcome total (see class comment).
+  std::uint64_t terminal() const;
+
+  /// JSON document, same conventions as ServerMetrics::to_json():
+  ///   {"counters": {...}, "gauges": {"active": ..},
+  ///    "latency_ns": {"session_e2e": {...}},
+  ///    "layers": {"<index>": {"count":..,"p50":..,...}, ...}}
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex layers_mu_;
+  std::map<std::size_t, std::unique_ptr<LatencyHistogram>> layers_ FLASH_GUARDED_BY(layers_mu_);
 };
 
 /// Parse a number back out of a to_json() document: finds `"key": <number>`

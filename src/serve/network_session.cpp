@@ -1,0 +1,429 @@
+#include "serve/network_session.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "encoding/matvec.hpp"
+
+namespace flash::serve {
+
+const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kRunning: return "running";
+    case SessionState::kCompleted: return "completed";
+    case SessionState::kRejected: return "rejected";
+    case SessionState::kDeadlineExceeded: return "deadline_exceeded";
+    case SessionState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+NetworkProgram NetworkProgram::build(ConvServer& server, const tensor::LayerStack& stack,
+                                     const bfv::BfvContext& ctx, bfv::PolyMulBackend backend,
+                                     const std::optional<fft::FxpFftConfig>& approx_config,
+                                     std::uint64_t protocol_seed, tensor::Shape3 input_shape) {
+  if (stack.layers.empty()) throw std::invalid_argument("NetworkProgram: empty stack");
+  NetworkProgram program;
+  program.t = ctx.params().t;
+  program.fc_ring_n = ctx.params().n;
+
+  tensor::Shape3 shape = input_shape;
+  std::vector<tensor::Shape3> saved;
+  for (std::size_t i = 0; i < stack.layers.size(); ++i) {
+    const tensor::NetLayer& op = stack.layers[i];
+    Layer layer;
+    layer.op = op;
+    layer.in_shape = shape;
+    switch (op.kind) {
+      case tensor::NetLayer::Kind::kConv: {
+        PlanSpec spec;
+        spec.ctx = &ctx;
+        spec.backend = backend;
+        spec.approx_config = approx_config;
+        spec.protocol_seed = protocol_seed;
+        spec.weights = op.weights;
+        spec.stride = op.stride;
+        spec.pad = op.pad;
+        spec.in_h = shape.h;
+        spec.in_w = shape.w;
+        layer.plan = server.register_plan(spec);
+        ++program.conv_layers;
+        break;
+      }
+      case tensor::NetLayer::Kind::kResidualAdd: {
+        if (op.source >= saved.size()) {
+          throw std::invalid_argument("NetworkProgram: residual source not saved yet");
+        }
+        if (!(saved[op.source] == shape)) {
+          throw std::invalid_argument("NetworkProgram: residual shape mismatch");
+        }
+        break;
+      }
+      case tensor::NetLayer::Kind::kFullyConnected: {
+        if (i + 1 != stack.layers.size()) {
+          throw std::invalid_argument("NetworkProgram: FC layer must be last");
+        }
+        if (shape.volume() > program.fc_ring_n) {
+          throw std::invalid_argument("NetworkProgram: FC in_features exceeds ring degree");
+        }
+        break;
+      }
+    }
+    // Shared shape chain with the cleartext forward (also validates FC
+    // weight size and conv geometry).
+    shape = tensor::LayerStack::layer_output_shape(shape, op);
+    if (op.save_output) saved.push_back(shape);
+    program.layers.push_back(std::move(layer));
+  }
+  return program;
+}
+
+/// All mutable session state. The mutex order is session mu -> server mu_
+/// (advance() unlocks before submit()); completion callbacks arrive with no
+/// server locks held (ConvFuture::on_terminal contract), so re-locking the
+/// session there is safe.
+struct NetworkSession::Shared {
+  std::shared_ptr<const NetworkProgram> program;
+  std::shared_ptr<NetworkServer::Impl> impl;  // keeps metrics alive for callbacks
+  std::uint64_t stream_base = 0;
+  std::optional<Clock::time_point> deadline;
+  Clock::time_point start_time;
+  bool record = false;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  SessionState state FLASH_GUARDED_BY(mu) = SessionState::kRunning;
+  tensor::Tensor3 activation FLASH_GUARDED_BY(mu) {1, 1, 1};
+  std::vector<tensor::Tensor3> saved FLASH_GUARDED_BY(mu);
+  std::vector<tensor::i64> logits FLASH_GUARDED_BY(mu);
+  bool has_logits FLASH_GUARDED_BY(mu) = false;
+  std::size_t next_layer FLASH_GUARDED_BY(mu) = 0;
+  std::size_t conv_index FLASH_GUARDED_BY(mu) = 0;  // conv layers completed or inflight
+  std::string error FLASH_GUARDED_BY(mu);
+  std::vector<tensor::Tensor3> outputs FLASH_GUARDED_BY(mu);
+};
+
+struct NetworkServer::Impl : std::enable_shared_from_this<NetworkServer::Impl> {
+  explicit Impl(ConvServer& s) : server(s) {}
+
+  ConvServer& server;
+  SessionMetrics metrics;
+  std::atomic<std::uint64_t> next_stream_base{0};
+
+  std::mutex sessions_mu;
+  std::vector<std::weak_ptr<NetworkSession::Shared>> sessions FLASH_GUARDED_BY(sessions_mu);
+
+  void advance(const std::shared_ptr<NetworkSession::Shared>& s);
+  void on_conv_terminal(const std::shared_ptr<NetworkSession::Shared>& s, ConvFuture fut,
+                        std::size_t layer_index, Clock::time_point submitted);
+  void finish(const std::shared_ptr<NetworkSession::Shared>& s,
+              std::unique_lock<std::mutex>& lock, SessionState state, std::string error);
+
+  /// Post-op + bookkeeping for one finished layer. Pre: s->mu held,
+  /// `value` is the layer's post-op activation (or logits tensor for FC —
+  /// which does NOT replace the activation: features() is the pre-FC
+  /// activation, the LayerStack::forward convention).
+  void commit_layer(NetworkSession::Shared& s, std::size_t layer_index, tensor::Tensor3 value,
+                    Clock::time_point layer_start) FLASH_NO_THREAD_SAFETY_ANALYSIS;
+};
+
+void NetworkServer::Impl::commit_layer(NetworkSession::Shared& s, std::size_t layer_index,
+                                       tensor::Tensor3 value, Clock::time_point layer_start) {
+  const NetworkProgram::Layer& layer = s.program->layers[layer_index];
+  if (layer.op.save_output) s.saved.push_back(value);
+  if (s.record) s.outputs.push_back(value);
+  if (layer.op.kind != tensor::NetLayer::Kind::kFullyConnected) s.activation = std::move(value);
+  s.next_layer = layer_index + 1;
+  metrics.layers_completed.inc();
+  const auto now = Clock::now();
+  metrics.layer_latency(layer_index)
+      .record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now - layer_start).count()));
+}
+
+void NetworkServer::Impl::finish(const std::shared_ptr<NetworkSession::Shared>& s,
+                                 std::unique_lock<std::mutex>& lock, SessionState state,
+                                 std::string error) {
+  s->state = state;
+  s->error = std::move(error);
+  s->cv.notify_all();
+  lock.unlock();
+  // Metrics after unlock: nothing reads them under the session lock, and the
+  // conservation law only holds at quiescence anyway.
+  switch (state) {
+    case SessionState::kCompleted: metrics.completed.inc(); break;
+    case SessionState::kRejected: metrics.rejected.inc(); break;
+    case SessionState::kDeadlineExceeded: metrics.deadline_exceeded.inc(); break;
+    case SessionState::kFailed: metrics.failed.inc(); break;
+    case SessionState::kRunning: break;  // unreachable
+  }
+  metrics.active.sub(1);
+  metrics.session_e2e.record_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - s->start_time).count()));
+}
+
+// advance() walks local layers inline and stops at the first conv layer,
+// which it submits with the session lock dropped; the conv's on_terminal
+// callback re-enters advance(). The explicit unlock/relock pattern is
+// invisible to the static analysis (thread_annotations.hpp conventions).
+void NetworkServer::Impl::advance(const std::shared_ptr<NetworkSession::Shared>& s)
+    FLASH_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<std::mutex> lock(s->mu);
+  while (true) {
+    if (s->state != SessionState::kRunning) return;
+    if (s->deadline && Clock::now() >= *s->deadline) {
+      finish(s, lock, SessionState::kDeadlineExceeded, "session deadline exceeded");
+      return;
+    }
+    if (s->next_layer >= s->program->layers.size()) {
+      finish(s, lock, SessionState::kCompleted, {});
+      return;
+    }
+    const std::size_t layer_index = s->next_layer;
+    const NetworkProgram::Layer& layer = s->program->layers[layer_index];
+    switch (layer.op.kind) {
+      case tensor::NetLayer::Kind::kConv: {
+        SubmitOptions opts;
+        opts.deadline = s->deadline;
+        opts.stream = s->stream_base + s->conv_index;
+        tensor::Tensor3 x = s->activation;
+        const auto submitted = Clock::now();
+        lock.unlock();
+        ConvFuture fut = server.submit(layer.plan, std::move(x), opts);
+        // Registered after submit so an immediate (rejected / past-deadline)
+        // terminal fires here, on this thread, with no locks held. The
+        // callback owns a shared_ptr to the session AND to this Impl, so
+        // session state and metrics outlive the NetworkServer handle.
+        auto self = shared_from_this();
+        fut.on_terminal([self, s, fut, layer_index, submitted]() mutable {
+          self->on_conv_terminal(s, std::move(fut), layer_index, submitted);
+        });
+        return;
+      }
+      case tensor::NetLayer::Kind::kResidualAdd: {
+        const auto layer_start = Clock::now();
+        tensor::Tensor3 joined{1, 1, 1};
+        try {
+          joined = tensor::add(s->activation, s->saved.at(layer.op.source));
+          tensor::apply_join_postops(joined, layer.op);
+        } catch (const std::exception& e) {
+          finish(s, lock, SessionState::kFailed, e.what());
+          return;
+        }
+        commit_layer(*s, layer_index, std::move(joined), layer_start);
+        break;
+      }
+      case tensor::NetLayer::Kind::kFullyConnected: {
+        const auto layer_start = Clock::now();
+        tensor::Tensor3 logits_t(1, 1, layer.op.fc_out);
+        try {
+          s->logits = encoding::matvec_via_encoding(layer.op.fc_weights, s->activation.data(),
+                                                    layer.op.fc_out, s->program->fc_ring_n);
+          s->has_logits = true;
+          logits_t.data() = s->logits;
+        } catch (const std::exception& e) {
+          finish(s, lock, SessionState::kFailed, e.what());
+          return;
+        }
+        commit_layer(*s, layer_index, std::move(logits_t), layer_start);
+        break;
+      }
+    }
+  }
+}
+
+void NetworkServer::Impl::on_conv_terminal(const std::shared_ptr<NetworkSession::Shared>& s,
+                                           ConvFuture fut, std::size_t layer_index,
+                                           Clock::time_point submitted)
+    FLASH_NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<std::mutex> lock(s->mu);
+  if (s->state != SessionState::kRunning) return;
+  switch (fut.state()) {
+    case RequestState::kDone: {
+      const NetworkProgram::Layer& layer = s->program->layers[layer_index];
+      tensor::Tensor3 out{1, 1, 1};
+      try {
+        out = fut.result().reconstruct(s->program->t);
+        tensor::apply_conv_postops(out, layer.op);
+      } catch (const std::exception& e) {
+        finish(s, lock, SessionState::kFailed, e.what());
+        return;
+      }
+      ++s->conv_index;
+      commit_layer(*s, layer_index, std::move(out), submitted);
+      lock.unlock();
+      advance(s);
+      return;
+    }
+    case RequestState::kDeadlineExceeded:
+      finish(s, lock, SessionState::kDeadlineExceeded,
+             "layer " + std::to_string(layer_index) + " deadline exceeded in server");
+      return;
+    case RequestState::kRejected: {
+      std::ostringstream msg;
+      msg << "layer " << layer_index << " rejected; retry_after_s=" << fut.retry_after_s();
+      finish(s, lock, SessionState::kRejected, msg.str());
+      return;
+    }
+    default:
+      finish(s, lock, SessionState::kFailed,
+             "layer " + std::to_string(layer_index) + " " + to_string(fut.state()) +
+                 (fut.state() == RequestState::kFailed ? ": " + fut.error() : std::string{}));
+      return;
+  }
+}
+
+void NetworkSession::wait() const {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock, [&] { return shared_->state != SessionState::kRunning; });
+}
+
+bool NetworkSession::wait_for(std::chrono::nanoseconds d) const {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  return shared_->cv.wait_for(lock, d, [&] { return shared_->state != SessionState::kRunning; });
+}
+
+bool NetworkSession::done() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state != SessionState::kRunning;
+}
+
+SessionState NetworkSession::state() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state;
+}
+
+const tensor::Tensor3& NetworkSession::features() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->state != SessionState::kCompleted) {
+    throw std::logic_error("NetworkSession::features: session not completed");
+  }
+  return shared_->activation;
+}
+
+const std::vector<tensor::i64>& NetworkSession::logits() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->state != SessionState::kCompleted || !shared_->has_logits) {
+    throw std::logic_error("NetworkSession::logits: no logits available");
+  }
+  return shared_->logits;
+}
+
+bool NetworkSession::has_logits() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->has_logits;
+}
+
+std::string NetworkSession::error() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->error;
+}
+
+std::size_t NetworkSession::layers_completed() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->next_layer;
+}
+
+std::uint64_t NetworkSession::stream_base() const { return shared_->stream_base; }
+
+std::vector<tensor::Tensor3> NetworkSession::layer_outputs() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->outputs;
+}
+
+NetworkServer::NetworkServer(ConvServer& server) : impl_(std::make_shared<Impl>(server)) {}
+
+NetworkSession NetworkServer::start(std::shared_ptr<const NetworkProgram> program,
+                                    tensor::Tensor3 input, SessionOptions options) {
+  if (!program || program->layers.empty()) {
+    throw std::invalid_argument("NetworkServer::start: empty program");
+  }
+  const tensor::Shape3 in{input.channels(), input.height(), input.width()};
+  if (!(in == program->layers.front().in_shape)) {
+    throw std::invalid_argument("NetworkServer::start: input shape mismatch");
+  }
+
+  auto shared = std::make_shared<NetworkSession::Shared>();
+  shared->program = std::move(program);
+  shared->impl = impl_;
+  shared->stream_base = options.stream_base
+                            ? *options.stream_base
+                            : impl_->next_stream_base.fetch_add(1) * kSessionStreamStride;
+  shared->start_time = Clock::now();
+  if (options.deadline) {
+    shared->deadline = options.deadline;
+  } else if (options.budget) {
+    shared->deadline = shared->start_time + *options.budget;
+  }
+  shared->record = options.record_layer_outputs;
+  shared->activation = std::move(input);
+
+  impl_->metrics.started.inc();
+  impl_->metrics.active.add(1);
+  {
+    std::lock_guard<std::mutex> lock(impl_->sessions_mu);
+    impl_->sessions.push_back(shared);
+  }
+  impl_->advance(shared);
+  return NetworkSession(shared);
+}
+
+void NetworkServer::run_to_completion() {
+  while (true) {
+    // Manual mode: every dispatch completes a conv whose callback submits
+    // the session's next layer synchronously, so an empty queue here means
+    // either all sessions are terminal or dispatchers own the rest.
+    while (impl_->server.dispatch_once()) {
+    }
+    std::shared_ptr<NetworkSession::Shared> active;
+    {
+      std::lock_guard<std::mutex> lock(impl_->sessions_mu);
+      auto& sessions = impl_->sessions;
+      for (std::size_t i = sessions.size(); i-- > 0;) {
+        auto s = sessions[i].lock();
+        bool terminal = true;
+        if (s) {
+          std::lock_guard<std::mutex> slock(s->mu);
+          terminal = s->state != SessionState::kRunning;
+        }
+        if (!s || terminal) {
+          sessions.erase(sessions.begin() + static_cast<std::ptrdiff_t>(i));
+        } else if (!active) {
+          active = std::move(s);
+        }
+      }
+    }
+    if (!active) return;
+    // Threaded dispatchers may still be working this session; park briefly
+    // on its cv, then re-check (and lend a hand to any refilled queue).
+    std::unique_lock<std::mutex> lock(active->mu);
+    active->cv.wait_for(lock, std::chrono::milliseconds(2),
+                        [&] { return active->state != SessionState::kRunning; });
+  }
+}
+
+const SessionMetrics& NetworkServer::session_metrics() const { return impl_->metrics; }
+
+std::string NetworkServer::metrics_json() const { return impl_->metrics.to_json(); }
+
+tensor::NetworkResult run_network_serial(const tensor::LayerStack& stack,
+                                         const bfv::BfvContext& ctx, bfv::PolyMulBackend backend,
+                                         const std::optional<fft::FxpFftConfig>& approx_config,
+                                         std::uint64_t protocol_seed, const tensor::Tensor3& input,
+                                         std::uint64_t stream_base,
+                                         std::vector<tensor::Tensor3>* layer_outputs) {
+  protocol::HConvProtocol protocol(ctx, backend, approx_config, protocol_seed, nullptr);
+  protocol::ConvRunner runner(protocol);
+  const std::uint64_t t = ctx.params().t;
+  std::uint64_t conv_index = 0;
+  const auto conv = [&](const tensor::Tensor3& x, const tensor::Tensor4& w, std::size_t stride,
+                        std::size_t pad) {
+    return runner.run(x, w, stride, pad, (stream_base + conv_index++) << 32).reconstruct(t);
+  };
+  return stack.forward(input, conv, layer_outputs);
+}
+
+}  // namespace flash::serve

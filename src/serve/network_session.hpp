@@ -1,0 +1,163 @@
+// Network-session serving on top of ConvServer (ARCHITECTURE.md §10).
+//
+// One session = one private inference through a whole network: an ordered
+// tensor::LayerStack where layer k+1 consumes layer k's output. The session
+// layer turns that dependency chain into ConvServer traffic:
+//
+//   * a NetworkProgram lowers a LayerStack once: each conv layer becomes a
+//     registered plan (content-deduplicated — two sessions of the same
+//     network share every plan), local layers (residual joins, the FC head)
+//     stay host-side;
+//   * a NetworkSession walks the program via ConvFuture::on_terminal
+//     chaining: when layer k's conv completes, the callback reconstructs,
+//     applies the layer's post-ops and submits layer k+1 — no thread parks
+//     waiting on a future, so any number of sessions pipeline through one
+//     dispatcher;
+//   * cross-session pipelining falls out of plan dedup: while session A is
+//     on layer 3, session B's layer-3 request lands in the same plan queue
+//     and batches with it (pinned by test_network_serve).
+//
+// Determinism contract, one level up from ConvServer's: a session with
+// stream base S executes conv layer k on ConvServer stream S + k, i.e.
+// runner base (S + k) << 32 — so the whole session is bit-identical to a
+// serial bare-runner run (run_network_serial) with the same base, no matter
+// how sessions interleave, batch, or how many dispatchers run. The network
+// oracle (testing/oracle.hpp) enforces exactly this.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "serve/conv_server.hpp"
+#include "tensor/network.hpp"
+
+namespace flash::serve {
+
+/// Consecutive sessions' default stream bases are spaced this far apart, so
+/// a session has room for that many conv layers before its streams could
+/// collide with the next session's. Explicit SessionOptions::stream_base
+/// values should keep the same spacing.
+inline constexpr std::uint64_t kSessionStreamStride = 1024;
+
+/// A LayerStack lowered onto a ConvServer: per-layer plan ids plus the
+/// shape chain. Immutable; shared by every session of the same network.
+struct NetworkProgram {
+  struct Layer {
+    tensor::NetLayer op;
+    /// Valid iff op.kind == kConv.
+    PlanId plan = 0;
+    tensor::Shape3 in_shape;
+  };
+
+  std::vector<Layer> layers;
+  std::uint64_t t = 0;  // sharing modulus, for share reconstruction
+  std::size_t fc_ring_n = 0;  // ring degree for the FC matvec encoding
+  std::size_t conv_layers = 0;
+
+  /// Lower `stack` for `server`: registers one plan per conv layer (with the
+  /// shared protocol seed), validates the shape chain from `input_shape`
+  /// (residual sources saved and shape-matched, FC last with
+  /// flatten <= ring degree). Throws std::invalid_argument on any mismatch.
+  static NetworkProgram build(ConvServer& server, const tensor::LayerStack& stack,
+                              const bfv::BfvContext& ctx, bfv::PolyMulBackend backend,
+                              const std::optional<fft::FxpFftConfig>& approx_config,
+                              std::uint64_t protocol_seed, tensor::Shape3 input_shape);
+};
+
+enum class SessionState {
+  kRunning,
+  kCompleted,
+  kRejected,           // a layer submit was shed; error() carries the retry hint
+  kDeadlineExceeded,   // session deadline hit (at a layer boundary or inside the server)
+  kFailed,             // a layer threw or the server failed the request
+};
+
+const char* to_string(SessionState s);
+
+struct SessionOptions {
+  /// Absolute session deadline; alternatively `budget` (relative, measured
+  /// from start(); `deadline` wins if both are set). The deadline is also
+  /// passed down to every conv submit, so the server sheds a doomed
+  /// session's layers instead of computing them.
+  std::optional<Clock::time_point> deadline;
+  std::optional<std::chrono::nanoseconds> budget;
+  /// Session stream base (determinism key; see kSessionStreamStride).
+  /// Defaults to a per-NetworkServer counter * kSessionStreamStride.
+  std::optional<std::uint64_t> stream_base;
+  /// Record every layer's post-op activation (the oracle's comparison
+  /// surface; costs one tensor copy per layer).
+  bool record_layer_outputs = false;
+};
+
+/// Handle to one running session. Copyable; copies share one state. Safe to
+/// wait on from any thread.
+class NetworkSession {
+ public:
+  NetworkSession() = default;
+
+  void wait() const;
+  bool wait_for(std::chrono::nanoseconds d) const;
+  bool done() const;
+  SessionState state() const;
+
+  /// Valid iff state() == kCompleted (std::logic_error otherwise).
+  const tensor::Tensor3& features() const;
+  /// Valid iff completed and the program ends in an FC layer.
+  const std::vector<tensor::i64>& logits() const;
+  bool has_logits() const;
+
+  std::string error() const;
+  std::size_t layers_completed() const;
+  std::uint64_t stream_base() const;
+  /// Copy of the recorded per-layer outputs (record_layer_outputs only);
+  /// FC layers record logits as a 1x1xF tensor, same convention as
+  /// LayerStack::forward.
+  std::vector<tensor::Tensor3> layer_outputs() const;
+
+ private:
+  friend class NetworkServer;
+  struct Shared;
+  explicit NetworkSession(std::shared_ptr<Shared> shared) : shared_(std::move(shared)) {}
+  std::shared_ptr<Shared> shared_;
+};
+
+/// Session front-end over one ConvServer. Does not own the server; the
+/// server (and the contexts its plans reference) must outlive all session
+/// activity. Cheap to construct; all state is per-session.
+class NetworkServer {
+ public:
+  explicit NetworkServer(ConvServer& server);
+
+  /// Start one session. Validates the input shape against the program's
+  /// first layer; the session then advances itself via completion callbacks.
+  /// With dispatchers == 0, nothing runs until dispatch_once() /
+  /// run_to_completion().
+  NetworkSession start(std::shared_ptr<const NetworkProgram> program, tensor::Tensor3 input,
+                       SessionOptions options = {});
+
+  /// Drive every started session to a terminal state on the calling thread
+  /// (manual mode) or wait for dispatchers to finish them (threaded mode).
+  void run_to_completion();
+
+  const SessionMetrics& session_metrics() const;
+  std::string metrics_json() const;
+
+ private:
+  friend class NetworkSession;  // session state holds an Impl ref for callbacks
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Serial reference execution: one protocol + runner, every conv layer run
+/// as a bare `runner.run(..., (stream_base + conv_index) << 32)` — the exact
+/// bytes a served session with the same stream base must produce. Doubles as
+/// the sequential baseline in bench_network_serve (it pays the weight
+/// transforms per layer per session; the server pays them once per plan).
+tensor::NetworkResult run_network_serial(const tensor::LayerStack& stack,
+                                         const bfv::BfvContext& ctx, bfv::PolyMulBackend backend,
+                                         const std::optional<fft::FxpFftConfig>& approx_config,
+                                         std::uint64_t protocol_seed, const tensor::Tensor3& input,
+                                         std::uint64_t stream_base,
+                                         std::vector<tensor::Tensor3>* layer_outputs = nullptr);
+
+}  // namespace flash::serve

@@ -19,6 +19,100 @@ using ConvFn = std::function<Tensor3(const Tensor3&, const Tensor4&)>;
 /// The cleartext reference executor.
 ConvFn reference_conv();
 
+struct SmallQuantNet;
+
+/// Activation shape bookkeeping for layer-stack programs.
+struct Shape3 {
+  std::size_t c = 0, h = 0, w = 0;
+  std::size_t volume() const { return c * h * w; }
+  bool operator==(const Shape3&) const = default;
+};
+
+/// One step of a composable network program — the serving-scale superset of
+/// SmallQuantNet's fixed stem/block/head shape. Three kinds:
+///   * kConv: conv (any stride/pad, square or rectangular kernel) followed
+///     by the layer's post-ops (requant shift + clamp, optional ReLU);
+///   * kResidualAdd: add a previously saved activation (see save_output),
+///     then clamp/ReLU — the residual join of a quantized block;
+///   * kFullyConnected: flatten and apply an integer FC head (must be the
+///     last layer; the serve path runs it through encoding::matvec).
+/// Any layer may set save_output to push its post-op activation onto the
+/// save stack a later kResidualAdd consumes by index.
+struct NetLayer {
+  enum class Kind { kConv, kResidualAdd, kFullyConnected };
+  Kind kind = Kind::kConv;
+
+  // kConv
+  Tensor4 weights{1, 1, 1, 1};
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  int requant_shift = 0;
+  /// Post-op bit-width; 0 = pass raw sum-products through (no shift/clamp).
+  int clamp_bits = 0;
+  bool relu = false;
+
+  // kResidualAdd: index into the save stack (order of save_output layers).
+  std::size_t source = 0;
+
+  // kFullyConnected
+  std::vector<i64> fc_weights;  // fc_out x flattened-features, row-major
+  std::size_t fc_out = 0;
+
+  bool save_output = false;
+};
+
+/// conv-layer post-ops: requant shift + clamp (iff clamp_bits > 0), then
+/// ReLU. Shared by the cleartext forward, the serial HE reference and the
+/// served session path, so the three cannot drift.
+void apply_conv_postops(Tensor3& values, const NetLayer& layer);
+/// residual-join post-ops: clamp (no shift — the join adds already-
+/// requantized activations), then ReLU.
+void apply_join_postops(Tensor3& values, const NetLayer& layer);
+
+struct NetworkResult {
+  Tensor3 features{1, 1, 1};
+  std::vector<i64> logits;
+  bool has_logits = false;
+};
+
+/// A whole-network program: an ordered list of NetLayers plus the forward
+/// semantics. This is what a serving session executes layer by layer — the
+/// network executor is wired to a ConvServer by lowering the stack into a
+/// serve::NetworkProgram (one registered plan per conv layer).
+struct LayerStack {
+  std::vector<NetLayer> layers;
+
+  /// Conv executor with explicit geometry: (input, weights, stride, pad) ->
+  /// raw sum-products. Generalizes ConvFn (which is stride-1 'same' only).
+  using ConvExec =
+      std::function<Tensor3(const Tensor3&, const Tensor4&, std::size_t, std::size_t)>;
+
+  /// The cleartext conv2d executor.
+  static ConvExec reference_executor();
+
+  /// Execute the program. layer_outputs (optional) records every layer's
+  /// post-op activation — FC layers record their logits as a 1x1xF tensor —
+  /// which is what the batched-vs-serial bit-identity oracle compares.
+  NetworkResult forward(const Tensor3& x, const ConvExec& conv,
+                        std::vector<Tensor3>* layer_outputs = nullptr) const;
+
+  /// Shape chain: output shape of `layer` for an input of shape `in`
+  /// (std::invalid_argument on underflow / mismatch).
+  static Shape3 layer_output_shape(Shape3 in, const NetLayer& layer);
+
+  /// Lift a SmallQuantNet into the program form (bit-identical forward).
+  static LayerStack from_quant_net(const SmallQuantNet& net);
+
+  /// A ResNet-18-shaped stack scaled to software-tractable sizes: stem,
+  /// two stages of two residual blocks each, a strided downsample between
+  /// the stages (channels double), and an FC head. Preserves the geometry
+  /// classes the paper's workload exercises (stride phases, residual joins,
+  /// FC) at bench-friendly channel counts.
+  static LayerStack resnet18_like(std::size_t in_c, std::size_t width, std::size_t spatial,
+                                  std::size_t classes, int w_bits, int a_bits,
+                                  std::mt19937_64& rng);
+};
+
 /// stem conv -> depth x residual blocks -> flatten -> classifier head.
 struct SmallQuantNet {
   Tensor4 stem;  // in_c -> width, 3x3 'same'

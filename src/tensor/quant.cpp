@@ -30,7 +30,12 @@ int sum_product_bits(int a_bits, int w_bits, std::size_t taps) {
 }
 
 Tensor4 random_weights(std::size_t m, std::size_t c, std::size_t k, int bits, std::mt19937_64& rng) {
-  Tensor4 w(m, c, k, k);
+  return random_weights(m, c, k, k, bits, rng);
+}
+
+Tensor4 random_weights(std::size_t m, std::size_t c, std::size_t kh, std::size_t kw, int bits,
+                       std::mt19937_64& rng) {
+  Tensor4 w(m, c, kh, kw);
   // sigma ~ quarter of the positive range gives realistic clipping (~2%).
   std::normal_distribution<double> dist(0.0, static_cast<double>(quant_max(bits)) / 2.5);
   for (auto& v : w.data()) v = clamp_to_bits(static_cast<i64>(std::llround(dist(rng))), bits);

@@ -31,6 +31,12 @@ int sum_product_bits(int a_bits, int w_bits, std::size_t taps);
 /// histograms of trained CNNs far better than uniform noise).
 Tensor4 random_weights(std::size_t m, std::size_t c, std::size_t k, int bits, std::mt19937_64& rng);
 
+/// Rectangular-kernel variant (kh x kw), same distribution. The square
+/// overload delegates here, so the draw sequence for a k x k kernel is
+/// unchanged.
+Tensor4 random_weights(std::size_t m, std::size_t c, std::size_t kh, std::size_t kw, int bits,
+                       std::mt19937_64& rng);
+
 /// Synthetic activations: non-negative (post-ReLU) discretized half-Gaussian.
 Tensor3 random_activations(std::size_t c, std::size_t h, std::size_t w, int bits, std::mt19937_64& rng);
 

@@ -16,7 +16,7 @@ namespace {
 // Sub-stream indices of a case seed. Each aspect of a case draws from its
 // own stream so a shape override (the shrinker) never shifts the draws of
 // another aspect.
-enum Stream : std::uint64_t { kShape = 0, kPattern = 1, kValues = 2, kTrace = 3 };
+enum Stream : std::uint64_t { kShape = 0, kPattern = 1, kValues = 2, kTrace = 3, kNetwork = 4 };
 
 std::mt19937_64 stream_rng(std::uint64_t seed, std::uint64_t stream) {
   return std::mt19937_64(hemath::derive_stream_seed(seed, stream));
@@ -243,6 +243,114 @@ ServeTrace make_serve_trace(ServeTraceSpec spec) {
     trace.requests.push_back(std::move(req));
   }
   trace.spec = spec;
+  return trace;
+}
+
+std::string NetworkTraceSpec::describe() const {
+  std::stringstream out;
+  out << "nettrace:seed=0x" << std::hex << seed << std::dec << ",sessions=" << sessions
+      << ",blocks=" << blocks;
+  return out.str();
+}
+
+bool parse_network_trace_spec(const std::string& text, NetworkTraceSpec& out) {
+  std::vector<std::pair<std::string, std::uint64_t>> fields;
+  if (!parse_fields(text, "nettrace", fields)) return false;
+  NetworkTraceSpec spec;
+  for (const auto& [key, value] : fields) {
+    if (key == "seed") spec.seed = value;
+    else if (key == "sessions") spec.sessions = value;
+    else if (key == "blocks") spec.blocks = value;
+    else return false;
+  }
+  out = spec;
+  return true;
+}
+
+NetworkTrace make_network_trace(NetworkTraceSpec spec) {
+  auto net = stream_rng(spec.seed, kNetwork);
+  // Draw unconditionally so overrides never shift later draws.
+  const std::size_t derived_sessions = 2 + net() % 3;
+  const std::size_t derived_blocks = 1 + net() % 2;
+  const std::size_t width = 2 + net() % 2;
+  const std::size_t in_c = 1 + net() % 2;
+  const std::size_t spatial = 5 + net() % 3;
+  const std::size_t stem_variant = net() % 4;
+  const std::size_t classes = 2 + net() % 3;
+  if (spec.sessions == 0) spec.sessions = derived_sessions;
+  if (spec.blocks == 0) spec.blocks = derived_blocks;
+
+  NetworkTrace trace;
+  trace.spec = spec;
+  trace.params = bfv::BfvParams::create(1024, 17, 44);
+  trace.in_c = in_c;
+  trace.in_h = spatial;
+  trace.in_w = spatial;
+
+  const auto shift_for = [](std::size_t taps) {
+    const int s = tensor::sum_product_bits(4, 4, taps) - 4 - 2;
+    return s < 0 ? 0 : s;
+  };
+
+  // Stem variant cycles the kernel geometry classes the serve path must
+  // handle: square 'same', rectangular (1x3 / 3x1, unpadded), and strided.
+  auto values = stream_rng(spec.seed, kValues);
+  tensor::NetLayer stem;
+  switch (stem_variant) {
+    case 0: stem.weights = tensor::random_weights(width, in_c, 3, 4, values); stem.pad = 1; break;
+    case 1: stem.weights = tensor::random_weights(width, in_c, 1, 3, 4, values); break;
+    case 2: stem.weights = tensor::random_weights(width, in_c, 3, 1, 4, values); break;
+    default:
+      stem.weights = tensor::random_weights(width, in_c, 3, 4, values);
+      stem.stride = 2;
+      stem.pad = 1;
+      break;
+  }
+  stem.requant_shift =
+      shift_for(in_c * stem.weights.kernel_h() * stem.weights.kernel_w());
+  stem.clamp_bits = 4;
+  stem.relu = true;
+  stem.save_output = spec.blocks > 0;
+  const tensor::Shape3 body =
+      tensor::LayerStack::layer_output_shape({in_c, spatial, spatial}, stem);
+  trace.stack.layers.push_back(std::move(stem));
+
+  const int block_shift = shift_for(width * 9);
+  for (std::size_t b = 0; b < spec.blocks; ++b) {
+    tensor::NetLayer c1;
+    c1.weights = tensor::random_weights(width, width, 3, 4, values);
+    c1.pad = 1;
+    c1.requant_shift = block_shift;
+    c1.clamp_bits = 4;
+    c1.relu = true;
+    trace.stack.layers.push_back(std::move(c1));
+    tensor::NetLayer c2;
+    c2.weights = tensor::random_weights(width, width, 3, 4, values);
+    c2.pad = 1;
+    c2.requant_shift = block_shift;
+    c2.clamp_bits = 4;
+    trace.stack.layers.push_back(std::move(c2));
+    tensor::NetLayer join;
+    join.kind = tensor::NetLayer::Kind::kResidualAdd;
+    join.source = b;  // stem saved slot 0, block b's join slot b+1
+    join.clamp_bits = 4;
+    join.relu = true;
+    join.save_output = b + 1 < spec.blocks;
+    trace.stack.layers.push_back(std::move(join));
+  }
+
+  tensor::NetLayer fc;
+  fc.kind = tensor::NetLayer::Kind::kFullyConnected;
+  fc.fc_out = classes;
+  // classes x features x 1 x 1 is row-major classes*features — exactly the
+  // FC layout — and reuses the quantized-weight distribution.
+  fc.fc_weights = tensor::random_weights(classes, body.volume(), 1, 1, 4, values).data();
+  trace.stack.layers.push_back(std::move(fc));
+
+  trace.inputs.reserve(spec.sessions);
+  for (std::size_t s = 0; s < spec.sessions; ++s) {
+    trace.inputs.push_back(tensor::random_activations(in_c, spatial, spatial, 4, net));
+  }
   return trace;
 }
 

@@ -14,6 +14,7 @@
 
 #include "bfv/params.hpp"
 #include "sparsefft/pattern.hpp"
+#include "tensor/network.hpp"
 #include "tensor/tensor.hpp"
 
 namespace flash::testing {
@@ -102,10 +103,35 @@ struct ServeTrace {
 
 ServeTrace make_serve_trace(ServeTraceSpec spec);
 
+/// Shape of one whole-network serving trace: a seed-derived residual
+/// LayerStack (stem variant cycles through square / rectangular / strided
+/// kernels, then residual blocks and an FC head) plus per-session inputs —
+/// the NetworkServer session-pipelining workload. Zero fields derive from
+/// the seed; draws come from the dedicated kNetwork sub-stream.
+struct NetworkTraceSpec {
+  std::uint64_t seed = 0;
+  std::size_t sessions = 0;  // concurrent sessions of the same network
+  std::size_t blocks = 0;    // residual blocks after the stem
+
+  std::string describe() const;
+  bool operator==(const NetworkTraceSpec&) const = default;
+};
+
+struct NetworkTrace {
+  NetworkTraceSpec spec;  // resolved
+  bfv::BfvParams params;
+  tensor::LayerStack stack;
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::vector<tensor::Tensor3> inputs;  // one per session
+};
+
+NetworkTrace make_network_trace(NetworkTraceSpec spec);
+
 /// Parse the output of PolymulSpec/ConvSpec::describe back into a spec.
 /// Returns false on malformed input. This is the `flash_fuzz --repro` path.
 bool parse_polymul_spec(const std::string& text, PolymulSpec& out);
 bool parse_conv_spec(const std::string& text, ConvSpec& out);
 bool parse_serve_trace_spec(const std::string& text, ServeTraceSpec& out);
+bool parse_network_trace_spec(const std::string& text, NetworkTraceSpec& out);
 
 }  // namespace flash::testing

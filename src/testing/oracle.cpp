@@ -14,6 +14,7 @@
 #include "hemath/shoup_ntt.hpp"
 #include "protocol/conv_runner.hpp"
 #include "serve/conv_server.hpp"
+#include "serve/network_session.hpp"
 #include "sparsefft/executor.hpp"
 #include "tensor/conv.hpp"
 
@@ -368,6 +369,105 @@ OracleReport HConvOracle::run_trace(const ServeTrace& trace, std::size_t dispatc
     return fail("trace-metrics-completed",
                 std::to_string(m.completed.value()) + " completed, expected " +
                     std::to_string(trace.requests.size()));
+  }
+  return OracleReport{};
+}
+
+OracleReport HConvOracle::run_network_trace(const NetworkTrace& trace, std::size_t dispatchers,
+                                            std::size_t max_batch) const {
+  bfv::BfvContext ctx(trace.params);
+  const std::size_t sessions = trace.spec.sessions;
+  const std::size_t layers = trace.stack.layers.size();
+
+  serve::ServerOptions sopts;
+  sopts.max_queue = sessions * layers + 4;
+  sopts.max_batch = max_batch;
+  sopts.dispatchers = dispatchers;
+  serve::ConvServer server(sopts);
+  serve::NetworkServer net(server);
+
+  auto program = std::make_shared<const serve::NetworkProgram>(serve::NetworkProgram::build(
+      server, trace.stack, ctx, bfv::PolyMulBackend::kNtt, std::nullopt, trace.spec.seed,
+      tensor::Shape3{trace.in_c, trace.in_h, trace.in_w}));
+
+  std::vector<serve::NetworkSession> handles;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    serve::SessionOptions opts;
+    opts.stream_base = s * serve::kSessionStreamStride;
+    opts.record_layer_outputs = true;
+    handles.push_back(net.start(program, trace.inputs[s], opts));
+  }
+  net.run_to_completion();
+
+  for (std::size_t s = 0; s < sessions; ++s) {
+    if (handles[s].state() != serve::SessionState::kCompleted) {
+      return fail("network-session-state",
+                  "session " + std::to_string(s) + " ended " +
+                      serve::to_string(handles[s].state()) + " (" + handles[s].error() + "), " +
+                      trace.spec.describe());
+    }
+
+    // Serial reference: one bare protocol/runner, same seed and stream base.
+    std::vector<tensor::Tensor3> serial_outputs;
+    const tensor::NetworkResult serial = serve::run_network_serial(
+        trace.stack, ctx, bfv::PolyMulBackend::kNtt, std::nullopt, trace.spec.seed,
+        trace.inputs[s], s * serve::kSessionStreamStride, &serial_outputs);
+
+    const std::vector<tensor::Tensor3> served_outputs = handles[s].layer_outputs();
+    if (served_outputs.size() != serial_outputs.size()) {
+      return fail("network-batched-vs-serial",
+                  "session " + std::to_string(s) + " recorded " +
+                      std::to_string(served_outputs.size()) + " layers, serial " +
+                      std::to_string(serial_outputs.size()) + " (" + trace.spec.describe() + ")");
+    }
+    for (std::size_t l = 0; l < served_outputs.size(); ++l) {
+      if (!(served_outputs[l] == serial_outputs[l])) {
+        return fail("network-batched-vs-serial",
+                    "session " + std::to_string(s) + " layer " + std::to_string(l) +
+                        " differs from the serial run (" + trace.spec.describe() + ")");
+      }
+    }
+    if (!(handles[s].features() == serial.features) ||
+        handles[s].has_logits() != serial.has_logits || handles[s].logits() != serial.logits) {
+      return fail("network-batched-vs-serial",
+                  "session " + std::to_string(s) + " final features/logits differ (" +
+                      trace.spec.describe() + ")");
+    }
+
+    // Cleartext reference: the HE path reconstructs exact sum-products, so
+    // the whole network must agree bit-wise with the direct execution.
+    const tensor::NetworkResult clear =
+        trace.stack.forward(trace.inputs[s], tensor::LayerStack::reference_executor());
+    if (!(clear.features == serial.features) || clear.logits != serial.logits) {
+      return fail("network-vs-cleartext",
+                  "session " + std::to_string(s) + " disagrees with cleartext forward (" +
+                      trace.spec.describe() + ")");
+    }
+  }
+
+  // Conservation, both levels: every conv request and every session reached
+  // exactly one terminal outcome, and nothing is left queued or active.
+  const serve::ServerMetrics& m = server.metrics();
+  if (m.terminal() != m.submitted.value()) {
+    return fail("network-metrics-conservation",
+                std::to_string(m.submitted.value()) + " submitted but " +
+                    std::to_string(m.terminal()) + " terminal outcomes");
+  }
+  if (m.completed.value() != sessions * program->conv_layers) {
+    return fail("network-metrics-completed",
+                std::to_string(m.completed.value()) + " conv requests completed, expected " +
+                    std::to_string(sessions * program->conv_layers));
+  }
+  if (m.queue_depth.value() != 0 || m.inflight.value() != 0) {
+    return fail("network-metrics-drained", "queue_depth/inflight nonzero after completion");
+  }
+  const serve::SessionMetrics& sm = net.session_metrics();
+  if (sm.terminal() != sm.started.value() || sm.started.value() != sessions ||
+      sm.completed.value() != sessions || sm.active.value() != 0) {
+    return fail("network-session-conservation",
+                std::to_string(sm.started.value()) + " started, " +
+                    std::to_string(sm.completed.value()) + " completed, " +
+                    std::to_string(sm.active.value()) + " active");
   }
   return OracleReport{};
 }

@@ -86,6 +86,16 @@ class HConvOracle {
   OracleReport run_trace(const ServeTrace& trace, std::size_t dispatchers = 1,
                          std::size_t max_batch = 4) const;
 
+  /// Whole-network session equivalence: runs every session of a network
+  /// trace through NetworkServer (shared program, cross-session layer
+  /// pipelining) and requires every recorded layer output — and the final
+  /// features/logits — to be *bit-identical* to a serial bare-runner
+  /// execution (run_network_serial) with the same stream base, plus equal to
+  /// the cleartext LayerStack::forward, plus metrics conservation at both
+  /// levels (ConvServer requests and NetworkServer sessions).
+  OracleReport run_network_trace(const NetworkTrace& trace, std::size_t dispatchers = 0,
+                                 std::size_t max_batch = 4) const;
+
  private:
   OracleOptions options_;
 };

@@ -80,6 +80,32 @@ TEST(ConvRunner, StridePhasesShareNoExtraRound) {
   EXPECT_EQ(r.bytes_client_to_server, 4 * ciphertext_bytes(f.ctx.params()));
 }
 
+// Pre-fix, the stride decomposition derived the phase grid and the output
+// dims from kernel_h alone, so any strided run of a rectangular kernel
+// (kh != kw) produced wrong shapes/values. The per-axis decomposition must
+// match the direct conv for both orientations.
+TEST(ConvRunner, StridedRectangularKernelMatchesDirectConv) {
+  Fixture f;
+  std::mt19937_64 rng(0x7ec7);
+  const tensor::Tensor3 x = tensor::random_activations(2, 7, 7, 4, rng);
+  for (const auto& [kh, kw] : {std::pair<std::size_t, std::size_t>{1, 3}, {3, 1}, {2, 3}}) {
+    const tensor::Tensor4 w = tensor::random_weights(2, 2, kh, kw, 4, rng);
+    for (const std::size_t stride : {2, 3}) {
+      const ConvRunnerResult r = f.runner.run(x, w, stride, /*pad=*/1);
+      const tensor::Tensor3 expect = tensor::conv2d(x, w, {stride, 1});
+      const tensor::Tensor3 got = r.reconstruct(f.ctx.params().t);
+      EXPECT_EQ(got.height(), expect.height()) << kh << "x" << kw << " s" << stride;
+      EXPECT_EQ(got.width(), expect.width()) << kh << "x" << kw << " s" << stride;
+      EXPECT_EQ(got.data(), expect.data()) << kh << "x" << kw << " s" << stride;
+
+      // The prepared-plan path shares the decomposition.
+      const auto plan = f.runner.prepare(2, 7, 7, w, stride, 1);
+      const ConvRunnerResult planned = f.runner.run(x, *plan);
+      EXPECT_EQ(planned.reconstruct(f.ctx.params().t).data(), expect.data());
+    }
+  }
+}
+
 TEST(ConvRunner, RejectsZeroStride) {
   Fixture f;
   const tensor::Tensor3 x(1, 4, 4);

@@ -79,6 +79,51 @@ TEST(Generators, ConvCaseIsDeterministicAndReproducible) {
   EXPECT_EQ(rebuilt.weights.data(), a.weights.data());
 }
 
+TEST(Generators, NetworkTraceIsDeterministicAndReproducible) {
+  const auto a = make_network_trace({.seed = 0x41});
+  const auto b = make_network_trace({.seed = 0x41});
+  ASSERT_EQ(a.spec, b.spec);
+  ASSERT_EQ(a.stack.layers.size(), b.stack.layers.size());
+  ASSERT_EQ(a.inputs.size(), a.spec.sessions);
+  for (std::size_t l = 0; l < a.stack.layers.size(); ++l) {
+    EXPECT_EQ(a.stack.layers[l].weights.data(), b.stack.layers[l].weights.data());
+    EXPECT_EQ(a.stack.layers[l].fc_weights, b.stack.layers[l].fc_weights);
+  }
+  for (std::size_t i = 0; i < a.inputs.size(); ++i) {
+    EXPECT_EQ(a.inputs[i].data(), b.inputs[i].data());
+  }
+  // The stack is always a runnable program ending in an FC head.
+  const auto result =
+      a.stack.forward(a.inputs[0], tensor::LayerStack::reference_executor());
+  EXPECT_TRUE(result.has_logits);
+
+  // The printed spec line round-trips (the soak tier's repro path).
+  NetworkTraceSpec parsed;
+  ASSERT_TRUE(parse_network_trace_spec(a.spec.describe(), parsed));
+  EXPECT_EQ(parsed, a.spec);
+  const auto c = make_network_trace(parsed);
+  ASSERT_EQ(c.inputs.size(), a.inputs.size());
+  EXPECT_EQ(c.inputs[0].data(), a.inputs[0].data());
+
+  // Session/block overrides resolve without shifting the shared draws.
+  const auto wide = make_network_trace({.seed = 0x41, .sessions = 5});
+  EXPECT_EQ(wide.spec.sessions, 5u);
+  EXPECT_EQ(wide.stack.layers[0].weights.data(), a.stack.layers[0].weights.data());
+
+  // Different seeds vary the stem geometry across the variant cycle.
+  bool geometry_varies = false;
+  const auto& ref = a.stack.layers[0];
+  for (std::uint64_t seed = 1; seed < 9; ++seed) {
+    const auto other = make_network_trace({.seed = seed});
+    const auto& stem = other.stack.layers[0];
+    if (stem.weights.kernel_h() != ref.weights.kernel_h() ||
+        stem.weights.kernel_w() != ref.weights.kernel_w() || stem.stride != ref.stride) {
+      geometry_varies = true;
+    }
+  }
+  EXPECT_TRUE(geometry_varies);
+}
+
 TEST(Generators, ParseRejectsMalformedSpecs) {
   PolymulSpec pm;
   ConvSpec cv;

@@ -65,5 +65,88 @@ TEST(SmallQuantNet, NttBackendAlsoExact) {
   EXPECT_EQ(net.predict(x, acc.hconv_executor()), net.predict(x, tensor::reference_conv()));
 }
 
+TEST(LayerStack, FromQuantNetMatchesSmallQuantNet) {
+  std::mt19937_64 rng(7);
+  const auto net = tensor::SmallQuantNet::random(2, 4, 2, 5, 6, 4, 4, rng);
+  const tensor::Tensor3 x = tensor::random_activations(2, 6, 6, 4, rng);
+  const auto stack = tensor::LayerStack::from_quant_net(net);
+  // stem + 2 x (c1, c2, join) + FC
+  ASSERT_EQ(stack.layers.size(), 8u);
+
+  std::vector<tensor::Tensor3> outputs;
+  const tensor::NetworkResult result =
+      stack.forward(x, tensor::LayerStack::reference_executor(), &outputs);
+  EXPECT_EQ(outputs.size(), stack.layers.size());
+  EXPECT_EQ(result.features, net.features(x, tensor::reference_conv()));
+  ASSERT_TRUE(result.has_logits);
+  ASSERT_EQ(result.logits.size(), 5u);
+  // Argmax of the stack's logits is SmallQuantNet's prediction.
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < result.logits.size(); ++i) {
+    if (result.logits[i] > result.logits[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, net.predict(x, tensor::reference_conv()));
+  // The recorded FC output is the logits as a 1x1xF tensor.
+  EXPECT_EQ(outputs.back().data(), result.logits);
+}
+
+TEST(LayerStack, ShapeChainAndValidation) {
+  tensor::NetLayer conv;
+  conv.weights = tensor::Tensor4(4, 2, 3, 1);  // rect kernel
+  conv.stride = 2;
+  conv.pad = 1;
+  const tensor::Shape3 out =
+      tensor::LayerStack::layer_output_shape({2, 7, 7}, conv);
+  EXPECT_EQ(out.c, 4u);
+  EXPECT_EQ(out.h, (7 + 2 - 3) / 2 + 1);
+  EXPECT_EQ(out.w, (7 + 2 - 1) / 2 + 1);
+  // Channel mismatch throws.
+  EXPECT_THROW(tensor::LayerStack::layer_output_shape({3, 7, 7}, conv), std::invalid_argument);
+  // FC weight-size mismatch throws.
+  tensor::NetLayer fc;
+  fc.kind = tensor::NetLayer::Kind::kFullyConnected;
+  fc.fc_out = 3;
+  fc.fc_weights.assign(5, 1);
+  EXPECT_THROW(tensor::LayerStack::layer_output_shape({1, 2, 2}, fc), std::invalid_argument);
+  // Unsaved residual source throws at forward time.
+  tensor::LayerStack bad;
+  tensor::NetLayer join;
+  join.kind = tensor::NetLayer::Kind::kResidualAdd;
+  bad.layers.push_back(join);
+  EXPECT_THROW(bad.forward(tensor::Tensor3(1, 2, 2), tensor::LayerStack::reference_executor()),
+               std::invalid_argument);
+}
+
+TEST(LayerStack, Resnet18LikeGeometry) {
+  std::mt19937_64 rng(11);
+  const auto stack = tensor::LayerStack::resnet18_like(/*in_c=*/3, /*width=*/4, /*spatial=*/8,
+                                                       /*classes=*/4, 4, 4, rng);
+  // stem + 2 blocks (3 layers each) + downsample + 2 blocks + FC.
+  ASSERT_EQ(stack.layers.size(), 1 + 6 + 1 + 6 + 1);
+
+  const tensor::Tensor3 x = tensor::random_activations(3, 8, 8, 4, rng);
+  std::vector<tensor::Tensor3> outputs;
+  const tensor::NetworkResult result =
+      stack.forward(x, tensor::LayerStack::reference_executor(), &outputs);
+  // Stage 1 preserves 4 x 8 x 8; the downsample halves spatial and doubles
+  // channels; stage 2 preserves 8 x 4 x 4.
+  EXPECT_EQ(outputs[0].channels(), 4u);
+  EXPECT_EQ(outputs[0].height(), 8u);
+  EXPECT_EQ(result.features.channels(), 8u);
+  EXPECT_EQ(result.features.height(), 4u);
+  ASSERT_TRUE(result.has_logits);
+  EXPECT_EQ(result.logits.size(), 4u);
+  // Activations stay inside the 4-bit post-op range through the whole net.
+  for (tensor::i64 v : result.features.data()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, tensor::quant_max(4));
+  }
+  // Deterministic in the seed.
+  std::mt19937_64 rng2(11);
+  const auto again = tensor::LayerStack::resnet18_like(3, 4, 8, 4, 4, 4, rng2);
+  EXPECT_EQ(again.layers.size(), stack.layers.size());
+  EXPECT_EQ(again.layers[0].weights.data(), stack.layers[0].weights.data());
+}
+
 }  // namespace
 }  // namespace flash

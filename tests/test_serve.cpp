@@ -377,5 +377,84 @@ TEST(ServeTrace, GeneratorIsDeterministicAndReproducible) {
               other.requests[0].x.data() != a.requests[0].x.data());
 }
 
+// --- Serve-layer bugfix regressions (PR6) ---
+
+// Pre-fix, a cold server (no batch timed yet) configured with
+// default_retry_after_s = 0 told rejected clients to retry after 0.0 s — an
+// immediate-retry herd exactly when the server had the least information.
+// The fix floors every estimate at kMinRetryAfterS.
+TEST_F(ServeTest, ColdStartRejectRetryAfterHasPositiveFloor) {
+  ConvServer server({.max_queue = 0, .dispatchers = 0, .default_retry_after_s = 0.0});
+  const PlanId a = server.register_plan(spec_a());
+  ConvFuture fut = server.submit(a, layer_a_.x);
+  ASSERT_EQ(fut.state(), RequestState::kRejected);
+  EXPECT_GT(fut.retry_after_s(), 0.0);
+  EXPECT_GE(fut.retry_after_s(), kMinRetryAfterS);
+
+  // A sane configured default is passed through unclamped on cold start.
+  ConvServer configured({.max_queue = 0, .dispatchers = 0, .default_retry_after_s = 0.25});
+  const PlanId b = configured.register_plan(spec_a());
+  EXPECT_DOUBLE_EQ(configured.submit(b, layer_a_.x).retry_after_s(), 0.25);
+}
+
+// Pre-fix, the batch-time estimate used the truncating integer filter
+// (3*prev + sample) / 4, whose fixpoints sit below the target (feeding a
+// constant 7 from prev=3 converges to 4 and stays there). The Q8 fixed-point
+// filter with a rounding readout converges onto the target exactly, from
+// above and from below.
+TEST(ServeEwma, RoundingFilterConvergesFromBothSides) {
+  // First sample seeds the filter directly.
+  EXPECT_EQ(ewma::ewma_ns(ewma::update_q8(0, 1000)), 1000u);
+
+  // From above: 1000 -> constant 7.
+  std::uint64_t q8 = ewma::update_q8(0, 1000);
+  for (int i = 0; i < 64; ++i) q8 = ewma::update_q8(q8, 7);
+  EXPECT_EQ(ewma::ewma_ns(q8), 7u);
+
+  // From below: 3 -> constant 7 (the truncating filter sticks at 4 here).
+  q8 = ewma::update_q8(0, 3);
+  for (int i = 0; i < 64; ++i) q8 = ewma::update_q8(q8, 7);
+  EXPECT_EQ(ewma::ewma_ns(q8), 7u);
+
+  // Steady state is a fixpoint of the readout for assorted magnitudes.
+  for (const std::uint64_t v : {1ull, 3ull, 1001ull, 12345ull}) {
+    q8 = ewma::update_q8(0, v + 1000);
+    for (int i = 0; i < 64; ++i) q8 = ewma::update_q8(q8, v);
+    EXPECT_EQ(ewma::ewma_ns(q8), v) << "target " << v;
+    q8 = ewma::update_q8(q8, v);
+    EXPECT_EQ(ewma::ewma_ns(q8), v) << "not a fixpoint at " << v;
+  }
+
+  // First-sample audit: a genuine 0 ns batch must not recreate the "unset"
+  // sentinel (which would zero the warm estimate back to the cold default).
+  const std::uint64_t zero_batch = ewma::update_q8(0, 0);
+  EXPECT_GT(zero_batch, 0u);
+  EXPECT_EQ(ewma::ewma_ns(zero_batch), 1u);
+}
+
+// Empty histograms must export literal zeros — a 0/0 NaN in any quantile or
+// mean field would corrupt the whole JSON document (JSON has no NaN
+// literal). Asserted on the exported text via json_number_at, which is what
+// pins the guard in append_histogram_json.
+TEST(ServeMetricsJson, EmptyHistogramExportsZerosNotNan) {
+  const ServerMetrics fresh;
+  const std::string json = fresh.to_json();
+  for (const char* h : {"\"queue_wait\"", "\"service\"", "\"end_to_end\""}) {
+    EXPECT_EQ(json_number_at(json, h, "count"), 0.0) << h;
+    EXPECT_EQ(json_number_at(json, h, "mean"), 0.0) << h;
+    EXPECT_EQ(json_number_at(json, h, "p50"), 0.0) << h;
+    EXPECT_EQ(json_number_at(json, h, "p99"), 0.0) << h;
+  }
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+
+  SessionMetrics sessions;
+  const std::string sjson = sessions.to_json();
+  EXPECT_EQ(json_number_at(sjson, "\"session_e2e\"", "count"), 0.0);
+  EXPECT_EQ(json_number_at(sjson, "\"session_e2e\"", "mean"), 0.0);
+  EXPECT_EQ(sjson.find(": nan"), std::string::npos);
+  EXPECT_EQ(sjson.find(": inf"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace flash::serve

@@ -12,6 +12,10 @@
 //      random cancels, deadlines and a bounded queue forcing rejections;
 //      the invariants are the terminal-outcome conservation law, a drained
 //      queue, and bit-correct results for every request that completed.
+//   3. Network soak: randomized whole-network session traces (residual /
+//      rect / strided stems) pipelined through NetworkServer, each checked
+//      by HConvOracle::run_network_trace — every session bit-identical to
+//      its serial bare-runner run, plus two-level metrics conservation.
 //
 // Reproduction: every round prints nothing on success; on failure the
 // governing seed is in the assertion message and in the FLASH_SOAK_SEED
@@ -56,7 +60,7 @@ double soak_budget_s() { return env_double("FLASH_SOAK_BUDGET_S", 4.0); }
 
 TEST(ServeSoak, RandomTracesStayBitIdenticalUnderDispatcherThreads) {
   const std::uint64_t seed = soak_seed();
-  const double budget_s = soak_budget_s() / 2;
+  const double budget_s = soak_budget_s() / 3;
   std::printf("[soak] trace phase: FLASH_SOAK_SEED=0x%llx budget=%.1fs\n",
               static_cast<unsigned long long>(seed), budget_s);
 
@@ -82,7 +86,7 @@ TEST(ServeSoak, RandomTracesStayBitIdenticalUnderDispatcherThreads) {
 
 TEST(ServeSoak, ConcurrentClientsWithCancelsDeadlinesAndBackpressure) {
   const std::uint64_t seed = soak_seed() ^ 0xc4a05;
-  const double budget_s = soak_budget_s() / 2;
+  const double budget_s = soak_budget_s() / 3;
   std::printf("[soak] chaos phase: FLASH_SOAK_SEED=0x%llx budget=%.1fs\n",
               static_cast<unsigned long long>(soak_seed()), budget_s);
 
@@ -166,6 +170,32 @@ TEST(ServeSoak, ConcurrentClientsWithCancelsDeadlinesAndBackpressure) {
               static_cast<unsigned long long>(m.cancelled.value()),
               static_cast<unsigned long long>(m.deadline_expired_at_admission.value() +
                                               m.deadline_expired_in_queue.value()));
+}
+
+TEST(ServeSoak, NetworkSessionsStayBitIdenticalUnderPipelining) {
+  const std::uint64_t seed = soak_seed() ^ 0x11e7;
+  const double budget_s = soak_budget_s() / 3;
+  std::printf("[soak] network phase: FLASH_SOAK_SEED=0x%llx budget=%.1fs\n",
+              static_cast<unsigned long long>(soak_seed()), budget_s);
+
+  const flash::testing::HConvOracle oracle;
+  const Clock::time_point start = Clock::now();
+  std::size_t rounds = 0;
+  while (std::chrono::duration<double>(Clock::now() - start).count() < budget_s) {
+    const std::uint64_t round_seed = hemath::derive_stream_seed(seed, rounds);
+    flash::testing::NetworkTraceSpec spec{round_seed, 0, 0};
+    const auto trace = flash::testing::make_network_trace(spec);
+    // Alternate manual and threaded dispatch; vary the batch bound.
+    const std::size_t dispatchers = rounds % 2;
+    const std::size_t max_batch = 1 + rounds % 4;
+    const auto report = oracle.run_network_trace(trace, dispatchers, max_batch);
+    ASSERT_TRUE(report.ok) << "seed=0x" << std::hex << seed << std::dec << " round=" << rounds
+                           << " repro=\"" << spec.describe() << "\" dispatchers=" << dispatchers
+                           << " max_batch=" << max_batch << " -> " << report.summary();
+    ++rounds;
+  }
+  std::printf("[soak] network phase: %zu rounds\n", rounds);
+  EXPECT_GT(rounds, 0u);
 }
 
 }  // namespace

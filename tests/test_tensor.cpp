@@ -122,6 +122,23 @@ TEST(Quant, RandomTensorsInRange) {
   }
 }
 
+TEST(Quant, RectangularRandomWeightsShapeAndRange) {
+  std::mt19937_64 rng(5);
+  const tensor::Tensor4 w = tensor::random_weights(3, 2, 1, 3, 4, rng);
+  EXPECT_EQ(w.out_channels(), 3u);
+  EXPECT_EQ(w.in_channels(), 2u);
+  EXPECT_EQ(w.kernel_h(), 1u);
+  EXPECT_EQ(w.kernel_w(), 3u);
+  for (tensor::i64 v : w.data()) {
+    EXPECT_GE(v, tensor::quant_min(4));
+    EXPECT_LE(v, tensor::quant_max(4));
+  }
+  // The square overload delegates to the rect one: identical draw sequence.
+  std::mt19937_64 a(9), b(9);
+  EXPECT_EQ(tensor::random_weights(2, 2, 3, 4, a).data(),
+            tensor::random_weights(2, 2, 3, 3, 4, b).data());
+}
+
 TEST(Resnet, Resnet18LayerInventory) {
   const auto layers = resnet18_conv_layers();
   ASSERT_EQ(layers.size(), 20u);  // 17 convs + 3 downsamples
