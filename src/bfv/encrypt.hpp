@@ -1,6 +1,8 @@
 // BFV key generation, encryption, decryption.
 #pragma once
 
+#include <span>
+
 #include "bfv/context.hpp"
 
 namespace flash::bfv {
@@ -17,6 +19,18 @@ class KeyGenerator {
   hemath::Sampler& sampler_;
 };
 
+/// Public key held in the NTT domain. Every public-key encryption computes
+/// p0*u and p1*u; with the key spectra precomputed, an encryption costs one
+/// forward transform (of u) plus one batched inverse pair instead of four
+/// forwards and two inverses. Pure function of the key, so a long-lived
+/// party (the HConv client, a serving process) builds it once.
+struct PreparedPublicKey {
+  std::vector<u64> p0_ntt;  // forward NTT of pk.p0
+  std::vector<u64> p1_ntt;  // forward NTT of pk.p1
+};
+
+PreparedPublicKey prepare_public_key(const BfvContext& ctx, const PublicKey& pk);
+
 class Encryptor {
  public:
   Encryptor(const BfvContext& ctx, hemath::Sampler& sampler) : ctx_(ctx), sampler_(sampler) {}
@@ -27,6 +41,11 @@ class Encryptor {
   /// Public-key encryption: ct = (p0*u + e1 + Delta*m, p1*u + e2), u ternary.
   Ciphertext encrypt(const Plaintext& pt, const PublicKey& pk);
 
+  /// Same encryption against a prepared key: draws u, e1, e2 in the same
+  /// sampler order, so for the same sampler state the ciphertext is
+  /// bit-identical to encrypt(pt, pk) — only the transform work shrinks.
+  Ciphertext encrypt(const Plaintext& pt, const PreparedPublicKey& pk);
+
  private:
   const BfvContext& ctx_;
   hemath::Sampler& sampler_;
@@ -36,12 +55,19 @@ struct Ciphertext3;  // bfv/evaluator.hpp
 
 class Decryptor {
  public:
-  Decryptor(const BfvContext& ctx, SecretKey sk) : ctx_(ctx), sk_(std::move(sk)) {}
+  /// Precomputes the secret key's NTT spectrum: every decrypt needs c1*s, so
+  /// caching fwd(s) removes one of the two forward transforms per call.
+  Decryptor(const BfvContext& ctx, SecretKey sk);
 
   Plaintext decrypt(const Ciphertext& ct) const;
 
   /// Decrypt a pre-relinearization size-3 ciphertext (needs s^2).
   Plaintext decrypt(const Ciphertext3& ct) const;
+
+  /// Batched decryption: the c1 forward transforms and the product inverse
+  /// transforms run through the batched SoA NTT (hemath/ntt), loading each
+  /// twiddle once per batch. Bit-identical to a loop of decrypt() calls.
+  std::vector<Plaintext> decrypt_batch(std::span<const Ciphertext> cts) const;
 
   /// Bits of noise budget remaining, SEAL-style: log2(q/2t) minus the log of
   /// the largest noise coefficient. <= 0 means decryption is unreliable.
@@ -53,6 +79,7 @@ class Decryptor {
 
   const BfvContext& ctx_;
   SecretKey sk_;
+  std::vector<u64> s_ntt_;  // forward NTT of sk.s, shared by every decrypt
 };
 
 }  // namespace flash::bfv

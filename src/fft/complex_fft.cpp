@@ -40,7 +40,7 @@ cplx FftPlan::twiddle(int stage, std::size_t j) const {
 void FftPlan::forward(std::span<cplx> a) const {
   if (a.size() != m_) throw std::invalid_argument("FftPlan::forward: size mismatch");
   hemath::bit_reverse_permute(a);
-  const bool avx2 = hemath::simd::active_simd_level() == hemath::simd::SimdLevel::kAvx2;
+  const bool avx2 = hemath::simd::level_at_least(hemath::simd::SimdLevel::kAvx2);
   for (int s = 1; s <= log_m_; ++s) {
     const std::size_t half = std::size_t{1} << (s - 1);
     const std::size_t len = half << 1;

@@ -165,14 +165,92 @@ void fxp_stage_avx2(std::int64_t* re, std::int64_t* im, const FxpStageParams& p,
   }
 }
 
+void fxp_stage_batch_avx2(std::int64_t* re, std::int64_t* im, std::size_t active_lanes,
+                          const FxpStageParams& p, FxpFftStats* stats) {
+  constexpr std::size_t g = 4;  // SoA lanes per vector
+  const std::size_t len = p.half * 2;
+  const std::size_t nblocks = p.m / len;
+  const __m256i lim = _mm256_set1_epi64x(p.lim);
+  const __m256i neg_lim = _mm256_set1_epi64x(-p.lim);
+  std::uint64_t sats = 0;
+  std::uint64_t terms = 0;
+  __m256i peak = _mm256_setzero_si256();
+
+  for (std::size_t j = 0; j < p.half; ++j) {
+    const NarrowTwiddle& tw = p.tw[j * p.stride];
+    const NarrowDigit* wre = p.pool + tw.re_off;
+    const NarrowDigit* wim = p.pool + tw.im_off;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const std::size_t u = (b * len + j) * g;
+      const std::size_t v = u + p.half * g;
+      const __m256i ure = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(re + u));
+      const __m256i uim = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(im + u));
+      const __m256i vre = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(re + v));
+      const __m256i vim = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(im + v));
+
+      const __m256i rr = csd4(vre, wre, tw.re_cnt, p.round_nearest);
+      const __m256i ii = csd4(vim, wim, tw.im_cnt, p.round_nearest);
+      const __m256i ri = csd4(vre, wim, tw.im_cnt, p.round_nearest);
+      const __m256i ir = csd4(vim, wre, tw.re_cnt, p.round_nearest);
+      const __m256i tre = _mm256_sub_epi64(rr, ii);
+      const __m256i tim = _mm256_add_epi64(ri, ir);
+
+      const __m256i out_ure = requant4(_mm256_add_epi64(ure, tre), p.shift, p.round_nearest, lim,
+                                       neg_lim, &sats);
+      const __m256i out_uim = requant4(_mm256_add_epi64(uim, tim), p.shift, p.round_nearest, lim,
+                                       neg_lim, &sats);
+      const __m256i out_vre = requant4(_mm256_sub_epi64(ure, tre), p.shift, p.round_nearest, lim,
+                                       neg_lim, &sats);
+      const __m256i out_vim = requant4(_mm256_sub_epi64(uim, tim), p.shift, p.round_nearest, lim,
+                                       neg_lim, &sats);
+
+      peak = _mm256_blendv_epi8(peak, abs64(out_ure),
+                                _mm256_cmpgt_epi64(abs64(out_ure), peak));
+      peak = _mm256_blendv_epi8(peak, abs64(out_uim),
+                                _mm256_cmpgt_epi64(abs64(out_uim), peak));
+      peak = _mm256_blendv_epi8(peak, abs64(out_vre),
+                                _mm256_cmpgt_epi64(abs64(out_vre), peak));
+      peak = _mm256_blendv_epi8(peak, abs64(out_vim),
+                                _mm256_cmpgt_epi64(abs64(out_vim), peak));
+
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(re + u), out_ure);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(im + u), out_uim);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(re + v), out_vre);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(im + v), out_vim);
+    }
+    terms += nblocks * 2u * (tw.re_cnt + tw.im_cnt);
+  }
+
+  if (stats != nullptr) {
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), peak);
+    std::uint64_t stage_peak = 0;
+    for (std::int64_t lane : lanes) {
+      stage_peak = std::max(stage_peak, static_cast<std::uint64_t>(lane));
+    }
+    // Per-butterfly counters scale by the real lane count; the saturation
+    // count needs no masking because padded (zero) lanes never clamp.
+    stats->butterflies += p.half * nblocks * active_lanes;
+    stats->shift_add_terms += terms * active_lanes;
+    stats->saturations += sats;
+    auto& peaks = stats->stage_peak_mantissa;
+    if (peaks.size() <= p.stage_idx) peaks.resize(p.stage_idx + 1, 0);
+    peaks[p.stage_idx] = std::max(peaks[p.stage_idx], stage_peak);
+  }
+}
+
 }  // namespace flash::fft::detail
 
-#else  // !__AVX2__ — non-x86 build: unreachable stub (dispatch never selects AVX2).
+#else  // !__AVX2__ — non-x86 build: unreachable stubs (dispatch never selects AVX2).
 
 #include <cstdlib>
 
 namespace flash::fft::detail {
 void fxp_stage_avx2(std::int64_t*, std::int64_t*, const FxpStageParams&, FxpFftStats*) {
+  std::abort();
+}
+void fxp_stage_batch_avx2(std::int64_t*, std::int64_t*, std::size_t, const FxpStageParams&,
+                          FxpFftStats*) {
   std::abort();
 }
 }  // namespace flash::fft::detail

@@ -129,8 +129,22 @@ class FxpFft {
   void inverse_into(std::span<const cplx> in, std::span<cplx> out, FxpFftStats* stats = nullptr,
                     core::ScratchArena* arena = nullptr) const;
 
+  /// Batched transforms: each in[b]/out[b] points at size() elements. On the
+  /// narrow path the batch runs as SoA lane groups — one stage sweep covers
+  /// the whole group, loading each twiddle's CSD digits once per group
+  /// instead of once per transform (AVX-512 = 8 lanes, AVX2 = 4; see
+  /// ARCHITECTURE.md §11 for the remainder policy). Outputs and stats are
+  /// bit-identical to a loop of the single-transform calls at every SIMD
+  /// level. Zero steady-state heap allocations (scratch via `arena`).
+  void forward_batch_into(std::span<const cplx* const> in, std::span<cplx* const> out,
+                          FxpFftStats* stats = nullptr, core::ScratchArena* arena = nullptr) const;
+  void inverse_batch_into(std::span<const cplx* const> in, std::span<cplx* const> out,
+                          FxpFftStats* stats = nullptr, core::ScratchArena* arena = nullptr) const;
+
  private:
   void build_narrow_plan();
+  void forward_group_narrow(const cplx* const* in, cplx* const* out, std::size_t count,
+                            std::size_t g, FxpFftStats* stats, core::ScratchArena* arena) const;
 
   std::size_t m_;
   int log_m_;
@@ -164,6 +178,15 @@ class FxpNegacyclicTransform {
                     core::ScratchArena* arena = nullptr) const;
   void inverse_into(std::span<const cplx> spec, std::span<double> out,
                     FxpFftStats* stats = nullptr, core::ScratchArena* arena = nullptr) const;
+
+  /// Batched variants: each a[b] points at n doubles, out[b] at n/2 complex
+  /// (forward) and vice versa (inverse). The twist is applied per lane and
+  /// the FFT runs on the SoA batched path; bit-identical to a loop of the
+  /// single-transform calls at every SIMD level.
+  void forward_batch_into(std::span<const double* const> a, std::span<cplx* const> out,
+                          FxpFftStats* stats = nullptr, core::ScratchArena* arena = nullptr) const;
+  void inverse_batch_into(std::span<const cplx* const> spec, std::span<double* const> out,
+                          FxpFftStats* stats = nullptr, core::ScratchArena* arena = nullptr) const;
 
  private:
   std::size_t n_;

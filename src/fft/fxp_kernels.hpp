@@ -28,12 +28,26 @@ struct FxpStageParams {
 };
 
 /// AVX2 stage kernel, compiled with -mavx2 in its own TU; callers must have
-/// checked simd::active_simd_level() and that the stage has at least four
+/// checked the simd level predicate and that the stage has at least four
 /// blocks (m / (2*half) >= 4). Vectorizes across four blocks sharing one
 /// twiddle, so every lane runs the same shift counts. Bit-identical to the
 /// scalar narrow path (same shifts, adds and clamps, in 64-bit lanes) and
 /// updates `stats` to the same totals (counts are order-independent).
 void fxp_stage_avx2(std::int64_t* re, std::int64_t* im, const FxpStageParams& p,
                     FxpFftStats* stats);
+
+/// Batched SoA stage kernels: G transforms interleaved lane-wise
+/// (coefficient i of lane l at buf[i*G + l], G = 4 for AVX2, 8 for
+/// AVX-512), so one butterfly is two contiguous vector loads and the CSD
+/// digit loop runs once per (stage, twiddle) for the whole group — no
+/// gathers, and unlike the single-poly kernel every stage qualifies. Lanes
+/// beyond `active_lanes` are zero padding: a zero mantissa stays zero
+/// through quantize/CSD/requantize, so padded lanes contribute no
+/// saturations and a zero peak, and the per-butterfly counters are scaled
+/// by active_lanes — stats land on exactly the loop-of-singles totals.
+void fxp_stage_batch_avx2(std::int64_t* re, std::int64_t* im, std::size_t active_lanes,
+                          const FxpStageParams& p, FxpFftStats* stats);
+void fxp_stage_batch_avx512(std::int64_t* re, std::int64_t* im, std::size_t active_lanes,
+                            const FxpStageParams& p, FxpFftStats* stats);
 
 }  // namespace flash::fft::detail

@@ -5,6 +5,7 @@
 #include "hemath/bitrev.hpp"
 #include "hemath/pointwise.hpp"
 #include "hemath/primes.hpp"
+#include "hemath/simd_batch.hpp"
 
 namespace flash::hemath {
 
@@ -30,6 +31,23 @@ NttTables::NttTables(u64 q, std::size_t n) : q_(q), n_(n) {
     const std::uint32_t r = bit_reverse(static_cast<std::uint32_t>(i), log_n_);
     psi_br_[i] = pow[r];
     psi_inv_br_[i] = pow_inv[r];
+  }
+
+  // Shoup companions for the batched SoA kernels. The lazy arithmetic needs
+  // headroom (coefficients reach 4q), so only primes below 2^61 qualify;
+  // the batch entry points fall back to the exact loop otherwise.
+  shoup_ok_ = q < (u64{1} << 61);
+  if (shoup_ok_) {
+    const auto shoup = [q](u64 w) {
+      return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+    };
+    n_inv_shoup_ = shoup(n_inv_);
+    psi_br_shoup_.resize(n);
+    psi_inv_br_shoup_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      psi_br_shoup_[i] = shoup(psi_br_[i]);
+      psi_inv_br_shoup_[i] = shoup(psi_inv_br_[i]);
+    }
   }
 }
 
@@ -70,6 +88,27 @@ void NttTables::inverse(std::span<u64> a) const {
     t <<= 1;
   }
   for (auto& x : a) x = mul_mod(x, n_inv_, q_);
+}
+
+void NttTables::forward_batch_into(std::span<u64* const> polys,
+                                   core::ScratchArena* arena) const {
+  if (!shoup_ok_) {
+    for (u64* p : polys) forward(std::span<u64>(p, n_));
+    return;
+  }
+  const simd_batch::NttStageTables tb{psi_br_.data(), psi_br_shoup_.data(), 0, 0, q_};
+  simd_batch::ntt_forward_batch(polys, n_, tb, arena);
+}
+
+void NttTables::inverse_batch_into(std::span<u64* const> polys,
+                                   core::ScratchArena* arena) const {
+  if (!shoup_ok_) {
+    for (u64* p : polys) inverse(std::span<u64>(p, n_));
+    return;
+  }
+  const simd_batch::NttStageTables tb{psi_inv_br_.data(), psi_inv_br_shoup_.data(), n_inv_,
+                                      n_inv_shoup_, q_};
+  simd_batch::ntt_inverse_batch(polys, n_, tb, arena);
 }
 
 void NttTables::pointwise(std::span<const u64> a, std::span<const u64> b,

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/scratch.hpp"
 #include "hemath/modular.hpp"
 
 namespace flash::hemath {
@@ -36,6 +37,19 @@ class NttTables {
   void inverse(std::span<u64> a) const;
   void inverse(std::vector<u64>& a) const { inverse(std::span<u64>(a)); }
 
+  /// Batched in-place transforms over same-ring polynomials (each pointer is
+  /// n coefficients): one SoA butterfly stage sweeps the whole batch, so
+  /// twiddles are loaded once per batch instead of once per polynomial.
+  /// Outputs are bit-identical to a loop of forward()/inverse() calls at
+  /// every SIMD level (enforced by tests/test_batch_transforms.cpp).
+  /// Scratch comes from `arena` (nullptr → the calling thread's arena);
+  /// steady state performs zero heap allocations. Falls back to the
+  /// per-polynomial loop when q >= 2^61 (outside the Harvey lazy bound).
+  void forward_batch_into(std::span<u64* const> polys,
+                          core::ScratchArena* arena = nullptr) const;
+  void inverse_batch_into(std::span<u64* const> polys,
+                          core::ScratchArena* arena = nullptr) const;
+
   /// Pointwise product c[i] = a[i]*b[i] mod q (vectorized, hemath/pointwise).
   /// The span form writes into caller-sized storage and never allocates.
   void pointwise(std::span<const u64> a, std::span<const u64> b, std::span<u64> c) const;
@@ -53,6 +67,12 @@ class NttTables {
   u64 n_inv_;     // N^-1 mod q
   std::vector<u64> psi_br_;      // ψ^bitrev(i), forward twiddles
   std::vector<u64> psi_inv_br_;  // ψ^-bitrev(i), inverse twiddles
+  // Shoup companions for the batched lazy kernels (hemath/simd_batch);
+  // populated only when q < 2^61 (shoup_ok_).
+  bool shoup_ok_ = false;
+  u64 n_inv_shoup_ = 0;
+  std::vector<u64> psi_br_shoup_;
+  std::vector<u64> psi_inv_br_shoup_;
 };
 
 /// Negacyclic polynomial multiplication via NTT: c = a*b mod (X^N+1, q).

@@ -10,7 +10,7 @@ bool use_avx2(std::size_t n, u64 q) {
   // Barrett constants assume q < 2^62 and q not a power of two (the
   // quotient-estimate constant would need 65 bits); tiny arrays are not
   // worth the setup.
-  return simd::active_simd_level() == simd::SimdLevel::kAvx2 && n >= 8 && q < (u64{1} << 62) &&
+  return simd::level_at_least(simd::SimdLevel::kAvx2) && n >= 8 && q < (u64{1} << 62) &&
          (q & (q - 1)) != 0;
 }
 

@@ -4,6 +4,7 @@
 
 #include "hemath/bitrev.hpp"
 #include "hemath/primes.hpp"
+#include "hemath/simd_batch.hpp"
 
 namespace flash::hemath {
 
@@ -94,6 +95,19 @@ void ShoupNttTables::inverse(std::span<u64> a) const {
     x = mul_lazy(x >= two_q_ ? x - two_q_ : x, n_inv_, n_inv_shoup_, q_);
     if (x >= q_) x -= q_;
   }
+}
+
+void ShoupNttTables::forward_batch_into(std::span<u64* const> polys,
+                                        core::ScratchArena* arena) const {
+  const simd_batch::NttStageTables tb{psi_br_.data(), psi_br_shoup_.data(), 0, 0, q_};
+  simd_batch::ntt_forward_batch(polys, n_, tb, arena);
+}
+
+void ShoupNttTables::inverse_batch_into(std::span<u64* const> polys,
+                                        core::ScratchArena* arena) const {
+  const simd_batch::NttStageTables tb{psi_inv_br_.data(), psi_inv_br_shoup_.data(), n_inv_,
+                                      n_inv_shoup_, q_};
+  simd_batch::ntt_inverse_batch(polys, n_, tb, arena);
 }
 
 }  // namespace flash::hemath

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "core/scratch.hpp"
 #include "hemath/modular.hpp"
 
 namespace flash::hemath {
@@ -31,6 +32,13 @@ class ShoupNttTables {
   void forward(std::vector<u64>& a) const { forward(std::span<u64>(a)); }
   void inverse(std::span<u64> a) const;
   void inverse(std::vector<u64>& a) const { inverse(std::span<u64>(a)); }
+
+  /// Batched in-place transforms, same semantics as NttTables' batch entry
+  /// points: SoA lane sweep per stage, bit-identical to the single loop.
+  void forward_batch_into(std::span<u64* const> polys,
+                          core::ScratchArena* arena = nullptr) const;
+  void inverse_batch_into(std::span<u64* const> polys,
+                          core::ScratchArena* arena = nullptr) const;
 
  private:
   /// x * w mod q with precomputed w_shoup, result in [0, 2q).

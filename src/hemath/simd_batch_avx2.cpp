@@ -1,0 +1,137 @@
+// 4-lane SoA NTT butterfly kernels (AVX2). Separate TU compiled with -mavx2;
+// the batch driver (simd_batch.cpp) only calls in when the active level
+// grants it. Arithmetic mirrors the scalar SoA kernels operation for
+// operation — u64 lanes are exact, so outputs are bit-identical.
+#include "hemath/simd_batch.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace flash::hemath::simd_batch::detail {
+
+namespace {
+
+inline __m256i set1u64(u64 x) { return _mm256_set1_epi64x(static_cast<long long>(x)); }
+
+inline __m256i xor_sign(__m256i x) {
+  return _mm256_xor_si256(x, _mm256_set1_epi64x(static_cast<long long>(u64{1} << 63)));
+}
+
+// a < b unsigned, per 64-bit lane (all-ones mask on true).
+inline __m256i ltu64(__m256i a, __m256i b) {
+  return _mm256_cmpgt_epi64(xor_sign(b), xor_sign(a));
+}
+
+// Conditional subtract: lanes with x >= m become x - m.
+inline __m256i csub(__m256i x, __m256i m) {
+  return _mm256_sub_epi64(x, _mm256_andnot_si256(ltu64(x, m), m));
+}
+
+// Low 64 bits of a*b via 32-bit limb products (no native epi64 mullo here).
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                                         _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b), _mm256_slli_epi64(cross, 32));
+}
+
+// High 64 bits of the full 128-bit product, schoolbook over 32-bit limbs.
+inline __m256i mulhi64(__m256i a, __m256i b) {
+  const __m256i lo32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i ahi = _mm256_srli_epi64(a, 32);
+  const __m256i bhi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, bhi);
+  const __m256i hl = _mm256_mul_epu32(ahi, b);
+  const __m256i hh = _mm256_mul_epu32(ahi, bhi);
+  // carry = high half of (ll>>32 + lo32(lh) + lo32(hl)); the sum fits 64 bits.
+  const __m256i carry = _mm256_srli_epi64(
+      _mm256_add_epi64(_mm256_add_epi64(_mm256_srli_epi64(ll, 32), _mm256_and_si256(lh, lo32)),
+                       _mm256_and_si256(hl, lo32)),
+      32);
+  return _mm256_add_epi64(_mm256_add_epi64(hh, carry),
+                          _mm256_add_epi64(_mm256_srli_epi64(lh, 32), _mm256_srli_epi64(hl, 32)));
+}
+
+// x*w mod q with Shoup companion ws; lanes land in [0, 2q).
+inline __m256i mul_lazy(__m256i x, __m256i w, __m256i ws, __m256i q) {
+  return _mm256_sub_epi64(mullo64(x, w), mullo64(mulhi64(x, ws), q));
+}
+
+inline __m256i load(const u64* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(u64* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+}  // namespace
+
+void ntt_forward_soa_avx2(u64* buf, std::size_t n, const NttStageTables& tb) {
+  constexpr std::size_t g = kAvx2Lanes;
+  const __m256i q = set1u64(tb.q);
+  const __m256i two_q = _mm256_add_epi64(q, q);
+  std::size_t t = n;
+  for (std::size_t m = 1; m < n; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const __m256i w = set1u64(tb.w[m + i]);
+      const __m256i ws = set1u64(tb.ws[m + i]);
+      u64* up = buf + 2 * i * t * g;
+      u64* vp = up + t * g;
+      for (std::size_t j = 0; j < t; ++j, up += g, vp += g) {
+        const __m256i u = csub(load(up), two_q);
+        const __m256i v = mul_lazy(load(vp), w, ws, q);
+        store(up, _mm256_add_epi64(u, v));
+        store(vp, _mm256_add_epi64(u, _mm256_sub_epi64(two_q, v)));
+      }
+    }
+  }
+  for (std::size_t idx = 0; idx < n * g; idx += g) {
+    store(buf + idx, csub(csub(load(buf + idx), two_q), q));
+  }
+}
+
+void ntt_inverse_soa_avx2(u64* buf, std::size_t n, const NttStageTables& tb) {
+  constexpr std::size_t g = kAvx2Lanes;
+  const __m256i q = set1u64(tb.q);
+  const __m256i two_q = _mm256_add_epi64(q, q);
+  std::size_t t = 1;
+  for (std::size_t m = n; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    u64* up = buf;
+    for (std::size_t i = 0; i < h; ++i) {
+      const __m256i w = set1u64(tb.w[h + i]);
+      const __m256i ws = set1u64(tb.ws[h + i]);
+      u64* vp = up + t * g;
+      for (std::size_t j = 0; j < t; ++j, up += g, vp += g) {
+        const __m256i u = csub(load(up), two_q);
+        const __m256i v = csub(load(vp), two_q);
+        store(up, _mm256_add_epi64(u, v));
+        store(vp, mul_lazy(_mm256_add_epi64(u, _mm256_sub_epi64(two_q, v)), w, ws, q));
+      }
+      up = vp;
+    }
+    t <<= 1;
+  }
+  const __m256i ni = set1u64(tb.n_inv);
+  const __m256i nis = set1u64(tb.n_inv_shoup);
+  for (std::size_t idx = 0; idx < n * g; idx += g) {
+    const __m256i x = csub(load(buf + idx), two_q);
+    store(buf + idx, csub(mul_lazy(x, ni, nis, q), q));
+  }
+}
+
+}  // namespace flash::hemath::simd_batch::detail
+
+#else  // !__AVX2__ — non-x86 build: unreachable stubs (dispatch never selects AVX2).
+
+#include <cstdlib>
+
+namespace flash::hemath::simd_batch::detail {
+void ntt_forward_soa_avx2(u64*, std::size_t, const NttStageTables&) { std::abort(); }
+void ntt_inverse_soa_avx2(u64*, std::size_t, const NttStageTables&) { std::abort(); }
+}  // namespace flash::hemath::simd_batch::detail
+
+#endif

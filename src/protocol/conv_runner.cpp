@@ -307,4 +307,22 @@ ConvRunnerResult ConvRunner::run(const tensor::Tensor3& x, const ConvPlan& plan,
   return run_padded(pad_input(x, plan.pad), plan.weights, plan.stride, stream_base, &plan);
 }
 
+std::vector<ConvRunnerResult> ConvRunner::run_batch(std::span<const tensor::Tensor3> xs,
+                                                    const ConvPlan& plan,
+                                                    std::span<const std::uint64_t> stream_bases) {
+  if (xs.size() != stream_bases.size()) {
+    throw std::invalid_argument("ConvRunner: batch activations/streams size mismatch");
+  }
+  std::vector<ConvRunnerResult> results;
+  results.reserve(xs.size());
+  // Requests stay sequential (each one fans its own units over the pool and
+  // owns its stream block); the cross-request win is the warm plan and the
+  // warm per-thread transform state, and each unit's own transforms already
+  // run batched (see HConvProtocol::run_stream).
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    results.push_back(run(xs[i], plan, stream_bases[i]));
+  }
+  return results;
+}
+
 }  // namespace flash::protocol

@@ -90,6 +90,18 @@ class ConvRunner {
   ConvRunnerResult run(const tensor::Tensor3& x, const ConvPlan& plan,
                        std::uint64_t stream_base = 0);
 
+  /// Run a same-plan batch: result[i] is bit-identical to
+  /// run(xs[i], plan, stream_bases[i]). Requires xs.size() ==
+  /// stream_bases.size(). Each request's HConv units route their encrypt and
+  /// decrypt transforms through the batched SoA NTT entry points (scratch
+  /// from the worker's thread-local arena — zero steady-state allocations in
+  /// the transform layer), so a warm plan serves the batch without the
+  /// per-polynomial twiddle reload the per-request path would pay. This is
+  /// the call the serving layer's plan-batch dispatch drains into.
+  std::vector<ConvRunnerResult> run_batch(std::span<const tensor::Tensor3> xs,
+                                          const ConvPlan& plan,
+                                          std::span<const std::uint64_t> stream_bases);
+
  private:
   /// Stride-1 valid conv with spatial tiling; HConv unit i draws RNG stream
   /// stream_base + i. `phase` (optional) supplies prepared spectra per tile

@@ -140,6 +140,7 @@ class HConvProtocol {
   bfv::KeyGenerator keygen_;
   bfv::SecretKey sk_;
   bfv::PublicKey pk_;
+  bfv::PreparedPublicKey pk_prepared_;  // NTT-domain pk; encrypt fast path
   bfv::Decryptor decryptor_;
   bfv::Evaluator evaluator_;
   core::ThreadPool* pool_ = nullptr;        // non-owning

@@ -1,0 +1,90 @@
+// AVX2 merged-materialize kernel: four lazy values settled per pass.
+// Compiled with -mavx2 in its own TU; dispatch (merged_kernels.cpp) only
+// calls it when the active level grants AVX2.
+//
+// Rotation by i^(q&3) is a pair of mask blends over {re, im, -re, -im} —
+// negation is a sign-bit xor, exactly the scalar FP negation. The deferred
+// twiddle product is computed unconditionally with the naive (ac-bd, ad+bc)
+// formula (no FMA: the library builds with -ffp-contract=off) and blended in
+// by the lazy mask, so non-lazy lanes pass the rotated value through
+// untouched. Bit-identical to merged_materialize_scalar per lane.
+#include "sparsefft/merged_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace flash::sparsefft::detail {
+
+std::uint64_t merged_materialize_avx2(const double* base_re, const double* base_im,
+                                      const double* tw_re, const double* tw_im,
+                                      const std::uint64_t* quadrant, const std::uint64_t* lazy,
+                                      std::size_t m, cplx* out) {
+  const std::size_t vec = m & ~std::size_t{3};
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256i three = _mm256_set1_epi64x(3);
+  std::uint64_t mults = 0;
+
+  for (std::size_t i = 0; i < vec; i += 4) {
+    const __m256d re = _mm256_loadu_pd(base_re + i);
+    const __m256d im = _mm256_loadu_pd(base_im + i);
+    const __m256d neg_re = _mm256_xor_pd(re, sign);
+    const __m256d neg_im = _mm256_xor_pd(im, sign);
+
+    const __m256i q = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(quadrant + i)), three);
+    const __m256d q1 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(q, _mm256_set1_epi64x(1)));
+    const __m256d q2 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(q, _mm256_set1_epi64x(2)));
+    const __m256d q3 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(q, three));
+
+    __m256d rot_re = re;
+    rot_re = _mm256_blendv_pd(rot_re, neg_im, q1);
+    rot_re = _mm256_blendv_pd(rot_re, neg_re, q2);
+    rot_re = _mm256_blendv_pd(rot_re, im, q3);
+    __m256d rot_im = im;
+    rot_im = _mm256_blendv_pd(rot_im, re, q1);
+    rot_im = _mm256_blendv_pd(rot_im, neg_im, q2);
+    rot_im = _mm256_blendv_pd(rot_im, neg_re, q3);
+
+    const __m256d twr = _mm256_loadu_pd(tw_re + i);
+    const __m256d twi = _mm256_loadu_pd(tw_im + i);
+    const __m256d pr = _mm256_sub_pd(_mm256_mul_pd(rot_re, twr), _mm256_mul_pd(rot_im, twi));
+    const __m256d pi = _mm256_add_pd(_mm256_mul_pd(rot_re, twi), _mm256_mul_pd(rot_im, twr));
+
+    const __m256d lz = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lazy + i)), _mm256_setzero_si256()));
+    // lz flags NOT-lazy lanes; blendv picks the second operand where set.
+    const __m256d out_re = _mm256_blendv_pd(pr, rot_re, lz);
+    const __m256d out_im = _mm256_blendv_pd(pi, rot_im, lz);
+    mults += 4u - static_cast<unsigned>(std::popcount(
+                      static_cast<unsigned>(_mm256_movemask_pd(lz))));
+
+    const __m256d lo = _mm256_unpacklo_pd(out_re, out_im);  // r0 i0 r2 i2
+    const __m256d hi = _mm256_unpackhi_pd(out_re, out_im);  // r1 i1 r3 i3
+    double* dst = reinterpret_cast<double*>(out + i);
+    _mm256_storeu_pd(dst, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(dst + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+
+  mults += merged_materialize_scalar(base_re + vec, base_im + vec, tw_re + vec, tw_im + vec,
+                                     quadrant + vec, lazy + vec, m - vec, out + vec);
+  return mults;
+}
+
+}  // namespace flash::sparsefft::detail
+
+#else  // No AVX2 in this compiler/arch: unreachable stub (dispatch never selects it).
+
+#include <cstdlib>
+
+namespace flash::sparsefft::detail {
+std::uint64_t merged_materialize_avx2(const double*, const double*, const double*, const double*,
+                                      const std::uint64_t*, const std::uint64_t*, std::size_t,
+                                      cplx*) {
+  std::abort();
+}
+}  // namespace flash::sparsefft::detail
+
+#endif

@@ -1,0 +1,80 @@
+// AVX-512 merged-materialize kernel: eight lazy values settled per pass.
+// Same algorithm as the AVX2 kernel (see merged_avx2.cpp) with predicate
+// masks instead of blend vectors; bit-identical to the scalar reference.
+#include "sparsefft/merged_kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace flash::sparsefft::detail {
+
+std::uint64_t merged_materialize_avx512(const double* base_re, const double* base_im,
+                                        const double* tw_re, const double* tw_im,
+                                        const std::uint64_t* quadrant, const std::uint64_t* lazy,
+                                        std::size_t m, cplx* out) {
+  const std::size_t vec = m & ~std::size_t{7};
+  const __m512d sign = _mm512_set1_pd(-0.0);
+  const __m512i three = _mm512_set1_epi64(3);
+  const __m512i idx_lo = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+  const __m512i idx_hi = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+  std::uint64_t mults = 0;
+
+  for (std::size_t i = 0; i < vec; i += 8) {
+    const __m512d re = _mm512_loadu_pd(base_re + i);
+    const __m512d im = _mm512_loadu_pd(base_im + i);
+    const __m512d neg_re = _mm512_xor_pd(re, sign);
+    const __m512d neg_im = _mm512_xor_pd(im, sign);
+
+    const __m512i q = _mm512_and_si512(_mm512_loadu_si512(quadrant + i), three);
+    const __mmask8 q1 = _mm512_cmpeq_epi64_mask(q, _mm512_set1_epi64(1));
+    const __mmask8 q2 = _mm512_cmpeq_epi64_mask(q, _mm512_set1_epi64(2));
+    const __mmask8 q3 = _mm512_cmpeq_epi64_mask(q, three);
+
+    __m512d rot_re = re;
+    rot_re = _mm512_mask_mov_pd(rot_re, q1, neg_im);
+    rot_re = _mm512_mask_mov_pd(rot_re, q2, neg_re);
+    rot_re = _mm512_mask_mov_pd(rot_re, q3, im);
+    __m512d rot_im = im;
+    rot_im = _mm512_mask_mov_pd(rot_im, q1, re);
+    rot_im = _mm512_mask_mov_pd(rot_im, q2, neg_im);
+    rot_im = _mm512_mask_mov_pd(rot_im, q3, neg_re);
+
+    const __m512d twr = _mm512_loadu_pd(tw_re + i);
+    const __m512d twi = _mm512_loadu_pd(tw_im + i);
+    const __m512d pr = _mm512_sub_pd(_mm512_mul_pd(rot_re, twr), _mm512_mul_pd(rot_im, twi));
+    const __m512d pi = _mm512_add_pd(_mm512_mul_pd(rot_re, twi), _mm512_mul_pd(rot_im, twr));
+
+    const __mmask8 lz = _mm512_cmpneq_epi64_mask(_mm512_loadu_si512(lazy + i),
+                                                 _mm512_setzero_si512());
+    const __m512d out_re = _mm512_mask_mov_pd(rot_re, lz, pr);
+    const __m512d out_im = _mm512_mask_mov_pd(rot_im, lz, pi);
+    mults += static_cast<std::uint64_t>(std::popcount(static_cast<unsigned>(lz)));
+
+    double* dst = reinterpret_cast<double*>(out + i);
+    _mm512_storeu_pd(dst, _mm512_permutex2var_pd(out_re, idx_lo, out_im));
+    _mm512_storeu_pd(dst + 8, _mm512_permutex2var_pd(out_re, idx_hi, out_im));
+  }
+
+  mults += merged_materialize_scalar(base_re + vec, base_im + vec, tw_re + vec, tw_im + vec,
+                                     quadrant + vec, lazy + vec, m - vec, out + vec);
+  return mults;
+}
+
+}  // namespace flash::sparsefft::detail
+
+#else  // No AVX-512 in this compiler/arch: unreachable stub (dispatch never selects it).
+
+#include <cstdlib>
+
+namespace flash::sparsefft::detail {
+std::uint64_t merged_materialize_avx512(const double*, const double*, const double*, const double*,
+                                        const std::uint64_t*, const std::uint64_t*, std::size_t,
+                                        cplx*) {
+  std::abort();
+}
+}  // namespace flash::sparsefft::detail
+
+#endif

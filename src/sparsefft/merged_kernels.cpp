@@ -1,0 +1,48 @@
+#include "sparsefft/merged_kernels.hpp"
+
+#include "hemath/simd.hpp"
+
+namespace flash::sparsefft::detail {
+
+std::uint64_t merged_materialize_scalar(const double* base_re, const double* base_im,
+                                        const double* tw_re, const double* tw_im,
+                                        const std::uint64_t* quadrant, const std::uint64_t* lazy,
+                                        std::size_t m, cplx* out) {
+  std::uint64_t mults = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double re;
+    double im;
+    switch (quadrant[i] & 3) {
+      case 0: re = base_re[i]; im = base_im[i]; break;
+      case 1: re = -base_im[i]; im = base_re[i]; break;
+      case 2: re = -base_re[i]; im = -base_im[i]; break;
+      default: re = base_im[i]; im = -base_re[i]; break;
+    }
+    if (lazy[i] != 0) {
+      // Naive complex product — matches the vector kernels term for term
+      // (contraction is disabled for this library, so no FMA on any path).
+      const double pr = re * tw_re[i] - im * tw_im[i];
+      const double pi = re * tw_im[i] + im * tw_re[i];
+      re = pr;
+      im = pi;
+      ++mults;
+    }
+    out[i] = cplx{re, im};
+  }
+  return mults;
+}
+
+std::uint64_t merged_materialize(const double* base_re, const double* base_im, const double* tw_re,
+                                 const double* tw_im, const std::uint64_t* quadrant,
+                                 const std::uint64_t* lazy, std::size_t m, cplx* out) {
+  using hemath::simd::SimdLevel;
+  if (m >= 8 && hemath::simd::level_at_least(SimdLevel::kAvx512)) {
+    return merged_materialize_avx512(base_re, base_im, tw_re, tw_im, quadrant, lazy, m, out);
+  }
+  if (m >= 4 && hemath::simd::level_at_least(SimdLevel::kAvx2)) {
+    return merged_materialize_avx2(base_re, base_im, tw_re, tw_im, quadrant, lazy, m, out);
+  }
+  return merged_materialize_scalar(base_re, base_im, tw_re, tw_im, quadrant, lazy, m, out);
+}
+
+}  // namespace flash::sparsefft::detail

@@ -1,0 +1,52 @@
+// Vectorized final materialization of the merged sparse executor.
+//
+// execute_merged defers non-trivial twiddle multiplications through the
+// butterfly network (sign flips and i-rotations stay symbolic); after the
+// last stage every value still owes at most one rotation and one complex
+// multiply. That settlement loop is dense — it touches all m lanes — and is
+// the one vectorizable piece of an otherwise sparse/irregular executor, so
+// it lives here behind the usual scalar/AVX2/AVX-512 dispatch.
+//
+// State is SoA: base (re/im), deferred twiddle (re/im), and 64-bit
+// quadrant/lazy words so the vector paths can mask directly on full lanes.
+// The complex multiply is the naive (ac-bd, ad+bc) form, matching what the
+// scalar `v *= twiddle` computes on finite values with contraction disabled
+// — outputs are bit-identical at every SIMD level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fft/complex_fft.hpp"
+
+namespace flash::sparsefft::detail {
+
+using fft::cplx;
+
+/// out[i] = i^(quadrant[i] & 3) * base[i] * (lazy[i] ? twiddle[i] : 1),
+/// all arrays length m. Returns the number of lazy lanes settled (the
+/// multiplication count the energy model charges). Dispatches on the
+/// active SIMD level; every level produces bit-identical outputs.
+std::uint64_t merged_materialize(const double* base_re, const double* base_im,
+                                 const double* tw_re, const double* tw_im,
+                                 const std::uint64_t* quadrant, const std::uint64_t* lazy,
+                                 std::size_t m, cplx* out);
+
+/// Scalar reference (also the tail loop of the vector paths).
+std::uint64_t merged_materialize_scalar(const double* base_re, const double* base_im,
+                                        const double* tw_re, const double* tw_im,
+                                        const std::uint64_t* quadrant, const std::uint64_t* lazy,
+                                        std::size_t m, cplx* out);
+
+/// Vector kernels (separate TUs with -mavx2 / -mavx512*); process the
+/// largest full-vector prefix and leave the tail to the scalar loop.
+std::uint64_t merged_materialize_avx2(const double* base_re, const double* base_im,
+                                      const double* tw_re, const double* tw_im,
+                                      const std::uint64_t* quadrant, const std::uint64_t* lazy,
+                                      std::size_t m, cplx* out);
+std::uint64_t merged_materialize_avx512(const double* base_re, const double* base_im,
+                                        const double* tw_re, const double* tw_im,
+                                        const std::uint64_t* quadrant, const std::uint64_t* lazy,
+                                        std::size_t m, cplx* out);
+
+}  // namespace flash::sparsefft::detail

@@ -86,6 +86,52 @@ OracleReport PolymulOracle::run(const PolymulCase& c) const {
     }
   }
 
+  // --- 2b. Batched SoA transforms: bit-equal to a loop of singles at the
+  // active dispatch level (the cross-level tier pins the level per run). ---
+  {
+    const hemath::NttTables plain_ntt(p.q, n);
+    const hemath::ShoupNttTables shoup(p.q, n);
+    // Five lanes (full 4-group + remainder) derived from the case operands.
+    std::vector<std::vector<u64>> lanes(5, c.ct);
+    for (std::size_t b = 0; b < lanes.size(); ++b) {
+      for (std::size_t i = 0; i < n; ++i) {
+        lanes[b][i] = hemath::add_mod(c.ct[i], hemath::mul_mod(b, w_lifted[i], p.q), p.q);
+      }
+    }
+    const auto batch_check = [&](const auto& tables, const char* check) -> OracleReport {
+      std::vector<std::vector<u64>> singles = lanes;
+      for (auto& l : singles) tables.forward(l);
+      std::vector<std::vector<u64>> batch = lanes;
+      std::vector<u64*> ptrs(batch.size());
+      for (std::size_t b = 0; b < batch.size(); ++b) ptrs[b] = batch[b].data();
+      tables.forward_batch_into(ptrs);
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (batch[b][i] != singles[b][i]) {
+            return fail(check, "lane " + std::to_string(b) + ": " +
+                                   coeff_mismatch(i, batch[b][i], singles[b][i]));
+          }
+        }
+      }
+      // Inverse batch on the forward outputs must round back identically.
+      for (auto& l : singles) tables.inverse(l);
+      tables.inverse_batch_into(ptrs);
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (batch[b][i] != singles[b][i]) {
+            return fail(check, "inverse lane " + std::to_string(b) + ": " +
+                                   coeff_mismatch(i, batch[b][i], singles[b][i]));
+          }
+        }
+      }
+      return OracleReport{};
+    };
+    OracleReport r = batch_check(plain_ntt, "ntt-batch-vs-singles");
+    if (!r.ok) return r;
+    r = batch_check(shoup, "shoup-batch-vs-singles");
+    if (!r.ok) return r;
+  }
+
   // --- 3. Double-precision FFT engine: within the FP rounding margin. ---
   // Product coefficients reach (q/2) * max_w * nnz, which can exceed the
   // 53-bit window where doubles round exactly, so the honest contract is a

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): a dispatch site outside src/hemath/simd
+// reading the raw SIMD level. The flash_lint simd-dispatch rule must flag
+// this — the flash_lint_detects_simd_dispatch ctest runs the linter over
+// this tree and expects a finding.
+#include "hemath/simd.hpp"
+
+namespace flash::fft {
+
+bool use_vector_kernel() {
+  return hemath::simd::active_simd_level() == hemath::simd::SimdLevel::kAvx2;
+}
+
+}  // namespace flash::fft

@@ -146,6 +146,94 @@ TEST(AllocFree, ShoupNttSpanForwardInverse) {
   EXPECT_EQ(allocs() - before, 0u);
 }
 
+TEST(AllocFree, NttBatchIntoAfterWarmup) {
+  const std::size_t n = 2048, batch = 6;
+  const u64 q = hemath::find_ntt_prime(49, n);
+  hemath::NttTables tables(q, n);
+  hemath::ShoupNttTables shoup(q, n);
+  hemath::Sampler sampler(11);
+  std::vector<std::vector<u64>> polys(batch);
+  for (auto& p : polys) p = sampler.uniform_poly(q, n).coeffs();
+  std::vector<u64*> ptrs(batch);
+  for (std::size_t b = 0; b < batch; ++b) ptrs[b] = polys[b].data();
+  core::ScratchArena& arena = core::thread_scratch();
+  // Warmup sizes the arena for the SoA lane buffers.
+  tables.forward_batch_into(ptrs, &arena);
+  tables.inverse_batch_into(ptrs, &arena);
+  shoup.forward_batch_into(ptrs, &arena);
+  shoup.inverse_batch_into(ptrs, &arena);
+
+  const std::uint64_t before = allocs();
+  tables.forward_batch_into(ptrs, &arena);
+  tables.inverse_batch_into(ptrs, &arena);
+  shoup.forward_batch_into(ptrs, &arena);
+  shoup.inverse_batch_into(ptrs, &arena);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, FxpFftBatchIntoAfterWarmup) {
+  const std::size_t m = 1024, batch = 5;
+  fft::FxpFft fxp(m, core::default_approx_config(m * 2, 1u << 10));
+  std::vector<std::vector<cplx>> in(batch, std::vector<cplx>(m));
+  std::vector<std::vector<cplx>> out(batch, std::vector<cplx>(m));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t i = 0; i < m; i += 3) in[b][i] = {static_cast<double>(b + 1), -2.0};
+  }
+  std::vector<const cplx*> in_ptrs(batch);
+  std::vector<cplx*> out_ptrs(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    in_ptrs[b] = in[b].data();
+    out_ptrs[b] = out[b].data();
+  }
+  core::ScratchArena& arena = core::thread_scratch();
+  fft::FxpFftStats stats;
+  fxp.forward_batch_into(std::span<const cplx* const>(in_ptrs), std::span<cplx* const>(out_ptrs),
+                         &stats, &arena);
+  fxp.inverse_batch_into(std::span<const cplx* const>(in_ptrs), std::span<cplx* const>(out_ptrs),
+                         &stats, &arena);
+
+  const std::uint64_t before = allocs();
+  fxp.forward_batch_into(std::span<const cplx* const>(in_ptrs), std::span<cplx* const>(out_ptrs),
+                         &stats, &arena);
+  fxp.inverse_batch_into(std::span<const cplx* const>(in_ptrs), std::span<cplx* const>(out_ptrs),
+                         &stats, &arena);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, FxpNegacyclicBatchIntoAfterWarmup) {
+  const std::size_t n = 1024, batch = 4;
+  fft::FxpNegacyclicTransform fxp(n, core::default_approx_config(n, 1u << 10));
+  std::vector<std::vector<double>> a(batch, std::vector<double>(n, 0.0));
+  std::vector<std::vector<cplx>> spec(batch, std::vector<cplx>(n / 2));
+  std::vector<std::vector<double>> back(batch, std::vector<double>(n));
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t i = b; i < n; i += 7) a[b][i] = static_cast<double>(i % 9) - 4.0;
+  }
+  std::vector<const double*> a_ptrs(batch);
+  std::vector<cplx*> spec_ptrs(batch);
+  std::vector<const cplx*> cspec_ptrs(batch);
+  std::vector<double*> back_ptrs(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    a_ptrs[b] = a[b].data();
+    spec_ptrs[b] = spec[b].data();
+    cspec_ptrs[b] = spec[b].data();
+    back_ptrs[b] = back[b].data();
+  }
+  core::ScratchArena& arena = core::thread_scratch();
+  fft::FxpFftStats stats;
+  fxp.forward_batch_into(std::span<const double* const>(a_ptrs),
+                         std::span<cplx* const>(spec_ptrs), &stats, &arena);
+  fxp.inverse_batch_into(std::span<const cplx* const>(cspec_ptrs),
+                         std::span<double* const>(back_ptrs), &stats, &arena);
+
+  const std::uint64_t before = allocs();
+  fxp.forward_batch_into(std::span<const double* const>(a_ptrs),
+                         std::span<cplx* const>(spec_ptrs), &stats, &arena);
+  fxp.inverse_batch_into(std::span<const cplx* const>(cspec_ptrs),
+                         std::span<double* const>(back_ptrs), &stats, &arena);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
 TEST(AllocFree, PointwiseMulmodRaw) {
   const std::size_t n = 4096;
   const u64 q = hemath::find_ntt_prime(49, n);

@@ -12,9 +12,12 @@
 #include "fft/fxp_fft.hpp"
 #include "fft/negacyclic.hpp"
 #include "hemath/modular.hpp"
+#include "hemath/ntt.hpp"
 #include "hemath/pointwise.hpp"
 #include "hemath/primes.hpp"
+#include "hemath/shoup_ntt.hpp"
 #include "hemath/simd.hpp"
+#include "sparsefft/merged_kernels.hpp"
 
 namespace flash {
 namespace {
@@ -211,6 +214,282 @@ TEST(SimdKernels, PointwiseMulmodScalarVsAvx2Exact) {
           << bits << " @" << i;
     }
   }
+}
+
+// --- batched SoA transforms --------------------------------------------------
+//
+// Every batched kernel must be bit-identical to a loop of the single-
+// polynomial path at every dispatch level. Batch sizes 1..9 cover the whole
+// remainder matrix (ARCHITECTURE.md §11): the scalar passthrough (1), the
+// AVX2 group and its padded remainders (2..4), and the AVX-512 group with
+// the drop-to-AVX2 and zero-padded remainders (5..9).
+
+/// The levels this host can actually run (AVX-512 skips gracefully).
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> levels{SimdLevel::kScalar};
+  if (hemath::simd::cpu_has_avx2()) levels.push_back(SimdLevel::kAvx2);
+  if (hemath::simd::cpu_has_avx512()) levels.push_back(SimdLevel::kAvx512);
+  return levels;
+}
+
+std::vector<std::vector<u64>> random_residues(std::size_t batch, std::size_t n, u64 q,
+                                              std::mt19937_64& rng) {
+  std::vector<std::vector<u64>> polys(batch);
+  for (auto& poly : polys) {
+    poly.resize(n);
+    for (auto& x : poly) x = rng() % q;
+  }
+  // Edge residues in the first lanes.
+  if (n >= 4 && !polys.empty()) {
+    polys[0][0] = 0;
+    polys[0][1] = 1;
+    polys[0][2] = q - 1;
+    polys[0][3] = q - 1;
+  }
+  return polys;
+}
+
+template <typename Tables>
+void check_ntt_batch_matches_singles(const Tables& tables, std::size_t n, u64 q) {
+  std::mt19937_64 rng(n * 31 + q % 1024);
+  for (std::size_t batch = 1; batch <= 9; ++batch) {
+    const auto input = random_residues(batch, n, q, rng);
+
+    // Reference: per-polynomial transforms at the scalar level.
+    std::vector<std::vector<u64>> fwd_ref = input;
+    std::vector<std::vector<u64>> inv_ref = input;
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      for (auto& poly : fwd_ref) tables.forward(poly);
+      for (auto& poly : inv_ref) tables.inverse(poly);
+    }
+
+    for (SimdLevel lvl : supported_levels()) {
+      ScopedSimdLevel level(lvl);
+      std::vector<std::vector<u64>> fwd = input;
+      std::vector<std::vector<u64>> inv = input;
+      std::vector<u64*> fwd_ptrs(batch), inv_ptrs(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        fwd_ptrs[b] = fwd[b].data();
+        inv_ptrs[b] = inv[b].data();
+      }
+      tables.forward_batch_into(fwd_ptrs);
+      tables.inverse_batch_into(inv_ptrs);
+      for (std::size_t b = 0; b < batch; ++b) {
+        ASSERT_EQ(fwd[b], fwd_ref[b]) << "fwd n=" << n << " batch=" << batch << " lane=" << b
+                                      << " level=" << hemath::simd::simd_level_name(lvl);
+        ASSERT_EQ(inv[b], inv_ref[b]) << "inv n=" << n << " batch=" << batch << " lane=" << b
+                                      << " level=" << hemath::simd::simd_level_name(lvl);
+      }
+    }
+  }
+}
+
+TEST(SimdBatchKernels, NttBatchBitIdenticalToSinglesAcrossLevels) {
+  for (std::size_t n : {64u, 256u, 4096u}) {
+    const u64 q = hemath::find_ntt_prime(59, n);
+    check_ntt_batch_matches_singles(hemath::NttTables(q, n), n, q);
+  }
+}
+
+TEST(SimdBatchKernels, NttBatchLargeModulusFallbackStillMatches) {
+  // q >= 2^61 is outside the Harvey lazy bound: the batch entry points fall
+  // back to the per-polynomial loop and must stay bit-identical.
+  const std::size_t n = 256;
+  const u64 q = hemath::next_prime_congruent(u64{1} << 61, 2 * n);
+  ASSERT_GE(q, u64{1} << 61);
+  check_ntt_batch_matches_singles(hemath::NttTables(q, n), n, q);
+}
+
+TEST(SimdBatchKernels, ShoupNttBatchBitIdenticalToSinglesAcrossLevels) {
+  for (std::size_t n : {64u, 1024u}) {
+    const u64 q = hemath::find_ntt_prime(59, n);
+    check_ntt_batch_matches_singles(hemath::ShoupNttTables(q, n), n, q);
+  }
+}
+
+TEST(SimdBatchKernels, FxpFftBatchBitIdenticalToSinglesWithStats) {
+  std::mt19937_64 rng(404);
+  const std::size_t m = 128;
+  fft::FxpFft fxp(m, core::default_approx_config(m * 2, 1u << 10));
+  ASSERT_TRUE(fxp.uses_narrow_path());
+  for (std::size_t batch = 1; batch <= 9; ++batch) {
+    std::vector<std::vector<cplx>> input(batch);
+    for (auto& v : input) v = random_complex(m, rng, 8);
+
+    std::vector<std::vector<cplx>> ref(batch, std::vector<cplx>(m));
+    fft::FxpFftStats ref_stats;
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      for (std::size_t b = 0; b < batch; ++b) fxp.forward_into(input[b], ref[b], &ref_stats);
+    }
+
+    for (SimdLevel lvl : supported_levels()) {
+      ScopedSimdLevel level(lvl);
+      std::vector<std::vector<cplx>> out(batch, std::vector<cplx>(m));
+      std::vector<const cplx*> in_ptrs(batch);
+      std::vector<cplx*> out_ptrs(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        in_ptrs[b] = input[b].data();
+        out_ptrs[b] = out[b].data();
+      }
+      fft::FxpFftStats stats;
+      fxp.forward_batch_into(std::span<const cplx* const>(in_ptrs),
+                             std::span<cplx* const>(out_ptrs), &stats);
+      for (std::size_t b = 0; b < batch; ++b) expect_bit_identical(out[b], ref[b]);
+      // Stats are part of the contract: the energy model must not notice
+      // whether transforms ran batched or one at a time.
+      EXPECT_EQ(stats.butterflies, ref_stats.butterflies) << batch;
+      EXPECT_EQ(stats.shift_add_terms, ref_stats.shift_add_terms) << batch;
+      EXPECT_EQ(stats.saturations, ref_stats.saturations) << batch;
+      ASSERT_EQ(stats.stage_peak_mantissa.size(), ref_stats.stage_peak_mantissa.size());
+      for (std::size_t s = 0; s < stats.stage_peak_mantissa.size(); ++s) {
+        EXPECT_EQ(stats.stage_peak_mantissa[s], ref_stats.stage_peak_mantissa[s]) << batch << " " << s;
+      }
+
+      // Inverse batch against inverse singles on the forward outputs.
+      std::vector<std::vector<cplx>> inv_ref(batch, std::vector<cplx>(m));
+      {
+        ScopedSimdLevel inner(SimdLevel::kScalar);
+        for (std::size_t b = 0; b < batch; ++b) fxp.inverse_into(ref[b], inv_ref[b]);
+      }
+      std::vector<std::vector<cplx>> inv(batch, std::vector<cplx>(m));
+      std::vector<const cplx*> spec_ptrs(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        spec_ptrs[b] = ref[b].data();
+        out_ptrs[b] = inv[b].data();
+      }
+      fxp.inverse_batch_into(std::span<const cplx* const>(spec_ptrs),
+                             std::span<cplx* const>(out_ptrs));
+      for (std::size_t b = 0; b < batch; ++b) expect_bit_identical(inv[b], inv_ref[b]);
+    }
+  }
+}
+
+TEST(SimdBatchKernels, NegacyclicFxpBatchBitIdenticalToSingles) {
+  std::mt19937_64 rng(405);
+  const std::size_t n = 256;
+  fft::FxpNegacyclicTransform fxp(n, core::default_approx_config(n, 1u << 10));
+  for (std::size_t batch = 1; batch <= 9; ++batch) {
+    std::vector<std::vector<double>> a(batch);
+    for (auto& v : a) v = sparse_reals(n, rng, 40);
+
+    std::vector<std::vector<cplx>> spec_ref(batch, std::vector<cplx>(n / 2));
+    std::vector<std::vector<double>> back_ref(batch, std::vector<double>(n));
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      for (std::size_t b = 0; b < batch; ++b) {
+        fxp.forward_into(a[b], spec_ref[b]);
+        fxp.inverse_into(spec_ref[b], back_ref[b]);
+      }
+    }
+
+    for (SimdLevel lvl : supported_levels()) {
+      ScopedSimdLevel level(lvl);
+      std::vector<std::vector<cplx>> spec(batch, std::vector<cplx>(n / 2));
+      std::vector<const double*> a_ptrs(batch);
+      std::vector<cplx*> spec_ptrs(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        a_ptrs[b] = a[b].data();
+        spec_ptrs[b] = spec[b].data();
+      }
+      fxp.forward_batch_into(std::span<const double* const>(a_ptrs),
+                             std::span<cplx* const>(spec_ptrs));
+      for (std::size_t b = 0; b < batch; ++b) expect_bit_identical(spec[b], spec_ref[b]);
+
+      std::vector<std::vector<double>> back(batch, std::vector<double>(n));
+      std::vector<const cplx*> cspec_ptrs(batch);
+      std::vector<double*> back_ptrs(batch);
+      for (std::size_t b = 0; b < batch; ++b) {
+        cspec_ptrs[b] = spec[b].data();
+        back_ptrs[b] = back[b].data();
+      }
+      fxp.inverse_batch_into(std::span<const cplx* const>(cspec_ptrs),
+                             std::span<double* const>(back_ptrs));
+      for (std::size_t b = 0; b < batch; ++b) {
+        ASSERT_EQ(back[b], back_ref[b]) << "batch=" << batch << " lane=" << b;
+      }
+    }
+  }
+}
+
+TEST(SimdBatchKernels, MergedMaterializeBitIdenticalAcrossLevels) {
+  std::mt19937_64 rng(406);
+  std::uniform_real_distribution<double> dist(-4.0, 4.0);
+  for (std::size_t m : {1u, 3u, 4u, 7u, 8u, 64u, 513u}) {
+    std::vector<double> base_re(m), base_im(m), tw_re(m), tw_im(m);
+    std::vector<std::uint64_t> quadrant(m), lazy(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      base_re[i] = dist(rng);
+      base_im[i] = dist(rng);
+      tw_re[i] = dist(rng);
+      tw_im[i] = dist(rng);
+      quadrant[i] = rng() % 4;
+      lazy[i] = rng() % 2;
+    }
+    std::vector<cplx> ref(m);
+    const std::uint64_t mults_ref = sparsefft::detail::merged_materialize_scalar(
+        base_re.data(), base_im.data(), tw_re.data(), tw_im.data(), quadrant.data(), lazy.data(),
+        m, ref.data());
+    for (SimdLevel lvl : supported_levels()) {
+      ScopedSimdLevel level(lvl);
+      std::vector<cplx> out(m);
+      const std::uint64_t mults = sparsefft::detail::merged_materialize(
+          base_re.data(), base_im.data(), tw_re.data(), tw_im.data(), quadrant.data(),
+          lazy.data(), m, out.data());
+      EXPECT_EQ(mults, mults_ref) << m;
+      expect_bit_identical(out, ref);
+    }
+  }
+}
+
+// --- FLASH_FORCE_SIMD_LEVEL resolution --------------------------------------
+//
+// The env vars are read once at startup, so these tests drive the resolver
+// directly with synthetic values. Contract: FLASH_FORCE_SCALAR (truthy) wins;
+// otherwise FLASH_FORCE_SIMD_LEVEL must parse and can only degrade, never
+// grant a level the CPU lacks; unknown names are a hard configuration error.
+
+TEST(SimdDispatchEnv, ParseSimdLevelAcceptsExactlyTheThreeNames) {
+  using hemath::simd::parse_simd_level;
+  ASSERT_TRUE(parse_simd_level("scalar").has_value());
+  EXPECT_EQ(*parse_simd_level("scalar"), SimdLevel::kScalar);
+  ASSERT_TRUE(parse_simd_level("avx2").has_value());
+  EXPECT_EQ(*parse_simd_level("avx2"), SimdLevel::kAvx2);
+  ASSERT_TRUE(parse_simd_level("avx512").has_value());
+  EXPECT_EQ(*parse_simd_level("avx512"), SimdLevel::kAvx512);
+  EXPECT_FALSE(parse_simd_level("").has_value());
+  EXPECT_FALSE(parse_simd_level("AVX2").has_value());
+  EXPECT_FALSE(parse_simd_level("sse4").has_value());
+}
+
+TEST(SimdDispatchEnv, ResolveHonorsEachForcedLevel) {
+  using hemath::simd::detail::resolve_level;
+  EXPECT_EQ(resolve_level(nullptr, "scalar", SimdLevel::kAvx512), SimdLevel::kScalar);
+  EXPECT_EQ(resolve_level(nullptr, "avx2", SimdLevel::kAvx512), SimdLevel::kAvx2);
+  EXPECT_EQ(resolve_level(nullptr, "avx512", SimdLevel::kAvx512), SimdLevel::kAvx512);
+}
+
+TEST(SimdDispatchEnv, ResolveClampsToSupportedNeverUpgrades) {
+  using hemath::simd::detail::resolve_level;
+  // Asking for more than the CPU has degrades to the supported maximum.
+  EXPECT_EQ(resolve_level(nullptr, "avx512", SimdLevel::kAvx2), SimdLevel::kAvx2);
+  EXPECT_EQ(resolve_level(nullptr, "avx2", SimdLevel::kScalar), SimdLevel::kScalar);
+  // Unset: the supported maximum stands.
+  EXPECT_EQ(resolve_level(nullptr, nullptr, SimdLevel::kAvx2), SimdLevel::kAvx2);
+}
+
+TEST(SimdDispatchEnv, ResolveForceScalarWinsOverForcedLevel) {
+  using hemath::simd::detail::resolve_level;
+  EXPECT_EQ(resolve_level("1", "avx512", SimdLevel::kAvx512), SimdLevel::kScalar);
+  // FLASH_FORCE_SCALAR=0 is falsy: the forced level applies.
+  EXPECT_EQ(resolve_level("0", "avx2", SimdLevel::kAvx512), SimdLevel::kAvx2);
+}
+
+TEST(SimdDispatchEnv, ResolveRejectsUnknownLevelName) {
+  using hemath::simd::detail::resolve_level;
+  EXPECT_THROW((void)resolve_level(nullptr, "sse9", SimdLevel::kAvx512), std::invalid_argument);
+  EXPECT_THROW((void)resolve_level(nullptr, "AVX2", SimdLevel::kAvx512), std::invalid_argument);
 }
 
 TEST(SimdKernels, ForceScalarEnvironmentOverrideIsScalar) {

@@ -1,6 +1,6 @@
 // flash_lint: project-specific domain lint for the FLASH tree.
 //
-// clang-tidy catches generic C++ bugs; these three rules encode *project*
+// clang-tidy catches generic C++ bugs; these rules encode *project*
 // invariants that no generic checker knows about:
 //
 //   raw-mod        Modulus-domain arithmetic outside src/hemath must go
@@ -18,6 +18,10 @@
 //                  the wide accumulator type to a narrower integer are only
 //                  legal after saturation; anywhere else they silently drop
 //                  overflow bits the interval analyzer proved could be set.
+//   simd-dispatch  Dispatch sites outside src/hemath/simd* must query the
+//                  SIMD level through level_at_least(), never
+//                  active_simd_level() directly — `== kAvx2` equality checks
+//                  silently turned AVX2 kernels off when kAvx512 was added.
 //
 // Intentional boundary crossings are annotated in-source:
 //
@@ -87,6 +91,13 @@ bool fxp_fft_path(const std::string& rel) {
   return starts_with(rel, "src/fft/") && rel.find("fxp") != std::string::npos;
 }
 
+bool outside_simd_dispatch(const std::string& rel) {
+  // The dispatch layer itself (simd.hpp/.cpp and the simd_batch SoA kernels)
+  // legitimately reads the raw level; everyone else goes through
+  // level_at_least().
+  return starts_with(rel, "src/") && !starts_with(rel, "src/hemath/simd");
+}
+
 const std::vector<Rule>& rules() {
   static const std::vector<Rule> kRules = {
       {"raw-mod",
@@ -108,6 +119,11 @@ const std::vector<Rule>& rules() {
        "narrowing integer cast in the FXP FFT path; only the saturation "
        "helper may drop accumulator bits",
        &fxp_fft_path},
+      {"simd-dispatch",
+       std::regex(R"(active_simd_level\s*\()"),
+       "direct active_simd_level() call outside src/hemath/simd; dispatch "
+       "through level_at_least() so AVX2 kernels stay eligible at kAvx512",
+       &outside_simd_dispatch},
   };
   return kRules;
 }
