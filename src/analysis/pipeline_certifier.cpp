@@ -1,0 +1,253 @@
+#include "analysis/pipeline_certifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "encoding/encoder.hpp"
+#include "fft/negacyclic.hpp"
+#include "fft/transform_cache.hpp"
+#include "hemath/modular.hpp"
+
+namespace flash::analysis {
+
+namespace {
+
+using hemath::i64;
+
+// Relative-error envelope for the double-precision FFT datapath (forward,
+// pointwise accumulate, inverse, llround). The true envelope is a few ulps
+// (~2^-50 at N=4096); 2^-46 leaves a wide margin while staying orders of
+// magnitude below the share-wrap terms it rides with.
+constexpr double kFpRelEps = 1.0 / 70368744177664.0;  // 2^-46
+
+// Worst-case cut of the rounded-Gaussian error tail (per-draw probability
+// ~2^-66 at sigma = 3.2): the deterministic ledger treats |e| <= 10 sigma.
+constexpr double kWorstCaseSigmas = 10.0;
+
+double log2_safe(double v) { return v > 0 ? std::log2(v) : -1e9; }
+
+struct ChannelLedger {
+  double certified = 0;   // r·wraps + λ·sqrt(variances)
+  double worst_case = 0;  // deterministic l1 ledger
+  double witness = 0;     // expected peak of the t/2 activation
+  double l1 = 0;
+  std::vector<NoiseTerm> terms;
+};
+
+}  // namespace
+
+const char* to_string(PipelineVerdict v) {
+  switch (v) {
+    case PipelineVerdict::kProvenCorrectDecryption: return "proven-correct-decryption";
+    case PipelineVerdict::kFailurePossibleWithWitness: return "failure-possible-with-witness";
+    case PipelineVerdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+PipelineCertificate certify_hconv_unit(const HConvUnitDesc& desc) {
+  const bfv::BfvParams& p = desc.params;
+  const std::size_t n = p.n;
+  const double q = static_cast<double>(p.q);
+  const double r = static_cast<double>(p.q % p.t);
+  const double sigma = p.error_sigma;
+  const double nd = static_cast<double>(n);
+  // Var of the fresh invariant noise e1 + e2·s - e·u (u, s ternary).
+  const double fresh_var = sigma * sigma * (1.0 + 4.0 * nd / 3.0);
+  // Amplification of any c1-side additive error by the decrypt convolution
+  // with the ternary secret (variance form / absolute form).
+  const double secret_var_amp = 1.0 + 2.0 * nd / 3.0;
+  const double secret_abs_amp = 1.0 + nd;
+
+  if (desc.weights.in_channels() != desc.in_c) {
+    throw std::invalid_argument("certify_hconv_unit: channels do not match the weights");
+  }
+  if (desc.backend == bfv::PolyMulBackend::kApproxFft && !desc.approx_config.has_value()) {
+    throw std::invalid_argument("certify_hconv_unit: kApproxFft requires an approx_config");
+  }
+  const bool is_fp = desc.backend != bfv::PolyMulBackend::kNtt;
+  const bool is_approx = desc.backend == bfv::PolyMulBackend::kApproxFft;
+
+  PipelineCertificate cert;
+  cert.ceiling_bits = p.noise_ceiling_bits();
+
+  const encoding::ConvEncoder enc(n, desc.in_c, desc.in_h, desc.in_w,
+                                  desc.weights.kernel_h(), desc.weights.kernel_w());
+  const std::size_t tiles = enc.geometry().channel_tiles();
+  const std::size_t m_out = desc.weights.out_channels();
+
+  // Occupied activation slots per channel tile: every coefficient the
+  // encoder maps carries a uniform share and can wrap, including padding
+  // zeros (pad happens before sharing).
+  std::vector<std::vector<std::size_t>> occupied(tiles);
+  {
+    tensor::Tensor3 ones(desc.in_c, desc.in_h, desc.in_w);
+    for (auto& v : ones.data()) v = 1;
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      const std::vector<i64> coeffs = enc.encode_activation(ones, tile);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (coeffs[i] != 0) occupied[tile].push_back(i);
+      }
+    }
+  }
+
+  // FXP-transform overflow obligation: the interval analyzer must prove the
+  // weight datapath saturation-free, otherwise the concrete spectra below
+  // are not representative of the whole weight family.
+  double max_w = 0;
+  for (const i64 v : desc.weights.data()) {
+    max_w = std::max(max_w, std::abs(static_cast<double>(v)));
+  }
+  if (is_approx) {
+    AnalyzerOptions opts;
+    opts.input_max_abs = std::max(1.0, max_w);
+    cert.transform_overflow_free =
+        analyze_negacyclic(n, *desc.approx_config, opts).overflow_free();
+  }
+
+  std::shared_ptr<const fft::NegacyclicFft> exact;
+  std::shared_ptr<const fft::FxpNegacyclicTransform> fxp;
+  if (is_approx) {
+    exact = fft::shared_negacyclic_fft(n);
+    fxp = fft::shared_fxp_transform(n, *desc.approx_config);
+  }
+
+  // Per output channel: the final ciphertext accumulates every channel tile,
+  // so the variance terms sum over tiles before the worst channel is taken.
+  ChannelLedger worst;
+  bool first = true;
+  std::vector<double> v_conv(n);
+  std::vector<fft::cplx> spec_fxp(n / 2), spec_exact(n / 2);
+  std::vector<double> wd(n);
+  for (std::size_t m = 0; m < m_out; ++m) {
+    double l1 = 0, l2sq = 0, delta2 = 0, delta_abs = 0;
+    std::fill(v_conv.begin(), v_conv.end(), 0.0);
+    for (std::size_t tile = 0; tile < tiles; ++tile) {
+      const std::vector<i64> wc = enc.encode_weight(desc.weights, m, tile);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (wc[j] == 0) continue;
+        const double w = static_cast<double>(wc[j]);
+        l1 += std::abs(w);
+        l2sq += w * w;
+        // Negacyclic conv of w² with the occupied-slot indicator: the wrap
+        // variance feeding each output coefficient (signs are irrelevant,
+        // variances add).
+        for (const std::size_t i : occupied[tile]) {
+          std::size_t k = j + i;
+          if (k >= n) k -= n;
+          v_conv[k] += w * w;
+        }
+      }
+      if (is_approx) {
+        for (std::size_t j = 0; j < n; ++j) wd[j] = static_cast<double>(wc[j]);
+        fxp->forward_into(wd, spec_fxp);
+        exact->forward_into(wd, spec_exact);
+        for (std::size_t k = 0; k < n / 2; ++k) {
+          const fft::cplx d = spec_fxp[k] - spec_exact[k];
+          delta2 += std::norm(d);
+          delta_abs += std::abs(d);
+        }
+      }
+    }
+    const double v_max = *std::max_element(v_conv.begin(), v_conv.end());
+
+    ChannelLedger led;
+    led.l1 = l1;
+
+    // Stochastic terms (variances; certified adds λ·sqrt of the sum).
+    const double rlwe_var = fresh_var * l2sq;
+    const double wrap_var = r * r * v_max / 4.0;
+    const double approx_var =
+        is_approx ? secret_var_amp * (q * q / (12.0 * static_cast<double>(n / 2))) * delta2 : 0.0;
+    const double fp_var =
+        is_fp ? kFpRelEps * kFpRelEps * (q * q / 12.0) * l2sq * secret_var_amp : 0.0;
+    const double round_var = is_fp ? secret_var_amp / 12.0 : 0.0;
+    const double var_total = rlwe_var + wrap_var + approx_var + fp_var + round_var;
+
+    // Deterministic wraps: the server's mask re-lift (<= 1 quotient unit)
+    // plus the centered-quotient rounding of the product (<= 1/2).
+    const double det_wraps = 1.5 * r;
+
+    led.certified = det_wraps + kCertifiedTailLambda * std::sqrt(var_total);
+    led.witness = l1 > 0 ? r + kWitnessPeakFactor * std::sqrt(var_total) : det_wraps;
+    led.worst_case = kWorstCaseSigmas * sigma * (1.0 + 2.0 * nd) * l1  // rlwe l1 ledger
+                     + r * (l1 + 1.5)                                  // every slot wraps
+                     + (is_approx ? secret_abs_amp * (q / std::sqrt(2.0)) * delta_abs : 0.0)
+                     + (is_fp ? secret_abs_amp * (kFpRelEps * q * std::max(1.0, l1) + 0.5) : 0.0);
+
+    led.terms.push_back({"mask+quotient wraps (det)", log2_safe(det_wraps)});
+    led.terms.push_back({"share-wrap fluctuation", log2_safe(r * std::sqrt(v_max) / 2.0)});
+    led.terms.push_back({"fresh rlwe x weights", log2_safe(std::sqrt(rlwe_var))});
+    if (is_approx) led.terms.push_back({"fxp spectrum error", log2_safe(std::sqrt(approx_var))});
+    if (is_fp) {
+      led.terms.push_back({"fp roundoff envelope", log2_safe(std::sqrt(fp_var))});
+      led.terms.push_back({"decrypt llround", log2_safe(std::sqrt(round_var))});
+    }
+
+    if (first || led.certified > worst.certified) {
+      if (!first) {
+        // Keep the globally worst witness/worst_case even if another channel
+        // binds the certified bound.
+        led.witness = std::max(led.witness, worst.witness);
+        led.worst_case = std::max(led.worst_case, worst.worst_case);
+      }
+      worst = std::move(led);
+      first = false;
+    } else {
+      worst.witness = std::max(worst.witness, led.witness);
+      worst.worst_case = std::max(worst.worst_case, led.worst_case);
+    }
+  }
+
+  cert.certified_noise_bits = log2_safe(worst.certified);
+  cert.worst_case_noise_bits = log2_safe(worst.worst_case);
+  cert.witness_noise_bits = log2_safe(worst.witness);
+  cert.margin_bits = cert.ceiling_bits - cert.certified_noise_bits;
+  cert.ledger = std::move(worst.terms);
+
+  // Union bound over every coefficient of every output channel's final
+  // ciphertext (conservative: extraction only reads the output positions).
+  const double per_coeff_tail = std::erfc(kCertifiedTailLambda / std::sqrt(2.0));
+  cert.fail_prob_log2 =
+      std::log2(static_cast<double>(n * m_out)) + std::log2(per_coeff_tail);
+
+  const bool proven = cert.transform_overflow_free && cert.margin_bits > 0;
+  if (proven) {
+    cert.verdict = PipelineVerdict::kProvenCorrectDecryption;
+  } else if (cert.witness_noise_bits >= cert.ceiling_bits && worst.l1 > 0) {
+    cert.verdict = PipelineVerdict::kFailurePossibleWithWitness;
+  } else {
+    cert.verdict = PipelineVerdict::kInconclusive;
+  }
+
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s: certified 2^%.2f vs ceiling 2^%.2f (margin %.2f bits), "
+                "witness 2^%.2f, worst-case 2^%.2f, fail<=2^%.1f%s",
+                to_string(cert.verdict), cert.certified_noise_bits, cert.ceiling_bits,
+                cert.margin_bits, cert.witness_noise_bits, cert.worst_case_noise_bits,
+                cert.fail_prob_log2,
+                cert.transform_overflow_free ? "" : "; FXP transform NOT overflow-free");
+  cert.detail = buf;
+  return cert;
+}
+
+PipelineWitness materialize_witness(const HConvUnitDesc& desc) {
+  const PipelineCertificate cert = certify_hconv_unit(desc);
+  PipelineWitness w;
+  w.activation = tensor::Tensor3(desc.in_c, desc.in_h, desc.in_w);
+  const i64 half = static_cast<i64>(desc.params.t / 2);
+  for (auto& v : w.activation.data()) v = half;
+  w.predicted_noise_bits = cert.witness_noise_bits;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "all-coefficients t/2 activation (share-wrap probability 1/2 per slot); "
+                "expected noise peak 2^%.2f vs ceiling 2^%.2f",
+                cert.witness_noise_bits, cert.ceiling_bits);
+  w.description = buf;
+  return w;
+}
+
+}  // namespace flash::analysis

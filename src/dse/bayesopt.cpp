@@ -109,9 +109,10 @@ std::vector<EvaluatedPoint> BayesianExplorer::explore(const BayesOptions& option
   };
 
   // Same admission rule as the evolutionary explorer: only points the
-  // interval analyzer proves overflow-free are evaluated; unprovable draws
-  // are resampled so the evaluation budget stays exact.
-  SafetyCache safety(space_, error_model_);
+  // interval analyzer proves overflow-free (and, with options.pipeline,
+  // certified for correct decryption) are evaluated; unprovable draws are
+  // resampled so the evaluation budget stays exact.
+  SafetyCache safety(space_, error_model_, options.pipeline);
   if (!safety.proven_safe(space_.full_precision())) {
     throw std::runtime_error(
         "BayesianExplorer::explore: even the full-precision corner cannot be proven "

@@ -51,6 +51,8 @@ struct BayesOptions {
   std::size_t candidate_pool = 160;
   std::size_t max_train_points = 128;  // subsample the GP's training set
   double error_floor = 1e-18;          // clamps log(error) targets
+  /// Same end-to-end admission requirement as DseOptions::pipeline.
+  std::optional<PipelineObligation> pipeline;
 };
 
 class BayesianExplorer {

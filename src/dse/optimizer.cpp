@@ -69,10 +69,12 @@ std::vector<EvaluatedPoint> DseExplorer::explore(const DseOptions& options) {
   };
 
   // Every admitted candidate must first be *proven* overflow-free by the
-  // interval analyzer; unprovable draws are resampled (never silently
-  // filtered, so the evaluation budget stays exact). The full-precision
-  // corner is the provably-safe fallback when sampling runs dry.
-  SafetyCache safety(space_, error_model_);
+  // interval analyzer — and, when options.pipeline is set, certified for
+  // correct decryption end-to-end; unprovable draws are resampled (never
+  // silently filtered, so the evaluation budget stays exact). The
+  // full-precision corner is the provably-safe fallback when sampling runs
+  // dry.
+  SafetyCache safety(space_, error_model_, options.pipeline);
   if (!safety.proven_safe(space_.full_precision())) {
     throw std::runtime_error(
         "DseExplorer::explore: even the full-precision corner cannot be proven "

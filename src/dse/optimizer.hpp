@@ -10,6 +10,7 @@
 
 #include "dse/cost_model.hpp"
 #include "dse/error_model.hpp"
+#include "dse/safety.hpp"
 
 namespace flash::dse {
 
@@ -32,6 +33,10 @@ struct DseOptions {
   /// Optional constraint: discard points with error variance above this
   /// threshold (the paper's T_err); 0 disables.
   double error_threshold = 0.0;
+  /// Optional end-to-end admission requirement: only design points whose
+  /// pipeline certificate proves correct decryption on this workload enter
+  /// the archive (dse/safety.hpp). nullopt = overflow obligation only.
+  std::optional<PipelineObligation> pipeline;
 };
 
 class DseExplorer {

@@ -1,0 +1,106 @@
+#include "protocol/conv_geometry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "encoding/encoder.hpp"
+
+namespace flash::protocol {
+
+std::vector<TileTask> tile_grid(std::size_t poly_n, std::size_t in_h, std::size_t in_w,
+                                std::size_t kh, std::size_t kw) {
+  const std::size_t out_h = in_h - kh + 1;
+  const std::size_t out_w = in_w - kw + 1;
+  std::size_t tile = std::max(out_h, out_w);
+  auto fits = [&](std::size_t side) {
+    const std::size_t patch_h = std::min(side + kh - 1, in_h);
+    const std::size_t patch_w = std::min(side + kw - 1, in_w);
+    const encoding::ConvGeometry g{poly_n, 1, patch_h, patch_w, kh, kw};
+    return g.channels_per_poly() >= 1;
+  };
+  while (tile > 1 && !fits(tile)) --tile;
+  if (!fits(tile)) throw std::invalid_argument("ConvRunner: kernel too large for polynomial degree");
+
+  std::vector<TileTask> tasks;
+  for (std::size_t ty = 0; ty < out_h; ty += tile) {
+    for (std::size_t tx = 0; tx < out_w; tx += tile) {
+      tasks.push_back({ty, tx, std::min(tile, out_h - ty), std::min(tile, out_w - tx)});
+    }
+  }
+  return tasks;
+}
+
+std::vector<PhaseDef> live_phases(std::size_t kernel_h, std::size_t kernel_w, std::size_t stride) {
+  std::vector<PhaseDef> phases;
+  for (std::size_t a = 0; a < std::min(stride, kernel_h); ++a) {
+    for (std::size_t b = 0; b < std::min(stride, kernel_w); ++b) {
+      const std::size_t kh = (kernel_h > a) ? (kernel_h - a + stride - 1) / stride : 0;
+      const std::size_t kw = (kernel_w > b) ? (kernel_w - b + stride - 1) / stride : 0;
+      if (kh == 0 || kw == 0) continue;
+      phases.push_back({a, b, phases.size()});
+    }
+  }
+  return phases;
+}
+
+std::size_t phase_extent(std::size_t full, std::size_t s, std::size_t offset) {
+  return (full > offset) ? (full - offset + s - 1) / s : 0;
+}
+
+tensor::Tensor4 kernel_phase(const tensor::Tensor4& w, std::size_t s, std::size_t a,
+                             std::size_t b) {
+  const std::size_t kh = (w.kernel_h() > a) ? (w.kernel_h() - a + s - 1) / s : 0;
+  const std::size_t kw = (w.kernel_w() > b) ? (w.kernel_w() - b + s - 1) / s : 0;
+  tensor::Tensor4 out(w.out_channels(), w.in_channels(), kh, kw);
+  for (std::size_t m = 0; m < w.out_channels(); ++m) {
+    for (std::size_t c = 0; c < w.in_channels(); ++c) {
+      for (std::size_t i = 0; i < kh; ++i) {
+        for (std::size_t j = 0; j < kw; ++j) out.at(m, c, i, j) = w.at(m, c, s * i + a, s * j + b);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ConvUnit> enumerate_conv_units(std::size_t poly_n, std::size_t in_c,
+                                           std::size_t in_h, std::size_t in_w,
+                                           const tensor::Tensor4& weights, std::size_t stride,
+                                           std::size_t pad) {
+  if (stride == 0) throw std::invalid_argument("enumerate_conv_units: stride must be >= 1");
+  if (in_c != weights.in_channels()) {
+    throw std::invalid_argument("enumerate_conv_units: channels do not match the weights");
+  }
+  const std::size_t padded_h = in_h + 2 * pad;
+  const std::size_t padded_w = in_w + 2 * pad;
+
+  std::vector<ConvUnit> units;
+  const std::vector<PhaseDef> phases =
+      stride == 1 ? std::vector<PhaseDef>{{0, 0, 0}}
+                  : live_phases(weights.kernel_h(), weights.kernel_w(), stride);
+  for (const PhaseDef& ph : phases) {
+    const tensor::Tensor4 wp =
+        stride == 1 ? weights : kernel_phase(weights, stride, ph.a, ph.b);
+    const std::size_t kh = wp.kernel_h();
+    const std::size_t kw = wp.kernel_w();
+    const std::size_t h = stride == 1 ? padded_h : phase_extent(padded_h, stride, ph.a);
+    const std::size_t w = stride == 1 ? padded_w : phase_extent(padded_w, stride, ph.b);
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> shape_counts;
+    for (const TileTask& tk : tile_grid(poly_n, h, w, kh, kw)) {
+      ++shape_counts[{tk.th + kh - 1, tk.tw + kw - 1}];
+    }
+    for (const auto& [shape, count] : shape_counts) {
+      ConvUnit u;
+      u.phase = ph;
+      u.weights = wp;
+      u.patch_h = shape.first;
+      u.patch_w = shape.second;
+      u.tile_count = count;
+      units.push_back(std::move(u));
+    }
+  }
+  return units;
+}
+
+}  // namespace flash::protocol

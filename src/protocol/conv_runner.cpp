@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "encoding/encoder.hpp"
+#include "protocol/conv_geometry.hpp"
 
 namespace flash::protocol {
 
@@ -33,21 +34,6 @@ tensor::Tensor3 subsample(const tensor::Tensor3& x, std::size_t s, std::size_t a
   return out;
 }
 
-/// Kernel phase: w_ab[m, c, i, j] = w[m, c, s*i + a, s*j + b].
-tensor::Tensor4 kernel_phase(const tensor::Tensor4& w, std::size_t s, std::size_t a, std::size_t b) {
-  const std::size_t kh = (w.kernel_h() > a) ? (w.kernel_h() - a + s - 1) / s : 0;
-  const std::size_t kw = (w.kernel_w() > b) ? (w.kernel_w() - b + s - 1) / s : 0;
-  tensor::Tensor4 out(w.out_channels(), w.in_channels(), kh, kw);
-  for (std::size_t m = 0; m < w.out_channels(); ++m) {
-    for (std::size_t c = 0; c < w.in_channels(); ++c) {
-      for (std::size_t i = 0; i < kh; ++i) {
-        for (std::size_t j = 0; j < kw; ++j) out.at(m, c, i, j) = w.at(m, c, s * i + a, s * j + b);
-      }
-    }
-  }
-  return out;
-}
-
 void add_shares_inplace(tensor::Tensor3& acc, const tensor::Tensor3& other, u64 t) {
   for (std::size_t i = 0; i < acc.data().size(); ++i) {
     acc.data()[i] = static_cast<tensor::i64>(
@@ -55,60 +41,10 @@ void add_shares_inplace(tensor::Tensor3& acc, const tensor::Tensor3& other, u64 
   }
 }
 
-/// The spatial tile grid of one stride-1 conv: the largest square output
-/// tile whose input patch fits a polynomial, then the row-major task list.
-/// prepare() and run_stride1() both go through here, so a plan's tile
-/// enumeration cannot drift from the execution's.
-struct TileTask {
-  std::size_t ty, tx, th, tw;
-};
-
-std::vector<TileTask> tile_grid(std::size_t poly_n, std::size_t in_h, std::size_t in_w,
-                                std::size_t kh, std::size_t kw) {
-  const std::size_t out_h = in_h - kh + 1;
-  const std::size_t out_w = in_w - kw + 1;
-  std::size_t tile = std::max(out_h, out_w);
-  auto fits = [&](std::size_t side) {
-    const std::size_t patch_h = std::min(side + kh - 1, in_h);
-    const std::size_t patch_w = std::min(side + kw - 1, in_w);
-    const encoding::ConvGeometry g{poly_n, 1, patch_h, patch_w, kh, kw};
-    return g.channels_per_poly() >= 1;
-  };
-  while (tile > 1 && !fits(tile)) --tile;
-  if (!fits(tile)) throw std::invalid_argument("ConvRunner: kernel too large for polynomial degree");
-
-  std::vector<TileTask> tasks;
-  for (std::size_t ty = 0; ty < out_h; ty += tile) {
-    for (std::size_t tx = 0; tx < out_w; tx += tile) {
-      tasks.push_back({ty, tx, std::min(tile, out_h - ty), std::min(tile, out_w - tx)});
-    }
-  }
-  return tasks;
-}
-
-/// The live stride phases of a kernel, in the fixed order run() dispatches
-/// them (phase p owns the stream block [p << 16, (p+1) << 16)).
-struct PhaseDef {
-  std::size_t a, b, index;
-};
-
-std::vector<PhaseDef> live_phases(std::size_t kernel_h, std::size_t kernel_w, std::size_t stride) {
-  std::vector<PhaseDef> phases;
-  for (std::size_t a = 0; a < std::min(stride, kernel_h); ++a) {
-    for (std::size_t b = 0; b < std::min(stride, kernel_w); ++b) {
-      const std::size_t kh = (kernel_h > a) ? (kernel_h - a + stride - 1) / stride : 0;
-      const std::size_t kw = (kernel_w > b) ? (kernel_w - b + stride - 1) / stride : 0;
-      if (kh == 0 || kw == 0) continue;
-      phases.push_back({a, b, phases.size()});
-    }
-  }
-  return phases;
-}
-
-/// Subsampled extent along one axis (matches subsample()).
-std::size_t phase_extent(std::size_t full, std::size_t s, std::size_t offset) {
-  return (full > offset) ? (full - offset + s - 1) / s : 0;
-}
+// tile_grid / live_phases / phase_extent / kernel_phase live in
+// protocol/conv_geometry.{hpp,cpp}: prepare(), run_stride1() and the
+// pipeline certifier all share one decomposition, so a plan's (and a
+// certificate's) unit enumeration cannot drift from the execution's.
 
 }  // namespace
 

@@ -200,6 +200,9 @@ struct ConvServer::Plan {
   protocol::HConvProtocol protocol;
   protocol::ConvRunner runner;
   std::shared_ptr<const protocol::ConvPlan> conv_plan;
+  /// Decryption-correctness certificate, set at registration unless
+  /// CertifyPolicy::kOff; immutable afterwards (read without a lock).
+  std::optional<protocol::PlanCertificate> certificate;
   std::atomic<std::uint64_t> next_stream{0};
 };
 
@@ -235,12 +238,31 @@ PlanId ConvServer::register_plan(const PlanSpec& spec) {
   // duplicate registration wastes one preparation; content-identical plans
   // still dedup below (first insert wins).
   auto plan = std::make_shared<Plan>(spec, options_.pool);
+  if (options_.certify != CertifyPolicy::kOff) {
+    plan->certificate = protocol::certify_plan(spec.ctx->params(), spec.backend,
+                                               spec.approx_config, *plan->conv_plan);
+    if (plan->certificate->proven()) {
+      metrics_.plans_certified_proven.inc();
+    } else if (options_.certify == CertifyPolicy::kEnforce) {
+      metrics_.plans_rejected_uncertified.inc();
+      throw std::invalid_argument("plan failed decryption-correctness certification: " +
+                                  plan->certificate->overall.detail);
+    } else {
+      metrics_.plans_certified_unproven.inc();
+    }
+  }
   std::lock_guard<std::mutex> lock(plans_mu_);
   for (std::size_t i = 0; i < plans_.size(); ++i) {
     if (plans_[i]->key == key) return i;
   }
   plans_.push_back(std::move(plan));
   return plans_.size() - 1;
+}
+
+std::optional<protocol::PlanCertificate> ConvServer::plan_certificate(PlanId plan) const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  if (plan >= plans_.size()) return std::nullopt;
+  return plans_[plan]->certificate;
 }
 
 // submit/dispatch/drain below hand a std::unique_lock across early-unlock
@@ -474,11 +496,31 @@ void ConvServer::dispatcher_loop() FLASH_NO_THREAD_SAFETY_ANALYSIS {
 }
 
 std::string ConvServer::metrics_json() const {
+  // Per-plan certification verdicts, rendered here (not in ServerMetrics —
+  // the certificates live on the plans). Snapshot the shared_ptrs under the
+  // lock, format outside it.
+  std::vector<std::shared_ptr<Plan>> plans;
+  {
+    std::lock_guard<std::mutex> lock(plans_mu_);
+    plans = plans_;
+  }
+  std::string certs;
+  char buf[160];
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (!plans[i]->certificate.has_value()) continue;
+    const analysis::PipelineCertificate& c = plans[i]->certificate->overall;
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%zu\": {\"verdict\": \"%s\", \"certified_bits\": %.2f, "
+                  "\"margin_bits\": %.2f}",
+                  certs.empty() ? "" : ", ", i, analysis::to_string(c.verdict),
+                  c.certified_noise_bits, c.margin_bits);
+    certs += buf;
+  }
   if (options_.pool != nullptr) {
     return metrics_.to_json(static_cast<std::int64_t>(options_.pool->thread_count()),
-                            static_cast<std::int64_t>(options_.pool->pending_jobs()));
+                            static_cast<std::int64_t>(options_.pool->pending_jobs()), certs);
   }
-  return metrics_.to_json();
+  return metrics_.to_json(-1, -1, certs);
 }
 
 namespace testing_hooks {

@@ -34,6 +34,7 @@
 
 #include "core/thread_annotations.hpp"
 #include "protocol/conv_runner.hpp"
+#include "protocol/plan_certificate.hpp"
 #include "serve/metrics.hpp"
 
 namespace flash::serve {
@@ -147,6 +148,16 @@ class ConvFuture {
   std::shared_ptr<Shared> shared_;
 };
 
+/// What register_plan does with the end-to-end decryption-correctness
+/// certificate (protocol/plan_certificate.hpp) it computes for each new plan.
+///   kOff     — don't certify (certificate accessor returns nullopt).
+///   kWarn    — certify, register regardless, count unproven plans in
+///              plans_certified_unproven and flag them in metrics_json().
+///   kEnforce — certify, refuse unproven plans: register_plan throws
+///              std::invalid_argument carrying the certificate detail and the
+///              plan is not registered (plans_rejected_uncertified counts it).
+enum class CertifyPolicy { kOff, kWarn, kEnforce };
+
 struct ServerOptions {
   /// Admission queue bound; 0 = reject every submit (a valid, tested
   /// configuration — the "serve nothing, shed everything" circuit breaker).
@@ -163,6 +174,10 @@ struct ServerOptions {
   /// <= kMinRetryAfterS are clamped up to it at estimate time (a cold
   /// server must never hint "retry now").
   double default_retry_after_s = 0.05;
+  /// Decryption-correctness gate on plan registration (see CertifyPolicy).
+  /// Certification runs once per unique plan, outside every server lock,
+  /// next to the (much heavier) weight-transform precomputation.
+  CertifyPolicy certify = CertifyPolicy::kWarn;
 };
 
 class ConvServer {
@@ -195,6 +210,10 @@ class ConvServer {
 
   const ServerMetrics& metrics() const { return metrics_; }
   std::string metrics_json() const;
+
+  /// The certificate computed at registration; nullopt for an unknown id or
+  /// under CertifyPolicy::kOff.
+  std::optional<protocol::PlanCertificate> plan_certificate(PlanId plan) const;
 
  private:
   struct Plan;

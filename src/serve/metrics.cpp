@@ -120,7 +120,8 @@ std::uint64_t ServerMetrics::terminal() const {
          deadline_expired_in_queue.value();
 }
 
-std::string ServerMetrics::to_json(std::int64_t pool_threads, std::int64_t pool_pending) const {
+std::string ServerMetrics::to_json(std::int64_t pool_threads, std::int64_t pool_pending,
+                                   const std::string& certificates) const {
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   const std::pair<const char*, const Counter*> counters[] = {
@@ -134,6 +135,9 @@ std::string ServerMetrics::to_json(std::int64_t pool_threads, std::int64_t pool_
       {"deadline_expired_at_admission", &deadline_expired_at_admission},
       {"deadline_expired_in_queue", &deadline_expired_in_queue},
       {"batches_dispatched", &batches_dispatched},
+      {"plans_certified_proven", &plans_certified_proven},
+      {"plans_certified_unproven", &plans_certified_unproven},
+      {"plans_rejected_uncertified", &plans_rejected_uncertified},
   };
   for (std::size_t i = 0; i < std::size(counters); ++i) {
     out << (i ? ", " : "") << "\"" << counters[i].first << "\": " << counters[i].second->value();
@@ -157,6 +161,7 @@ std::string ServerMetrics::to_json(std::int64_t pool_threads, std::int64_t pool_
       first = false;
     }
   }
+  out << "},\n  \"certificates\": {" << certificates;
   const fft::TransformCacheStats tc = fft::transform_cache_stats();
   out << "},\n  \"transform_cache\": {\"hits\": " << tc.hits << ", \"misses\": " << tc.misses
       << ", \"ntt_hits\": " << tc.ntt_hits << ", \"ntt_misses\": " << tc.ntt_misses

@@ -105,6 +105,13 @@ class ServerMetrics {
   Counter deadline_expired_in_queue;
   Counter batches_dispatched;
 
+  // Registration-path certification outcomes (one per *unique* plan, not per
+  // register_plan call — duplicates dedup before certification). Outside the
+  // terminal-outcome conservation law above.
+  Counter plans_certified_proven;
+  Counter plans_certified_unproven;
+  Counter plans_rejected_uncertified;
+
   Gauge queue_depth;
   Gauge inflight;
 
@@ -122,9 +129,13 @@ class ServerMetrics {
   ///   {"counters": {...}, "gauges": {...},
   ///    "latency_ns": {"queue_wait": {"count":..,"p50":..,"p95":..,"p99":..,"mean":..}, ...},
   ///    "plans": {"<id>": {"batches":..,"requests":..,"max_batch":..}, ...},
+  ///    "certificates": {"<id>": {"verdict": "...", "margin_bits": ..}, ...},
   ///    "transform_cache": {...}, "pool": {...}}
-  /// pool_threads/pool_pending < 0 means "no pool attached".
-  std::string to_json(std::int64_t pool_threads = -1, std::int64_t pool_pending = -1) const;
+  /// pool_threads/pool_pending < 0 means "no pool attached". `certificates`
+  /// is the pre-rendered body of the per-plan verdict map (empty = no
+  /// certified plans — ConvServer::metrics_json fills it).
+  std::string to_json(std::int64_t pool_threads = -1, std::int64_t pool_pending = -1,
+                      const std::string& certificates = {}) const;
 
  private:
   mutable std::mutex plans_mu_;

@@ -1,0 +1,31 @@
+// Lint fixture (never compiled): the opposite-order acquisition pair with a
+// documented allow() marker on one inner acquisition. The marker removes
+// that edge from the lock graph, which breaks the cycle — the plain
+// `flash_lint <this tree>` run must be clean.
+#include <mutex>
+
+namespace flash::fixture {
+
+struct Queues {
+  std::mutex submit_mu;
+  std::mutex drain_mu;
+  int pending = 0;
+  int done = 0;
+};
+
+void submit(Queues& qs) {
+  std::lock_guard<std::mutex> outer(qs.submit_mu);
+  ++qs.pending;
+  std::lock_guard<std::mutex> inner(qs.drain_mu);
+  ++qs.done;
+}
+
+void drain(Queues& qs) {
+  std::lock_guard<std::mutex> outer(qs.drain_mu);
+  --qs.done;
+  // flash-lint: allow(lock-order): drain() only runs after shutdown, when submit() can no longer interleave
+  std::lock_guard<std::mutex> inner(qs.submit_mu);
+  --qs.pending;
+}
+
+}  // namespace flash::fixture

@@ -1,0 +1,30 @@
+// Lint fixture (never compiled): two paths acquiring the same pair of
+// mutexes in opposite orders — the textbook deadlock. The lock-order rule
+// builds the global acquisition graph and reports every edge on the cycle.
+// Run with `flash_lint --expect lock-order <this tree>`.
+#include <mutex>
+
+namespace flash::fixture {
+
+struct Queues {
+  std::mutex submit_mu;
+  std::mutex drain_mu;
+  int pending = 0;
+  int done = 0;
+};
+
+void submit(Queues& qs) {
+  std::lock_guard<std::mutex> outer(qs.submit_mu);
+  ++qs.pending;
+  std::lock_guard<std::mutex> inner(qs.drain_mu);
+  ++qs.done;
+}
+
+void drain(Queues& qs) {
+  std::lock_guard<std::mutex> outer(qs.drain_mu);
+  --qs.done;
+  std::lock_guard<std::mutex> inner(qs.submit_mu);
+  --qs.pending;
+}
+
+}  // namespace flash::fixture

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): a narrowing cast from the wide accumulator
+// in the fixed-point FFT path without going through the saturation helper.
+// The interval analyzer may have proven bits above 31 can be set; this cast
+// silently drops them. Run with `flash_lint --expect narrowing-fxp <tree>`.
+#include <cstdint>
+
+namespace flash::fixture {
+
+std::int32_t bad_truncate(std::int64_t acc) {
+  return static_cast<std::int32_t>(acc);
+}
+
+}  // namespace flash::fixture

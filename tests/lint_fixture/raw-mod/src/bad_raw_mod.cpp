@@ -1,0 +1,23 @@
+// Lint fixture (never compiled): raw % against a modulus-domain value
+// outside src/hemath. The product overflows u64 without the 128-bit
+// widening mul_mod guarantees — exactly what the raw-mod rule exists to
+// catch. Run with `flash_lint --expect raw-mod <this tree>`.
+#include <cstdint>
+
+namespace flash::fixture {
+
+std::uint64_t bad_product(std::uint64_t a, std::uint64_t b, std::uint64_t q) {
+  return (a * b) % q;
+}
+
+std::uint64_t bad_member(std::uint64_t a, const struct Params* p);
+
+struct Params {
+  std::uint64_t modulus;
+};
+
+std::uint64_t bad_member_access(std::uint64_t a, const Params& p) {
+  return a % p.modulus;
+}
+
+}  // namespace flash::fixture

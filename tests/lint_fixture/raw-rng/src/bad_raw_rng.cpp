@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): a generator constructed from a literal
+// seed outside hemath/sampler and testing/generators. Failure logs cannot
+// replay this stream and parallel callers share it. Run with
+// `flash_lint --expect raw-rng <this tree>`.
+#include <random>
+
+namespace flash::fixture {
+
+double bad_noise() {
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(rng);
+}
+
+double bad_temporary() {
+  return static_cast<double>(std::mt19937_64(99)());
+}
+
+}  // namespace flash::fixture

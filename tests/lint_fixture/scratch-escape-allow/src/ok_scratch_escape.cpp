@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): the scratch-escape pattern with a
+// documented allow() marker. The plain `flash_lint <this tree>` run must be
+// clean — the marker suppresses the finding and carries the reason.
+#include <span>
+
+#include "core/scratch.hpp"
+
+namespace flash::fixture {
+
+std::span<double> documented_return(std::size_t n) {
+  core::ScratchFrame frame(core::thread_scratch());
+  std::span<double> vals = frame.alloc<double>(n);
+  // flash-lint: allow(scratch-escape): caller consumes the span before the next scratch allocation on this thread
+  return vals;
+}
+
+}  // namespace flash::fixture

@@ -1,0 +1,35 @@
+// Lint fixture (never compiled): spans allocated from a locally-declared
+// core::ScratchFrame escaping the frame lifetime — via return and via a
+// member store. Both read reclaimed arena memory once the frame dies. Run
+// with `flash_lint --expect scratch-escape <this tree>`.
+#include <span>
+
+#include "core/scratch.hpp"
+
+namespace flash::fixture {
+
+std::span<double> bad_return(std::size_t n) {
+  core::ScratchFrame frame(core::thread_scratch());
+  std::span<double> vals = frame.alloc<double>(n);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = 0.0;
+  return vals;
+}
+
+std::span<double> bad_direct_return(std::size_t n) {
+  core::ScratchFrame frame(core::thread_scratch());
+  return frame.alloc<double>(n);
+}
+
+class BadCache {
+ public:
+  void fill(std::size_t n) {
+    core::ScratchFrame frame(core::thread_scratch());
+    std::span<double> vals = frame.alloc<double>(n);
+    stash_ = vals;
+  }
+
+ private:
+  std::span<double> stash_;
+};
+
+}  // namespace flash::fixture

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): a dispatch site outside src/hemath/simd
+// comparing the raw SIMD level for equality. This pattern turned AVX2
+// kernels off when kAvx512 was added. Run with
+// `flash_lint --expect simd-dispatch <this tree>`.
+#include "hemath/simd.hpp"
+
+namespace flash::fixture {
+
+bool use_vector_kernel() {
+  return hemath::simd::active_simd_level() == hemath::simd::SimdLevel::kAvx2;
+}
+
+}  // namespace flash::fixture

@@ -1,0 +1,29 @@
+// Lint fixture (never compiled): a generator in a parallel body with a
+// documented allow() marker, plus the canonical passing idiom. The plain
+// `flash_lint <this tree>` run must be clean.
+#include <cstdint>
+
+#include "core/thread_pool.hpp"
+#include "hemath/sampler.hpp"
+
+namespace flash::fixture {
+
+void documented_shared_stream(core::ThreadPool* pool, std::size_t tiles,
+                              std::uint64_t run_seed) {
+  core::for_range(pool, tiles, [&](std::size_t tile) {
+    // flash-lint: allow(stream-derive): tiles==1 on this path; the single worker owns the stream
+    hemath::Sampler sampler(hemath::substream(run_seed, 0, 0));
+    (void)tile;
+    (void)sampler;
+  });
+}
+
+void canonical_per_tile_stream(core::ThreadPool* pool, std::size_t tiles,
+                               std::uint64_t run_seed) {
+  core::for_range(pool, tiles, [&](std::size_t tile) {
+    hemath::Sampler sampler(hemath::substream(run_seed, 0, tile));
+    (void)sampler;
+  });
+}
+
+}  // namespace flash::fixture

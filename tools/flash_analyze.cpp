@@ -12,11 +12,26 @@
 // points, a small fixed-seed DSE front) must be *proven* overflow-free, and
 // the PR-2 bug variant (adder saturating before the requantizer) must be
 // *flagged* with a concrete witness bound. Exit 0 iff all checks hold.
+//
+// --pipeline runs the end-to-end decryption-correctness certifier
+// (protocol/plan_certificate.hpp) over the committed serving workloads —
+// the exact bench_serve and bench_network_serve plans (same seeds), a
+// Table-1-scale point, and a deliberately under-budgeted control that must
+// come back failure-possible-with-witness. `--json PATH` writes the
+// machine-readable certificate document; `--check BASELINE` diffs it
+// against the committed CERT_baseline.json the way perf-smoke diffs bench
+// JSON (exact verdict match, bits within a small tolerance). Exit 0 iff
+// every workload reaches its intended verdict and the baseline (if given)
+// agrees.
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
+#include <random>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -27,6 +42,9 @@
 #include "dse/cost_model.hpp"
 #include "dse/optimizer.hpp"
 #include "dse/safety.hpp"
+#include "protocol/plan_certificate.hpp"
+#include "tensor/network.hpp"
+#include "tensor/quant.hpp"
 
 namespace {
 
@@ -160,6 +178,217 @@ int selfcheck() {
   return checks_failed == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --pipeline: end-to-end decryption-correctness certificates.
+
+struct NamedCert {
+  std::string name;
+  bool expect_proven;  // intended verdict (underbudget controls expect failure)
+  flash::protocol::PlanCertificate cert;
+};
+
+flash::tensor::Tensor4 uniform_weights(std::size_t m, std::size_t c, std::size_t k,
+                                       flash::tensor::i64 max_w, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  flash::tensor::Tensor4 w(m, c, k, k);
+  std::uniform_int_distribution<flash::tensor::i64> dist(-max_w, max_w);
+  for (auto& v : w.data()) v = dist(rng);
+  return w;
+}
+
+/// The committed workload set. Everything is seeded, so the certificates are
+/// deterministic and diffable; the bench entries replicate bench_serve.cpp /
+/// bench_network_serve.cpp exactly (same params, seeds and weight draws).
+std::vector<NamedCert> pipeline_certificates() {
+  using flash::bfv::PolyMulBackend;
+  using flash::protocol::certify_conv;
+  std::vector<NamedCert> out;
+
+  {
+    const auto p = flash::bfv::BfvParams::create(4096, 20, 49);
+    const auto cfg = flash::core::high_accuracy_approx_config(p.n, p.t);
+    std::mt19937_64 rng(7);
+    const auto weights = flash::tensor::random_weights(32, 16, 3, 4, rng);
+    out.push_back({"bench_serve/approx_high", true,
+                   certify_conv(p, PolyMulBackend::kApproxFft, cfg, 16, 12, 12, weights, 1, 1)});
+    out.push_back({"bench_serve/fft", true,
+                   certify_conv(p, PolyMulBackend::kFft, std::nullopt, 16, 12, 12, weights, 1, 1)});
+    out.push_back({"bench_serve/ntt", true,
+                   certify_conv(p, PolyMulBackend::kNtt, std::nullopt, 16, 12, 12, weights, 1, 1)});
+  }
+
+  {
+    const auto p = flash::bfv::BfvParams::create(2048, 17, 44);
+    const auto cfg = flash::core::high_accuracy_approx_config(p.n, p.t);
+    std::mt19937_64 rng(11);
+    const auto stack = flash::tensor::LayerStack::resnet18_like(3, 4, 8, 4, 4, 4, rng);
+    flash::tensor::Shape3 shape{3, 8, 8};
+    std::size_t li = 0;
+    for (const auto& l : stack.layers) {
+      if (l.kind == flash::tensor::NetLayer::Kind::kConv) {
+        char name[48];
+        std::snprintf(name, sizeof name, "bench_network/layer%02zu", li);
+        out.push_back({name, true,
+                       certify_conv(p, PolyMulBackend::kApproxFft, cfg, shape.c, shape.h, shape.w,
+                                    l.weights, l.stride, l.pad)});
+      }
+      shape = flash::tensor::LayerStack::layer_output_shape(shape, l);
+      ++li;
+    }
+  }
+
+  // Table-1-scale point at n=512: q sized so the proof closes (at test-scale
+  // rings the share-wrap floor eats most of a small modulus).
+  {
+    const auto p = flash::bfv::BfvParams::create(512, 12, 34);
+    const auto weights = uniform_weights(4, 2, 3, 3, /*seed=*/9);
+    out.push_back({"table1/n512_ntt", true,
+                   certify_conv(p, PolyMulBackend::kNtt, std::nullopt, 2, 6, 6, weights, 1, 1)});
+    out.push_back({"table1/n512_approx_high", true,
+                   certify_conv(p, PolyMulBackend::kApproxFft,
+                                flash::core::high_accuracy_approx_config(p.n, p.t), 2, 6, 6,
+                                weights, 1, 1)});
+    // The width-27 default config is saturation-free (selfcheck) but its
+    // spectrum error alone crosses this ceiling: overflow-freedom is not
+    // decryption-correctness, which is the whole point of the pipeline pass.
+    out.push_back({"negative/n512_default_w27", false,
+                   certify_conv(p, PolyMulBackend::kApproxFft,
+                                flash::core::default_approx_config(p.n, p.t), 2, 6, 6, weights, 1,
+                                1)});
+  }
+
+  // Under-budgeted control: logq=30 leaves an 11-bit ceiling that the wrap
+  // noise of this workload provably crosses — the certifier must return
+  // failure-possible-with-witness (the witness replay is executed in
+  // tests/test_pipeline_certifier.cpp and does corrupt decryption).
+  {
+    const auto p = flash::bfv::BfvParams::create(2048, 17, 30);
+    const auto weights = uniform_weights(8, 8, 3, 7, /*seed=*/7);
+    out.push_back({"underbudget/n2048_logq30_ntt", false,
+                   certify_conv(p, PolyMulBackend::kNtt, std::nullopt, 8, 10, 10, weights, 1, 1)});
+  }
+
+  return out;
+}
+
+std::string render_certificates_json(const std::vector<NamedCert>& certs) {
+  std::string doc = "{\n  \"schema\": \"flash-cert-v1\",\n  \"certificates\": [\n";
+  for (std::size_t i = 0; i < certs.size(); ++i) {
+    doc += flash::protocol::certificate_json(certs[i].name, certs[i].cert);
+    doc += i + 1 < certs.size() ? ",\n" : "\n";
+  }
+  doc += "  ]\n}\n";
+  return doc;
+}
+
+/// Baseline diff: every current entry must exist in the baseline with the
+/// same verdict and bits within tolerance; the baseline must not contain
+/// entries the current run lost. Bits tolerance absorbs libm ulp drift
+/// across compilers — a model change shifts them by far more.
+constexpr double kCheckBitsTolerance = 0.1;
+
+int check_against_baseline(const std::vector<NamedCert>& certs, const std::string& baseline) {
+  int failures = 0;
+  for (const NamedCert& c : certs) {
+    const std::string tag = "\"name\": \"" + c.name + "\"";
+    const std::size_t at = baseline.find(tag);
+    if (at == std::string::npos) {
+      std::printf("  [FAIL] %s: missing from baseline\n", c.name.c_str());
+      ++failures;
+      continue;
+    }
+    const std::size_t end = baseline.find('\n', at);
+    const std::string line = baseline.substr(at, end - at);
+
+    const auto field = [&](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\": ";
+      const std::size_t pos = line.find(needle);
+      if (pos == std::string::npos) return {};
+      return line.substr(pos + needle.size());
+    };
+    const std::string verdict = field("verdict");
+    const std::string want = std::string("\"") + flash::analysis::to_string(c.cert.overall.verdict);
+    if (verdict.compare(0, want.size() + 1, want + "\"") != 0) {
+      std::printf("  [FAIL] %s: verdict %s, baseline has %.40s\n", c.name.c_str(),
+                  flash::analysis::to_string(c.cert.overall.verdict), verdict.c_str());
+      ++failures;
+      continue;
+    }
+    const std::pair<const char*, double> bits[] = {
+        {"certified_bits", c.cert.overall.certified_noise_bits},
+        {"margin_bits", c.cert.overall.margin_bits},
+        {"witness_bits", c.cert.overall.witness_noise_bits},
+    };
+    bool drifted = false;
+    for (const auto& [key, now] : bits) {
+      const std::string s = field(key);
+      const double base = s.empty() ? std::nan("") : std::strtod(s.c_str(), nullptr);
+      if (!(std::fabs(base - now) <= kCheckBitsTolerance)) {
+        std::printf("  [FAIL] %s: %s %.2f vs baseline %.2f\n", c.name.c_str(), key, now, base);
+        drifted = true;
+      }
+    }
+    if (drifted) ++failures;
+  }
+  // Count baseline entries to catch silently dropped workloads.
+  std::size_t baseline_entries = 0;
+  for (std::size_t at = baseline.find("\"name\":"); at != std::string::npos;
+       at = baseline.find("\"name\":", at + 1)) {
+    ++baseline_entries;
+  }
+  if (baseline_entries != certs.size()) {
+    std::printf("  [FAIL] baseline has %zu entries, current run has %zu\n", baseline_entries,
+                certs.size());
+    ++failures;
+  }
+  return failures;
+}
+
+int run_pipeline(const char* json_path, const char* check_path) {
+  const std::vector<NamedCert> certs = pipeline_certificates();
+
+  int failures = 0;
+  std::printf("pipeline certificates:\n");
+  for (const NamedCert& c : certs) {
+    const bool proven = c.cert.proven();
+    const bool ok = c.expect_proven
+                        ? proven
+                        : c.cert.overall.verdict ==
+                              flash::analysis::PipelineVerdict::kFailurePossibleWithWitness;
+    if (!ok) ++failures;
+    std::printf("  [%s] %-30s units=%zu  %s\n", ok ? "ok" : "FAIL", c.name.c_str(),
+                c.cert.units.size(), c.cert.overall.detail.c_str());
+  }
+
+  const std::string doc = render_certificates_json(certs);
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "flash_analyze: cannot write %s\n", json_path);
+      return 2;
+    }
+    out << doc;
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (check_path != nullptr) {
+    std::ifstream in(check_path);
+    if (!in) {
+      std::fprintf(stderr, "flash_analyze: cannot read baseline %s\n", check_path);
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::printf("checking against %s:\n", check_path);
+    failures += check_against_baseline(certs, buf.str());
+  }
+
+  std::printf(failures == 0 ? "pipeline: all certificates at intended verdicts\n"
+                            : "pipeline: %d certificate check(s) FAILED\n",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,6 +396,9 @@ int main(int argc, char** argv) {
   int width = 27, k = 5;
   double max_w = 7.0;
   bool run_selfcheck = false;
+  bool run_pipeline_mode = false;
+  const char* json_path = nullptr;
+  const char* check_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -179,6 +411,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--selfcheck") {
       run_selfcheck = true;
+    } else if (arg == "--pipeline") {
+      run_pipeline_mode = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--check") {
+      check_path = next();
     } else if (arg == "--n") {
       n = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--width") {
@@ -188,7 +426,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-w") {
       max_w = std::atof(next());
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: flash_analyze [--selfcheck] [--n N] [--width W] [--k K] [--max-w M]\n");
+      std::printf(
+          "usage: flash_analyze [--selfcheck] [--pipeline [--json OUT] [--check BASELINE]]\n"
+          "                     [--n N] [--width W] [--k K] [--max-w M]\n");
       return 0;
     } else {
       std::fprintf(stderr, "flash_analyze: unknown argument %s\n", arg.c_str());
@@ -197,6 +437,7 @@ int main(int argc, char** argv) {
   }
 
   if (run_selfcheck) return selfcheck();
+  if (run_pipeline_mode) return run_pipeline(json_path, check_path);
 
   flash::dse::DesignSpace space(n / 2, flash::dse::SpaceBounds{8, 62, 2, 20});
   const auto model = flash::dse::ErrorModel::from_weight_stats(n, n / 8, max_w);
