@@ -1,0 +1,192 @@
+// Sharded-serving throughput: ShardRouter over N forked workers vs one.
+//
+// Scenario (ARCHITECTURE.md §13): each worker process fronts one FLASH
+// accelerator unit. An HConv request costs a short host-side phase (encode,
+// mask streams, protocol bookkeeping) plus a long accelerator dwell — modeled
+// here as WorkerOptions::dwell_ns, sized from the paper's accelerator-bound
+// operating point. Host phases serialize on the CPU, but dwells overlap
+// across worker processes, so routing the same request mix through 4 shards
+// must clear >= 1.5x the single-shard throughput — the self-gate below and
+// the benchdiff gate on the committed BENCH_shard_pr9.json both enforce it.
+//
+// Determinism is asserted before any number is reported: every routed result
+// must be bit-identical to a bare ConvRunner run with the same stream base,
+// at every shard count.
+//
+// Flags: --json <path> (machine-readable records), --dwell-us <n> (modeled
+// accelerator dwell per request, default 4000).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bfv/context.hpp"
+#include "protocol/conv_runner.hpp"
+#include "shard/shard_router.hpp"
+#include "tensor/quant.hpp"
+#include "wire/wire_format.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t extract_dwell_us(int& argc, char** argv) {
+  std::uint64_t dwell_us = 4000;
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dwell-us" && i + 1 < argc) {
+      dwell_us = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg.rfind("--dwell-us=", 0) == 0) {
+      dwell_us = std::strtoull(arg.c_str() + 11, nullptr, 0);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return dwell_us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace flash;
+
+  const std::string json_path = benchjson::extract_json_path(argc, argv);
+  const std::uint64_t dwell_us = extract_dwell_us(argc, argv);
+
+  constexpr std::size_t kMaxShards = 4;
+  constexpr std::size_t kRequests = 48;
+
+  // Small ring so the host-side phase is short relative to the modeled
+  // accelerator dwell (the accelerator-bound regime sharding targets).
+  const bfv::BfvParams params = bfv::BfvParams::create(256, 14, 42);
+  bfv::BfvContext ctx(params);
+
+  // Pick one plan per shard slot: scan protocol seeds until the content
+  // hashes (FNV-1a over the encoded PlanSpecWire, the router's routing key)
+  // cover residues 0..3 mod 4. Mod-2 coverage follows, so the same four
+  // plans exercise every worker at every shard count.
+  std::mt19937_64 rng(20250808);
+  const tensor::Tensor4 weights = tensor::random_weights(2, 1, 3, 4, rng);
+  std::vector<wire::PlanSpecWire> specs(kMaxShards);
+  std::vector<bool> found(kMaxShards, false);
+  std::size_t covered = 0;
+  for (std::uint64_t seed = 1; covered < kMaxShards && seed < 4096; ++seed) {
+    wire::PlanSpecWire spec;
+    spec.params = params;
+    spec.backend = bfv::PolyMulBackend::kNtt;
+    spec.protocol_seed = seed;
+    spec.stride = 1;
+    spec.pad = 0;
+    spec.in_h = 8;
+    spec.in_w = 8;
+    spec.weights = weights;
+    wire::ByteWriter w;
+    wire::encode(spec, w);
+    const std::size_t slot = static_cast<std::size_t>(wire::fnv1a(w.bytes()) % kMaxShards);
+    if (!found[slot]) {
+      found[slot] = true;
+      specs[slot] = spec;
+      ++covered;
+    }
+  }
+  if (covered < kMaxShards) {
+    std::fprintf(stderr, "bench_shard_serve: could not cover all shard slots\n");
+    return 1;
+  }
+
+  std::vector<tensor::Tensor3> inputs;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    inputs.push_back(tensor::random_activations(1, 8, 8, 4, rng));
+  }
+
+  std::printf("=== shard: ShardRouter over forked workers, modeled accelerator dwell ===\n\n");
+  std::printf("layer: 1ch 8x8, 3x3 -> 2ch (N=%zu, ntt); %zu requests round-robin over "
+              "%zu plans; dwell %llu us/request\n\n",
+              params.n, kRequests, kMaxShards,
+              static_cast<unsigned long long>(dwell_us));
+
+  // Serial reference for the bit-identity gate (untimed; determinism is the
+  // subject, not this loop's speed).
+  std::vector<protocol::ConvRunnerResult> serial(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const wire::PlanSpecWire& spec = specs[i % kMaxShards];
+    protocol::HConvProtocol proto(ctx, spec.backend, std::nullopt, spec.protocol_seed);
+    protocol::ConvRunner runner(proto);
+    serial[i] = runner.run(inputs[i], spec.weights, spec.stride, spec.pad,
+                           static_cast<std::uint64_t>(i) << 32);
+  }
+
+  double ms_per_req[kMaxShards + 1] = {};
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    shard::RouterOptions ropts;
+    ropts.shards = shards;
+    ropts.worker_max_batch = 8;
+    ropts.worker_dwell_ns = dwell_us * 1000;
+    shard::ShardRouter router(ropts);
+
+    std::vector<shard::ShardPlanId> plans;
+    for (const wire::PlanSpecWire& spec : specs) {
+      plans.push_back(router.register_plan(spec));
+    }
+
+    std::vector<shard::ShardFuture> futures;
+    futures.reserve(kRequests);
+    const Clock::time_point start = Clock::now();
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      shard::ShardSubmitOptions opts;
+      opts.stream = i;
+      futures.push_back(router.submit(plans[i % kMaxShards], inputs[i], opts));
+    }
+    router.drain();
+    const double elapsed_s = seconds_since(start);
+
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      if (futures[i].state() != shard::ShardRequestState::kDone ||
+          futures[i].result().client_share.data() != serial[i].client_share.data() ||
+          futures[i].result().server_share.data() != serial[i].server_share.data()) {
+        std::fprintf(stderr,
+                     "bench_shard_serve: request %zu at %zu shard(s) not bit-identical\n",
+                     i, shards);
+        return 1;
+      }
+    }
+    ms_per_req[shards] = elapsed_s * 1e3 / static_cast<double>(kRequests);
+    std::printf("%zu shard(s): %8.3f ms/req  (%.1f req/s)\n", shards, ms_per_req[shards],
+                1e3 / ms_per_req[shards]);
+  }
+
+  const double speedup2 = ms_per_req[1] / ms_per_req[2];
+  const double speedup4 = ms_per_req[1] / ms_per_req[4];
+  std::printf("\nspeedup: %.2fx at 2 shards, %.2fx at 4 shards "
+              "(gate requires >= 1.5x at 4)\n",
+              speedup2, speedup4);
+
+  if (speedup4 < 1.5) {
+    std::fprintf(stderr, "bench_shard_serve: 4-shard speedup %.2fx below the 1.5x floor\n",
+                 speedup4);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::vector<benchjson::Record> records;
+    const auto n = static_cast<std::int64_t>(kRequests);
+    records.push_back({"shard_1_ms_per_req", ms_per_req[1], "ms", n});
+    records.push_back({"shard_2_ms_per_req", ms_per_req[2], "ms", n});
+    records.push_back({"shard_4_ms_per_req", ms_per_req[4], "ms", n});
+    // Lower-is-better ratio record for the benchdiff gate (inverse speedup).
+    records.push_back({"shard_1_over_4_inverse_speedup", 1.0 / speedup4, "ratio", n});
+    if (!benchjson::write_json(json_path, "bench_shard_serve", records)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

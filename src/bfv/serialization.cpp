@@ -22,17 +22,17 @@ void write_header(ByteWriter& w, std::uint8_t tag, const BfvParams& p) {
 }
 
 void check_header(ByteReader& r, std::uint8_t tag, const BfvParams& p) {
-  if (r.read_u64() != kMagic) throw std::runtime_error("deserialize: bad magic");
-  if (r.read_u8() != tag) throw std::runtime_error("deserialize: wrong object type");
+  if (r.read_u64() != kMagic) throw SerializationError("deserialize: bad magic");
+  if (r.read_u8() != tag) throw SerializationError("deserialize: wrong object type");
   if (r.read_u64() != p.n || r.read_u64() != p.t || r.read_u64() != p.q) {
-    throw std::runtime_error("deserialize: parameter mismatch");
+    throw SerializationError("deserialize: parameter mismatch");
   }
 }
 
 // Top-level loaders own the whole buffer; leftover bytes mean a framing bug
 // (or a concatenated/corrupted stream), not a valid object.
 void check_exhausted(const ByteReader& r) {
-  if (!r.exhausted()) throw std::runtime_error("deserialize: trailing bytes after object");
+  if (!r.exhausted()) throw SerializationError("deserialize: trailing bytes after object");
 }
 }  // namespace
 
@@ -44,14 +44,14 @@ void ByteWriter::write_u64(u64 v) {
 }
 
 u64 ByteReader::read_u64() {
-  if (pos_ + 8 > bytes_.size()) throw std::runtime_error("ByteReader: underflow");
+  if (pos_ + 8 > bytes_.size()) throw SerializationError("ByteReader: underflow");
   u64 v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<u64>(bytes_[pos_++]) << (8 * i);
   return v;
 }
 
 std::uint8_t ByteReader::read_u8() {
-  if (pos_ >= bytes_.size()) throw std::runtime_error("ByteReader: underflow");
+  if (pos_ >= bytes_.size()) throw SerializationError("ByteReader: underflow");
   return bytes_[pos_++];
 }
 
@@ -67,14 +67,26 @@ Bytes serialize(const BfvParams& params) {
 }
 
 BfvParams deserialize_params(ByteReader& reader) {
-  if (reader.read_u64() != kMagic) throw std::runtime_error("deserialize_params: bad magic");
-  if (reader.read_u8() != kTagParams) throw std::runtime_error("deserialize_params: wrong type");
+  if (reader.read_u64() != kMagic) throw SerializationError("deserialize_params: bad magic");
+  if (reader.read_u8() != kTagParams) throw SerializationError("deserialize_params: wrong type");
   BfvParams p;
-  p.n = reader.read_u64();
+  const u64 n = reader.read_u64();
+  // Range-check header fields BEFORE validate(): its own arithmetic assumes
+  // sane magnitudes (2*n and 2*t must not wrap — an adversarial n = 2^63
+  // would turn its modulus check into a division by zero).
+  if (n < 8 || n > kMaxPolyDegree) throw SerializationError("deserialize_params: n out of range");
+  p.n = static_cast<std::size_t>(n);
   p.t = reader.read_u64();
   p.q = reader.read_u64();
+  if (p.t == 0 || p.t > (u64{1} << 62) || p.q == 0) {
+    throw SerializationError("deserialize_params: modulus out of range");
+  }
   p.error_sigma = static_cast<double>(reader.read_u64()) / 1000.0;
-  p.validate();
+  try {
+    p.validate();
+  } catch (const std::exception& e) {
+    throw SerializationError(std::string("deserialize_params: ") + e.what());
+  }
   return p;
 }
 
@@ -87,11 +99,19 @@ void serialize(const Poly& poly, ByteWriter& writer) {
 Poly deserialize_poly(ByteReader& reader) {
   const u64 modulus = reader.read_u64();
   const u64 degree = reader.read_u64();
-  if (degree > (u64{1} << 20)) throw std::runtime_error("deserialize_poly: degree too large");
+  if (modulus == 0) throw SerializationError("deserialize_poly: zero modulus");
+  if (degree > kMaxPolyDegree) throw SerializationError("deserialize_poly: degree too large");
+  // Allocation cap: the buffer must actually hold `degree` coefficients
+  // before a Poly of that size is constructed. Without this, a forged degree
+  // just under the hard cap makes every call allocate (and zero) 8 MiB only
+  // to throw on the first missing coefficient.
+  if (degree * 8 > reader.remaining()) {
+    throw SerializationError("deserialize_poly: degree exceeds buffer");
+  }
   Poly p(modulus, static_cast<std::size_t>(degree));
   for (std::size_t i = 0; i < degree; ++i) {
     const u64 c = reader.read_u64();
-    if (c >= modulus) throw std::runtime_error("deserialize_poly: coefficient out of range");
+    if (c >= modulus) throw SerializationError("deserialize_poly: coefficient out of range");
     p[i] = c;
   }
   return p;
@@ -108,7 +128,7 @@ Plaintext deserialize_plaintext(const BfvContext& ctx, const Bytes& bytes) {
   ByteReader r(bytes);
   check_header(r, kTagPlaintext, ctx.params());
   Plaintext pt{deserialize_poly(r)};
-  if (pt.poly.modulus() != ctx.params().t) throw std::runtime_error("plaintext: wrong modulus");
+  if (pt.poly.modulus() != ctx.params().t) throw SerializationError("plaintext: wrong modulus");
   check_exhausted(r);
   return pt;
 }
@@ -126,7 +146,7 @@ Ciphertext deserialize_ciphertext(const BfvContext& ctx, const Bytes& bytes) {
   check_header(r, kTagCiphertext, ctx.params());
   Ciphertext ct{deserialize_poly(r), deserialize_poly(r)};
   if (ct.c0.modulus() != ctx.params().q || ct.c1.modulus() != ctx.params().q) {
-    throw std::runtime_error("ciphertext: wrong modulus");
+    throw SerializationError("ciphertext: wrong modulus");
   }
   check_exhausted(r);
   return ct;
@@ -179,9 +199,15 @@ KeySwitchKey deserialize_key_switch_key(const BfvContext& ctx, const Bytes& byte
   ByteReader r(bytes);
   check_header(r, kTagKeySwitchKey, ctx.params());
   KeySwitchKey key;
-  key.digit_bits = static_cast<int>(r.read_u64());
+  const u64 digit_bits = r.read_u64();
+  // digit_bits parameterizes 1 << digit_bits shifts downstream; accepting a
+  // header value >= 64 (or 0) silently misparses into shift UB later.
+  if (digit_bits == 0 || digit_bits > 63) {
+    throw SerializationError("key switch key: digit_bits out of range");
+  }
+  key.digit_bits = static_cast<int>(digit_bits);
   const u64 digits = r.read_u64();
-  if (digits > 64) throw std::runtime_error("key switch key: too many digits");
+  if (digits > 64) throw SerializationError("key switch key: too many digits");
   for (u64 i = 0; i < digits; ++i) {
     key.k0.push_back(deserialize_poly(r));
     key.k1.push_back(deserialize_poly(r));

@@ -3,9 +3,18 @@
 // A deliberately simple little-endian format with a magic header and type
 // tags; every loader validates sizes and moduli against the header so a
 // truncated or mismatched buffer fails loudly instead of decoding garbage.
+//
+// Adversarial-input contract (the wire layer feeds these loaders bytes from
+// untrusted peers): every failure — truncation, oversized length fields,
+// inconsistent headers — raises SerializationError. In particular a length
+// field is checked against the bytes actually remaining in the buffer BEFORE
+// any allocation sized by it, so a forged "degree = 2^60" header costs the
+// attacker a rejected frame, never a bad_alloc or an OOM-killed server.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bfv/context.hpp"
@@ -14,6 +23,19 @@
 namespace flash::bfv {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Typed failure for every loader in this header (and the wire codecs built
+/// on them). Derives from std::runtime_error so pre-existing catch sites
+/// keep working; new code should catch this type.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Hard ceiling on any ring degree a loader will honor (2^20 is far past
+/// every parameter set this codebase instantiates). Length fields are
+/// additionally capped by the bytes actually present in the buffer.
+inline constexpr u64 kMaxPolyDegree = u64{1} << 20;
 
 /// Append-only writer.
 class ByteWriter {
@@ -28,7 +50,7 @@ class ByteWriter {
   Bytes buffer_;
 };
 
-/// Bounds-checked reader; throws std::runtime_error on underflow.
+/// Bounds-checked reader; throws SerializationError on underflow.
 class ByteReader {
  public:
   explicit ByteReader(const Bytes& bytes) : bytes_(bytes) {}
@@ -36,6 +58,9 @@ class ByteReader {
   i64 read_i64() { return static_cast<i64>(read_u64()); }
   std::uint8_t read_u8();
   bool exhausted() const { return pos_ == bytes_.size(); }
+  /// Bytes left to read — what every element-count header must be capped
+  /// against before the loader allocates.
+  std::size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
   const Bytes& bytes_;

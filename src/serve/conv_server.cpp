@@ -155,19 +155,21 @@ double ConvFuture::retry_after_s() const {
 std::uint64_t ConvFuture::stream() const { return shared_->stream; }
 
 bool ConvFuture::cancel() {
-  ServerMetrics* metrics = nullptr;
   std::function<void()> cb;
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
     if (shared_->state != RequestState::kQueued) return false;
+    // A kQueued request implies the server is alive (drain forces every
+    // queued request terminal before the server dies) — but only until the
+    // kCancelled state is observable: the moment we release mu, a dispatcher
+    // can sweep this entry, drain() can return, and the server (owner of
+    // `metrics`) can be destroyed. So the counter update must happen here,
+    // before the transition publishes, not after the unlock.
+    shared_->metrics->cancelled.inc();
     shared_->state = RequestState::kCancelled;
-    metrics = shared_->metrics;
     cb = shared_->take_callback();
     shared_->cv.notify_all();
   }
-  // A kQueued request implies the server is alive (drain forces every queued
-  // request terminal before the server dies), so `metrics` is valid here.
-  metrics->cancelled.inc();
   if (cb) cb();
   return true;
 }
@@ -283,7 +285,7 @@ ConvFuture ConvServer::submit(PlanId plan_id, tensor::Tensor3 x,
   shared->plan = plan_id;
   shared->x = std::move(x);
   shared->metrics = &metrics_;
-  shared->admit_time = Clock::now();
+  shared->admit_time = now();
   if (options.timeout.has_value()) {
     shared->deadline = shared->admit_time + *options.timeout;
   } else {
@@ -291,7 +293,7 @@ ConvFuture ConvServer::submit(PlanId plan_id, tensor::Tensor3 x,
   }
 
   // Deadline already expired: terminal before it ever costs queue space.
-  if (shared->deadline.has_value() && Clock::now() >= *shared->deadline) {
+  if (shared->deadline.has_value() && now() >= *shared->deadline) {
     metrics_.deadline_expired_at_admission.inc();
     shared->complete(RequestState::kDeadlineExceeded);
     return ConvFuture(shared);
@@ -372,7 +374,7 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
   if (auto* hook = g_batch_hook.load(std::memory_order_acquire)) {
     hook(batch.front()->plan, batch.size());
   }
-  const Clock::time_point pickup = Clock::now();
+  const Clock::time_point pickup = now();
   std::size_t executed = 0;
 
   for (auto& req : batch) {
@@ -388,7 +390,7 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
           metrics_.inflight.sub(1);
           continue;
         }
-        if (req->deadline.has_value() && Clock::now() >= *req->deadline) {
+        if (req->deadline.has_value() && now() >= *req->deadline) {
           req->state = RequestState::kDeadlineExceeded;
           cb = req->take_callback();
           req->cv.notify_all();
@@ -404,7 +406,7 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
         continue;
       }
     }
-    const Clock::time_point start = Clock::now();
+    const Clock::time_point start = now();
     metrics_.queue_wait.record_ns(elapsed_ns(req->admit_time, start));
 
     protocol::ConvRunnerResult result;
@@ -417,7 +419,7 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
       error = e.what();
     }
 
-    const Clock::time_point end = Clock::now();
+    const Clock::time_point end = now();
     std::function<void()> cb;
     {
       std::lock_guard<std::mutex> lock(req->mu);
@@ -445,7 +447,7 @@ void ConvServer::run_batch(Plan& plan, std::vector<std::shared_ptr<ConvFuture::S
   if (executed > 0) {
     metrics_.batches_dispatched.inc();
     metrics_.note_batch(batch.front()->plan, executed);
-    const std::uint64_t batch_ns = elapsed_ns(pickup, Clock::now());
+    const std::uint64_t batch_ns = elapsed_ns(pickup, now());
     const std::uint64_t prev = batch_ewma_q8_.load(std::memory_order_relaxed);
     batch_ewma_q8_.store(ewma::update_q8(prev, batch_ns), std::memory_order_relaxed);
   }

@@ -36,11 +36,11 @@
 #include "protocol/conv_runner.hpp"
 #include "protocol/plan_certificate.hpp"
 #include "serve/metrics.hpp"
+#include "serve/serve_clock.hpp"
 
 namespace flash::serve {
 
 using PlanId = std::size_t;
-using Clock = std::chrono::steady_clock;
 
 /// Hard floor on every retry_after_s backpressure hint. A rejected client
 /// told to "retry in 0s" retries immediately — a thundering herd exactly

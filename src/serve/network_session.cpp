@@ -138,10 +138,10 @@ void NetworkServer::Impl::commit_layer(NetworkSession::Shared& s, std::size_t la
   if (layer.op.kind != tensor::NetLayer::Kind::kFullyConnected) s.activation = std::move(value);
   s.next_layer = layer_index + 1;
   metrics.layers_completed.inc();
-  const auto now = Clock::now();
+  const auto now_tp = now();
   metrics.layer_latency(layer_index)
       .record_ns(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(now - layer_start).count()));
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now_tp - layer_start).count()));
 }
 
 void NetworkServer::Impl::finish(const std::shared_ptr<NetworkSession::Shared>& s,
@@ -162,7 +162,7 @@ void NetworkServer::Impl::finish(const std::shared_ptr<NetworkSession::Shared>& 
   }
   metrics.active.sub(1);
   metrics.session_e2e.record_ns(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - s->start_time).count()));
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now() - s->start_time).count()));
 }
 
 // advance() walks local layers inline and stops at the first conv layer,
@@ -174,7 +174,7 @@ void NetworkServer::Impl::advance(const std::shared_ptr<NetworkSession::Shared>&
   std::unique_lock<std::mutex> lock(s->mu);
   while (true) {
     if (s->state != SessionState::kRunning) return;
-    if (s->deadline && Clock::now() >= *s->deadline) {
+    if (s->deadline && now() >= *s->deadline) {
       finish(s, lock, SessionState::kDeadlineExceeded, "session deadline exceeded");
       return;
     }
@@ -190,7 +190,7 @@ void NetworkServer::Impl::advance(const std::shared_ptr<NetworkSession::Shared>&
         opts.deadline = s->deadline;
         opts.stream = s->stream_base + s->conv_index;
         tensor::Tensor3 x = s->activation;
-        const auto submitted = Clock::now();
+        const auto submitted = now();
         lock.unlock();
         ConvFuture fut = server.submit(layer.plan, std::move(x), opts);
         // Registered after submit so an immediate (rejected / past-deadline)
@@ -204,7 +204,7 @@ void NetworkServer::Impl::advance(const std::shared_ptr<NetworkSession::Shared>&
         return;
       }
       case tensor::NetLayer::Kind::kResidualAdd: {
-        const auto layer_start = Clock::now();
+        const auto layer_start = now();
         tensor::Tensor3 joined{1, 1, 1};
         try {
           joined = tensor::add(s->activation, s->saved.at(layer.op.source));
@@ -217,7 +217,7 @@ void NetworkServer::Impl::advance(const std::shared_ptr<NetworkSession::Shared>&
         break;
       }
       case tensor::NetLayer::Kind::kFullyConnected: {
-        const auto layer_start = Clock::now();
+        const auto layer_start = now();
         tensor::Tensor3 logits_t(1, 1, layer.op.fc_out);
         try {
           s->logits = encoding::matvec_via_encoding(layer.op.fc_weights, s->activation.data(),
@@ -352,7 +352,7 @@ NetworkSession NetworkServer::start(std::shared_ptr<const NetworkProgram> progra
   shared->stream_base = options.stream_base
                             ? *options.stream_base
                             : impl_->next_stream_base.fetch_add(1) * kSessionStreamStride;
-  shared->start_time = Clock::now();
+  shared->start_time = now();
   if (options.deadline) {
     shared->deadline = options.deadline;
   } else if (options.budget) {

@@ -1,0 +1,29 @@
+#include "serve/serve_clock.hpp"
+
+#include <atomic>
+
+namespace flash::serve {
+
+namespace {
+/// Test-injected offset in nanoseconds. Monotonic non-decreasing except for
+/// reset_clock(), which callers only invoke around quiesced servers.
+std::atomic<std::int64_t> g_clock_offset_ns{0};
+}  // namespace
+
+Clock::time_point now() {
+  return Clock::now() +
+         std::chrono::nanoseconds(g_clock_offset_ns.load(std::memory_order_relaxed));
+}
+
+namespace testing_hooks {
+
+void advance_clock(std::chrono::nanoseconds delta) {
+  if (delta.count() <= 0) return;
+  g_clock_offset_ns.fetch_add(delta.count(), std::memory_order_relaxed);
+}
+
+void reset_clock() { g_clock_offset_ns.store(0, std::memory_order_relaxed); }
+
+}  // namespace testing_hooks
+
+}  // namespace flash::serve

@@ -1,0 +1,36 @@
+// The serving layer's one clock.
+//
+// Every deadline, retry-after and latency computation in serve/ (and in the
+// shard router on top of it) reads time through serve::now() instead of
+// calling std::chrono::steady_clock::now() directly. Two reasons:
+//
+//   * Monotonicity by construction: steady_clock is the only legal base.
+//     Routing every read through one function keeps a wall-clock read from
+//     creeping into deadline arithmetic (where an NTP step would expire or
+//     resurrect requests).
+//   * Test injection: testing_hooks::advance_clock() shifts the returned
+//     time by a process-wide offset, so deadline tests can move time forward
+//     deterministically instead of sleeping. The offset only ever grows —
+//     the injected clock stays monotonic.
+#pragma once
+
+#include <chrono>
+
+namespace flash::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// Monotonic now(): steady_clock plus the test-injected offset (zero in
+/// production). All serving-layer deadline comparisons use this.
+Clock::time_point now();
+
+namespace testing_hooks {
+/// Advance the serving clock by `delta` (additive, process-wide). Negative
+/// deltas are ignored — the injected clock must stay monotonic.
+void advance_clock(std::chrono::nanoseconds delta);
+/// Reset the injected offset to zero (between tests; the real clock's
+/// monotonicity makes this safe only when no requests are in flight).
+void reset_clock();
+}  // namespace testing_hooks
+
+}  // namespace flash::serve

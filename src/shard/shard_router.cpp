@@ -1,0 +1,718 @@
+#include "shard/shard_router.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace flash::shard {
+
+namespace {
+
+using wire::Frame;
+using wire::MsgType;
+
+/// Parent-side socket fds of every live worker, process-wide. A forked child
+/// inherits every other worker's router-end fd; unless it closes them, a
+/// worker that the router drops never sees EOF (the dead fd stays open in a
+/// sibling). The registry mutex is held across socketpair+fork+insert so a
+/// child's inherited snapshot is always exact.
+struct FdRegistry {
+  std::mutex registry_mu;
+  std::set<int> fds;
+};
+FdRegistry& fd_registry() {
+  static FdRegistry r;
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(ShardRequestState s) {
+  switch (s) {
+    case ShardRequestState::kPending: return "pending";
+    case ShardRequestState::kDone: return "done";
+    case ShardRequestState::kFailed: return "failed";
+    case ShardRequestState::kCancelled: return "cancelled";
+    case ShardRequestState::kDeadlineExceeded: return "deadline_exceeded";
+    case ShardRequestState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+// --- future ----------------------------------------------------------------
+
+struct ShardFuture::Shared {
+  ShardRouter* router = nullptr;
+  std::size_t plan = 0;
+  std::size_t shard = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t stream = 0;
+  std::optional<serve::Clock::time_point> deadline;
+  tensor::Tensor3 x{1, 1, 1};  // retained so recovery can resend
+  bool sent = false;           // written to some worker incarnation (w.mu)
+  bool counted = false;        // included in pending_total_
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  ShardRequestState state = ShardRequestState::kPending;
+  protocol::ConvRunnerResult result;
+  std::string error;
+};
+
+void ShardFuture::wait() const {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock, [&] { return shared_->state != ShardRequestState::kPending; });
+}
+
+bool ShardFuture::wait_for(std::chrono::nanoseconds d) const {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  return shared_->cv.wait_for(lock, d,
+                              [&] { return shared_->state != ShardRequestState::kPending; });
+}
+
+bool ShardFuture::done() const { return state() != ShardRequestState::kPending; }
+
+ShardRequestState ShardFuture::state() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state;
+}
+
+const protocol::ConvRunnerResult& ShardFuture::result() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->state != ShardRequestState::kDone) {
+    throw std::logic_error("ShardFuture::result() in state " +
+                           std::string(to_string(shared_->state)));
+  }
+  return shared_->result;
+}
+
+std::string ShardFuture::error() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->error;
+}
+
+std::uint64_t ShardFuture::stream() const { return shared_->stream; }
+std::size_t ShardFuture::shard() const { return shared_->shard; }
+
+// --- router ----------------------------------------------------------------
+
+ShardRouter::ShardRouter(RouterOptions options) : options_(options) {
+  if (options_.shards == 0) throw std::invalid_argument("ShardRouter: shards must be >= 1");
+  workers_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = i;
+  }
+  // Fork every worker BEFORE any reader thread exists: the forking thread is
+  // the only thread, so a child never inherits a mid-operation lock.
+  for (auto& w : workers_) {
+    std::size_t attempts = 0;
+    while (!spawn_worker(*w)) {
+      if (++attempts > options_.max_respawns) {
+        w->dead = true;
+        break;
+      }
+    }
+  }
+  for (auto& w : workers_) {
+    if (!w->dead) {
+      Worker* wp = w.get();
+      w->reader = std::thread([this, wp] { reader_loop(*wp); });
+    }
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  drain();
+  stopping_.store(true);
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    if (w->channel != nullptr && !w->dead) {
+      Frame f;
+      f.type = MsgType::kShutdown;
+      f.seq = w->next_seq++;
+      try {
+        w->channel->write_frame(f);  // best effort; EOF wakes the reader either way
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+  for (auto& w : workers_) {
+    if (w->reader.joinable()) w->reader.join();
+  }
+  for (auto& w : workers_) {
+    if (w->pid > 0) {
+      int status = 0;
+      ::waitpid(w->pid, &status, 0);
+    }
+    std::lock_guard<std::mutex> lock(w->mu);
+    if (w->channel != nullptr) {
+      std::lock_guard<std::mutex> reg(fd_registry().registry_mu);
+      fd_registry().fds.erase(w->channel->fd());
+    }
+    w->channel.reset();
+  }
+}
+
+bool ShardRouter::spawn_worker(Worker& w) {
+  int sv[2] = {-1, -1};
+  pid_t pid = -1;
+  {
+    // Hold the registry lock across socketpair+fork so the child's inherited
+    // fd set is exactly the registered set (no sibling's fresh fd leaks in).
+    std::lock_guard<std::mutex> reg(fd_registry().registry_mu);
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+    pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: drop every other worker's router-end fd, then serve. Never
+      // return into the parent's stack — _exit skips atexit/static dtors.
+      ::close(sv[0]);
+      for (int fd : fd_registry().fds) ::close(fd);
+      WorkerOptions wopts;
+      wopts.certify = options_.certify;
+      wopts.max_batch = options_.worker_max_batch;
+      wopts.dwell_ns = options_.worker_dwell_ns;
+      wopts.max_frame_bytes = options_.max_frame_bytes;
+      ::_exit(run_worker(sv[1], w.index, wopts));
+    }
+    ::close(sv[1]);
+    fd_registry().fds.insert(sv[0]);
+  }
+
+  auto channel = std::make_unique<wire::FrameChannel>(sv[0], options_.max_frame_bytes);
+
+  // Warm-up handshake, read directly: at every call site the calling thread
+  // is the only reader of this channel (ctor runs pre-reader-threads;
+  // recovery runs ON the reader thread).
+  bool ok = false;
+  try {
+    Frame hello;
+    hello.type = MsgType::kHello;
+    hello.seq = 0;
+    wire::ByteWriter body;
+    wire::encode(wire::HelloBody{w.index, 0}, body);
+    hello.body = body.take();
+    if (channel->write_frame(hello)) {
+      const std::optional<Frame> ack = channel->read_frame();
+      ok = ack.has_value() && ack->type == MsgType::kHelloAck;
+    }
+  } catch (const wire::WireError&) {
+    ok = false;
+  }
+  if (!ok) {
+    {
+      std::lock_guard<std::mutex> reg(fd_registry().registry_mu);
+      fd_registry().fds.erase(sv[0]);
+    }
+    channel.reset();
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lock(w.mu);
+  w.channel = std::move(channel);
+  w.pid = pid;
+  return true;
+}
+
+void ShardRouter::reader_loop(Worker& w) {
+  for (;;) {
+    wire::FrameChannel* channel = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      if (w.dead) return;
+      channel = w.channel.get();
+    }
+    if (channel == nullptr) return;
+
+    std::optional<Frame> frame;
+    bool broken = false;
+    try {
+      frame = channel->read_frame();
+    } catch (const wire::WireError&) {
+      broken = true;  // garbage on the socket: treat like a death
+    }
+    if (broken || !frame.has_value()) {
+      if (stopping_.load()) return;
+      recover(w);
+      std::lock_guard<std::mutex> lock(w.mu);
+      if (w.dead) return;
+      continue;
+    }
+
+    switch (frame->type) {
+      case MsgType::kResult: {
+        std::shared_ptr<ShardFuture::Shared> shared;
+        {
+          std::lock_guard<std::mutex> lock(w.mu);
+          auto it = w.pending.find(frame->seq);
+          if (it == w.pending.end()) break;  // late duplicate: dropped (idempotency)
+          shared = it->second;
+          w.pending.erase(it);
+        }
+        try {
+          wire::ByteReader r(frame->body);
+          wire::ResultBody body = wire::decode_result(r);
+          if (body.ok) {
+            finish(shared, ShardRequestState::kDone, std::move(body.result), {});
+          } else {
+            finish(shared, ShardRequestState::kFailed, {}, std::move(body.error));
+          }
+        } catch (const wire::WireError& e) {
+          finish(shared, ShardRequestState::kFailed, {},
+                 std::string("malformed result frame: ") + e.what());
+        }
+        break;
+      }
+      case MsgType::kHelloAck:
+      case MsgType::kRegisterPlanAck:
+      case MsgType::kMetricsReport:
+      case MsgType::kShutdownAck: {
+        std::shared_ptr<ControlWaiter> waiter;
+        {
+          std::lock_guard<std::mutex> lock(w.mu);
+          auto it = w.control.find(frame->seq);
+          if (it == w.control.end()) break;  // unsolicited / post-death ack: dropped
+          waiter = it->second;
+          w.control.erase(it);
+        }
+        {
+          std::lock_guard<std::mutex> lock(waiter->mu);
+          waiter->done = true;
+          waiter->ok = true;
+          waiter->reply = std::move(*frame);
+        }
+        waiter->cv.notify_all();
+        break;
+      }
+      default:
+        break;  // router-to-worker types have no business arriving here
+    }
+  }
+}
+
+void ShardRouter::recover(Worker& w) {
+  for (;;) {
+    // Reap the dead incarnation and quarantine the channel.
+    std::vector<std::shared_ptr<ControlWaiter>> orphaned_control;
+    pid_t dead_pid = -1;
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      if (w.channel != nullptr) {
+        std::lock_guard<std::mutex> reg(fd_registry().registry_mu);
+        fd_registry().fds.erase(w.channel->fd());
+      }
+      w.channel.reset();
+      w.recovering = true;
+      dead_pid = w.pid;
+      w.pid = -1;
+      for (auto& [seq, waiter] : w.control) orphaned_control.push_back(waiter);
+      w.control.clear();
+    }
+    if (dead_pid > 0) {
+      int status = 0;
+      ::waitpid(dead_pid, &status, 0);
+    }
+    // In-flight control round-trips cannot be replayed (their callers hold
+    // the retry loop); fail them now so they re-issue against the respawn.
+    for (auto& waiter : orphaned_control) {
+      {
+        std::lock_guard<std::mutex> lock(waiter->mu);
+        waiter->done = true;
+        waiter->ok = false;
+      }
+      waiter->cv.notify_all();
+    }
+
+    if (stopping_.load() || w.respawns >= options_.max_respawns) {
+      fail_all_pending(w, "shard " + std::to_string(w.index) + " permanently failed");
+      return;
+    }
+    w.respawns++;
+    metrics_.respawns.inc();
+
+    if (!spawn_worker(w)) continue;  // spend another respawn attempt
+
+    // Replay every registration for this shard in original order. Plan ids
+    // are deterministic registration indices, so the acks must reproduce the
+    // recorded local ids — anything else means the rebuilt worker is not in
+    // the state the router routes against.
+    std::vector<std::pair<std::uint64_t, wire::Bytes>> replay;  // (local_id, body)
+    {
+      std::lock_guard<std::mutex> lock(plans_mu_);
+      for (const auto& plan : plans_) {
+        if (plan->shard == w.index && plan->verdict != wire::PlanVerdict::kRejected) {
+          replay.emplace_back(plan->local_id, plan->body);
+        }
+      }
+    }
+    std::sort(replay.begin(), replay.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    bool replay_ok = true;
+    for (const auto& [local_id, body] : replay) {
+      // Direct round-trip: this thread IS the reader, and submitters do not
+      // write while recovering is set.
+      Frame f;
+      f.type = MsgType::kRegisterPlan;
+      f.seq = 0;
+      f.body = body;
+      std::optional<Frame> ack;
+      try {
+        if (w.channel->write_frame(f)) ack = w.channel->read_frame();
+      } catch (const wire::WireError&) {
+        ack = std::nullopt;
+      }
+      if (!ack.has_value() || ack->type != MsgType::kRegisterPlanAck) {
+        replay_ok = false;
+        break;
+      }
+      wire::ByteReader r(ack->body);
+      const wire::RegisterPlanAck parsed = wire::decode_register_plan_ack(r);
+      if (parsed.verdict == wire::PlanVerdict::kRejected || parsed.plan_id != local_id) {
+        replay_ok = false;
+        break;
+      }
+    }
+    if (!replay_ok) continue;  // died (or diverged) mid-replay: next attempt
+
+    // Resend still-pending requests in seq order under w.mu: submitters stay
+    // blocked, so nothing interleaves between replayed traffic and the
+    // recovering -> live flip. Requests whose deadline lapsed while the
+    // shard was down are expired here instead of resent.
+    std::vector<std::shared_ptr<ShardFuture::Shared>> expired;
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      for (auto it = w.pending.begin(); it != w.pending.end();) {
+        const std::shared_ptr<ShardFuture::Shared>& shared = it->second;
+        if (shared->deadline.has_value() && serve::now() > *shared->deadline) {
+          expired.push_back(shared);
+          it = w.pending.erase(it);
+          continue;
+        }
+        Frame f;
+        f.type = MsgType::kSubmit;
+        f.seq = it->first;
+        wire::ByteWriter body;
+        wire::SubmitBody submit;
+        submit.plan_id = worker_plan_id(shared->plan);
+        submit.stream = shared->stream;
+        submit.x = shared->x;
+        wire::encode(submit, body);
+        f.body = body.take();
+        try {
+          w.channel->write_frame(f);  // failure -> next EOF -> next recovery
+        } catch (const wire::WireError&) {
+        }
+        if (shared->sent) metrics_.failed_over.inc();
+        shared->sent = true;
+        ++it;
+      }
+      w.recovering = false;
+    }
+    for (const auto& shared : expired) {
+      finish(shared, ShardRequestState::kDeadlineExceeded, {}, "deadline expired during recovery");
+    }
+    return;
+  }
+}
+
+std::uint64_t ShardRouter::worker_plan_id(std::size_t plan) const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  return plans_[plan]->local_id;
+}
+
+void ShardRouter::fail_all_pending(Worker& w, const std::string& why) {
+  std::map<std::uint64_t, std::shared_ptr<ShardFuture::Shared>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.dead = true;
+    w.recovering = false;
+    orphans.swap(w.pending);
+  }
+  for (const auto& [seq, shared] : orphans) {
+    finish(shared, ShardRequestState::kRejected, {}, why);
+  }
+}
+
+void ShardRouter::finish(const std::shared_ptr<ShardFuture::Shared>& shared,
+                         ShardRequestState state, protocol::ConvRunnerResult result,
+                         std::string error) {
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    if (shared->state != ShardRequestState::kPending) return;
+    // Metrics and the drain count settle BEFORE the terminal state publishes:
+    // once a waiter can observe the state, drain() may return and the router
+    // may be destroyed (same discipline as ConvFuture::cancel).
+    switch (state) {
+      case ShardRequestState::kDone: metrics_.completed.inc(); break;
+      case ShardRequestState::kFailed: metrics_.failed.inc(); break;
+      case ShardRequestState::kCancelled: metrics_.cancelled.inc(); break;
+      case ShardRequestState::kDeadlineExceeded: metrics_.deadline_expired.inc(); break;
+      case ShardRequestState::kRejected: metrics_.rejected.inc(); break;
+      case ShardRequestState::kPending: break;
+    }
+    if (shared->counted) {
+      std::lock_guard<std::mutex> dlock(drain_mu_);
+      --pending_total_;
+      drain_cv_.notify_all();
+    }
+    shared->state = state;
+    shared->result = std::move(result);
+    shared->error = std::move(error);
+  }
+  shared->cv.notify_all();
+}
+
+std::optional<Frame> ShardRouter::control_roundtrip(Worker& w, MsgType type, wire::Bytes body) {
+  auto waiter = std::make_shared<ControlWaiter>();
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.dead || w.recovering || w.channel == nullptr) return std::nullopt;
+    Frame f;
+    f.type = type;
+    f.seq = w.next_seq++;
+    f.body = std::move(body);
+    w.control[f.seq] = waiter;
+    bool written = false;
+    try {
+      written = w.channel->write_frame(f);
+    } catch (const wire::WireError&) {
+    }
+    if (!written) {
+      w.control.erase(f.seq);
+      return std::nullopt;  // reader will notice the death and recover
+    }
+  }
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->done; });
+  if (!waiter->ok) return std::nullopt;
+  return std::move(waiter->reply);
+}
+
+ShardPlanId ShardRouter::register_plan(const wire::PlanSpecWire& spec) {
+  wire::ByteWriter body_writer;
+  wire::encode(spec, body_writer);
+  const wire::Bytes body = body_writer.take();
+
+  {
+    std::lock_guard<std::mutex> lock(plans_mu_);
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      if (plans_[i]->body == body) return i;
+    }
+  }
+
+  const std::size_t shard = wire::fnv1a(body) % workers_.size();
+  Worker& w = *workers_[shard];
+
+  wire::RegisterPlanAck ack;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      if (w.dead) {
+        throw std::runtime_error("register_plan: shard " + std::to_string(shard) +
+                                 " permanently failed");
+      }
+    }
+    std::optional<Frame> reply = control_roundtrip(w, MsgType::kRegisterPlan, body);
+    if (reply.has_value()) {
+      wire::ByteReader r(reply->body);
+      ack = wire::decode_register_plan_ack(r);
+      break;
+    }
+    // Worker died mid-registration (or is mid-recovery): wait and re-issue —
+    // registration is idempotent worker-side (content-keyed dedupe).
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  if (ack.verdict == wire::PlanVerdict::kRejected) {
+    throw std::invalid_argument("register_plan: shard refused plan: " + ack.detail);
+  }
+
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    if (plans_[i]->body == body) return i;  // raced with an identical registration
+  }
+  auto plan = std::make_unique<RouterPlan>();
+  plan->shard = shard;
+  plan->local_id = ack.plan_id;
+  plan->body = body;
+  plan->verdict = ack.verdict;
+  plan->detail = ack.detail;
+  plans_.push_back(std::move(plan));
+  return plans_.size() - 1;
+}
+
+ShardFuture ShardRouter::submit(ShardPlanId plan, const tensor::Tensor3& x,
+                                ShardSubmitOptions options) {
+  metrics_.submitted.inc();
+
+  RouterPlan* rp = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(plans_mu_);
+    if (plan >= plans_.size()) throw std::invalid_argument("submit: unknown plan id");
+    rp = plans_[plan].get();
+  }
+
+  auto shared = std::make_shared<ShardFuture::Shared>();
+  shared->router = this;
+  shared->plan = plan;
+  shared->shard = rp->shard;
+  shared->stream = options.stream.has_value()
+                       ? *options.stream
+                       : rp->next_stream.fetch_add(1, std::memory_order_relaxed);
+  shared->x = x;
+  if (options.timeout.has_value()) {
+    shared->deadline = serve::now() + *options.timeout;
+  } else {
+    shared->deadline = options.deadline;
+  }
+
+  // Router-side deadline gate on the monotonic serve clock: an
+  // already-expired request never crosses the wire.
+  if (shared->deadline.has_value() && serve::now() > *shared->deadline) {
+    finish(shared, ShardRequestState::kDeadlineExceeded, {}, "deadline expired at submission");
+    return ShardFuture(shared);
+  }
+
+  Worker& w = *workers_[rp->shard];
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.dead || stopping_.load()) {
+      // finish() outside w.mu (lock order: shared->mu before w.mu, never
+      // the reverse); fall through to the unlocked reject below.
+    } else {
+      shared->seq = w.next_seq++;
+      shared->counted = true;
+      w.pending[shared->seq] = shared;
+      {
+        std::lock_guard<std::mutex> dlock(drain_mu_);
+        ++pending_total_;
+      }
+      if (!w.recovering) {
+        Frame f;
+        f.type = MsgType::kSubmit;
+        f.seq = shared->seq;
+        wire::ByteWriter body;
+        wire::SubmitBody submit;
+        submit.plan_id = rp->local_id;
+        submit.stream = shared->stream;
+        submit.x = shared->x;
+        wire::encode(submit, body);
+        f.body = body.take();
+        try {
+          w.channel->write_frame(f);  // failure -> EOF -> recovery resends
+        } catch (const wire::WireError&) {
+        }
+        shared->sent = true;
+      }
+      return ShardFuture(shared);
+    }
+  }
+  finish(shared, ShardRequestState::kRejected,
+         {}, stopping_.load() ? "router stopping" : "shard permanently failed");
+  return ShardFuture(shared);
+}
+
+bool ShardFuture::cancel() {
+  if (shared_ == nullptr) return false;
+  // Lock order: shared->mu, then worker.mu (the reader path never holds
+  // worker.mu while taking shared->mu, so this cannot deadlock).
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->state != ShardRequestState::kPending) return false;
+  // state == kPending implies the router has not drained, hence is alive.
+  return shared_->router->cancel_locked(*shared_);
+}
+
+bool ShardRouter::cancel_locked(ShardFuture::Shared& shared) {
+  Worker& w = *workers_[shared.shard];
+  std::lock_guard<std::mutex> lock(w.mu);
+  auto it = w.pending.find(shared.seq);
+  if (it == w.pending.end()) return false;  // a response is being finished right now
+  w.pending.erase(it);
+  // Entire terminal transition under shared.mu (held by the caller): metrics
+  // and the drain count settle before the state publishes.
+  metrics_.cancelled.inc();
+  if (shared.counted) {
+    std::lock_guard<std::mutex> dlock(drain_mu_);
+    --pending_total_;
+    drain_cv_.notify_all();
+  }
+  shared.state = ShardRequestState::kCancelled;
+  shared.error = "cancelled";
+  shared.cv.notify_all();
+  return true;
+}
+
+void ShardRouter::drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return pending_total_ == 0; });
+}
+
+void ShardRouter::kill_worker(std::size_t shard) {
+  Worker& w = *workers_.at(shard);
+  pid_t pid = -1;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.dead || w.pid <= 0) return;
+    pid = w.pid;
+  }
+  ::kill(pid, SIGKILL);
+  metrics_.kills.inc();
+}
+
+std::size_t ShardRouter::shard_of(ShardPlanId plan) const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  return plans_.at(plan)->shard;
+}
+
+wire::PlanVerdict ShardRouter::plan_verdict(ShardPlanId plan) const {
+  std::lock_guard<std::mutex> lock(plans_mu_);
+  return plans_.at(plan)->verdict;
+}
+
+std::string ShardRouter::metrics_json() const {
+  std::ostringstream out;
+  out << "{\"counters\": {"
+      << "\"submitted\": " << metrics_.submitted.value()
+      << ", \"completed\": " << metrics_.completed.value()
+      << ", \"failed\": " << metrics_.failed.value()
+      << ", \"cancelled\": " << metrics_.cancelled.value()
+      << ", \"deadline_expired\": " << metrics_.deadline_expired.value()
+      << ", \"rejected\": " << metrics_.rejected.value()
+      << ", \"failed_over\": " << metrics_.failed_over.value()
+      << ", \"respawns\": " << metrics_.respawns.value()
+      << ", \"kills\": " << metrics_.kills.value()
+      << "}, \"shards\": " << workers_.size() << "}";
+  return out.str();
+}
+
+std::string ShardRouter::worker_metrics_json(std::size_t shard) {
+  Worker& w = *workers_.at(shard);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      if (w.dead) return {};
+    }
+    std::optional<Frame> reply = control_roundtrip(w, MsgType::kMetricsQuery, {});
+    if (reply.has_value()) {
+      wire::ByteReader r(reply->body);
+      return wire::decode_string(r);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace flash::shard

@@ -1,0 +1,234 @@
+// ShardRouter: multi-process sharded serving front-end (ARCHITECTURE.md §13).
+//
+// The router forks N shard workers (shard_worker.hpp), each on its own Unix
+// socketpair, and hashes plan identities onto them: FNV-1a over the encoded
+// PlanSpecWire bytes, mod N. All requests for a plan land on one shard, so
+// the per-shard transform/plan caches stay shared-nothing — no cross-process
+// state, no cache-coherence traffic, and a request's bytes depend only on
+// (plan, stream), never on which shard count is configured.
+//
+// Warm-up handshake: register_plan is a synchronous round-trip; the worker
+// certifies the plan (CertifyPolicy) before acking, so a cold shard never
+// admits traffic for a plan it hasn't proven (under kEnforce) or at least
+// vetted (kWarn). The router records each plan's encoded body and verdict.
+//
+// Failure state machine (chaos contract, exercised by test_serve_stress):
+//
+//     live --worker death--> recovering --respawn + replay--> live
+//                                \--budget exhausted--> dead
+//
+// On a worker death the router respawns the process, replays every
+// registration for that shard in original order (verifying the worker-local
+// plan ids match — they are deterministic registration indices), then
+// resends still-pending requests in sequence order. Idempotency is by seq:
+// responses carry the request seq, a late duplicate finds no pending entry
+// and is dropped, and a resent request simply fills the same entry. Requests
+// whose deadline lapsed during recovery finish kDeadlineExceeded without
+// being resent. After max_respawns deaths a shard is declared dead and its
+// pending work fails — metrics conservation (terminal() == submitted) holds
+// through every path.
+//
+// Determinism: a request stream routed through any shard count is
+// bit-identical to bare ConvRunner::run with the same (seed, stream << 32) —
+// enforced for 1/2/4 shards, with and without mid-trace kills, by
+// HConvOracle::run_trace's sharded backend.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+
+#include <sys/types.h>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/conv_server.hpp"
+#include "serve/metrics.hpp"
+#include "shard/shard_worker.hpp"
+#include "wire/frame_io.hpp"
+
+namespace flash::shard {
+
+struct RouterOptions {
+  std::size_t shards = 2;
+  /// Forwarded to every worker (certification happens shard-side).
+  serve::CertifyPolicy certify = serve::CertifyPolicy::kWarn;
+  std::size_t worker_max_batch = 8;
+  /// Modeled per-request accelerator dwell, forwarded to workers (see
+  /// WorkerOptions::dwell_ns).
+  std::uint64_t worker_dwell_ns = 0;
+  std::uint64_t max_frame_bytes = wire::kMaxFrameBytes;
+  /// Worker deaths tolerated per shard before it is declared dead.
+  std::size_t max_respawns = 4;
+};
+
+enum class ShardRequestState {
+  kPending,
+  kDone,
+  kFailed,            // worker-side failure; error() carries the message
+  kCancelled,
+  kDeadlineExceeded,
+  kRejected,          // shard dead / router stopping / worker refused
+};
+const char* to_string(ShardRequestState s);
+
+/// Counters across all shards. Conservation invariant (chaos-checked):
+/// terminal() == submitted once drained, through kills and respawns.
+struct RouterMetrics {
+  serve::Counter submitted;
+  serve::Counter completed;
+  serve::Counter failed;
+  serve::Counter cancelled;
+  serve::Counter deadline_expired;
+  serve::Counter rejected;
+  /// Requests resent to a respawned worker after a death (they had already
+  /// been written to the old incarnation).
+  serve::Counter failed_over;
+  serve::Counter respawns;
+  serve::Counter kills;  // kill_worker() calls (chaos injection)
+
+  std::uint64_t terminal() const {
+    return completed.value() + failed.value() + cancelled.value() +
+           deadline_expired.value() + rejected.value();
+  }
+};
+
+class ShardRouter;
+
+/// Handle to one sharded request; mirrors serve::ConvFuture's surface.
+/// Copyable, all copies share state; safe to wait on after the router died.
+class ShardFuture {
+ public:
+  ShardFuture() = default;
+
+  void wait() const;
+  bool wait_for(std::chrono::nanoseconds d) const;
+  bool done() const;
+  ShardRequestState state() const;
+
+  /// Valid iff state() == kDone (std::logic_error otherwise).
+  const protocol::ConvRunnerResult& result() const;
+  std::string error() const;
+  std::uint64_t stream() const;
+  std::size_t shard() const;
+
+  /// Cancel if no response has arrived yet. True iff this call won; the
+  /// worker may still compute the result, which is then dropped as a late
+  /// duplicate (idempotency by seq).
+  bool cancel();
+
+ private:
+  friend class ShardRouter;
+  struct Shared;
+  explicit ShardFuture(std::shared_ptr<Shared> shared) : shared_(std::move(shared)) {}
+  std::shared_ptr<Shared> shared_;
+};
+
+using ShardPlanId = std::size_t;
+
+struct ShardSubmitOptions {
+  std::optional<serve::Clock::time_point> deadline;
+  std::optional<std::chrono::nanoseconds> timeout;
+  /// Determinism key; defaults to a per-plan admission counter.
+  std::optional<std::uint64_t> stream;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterOptions options = {});
+  ~ShardRouter();  // drains, shuts workers down, reaps them
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Register a plan on its home shard (synchronous warm-up round-trip).
+  /// Identical specs dedupe to one id. Under CertifyPolicy::kEnforce an
+  /// unproven plan throws std::invalid_argument with the worker's detail.
+  ShardPlanId register_plan(const wire::PlanSpecWire& spec);
+
+  /// Admit one request; never blocks on compute (the write to the shard
+  /// socket is the only I/O). Returns a terminal kRejected future if the
+  /// plan's shard is dead.
+  ShardFuture submit(ShardPlanId plan, const tensor::Tensor3& x, ShardSubmitOptions options = {});
+
+  /// Wait until no request is pending on any shard.
+  void drain();
+
+  /// Chaos injection: SIGKILL shard's current worker process. The reader
+  /// notices EOF and runs the recovery state machine. No-op on a dead shard.
+  void kill_worker(std::size_t shard);
+
+  std::size_t shards() const { return workers_.size(); }
+  std::size_t shard_of(ShardPlanId plan) const;
+  /// The worker-side verdict recorded at registration.
+  wire::PlanVerdict plan_verdict(ShardPlanId plan) const;
+
+  const RouterMetrics& metrics() const { return metrics_; }
+  std::string metrics_json() const;
+  /// Round-trip a kMetricsQuery to one shard (empty string if it is dead).
+  std::string worker_metrics_json(std::size_t shard);
+
+ private:
+  struct ControlWaiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;  // false: worker died before answering
+    wire::Frame reply;
+  };
+
+  struct Worker {
+    std::size_t index = 0;
+    mutable std::mutex mu;
+    std::unique_ptr<wire::FrameChannel> channel;  // null once dead
+    pid_t pid = -1;
+    bool recovering = false;  // respawn in progress: enqueue, don't write
+    bool dead = false;
+    std::size_t respawns = 0;
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, std::shared_ptr<ShardFuture::Shared>> pending;
+    std::map<std::uint64_t, std::shared_ptr<ControlWaiter>> control;
+    std::thread reader;
+  };
+
+  struct RouterPlan {
+    std::size_t shard = 0;
+    std::uint64_t local_id = 0;  // worker-local plan id
+    wire::Bytes body;            // encoded PlanSpecWire (replayed on respawn)
+    wire::PlanVerdict verdict = wire::PlanVerdict::kUncertified;
+    std::string detail;
+    std::atomic<std::uint64_t> next_stream{0};
+  };
+
+  friend class ShardFuture;
+
+  bool spawn_worker(Worker& w);
+  void reader_loop(Worker& w);
+  void recover(Worker& w);
+  std::uint64_t worker_plan_id(std::size_t plan) const;
+  std::optional<wire::Frame> control_roundtrip(Worker& w, wire::MsgType type, wire::Bytes body);
+  void finish(const std::shared_ptr<ShardFuture::Shared>& shared, ShardRequestState state,
+              protocol::ConvRunnerResult result, std::string error);
+  void fail_all_pending(Worker& w, const std::string& why);
+  /// Pre: caller holds shared.mu and shared.state == kPending.
+  bool cancel_locked(ShardFuture::Shared& shared);
+
+  RouterOptions options_;
+  RouterMetrics metrics_;
+
+  mutable std::mutex plans_mu_;
+  std::vector<std::unique_ptr<RouterPlan>> plans_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::size_t pending_total_ = 0;  // guarded by drain_mu_
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace flash::shard

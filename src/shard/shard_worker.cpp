@@ -1,0 +1,240 @@
+#include "shard/shard_worker.hpp"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bfv/context.hpp"
+#include "wire/frame_io.hpp"
+
+namespace flash::shard {
+
+namespace {
+
+using wire::Frame;
+using wire::MsgType;
+
+struct PendingRequest {
+  std::uint64_t seq = 0;
+  serve::ConvFuture future;
+};
+
+class Worker {
+ public:
+  Worker(int fd, std::uint64_t shard_index, const WorkerOptions& options)
+      : channel_(fd, options.max_frame_bytes), shard_index_(shard_index), options_(options) {
+    serve::ServerOptions sopts;
+    // The router already bounds what it sends; the worker-side queue only
+    // ever holds one batch, so the bound is a formality.
+    sopts.max_queue = options.max_batch + 1;
+    sopts.max_batch = options.max_batch;
+    sopts.dispatchers = 0;  // manual: this thread is the only dispatcher
+    sopts.certify = options.certify;
+    server_ = std::make_unique<serve::ConvServer>(sopts);
+  }
+
+  int run() {
+    for (;;) {
+      std::optional<Frame> frame;
+      try {
+        frame = channel_.read_frame();
+      } catch (const wire::WireError&) {
+        return 2;  // malformed traffic from the router: protocol bug, die loudly
+      }
+      if (!frame.has_value()) return 0;  // router gone: clean exit
+      if (!handle(*frame)) return 0;     // kShutdown
+    }
+  }
+
+ private:
+  /// Returns false when the worker should exit (shutdown requested).
+  bool handle(const Frame& frame) {
+    switch (frame.type) {
+      case MsgType::kHello: {
+        wire::HelloBody body;
+        body.shard_index = shard_index_;
+        body.pid = static_cast<std::uint64_t>(::getpid());
+        wire::ByteWriter w;
+        wire::encode(body, w);
+        send(MsgType::kHelloAck, frame.seq, w.take());
+        return true;
+      }
+      case MsgType::kRegisterPlan:
+        handle_register(frame);
+        return true;
+      case MsgType::kSubmit:
+        return handle_submit(frame);
+      case MsgType::kMetricsQuery: {
+        wire::ByteWriter w;
+        wire::encode(server_->metrics_json(), w);
+        send(MsgType::kMetricsReport, frame.seq, w.take());
+        return true;
+      }
+      case MsgType::kShutdown:
+        send(MsgType::kShutdownAck, frame.seq, {});
+        return false;
+      default:
+        // Worker-to-router types arriving here mean a broken router; ignore.
+        return true;
+    }
+  }
+
+  void handle_register(const Frame& frame) {
+    wire::RegisterPlanAck ack;
+    try {
+      wire::ByteReader r(frame.body);
+      const wire::PlanSpecWire spec = wire::decode_plan_spec(r);
+
+      serve::PlanSpec plan;
+      plan.ctx = context_for(spec.params);
+      plan.backend = spec.backend;
+      plan.approx_config = spec.approx_config;
+      plan.protocol_seed = spec.protocol_seed;
+      plan.weights = spec.weights;
+      plan.stride = spec.stride;
+      plan.pad = spec.pad;
+      plan.in_h = spec.in_h;
+      plan.in_w = spec.in_w;
+
+      const serve::PlanId id = server_->register_plan(plan);
+      ack.plan_id = id;
+      const auto cert = server_->plan_certificate(id);
+      if (!cert.has_value()) {
+        ack.verdict = wire::PlanVerdict::kUncertified;
+      } else if (cert->proven()) {
+        ack.verdict = wire::PlanVerdict::kProven;
+      } else {
+        ack.verdict = wire::PlanVerdict::kUnproven;
+        ack.detail = cert->overall.detail;
+      }
+    } catch (const std::exception& e) {
+      // Covers both malformed plan bodies (WireError) and the kEnforce
+      // refusal (std::invalid_argument from register_plan).
+      ack.verdict = wire::PlanVerdict::kRejected;
+      ack.detail = e.what();
+    }
+    wire::ByteWriter w;
+    wire::encode(ack, w);
+    send(MsgType::kRegisterPlanAck, frame.seq, w.take());
+  }
+
+  /// Returns false iff a control frame coalesced behind the batch asked the
+  /// worker to shut down — the verdict must propagate to run(), or a
+  /// kShutdown arriving inside the coalescing window would be acked and then
+  /// ignored, leaving the worker (and the router's reader) blocked forever.
+  bool handle_submit(const Frame& frame) {
+    std::vector<PendingRequest> batch;
+    std::optional<Frame> deferred;
+
+    Frame current = frame;
+    for (;;) {
+      admit(current, batch);
+      if (batch.size() >= options_.max_batch) break;
+      // Opportunistic coalescing: more submits already queued on the socket
+      // join this dispatch, so a router burst becomes one batched run.
+      if (!channel_.readable(0)) break;
+      std::optional<Frame> next;
+      try {
+        next = channel_.read_frame();
+      } catch (const wire::WireError&) {
+        next = std::nullopt;
+      }
+      if (!next.has_value()) break;
+      if (next->type != MsgType::kSubmit) {
+        deferred = std::move(next);  // control frame: handle after the batch
+        break;
+      }
+      current = std::move(*next);
+    }
+
+    while (server_->dispatch_once()) {
+    }
+    if (options_.dwell_ns != 0 && !batch.empty()) {
+      // Modeled accelerator dwell (see WorkerOptions::dwell_ns).
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(options_.dwell_ns * batch.size()));
+    }
+
+    for (const PendingRequest& p : batch) {
+      wire::ResultBody body;
+      if (p.future.state() == serve::RequestState::kDone) {
+        body.ok = true;
+        body.result = p.future.result();
+      } else {
+        body.ok = false;
+        body.error = std::string(serve::to_string(p.future.state())) + ": " + p.future.error();
+      }
+      wire::ByteWriter w;
+      wire::encode(body, w);
+      send(MsgType::kResult, p.seq, w.take());
+    }
+
+    if (deferred.has_value()) return handle(*deferred);
+    return true;
+  }
+
+  void admit(const Frame& frame, std::vector<PendingRequest>& batch) {
+    try {
+      wire::ByteReader r(frame.body);
+      wire::SubmitBody body = wire::decode_submit(r);
+      serve::SubmitOptions opts;
+      opts.stream = body.stream;
+      PendingRequest p;
+      p.seq = frame.seq;
+      p.future = server_->submit(static_cast<serve::PlanId>(body.plan_id), std::move(body.x), opts);
+      batch.push_back(std::move(p));
+    } catch (const std::exception& e) {
+      wire::ResultBody body;
+      body.ok = false;
+      body.error = std::string("submit rejected: ") + e.what();
+      wire::ByteWriter w;
+      wire::encode(body, w);
+      send(MsgType::kResult, frame.seq, w.take());
+    }
+  }
+
+  /// One context per distinct parameter set, addresses stable for the
+  /// server's non-owning PlanSpec pointers.
+  const bfv::BfvContext* context_for(const bfv::BfvParams& params) {
+    for (const bfv::BfvContext& ctx : contexts_) {
+      const bfv::BfvParams& p = ctx.params();
+      if (p.n == params.n && p.t == params.t && p.q == params.q &&
+          p.error_sigma == params.error_sigma) {
+        return &ctx;
+      }
+    }
+    contexts_.emplace_back(params);
+    return &contexts_.back();
+  }
+
+  void send(MsgType type, std::uint64_t seq, wire::Bytes body) {
+    Frame out;
+    out.type = type;
+    out.seq = seq;
+    out.body = std::move(body);
+    channel_.write_frame(out);  // router gone mid-write: exit on next read
+  }
+
+  wire::FrameChannel channel_;
+  std::uint64_t shard_index_;
+  WorkerOptions options_;
+  std::unique_ptr<serve::ConvServer> server_;
+  std::deque<bfv::BfvContext> contexts_;
+};
+
+}  // namespace
+
+int run_worker(int fd, std::uint64_t shard_index, const WorkerOptions& options) {
+  try {
+    Worker worker(fd, shard_index, options);
+    return worker.run();
+  } catch (...) {
+    return 3;
+  }
+}
+
+}  // namespace flash::shard

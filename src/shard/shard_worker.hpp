@@ -1,0 +1,43 @@
+// Shard worker: the per-process serving loop on the far side of a router
+// socketpair (ARCHITECTURE.md §13).
+//
+// A worker is strictly single-threaded — it wraps a ConvServer in manual
+// dispatch mode (dispatchers = 0) and alternates between reading frames and
+// running batches on its own thread. Shared-nothing by construction: the
+// worker builds its own BfvContext per distinct parameter set and its own
+// plan/transform caches from the PlanSpecWire bodies the router replays, so
+// a freshly forked (or respawned) worker reaches an identical serving state
+// from the registration stream alone. Plan ids are worker-local and
+// deterministic (registration order), which is what lets the router verify
+// a respawned worker rebuilt the same id space before resending work.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/conv_server.hpp"
+#include "wire/wire_format.hpp"
+
+namespace flash::shard {
+
+struct WorkerOptions {
+  /// Decryption-correctness gate applied at plan registration; the verdict
+  /// travels back in the kRegisterPlanAck (warm-up handshake).
+  serve::CertifyPolicy certify = serve::CertifyPolicy::kWarn;
+  /// Max same-plan requests fused into one dispatch.
+  std::size_t max_batch = 8;
+  /// Modeled accelerator dwell per request (ns). The worker sleeps
+  /// batch_size * dwell_ns after computing a batch, standing in for the
+  /// round-trip a request spends on one FLASH accelerator unit: each shard
+  /// fronts one unit, so dwell overlaps across shards while host compute
+  /// serializes on a shared core. 0 disables the model.
+  std::uint64_t dwell_ns = 0;
+  /// Frame-size cap for this worker's channel.
+  std::uint64_t max_frame_bytes = wire::kMaxFrameBytes;
+};
+
+/// Serve frames on `fd` until a kShutdown frame or EOF (router gone); returns
+/// the process exit code. The forked child must call this and `_exit` with
+/// the result — never return into the parent's stack/atexit state.
+int run_worker(int fd, std::uint64_t shard_index, const WorkerOptions& options);
+
+}  // namespace flash::shard

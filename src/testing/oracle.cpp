@@ -15,6 +15,7 @@
 #include "protocol/conv_runner.hpp"
 #include "serve/conv_server.hpp"
 #include "serve/network_session.hpp"
+#include "shard/shard_router.hpp"
 #include "sparsefft/executor.hpp"
 #include "tensor/conv.hpp"
 
@@ -331,8 +332,113 @@ OracleReport HConvOracle::run(const ConvCase& c) const {
   return OracleReport{};
 }
 
+namespace {
+
+/// Sharded backend of run_trace: the same trace, submissions and
+/// bit-identity bar, but served by a ShardRouter over forked workers.
+OracleReport run_trace_sharded(const ServeTrace& trace, std::size_t max_batch,
+                               std::size_t shards, std::size_t kill_shard_every) {
+  shard::RouterOptions ropts;
+  ropts.shards = shards;
+  ropts.certify = serve::CertifyPolicy::kWarn;
+  ropts.worker_max_batch = max_batch;
+  shard::ShardRouter router(ropts);
+
+  std::vector<shard::ShardPlanId> plan_ids;
+  for (const ConvCase& layer : trace.plan_cases) {
+    wire::PlanSpecWire spec;
+    spec.params = layer.params;
+    spec.backend = bfv::PolyMulBackend::kNtt;
+    spec.protocol_seed = layer.spec.seed;
+    spec.weights = layer.weights;
+    spec.stride = layer.spec.stride;
+    spec.pad = static_cast<std::size_t>(layer.spec.pad);
+    spec.in_h = layer.spec.h;
+    spec.in_w = layer.spec.w;
+    plan_ids.push_back(router.register_plan(spec));
+  }
+
+  std::vector<shard::ShardFuture> futures;
+  std::size_t next_victim = 0;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    shard::ShardSubmitOptions opts;
+    opts.stream = i;  // pin the determinism key to the trace position
+    futures.push_back(
+        router.submit(plan_ids[trace.requests[i].plan], trace.requests[i].x, opts));
+    if (kill_shard_every != 0 && (i + 1) % kill_shard_every == 0) {
+      // Chaos injection: SIGKILL a rotating worker mid-trace. Recovery
+      // (respawn + registration replay + resend) must be bit-invisible.
+      router.kill_worker(next_victim % shards);
+      next_victim++;
+    }
+  }
+  router.drain();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ServeTrace::Request& req = trace.requests[i];
+    const ConvCase& layer = trace.plan_cases[req.plan];
+    if (futures[i].state() != shard::ShardRequestState::kDone) {
+      return fail("shard-trace-request-state",
+                  "request " + std::to_string(i) + " ended " +
+                      shard::to_string(futures[i].state()) + " (" + futures[i].error() +
+                      "), shards=" + std::to_string(shards) + ", " + trace.spec.describe());
+    }
+    const protocol::ConvRunnerResult& served = futures[i].result();
+
+    // Serial reference: a fresh protocol with the plan's seed, same stream.
+    bfv::BfvContext ctx(layer.params);
+    protocol::HConvProtocol proto(ctx, bfv::PolyMulBackend::kNtt, std::nullopt, layer.spec.seed);
+    protocol::ConvRunner runner(proto);
+    const protocol::ConvRunnerResult serial =
+        runner.run(req.x, layer.weights, layer.spec.stride,
+                   static_cast<std::size_t>(layer.spec.pad), static_cast<std::uint64_t>(i) << 32);
+    if (served.client_share.data() != serial.client_share.data() ||
+        served.server_share.data() != serial.server_share.data()) {
+      return fail("shard-trace-vs-serial",
+                  "request " + std::to_string(i) + " shares differ from the serial run (shards=" +
+                      std::to_string(shards) + ", " + trace.spec.describe() + ")");
+    }
+
+    const tensor::Tensor3 expect =
+        tensor::conv2d(req.x, layer.weights,
+                       tensor::ConvSpec{layer.spec.stride,
+                                        static_cast<std::size_t>(layer.spec.pad)});
+    if (served.reconstruct(layer.params.t).data() != expect.data()) {
+      return fail("shard-trace-vs-cleartext",
+                  "request " + std::to_string(i) + " disagrees with direct conv2d (shards=" +
+                      std::to_string(shards) + ", " + trace.spec.describe() + ")");
+    }
+  }
+
+  // Conservation through every path, kills included: each submitted request
+  // reached exactly one terminal outcome, and all of them completed.
+  const shard::RouterMetrics& m = router.metrics();
+  if (m.terminal() != m.submitted.value()) {
+    return fail("shard-trace-metrics-conservation",
+                std::to_string(m.submitted.value()) + " submitted but " +
+                    std::to_string(m.terminal()) + " terminal outcomes");
+  }
+  if (m.completed.value() != trace.requests.size()) {
+    return fail("shard-trace-metrics-completed",
+                std::to_string(m.completed.value()) + " completed, expected " +
+                    std::to_string(trace.requests.size()));
+  }
+  // A trace shorter than the kill period never reaches a kill point, so only
+  // traces with at least one scheduled kill must show one.
+  if (kill_shard_every != 0 && trace.requests.size() >= kill_shard_every &&
+      m.kills.value() == 0) {
+    return fail("shard-trace-chaos-armed", "chaos requested but no kill was injected");
+  }
+  return OracleReport{};
+}
+
+}  // namespace
+
 OracleReport HConvOracle::run_trace(const ServeTrace& trace, std::size_t dispatchers,
-                                    std::size_t max_batch) const {
+                                    std::size_t max_batch, std::size_t shards,
+                                    std::size_t kill_shard_every) const {
+  if (shards != 0) return run_trace_sharded(trace, max_batch, shards, kill_shard_every);
+
   // One context per plan (plans may carry different parameter sets); deque
   // keeps addresses stable for the non-owning PlanSpec pointers.
   std::deque<bfv::BfvContext> contexts;

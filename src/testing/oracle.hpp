@@ -83,8 +83,21 @@ class HConvOracle {
   /// dispatchers = 0 runs the server in deterministic manual-dispatch mode
   /// on the calling thread; >= 1 exercises the real dispatcher threads (the
   /// soak tier runs this under TSan).
+  ///
+  /// shards = 0 (default) serves in-process as described above. shards >= 1
+  /// routes the identical trace through a ShardRouter instead — N forked
+  /// worker processes behind the wire protocol — and holds the same
+  /// bit-identity bar: shard count, request coalescing on the worker socket
+  /// and process boundaries must not change a single output bit relative to
+  /// the bare serial ConvRunner (dispatchers is ignored; workers are
+  /// single-threaded manual-dispatch servers). kill_shard_every > 0
+  /// additionally SIGKILLs a rotating worker every that-many submissions
+  /// mid-trace, so the recovery path (respawn + registration replay +
+  /// idempotent resend) must ALSO be invisible at the bit level, and router
+  /// metrics must conserve through the kills.
   OracleReport run_trace(const ServeTrace& trace, std::size_t dispatchers = 1,
-                         std::size_t max_batch = 4) const;
+                         std::size_t max_batch = 4, std::size_t shards = 0,
+                         std::size_t kill_shard_every = 0) const;
 
   /// Whole-network session equivalence: runs every session of a network
   /// trace through NetworkServer (shared program, cross-session layer

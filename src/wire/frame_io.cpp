@@ -1,0 +1,91 @@
+#include "wire/frame_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace flash::wire {
+
+namespace {
+
+/// Full write with MSG_NOSIGNAL (a dying worker must not SIGPIPE the
+/// router). Returns false on EPIPE/ECONNRESET, throws on other errors.
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw WireError(std::string("frame write: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Full read. Returns bytes read: `len` on success, 0 on clean EOF at a
+/// frame boundary (off == 0), throws WireError on a mid-frame EOF when
+/// `mid_frame` (truncation is malformed, not a clean close) — except that a
+/// reset from a killed peer is reported as EOF either way.
+std::size_t read_all(int fd, std::uint8_t* data, std::size_t len, bool mid_frame) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return 0;  // killed peer: EOF-equivalent
+      throw WireError(std::string("frame read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0 && !mid_frame) return 0;  // clean EOF between frames
+      throw WireError("frame read: truncated frame (EOF mid-frame)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return off;
+}
+
+}  // namespace
+
+FrameChannel::FrameChannel(int fd, std::uint64_t max_frame_bytes)
+    : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+FrameChannel::~FrameChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FrameChannel::write_frame(const Frame& frame) {
+  const Bytes buffer = encode_frame(frame);
+  return write_all(fd_, buffer.data(), buffer.size());
+}
+
+std::optional<Frame> FrameChannel::read_frame() {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (read_all(fd_, header, sizeof header, /*mid_frame=*/false) == 0) return std::nullopt;
+  // Length gate before the payload allocation (see wire_format.hpp).
+  const std::uint64_t payload_len = decode_frame_header(header, sizeof header, max_frame_bytes_);
+  Bytes payload(static_cast<std::size_t>(payload_len));
+  if (read_all(fd_, payload.data(), payload.size(), /*mid_frame=*/true) == 0) return std::nullopt;
+  return decode_payload(payload);
+}
+
+bool FrameChannel::readable(int timeout_ms) const {
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+}  // namespace flash::wire

@@ -1,0 +1,53 @@
+// Blocking framed I/O over a connected stream socket (the router/worker
+// Unix socketpair transport).
+//
+// A FrameChannel owns its fd. Reads parse the 16-byte header first and
+// validate the length against the channel's frame cap before sizing the
+// payload buffer — the wire_format allocation-hardening contract applied at
+// the I/O boundary. Peer disappearance (EOF, ECONNRESET, EPIPE) is a normal
+// event in the chaos/kill-restart regime, so it surfaces as a value (nullopt
+// from read_frame, false from write_frame), while malformed bytes — which
+// mean a protocol bug or a hostile peer — throw WireError.
+//
+// Thread contract: at most one reader thread and any number of writers
+// serialized by the caller (the shard router holds the worker mutex across
+// write_frame). A concurrent read and write on the same socket are safe.
+#pragma once
+
+#include <optional>
+
+#include "wire/wire_format.hpp"
+
+namespace flash::wire {
+
+class FrameChannel {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit FrameChannel(int fd, std::uint64_t max_frame_bytes = kMaxFrameBytes);
+  ~FrameChannel();
+
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  /// Blocking write of one frame. Returns false iff the peer is gone
+  /// (EPIPE/ECONNRESET — never raises SIGPIPE); throws WireError on any
+  /// other I/O failure.
+  bool write_frame(const Frame& frame);
+
+  /// Blocking read of one frame. Returns nullopt on EOF or connection reset
+  /// (dead peer); throws WireError on malformed or oversized frames.
+  std::optional<Frame> read_frame();
+
+  /// True iff at least one byte is readable without blocking (poll with the
+  /// given timeout; 0 = pure poll). The worker uses this to drain pending
+  /// submits into one batch before dispatching.
+  bool readable(int timeout_ms = 0) const;
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t max_frame_bytes_;
+};
+
+}  // namespace flash::wire

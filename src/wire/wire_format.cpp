@@ -1,0 +1,374 @@
+#include "wire/wire_format.hpp"
+
+#include <limits>
+
+namespace flash::wire {
+
+namespace {
+
+/// Read a u64 length field and verify the buffer still holds `elem_bytes *
+/// count` bytes (and count <= hard_cap) before the caller allocates.
+std::uint64_t read_count(ByteReader& r, std::uint64_t hard_cap, std::uint64_t elem_bytes,
+                         const char* what) {
+  const std::uint64_t count = r.read_u64();
+  if (count > hard_cap) throw WireError(std::string(what) + ": count over cap");
+  if (count * elem_bytes > r.remaining()) {
+    throw WireError(std::string(what) + ": count exceeds buffer");
+  }
+  return count;
+}
+
+void check_dims(std::uint64_t total, const char* what) {
+  if (total > kMaxTensorElems) throw WireError(std::string(what) + ": too many elements");
+}
+
+}  // namespace
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kRegisterPlan: return "register_plan";
+    case MsgType::kRegisterPlanAck: return "register_plan_ack";
+    case MsgType::kSubmit: return "submit";
+    case MsgType::kResult: return "result";
+    case MsgType::kMetricsQuery: return "metrics_query";
+    case MsgType::kMetricsReport: return "metrics_report";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kShutdownAck: return "shutdown_ack";
+  }
+  return "?";
+}
+
+const char* to_string(PlanVerdict v) {
+  switch (v) {
+    case PlanVerdict::kUncertified: return "uncertified";
+    case PlanVerdict::kProven: return "proven";
+    case PlanVerdict::kUnproven: return "unproven";
+    case PlanVerdict::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+Bytes encode_frame(const Frame& frame) {
+  ByteWriter w;
+  w.write_u64(kFrameMagic);
+  w.write_u64(static_cast<std::uint64_t>(kPayloadPrefixBytes + frame.body.size()));
+  w.write_u8(kWireVersion);
+  w.write_u8(static_cast<std::uint8_t>(frame.type));
+  w.write_u64(frame.seq);
+  Bytes out = w.take();
+  out.insert(out.end(), frame.body.begin(), frame.body.end());
+  return out;
+}
+
+std::uint64_t decode_frame_header(const std::uint8_t* header, std::size_t header_len,
+                                  std::uint64_t max_frame_bytes) {
+  if (header_len < kFrameHeaderBytes) throw WireError("frame header: truncated");
+  auto read_le64 = [&](std::size_t at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(header[at + i]) << (8 * i);
+    return v;
+  };
+  if (read_le64(0) != kFrameMagic) throw WireError("frame header: bad magic");
+  const std::uint64_t payload_len = read_le64(8);
+  // The length gate: rejected here, an adversarial 2^60 length never reaches
+  // an allocator (the reader sizes its payload buffer from this value).
+  if (payload_len < kPayloadPrefixBytes) throw WireError("frame header: payload too short");
+  if (payload_len > max_frame_bytes) throw WireError("frame header: payload over cap");
+  return payload_len;
+}
+
+Frame decode_payload(const Bytes& payload) {
+  if (payload.size() < kPayloadPrefixBytes) throw WireError("frame payload: truncated");
+  const std::uint8_t version = payload[0];
+  if (version != kWireVersion) {
+    throw WireError("frame payload: unsupported wire version " + std::to_string(version));
+  }
+  const std::uint8_t type = payload[1];
+  if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kShutdownAck)) {
+    throw WireError("frame payload: unknown message type " + std::to_string(type));
+  }
+  Frame f;
+  f.type = static_cast<MsgType>(type);
+  f.seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    f.seq |= static_cast<std::uint64_t>(payload[2 + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  f.body.assign(payload.begin() + kPayloadPrefixBytes, payload.end());
+  return f;
+}
+
+Frame decode_frame(const Bytes& buffer, std::uint64_t max_frame_bytes) {
+  if (buffer.size() < kFrameHeaderBytes) throw WireError("frame: truncated header");
+  const std::uint64_t payload_len =
+      decode_frame_header(buffer.data(), buffer.size(), max_frame_bytes);
+  if (buffer.size() < kFrameHeaderBytes + payload_len) throw WireError("frame: truncated payload");
+  if (buffer.size() > kFrameHeaderBytes + payload_len) {
+    throw WireError("frame: trailing bytes after payload");
+  }
+  const Bytes payload(buffer.begin() + kFrameHeaderBytes, buffer.end());
+  return decode_payload(payload);
+}
+
+// --- tensors --------------------------------------------------------------
+
+void encode(const tensor::Tensor3& t, ByteWriter& w) {
+  w.write_u64(t.channels());
+  w.write_u64(t.height());
+  w.write_u64(t.width());
+  for (tensor::i64 v : t.data()) w.write_i64(v);
+}
+
+tensor::Tensor3 decode_tensor3(ByteReader& r) {
+  const std::uint64_t c = r.read_u64();
+  const std::uint64_t h = r.read_u64();
+  const std::uint64_t w = r.read_u64();
+  if (c == 0 || h == 0 || w == 0 || c > kMaxTensorDim || h > kMaxTensorDim ||
+      w > kMaxTensorDim) {
+    throw WireError("tensor3: dimension out of range");
+  }
+  const std::uint64_t total = c * h * w;  // <= 2^36, no overflow
+  check_dims(total, "tensor3");
+  if (total * 8 > r.remaining()) throw WireError("tensor3: elements exceed buffer");
+  tensor::Tensor3 t(static_cast<std::size_t>(c), static_cast<std::size_t>(h),
+                    static_cast<std::size_t>(w));
+  for (std::uint64_t i = 0; i < total; ++i) t.data()[i] = r.read_i64();
+  return t;
+}
+
+void encode(const tensor::Tensor4& t, ByteWriter& w) {
+  w.write_u64(t.out_channels());
+  w.write_u64(t.in_channels());
+  w.write_u64(t.kernel_h());
+  w.write_u64(t.kernel_w());
+  for (tensor::i64 v : t.data()) w.write_i64(v);
+}
+
+tensor::Tensor4 decode_tensor4(ByteReader& r) {
+  const std::uint64_t m = r.read_u64();
+  const std::uint64_t c = r.read_u64();
+  const std::uint64_t kh = r.read_u64();
+  const std::uint64_t kw = r.read_u64();
+  if (m == 0 || c == 0 || kh == 0 || kw == 0 || m > kMaxTensorDim || c > kMaxTensorDim ||
+      kh > kMaxTensorDim || kw > kMaxTensorDim) {
+    throw WireError("tensor4: dimension out of range");
+  }
+  const std::uint64_t total = m * c * kh * kw;  // <= 2^48, no overflow
+  check_dims(total, "tensor4");
+  if (total * 8 > r.remaining()) throw WireError("tensor4: elements exceed buffer");
+  tensor::Tensor4 t(static_cast<std::size_t>(m), static_cast<std::size_t>(c),
+                    static_cast<std::size_t>(kh), static_cast<std::size_t>(kw));
+  for (std::uint64_t i = 0; i < total; ++i) t.data()[i] = r.read_i64();
+  return t;
+}
+
+void encode(const std::string& s, ByteWriter& w) {
+  w.write_u64(s.size());
+  for (char ch : s) w.write_u8(static_cast<std::uint8_t>(ch));
+}
+
+std::string decode_string(ByteReader& r) {
+  const std::uint64_t len = read_count(r, kMaxStringBytes, 1, "string");
+  std::string s;
+  s.reserve(static_cast<std::size_t>(len));
+  for (std::uint64_t i = 0; i < len; ++i) s.push_back(static_cast<char>(r.read_u8()));
+  return s;
+}
+
+// --- plan spec ------------------------------------------------------------
+
+namespace {
+
+void encode_params(const bfv::BfvParams& p, ByteWriter& w) {
+  w.write_u64(p.n);
+  w.write_u64(p.t);
+  w.write_u64(p.q);
+  w.write_u64(static_cast<bfv::u64>(p.error_sigma * 1000.0));
+}
+
+bfv::BfvParams decode_params_body(ByteReader& r) {
+  bfv::BfvParams p;
+  const bfv::u64 n = r.read_u64();
+  if (n < 8 || n > bfv::kMaxPolyDegree) throw WireError("plan spec: ring degree out of range");
+  p.n = static_cast<std::size_t>(n);
+  p.t = r.read_u64();
+  p.q = r.read_u64();
+  if (p.t == 0 || p.t > (bfv::u64{1} << 62) || p.q == 0) {
+    throw WireError("plan spec: modulus out of range");
+  }
+  p.error_sigma = static_cast<double>(r.read_u64()) / 1000.0;
+  try {
+    p.validate();
+  } catch (const std::exception& e) {
+    throw WireError(std::string("plan spec params: ") + e.what());
+  }
+  return p;
+}
+
+void encode_approx(const std::optional<fft::FxpFftConfig>& cfg, ByteWriter& w) {
+  w.write_u8(cfg.has_value() ? 1 : 0);
+  if (!cfg.has_value()) return;
+  w.write_i64(cfg->input_frac_bits);
+  w.write_i64(cfg->data_width);
+  w.write_i64(cfg->twiddle_k);
+  w.write_i64(cfg->twiddle_min_exp);
+  w.write_u8(static_cast<std::uint8_t>(cfg->rounding));
+  w.write_u64(cfg->stage_frac_bits.size());
+  for (int b : cfg->stage_frac_bits) w.write_i64(b);
+}
+
+std::optional<fft::FxpFftConfig> decode_approx(ByteReader& r) {
+  const std::uint8_t present = r.read_u8();
+  if (present == 0) return std::nullopt;
+  if (present != 1) throw WireError("plan spec: bad approx-config presence flag");
+  fft::FxpFftConfig cfg;
+  const auto bounded = [&](const char* what, bfv::i64 lo, bfv::i64 hi) {
+    const bfv::i64 v = r.read_i64();
+    if (v < lo || v > hi) throw WireError(std::string("plan spec approx: ") + what);
+    return static_cast<int>(v);
+  };
+  cfg.input_frac_bits = bounded("input_frac_bits out of range", 0, 63);
+  cfg.data_width = bounded("data_width out of range", 1, 64);
+  cfg.twiddle_k = bounded("twiddle_k out of range", 1, 64);
+  cfg.twiddle_min_exp = bounded("twiddle_min_exp out of range", -64, 0);
+  const std::uint8_t rounding = r.read_u8();
+  if (rounding > static_cast<std::uint8_t>(fft::RoundingMode::kRoundToNearest)) {
+    throw WireError("plan spec approx: bad rounding mode");
+  }
+  cfg.rounding = static_cast<fft::RoundingMode>(rounding);
+  const std::uint64_t stages = read_count(r, 64, 8, "plan spec approx stages");
+  cfg.stage_frac_bits.clear();
+  for (std::uint64_t i = 0; i < stages; ++i) {
+    cfg.stage_frac_bits.push_back(bounded("stage_frac_bits out of range", 0, 63));
+  }
+  return cfg;
+}
+
+}  // namespace
+
+void encode(const PlanSpecWire& spec, ByteWriter& w) {
+  encode_params(spec.params, w);
+  w.write_u8(static_cast<std::uint8_t>(spec.backend));
+  encode_approx(spec.approx_config, w);
+  w.write_u64(spec.protocol_seed);
+  w.write_u64(spec.stride);
+  w.write_u64(spec.pad);
+  w.write_u64(spec.in_h);
+  w.write_u64(spec.in_w);
+  encode(spec.weights, w);
+}
+
+PlanSpecWire decode_plan_spec(ByteReader& r) {
+  PlanSpecWire spec;
+  spec.params = decode_params_body(r);
+  const std::uint8_t backend = r.read_u8();
+  if (backend > static_cast<std::uint8_t>(bfv::PolyMulBackend::kApproxFft)) {
+    throw WireError("plan spec: unknown backend");
+  }
+  spec.backend = static_cast<bfv::PolyMulBackend>(backend);
+  spec.approx_config = decode_approx(r);
+  spec.protocol_seed = r.read_u64();
+  const std::uint64_t stride = r.read_u64();
+  const std::uint64_t pad = r.read_u64();
+  const std::uint64_t in_h = r.read_u64();
+  const std::uint64_t in_w = r.read_u64();
+  if (stride == 0 || stride > kMaxTensorDim || pad > kMaxTensorDim || in_h == 0 ||
+      in_w == 0 || in_h > kMaxTensorDim || in_w > kMaxTensorDim) {
+    throw WireError("plan spec: geometry out of range");
+  }
+  spec.stride = static_cast<std::size_t>(stride);
+  spec.pad = static_cast<std::size_t>(pad);
+  spec.in_h = static_cast<std::size_t>(in_h);
+  spec.in_w = static_cast<std::size_t>(in_w);
+  spec.weights = decode_tensor4(r);
+  return spec;
+}
+
+// --- control/data bodies --------------------------------------------------
+
+void encode(const RegisterPlanAck& ack, ByteWriter& w) {
+  w.write_u64(ack.plan_id);
+  w.write_u8(static_cast<std::uint8_t>(ack.verdict));
+  encode(ack.detail, w);
+}
+
+RegisterPlanAck decode_register_plan_ack(ByteReader& r) {
+  RegisterPlanAck ack;
+  ack.plan_id = r.read_u64();
+  const std::uint8_t verdict = r.read_u8();
+  if (verdict > static_cast<std::uint8_t>(PlanVerdict::kRejected)) {
+    throw WireError("register ack: unknown verdict");
+  }
+  ack.verdict = static_cast<PlanVerdict>(verdict);
+  ack.detail = decode_string(r);
+  return ack;
+}
+
+void encode(const SubmitBody& body, ByteWriter& w) {
+  w.write_u64(body.plan_id);
+  w.write_u64(body.stream);
+  encode(body.x, w);
+}
+
+SubmitBody decode_submit(ByteReader& r) {
+  SubmitBody body;
+  body.plan_id = r.read_u64();
+  body.stream = r.read_u64();
+  body.x = decode_tensor3(r);
+  return body;
+}
+
+void encode(const ResultBody& body, ByteWriter& w) {
+  w.write_u8(body.ok ? 1 : 0);
+  if (!body.ok) {
+    encode(body.error, w);
+    return;
+  }
+  encode(body.result.client_share, w);
+  encode(body.result.server_share, w);
+  w.write_u64(body.result.bytes_client_to_server);
+  w.write_u64(body.result.bytes_server_to_client);
+  w.write_u64(body.result.hconv_calls);
+}
+
+ResultBody decode_result(ByteReader& r) {
+  ResultBody body;
+  const std::uint8_t ok = r.read_u8();
+  if (ok > 1) throw WireError("result: bad ok flag");
+  body.ok = ok == 1;
+  if (!body.ok) {
+    body.error = decode_string(r);
+    return body;
+  }
+  body.result.client_share = decode_tensor3(r);
+  body.result.server_share = decode_tensor3(r);
+  body.result.bytes_client_to_server = r.read_u64();
+  body.result.bytes_server_to_client = r.read_u64();
+  body.result.hconv_calls = static_cast<std::size_t>(r.read_u64());
+  return body;
+}
+
+void encode(const HelloBody& body, ByteWriter& w) {
+  w.write_u64(body.shard_index);
+  w.write_u64(body.pid);
+}
+
+HelloBody decode_hello(ByteReader& r) {
+  HelloBody body;
+  body.shard_index = r.read_u64();
+  body.pid = r.read_u64();
+  return body;
+}
+
+std::uint64_t fnv1a(const Bytes& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace flash::wire

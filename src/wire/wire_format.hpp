@@ -1,0 +1,174 @@
+// Length-prefixed, versioned binary wire format for the sharded serving
+// layer (ARCHITECTURE.md §13).
+//
+// Frame layout, little-endian throughout (the bfv/serialization primitives):
+//
+//   [magic u64 "FLASHWIR"][payload_len u64] [payload...]
+//   payload = [version u8][type u8][seq u64][body...]
+//
+// The 16-byte header is fixed-size so a reader can validate magic and
+// payload_len — against kMaxFrameBytes AND, for in-memory decodes, against
+// the bytes actually present — before allocating a single byte for the
+// payload. A forged multi-gigabyte length field is rejected at header-parse
+// time; it never reaches an allocator (same hardening contract as the
+// bfv/serialization loaders this format is built on).
+//
+// `seq` is the router-assigned request/control sequence number: responses
+// echo the seq of the frame they answer, which is what makes retries after a
+// worker kill idempotent (a late duplicate response finds no pending entry
+// with its seq and is dropped).
+//
+// Body codecs: every variable-length field (tensor dims, string lengths,
+// stage counts) is capped both by a hard constant and by the remaining
+// buffer before any resize. All decode failures raise wire::WireError, a
+// bfv::SerializationError subtype.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bfv/params.hpp"
+#include "bfv/serialization.hpp"
+#include "fft/fxp_fft.hpp"
+#include "protocol/conv_runner.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flash::wire {
+
+using bfv::ByteReader;
+using bfv::Bytes;
+using bfv::ByteWriter;
+
+/// Typed failure for every frame/body decode.
+class WireError : public bfv::SerializationError {
+ public:
+  explicit WireError(const std::string& what) : bfv::SerializationError(what) {}
+};
+
+inline constexpr std::uint64_t kFrameMagic = 0x464C415348574952ULL;  // "FLASHWIR"
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Fixed bytes before the payload: magic + payload_len.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Fixed payload prefix: version + type + seq.
+inline constexpr std::size_t kPayloadPrefixBytes = 10;
+/// Hard ceiling on one frame's payload (64 MiB — a full-size ciphertext
+/// tensor batch fits with a wide margin). Checked before allocation.
+inline constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 26;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,             // router -> worker: shard index
+  kHelloAck = 2,          // worker -> router: shard index + pid
+  kRegisterPlan = 3,      // router -> worker: PlanSpecWire (warm-up handshake)
+  kRegisterPlanAck = 4,   // worker -> router: local plan id + certify verdict
+  kSubmit = 5,            // router -> worker: plan id + stream + activation
+  kResult = 6,            // worker -> router: ConvRunnerResult or error
+  kMetricsQuery = 7,      // router -> worker
+  kMetricsReport = 8,     // worker -> router: metrics_json() string
+  kShutdown = 9,          // router -> worker: clean exit request
+  kShutdownAck = 10,      // worker -> router, sent just before _exit
+};
+const char* to_string(MsgType t);
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::uint64_t seq = 0;
+  Bytes body;
+};
+
+/// Serialize header + payload into one buffer.
+Bytes encode_frame(const Frame& frame);
+
+/// Validate a 16-byte frame header and return the payload length. Throws
+/// WireError on bad magic or a length outside [kPayloadPrefixBytes,
+/// max_frame_bytes] — the caller has not allocated anything yet.
+std::uint64_t decode_frame_header(const std::uint8_t* header, std::size_t header_len,
+                                  std::uint64_t max_frame_bytes = kMaxFrameBytes);
+
+/// Decode a payload buffer (version/type/seq prefix + body).
+Frame decode_payload(const Bytes& payload);
+
+/// Decode one complete frame from a contiguous buffer (header included).
+/// Trailing bytes after the framed length are rejected.
+Frame decode_frame(const Bytes& buffer, std::uint64_t max_frame_bytes = kMaxFrameBytes);
+
+// --- body codecs ---------------------------------------------------------
+
+void encode(const tensor::Tensor3& t, ByteWriter& w);
+tensor::Tensor3 decode_tensor3(ByteReader& r);
+
+void encode(const tensor::Tensor4& t, ByteWriter& w);
+tensor::Tensor4 decode_tensor4(ByteReader& r);
+
+void encode(const std::string& s, ByteWriter& w);
+std::string decode_string(ByteReader& r);
+
+/// Per-dimension and total-element caps for tensors on the wire.
+inline constexpr std::uint64_t kMaxTensorDim = std::uint64_t{1} << 12;
+inline constexpr std::uint64_t kMaxTensorElems = std::uint64_t{1} << 24;
+inline constexpr std::uint64_t kMaxStringBytes = std::uint64_t{1} << 20;
+
+/// Value-form plan spec: the wire image of serve::PlanSpec. Carries the BFV
+/// parameters themselves (not a context pointer) — each shard builds and
+/// owns its context, the shared-nothing part of the design. Field-for-field
+/// this covers serve's plan content key, so registering the same wire spec
+/// on any shard yields the same plan identity.
+struct PlanSpecWire {
+  bfv::BfvParams params;
+  bfv::PolyMulBackend backend = bfv::PolyMulBackend::kNtt;
+  std::optional<fft::FxpFftConfig> approx_config;
+  std::uint64_t protocol_seed = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  std::size_t in_h = 0, in_w = 0;
+  tensor::Tensor4 weights{1, 1, 1, 1};
+};
+void encode(const PlanSpecWire& spec, ByteWriter& w);
+PlanSpecWire decode_plan_spec(ByteReader& r);
+
+/// Worker's answer to kRegisterPlan: its local plan id plus what the
+/// CertifyPolicy concluded. kRejected means the worker refused the plan
+/// (kEnforce policy, unproven certificate); detail carries the reason.
+enum class PlanVerdict : std::uint8_t {
+  kUncertified = 0,  // CertifyPolicy::kOff — no certificate computed
+  kProven = 1,
+  kUnproven = 2,  // registered anyway (kWarn)
+  kRejected = 3,  // not registered (kEnforce)
+};
+const char* to_string(PlanVerdict v);
+
+struct RegisterPlanAck {
+  std::uint64_t plan_id = 0;  // meaningless when verdict == kRejected
+  PlanVerdict verdict = PlanVerdict::kUncertified;
+  std::string detail;
+};
+void encode(const RegisterPlanAck& ack, ByteWriter& w);
+RegisterPlanAck decode_register_plan_ack(ByteReader& r);
+
+struct SubmitBody {
+  std::uint64_t plan_id = 0;  // worker-local plan id
+  std::uint64_t stream = 0;   // determinism key (ConvRunner base = stream << 32)
+  tensor::Tensor3 x{1, 1, 1};
+};
+void encode(const SubmitBody& body, ByteWriter& w);
+SubmitBody decode_submit(ByteReader& r);
+
+struct ResultBody {
+  bool ok = false;
+  std::string error;                   // set iff !ok
+  protocol::ConvRunnerResult result;   // valid iff ok
+};
+void encode(const ResultBody& body, ByteWriter& w);
+ResultBody decode_result(ByteReader& r);
+
+struct HelloBody {
+  std::uint64_t shard_index = 0;
+  std::uint64_t pid = 0;  // 0 in the router's kHello; the worker's ack fills it
+};
+void encode(const HelloBody& body, ByteWriter& w);
+HelloBody decode_hello(ByteReader& r);
+
+/// FNV-1a over raw bytes — the shard-routing hash (plan key bytes -> shard).
+std::uint64_t fnv1a(const Bytes& bytes);
+
+}  // namespace flash::wire

@@ -4,6 +4,9 @@
 // buffers.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "bfv/context.hpp"
@@ -190,6 +193,160 @@ TEST(Serialization, RandomByteCorruptionNeverCrashes) {
       // Rejected: the expected outcome for header/size corruption.
     }
   }
+}
+
+// --- Typed errors: every rejection is a SerializationError -----------------
+//
+// The wire layer (src/wire) routes loader failures by type; a loader that
+// throws a bare std::runtime_error (or worse, std::bad_alloc from an
+// attacker-sized allocation) would be misclassified as an internal error
+// instead of a rejected frame.
+
+TEST(Serialization, RejectionsThrowTypedSerializationError) {
+  Fixture f(15, /*n=*/64);
+  bfv::Encryptor enc(f.ctx, f.sampler);
+  const Bytes good = bfv::serialize(f.params, enc.encrypt(f.ctx.encode_signed({7}), f.pk));
+
+  // Truncation.
+  const Bytes truncated(good.begin(), good.begin() + good.size() / 2);
+  EXPECT_THROW(bfv::deserialize_ciphertext(f.ctx, truncated), bfv::SerializationError);
+  // Bad magic.
+  Bytes bad_magic = good;
+  bad_magic[3] ^= 0x40;
+  EXPECT_THROW(bfv::deserialize_ciphertext(f.ctx, bad_magic), bfv::SerializationError);
+  // Trailing garbage.
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(bfv::deserialize_ciphertext(f.ctx, trailing), bfv::SerializationError);
+  // Compatibility: the typed error still lands in pre-existing
+  // std::runtime_error catch sites.
+  try {
+    bfv::deserialize_ciphertext(f.ctx, truncated);
+    FAIL() << "truncated buffer decoded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_FALSE(std::string(e.what()).empty());
+  }
+}
+
+TEST(Serialization, ForgedDegreeRejectedBeforeAllocation) {
+  Fixture f(16, /*n=*/64);
+  bfv::Encryptor enc(f.ctx, f.sampler);
+  Bytes bytes = bfv::serialize(f.params, enc.encrypt(f.ctx.encode_signed({1, 2}), f.pk));
+
+  // Layout: header (magic 8 + tag 1 + n/t/q 24 = 33 bytes), then c0 as
+  // modulus u64 at 33 and degree u64 at 41. Forge degree = 2^60: the loader
+  // must reject on degree-vs-remaining (a typed error) without first
+  // allocating the 2^63-byte coefficient vector the header promises.
+  const std::size_t degree_off = 33 + 8;
+  for (std::size_t i = 0; i < 8; ++i) bytes[degree_off + i] = 0;
+  bytes[degree_off + 7] = 0x10;  // 2^60, little-endian
+  EXPECT_THROW(bfv::deserialize_ciphertext(f.ctx, bytes), bfv::SerializationError);
+
+  // Just past the hard cap but "covered" by the (short) buffer: also typed.
+  for (std::size_t i = 0; i < 8; ++i) bytes[degree_off + i] = 0;
+  bytes[degree_off + 2] = 0x20;  // 2^21 > kMaxPolyDegree
+  EXPECT_THROW(bfv::deserialize_ciphertext(f.ctx, bytes), bfv::SerializationError);
+}
+
+// Adversarial header fuzz: splat hostile u64 patterns over every 8-byte
+// window of a genuine buffer and replay through every loader. The contract
+// is crash-freedom and bounded allocation, not rejection — some mutations
+// leave the object valid.
+TEST(Serialization, AdversarialHeaderFuzzNeverCrashesAnyLoader) {
+  Fixture f(17, /*n=*/64);
+  bfv::Encryptor enc(f.ctx, f.sampler);
+  const Bytes base = bfv::serialize(f.params, enc.encrypt(f.ctx.encode_signed({6, 6, 6}), f.pk));
+
+  constexpr std::uint64_t kHostile[] = {
+      0,
+      1,
+      0xffffffffffffffffULL,
+      std::uint64_t{1} << 60,            // allocation bomb if honored
+      std::uint64_t{1} << 63,            // sign-flip if narrowed to i64
+      (std::uint64_t{1} << 20) + 1,      // just past kMaxPolyDegree
+      0x464C415348424656ULL,             // the magic itself, misplaced
+  };
+  std::size_t rejected = 0, decoded = 0;
+  for (std::size_t off = 0; off + 8 <= base.size(); ++off) {
+    for (const std::uint64_t v : kHostile) {
+      Bytes mutated = base;
+      for (std::size_t i = 0; i < 8; ++i) {
+        mutated[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+      }
+      try {
+        const bfv::Ciphertext back = bfv::deserialize_ciphertext(f.ctx, mutated);
+        for (const auto c : back.c0.coeffs()) ASSERT_LT(c, f.params.q);
+        for (const auto c : back.c1.coeffs()) ASSERT_LT(c, f.params.q);
+        ++decoded;
+      } catch (const bfv::SerializationError&) {
+        ++rejected;
+      }
+      // The same bytes through the param-less reader entry point.
+      try {
+        bfv::ByteReader r(mutated);
+        (void)bfv::deserialize_params(r);
+      } catch (const bfv::SerializationError&) {
+      }
+    }
+  }
+  // Sanity: the loop exercised real rejections (a no-op fuzzer proves
+  // nothing). Decodes may be zero — every window of a ciphertext buffer is
+  // load-bearing for this parameter set.
+  EXPECT_GT(rejected, decoded);
+  EXPECT_GT(rejected, 0u);
+}
+
+// --- Committed corpus replay ------------------------------------------------
+
+Bytes parse_hex(const std::string& hex) {
+  Bytes out;
+  if (hex == ".") return out;  // explicit empty-buffer marker
+  EXPECT_EQ(hex.size() % 2, 0u) << "odd-length hex in corpus: " << hex;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>(std::stoi(hex.substr(i, 2), nullptr, 16)));
+  }
+  return out;
+}
+
+// Every committed adversarial buffer, through every loader: throws the typed
+// error or decodes cleanly — crashes and allocation bombs caught here (and
+// by the sanitizer jobs, which run this same test under ASan/TSan).
+TEST(Serialization, CorpusReplayAllLoadersSurvive) {
+  const std::string path = std::string(FLASH_TESTS_DIR) + "/corpus/serialization_adversarial.txt";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "missing corpus file: " << path;
+
+  Fixture f(18, /*n=*/64);
+  std::size_t entries = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string name, hex;
+    fields >> name >> hex;
+    if (name.empty()) continue;
+    const Bytes bytes = parse_hex(hex);
+    ++entries;
+
+    const auto survive = [&](auto&& loader) {
+      try {
+        loader();
+      } catch (const bfv::SerializationError&) {
+        // The expected outcome for adversarial input.
+      }
+      // Anything else (bad_alloc, logic_error, a crash) fails the test.
+    };
+    survive([&] { (void)bfv::deserialize_plaintext(f.ctx, bytes); });
+    survive([&] { (void)bfv::deserialize_ciphertext(f.ctx, bytes); });
+    survive([&] { (void)bfv::deserialize_secret_key(f.ctx, bytes); });
+    survive([&] { (void)bfv::deserialize_public_key(f.ctx, bytes); });
+    survive([&] { (void)bfv::deserialize_key_switch_key(f.ctx, bytes); });
+    survive([&] {
+      bfv::ByteReader r(bytes);
+      (void)bfv::deserialize_params(r);
+    });
+  }
+  EXPECT_GE(entries, 10u) << "corpus unexpectedly small — parsing bug?";
 }
 
 }  // namespace

@@ -456,5 +456,174 @@ TEST(ServeMetricsJson, EmptyHistogramExportsZerosNotNan) {
   EXPECT_EQ(sjson.find(": inf"), std::string::npos);
 }
 
+// --- on_terminal re-entrancy audit (PR-9) ----------------------------------
+//
+// The contract under test: the callback fires exactly once, always with no
+// server or request locks held, on every terminal path — so a callback may
+// freely call back INTO the serving layer (submit a follow-up, register
+// another callback, inspect metrics) without deadlocking. The audit found
+// one defect adjacent to this path (cancel() updated the metrics counter
+// after publishing kCancelled, racing server destruction — fixed in
+// conv_server.cpp); these tests pin the locking discipline itself.
+
+TEST_F(ServeTest, OnTerminalMaySubmitFollowUpFromInsideTheCallback) {
+  ConvServer server({.dispatchers = 0});
+  const PlanId plan = server.register_plan(spec_a());
+
+  // Chain three requests, each submitted from the previous one's terminal
+  // callback on the dispatching thread. Any lock held across the callback
+  // would deadlock dispatch_once() re-entering submit().
+  std::vector<ConvFuture> chain;
+  chain.push_back(server.submit(plan, layer_a_.x, {.stream = 0}));
+  std::atomic<int> fired{0};
+  std::function<void(std::size_t)> arm = [&](std::size_t depth) {
+    chain.back().on_terminal([&, depth] {
+      fired.fetch_add(1);
+      if (depth < 2) {
+        chain.push_back(
+            server.submit(plan, layer_a_.x, {.stream = depth + 1}));
+        arm(depth + 1);
+      }
+    });
+  };
+  arm(0);
+  while (server.dispatch_once()) {
+  }
+  server.drain();
+
+  EXPECT_EQ(fired.load(), 3);
+  ASSERT_EQ(chain.size(), 3u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    ASSERT_EQ(chain[i].state(), RequestState::kDone) << "request " << i;
+    // Each chained request is still bit-identical to its serial run: the
+    // callback path is invisible to the determinism contract.
+    protocol::HConvProtocol proto(ctx_a_, bfv::PolyMulBackend::kNtt, std::nullopt,
+                                  layer_a_.spec.seed);
+    protocol::ConvRunner runner(proto);
+    const auto serial = runner.run(layer_a_.x, layer_a_.weights, 1, 0,
+                                   static_cast<std::uint64_t>(i) << 32);
+    EXPECT_EQ(chain[i].result().client_share.data(), serial.client_share.data());
+  }
+}
+
+TEST_F(ServeTest, OnTerminalFiresExactlyOnceOnEveryTerminalPath) {
+  ConvServer server({.max_queue = 1, .dispatchers = 0});
+  const PlanId plan = server.register_plan(spec_a());
+
+  // kDone path, registered before dispatch.
+  std::atomic<int> done_fired{0};
+  ConvFuture done_fut = server.submit(plan, layer_a_.x, {.stream = 0});
+  done_fut.on_terminal([&] { done_fired.fetch_add(1); });
+  // kRejected path: queue full (bound 1). The rejected future is terminal
+  // at submit-return; its callback must fire immediately, on this thread.
+  std::atomic<int> rejected_fired{0};
+  ConvFuture rejected = server.submit(plan, layer_a_.x, {});
+  EXPECT_EQ(rejected.state(), RequestState::kRejected);
+  rejected.on_terminal([&] { rejected_fired.fetch_add(1); });
+  EXPECT_EQ(rejected_fired.load(), 1);
+
+  EXPECT_TRUE(server.dispatch_once());
+  EXPECT_EQ(done_fired.load(), 1);
+  // Registration after terminal fires immediately — and re-registration
+  // from inside the callback (same future, already terminal) is re-entrant
+  // rather than deadlocking.
+  std::atomic<int> late_fired{0};
+  done_fut.on_terminal([&] {
+    late_fired.fetch_add(1);
+    if (late_fired.load() == 1) done_fut.on_terminal([&] { late_fired.fetch_add(1); });
+  });
+  EXPECT_EQ(late_fired.load(), 2);
+
+  // kCancelled path: the winning cancel fires the callback exactly once.
+  std::atomic<int> cancel_fired{0};
+  ConvFuture cancelled = server.submit(plan, layer_a_.x, {});
+  cancelled.on_terminal([&] { cancel_fired.fetch_add(1); });
+  ASSERT_TRUE(cancelled.cancel());
+  EXPECT_EQ(cancel_fired.load(), 1);
+  EXPECT_TRUE(server.dispatch_once());   // pops the cancelled slot, runs nothing
+  EXPECT_EQ(cancel_fired.load(), 1);     // the pickup must not re-fire it
+  EXPECT_FALSE(server.dispatch_once());
+
+  // kDeadlineExceeded-at-admission path.
+  std::atomic<int> dl_fired{0};
+  ConvFuture expired = server.submit(plan, layer_a_.x, {.deadline = now() - 1ms});
+  EXPECT_EQ(expired.state(), RequestState::kDeadlineExceeded);
+  expired.on_terminal([&] { dl_fired.fetch_add(1); });
+  EXPECT_EQ(dl_fired.load(), 1);
+
+  server.drain();
+  EXPECT_EQ(done_fired.load(), 1);
+  EXPECT_EQ(cancel_fired.load(), 1);
+}
+
+TEST_F(ServeTest, OnTerminalReplacementKeepsExactlyOneUnfiredCallback) {
+  ConvServer server({.dispatchers = 0});
+  const PlanId plan = server.register_plan(spec_a());
+  ConvFuture fut = server.submit(plan, layer_a_.x, {});
+  std::atomic<int> first{0}, second{0};
+  fut.on_terminal([&] { first.fetch_add(1); });
+  fut.on_terminal([&] { second.fetch_add(1); });  // replaces the unfired first
+  EXPECT_TRUE(server.dispatch_once());
+  server.drain();
+  EXPECT_EQ(first.load(), 0);
+  EXPECT_EQ(second.load(), 1);
+}
+
+// --- injected monotonic clock (PR-9) ---------------------------------------
+//
+// Deadlines are evaluated on serve::now() — steady_clock plus a test-only
+// offset — so these tests age requests deterministically instead of
+// sleeping, and a wall-clock step (NTP, suspend/resume) can never expire a
+// request early in production.
+
+class ClockGuard {
+ public:
+  ~ClockGuard() { testing_hooks::reset_clock(); }
+};
+
+TEST_F(ServeTest, InjectedClockExpiresQueuedRequestAtBatchPickup) {
+  ClockGuard guard;
+  ConvServer server({.dispatchers = 0});
+  const PlanId plan = server.register_plan(spec_a());
+
+  ConvFuture fut = server.submit(plan, layer_a_.x, {.timeout = 1h});
+  EXPECT_EQ(fut.state(), RequestState::kQueued);
+  // Age the queue 2 hours in zero real time: the batch-pickup deadline
+  // check must expire the request without running it.
+  testing_hooks::advance_clock(2h);
+  EXPECT_TRUE(server.dispatch_once());
+  EXPECT_EQ(fut.state(), RequestState::kDeadlineExceeded);
+  server.drain();
+  EXPECT_EQ(server.metrics().deadline_expired_in_queue.value(), 1u);
+  EXPECT_EQ(server.metrics().terminal(), server.metrics().submitted.value());
+}
+
+TEST_F(ServeTest, InjectedClockExpiresDeadlineAtAdmission) {
+  ClockGuard guard;
+  ConvServer server({.dispatchers = 0});
+  const PlanId plan = server.register_plan(spec_a());
+
+  const auto deadline = now() + 1h;
+  testing_hooks::advance_clock(2h);
+  ConvFuture fut = server.submit(plan, layer_a_.x, {.deadline = deadline});
+  EXPECT_EQ(fut.state(), RequestState::kDeadlineExceeded);
+  EXPECT_EQ(server.metrics().deadline_expired_at_admission.value(), 1u);
+  server.drain();
+}
+
+TEST(ServeClock, InjectionIsMonotonicAndResets) {
+  ClockGuard guard;
+  const auto before = now();
+  testing_hooks::advance_clock(5min);
+  const auto advanced = now();
+  EXPECT_GE(advanced - before, 5min);
+  // Negative deltas are ignored: the serve clock never runs backwards, even
+  // under test injection (monotonicity is the production contract).
+  testing_hooks::advance_clock(-10min);
+  EXPECT_GE(now(), advanced);
+  testing_hooks::reset_clock();
+  EXPECT_LT(now() - before, 5min);
+}
+
 }  // namespace
 }  // namespace flash::serve

@@ -16,6 +16,13 @@
 //      rect / strided stems) pipelined through NetworkServer, each checked
 //      by HConvOracle::run_network_trace — every session bit-identical to
 //      its serial bare-runner run, plus two-level metrics conservation.
+//   4. Shard chaos soak: randomized traces routed through a ShardRouter
+//      over forked worker processes while a rotating worker is SIGKILLed
+//      mid-trace every few submissions — respawn, registration replay and
+//      idempotent resend must be bit-invisible (same serial bit-identity
+//      bar as phase 1) and router metrics must conserve through the kills.
+//      Skipped under TSan (fork with live reader threads is unsupported
+//      there); the nightly ASan soak job is its home (tests/README.md).
 //
 // Reproduction: every round prints nothing on success; on failure the
 // governing seed is in the assertion message and in the FLASH_SOAK_SEED
@@ -60,7 +67,7 @@ double soak_budget_s() { return env_double("FLASH_SOAK_BUDGET_S", 4.0); }
 
 TEST(ServeSoak, RandomTracesStayBitIdenticalUnderDispatcherThreads) {
   const std::uint64_t seed = soak_seed();
-  const double budget_s = soak_budget_s() / 3;
+  const double budget_s = soak_budget_s() / 4;
   std::printf("[soak] trace phase: FLASH_SOAK_SEED=0x%llx budget=%.1fs\n",
               static_cast<unsigned long long>(seed), budget_s);
 
@@ -86,7 +93,7 @@ TEST(ServeSoak, RandomTracesStayBitIdenticalUnderDispatcherThreads) {
 
 TEST(ServeSoak, ConcurrentClientsWithCancelsDeadlinesAndBackpressure) {
   const std::uint64_t seed = soak_seed() ^ 0xc4a05;
-  const double budget_s = soak_budget_s() / 3;
+  const double budget_s = soak_budget_s() / 4;
   std::printf("[soak] chaos phase: FLASH_SOAK_SEED=0x%llx budget=%.1fs\n",
               static_cast<unsigned long long>(soak_seed()), budget_s);
 
@@ -174,7 +181,7 @@ TEST(ServeSoak, ConcurrentClientsWithCancelsDeadlinesAndBackpressure) {
 
 TEST(ServeSoak, NetworkSessionsStayBitIdenticalUnderPipelining) {
   const std::uint64_t seed = soak_seed() ^ 0x11e7;
-  const double budget_s = soak_budget_s() / 3;
+  const double budget_s = soak_budget_s() / 4;
   std::printf("[soak] network phase: FLASH_SOAK_SEED=0x%llx budget=%.1fs\n",
               static_cast<unsigned long long>(soak_seed()), budget_s);
 
@@ -197,6 +204,45 @@ TEST(ServeSoak, NetworkSessionsStayBitIdenticalUnderPipelining) {
   std::printf("[soak] network phase: %zu rounds\n", rounds);
   EXPECT_GT(rounds, 0u);
 }
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FLASH_TSAN 1
+#endif
+#endif
+#if !defined(FLASH_TSAN) && defined(__SANITIZE_THREAD__)
+#define FLASH_TSAN 1
+#endif
+
+#if !defined(FLASH_TSAN)
+TEST(ServeSoak, ShardedTracesSurviveWorkerKillsBitIdentically) {
+  const std::uint64_t seed = soak_seed() ^ 0x54a6d;
+  const double budget_s = soak_budget_s() / 4;
+  std::printf("[soak] shard chaos phase: FLASH_SOAK_SEED=0x%llx budget=%.1fs\n",
+              static_cast<unsigned long long>(soak_seed()), budget_s);
+
+  const flash::testing::HConvOracle oracle;
+  const Clock::time_point start = Clock::now();
+  std::size_t rounds = 0;
+  while (std::chrono::duration<double>(Clock::now() - start).count() < budget_s) {
+    const std::uint64_t round_seed = hemath::derive_stream_seed(seed, rounds);
+    flash::testing::ServeTraceSpec spec{round_seed, 0, 0};
+    const auto trace = flash::testing::make_serve_trace(spec);
+    // Rotate the shard count; every other round injects kills mid-trace.
+    const std::size_t shards = 1 + (rounds % 3);
+    const std::size_t max_batch = 1 + rounds % 4;
+    const std::size_t kill_every = rounds % 2 == 0 ? 0 : 3 + rounds % 3;
+    const auto report = oracle.run_trace(trace, /*dispatchers=*/0, max_batch, shards, kill_every);
+    ASSERT_TRUE(report.ok) << "seed=0x" << std::hex << seed << std::dec << " round=" << rounds
+                           << " repro=\"" << spec.describe() << "\" shards=" << shards
+                           << " max_batch=" << max_batch << " kill_every=" << kill_every
+                           << " -> " << report.summary();
+    ++rounds;
+  }
+  std::printf("[soak] shard chaos phase: %zu rounds\n", rounds);
+  EXPECT_GT(rounds, 0u);
+}
+#endif  // !FLASH_TSAN
 
 }  // namespace
 }  // namespace flash::serve

@@ -1,0 +1,370 @@
+// Wire-format tests: every frame and body codec must round-trip
+// bit-for-bit, and every decoder must reject adversarial input — forged
+// length prefixes, truncated payloads, out-of-range dimensions — with a
+// typed WireError *before* any attacker-sized allocation happens.
+#include <gtest/gtest.h>
+
+#include "bfv/params.hpp"
+#include "fft/fxp_fft.hpp"
+#include "testing/generators.hpp"
+#include "wire/wire_format.hpp"
+
+namespace flash::wire {
+namespace {
+
+Frame round_trip(const Frame& f) { return decode_frame(encode_frame(f)); }
+
+Bytes frame_bytes_with_payload_len(std::uint64_t payload_len) {
+  ByteWriter w;
+  w.write_u64(kFrameMagic);
+  w.write_u64(payload_len);
+  return w.take();
+}
+
+TEST(WireFrame, RoundTripsTypeSeqAndBody) {
+  Frame f;
+  f.type = MsgType::kSubmit;
+  f.seq = 0xdeadbeefcafef00dULL;
+  f.body = {1, 2, 3, 250, 255, 0};
+  const Frame back = round_trip(f);
+  EXPECT_EQ(back.type, f.type);
+  EXPECT_EQ(back.seq, f.seq);
+  EXPECT_EQ(back.body, f.body);
+}
+
+TEST(WireFrame, EmptyBodyRoundTrips) {
+  Frame f;
+  f.type = MsgType::kShutdown;
+  f.seq = 7;
+  const Frame back = round_trip(f);
+  EXPECT_EQ(back.type, MsgType::kShutdown);
+  EXPECT_TRUE(back.body.empty());
+}
+
+TEST(WireFrame, RejectsBadMagic) {
+  Bytes buf = encode_frame({MsgType::kHello, 1, {}});
+  buf[0] ^= 0xff;
+  EXPECT_THROW(decode_frame(buf), WireError);
+}
+
+TEST(WireFrame, RejectsForgedGiantLengthBeforeAllocating) {
+  // A 2^60-byte length claim must die at header-parse time; if it ever
+  // reached the payload allocation the test machine would OOM instead of
+  // seeing a WireError.
+  const Bytes header = frame_bytes_with_payload_len(std::uint64_t{1} << 60);
+  EXPECT_THROW(decode_frame_header(header.data(), header.size()), WireError);
+}
+
+TEST(WireFrame, RejectsLengthBelowPayloadPrefix) {
+  const Bytes header = frame_bytes_with_payload_len(kPayloadPrefixBytes - 1);
+  EXPECT_THROW(decode_frame_header(header.data(), header.size()), WireError);
+}
+
+TEST(WireFrame, HonorsPerChannelCapBelowGlobalCap) {
+  const Bytes header = frame_bytes_with_payload_len(4096);
+  EXPECT_EQ(decode_frame_header(header.data(), header.size()), 4096u);
+  EXPECT_THROW(decode_frame_header(header.data(), header.size(), /*max=*/1024), WireError);
+}
+
+TEST(WireFrame, RejectsTruncatedHeaderAndPayload) {
+  const Bytes whole = encode_frame({MsgType::kHello, 1, {9, 9, 9}});
+  for (std::size_t cut : {std::size_t{0}, std::size_t{8}, kFrameHeaderBytes,
+                          whole.size() - 1}) {
+    const Bytes truncated(whole.begin(), whole.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_frame(truncated), WireError) << "cut=" << cut;
+  }
+}
+
+TEST(WireFrame, RejectsTrailingBytes) {
+  Bytes buf = encode_frame({MsgType::kHello, 1, {}});
+  buf.push_back(0);
+  EXPECT_THROW(decode_frame(buf), WireError);
+}
+
+TEST(WireFrame, RejectsUnknownVersionAndType) {
+  Bytes buf = encode_frame({MsgType::kHello, 1, {}});
+  Bytes bad_version = buf;
+  bad_version[kFrameHeaderBytes] = 99;  // version byte
+  EXPECT_THROW(decode_frame(bad_version), WireError);
+  Bytes bad_type = buf;
+  bad_type[kFrameHeaderBytes + 1] = 0;  // below kHello
+  EXPECT_THROW(decode_frame(bad_type), WireError);
+  bad_type[kFrameHeaderBytes + 1] = 200;  // above kShutdownAck
+  EXPECT_THROW(decode_frame(bad_type), WireError);
+}
+
+TEST(WireFrame, WireErrorIsASerializationError) {
+  // The typed-error contract: wire failures are catchable at the bfv
+  // serialization level and as std::runtime_error, never as raw logic.
+  try {
+    decode_frame(Bytes{});
+    FAIL() << "decode of empty buffer did not throw";
+  } catch (const bfv::SerializationError&) {
+  }
+}
+
+TEST(WireTensor, Tensor3RoundTrip) {
+  tensor::Tensor3 t(2, 3, 4);
+  for (std::size_t i = 0; i < t.data().size(); ++i) {
+    t.data()[i] = static_cast<tensor::i64>(i) - 7;
+  }
+  ByteWriter w;
+  encode(t, w);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  const tensor::Tensor3 back = decode_tensor3(r);
+  EXPECT_EQ(back.data(), t.data());
+  EXPECT_EQ(back.channels(), 2u);
+  EXPECT_EQ(back.height(), 3u);
+  EXPECT_EQ(back.width(), 4u);
+}
+
+TEST(WireTensor, RejectsDimensionsOverCapBeforeAllocating) {
+  // Claimed dims of kMaxTensorDim^3 elements with a 24-byte body: the dim
+  // gate (then the remaining-bytes gate) must fire before any element
+  // buffer is sized from attacker numbers.
+  ByteWriter w;
+  w.write_u64(kMaxTensorDim + 1);
+  w.write_u64(1);
+  w.write_u64(1);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(decode_tensor3(r), WireError);
+}
+
+TEST(WireTensor, RejectsElementCountExceedingBuffer) {
+  ByteWriter w;
+  w.write_u64(16);
+  w.write_u64(16);
+  w.write_u64(16);      // claims 4096 elements...
+  w.write_i64(1);       // ...buffer holds one
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(decode_tensor3(r), WireError);
+}
+
+TEST(WireTensor, RejectsZeroDimension) {
+  ByteWriter w;
+  w.write_u64(0);
+  w.write_u64(4);
+  w.write_u64(4);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(decode_tensor3(r), WireError);
+}
+
+TEST(WireTensor, Tensor4RoundTripAndGuards) {
+  tensor::Tensor4 t(2, 3, 2, 2);
+  for (std::size_t i = 0; i < t.data().size(); ++i) {
+    t.data()[i] = static_cast<tensor::i64>(i * 3) - 11;
+  }
+  ByteWriter w;
+  encode(t, w);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(decode_tensor4(r).data(), t.data());
+
+  ByteWriter bad;
+  bad.write_u64(1);
+  bad.write_u64(1);
+  bad.write_u64(kMaxTensorDim + 1);
+  bad.write_u64(1);
+  const Bytes bad_bytes = bad.take();
+  ByteReader br(bad_bytes);
+  EXPECT_THROW(decode_tensor4(br), WireError);
+}
+
+TEST(WireString, RoundTripAndLengthGuard) {
+  ByteWriter w;
+  encode(std::string("certify: proven, margin 12.5 bits"), w);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(decode_string(r), "certify: proven, margin 12.5 bits");
+
+  ByteWriter bad;
+  bad.write_u64(kMaxStringBytes + 1);
+  const Bytes bad_bytes = bad.take();
+  ByteReader br(bad_bytes);
+  EXPECT_THROW(decode_string(br), WireError);
+}
+
+TEST(WirePlanSpec, RoundTripsEveryField) {
+  const auto layer = testing::make_conv_case(
+      {.seed = 0x91a2, .c = 2, .m = 3, .h = 5, .w = 4, .k = 3, .stride = 2, .pad = 1});
+  PlanSpecWire spec;
+  spec.params = layer.params;
+  spec.backend = bfv::PolyMulBackend::kApproxFft;
+  fft::FxpFftConfig cfg;
+  cfg.input_frac_bits = 12;
+  cfg.data_width = 26;
+  cfg.twiddle_k = 8;
+  cfg.twiddle_min_exp = -20;
+  cfg.stage_frac_bits = {12, 11, 10};
+  spec.approx_config = cfg;
+  spec.protocol_seed = 0xabcdef;
+  spec.stride = 2;
+  spec.pad = 1;
+  spec.in_h = 5;
+  spec.in_w = 4;
+  spec.weights = layer.weights;
+
+  ByteWriter w;
+  encode(spec, w);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  const PlanSpecWire back = decode_plan_spec(r);
+  EXPECT_EQ(back.params.n, spec.params.n);
+  EXPECT_EQ(back.params.t, spec.params.t);
+  EXPECT_EQ(back.params.q, spec.params.q);
+  EXPECT_EQ(back.backend, spec.backend);
+  ASSERT_TRUE(back.approx_config.has_value());
+  EXPECT_EQ(back.approx_config->data_width, 26);
+  EXPECT_EQ(back.approx_config->stage_frac_bits, cfg.stage_frac_bits);
+  EXPECT_EQ(back.protocol_seed, spec.protocol_seed);
+  EXPECT_EQ(back.stride, 2u);
+  EXPECT_EQ(back.pad, 1u);
+  EXPECT_EQ(back.in_h, 5u);
+  EXPECT_EQ(back.in_w, 4u);
+  EXPECT_EQ(back.weights.data(), spec.weights.data());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WirePlanSpec, RejectsAdversarialParameters) {
+  const auto layer = testing::make_conv_case(
+      {.seed = 3, .c = 1, .m = 1, .h = 4, .w = 4, .k = 2, .stride = 1, .pad = 0});
+  PlanSpecWire spec;
+  spec.params = layer.params;
+  spec.protocol_seed = 1;
+  spec.stride = 1;
+  spec.in_h = 4;
+  spec.in_w = 4;
+  spec.weights = layer.weights;
+
+  // Ring degree 2^63: must be rejected by the range gate, not fed into
+  // validate()'s (q-1) % (2n) arithmetic or a 2^63-coefficient allocation.
+  {
+    ByteWriter w;
+    encode(spec, w);
+    Bytes bytes = w.take();
+    for (int i = 0; i < 8; ++i) bytes[static_cast<std::size_t>(i)] = 0;
+    bytes[7] = 0x80;
+    ByteReader r(bytes);
+    EXPECT_THROW(decode_plan_spec(r), WireError);
+  }
+  // Zero ciphertext modulus.
+  {
+    ByteWriter w;
+    encode(spec, w);
+    Bytes bytes = w.take();
+    for (int i = 16; i < 24; ++i) bytes[static_cast<std::size_t>(i)] = 0;
+    ByteReader r(bytes);
+    EXPECT_THROW(decode_plan_spec(r), WireError);
+  }
+}
+
+TEST(WirePlanSpec, SameSpecSameBytesSameShardHash) {
+  const auto layer = testing::make_conv_case(
+      {.seed = 5, .c = 1, .m = 2, .h = 4, .w = 4, .k = 2, .stride = 1, .pad = 0});
+  PlanSpecWire spec;
+  spec.params = layer.params;
+  spec.protocol_seed = layer.spec.seed;
+  spec.stride = 1;
+  spec.in_h = 4;
+  spec.in_w = 4;
+  spec.weights = layer.weights;
+
+  ByteWriter w1, w2;
+  encode(spec, w1);
+  encode(spec, w2);
+  const Bytes a = w1.take();
+  const Bytes b = w2.take();
+  // Routing determinism root: identical specs -> identical bytes ->
+  // identical FNV-1a -> identical home shard, every process, every run.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(fnv1a(a), fnv1a(b));
+
+  PlanSpecWire other = spec;
+  other.protocol_seed ^= 1;
+  ByteWriter w3;
+  encode(other, w3);
+  EXPECT_NE(fnv1a(w3.take()), fnv1a(a));
+}
+
+TEST(WireBodies, RegisterPlanAckRoundTrip) {
+  RegisterPlanAck ack;
+  ack.plan_id = 42;
+  ack.verdict = PlanVerdict::kUnproven;
+  ack.detail = "margin -1.5 bits";
+  ByteWriter w;
+  encode(ack, w);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  const RegisterPlanAck back = decode_register_plan_ack(r);
+  EXPECT_EQ(back.plan_id, 42u);
+  EXPECT_EQ(back.verdict, PlanVerdict::kUnproven);
+  EXPECT_EQ(back.detail, "margin -1.5 bits");
+}
+
+TEST(WireBodies, ResultBodyRoundTripsBothArms) {
+  {
+    ResultBody body;
+    body.ok = true;
+    body.result.client_share = tensor::Tensor3(1, 2, 2);
+    body.result.server_share = tensor::Tensor3(1, 2, 2);
+    body.result.client_share.data() = {1, -2, 3, -4};
+    body.result.server_share.data() = {5, 6, -7, 8};
+    body.result.bytes_client_to_server = 1234;
+    body.result.bytes_server_to_client = 567;
+    body.result.hconv_calls = 3;
+    ByteWriter w;
+    encode(body, w);
+    const Bytes bytes = w.take();
+    ByteReader r(bytes);
+    const ResultBody back = decode_result(r);
+    ASSERT_TRUE(back.ok);
+    EXPECT_EQ(back.result.client_share.data(), body.result.client_share.data());
+    EXPECT_EQ(back.result.server_share.data(), body.result.server_share.data());
+    EXPECT_EQ(back.result.bytes_client_to_server, 1234u);
+    EXPECT_EQ(back.result.hconv_calls, 3u);
+  }
+  {
+    ResultBody body;
+    body.ok = false;
+    body.error = "deadline_exceeded: expired in queue";
+    ByteWriter w;
+    encode(body, w);
+    const Bytes bytes = w.take();
+    ByteReader r(bytes);
+    const ResultBody back = decode_result(r);
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.error, "deadline_exceeded: expired in queue");
+  }
+}
+
+TEST(WireBodies, SubmitAndHelloRoundTrip) {
+  SubmitBody submit;
+  submit.plan_id = 9;
+  submit.stream = 0x123456789;
+  submit.x = tensor::Tensor3(1, 2, 2);
+  submit.x.data() = {4, 3, 2, 1};
+  ByteWriter w;
+  encode(submit, w);
+  const Bytes bytes = w.take();
+  ByteReader r(bytes);
+  const SubmitBody back = decode_submit(r);
+  EXPECT_EQ(back.plan_id, 9u);
+  EXPECT_EQ(back.stream, 0x123456789u);
+  EXPECT_EQ(back.x.data(), submit.x.data());
+
+  HelloBody hello{3, 12345};
+  ByteWriter hw;
+  encode(hello, hw);
+  const Bytes hb = hw.take();
+  ByteReader hr(hb);
+  const HelloBody hback = decode_hello(hr);
+  EXPECT_EQ(hback.shard_index, 3u);
+  EXPECT_EQ(hback.pid, 12345u);
+}
+
+}  // namespace
+}  // namespace flash::wire
