@@ -110,21 +110,25 @@ ShardRouter::ShardRouter(RouterOptions options) : options_(options) {
     workers_.push_back(std::make_unique<Worker>());
     workers_.back()->index = i;
   }
-  // Fork every worker BEFORE any reader thread exists: the forking thread is
-  // the only thread, so a child never inherits a mid-operation lock.
+  // Fork every worker BEFORE any reader/writer thread exists: the forking
+  // thread is the only thread, so a child never inherits a mid-operation
+  // lock.
   for (auto& w : workers_) {
     std::size_t attempts = 0;
-    while (!spawn_worker(*w)) {
+    std::shared_ptr<wire::FrameChannel> channel;
+    while ((channel = spawn_worker(*w)) == nullptr) {
       if (++attempts > options_.max_respawns) {
         w->dead = true;
         break;
       }
     }
+    w->channel = std::move(channel);  // null iff dead
   }
   for (auto& w : workers_) {
     if (!w->dead) {
       Worker* wp = w.get();
       w->reader = std::thread([this, wp] { reader_loop(*wp); });
+      w->writer = std::thread([this, wp] { writer_loop(*wp); });
     }
   }
 }
@@ -138,11 +142,20 @@ ShardRouter::~ShardRouter() {
       Frame f;
       f.type = MsgType::kShutdown;
       f.seq = w->next_seq++;
-      try {
-        w->channel->write_frame(f);  // best effort; EOF wakes the reader either way
-      } catch (const wire::WireError&) {
-      }
+      enqueue_locked(*w, std::move(f));  // best effort; EOF wakes the reader either way
     }
+  }
+  // Writers stop only after draining their outboxes — the shutdown frame
+  // must actually reach a live worker or its reader never sees EOF.
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->out_mu);
+      w->writer_stop = true;
+    }
+    w->out_cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->writer.joinable()) w->writer.join();
   }
   for (auto& w : workers_) {
     if (w->reader.joinable()) w->reader.join();
@@ -161,19 +174,32 @@ ShardRouter::~ShardRouter() {
   }
 }
 
-bool ShardRouter::spawn_worker(Worker& w) {
+std::shared_ptr<wire::FrameChannel> ShardRouter::spawn_worker(Worker& w) {
   int sv[2] = {-1, -1};
   pid_t pid = -1;
   {
     // Hold the registry lock across socketpair+fork so the child's inherited
     // fd set is exactly the registered set (no sibling's fresh fd leaks in).
     std::lock_guard<std::mutex> reg(fd_registry().registry_mu);
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return false;
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return nullptr;
+    if (options_.socket_buffer_bytes > 0) {
+      for (int fd : sv) {
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.socket_buffer_bytes,
+                     sizeof(options_.socket_buffer_bytes));
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options_.socket_buffer_bytes,
+                     sizeof(options_.socket_buffer_bytes));
+      }
+    }
+    // Respawns fork() with sibling reader/writer threads live and the child
+    // then runs non-async-signal-safe code (ConvServer construction
+    // allocates). glibc reinitializes its allocator locks across fork, which
+    // is what makes this safe; a libc without that guarantee would need
+    // fork+exec of a worker binary here instead.
     pid = ::fork();
     if (pid < 0) {
       ::close(sv[0]);
       ::close(sv[1]);
-      return false;
+      return nullptr;
     }
     if (pid == 0) {
       // Child: drop every other worker's router-end fd, then serve. Never
@@ -191,11 +217,11 @@ bool ShardRouter::spawn_worker(Worker& w) {
     fd_registry().fds.insert(sv[0]);
   }
 
-  auto channel = std::make_unique<wire::FrameChannel>(sv[0], options_.max_frame_bytes);
+  auto channel = std::make_shared<wire::FrameChannel>(sv[0], options_.max_frame_bytes);
 
-  // Warm-up handshake, read directly: at every call site the calling thread
-  // is the only reader of this channel (ctor runs pre-reader-threads;
-  // recovery runs ON the reader thread).
+  // Warm-up handshake, read/written directly: the channel is still private
+  // to the calling thread (the ctor runs pre-threads; recovery publishes
+  // only after registration replay), so no writer-thread interleaving.
   bool ok = false;
   try {
     Frame hello;
@@ -219,13 +245,45 @@ bool ShardRouter::spawn_worker(Worker& w) {
     channel.reset();
     int status = 0;
     ::waitpid(pid, &status, 0);
-    return false;
+    return nullptr;
   }
 
   std::lock_guard<std::mutex> lock(w.mu);
-  w.channel = std::move(channel);
   w.pid = pid;
-  return true;
+  return channel;
+}
+
+void ShardRouter::enqueue_locked(Worker& w, wire::Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(w.out_mu);
+    w.outbox.push_back(OutFrame{w.epoch, std::move(frame)});
+  }
+  w.out_cv.notify_one();
+}
+
+void ShardRouter::writer_loop(Worker& w) {
+  for (;;) {
+    OutFrame item;
+    {
+      std::unique_lock<std::mutex> lock(w.out_mu);
+      w.out_cv.wait(lock, [&] { return w.writer_stop || !w.outbox.empty(); });
+      if (w.outbox.empty()) return;  // stopped and drained
+      item = std::move(w.outbox.front());
+      w.outbox.pop_front();
+    }
+    std::shared_ptr<wire::FrameChannel> channel;
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      // A stale epoch means the frame targeted a dead incarnation; recovery
+      // already re-enqueued whatever still needs sending.
+      if (item.epoch != w.epoch || w.channel == nullptr) continue;
+      channel = w.channel;
+    }
+    try {
+      channel->write_frame(item.frame);  // failure -> reader sees EOF -> recovery
+    } catch (const wire::WireError&) {
+    }
+  }
 }
 
 void ShardRouter::reader_loop(Worker& w) {
@@ -306,7 +364,10 @@ void ShardRouter::reader_loop(Worker& w) {
 
 void ShardRouter::recover(Worker& w) {
   for (;;) {
-    // Reap the dead incarnation and quarantine the channel.
+    // Reap the dead incarnation and quarantine the channel. Bumping the
+    // epoch invalidates every queued outbound frame: the writer thread drops
+    // them, and the resend below re-enqueues what still matters under the
+    // new epoch.
     std::vector<std::shared_ptr<ControlWaiter>> orphaned_control;
     pid_t dead_pid = -1;
     {
@@ -316,11 +377,14 @@ void ShardRouter::recover(Worker& w) {
         fd_registry().fds.erase(w.channel->fd());
       }
       w.channel.reset();
+      w.epoch++;
       w.recovering = true;
       dead_pid = w.pid;
       w.pid = -1;
       for (auto& [seq, waiter] : w.control) orphaned_control.push_back(waiter);
       w.control.clear();
+      std::lock_guard<std::mutex> out(w.out_mu);
+      w.outbox.clear();
     }
     if (dead_pid > 0) {
       int status = 0;
@@ -344,7 +408,16 @@ void ShardRouter::recover(Worker& w) {
     w.respawns++;
     metrics_.respawns.inc();
 
-    if (!spawn_worker(w)) continue;  // spend another respawn attempt
+    // The fresh channel stays private to this thread until the replay below
+    // succeeds — the writer thread only ever sees a published channel, so
+    // nothing can interleave with the replay round-trips.
+    std::shared_ptr<wire::FrameChannel> channel = spawn_worker(w);
+    if (channel == nullptr) continue;  // spend another respawn attempt
+    const auto drop_channel = [&channel] {
+      std::lock_guard<std::mutex> reg(fd_registry().registry_mu);
+      fd_registry().fds.erase(channel->fd());
+      channel.reset();  // EOF stops the fresh worker; next loop reaps w.pid
+    };
 
     // Replay every registration for this shard in original order. Plan ids
     // are deterministic registration indices, so the acks must reproduce the
@@ -363,15 +436,14 @@ void ShardRouter::recover(Worker& w) {
               [](const auto& a, const auto& b) { return a.first < b.first; });
     bool replay_ok = true;
     for (const auto& [local_id, body] : replay) {
-      // Direct round-trip: this thread IS the reader, and submitters do not
-      // write while recovering is set.
+      // Direct round-trip: this thread owns the still-private channel.
       Frame f;
       f.type = MsgType::kRegisterPlan;
       f.seq = 0;
       f.body = body;
       std::optional<Frame> ack;
       try {
-        if (w.channel->write_frame(f)) ack = w.channel->read_frame();
+        if (channel->write_frame(f)) ack = channel->read_frame();
       } catch (const wire::WireError&) {
         ack = std::nullopt;
       }
@@ -386,15 +458,28 @@ void ShardRouter::recover(Worker& w) {
         break;
       }
     }
-    if (!replay_ok) continue;  // died (or diverged) mid-replay: next attempt
+    if (!replay_ok) {
+      drop_channel();
+      continue;  // died (or diverged) mid-replay: next attempt
+    }
+    if (stopping_.load()) {
+      // Shutdown raced with this recovery: the destructor's shutdown sweep
+      // may already have passed this shard while its channel was
+      // quarantined, so going live now would leave a worker no one stops.
+      drop_channel();
+      fail_all_pending(w, "router stopping");
+      return;
+    }
 
-    // Resend still-pending requests in seq order under w.mu: submitters stay
-    // blocked, so nothing interleaves between replayed traffic and the
-    // recovering -> live flip. Requests whose deadline lapsed while the
-    // shard was down are expired here instead of resent.
+    // Go live: publish the channel, then re-enqueue still-pending requests
+    // in seq order under w.mu — submitters stay blocked on the lock, so
+    // nothing interleaves between replayed traffic and the recovering ->
+    // live flip. Requests whose deadline lapsed while the shard was down
+    // are expired here instead of resent.
     std::vector<std::shared_ptr<ShardFuture::Shared>> expired;
     {
       std::lock_guard<std::mutex> lock(w.mu);
+      w.channel = std::move(channel);
       for (auto it = w.pending.begin(); it != w.pending.end();) {
         const std::shared_ptr<ShardFuture::Shared>& shared = it->second;
         if (shared->deadline.has_value() && serve::now() > *shared->deadline) {
@@ -412,10 +497,7 @@ void ShardRouter::recover(Worker& w) {
         submit.x = shared->x;
         wire::encode(submit, body);
         f.body = body.take();
-        try {
-          w.channel->write_frame(f);  // failure -> next EOF -> next recovery
-        } catch (const wire::WireError&) {
-        }
+        enqueue_locked(w, std::move(f));
         if (shared->sent) metrics_.failed_over.inc();
         shared->sent = true;
         ++it;
@@ -486,16 +568,11 @@ std::optional<Frame> ShardRouter::control_roundtrip(Worker& w, MsgType type, wir
     f.seq = w.next_seq++;
     f.body = std::move(body);
     w.control[f.seq] = waiter;
-    bool written = false;
-    try {
-      written = w.channel->write_frame(f);
-    } catch (const wire::WireError&) {
-    }
-    if (!written) {
-      w.control.erase(f.seq);
-      return std::nullopt;  // reader will notice the death and recover
-    }
+    enqueue_locked(w, std::move(f));
   }
+  // If the write fails (or the frame goes stale before the writer thread
+  // reaches it), the reader observes the death and recovery fails this
+  // waiter — there is no hang path.
   std::unique_lock<std::mutex> lock(waiter->mu);
   waiter->cv.wait(lock, [&] { return waiter->done; });
   if (!waiter->ok) return std::nullopt;
@@ -557,14 +634,16 @@ ShardPlanId ShardRouter::register_plan(const wire::PlanSpecWire& spec) {
 
 ShardFuture ShardRouter::submit(ShardPlanId plan, const tensor::Tensor3& x,
                                 ShardSubmitOptions options) {
-  metrics_.submitted.inc();
-
   RouterPlan* rp = nullptr;
   {
     std::lock_guard<std::mutex> lock(plans_mu_);
     if (plan >= plans_.size()) throw std::invalid_argument("submit: unknown plan id");
     rp = plans_[plan].get();
   }
+  // Counted only once the request is known to reach a terminal state — an
+  // unknown-plan throw above leaves no metrics trace, preserving
+  // terminal() == submitted.
+  metrics_.submitted.inc();
 
   auto shared = std::make_shared<ShardFuture::Shared>();
   shared->router = this;
@@ -587,6 +666,29 @@ ShardFuture ShardRouter::submit(ShardPlanId plan, const tensor::Tensor3& x,
     return ShardFuture(shared);
   }
 
+  // Encode outside w.mu (bulk work), and gate on the channel's frame cap so
+  // an oversized request fails alone at admission — written anyway it would
+  // be rejected at the worker's header gate, killing the channel and burning
+  // the shard's respawn budget on a guaranteed-to-repeat frame.
+  Frame f;
+  f.type = MsgType::kSubmit;
+  {
+    wire::ByteWriter body;
+    wire::SubmitBody submit;
+    submit.plan_id = rp->local_id;
+    submit.stream = shared->stream;
+    submit.x = shared->x;
+    wire::encode(submit, body);
+    f.body = body.take();
+  }
+  if (wire::frame_bytes_for_body(f.body.size()) > options_.max_frame_bytes) {
+    finish(shared, ShardRequestState::kRejected, {},
+           "request frame exceeds max_frame_bytes (" +
+               std::to_string(wire::frame_bytes_for_body(f.body.size())) + " > " +
+               std::to_string(options_.max_frame_bytes) + ")");
+    return ShardFuture(shared);
+  }
+
   Worker& w = *workers_[rp->shard];
   {
     std::lock_guard<std::mutex> lock(w.mu);
@@ -602,20 +704,10 @@ ShardFuture ShardRouter::submit(ShardPlanId plan, const tensor::Tensor3& x,
         ++pending_total_;
       }
       if (!w.recovering) {
-        Frame f;
-        f.type = MsgType::kSubmit;
         f.seq = shared->seq;
-        wire::ByteWriter body;
-        wire::SubmitBody submit;
-        submit.plan_id = rp->local_id;
-        submit.stream = shared->stream;
-        submit.x = shared->x;
-        wire::encode(submit, body);
-        f.body = body.take();
-        try {
-          w.channel->write_frame(f);  // failure -> EOF -> recovery resends
-        } catch (const wire::WireError&) {
-        }
+        // Hand the frame to the writer thread: submit never blocks on the
+        // socket, so a full buffer cannot wedge w.mu against the reader.
+        enqueue_locked(w, std::move(f));
         shared->sent = true;
       }
       return ShardFuture(shared);

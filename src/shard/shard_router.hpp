@@ -28,6 +28,15 @@
 // pending work fails — metrics conservation (terminal() == submitted) holds
 // through every path.
 //
+// Write path: every socket write goes through a per-worker writer thread
+// draining an epoch-tagged outbound queue. No lock is ever held across a
+// blocking write, so a submit burst that fills the router->worker socket
+// buffer stalls only the writer thread — the reader keeps draining results
+// and the worker keeps making progress (the classic full-buffers-both-ways
+// deadlock cannot form). Requests whose encoded frame exceeds
+// max_frame_bytes are rejected at submit() instead of poisoning the channel
+// at the worker's header gate.
+//
 // Determinism: a request stream routed through any shard count is
 // bit-identical to bare ConvRunner::run with the same (seed, stream << 32) —
 // enforced for 1/2/4 shards, with and without mid-trace kills, by
@@ -36,6 +45,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 
 #include <sys/types.h>
@@ -64,6 +74,10 @@ struct RouterOptions {
   std::uint64_t max_frame_bytes = wire::kMaxFrameBytes;
   /// Worker deaths tolerated per shard before it is declared dead.
   std::size_t max_respawns = 4;
+  /// SO_SNDBUF/SO_RCVBUF applied to both ends of each worker socketpair
+  /// (0 = OS default). A test knob: shrinking it makes full-socket-buffer
+  /// backpressure reproducible with small frames.
+  int socket_buffer_bytes = 0;
 };
 
 enum class ShardRequestState {
@@ -181,18 +195,42 @@ class ShardRouter {
     wire::Frame reply;
   };
 
+  /// One outbound frame, tagged with the channel incarnation it was queued
+  /// for. The writer thread drops entries whose epoch no longer matches —
+  /// recovery bumps the epoch and re-enqueues pending work itself, so a
+  /// stale frame must never reach the replacement worker twice.
+  struct OutFrame {
+    std::uint64_t epoch = 0;
+    wire::Frame frame;
+  };
+
   struct Worker {
     std::size_t index = 0;
     mutable std::mutex mu;
-    std::unique_ptr<wire::FrameChannel> channel;  // null once dead
+    /// Current channel incarnation (null while recovering or dead). Shared
+    /// so the writer thread can keep a quarantined incarnation alive across
+    /// an in-flight write; no thread ever blocks on I/O while holding mu.
+    std::shared_ptr<wire::FrameChannel> channel;
+    std::uint64_t epoch = 0;  // bumped by recovery; guards stale outbox entries
     pid_t pid = -1;
-    bool recovering = false;  // respawn in progress: enqueue, don't write
+    bool recovering = false;  // respawn in progress: enqueue, don't send
     bool dead = false;
     std::size_t respawns = 0;
     std::uint64_t next_seq = 1;
     std::map<std::uint64_t, std::shared_ptr<ShardFuture::Shared>> pending;
     std::map<std::uint64_t, std::shared_ptr<ControlWaiter>> control;
     std::thread reader;
+
+    /// Outbound queue, drained by the per-worker writer thread — the only
+    /// thread that performs (blocking) socket writes. Submitters, control
+    /// round-trips, recovery, and shutdown all enqueue and return, so a full
+    /// socket buffer backpressures the writer thread alone and can never
+    /// deadlock against the reader (which needs mu to process results).
+    std::mutex out_mu;
+    std::condition_variable out_cv;
+    std::deque<OutFrame> outbox;  // guarded by out_mu
+    bool writer_stop = false;     // guarded by out_mu
+    std::thread writer;
   };
 
   struct RouterPlan {
@@ -206,8 +244,16 @@ class ShardRouter {
 
   friend class ShardFuture;
 
-  bool spawn_worker(Worker& w);
+  /// Fork + handshake a fresh worker; records its pid but does NOT publish
+  /// the returned channel into w.channel — the caller decides when the
+  /// incarnation goes live (recovery keeps it private through registration
+  /// replay). Null on failure.
+  std::shared_ptr<wire::FrameChannel> spawn_worker(Worker& w);
   void reader_loop(Worker& w);
+  void writer_loop(Worker& w);
+  /// Queue a frame for the writer thread, tagged with the current epoch.
+  /// Pre: caller holds w.mu (epoch and liveness are read under it).
+  void enqueue_locked(Worker& w, wire::Frame frame);
   void recover(Worker& w);
   std::uint64_t worker_plan_id(std::size_t plan) const;
   std::optional<wire::Frame> control_roundtrip(Worker& w, wire::MsgType type, wire::Bytes body);

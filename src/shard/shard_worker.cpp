@@ -39,14 +39,15 @@ class Worker {
 
   int run() {
     for (;;) {
-      std::optional<Frame> frame;
       try {
-        frame = channel_.read_frame();
+        std::optional<Frame> frame = channel_.read_frame();
+        if (!frame.has_value()) return 0;  // router gone: clean exit
+        if (!handle(*frame)) return 0;     // kShutdown
       } catch (const wire::WireError&) {
-        return 2;  // malformed traffic from the router: protocol bug, die loudly
+        // Malformed traffic from the router — here or mid-coalescing inside
+        // handle_submit: protocol bug, die loudly.
+        return 2;
       }
-      if (!frame.has_value()) return 0;  // router gone: clean exit
-      if (!handle(*frame)) return 0;     // kShutdown
     }
   }
 
@@ -129,6 +130,7 @@ class Worker {
   bool handle_submit(const Frame& frame) {
     std::vector<PendingRequest> batch;
     std::optional<Frame> deferred;
+    std::optional<wire::WireError> protocol_error;
 
     Frame current = frame;
     for (;;) {
@@ -140,8 +142,13 @@ class Worker {
       std::optional<Frame> next;
       try {
         next = channel_.read_frame();
-      } catch (const wire::WireError&) {
-        next = std::nullopt;
+      } catch (const wire::WireError& e) {
+        // The byte stream is desynced from here on. Finish and answer the
+        // already-admitted batch (the write side is intact), then rethrow so
+        // run() exits 2 immediately — same die-loudly contract as a
+        // malformed frame between dispatches.
+        protocol_error = e;
+        break;
       }
       if (!next.has_value()) break;
       if (next->type != MsgType::kSubmit) {
@@ -168,11 +175,10 @@ class Worker {
         body.ok = false;
         body.error = std::string(serve::to_string(p.future.state())) + ": " + p.future.error();
       }
-      wire::ByteWriter w;
-      wire::encode(body, w);
-      send(MsgType::kResult, p.seq, w.take());
+      send_result(p.seq, body);
     }
 
+    if (protocol_error.has_value()) throw *protocol_error;
     if (deferred.has_value()) return handle(*deferred);
     return true;
   }
@@ -191,10 +197,29 @@ class Worker {
       wire::ResultBody body;
       body.ok = false;
       body.error = std::string("submit rejected: ") + e.what();
-      wire::ByteWriter w;
-      wire::encode(body, w);
-      send(MsgType::kResult, frame.seq, w.take());
+      send_result(frame.seq, body);
     }
+  }
+
+  /// Encode and send one result, degrading to an error body if the encoded
+  /// frame would blow the channel's cap — an oversized result written anyway
+  /// would be rejected at the router's header gate, read as a worker death,
+  /// and recomputed identically until the respawn budget burned out.
+  void send_result(std::uint64_t seq, const wire::ResultBody& body) {
+    wire::ByteWriter w;
+    wire::encode(body, w);
+    wire::Bytes bytes = w.take();
+    if (wire::frame_bytes_for_body(bytes.size()) > options_.max_frame_bytes) {
+      wire::ResultBody too_big;
+      too_big.ok = false;
+      too_big.error = "result frame exceeds max_frame_bytes (" +
+                      std::to_string(wire::frame_bytes_for_body(bytes.size())) + " > " +
+                      std::to_string(options_.max_frame_bytes) + ")";
+      wire::ByteWriter wr;
+      wire::encode(too_big, wr);
+      bytes = wr.take();
+    }
+    send(MsgType::kResult, seq, std::move(bytes));
   }
 
   /// One context per distinct parameter set, addresses stable for the

@@ -9,9 +9,10 @@
 // from read_frame, false from write_frame), while malformed bytes — which
 // mean a protocol bug or a hostile peer — throw WireError.
 //
-// Thread contract: at most one reader thread and any number of writers
-// serialized by the caller (the shard router holds the worker mutex across
-// write_frame). A concurrent read and write on the same socket are safe.
+// Thread contract: at most one reader thread and at most one writer thread
+// at a time (the shard router funnels every write through a per-worker
+// writer thread so no lock is ever held across a blocking write). A
+// concurrent read and write on the same socket are safe.
 #pragma once
 
 #include <optional>

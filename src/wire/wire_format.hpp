@@ -103,10 +103,29 @@ tensor::Tensor4 decode_tensor4(ByteReader& r);
 void encode(const std::string& s, ByteWriter& w);
 std::string decode_string(ByteReader& r);
 
-/// Per-dimension and total-element caps for tensors on the wire.
+/// Per-dimension and total-element caps for tensors on the wire. The element
+/// cap is sized so that the *largest legal body* — a kResult carrying two
+/// max-size tensors — still encodes under kMaxFrameBytes: a tensor a decoder
+/// accepts is always a tensor the peer's header gate would have let through.
 inline constexpr std::uint64_t kMaxTensorDim = std::uint64_t{1} << 12;
-inline constexpr std::uint64_t kMaxTensorElems = std::uint64_t{1} << 24;
+inline constexpr std::uint64_t kMaxTensorElems = std::uint64_t{1} << 21;
 inline constexpr std::uint64_t kMaxStringBytes = std::uint64_t{1} << 20;
+
+/// Encoded size of one tensor: three (Tensor3) or four (Tensor4) u64 dims
+/// plus 8 bytes per element.
+inline constexpr std::uint64_t kTensorWireOverhead = 4 * 8;
+
+/// Total wire bytes (header + payload prefix + body) for a body of the given
+/// size — what a sender must compare against its channel's frame cap before
+/// writing, so an over-size request fails at submission instead of killing
+/// the channel at the peer's header gate.
+inline constexpr std::uint64_t frame_bytes_for_body(std::uint64_t body_bytes) {
+  return kFrameHeaderBytes + kPayloadPrefixBytes + body_bytes;
+}
+
+static_assert(frame_bytes_for_body(1 + 2 * (kTensorWireOverhead + 8 * kMaxTensorElems) + 3 * 8) <=
+                  kMaxFrameBytes,
+              "a kResult with two max-size tensors must fit in one frame");
 
 /// Value-form plan spec: the wire image of serve::PlanSpec. Carries the BFV
 /// parameters themselves (not a context pointer) — each shard builds and

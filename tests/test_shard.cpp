@@ -13,6 +13,10 @@
 #include <chrono>
 #include <thread>
 
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "serve/serve_clock.hpp"
 #include "shard/shard_router.hpp"
 #include "tensor/conv.hpp"
@@ -174,6 +178,171 @@ TEST(ShardRouter, CancelBeforeResponseWinsExactlyOnce) {
   // The worker may still have computed the cancelled request; its late
   // response must have been dropped, not double-finished.
   EXPECT_EQ(m.completed.value() + m.cancelled.value(), 1u);
+}
+
+// --- write-path liveness and frame-size admission --------------------------
+
+TEST(ShardRouter, LargeFrameBurstWithTinySocketBuffersDoesNotDeadlock) {
+  // Regression: submit() used to hold the worker mutex across a blocking
+  // socket write. With frames larger than the socket buffers and the worker
+  // mid-batch writing results, a submit could block mid-frame holding the
+  // mutex the reader needs to drain those results — router write, worker
+  // write, and reader all waiting on each other. Tiny buffers plus
+  // larger-than-buffer frames (2x32x32 inputs ~16 KiB, results ~2x that)
+  // reproduce that regime; the writer-thread design must complete anyway.
+  const auto layer = testing::make_conv_case(
+      {.seed = 0x5a4de, .c = 2, .m = 2, .h = 32, .w = 32, .k = 3, .stride = 1, .pad = 0});
+  RouterOptions opts;
+  opts.shards = 1;
+  opts.certify = serve::CertifyPolicy::kOff;
+  opts.worker_max_batch = 4;
+  opts.worker_dwell_ns = 20'000'000;  // keep the worker busy while submits pile up
+  opts.socket_buffer_bytes = 4096;
+  ShardRouter router(opts);
+  const ShardPlanId plan = router.register_plan(plan_from_case(layer));
+
+  std::vector<ShardFuture> futs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    futs.push_back(router.submit(plan, layer.x, {.stream = i}));
+  }
+  for (auto& f : futs) {
+    ASSERT_TRUE(f.wait_for(std::chrono::seconds(120))) << "write-path deadlock";
+    EXPECT_EQ(f.state(), ShardRequestState::kDone) << f.error();
+  }
+  router.drain();
+  EXPECT_EQ(router.metrics().completed.value(), futs.size());
+  EXPECT_EQ(router.metrics().terminal(), router.metrics().submitted.value());
+}
+
+TEST(ShardRouter, OversizedRequestIsRejectedAtSubmitNotSentToTheWorker) {
+  // An 8x32x32 input encodes past a 64 KiB frame cap. Written anyway it
+  // would die at the worker's header gate, be read as a worker death, and
+  // burn the whole respawn budget resending the same frame; the router must
+  // instead reject just this request at admission.
+  const auto layer = testing::make_conv_case(
+      {.seed = 0x5a4df, .c = 8, .m = 2, .h = 32, .w = 32, .k = 3, .stride = 1, .pad = 0});
+  RouterOptions opts;
+  opts.shards = 1;
+  opts.certify = serve::CertifyPolicy::kOff;
+  opts.max_frame_bytes = std::uint64_t{1} << 16;
+  ShardRouter router(opts);
+  const ShardPlanId plan = router.register_plan(plan_from_case(layer));
+
+  ShardFuture fut = router.submit(plan, layer.x, {.stream = 0});
+  EXPECT_EQ(fut.state(), ShardRequestState::kRejected);
+  EXPECT_NE(fut.error().find("max_frame_bytes"), std::string::npos) << fut.error();
+  router.drain();
+  const RouterMetrics& m = router.metrics();
+  EXPECT_EQ(m.rejected.value(), 1u);
+  EXPECT_EQ(m.terminal(), m.submitted.value());
+  EXPECT_EQ(m.respawns.value(), 0u);  // the shard never saw the frame, let alone died
+
+  // The same shard still serves plans whose frames fit.
+  const auto small = small_case(0x5a4e0);
+  const ShardPlanId small_plan = router.register_plan(plan_from_case(small));
+  ShardFuture ok = router.submit(small_plan, small.x, {.stream = 1});
+  ok.wait();
+  EXPECT_EQ(ok.state(), ShardRequestState::kDone) << ok.error();
+}
+
+TEST(ShardRouter, OversizedResultDegradesToAPerRequestFailure) {
+  // The request fits the 64 KiB cap but its result (two 8x32x32 shares)
+  // does not: the worker must answer that seq with an in-band error — never
+  // write a frame the router's header gate would read as a worker death.
+  const auto layer = testing::make_conv_case(
+      {.seed = 0x5a4e1, .c = 4, .m = 8, .h = 32, .w = 32, .k = 1, .stride = 1, .pad = 0});
+  RouterOptions opts;
+  opts.shards = 1;
+  opts.certify = serve::CertifyPolicy::kOff;
+  opts.max_frame_bytes = std::uint64_t{1} << 16;
+  ShardRouter router(opts);
+  const ShardPlanId plan = router.register_plan(plan_from_case(layer));
+
+  ShardFuture fut = router.submit(plan, layer.x, {.stream = 0});
+  fut.wait();
+  EXPECT_EQ(fut.state(), ShardRequestState::kFailed);
+  EXPECT_NE(fut.error().find("max_frame_bytes"), std::string::npos) << fut.error();
+  router.drain();
+  const RouterMetrics& m = router.metrics();
+  EXPECT_EQ(m.failed.value(), 1u);
+  EXPECT_EQ(m.terminal(), m.submitted.value());
+  EXPECT_EQ(m.respawns.value(), 0u);  // the worker stayed up throughout
+}
+
+TEST(ShardWorker, DesyncedStreamMidCoalescingAnswersBatchThenDiesLoudly) {
+  // Garbage right behind a valid submit lands in the coalescing window. The
+  // worker must still answer the already-admitted request (its write side is
+  // intact) and then exit 2 immediately — matching run()'s contract for a
+  // malformed frame between dispatches, not linger until the next read.
+  const auto layer = small_case(0x5a4e2);
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(sv[0]);
+    WorkerOptions wopts;
+    wopts.certify = serve::CertifyPolicy::kOff;
+    ::_exit(run_worker(sv[1], 0, wopts));
+  }
+  ::close(sv[1]);
+  wire::FrameChannel ch(sv[0]);
+
+  wire::ByteWriter spec_w;
+  wire::encode(plan_from_case(layer), spec_w);
+  wire::Frame reg;
+  reg.type = wire::MsgType::kRegisterPlan;
+  reg.seq = 1;
+  reg.body = spec_w.take();
+  ASSERT_TRUE(ch.write_frame(reg));
+  const std::optional<wire::Frame> reg_reply = ch.read_frame();
+  ASSERT_TRUE(reg_reply.has_value());
+  wire::ByteReader ack_r(reg_reply->body);
+  const wire::RegisterPlanAck ack = wire::decode_register_plan_ack(ack_r);
+  ASSERT_NE(ack.verdict, wire::PlanVerdict::kRejected) << ack.detail;
+
+  // One send() carrying a valid submit plus trailing garbage: by the time
+  // the worker finishes parsing the submit, the garbage is already readable,
+  // so the coalescing loop deterministically hits the desynced bytes.
+  wire::ByteWriter sub_w;
+  wire::SubmitBody sub;
+  sub.plan_id = ack.plan_id;
+  sub.stream = 0;
+  sub.x = layer.x;
+  wire::encode(sub, sub_w);
+  wire::Frame submit;
+  submit.type = wire::MsgType::kSubmit;
+  submit.seq = 2;
+  submit.body = sub_w.take();
+  wire::Bytes burst = wire::encode_frame(submit);
+  burst.insert(burst.end(), 64, std::uint8_t{0xee});  // no FLASHWIR magic
+  for (std::size_t off = 0; off < burst.size();) {
+    const ssize_t n = ::send(sv[0], burst.data() + off, burst.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+
+  const std::optional<wire::Frame> result = ch.read_frame();
+  ASSERT_TRUE(result.has_value()) << "admitted request was never answered";
+  EXPECT_EQ(result->type, wire::MsgType::kResult);
+  EXPECT_EQ(result->seq, 2u);
+  wire::ByteReader res_r(result->body);
+  EXPECT_TRUE(wire::decode_result(res_r).ok);
+
+  EXPECT_FALSE(ch.read_frame().has_value());  // EOF: the worker died right after
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2) << "protocol bug must exit loudly, not cleanly";
+}
+
+TEST(ShardRouter, UnknownPlanThrowsWithoutBreakingConservation) {
+  ShardRouter router({.shards = 1});
+  EXPECT_THROW(router.submit(0, tensor::Tensor3(1, 1, 1), {}), std::invalid_argument);
+  // The throw must leave no metrics trace: nothing was admitted, so nothing
+  // ever reaches a terminal state for it.
+  EXPECT_EQ(router.metrics().submitted.value(), 0u);
+  EXPECT_EQ(router.metrics().terminal(), 0u);
 }
 
 // --- metrics ---------------------------------------------------------------
