@@ -4,6 +4,9 @@
 // multiplication per backend.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <random>
 #include <span>
 #include <string>
@@ -16,6 +19,7 @@
 #include "fft/negacyclic.hpp"
 #include "hemath/ntt.hpp"
 #include "hemath/pointwise.hpp"
+#include "hemath/pow2.hpp"
 #include "hemath/primes.hpp"
 #include "hemath/shoup_ntt.hpp"
 #include "hemath/simd.hpp"
@@ -239,6 +243,57 @@ void BM_PointwiseMulmodScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_PointwiseMulmodScalar)->Arg(2048)->Arg(4096);
 
+// Z_{2^k} pointwise mulmod at the same 49-bit width as the Barrett benches
+// above — the headline micro claim of the pow2 backend is that one u64
+// multiply plus one AND beats the Barrett multiply-high chain at equal width
+// (the --backend pow2 self-gate in main() enforces it).
+void BM_PointwiseMulmodPow2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const hemath::Pow2Ring ring(49);
+  hemath::Sampler sampler(7);
+  std::vector<hemath::u64> a = sampler.uniform_poly(hemath::u64{1} << 49, n).coeffs();
+  std::vector<hemath::u64> b = sampler.uniform_poly(hemath::u64{1} << 49, n).coeffs();
+  std::vector<hemath::u64> c(n);
+  for (auto _ : state) {
+    hemath::pointwise_mulmod_pow2(a.data(), b.data(), c.data(), n, ring);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_PointwiseMulmodPow2)->Arg(2048)->Arg(4096);
+
+void BM_PointwiseMulmodPow2Scalar(benchmark::State& state) {
+  hemath::simd::ScopedSimdLevel scalar(hemath::simd::SimdLevel::kScalar);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const hemath::Pow2Ring ring(49);
+  hemath::Sampler sampler(7);
+  std::vector<hemath::u64> a = sampler.uniform_poly(hemath::u64{1} << 49, n).coeffs();
+  std::vector<hemath::u64> b = sampler.uniform_poly(hemath::u64{1} << 49, n).coeffs();
+  std::vector<hemath::u64> c(n);
+  for (auto _ : state) {
+    hemath::pointwise_mulmod_pow2(a.data(), b.data(), c.data(), n, ring);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_PointwiseMulmodPow2Scalar)->Arg(2048)->Arg(4096);
+
+// Full negacyclic Karatsuba product — the kPow2 engine's multiply cost (the
+// backend has no spectral fast path; ARCHITECTURE.md section 14).
+void BM_NegacyclicPow2(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const hemath::Pow2Ring ring(49);
+  hemath::Sampler sampler(8);
+  std::vector<hemath::u64> a = sampler.uniform_poly(hemath::u64{1} << 49, n).coeffs();
+  std::vector<hemath::u64> b = sampler.uniform_poly(hemath::u64{1} << 49, n).coeffs();
+  std::vector<hemath::u64> c(n);
+  core::ScratchArena& arena = core::thread_scratch();
+  hemath::negacyclic_mul_pow2_into(a.data(), b.data(), c.data(), n, ring, &arena);  // warm
+  for (auto _ : state) {
+    hemath::negacyclic_mul_pow2_into(a.data(), b.data(), c.data(), n, ring, &arena);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_NegacyclicPow2)->Arg(2048)->Arg(4096);
+
 void BM_SparseExecute(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0)) / 2;
   std::vector<std::size_t> pos;
@@ -293,23 +348,77 @@ BENCHMARK(BM_MultiplyPlain)
     ->Arg(static_cast<int>(bfv::PolyMulBackend::kFft))
     ->Arg(static_cast<int>(bfv::PolyMulBackend::kApproxFft));
 
+// Self-gate for --backend pow2: at equal 49-bit width, the mask-reduce
+// pointwise mulmod must beat the Barrett chain (one u64 mul + AND vs the
+// multiply-high reduction). Exits non-zero on violation so the CI perf job
+// fails even when the benchdiff ratios would tolerate the drift. Best-of-N
+// wall-clock on the dispatched kernels; generous reps drown scheduler noise.
+bool pow2_beats_barrett_at_equal_width() {
+  using clock = std::chrono::steady_clock;
+  const std::size_t n = 4096;
+  const hemath::u64 q = hemath::find_ntt_prime(49, n);
+  const hemath::Pow2Ring ring(49);
+  hemath::Sampler sampler(7);
+  std::vector<hemath::u64> a = sampler.uniform_poly(q, n).coeffs();
+  std::vector<hemath::u64> b = sampler.uniform_poly(q, n).coeffs();
+  std::vector<hemath::u64> c(n);
+  const int reps = 2000;
+  auto best_of = [&](auto&& body) {
+    double best = 1e300;
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto t0 = clock::now();
+      for (int r = 0; r < reps; ++r) body();
+      const auto t1 = clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+  const double barrett = best_of([&] {
+    hemath::pointwise_mulmod(a.data(), b.data(), c.data(), n, q);
+    benchmark::DoNotOptimize(c.data());
+  });
+  const double pow2 = best_of([&] {
+    hemath::pointwise_mulmod_pow2(a.data(), b.data(), c.data(), n, ring);
+    benchmark::DoNotOptimize(c.data());
+  });
+  std::fprintf(stderr, "pow2-vs-barrett self-gate (n=%zu, 49-bit): barrett %.3f ms, pow2 %.3f ms\n",
+               n, barrett * 1e3, pow2 * 1e3);
+  return pow2 < barrett;
+}
+
 }  // namespace
 
 // --batch restricts the run to the batched-transform benchmarks — the record
 // set the committed BENCH_batch_pr7.json baseline gates in CI. Sugar for
 // --benchmark_filter=Batch that survives baseline re-records verbatim.
+// --backend pow2 likewise restricts to the Z_{2^k} benchmarks (the
+// BENCH_pow2_pr10.json record set) and additionally runs the
+// pow2-beats-Barrett self-gate before the measured run.
 int main(int argc, char** argv) {
   static char filter_arg[] = "--benchmark_filter=Batch";
+  static char pow2_filter_arg[] = "--benchmark_filter=Pow2";
   std::vector<char*> args;
   bool batch_only = false;
+  bool pow2_only = false;
   for (int i = 0; i < argc; ++i) {
     if (std::string(argv[i]) == "--batch") {
       batch_only = true;
+    } else if (std::string(argv[i]) == "--backend" && i + 1 < argc &&
+               std::string(argv[i + 1]) == "pow2") {
+      pow2_only = true;
+      ++i;
     } else {
       args.push_back(argv[i]);
     }
   }
   if (batch_only) args.push_back(filter_arg);
+  if (pow2_only) {
+    args.push_back(pow2_filter_arg);
+    if (!pow2_beats_barrett_at_equal_width()) {
+      std::fprintf(stderr, "FAIL: pow2 pointwise mulmod did not beat Barrett at equal width\n");
+      return 1;
+    }
+  }
   args.push_back(nullptr);
   int new_argc = static_cast<int>(args.size()) - 1;
   return flash::benchjson::run_benchmarks(new_argc, args.data());

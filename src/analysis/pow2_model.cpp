@@ -1,0 +1,53 @@
+#include "analysis/pow2_model.hpp"
+
+#include "hemath/modular.hpp"
+
+namespace flash::analysis {
+
+namespace {
+
+using flash::hemath::u128;
+
+/// Signed bits needed to hold any value in [-bound, bound]: the magnitude
+/// bits of `bound` plus the sign bit. bound = 0 needs 1 bit (the zero poly).
+int signed_bits_for(u128 bound) {
+  int bits = 0;
+  while (bound != 0) {
+    bound >>= 1;
+    ++bits;
+  }
+  return bits + 1;
+}
+
+}  // namespace
+
+Pow2WrapAnalysis analyze_pow2_polymul(const Pow2Obligation& ob, int k) {
+  Pow2WrapAnalysis out;
+  out.k = k;
+  // l1 bound on the negacyclic convolution. nnz and the magnitude bounds are
+  // all <= 2^64, so the triple product fits u128 only when we cap the
+  // factors; anything past 2^127 is unprovable at k <= 64 anyway, so clamp.
+  const u128 nnz = ob.weight_nnz;
+  const u128 w = ob.max_w;
+  const u128 x = ob.max_x;
+  u128 bound = 0;
+  bool overflow = false;
+  if (nnz != 0 && w != 0 && x != 0) {
+    const u128 wx = w * x;
+    if (w != 0 && wx / w != x) overflow = true;
+    bound = wx * nnz;
+    if (!overflow && nnz != 0 && bound / nnz != wx) overflow = true;
+  }
+  out.required_bits = overflow ? 129 : signed_bits_for(bound);
+  out.wrap_free = !overflow && out.required_bits <= k;
+  out.headroom_bits = k - out.required_bits;
+  return out;
+}
+
+int min_wrap_free_k(const Pow2Obligation& ob) {
+  const Pow2WrapAnalysis at_max = analyze_pow2_polymul(ob, 62);
+  if (!at_max.wrap_free) return 0;
+  return at_max.required_bits < 2 ? 2 : at_max.required_bits;
+}
+
+}  // namespace flash::analysis

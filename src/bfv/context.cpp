@@ -7,10 +7,11 @@
 namespace flash::bfv {
 
 BfvContext::BfvContext(BfvParams params)
-    : params_(params),
-      ntt_(fft::shared_ntt_tables(params.q, params.n)),
-      fft_(fft::shared_negacyclic_fft(params.n)) {
+    : params_(params), fft_(fft::shared_negacyclic_fft(params.n)) {
   params_.validate();
+  // NttTables require a prime q = 1 mod 2N; a power-of-two q (kPow2 backend)
+  // has no NTT, so the tables stay null and ntt() throws if reached.
+  if (!params_.q_is_pow2()) ntt_ = fft::shared_ntt_tables(params_.q, params_.n);
 }
 
 Plaintext BfvContext::encode_signed(const std::vector<i64>& values) const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 
 #include "bfv/params.hpp"
 #include "fft/negacyclic.hpp"
@@ -40,7 +41,13 @@ class BfvContext {
   explicit BfvContext(BfvParams params);
 
   const BfvParams& params() const { return params_; }
-  const hemath::NttTables& ntt() const { return *ntt_; }
+  /// NTT tables for prime q. A power-of-two q has no NTT (Z_{2^k} lacks the
+  /// roots of unity); those contexts serve the kPow2 engine path only, and
+  /// reaching for the tables is a programming error.
+  const hemath::NttTables& ntt() const {
+    if (!ntt_) throw std::logic_error("BfvContext::ntt: no NTT tables exist for power-of-two q");
+    return *ntt_;
+  }
   const fft::NegacyclicFft& fft() const { return *fft_; }
 
   Plaintext make_plaintext() const { return {Poly(params_.t, params_.n)}; }

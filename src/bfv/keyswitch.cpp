@@ -59,6 +59,7 @@ void apply_key_switch(const BfvContext& ctx, const KeySwitchKey& key, const Poly
   for (std::size_t i = 0; i < key.digits(); ++i) {
     bool any = false;
     for (std::size_t j = 0; j < p.n; ++j) {
+      // flash-lint: allow(raw-mod): digit decomposition slices base-2^w digits off an already-reduced residue, not a ring reduction
       digit[j] = rest[j] & mask;
       rest[j] >>= key.digit_bits;
       any = any || digit[j] != 0;

@@ -19,12 +19,17 @@ using hemath::u64;
 struct BfvParams {
   std::size_t n = 4096;       // ring degree, power of two
   u64 t = u64{1} << 20;       // plaintext modulus (power of two is fine for BFV)
-  u64 q = 0;                  // ciphertext modulus: NTT prime, q = 1 mod 2N
+  u64 q = 0;                  // ciphertext modulus: NTT prime q = 1 mod 2N,
+                              // or 2^k for the mask-reduce kPow2 backend
   double error_sigma = 3.2;   // RLWE error standard deviation
 
   u64 delta() const { return q / t; }
   /// log2 of the decryption noise ceiling q/(2t).
   double noise_ceiling_bits() const;
+
+  /// True for a power-of-two ciphertext modulus (the Z_{2^k} ring of the
+  /// kPow2 backend): reduction is a mask and no NTT exists mod q.
+  bool q_is_pow2() const { return q != 0 && (q & (q - 1)) == 0; }
 
   void validate() const;
 
@@ -35,6 +40,11 @@ struct BfvParams {
   /// Batching-capable parameter set: t is a *prime* = 1 mod 2N so the
   /// plaintext ring splits into N SIMD slots (GAZELLE-style protocols).
   static BfvParams create_batching(std::size_t n, int log_t, int log_q);
+
+  /// Jaguar-style power-of-two set: q = 2^k, t = 2^log_t. k <= 62 keeps q
+  /// inside the add_mod headroom (q < 2^63); the ct x pt path runs on the
+  /// kPow2 mask-reduce backend (there is no NTT mod 2^k).
+  static BfvParams create_pow2(std::size_t n, int log_t, int k);
 };
 
 /// Estimated classical security of an RLWE instance with ternary secret,

@@ -1,5 +1,6 @@
 #include "bfv/polymul_engine.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -22,6 +23,12 @@ PolyMulEngine::PolyMulEngine(const BfvContext& ctx, PolyMulBackend backend,
   if (backend_ == PolyMulBackend::kApproxFft) {
     if (!approx_config) throw std::invalid_argument("PolyMulEngine: kApproxFft requires a config");
     approx_ = fft::shared_fxp_transform(ctx_.params().n, *approx_config);
+  }
+  if (backend_ == PolyMulBackend::kPow2) {
+    if (!ctx_.params().q_is_pow2()) {
+      throw std::invalid_argument("PolyMulEngine: kPow2 requires a power-of-two q (create_pow2)");
+    }
+    pow2_.emplace(std::countr_zero(ctx_.params().q));
   }
 }
 
@@ -58,6 +65,15 @@ PlainSpectrum PolyMulEngine::transform_plain(const Plaintext& pt) const {
       }
       out.fft.resize(p.n / 2);
       approx_->forward_into(vals, out.fft);
+      break;
+    }
+    case PolyMulBackend::kPow2: {
+      // Signed lift mod t into Z_{2^k}: negative weights wrap into the ring's
+      // upper half, exactly what u64 two's-complement masking produces.
+      out.pow2.resize(p.n);
+      for (std::size_t i = 0; i < p.n; ++i) {
+        out.pow2[i] = pow2_->from_signed(hemath::to_signed(pt.poly[i], p.t));
+      }
       break;
     }
   }
@@ -114,6 +130,11 @@ CipherSpectrum PolyMulEngine::transform_cipher_spectrum(const Poly& ct_poly) con
   spec.backend = backend_;
   if (backend_ == PolyMulBackend::kNtt) {
     spec.ntt = transform_cipher_ntt(ct_poly);
+  } else if (backend_ == PolyMulBackend::kPow2) {
+    // No spectral domain mod 2^k: the "transform" is the residues themselves
+    // (already < q = 2^k, so already mask-reduced).
+    spec.pow2 = ct_poly.coeffs();
+    bump(counters_.cipher_transforms);
   } else {
     spec.fft = transform_cipher(ct_poly);
   }
@@ -135,6 +156,21 @@ void PolyMulEngine::multiply_accumulate(const CipherSpectrum& ct_spec, const Pla
     hemath::pointwise_mulmod_accumulate(accum.ntt.data(), ct_spec.ntt.data(), w.ntt.data(), p.n,
                                         p.q);
     bump(counters_.pointwise_products, p.n);
+  } else if (backend_ == PolyMulBackend::kPow2) {
+    if (accum.empty) {
+      accum.backend = backend_;
+      accum.pow2.assign(p.n, 0);
+      accum.empty = false;
+    }
+    // Each accumulate is a full negacyclic product (there is no cheap
+    // spectral-domain point product mod 2^k); the sum stays in coefficient
+    // domain so finalize is still a single copy per output polynomial.
+    core::ScratchFrame frame(core::thread_scratch());
+    std::span<u64> prod = frame.alloc<u64>(p.n);
+    hemath::negacyclic_mul_pow2_into(ct_spec.pow2.data(), w.pow2.data(), prod.data(), p.n, *pow2_,
+                                     &frame.arena());
+    hemath::pointwise_add_pow2(accum.pow2.data(), prod.data(), p.n, *pow2_);
+    bump(counters_.pointwise_products, hemath::pow2_mult_count(p.n));
   } else {
     if (accum.empty) {
       accum.backend = backend_;
@@ -153,6 +189,11 @@ Poly PolyMulEngine::finalize(const SpectralAccumulator& accum) const {
   if (backend_ == PolyMulBackend::kNtt) {
     std::vector<u64> coeffs = accum.ntt;
     ctx_.ntt().inverse(coeffs);
+    bump(counters_.inverse_transforms);
+    return Poly(p.q, std::move(coeffs));
+  }
+  if (backend_ == PolyMulBackend::kPow2) {
+    std::vector<u64> coeffs = accum.pow2;
     bump(counters_.inverse_transforms);
     return Poly(p.q, std::move(coeffs));
   }
@@ -176,6 +217,15 @@ Poly PolyMulEngine::multiply(const Poly& ct_poly, const PlainSpectrum& w) const 
     case PolyMulBackend::kApproxFft: {
       const std::vector<fft::cplx> ct_spec = transform_cipher(ct_poly);
       return inverse_to_poly(pointwise(ct_spec, w));
+    }
+    case PolyMulBackend::kPow2: {
+      bump(counters_.cipher_transforms);
+      std::vector<u64> prod(p.n);
+      hemath::negacyclic_mul_pow2_into(ct_poly.coeffs().data(), w.pow2.data(), prod.data(), p.n,
+                                       *pow2_);
+      bump(counters_.pointwise_products, hemath::pow2_mult_count(p.n));
+      bump(counters_.inverse_transforms);
+      return Poly(p.q, std::move(prod));
     }
   }
   throw std::logic_error("PolyMulEngine::multiply: unreachable");

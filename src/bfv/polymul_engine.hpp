@@ -1,6 +1,6 @@
 // Ciphertext x plaintext polynomial multiplication backends.
 //
-// This is the component FLASH accelerates. Three interchangeable backends:
+// This is the component FLASH accelerates. Four interchangeable backends:
 //
 //   kNtt        — exact modular arithmetic (what CPU libraries like SEAL and
 //                 NTT accelerators like F1/CHAM compute); Fig. 4(a).
@@ -9,6 +9,13 @@
 //   kApproxFft  — the FLASH datapath: the *plaintext* (weight) transform runs
 //                 on approximate fixed-point BUs with quantized twiddles,
 //                 while ciphertext transforms / pointwise ops stay in FP.
+//   kPow2       — Jaguar-style Z_{2^k} ring (q = 2^k): modular reduction is
+//                 a bit-mask instead of a Barrett/Montgomery mulhi chain.
+//                 No NTT exists mod 2^k, so there is no spectral domain at
+//                 all — "transforms" are signed lifts/copies and the product
+//                 runs as exact Karatsuba over wrapping u64
+//                 (hemath/pow2.hpp), proven bit-correct against schoolbook
+//                 by the differential tier (ARCHITECTURE.md §14).
 //
 // Plaintext spectra are precomputed once (transform_plain) and reused across
 // every ciphertext they multiply, mirroring how FLASH amortizes weight
@@ -22,16 +29,19 @@
 
 #include "bfv/context.hpp"
 #include "fft/fxp_fft.hpp"
+#include "hemath/pow2.hpp"
 
 namespace flash::bfv {
 
-enum class PolyMulBackend { kNtt, kFft, kApproxFft };
+enum class PolyMulBackend { kNtt, kFft, kApproxFft, kPow2 };
 
 /// Spectral form of a plaintext polynomial under a specific backend.
 struct PlainSpectrum {
   PolyMulBackend backend = PolyMulBackend::kNtt;
   std::vector<u64> ntt;        // kNtt: NTT of the signed lift to Z_q
   std::vector<fft::cplx> fft;  // kFft/kApproxFft: negacyclic half-spectrum
+  std::vector<u64> pow2;       // kPow2: signed lift to Z_{2^k} (coefficient
+                               // domain — no spectral domain exists mod 2^k)
 };
 
 /// Spectral form of one ciphertext polynomial (computed once per ciphertext
@@ -41,14 +51,18 @@ struct CipherSpectrum {
   PolyMulBackend backend = PolyMulBackend::kNtt;
   std::vector<u64> ntt;
   std::vector<fft::cplx> fft;
+  std::vector<u64> pow2;
 };
 
 /// Spectral-domain accumulator: channel tiles and stride phases sum here
 /// before the single inverse transform per output polynomial (Fig. 4(b)).
+/// kPow2 accumulates coefficient-domain residues (each product is a full
+/// negacyclic multiply; the "inverse transform" in finalize is a copy).
 struct SpectralAccumulator {
   PolyMulBackend backend = PolyMulBackend::kNtt;
   std::vector<u64> ntt;
   std::vector<fft::cplx> fft;
+  std::vector<u64> pow2;
   bool empty = true;
 };
 
@@ -128,6 +142,7 @@ class PolyMulEngine {
   const BfvContext& ctx_;
   PolyMulBackend backend_;
   std::shared_ptr<const fft::FxpNegacyclicTransform> approx_;  // process-wide cache
+  std::optional<hemath::Pow2Ring> pow2_;                       // kPow2: k from params.q
   mutable AtomicCounters counters_;
 };
 

@@ -1,0 +1,200 @@
+#include "dse/backend_axis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "accel/unit_costs.hpp"
+#include "hemath/pow2.hpp"
+
+namespace flash::dse {
+
+bool dominates(const EvaluatedBackendPoint& a, const EvaluatedBackendPoint& b) {
+  const bool no_worse =
+      a.error_variance <= b.error_variance && a.normalized_power <= b.normalized_power;
+  const bool better = a.error_variance < b.error_variance || a.normalized_power < b.normalized_power;
+  return no_worse && better;
+}
+
+std::vector<EvaluatedBackendPoint> pareto_front(std::vector<EvaluatedBackendPoint> points) {
+  std::vector<EvaluatedBackendPoint> front;
+  for (const auto& p : points) {
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const EvaluatedBackendPoint& a, const EvaluatedBackendPoint& b) {
+              return a.normalized_power < b.normalized_power;
+            });
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const EvaluatedBackendPoint& a, const EvaluatedBackendPoint& b) {
+                            return a.normalized_power == b.normalized_power &&
+                                   a.error_variance == b.error_variance;
+                          }),
+              front.end());
+  return front;
+}
+
+double pow2_energy_per_product_pj(std::size_t n, int k) {
+  const double e_mul = accel::plain_fxp_mult(k).energy_pj(1e9) * 0.25;
+  return static_cast<double>(hemath::pow2_mult_count(n)) * e_mul;
+}
+
+double pow2_normalized_power(const CostModel& cost, std::size_t n, int k) {
+  return pow2_energy_per_product_pj(n, k) / cost.fp_reference_pj();
+}
+
+BackendSpace::BackendSpace(DesignSpace fxp_space, int min_pow2_k, int max_pow2_k)
+    : fxp_(std::move(fxp_space)), min_k_(min_pow2_k), max_k_(max_pow2_k) {
+  if (min_k_ < 2 || max_k_ > 62 || min_k_ > max_k_) {
+    throw std::invalid_argument("BackendSpace: pow2 k range must satisfy 2 <= min <= max <= 62");
+  }
+}
+
+BackendPoint BackendSpace::random(std::mt19937_64& rng) const {
+  BackendPoint p;
+  p.backend = (rng() & 1) ? bfv::PolyMulBackend::kPow2 : bfv::PolyMulBackend::kApproxFft;
+  p.fxp = fxp_.random(rng);
+  p.pow2_k = min_k_ + static_cast<int>(rng() % static_cast<std::uint64_t>(max_k_ - min_k_ + 1));
+  return p;
+}
+
+BackendPoint BackendSpace::mutate(const BackendPoint& p, std::mt19937_64& rng) const {
+  BackendPoint q = p;
+  // One draw in eight flips the arm — often enough that both arms stay
+  // populated, rare enough that local refinement dominates.
+  if (rng() % 8 == 0) {
+    q.backend = (q.backend == bfv::PolyMulBackend::kPow2) ? bfv::PolyMulBackend::kApproxFft
+                                                          : bfv::PolyMulBackend::kPow2;
+  }
+  if (q.backend == bfv::PolyMulBackend::kPow2) {
+    const int step = 1 + static_cast<int>(rng() % 3);
+    const int sign = (rng() & 1) ? 1 : -1;
+    q.pow2_k = std::clamp(q.pow2_k + sign * step, min_k_, max_k_);
+  } else {
+    q.fxp = fxp_.mutate(q.fxp, rng);
+  }
+  return q;
+}
+
+BackendPoint BackendSpace::crossover(const BackendPoint& a, const BackendPoint& b,
+                                     std::mt19937_64& rng) const {
+  BackendPoint c;
+  c.backend = (rng() & 1) ? a.backend : b.backend;
+  c.fxp = fxp_.crossover(a.fxp, b.fxp, rng);
+  c.pow2_k = (rng() & 1) ? a.pow2_k : b.pow2_k;
+  return c;
+}
+
+BackendPoint BackendSpace::full_precision() const {
+  BackendPoint p;
+  p.backend = bfv::PolyMulBackend::kApproxFft;
+  p.fxp = fxp_.full_precision();
+  p.pow2_k = max_k_;
+  return p;
+}
+
+BackendExplorer::BackendExplorer(BackendSpace space, ErrorModel error_model, CostModel cost_model,
+                                 analysis::Pow2Obligation pow2_obligation, std::uint64_t seed)
+    : space_(std::move(space)), error_model_(std::move(error_model)),
+      cost_model_(std::move(cost_model)), pow2_obligation_(pow2_obligation), rng_(seed) {
+  if (pow2_obligation_.n != space_.ring_degree()) {
+    throw std::invalid_argument(
+        "BackendExplorer: pow2 obligation ring degree must equal 2 * fft_size");
+  }
+}
+
+EvaluatedBackendPoint BackendExplorer::evaluate(const BackendPoint& p) const {
+  EvaluatedBackendPoint e;
+  e.point = p;
+  if (p.backend == bfv::PolyMulBackend::kPow2) {
+    e.error_variance = ErrorModel::predict_variance_pow2(pow2_obligation_, p.pow2_k);
+    e.normalized_power = pow2_normalized_power(cost_model_, space_.ring_degree(), p.pow2_k);
+  } else {
+    e.error_variance = error_model_.predict_variance(space_.fxp(), p.fxp);
+    e.normalized_power = cost_model_.normalized_power(p.fxp);
+  }
+  return e;
+}
+
+std::vector<EvaluatedBackendPoint> BackendExplorer::explore(const BackendDseOptions& options) {
+  std::vector<EvaluatedBackendPoint> all;
+  all.reserve(options.evaluations);
+  std::vector<EvaluatedBackendPoint> archive;
+
+  auto admit = [&](const EvaluatedBackendPoint& e) {
+    all.push_back(e);
+    for (const auto& q : archive) {
+      if (dominates(q, e)) return;
+    }
+    archive.erase(std::remove_if(archive.begin(), archive.end(),
+                                 [&](const EvaluatedBackendPoint& q) { return dominates(e, q); }),
+                  archive.end());
+    archive.push_back(e);
+  };
+
+  // Proof-gated admission on both arms (see DseExplorer::explore): approx
+  // candidates go through the interval analyzer / pipeline certifier, pow2
+  // candidates through the wrap-freedom proof. Unprovable draws resample.
+  SafetyCache safety(space_.fxp(), error_model_, options.pipeline, pow2_obligation_);
+  auto proven = [&](const BackendPoint& p) {
+    return p.backend == bfv::PolyMulBackend::kPow2 ? safety.proven_wrap_free(p.pow2_k)
+                                                   : safety.proven_safe(p.fxp);
+  };
+  const BackendPoint anchor = space_.full_precision();
+  if (!proven(anchor)) {
+    throw std::runtime_error(
+        "BackendExplorer::explore: even the full-precision corner cannot be proven "
+        "overflow-free for this input bound");
+  }
+  constexpr int kMaxDraws = 64;
+
+  admit(evaluate(anchor));
+  for (std::size_t i = 0; i < options.population && all.size() < options.evaluations; ++i) {
+    BackendPoint p = anchor;
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+      BackendPoint q = space_.random(rng_);
+      if (proven(q)) {
+        p = std::move(q);
+        break;
+      }
+    }
+    admit(evaluate(p));
+  }
+
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  while (all.size() < options.evaluations) {
+    BackendPoint candidate = anchor;
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+      const auto& a = archive[rng_() % archive.size()].point;
+      BackendPoint q;
+      if (archive.size() > 1 && unit(rng_) < options.crossover_rate) {
+        const auto& b = archive[rng_() % archive.size()].point;
+        q = space_.mutate(space_.crossover(a, b, rng_), rng_);
+      } else {
+        q = space_.mutate(a, rng_);
+      }
+      if (proven(q)) {
+        candidate = std::move(q);
+        break;
+      }
+    }
+    admit(evaluate(candidate));
+  }
+
+  if (options.error_threshold > 0.0) {
+    all.erase(std::remove_if(all.begin(), all.end(),
+                             [&](const EvaluatedBackendPoint& e) {
+                               return e.error_variance > options.error_threshold;
+                             }),
+              all.end());
+  }
+  return all;
+}
+
+}  // namespace flash::dse

@@ -1,0 +1,117 @@
+// Joint backend x bit-width design space (the PR-10 backend axis).
+//
+// The base DseExplorer searches the approximate-FFT space alone; this layer
+// adds the ct x pt *backend choice* as a first-class search coordinate, so
+// one exploration trades the kApproxFft arm (continuous error budget,
+// butterfly power quadratic-ish in stage widths) against the kPow2 arm
+// (exactly zero error when the wrap proof holds, power set by Karatsuba
+// multiply counts over k-bit mask-reduce multipliers). Both arms land on the
+// same two objectives — spectrum-error variance and power normalized to the
+// full-precision FP transform — so a single Pareto front shows where the
+// exact Z_{2^k} ring beats spending approximation error, per layer.
+//
+// Admission is proof-gated on both arms, mirroring DseExplorer: an approx
+// point enters the archive only if SafetyCache proves it saturation-free
+// (and, optionally, end-to-end decryption-correct); a pow2 point enters only
+// if its wrap-freedom obligation (analysis/pow2_model.hpp) holds at the
+// candidate width k. Unprovable draws are resampled, never silently scored.
+#pragma once
+
+#include "bfv/polymul_engine.hpp"
+#include "dse/optimizer.hpp"
+
+namespace flash::dse {
+
+/// One point of the joint space. `fxp` is live on the kApproxFft arm,
+/// `pow2_k` (ring width, q = 2^k) on the kPow2 arm; the inactive coordinate
+/// rides along untouched so mutation can flip backends without losing it.
+struct BackendPoint {
+  bfv::PolyMulBackend backend = bfv::PolyMulBackend::kApproxFft;
+  DesignPoint fxp;
+  int pow2_k = 32;
+
+  bool operator==(const BackendPoint&) const = default;
+};
+
+struct EvaluatedBackendPoint {
+  BackendPoint point;
+  double error_variance = 0.0;
+  double normalized_power = 0.0;
+};
+
+/// a dominates b on (error, power), as for EvaluatedPoint.
+bool dominates(const EvaluatedBackendPoint& a, const EvaluatedBackendPoint& b);
+
+/// Non-dominated subset sorted by power (mixed-backend front).
+std::vector<EvaluatedBackendPoint> pareto_front(std::vector<EvaluatedBackendPoint> points);
+
+/// Energy of one full ct x pt negacyclic product on the kPow2 arm (pJ at
+/// 1 GHz): Karatsuba multiply count (hemath::pow2_mult_count) times a k-bit
+/// mask-reduce multiplier. The multiplier is proxied as one quarter of the
+/// calibrated plain complex FXP multiplier at width k (four real array
+/// multiplies per complex multiply; mask reduction itself is free wiring).
+/// Deliberately conservative against the approx arm: this prices the whole
+/// product, while the FFT cost model prices only the weight transform.
+double pow2_energy_per_product_pj(std::size_t n, int k);
+
+/// pow2_energy_per_product_pj on the normalized_power axis of `cost`
+/// (divided by the same full-precision FP transform reference).
+double pow2_normalized_power(const CostModel& cost, std::size_t n, int k);
+
+/// The joint space: the fxp DesignSpace plus a pow2 width range. Ring degree
+/// n = 2 * fxp.fft_size() on both arms.
+class BackendSpace {
+ public:
+  BackendSpace(DesignSpace fxp_space, int min_pow2_k = 8, int max_pow2_k = 62);
+
+  const DesignSpace& fxp() const { return fxp_; }
+  std::size_t ring_degree() const { return 2 * fxp_.fft_size(); }
+  int min_pow2_k() const { return min_k_; }
+  int max_pow2_k() const { return max_k_; }
+
+  BackendPoint random(std::mt19937_64& rng) const;
+  /// Perturb the active arm's coordinates; occasionally flips the backend.
+  BackendPoint mutate(const BackendPoint& p, std::mt19937_64& rng) const;
+  /// Uniform crossover per coordinate; the child takes one parent's backend.
+  BackendPoint crossover(const BackendPoint& a, const BackendPoint& b,
+                         std::mt19937_64& rng) const;
+
+  /// Provably-safe anchor: the approx arm's full-precision corner.
+  BackendPoint full_precision() const;
+
+ private:
+  DesignSpace fxp_;
+  int min_k_;
+  int max_k_;
+};
+
+struct BackendDseOptions {
+  std::size_t evaluations = 1000;
+  std::size_t population = 32;
+  double crossover_rate = 0.4;
+  double error_threshold = 0.0;  // 0 disables (as DseOptions)
+  std::optional<PipelineObligation> pipeline;
+};
+
+class BackendExplorer {
+ public:
+  /// The Pow2Obligation fixes the workload the wrap proofs are discharged
+  /// against (same weight statistics the ErrorModel describes).
+  BackendExplorer(BackendSpace space, ErrorModel error_model, CostModel cost_model,
+                  analysis::Pow2Obligation pow2_obligation, std::uint64_t seed);
+
+  std::vector<EvaluatedBackendPoint> explore(const BackendDseOptions& options);
+
+  /// Score one point; assumes admission already proved it (a wrapping pow2
+  /// point scores +infinity error, so it can never shadow a proven one).
+  EvaluatedBackendPoint evaluate(const BackendPoint& p) const;
+
+ private:
+  BackendSpace space_;
+  ErrorModel error_model_;
+  CostModel cost_model_;
+  analysis::Pow2Obligation pow2_obligation_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace flash::dse

@@ -28,7 +28,12 @@ inline u64 sub_mod(u64 a, u64 b, u64 q) { return a >= b ? a - b : a + q - b; }
 inline u64 neg_mod(u64 a, u64 q) { return a == 0 ? 0 : q - a; }
 
 /// (a * b) mod q via a 128-bit intermediate. Works for any q < 2^64.
+/// Power-of-two moduli take the mask fast path: u64 multiplication wraps
+/// exactly mod 2^64 and 2^k | 2^64, so (a * b) & (q - 1) is the same
+/// residue the 128-bit remainder produces — without the soft division
+/// (bit-identity pinned by test_modular's MulModPow2FastPathBitIdentity).
 inline u64 mul_mod(u64 a, u64 b, u64 q) {
+  if ((q & (q - 1)) == 0) return (a * b) & (q - 1);
   return static_cast<u64>((static_cast<u128>(a) * b) % q);
 }
 

@@ -1,0 +1,214 @@
+#include "hemath/pow2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hemath/simd.hpp"
+#include "hemath/simd_batch.hpp"
+
+namespace flash::hemath {
+
+namespace {
+
+/// Below this degree the linear product runs as a vectorized schoolbook
+/// (one axpy row per nonzero multiplier coefficient); above it, Karatsuba
+/// splits. 32 balances the three-way recursion overhead against the O(n^2)
+/// base on the sizes the engine sees (256..4096).
+constexpr std::size_t kKaratsubaBase = 32;
+
+bool use_avx512(std::size_t n) {
+  return simd::level_at_least(simd::SimdLevel::kAvx512) && n >= 16;
+}
+
+bool use_avx2(std::size_t n) { return simd::level_at_least(simd::SimdLevel::kAvx2) && n >= 8; }
+
+/// out[0..2n-2] += a * b (linear convolution, wrapping mod 2^64). Skips
+/// zero rows of b — the sparse weight fast path.
+void schoolbook_linear_acc(const u64* a, const u64* b, u64* out, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    if (b[j] == 0) continue;
+    axpy_wrap(out + j, a, b[j], n);
+  }
+}
+
+/// out[0..2n-2] = a * b (linear, wrapping mod 2^64). Karatsuba: all three
+/// half-products are exact mod 2^64, so the recombination subtractions wrap
+/// exactly too — no carries are ever lost.
+void karatsuba_linear(const u64* a, const u64* b, u64* out, std::size_t n,
+                      core::ScratchArena& arena) {
+  if (n <= kKaratsubaBase || (n & 1) != 0) {
+    std::fill(out, out + 2 * n - 1, u64{0});
+    schoolbook_linear_acc(a, b, out, n);
+    return;
+  }
+  const std::size_t h = n / 2;
+  core::ScratchFrame frame(arena);
+  std::span<u64> z0 = frame.alloc<u64>(2 * h - 1);
+  std::span<u64> z2 = frame.alloc<u64>(2 * h - 1);
+  std::span<u64> z1 = frame.alloc<u64>(2 * h - 1);
+  std::span<u64> sa = frame.alloc<u64>(h);
+  std::span<u64> sb = frame.alloc<u64>(h);
+  for (std::size_t i = 0; i < h; ++i) {
+    sa[i] = a[i] + a[h + i];
+    sb[i] = b[i] + b[h + i];
+  }
+  karatsuba_linear(a, b, z0.data(), h, arena);
+  karatsuba_linear(a + h, b + h, z2.data(), h, arena);
+  karatsuba_linear(sa.data(), sb.data(), z1.data(), h, arena);
+  std::fill(out, out + 2 * n - 1, u64{0});
+  for (std::size_t i = 0; i < 2 * h - 1; ++i) {
+    out[i] += z0[i];
+    out[n + i] += z2[i];
+    out[h + i] += z1[i] - z0[i] - z2[i];
+  }
+}
+
+}  // namespace
+
+Pow2Ring::Pow2Ring(int k_in) : k(k_in) {
+  if (!valid_k(k_in)) throw std::invalid_argument("Pow2Ring: k must be in [1, 64]");
+  mask = k == 64 ? ~u64{0} : (u64{1} << k) - 1;
+}
+
+void pointwise_mulmod_pow2(const u64* a, const u64* b, u64* c, std::size_t n, Pow2Ring ring) {
+  if (use_avx512(n)) {
+    detail::pointwise_mul_mask_avx512(a, b, c, n, ring.mask);
+    return;
+  }
+  if (use_avx2(n)) {
+    detail::pointwise_mul_mask_avx2(a, b, c, n, ring.mask);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) c[i] = (a[i] * b[i]) & ring.mask;
+}
+
+void pointwise_mulmod_pow2_accumulate(u64* acc, const u64* a, const u64* b, std::size_t n,
+                                      Pow2Ring ring) {
+  if (use_avx512(n)) {
+    detail::pointwise_mul_mask_accumulate_avx512(acc, a, b, n, ring.mask);
+    return;
+  }
+  if (use_avx2(n)) {
+    detail::pointwise_mul_mask_accumulate_avx2(acc, a, b, n, ring.mask);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) acc[i] = (acc[i] + a[i] * b[i]) & ring.mask;
+}
+
+void pointwise_add_pow2(u64* acc, const u64* x, std::size_t n, Pow2Ring ring) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] = (acc[i] + x[i]) & ring.mask;
+}
+
+void axpy_wrap(u64* acc, const u64* x, u64 s, std::size_t n) {
+  if (use_avx512(n)) {
+    detail::axpy_wrap_avx512(acc, x, s, n);
+    return;
+  }
+  if (use_avx2(n)) {
+    detail::axpy_wrap_avx2(acc, x, s, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) acc[i] += s * x[i];
+}
+
+void axpy_wrap_sub(u64* acc, const u64* x, u64 s, std::size_t n) {
+  if (use_avx512(n)) {
+    detail::axpy_wrap_sub_avx512(acc, x, s, n);
+    return;
+  }
+  if (use_avx2(n)) {
+    detail::axpy_wrap_sub_avx2(acc, x, s, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) acc[i] -= s * x[i];
+}
+
+void negacyclic_mul_pow2_schoolbook(const u64* a, const u64* b, u64* out, std::size_t n,
+                                    Pow2Ring ring) {
+  std::fill(out, out + n, u64{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 p = a[i] * b[j];  // wraps mod 2^64 — exact mod 2^k
+      const std::size_t idx = i + j;
+      if (idx < n) {
+        out[idx] += p;
+      } else {
+        out[idx - n] -= p;  // X^n = -1
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] &= ring.mask;
+}
+
+void negacyclic_mul_pow2_into(const u64* a, const u64* b, u64* out, std::size_t n, Pow2Ring ring,
+                              core::ScratchArena* arena) {
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = ring.mul(a[0], b[0]);
+    return;
+  }
+  core::ScratchArena& ar = core::scratch_or_thread(arena);
+  core::ScratchFrame frame(ar);
+  std::span<u64> lin = frame.alloc<u64>(2 * n - 1);
+  karatsuba_linear(a, b, lin.data(), n, ar);
+  for (std::size_t i = 0; i + 1 < n; ++i) out[i] = (lin[i] - lin[i + n]) & ring.mask;
+  out[n - 1] = lin[n - 1] & ring.mask;
+}
+
+std::vector<u64> negacyclic_mul_pow2(const std::vector<u64>& a, const std::vector<u64>& b,
+                                     Pow2Ring ring) {
+  if (a.size() != b.size()) throw std::invalid_argument("negacyclic_mul_pow2: size mismatch");
+  std::vector<u64> out(a.size());
+  negacyclic_mul_pow2_into(a.data(), b.data(), out.data(), a.size(), ring);
+  return out;
+}
+
+void negacyclic_mul_pow2_batch_into(std::span<const u64* const> cts, const u64* w,
+                                    std::span<u64* const> outs, std::size_t n, Pow2Ring ring,
+                                    core::ScratchArena* arena) {
+  if (cts.size() != outs.size()) {
+    throw std::invalid_argument("negacyclic_mul_pow2_batch_into: lane count mismatch");
+  }
+  const std::size_t g = cts.size();
+  if (g == 0 || n == 0) return;
+  core::ScratchArena& ar = core::scratch_or_thread(arena);
+
+  std::size_t nnz = 0;
+  for (std::size_t j = 0; j < n; ++j) nnz += (w[j] != 0) ? 1 : 0;
+
+  // Dense weights: Karatsuba per lane beats the O(nnz * n) sweep.
+  if (static_cast<std::uint64_t>(nnz) * n >= pow2_mult_count(n) || g == 1) {
+    for (std::size_t l = 0; l < g; ++l) {
+      negacyclic_mul_pow2_into(cts[l], w, outs[l], n, ring, &ar);
+    }
+    return;
+  }
+
+  // Sparse weights: one SoA sweep over all lanes. The SoA layout
+  // (coefficient-major, buf[i*g + l]) makes each negacyclic shift-accumulate
+  // for a nonzero w[j] two *contiguous* wrapping axpy runs — no per-lane
+  // kernel width needed, so any lane count vectorizes at any level.
+  core::ScratchFrame frame(ar);
+  std::span<u64> ct_soa = frame.alloc<u64>(n * g);
+  std::span<u64> acc = frame.alloc<u64>(n * g);
+  simd_batch::pack_soa(cts.data(), g, n, g, ct_soa.data());
+  std::fill(acc.begin(), acc.end(), u64{0});
+  for (std::size_t j = 0; j < n; ++j) {
+    const u64 s = w[j];
+    if (s == 0) continue;
+    axpy_wrap(acc.data() + j * g, ct_soa.data(), s, (n - j) * g);
+    if (j != 0) axpy_wrap_sub(acc.data(), ct_soa.data() + (n - j) * g, s, j * g);
+  }
+  for (u64& v : acc) v &= ring.mask;
+  simd_batch::unpack_soa(acc.data(), n, g, outs.data(), g);
+}
+
+std::uint64_t pow2_mult_count(std::size_t n) {
+  if (n == 0) return 0;
+  if (n <= kKaratsubaBase || (n & 1) != 0) {
+    return static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+  }
+  return 3 * pow2_mult_count(n / 2);
+}
+
+}  // namespace flash::hemath

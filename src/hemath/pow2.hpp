@@ -1,0 +1,140 @@
+// Z_{2^k} mask-reduce arithmetic — the Jaguar-style power-of-two backend.
+//
+// Over q = 2^k modular reduction is a single AND with (2^k - 1): because
+// 2^k divides 2^64, unsigned 64-bit arithmetic wraps *exactly* mod 2^64, so
+// any chain of adds/subs/muls can run on raw u64 with natural wraparound and
+// a single mask applied at the very end — the result is bit-identical to
+// reducing after every operation. At k = 64 even the mask is the identity
+// (the wrap-is-free case). This is why the pointwise kernels here beat the
+// Barrett path at equal width: no mulhi chain, no quotient estimate, no
+// conditional subtract — just mullo and AND, both of which vectorize.
+//
+// There is no NTT mod 2^k (Z_{2^k} has no primitive 2N-th root of unity:
+// its unit group has order 2^(k-1), and x^2 = 1 has the four solutions
+// {1, -1, 2^(k-1)-1, 2^(k-1)+1}, so the evaluation points needed by a
+// radix-2 transform do not exist). Negacyclic polymul therefore runs as
+// Karatsuba over wrapping u64 (shipped fast path) with an independent
+// schoolbook reference, and the differential tier — not a transform
+// round-trip — carries the correctness argument (oracle arm, cross-level
+// SIMD corpus, injected mask-width/carry self-tests).
+//
+// Dispatch follows hemath/simd.hpp: scalar loops are the reference, the
+// AVX2/AVX-512 kernels in pow2_avx2.cpp / pow2_avx512.cpp are exact integer
+// lanes and thus bit-identical by construction at every level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/scratch.hpp"
+#include "hemath/modular.hpp"
+
+namespace flash::hemath {
+
+/// The ring Z_{2^k}, 1 <= k <= 64. Residues live in [0, 2^k) inside u64;
+/// every operation wraps on u64 and masks once at the end.
+struct Pow2Ring {
+  int k = 64;
+  u64 mask = ~u64{0};
+
+  explicit Pow2Ring(int k_in);
+
+  static bool valid_k(int k_in) { return k_in >= 1 && k_in <= 64; }
+
+  /// 2^k as u64. k = 64 wraps to 0 — callers that need the modulus as a
+  /// nonzero value (BfvParams.q, Poly) must restrict k <= 62; the arithmetic
+  /// here is exact for every k up to and including 64.
+  u64 modulus() const { return k == 64 ? 0 : u64{1} << k; }
+
+  u64 reduce(u64 x) const { return x & mask; }
+  u64 add(u64 a, u64 b) const { return (a + b) & mask; }
+  u64 sub(u64 a, u64 b) const { return (a - b) & mask; }
+  u64 neg(u64 a) const { return (0 - a) & mask; }
+  u64 mul(u64 a, u64 b) const { return (a * b) & mask; }
+
+  /// Two's-complement centered lift: the representative of a in
+  /// [-2^(k-1), 2^(k-1)). Sign-extends from bit k-1.
+  i64 to_signed(u64 a) const {
+    const int sh = 64 - k;
+    return static_cast<i64>(a << sh) >> sh;
+  }
+  /// Any signed value back into [0, 2^k); exact for the full i64 range
+  /// because 2^k | 2^64.
+  u64 from_signed(i64 a) const { return static_cast<u64>(a) & mask; }
+
+  bool operator==(const Pow2Ring&) const = default;
+};
+
+/// c[i] = a[i] * b[i] mod 2^k for i in [0, n). Inputs need not be reduced
+/// (wrap-then-mask is exact); outputs are canonical. c may alias a or b
+/// elementwise. Dispatches scalar / AVX2 / AVX-512.
+void pointwise_mulmod_pow2(const u64* a, const u64* b, u64* c, std::size_t n, Pow2Ring ring);
+
+/// acc[i] = (acc[i] + a[i] * b[i]) mod 2^k for i in [0, n).
+void pointwise_mulmod_pow2_accumulate(u64* acc, const u64* a, const u64* b, std::size_t n,
+                                      Pow2Ring ring);
+
+/// acc[i] = (acc[i] + x[i]) mod 2^k for i in [0, n). The spectral-domain
+/// "accumulator +=" of the engine's kPow2 path (bandwidth-bound; scalar).
+void pointwise_add_pow2(u64* acc, const u64* x, std::size_t n, Pow2Ring ring);
+
+/// Negacyclic product out = a * b in Z_{2^k}[X]/(X^n + 1), deliberately
+/// naive O(n^2) scalar schoolbook — the in-tree differential reference for
+/// the Karatsuba path (independent summation order, no SIMD, no scratch).
+/// out must not alias a or b.
+void negacyclic_mul_pow2_schoolbook(const u64* a, const u64* b, u64* out, std::size_t n,
+                                    Pow2Ring ring);
+
+/// Negacyclic product out = a * b in Z_{2^k}[X]/(X^n + 1): Karatsuba over
+/// wrapping u64 (exact mod 2^64, masked once at the fold), scratch from
+/// `arena` (nullptr = the calling thread's arena; zero steady-state
+/// allocations). out must not alias a or b. The vectorized base case uses
+/// the axpy kernels below.
+void negacyclic_mul_pow2_into(const u64* a, const u64* b, u64* out, std::size_t n, Pow2Ring ring,
+                              core::ScratchArena* arena = nullptr);
+
+/// Convenience allocating wrapper around negacyclic_mul_pow2_into.
+std::vector<u64> negacyclic_mul_pow2(const std::vector<u64>& a, const std::vector<u64>& b,
+                                     Pow2Ring ring);
+
+/// Batch driver: outs[l] = cts[l] * w for every lane l, SoA-packed through
+/// `arena` (simd_batch pack/unpack conventions). When w is sparse enough
+/// that nnz(w) * n undercuts the Karatsuba multiplication count, the lanes
+/// run as one SoA sparse schoolbook — per nonzero w[j] the negacyclic
+/// shift-accumulate is two contiguous axpy sweeps across all lanes at once —
+/// otherwise each lane takes the Karatsuba path. Either way outputs are
+/// bit-identical to a loop of negacyclic_mul_pow2_into calls.
+/// cts.size() must equal outs.size(); outs must not alias cts or w.
+void negacyclic_mul_pow2_batch_into(std::span<const u64* const> cts, const u64* w,
+                                    std::span<u64* const> outs, std::size_t n, Pow2Ring ring,
+                                    core::ScratchArena* arena = nullptr);
+
+/// u64 multiplications one dense negacyclic_mul_pow2_into(n) performs:
+/// M(n) = 3 M(n/2) down to the schoolbook base case. Deterministic in n —
+/// the engine's pointwise_products tally for the kPow2 backend (sparse
+/// skips make the actual issue count <= this).
+std::uint64_t pow2_mult_count(std::size_t n);
+
+/// acc[i] += s * x[i] (wrapping mod 2^64, no mask) for i in [0, n) — the
+/// vectorized row update of the schoolbook/Karatsuba base case and the SoA
+/// batch driver. Dispatches scalar / AVX2 / AVX-512.
+void axpy_wrap(u64* acc, const u64* x, u64 s, std::size_t n);
+/// acc[i] -= s * x[i] (wrapping): the negacyclic wraparound rows.
+void axpy_wrap_sub(u64* acc, const u64* x, u64 s, std::size_t n);
+
+namespace detail {
+/// Vector kernels (pow2_avx2.cpp / pow2_avx512.cpp, compiled with the
+/// matching -m flags). Callers go through the dispatching wrappers above.
+void pointwise_mul_mask_avx2(const u64* a, const u64* b, u64* c, std::size_t n, u64 mask);
+void pointwise_mul_mask_accumulate_avx2(u64* acc, const u64* a, const u64* b, std::size_t n,
+                                        u64 mask);
+void axpy_wrap_avx2(u64* acc, const u64* x, u64 s, std::size_t n);
+void axpy_wrap_sub_avx2(u64* acc, const u64* x, u64 s, std::size_t n);
+void pointwise_mul_mask_avx512(const u64* a, const u64* b, u64* c, std::size_t n, u64 mask);
+void pointwise_mul_mask_accumulate_avx512(u64* acc, const u64* a, const u64* b, std::size_t n,
+                                          u64 mask);
+void axpy_wrap_avx512(u64* acc, const u64* x, u64 s, std::size_t n);
+void axpy_wrap_sub_avx512(u64* acc, const u64* x, u64 s, std::size_t n);
+}  // namespace detail
+
+}  // namespace flash::hemath

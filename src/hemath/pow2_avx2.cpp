@@ -1,0 +1,92 @@
+// 4-lane Z_{2^k} mask-reduce kernels (AVX2). Separate TU compiled with
+// -mavx2; dispatch (hemath/simd.hpp) only calls in when the level grants it.
+//
+// AVX2 has no 64-bit mullo, so the low 64 bits of each lane product are
+// assembled from 32-bit limb products: lo(a*b) = lo(a_lo*b_lo)
+// + ((a_hi*b_lo + a_lo*b_hi) << 32). All three partials wrap exactly mod
+// 2^64, so the lane result is bit-identical to the scalar `a * b` — the
+// mask (or no mask at all, for the wrapping axpy kernels) is applied the
+// same way the scalar path applies it.
+#include "hemath/pow2.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace flash::hemath::detail {
+
+namespace {
+
+/// Low 64 bits of the lane-wise product — exact wrap mod 2^64.
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i ahi = _mm256_srli_epi64(a, 32);
+  const __m256i bhi = _mm256_srli_epi64(b, 32);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(ahi, b), _mm256_mul_epu32(a, bhi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+inline __m256i load(const u64* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(u64* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+}  // namespace
+
+void pointwise_mul_mask_avx2(const u64* a, const u64* b, u64* c, std::size_t n, u64 mask) {
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store(c + i, _mm256_and_si256(mullo64(load(a + i), load(b + i)), m));
+  }
+  for (; i < n; ++i) c[i] = (a[i] * b[i]) & mask;
+}
+
+void pointwise_mul_mask_accumulate_avx2(u64* acc, const u64* a, const u64* b, std::size_t n,
+                                        u64 mask) {
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i sum = _mm256_add_epi64(load(acc + i), mullo64(load(a + i), load(b + i)));
+    store(acc + i, _mm256_and_si256(sum, m));
+  }
+  for (; i < n; ++i) acc[i] = (acc[i] + a[i] * b[i]) & mask;
+}
+
+void axpy_wrap_avx2(u64* acc, const u64* x, u64 s, std::size_t n) {
+  const __m256i sv = _mm256_set1_epi64x(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store(acc + i, _mm256_add_epi64(load(acc + i), mullo64(load(x + i), sv)));
+  }
+  for (; i < n; ++i) acc[i] += s * x[i];
+}
+
+void axpy_wrap_sub_avx2(u64* acc, const u64* x, u64 s, std::size_t n) {
+  const __m256i sv = _mm256_set1_epi64x(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    store(acc + i, _mm256_sub_epi64(load(acc + i), mullo64(load(x + i), sv)));
+  }
+  for (; i < n; ++i) acc[i] -= s * x[i];
+}
+
+}  // namespace flash::hemath::detail
+
+#else  // !__AVX2__ — non-x86 build: unreachable stubs (dispatch never selects AVX2).
+
+#include <cstdlib>
+
+namespace flash::hemath::detail {
+void pointwise_mul_mask_avx2(const u64*, const u64*, u64*, std::size_t, u64) { std::abort(); }
+void pointwise_mul_mask_accumulate_avx2(u64*, const u64*, const u64*, std::size_t, u64) {
+  std::abort();
+}
+void axpy_wrap_avx2(u64*, const u64*, u64, std::size_t) { std::abort(); }
+void axpy_wrap_sub_avx2(u64*, const u64*, u64, std::size_t) { std::abort(); }
+}  // namespace flash::hemath::detail
+
+#endif

@@ -1,0 +1,74 @@
+// 8-lane Z_{2^k} mask-reduce kernels (AVX-512 F+DQ). Separate TU compiled
+// with -mavx512f -mavx512dq; DQ supplies a native 64-bit mullo
+// (_mm512_mullo_epi64), so each lane is literally the scalar `a * b` —
+// bit-identical wrap mod 2^64 — followed by the same AND.
+#include "hemath/pow2.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+namespace flash::hemath::detail {
+
+namespace {
+
+inline __m512i load(const u64* p) { return _mm512_loadu_si512(p); }
+inline void store(u64* p, __m512i v) { _mm512_storeu_si512(p, v); }
+
+}  // namespace
+
+void pointwise_mul_mask_avx512(const u64* a, const u64* b, u64* c, std::size_t n, u64 mask) {
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store(c + i, _mm512_and_si512(_mm512_mullo_epi64(load(a + i), load(b + i)), m));
+  }
+  for (; i < n; ++i) c[i] = (a[i] * b[i]) & mask;
+}
+
+void pointwise_mul_mask_accumulate_avx512(u64* acc, const u64* a, const u64* b, std::size_t n,
+                                          u64 mask) {
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i sum =
+        _mm512_add_epi64(load(acc + i), _mm512_mullo_epi64(load(a + i), load(b + i)));
+    store(acc + i, _mm512_and_si512(sum, m));
+  }
+  for (; i < n; ++i) acc[i] = (acc[i] + a[i] * b[i]) & mask;
+}
+
+void axpy_wrap_avx512(u64* acc, const u64* x, u64 s, std::size_t n) {
+  const __m512i sv = _mm512_set1_epi64(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store(acc + i, _mm512_add_epi64(load(acc + i), _mm512_mullo_epi64(load(x + i), sv)));
+  }
+  for (; i < n; ++i) acc[i] += s * x[i];
+}
+
+void axpy_wrap_sub_avx512(u64* acc, const u64* x, u64 s, std::size_t n) {
+  const __m512i sv = _mm512_set1_epi64(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    store(acc + i, _mm512_sub_epi64(load(acc + i), _mm512_mullo_epi64(load(x + i), sv)));
+  }
+  for (; i < n; ++i) acc[i] -= s * x[i];
+}
+
+}  // namespace flash::hemath::detail
+
+#else  // No AVX-512 in this compiler/arch: unreachable stubs (dispatch never selects it).
+
+#include <cstdlib>
+
+namespace flash::hemath::detail {
+void pointwise_mul_mask_avx512(const u64*, const u64*, u64*, std::size_t, u64) { std::abort(); }
+void pointwise_mul_mask_accumulate_avx512(u64*, const u64*, const u64*, std::size_t, u64) {
+  std::abort();
+}
+void axpy_wrap_avx512(u64*, const u64*, u64, std::size_t) { std::abort(); }
+void axpy_wrap_sub_avx512(u64*, const u64*, u64, std::size_t) { std::abort(); }
+}  // namespace flash::hemath::detail
+
+#endif

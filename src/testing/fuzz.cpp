@@ -83,7 +83,15 @@ struct FuzzEngine {
         c.spec, polymul_reducers(),
         [this](const PolymulSpec& s) {
           run_oracle_delay_hook();
-          return !polymul.run(make_polymul_case(s)).ok;
+          // A reducer can push the spec outside the generator's validity
+          // envelope (e.g. halving n below what a conv-derived weight
+          // pattern's geometry fits); an unconstructible candidate is not a
+          // failing one, the shrinker just keeps the previous spec.
+          try {
+            return !polymul.run(make_polymul_case(s)).ok;
+          } catch (const std::invalid_argument&) {
+            return false;
+          }
         },
         64, [this] { return past_time_budget(); });
     OracleReport final_report = report;
@@ -108,7 +116,13 @@ struct FuzzEngine {
         c.spec, conv_reducers(),
         [this](const ConvSpec& s) {
           run_oracle_delay_hook();
-          return !hconv.run(make_conv_case(s)).ok;
+          // Same contract as the polymul predicate: a shrink candidate the
+          // generator refuses to construct counts as non-failing.
+          try {
+            return !hconv.run(make_conv_case(s)).ok;
+          } catch (const std::invalid_argument&) {
+            return false;
+          }
         },
         64, [this] { return past_time_budget(); });
     OracleReport final_report = report;

@@ -11,6 +11,7 @@
 #include "core/flash_accelerator.hpp"
 #include "dse/space.hpp"
 #include "hemath/ntt.hpp"
+#include "hemath/pow2.hpp"
 #include "hemath/shoup_ntt.hpp"
 #include "protocol/conv_runner.hpp"
 #include "serve/conv_server.hpp"
@@ -131,6 +132,104 @@ OracleReport PolymulOracle::run(const PolymulCase& c) const {
     if (!r.ok) return r;
     r = batch_check(shoup, "shoup-batch-vs-singles");
     if (!r.ok) return r;
+  }
+
+  // --- 2c. Z_{2^k} mask-reduce backend: bit-equal to schoolbook mod 2^k. ---
+  // The ring width is derived from the case seed among widths spanning the
+  // sub-32-bit, equal-to-NTT-width and near-64 wrap regimes; the same case
+  // operands are reduced into the ring, so the whole generator corpus (sparse
+  // patterns, densified shrinks, every n) exercises this arm. There is no
+  // transform to cross-check mod 2^k — this schoolbook comparison IS the
+  // correctness proof the Karatsuba path rests on (ARCHITECTURE.md §14).
+  {
+    const bool mask_fault = options_.fault == FaultInjection::kPow2MaskWidth;
+    const bool carry_fault = options_.fault == FaultInjection::kPow2CarryTruncation;
+    std::vector<int> ks;
+    for (const int k : {16, 32, 49, 60, 62}) {
+      // k - 1 must also satisfy q > 2t so the mask-width fault stays a valid
+      // (but wrong) parameter set.
+      if ((k >= 64 || (u64{1} << (k - 1)) > 2 * p.t) && (!carry_fault || k > 33)) ks.push_back(k);
+    }
+    if (!ks.empty()) {
+      const int k = ks[static_cast<std::size_t>(c.spec.seed % ks.size())];
+      const hemath::Pow2Ring ring(k);
+
+      std::vector<u64> ct2(n), w2(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ct2[i] = ring.reduce(c.ct[i]);
+        w2[i] = ring.from_signed(c.w[i]);
+      }
+      std::vector<u64> sb(n);
+      hemath::negacyclic_mul_pow2_schoolbook(ct2.data(), w2.data(), sb.data(), n, ring);
+
+      // The engine under (possibly injected) test: a mask-width fault builds
+      // it one bit narrow; a carry fault truncates its ciphertext operand.
+      bfv::BfvParams pp;
+      pp.n = n;
+      pp.t = p.t;
+      pp.q = u64{1} << (mask_fault ? k - 1 : k);
+      bfv::BfvContext pctx(pp);
+      const bfv::PolyMulEngine pow2_engine(pctx, bfv::PolyMulBackend::kPow2);
+
+      bfv::Plaintext pt2 = pctx.make_plaintext();
+      for (std::size_t i = 0; i < n; ++i) pt2.poly[i] = from_signed(c.w[i], pp.t);
+      std::vector<u64> ct_in = ct2;
+      if (carry_fault) {
+        for (auto& v : ct_in) v &= 0xFFFFFFFFull;
+      }
+      const hemath::Poly ct_poly2(pp.q, ct_in);
+
+      const bfv::PlainSpectrum w_pow2 = pow2_engine.transform_plain(pt2);
+      const hemath::Poly out = pow2_engine.multiply(ct_poly2, w_pow2);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (out[i] != sb[i]) {
+          return fail("pow2-vs-schoolbook",
+                      "k " + std::to_string(k) + ": " + coeff_mismatch(i, out[i], sb[i]));
+        }
+      }
+
+      // Accumulator path (transform / multiply_accumulate / finalize) must
+      // reproduce the direct multiply bit-for-bit.
+      const bfv::CipherSpectrum cspec = pow2_engine.transform_cipher_spectrum(ct_poly2);
+      bfv::SpectralAccumulator acc;
+      pow2_engine.multiply_accumulate(cspec, w_pow2, acc);
+      const hemath::Poly out_acc = pow2_engine.finalize(acc);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (out_acc[i] != out[i]) {
+          return fail("pow2-accumulate-vs-multiply",
+                      "k " + std::to_string(k) + ": " + coeff_mismatch(i, out_acc[i], out[i]));
+        }
+      }
+
+      // Batched SoA path: five derived lanes, bit-equal to a loop of singles
+      // (mirrors check 2b for the NTT backends).
+      {
+        std::vector<std::vector<u64>> lanes(5, ct2);
+        for (std::size_t b = 0; b < lanes.size(); ++b) {
+          for (std::size_t i = 0; i < n; ++i) {
+            lanes[b][i] = ring.add(ct2[i], ring.mul(b, w2[i]));
+          }
+        }
+        std::vector<std::vector<u64>> batch_out(lanes.size(), std::vector<u64>(n));
+        std::vector<const u64*> in_ptrs(lanes.size());
+        std::vector<u64*> out_ptrs(lanes.size());
+        for (std::size_t b = 0; b < lanes.size(); ++b) {
+          in_ptrs[b] = lanes[b].data();
+          out_ptrs[b] = batch_out[b].data();
+        }
+        hemath::negacyclic_mul_pow2_batch_into(in_ptrs, w2.data(), out_ptrs, n, ring);
+        for (std::size_t b = 0; b < lanes.size(); ++b) {
+          const std::vector<u64> single = hemath::negacyclic_mul_pow2(lanes[b], w2, ring);
+          for (std::size_t i = 0; i < n; ++i) {
+            if (batch_out[b][i] != single[i]) {
+              return fail("pow2-batch-vs-singles",
+                          "k " + std::to_string(k) + " lane " + std::to_string(b) + ": " +
+                              coeff_mismatch(i, batch_out[b][i], single[i]));
+            }
+          }
+        }
+      }
+    }
   }
 
   // --- 3. Double-precision FFT engine: within the FP rounding margin. ---

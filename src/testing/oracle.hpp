@@ -27,8 +27,13 @@ namespace flash::testing {
 /// the oracle (and the fuzz driver's shrinking) actually detects bugs.
 /// kTwiddleQuantization degrades the CSD twiddle quantization of the
 /// approximate path to one digit of depth 2 — the "wrong twiddle table"
-/// class of hardware bug.
-enum class FaultInjection { kNone, kTwiddleQuantization };
+/// class of hardware bug. kPow2MaskWidth runs the Z_{2^k} engine with a
+/// ring one bit narrower than the reference (the off-by-one mask-constant
+/// bug); kPow2CarryTruncation drops the ciphertext operand's bits above 32
+/// before the Z_{2^k} multiply (the narrow-operand-register / lost-carry
+/// bug), with the ring width pinned above 32 so the fault cannot be a
+/// silent no-op.
+enum class FaultInjection { kNone, kTwiddleQuantization, kPow2MaskWidth, kPow2CarryTruncation };
 
 struct OracleOptions {
   /// Budget-mode approximate design point: uniform per-stage data width and
@@ -52,7 +57,7 @@ struct OracleReport {
 };
 
 /// Cross-checks one polymul case across schoolbook / NTT / Shoup NTT /
-/// double FFT / sparse executor / approximate FXP FFT.
+/// Z_{2^k} mask-reduce / double FFT / sparse executor / approximate FXP FFT.
 class PolymulOracle {
  public:
   explicit PolymulOracle(OracleOptions options = {}) : options_(options) {}

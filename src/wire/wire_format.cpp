@@ -264,7 +264,7 @@ PlanSpecWire decode_plan_spec(ByteReader& r) {
   PlanSpecWire spec;
   spec.params = decode_params_body(r);
   const std::uint8_t backend = r.read_u8();
-  if (backend > static_cast<std::uint8_t>(bfv::PolyMulBackend::kApproxFft)) {
+  if (backend > static_cast<std::uint8_t>(bfv::PolyMulBackend::kPow2)) {
     throw WireError("plan spec: unknown backend");
   }
   spec.backend = static_cast<bfv::PolyMulBackend>(backend);

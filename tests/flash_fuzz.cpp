@@ -31,7 +31,10 @@ int usage(const char* argv0) {
       << "  --max-failures N   stop after N shrunk failures (default 3)\n"
       << "  --corpus FILE      replay reproducer lines / seeds from FILE first\n"
       << "  --repro SPEC       run one reproducer spec (or bare seed) and exit\n"
-      << "  --inject twiddle   inject a twiddle-quantization bug into the approx path\n"
+      << "  --inject FAULT     deliberate-bug self-test; FAULT is one of:\n"
+      << "                       twiddle     twiddle-quantization bug, approx path\n"
+      << "                       pow2-mask   Z_{2^k} ring one bit narrow (mask-width bug)\n"
+      << "                       pow2-carry  Z_{2^k} ct operand truncated to 32 bits\n"
       << "  --expect-failure   exit 0 iff the run DID fail (oracle self-test)\n"
       << "  --verbose          log every case\n";
   return 2;
@@ -65,11 +68,13 @@ int main(int argc, char** argv) {
       else if (arg == "--verbose") options.verbose = true;
       else if (arg == "--inject") {
         const std::string what = next();
-        if (what != "twiddle") {
+        if (what == "twiddle") options.oracle.fault = FaultInjection::kTwiddleQuantization;
+        else if (what == "pow2-mask") options.oracle.fault = FaultInjection::kPow2MaskWidth;
+        else if (what == "pow2-carry") options.oracle.fault = FaultInjection::kPow2CarryTruncation;
+        else {
           std::cerr << "unknown fault: " << what << "\n";
           return usage(argv[0]);
         }
-        options.oracle.fault = FaultInjection::kTwiddleQuantization;
       } else if (arg == "--corpus") {
         std::ifstream file(next());
         if (!file) {

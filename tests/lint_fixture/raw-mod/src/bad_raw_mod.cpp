@@ -20,4 +20,25 @@ std::uint64_t bad_member_access(std::uint64_t a, const Params& p) {
   return a % p.modulus;
 }
 
+struct Ring {
+  std::uint64_t coeff_mask;
+};
+
+// Hand-rolled Z_{2^k} reductions: the masked-reduction arm of the rule must
+// flag a bare `& mask` and a compound `&= r.coeff_mask` outside src/hemath
+// (Pow2Ring owns the idiom there).
+std::uint64_t bad_mask_reduce(std::uint64_t a, std::uint64_t b, std::uint64_t mask) {
+  return (a * b) & mask;
+}
+
+void bad_mask_reduce_compound(std::uint64_t& acc, std::uint64_t x, const Ring& r) {
+  acc += x;
+  acc &= r.coeff_mask;
+}
+
+// Unary address-of must NOT fire: after `(` the `&` is not a binary bitwise
+// operator, so the rule's previous-token check skips it.
+void takes_ptr(std::uint64_t* p);
+void fine_unary_address_of(std::uint64_t mask) { takes_ptr(&mask); }
+
 }  // namespace flash::fixture

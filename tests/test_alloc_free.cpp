@@ -19,6 +19,7 @@
 #include "fft/radix4.hpp"
 #include "hemath/ntt.hpp"
 #include "hemath/pointwise.hpp"
+#include "hemath/pow2.hpp"
 #include "hemath/primes.hpp"
 #include "hemath/sampler.hpp"
 #include "hemath/shoup_ntt.hpp"
@@ -241,6 +242,35 @@ TEST(AllocFree, PointwiseMulmodRaw) {
   const std::uint64_t before = allocs();
   hemath::pointwise_mulmod(a.data(), b.data(), c.data(), n, q);
   hemath::pointwise_mulmod_accumulate(c.data(), a.data(), b.data(), n, q);
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+TEST(AllocFree, Pow2NegacyclicIntoAndBatchIntoAfterWarmup) {
+  const std::size_t n = 1024, batch = 5;
+  const hemath::Pow2Ring ring(49);
+  hemath::Sampler sampler(12);
+  std::vector<u64> w = sampler.uniform_poly(u64{1} << 49, n).coeffs();
+  std::vector<std::vector<u64>> cts(batch);
+  std::vector<std::vector<u64>> outs(batch, std::vector<u64>(n));
+  for (std::size_t b = 0; b < batch; ++b) {
+    cts[b] = sampler.uniform_poly(u64{1} << 49, n).coeffs();
+  }
+  std::vector<const u64*> ct_ptrs(batch);
+  std::vector<u64*> out_ptrs(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    ct_ptrs[b] = cts[b].data();
+    out_ptrs[b] = outs[b].data();
+  }
+  core::ScratchArena& arena = core::thread_scratch();
+  // Warmup: the Karatsuba recursion and the batch SoA sweep size the arena.
+  hemath::negacyclic_mul_pow2_into(cts[0].data(), w.data(), outs[0].data(), n, ring, &arena);
+  hemath::negacyclic_mul_pow2_batch_into(std::span<const u64* const>(ct_ptrs), w.data(),
+                                         std::span<u64* const>(out_ptrs), n, ring, &arena);
+
+  const std::uint64_t before = allocs();
+  hemath::negacyclic_mul_pow2_into(cts[0].data(), w.data(), outs[0].data(), n, ring, &arena);
+  hemath::negacyclic_mul_pow2_batch_into(std::span<const u64* const>(ct_ptrs), w.data(),
+                                         std::span<u64* const>(out_ptrs), n, ring, &arena);
   EXPECT_EQ(allocs() - before, 0u);
 }
 

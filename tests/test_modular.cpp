@@ -27,6 +27,36 @@ TEST(Modular, MulModLargeOperands) {
   EXPECT_EQ(mul_mod(a, a, q), 1u);
 }
 
+TEST(Modular, MulModPow2FastPathBitIdentity) {
+  // Pins the power-of-two mask fast path in mul_mod (modular.hpp) against
+  // the 128-bit remainder it replaced: every pow2 modulus must produce the
+  // exact residue of (a * b) % q, and prime moduli must be untouched.
+  std::mt19937_64 rng(0x10d2a7);
+  const auto reference = [](u64 a, u64 b, u64 q) {
+    return static_cast<u64>((static_cast<u128>(a) * b) % q);
+  };
+  for (const int k : {1, 2, 8, 16, 32, 49, 62, 63}) {
+    const u64 q = u64{1} << k;
+    for (int trial = 0; trial < 200; ++trial) {
+      const u64 a = rng(), b = rng();
+      EXPECT_EQ(mul_mod(a, b, q), reference(a, b, q)) << "k=" << k;
+    }
+    // Edge operands: 0, 1, q-1, and unreduced values just past the modulus.
+    for (const u64 a : {u64{0}, u64{1}, q - 1, q, q + 1, ~u64{0}}) {
+      for (const u64 b : {u64{0}, u64{1}, q - 1, q, q + 1, ~u64{0}}) {
+        EXPECT_EQ(mul_mod(a, b, q), reference(a, b, q)) << "k=" << k;
+      }
+    }
+  }
+  // Non-pow2 moduli must still go through the 128-bit remainder path.
+  for (const u64 q : {u64{3}, u64{1000003}, (u64{1} << 61) - 1, (u64{1} << 32) + 1}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const u64 a = rng() % q, b = rng() % q;
+      EXPECT_EQ(mul_mod(a, b, q), reference(a, b, q)) << "q=" << q;
+    }
+  }
+}
+
 TEST(Modular, PowModMatchesRepeatedMul) {
   const u64 q = 1000003;
   u64 acc = 1;

@@ -14,6 +14,7 @@
 #include "bfv/serialization.hpp"
 #include "fft/negacyclic.hpp"
 #include "hemath/ntt.hpp"
+#include "hemath/pow2.hpp"
 #include "hemath/primes.hpp"
 #include "hemath/sampler.hpp"
 #include "hemath/shoup_ntt.hpp"
@@ -210,6 +211,83 @@ TEST(Property, NegacyclicMultiplyIsLinear) {
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_EQ(lhs[i], hemath::add_mod(p1[i], p2[i], q)) << "coeff " << i;
   }
+}
+
+TEST(Property, Pow2NegacyclicRingIdentities) {
+  // Ring axioms of the Z_{2^k} negacyclic product at every width regime,
+  // including k = 64 where the mask is all-ones and reduction must be the
+  // free u64 wraparound: commutativity, linearity, x * 1 == x,
+  // x * (2^k - 1) == -x, and the negacyclic wraparound sign X^n == -1.
+  std::mt19937_64 rng(kPropertySeed);
+  const std::size_t n = 128;
+  for (const int k : {8, 16, 32, 60, 64}) {
+    const hemath::Pow2Ring ring(k);
+    std::vector<u64> a(n), b(n), c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = ring.reduce(rng());
+      b[i] = ring.reduce(rng());
+      c[i] = ring.reduce(rng());
+    }
+
+    // Commutativity: a * b == b * a.
+    EXPECT_EQ(hemath::negacyclic_mul_pow2(a, b, ring), hemath::negacyclic_mul_pow2(b, a, ring))
+        << "k=" << k;
+
+    // Linearity: a * (b + c) == a * b + a * c.
+    std::vector<u64> sum(n);
+    for (std::size_t i = 0; i < n; ++i) sum[i] = ring.add(b[i], c[i]);
+    const std::vector<u64> lhs = hemath::negacyclic_mul_pow2(a, sum, ring);
+    const std::vector<u64> ab = hemath::negacyclic_mul_pow2(a, b, ring);
+    const std::vector<u64> ac = hemath::negacyclic_mul_pow2(a, c, ring);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(lhs[i], ring.add(ab[i], ac[i])) << "k=" << k << " coeff " << i;
+    }
+
+    // Multiplicative identity: a * 1 == a.
+    std::vector<u64> one(n, 0);
+    one[0] = 1;
+    EXPECT_EQ(hemath::negacyclic_mul_pow2(a, one, ring), a) << "k=" << k;
+
+    // x * (2^k - 1) == -x: the all-ones residue is -1 in the ring.
+    std::vector<u64> minus_one(n, 0);
+    minus_one[0] = ring.mask;
+    const std::vector<u64> neg = hemath::negacyclic_mul_pow2(a, minus_one, ring);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(neg[i], ring.neg(a[i])) << "k=" << k << " coeff " << i;
+    }
+
+    // Negacyclic wraparound sign: (X^j * a) at j = n/2 twice == X^n * a == -a.
+    std::vector<u64> half_shift(n, 0);
+    half_shift[n / 2] = 1;
+    const std::vector<u64> once = hemath::negacyclic_mul_pow2(a, half_shift, ring);
+    const std::vector<u64> twice = hemath::negacyclic_mul_pow2(once, half_shift, ring);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(twice[i], ring.neg(a[i])) << "k=" << k << " coeff " << i;
+    }
+  }
+}
+
+TEST(Property, Pow2WrapAtSixtyFourIsPlainUint64Wrap) {
+  // k = 64 is the wrap-is-free width: the masked ring product must equal a
+  // naive accumulation in plain u64 arithmetic (no mask applied anywhere),
+  // because 2^64 | 2^64 — the hardware's natural overflow IS the reduction.
+  std::mt19937_64 rng(kPropertySeed + 64);
+  const std::size_t n = 64;
+  const hemath::Pow2Ring ring(64);
+  std::vector<u64> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng();
+    b[i] = rng();
+  }
+  std::vector<u64> naive(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = a[i] * b[j];  // wraps mod 2^64 by definition
+      if (i + j < n) naive[i + j] += prod;
+      else naive[i + j - n] -= prod;
+    }
+  }
+  EXPECT_EQ(hemath::negacyclic_mul_pow2(a, b, ring), naive);
 }
 
 TEST(Property, NttInverseIsIdentityAcrossPrimesAndDegrees) {

@@ -14,6 +14,7 @@
 #include "hemath/modular.hpp"
 #include "hemath/ntt.hpp"
 #include "hemath/pointwise.hpp"
+#include "hemath/pow2.hpp"
 #include "hemath/primes.hpp"
 #include "hemath/shoup_ntt.hpp"
 #include "hemath/simd.hpp"
@@ -23,6 +24,7 @@ namespace flash {
 namespace {
 
 using fft::cplx;
+using hemath::i64;
 using hemath::u64;
 using hemath::simd::ScopedSimdLevel;
 using hemath::simd::SimdLevel;
@@ -439,6 +441,104 @@ TEST(SimdBatchKernels, MergedMaterializeBitIdenticalAcrossLevels) {
           lazy.data(), m, out.data());
       EXPECT_EQ(mults, mults_ref) << m;
       expect_bit_identical(out, ref);
+    }
+  }
+}
+
+// --- Z_{2^k} mask-reduce kernels --------------------------------------------
+//
+// The pow2 backend's pointwise/axpy kernels have AVX2 (split 32x32 mullo) and
+// AVX-512 (native mullo64) paths; every level must be bit-identical to forced
+// scalar over a corpus of widths covering the lane counts and their tails,
+// with edge residues (0, 1, mask) planted in the first lanes.
+
+TEST(SimdKernels, Pow2MaskReduceKernelsBitIdenticalAcrossLevels) {
+  std::mt19937_64 rng(517);
+  for (const int k : {8, 32, 49, 64}) {
+    const hemath::Pow2Ring ring(k);
+    for (const std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{8}, std::size_t{9},
+                                std::size_t{16}, std::size_t{17}, std::size_t{200}}) {
+      std::vector<u64> a(n), b(n), acc0(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = ring.reduce(rng());
+        b[i] = ring.reduce(rng());
+        acc0[i] = ring.reduce(rng());
+      }
+      if (n >= 3) {
+        a[0] = 0;
+        a[1] = 1;
+        a[2] = ring.mask;
+        b[2] = ring.mask;
+      }
+      const u64 s = ring.reduce(rng());
+
+      std::vector<u64> mul_ref(n), maccum_ref = acc0, add_ref = acc0, axpy_ref = acc0,
+                       axpys_ref = acc0;
+      {
+        ScopedSimdLevel level(SimdLevel::kScalar);
+        hemath::pointwise_mulmod_pow2(a.data(), b.data(), mul_ref.data(), n, ring);
+        hemath::pointwise_mulmod_pow2_accumulate(maccum_ref.data(), a.data(), b.data(), n, ring);
+        hemath::pointwise_add_pow2(add_ref.data(), a.data(), n, ring);
+        hemath::axpy_wrap(axpy_ref.data(), a.data(), s, n);
+        hemath::axpy_wrap_sub(axpys_ref.data(), a.data(), s, n);
+      }
+      for (SimdLevel lvl : supported_levels()) {
+        ScopedSimdLevel level(lvl);
+        std::vector<u64> mul(n), maccum = acc0, add = acc0, axpy = acc0, axpys = acc0;
+        hemath::pointwise_mulmod_pow2(a.data(), b.data(), mul.data(), n, ring);
+        hemath::pointwise_mulmod_pow2_accumulate(maccum.data(), a.data(), b.data(), n, ring);
+        hemath::pointwise_add_pow2(add.data(), a.data(), n, ring);
+        hemath::axpy_wrap(axpy.data(), a.data(), s, n);
+        hemath::axpy_wrap_sub(axpys.data(), a.data(), s, n);
+        const char* name = hemath::simd::simd_level_name(lvl);
+        ASSERT_EQ(mul, mul_ref) << "k=" << k << " n=" << n << " " << name;
+        ASSERT_EQ(maccum, maccum_ref) << "k=" << k << " n=" << n << " " << name;
+        ASSERT_EQ(add, add_ref) << "k=" << k << " n=" << n << " " << name;
+        ASSERT_EQ(axpy, axpy_ref) << "k=" << k << " n=" << n << " " << name;
+        ASSERT_EQ(axpys, axpys_ref) << "k=" << k << " n=" << n << " " << name;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, Pow2NegacyclicAndBatchBitIdenticalAcrossLevels) {
+  std::mt19937_64 rng(518);
+  const hemath::Pow2Ring ring(49);
+  for (const std::size_t n : {std::size_t{32}, std::size_t{64}, std::size_t{256}}) {
+    std::vector<u64> a(n), w(n, 0);
+    for (auto& x : a) x = ring.reduce(rng());
+    for (std::size_t j = 0; j < n; j += 11) w[j] = ring.from_signed(static_cast<i64>(j % 9) - 4);
+
+    std::vector<u64> single_ref(n);
+    std::vector<std::vector<u64>> lanes(5, a), batch_ref(5, std::vector<u64>(n));
+    for (std::size_t l = 1; l < lanes.size(); ++l) {
+      for (auto& x : lanes[l]) x = ring.reduce(rng());
+    }
+    {
+      ScopedSimdLevel level(SimdLevel::kScalar);
+      hemath::negacyclic_mul_pow2_into(a.data(), w.data(), single_ref.data(), n, ring);
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        hemath::negacyclic_mul_pow2_into(lanes[l].data(), w.data(), batch_ref[l].data(), n, ring);
+      }
+    }
+    for (SimdLevel lvl : supported_levels()) {
+      ScopedSimdLevel level(lvl);
+      std::vector<u64> single(n);
+      hemath::negacyclic_mul_pow2_into(a.data(), w.data(), single.data(), n, ring);
+      ASSERT_EQ(single, single_ref) << "n=" << n << " " << hemath::simd::simd_level_name(lvl);
+
+      std::vector<std::vector<u64>> outs(lanes.size(), std::vector<u64>(n));
+      std::vector<const u64*> in_ptrs(lanes.size());
+      std::vector<u64*> out_ptrs(lanes.size());
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        in_ptrs[l] = lanes[l].data();
+        out_ptrs[l] = outs[l].data();
+      }
+      hemath::negacyclic_mul_pow2_batch_into(in_ptrs, w.data(), out_ptrs, n, ring);
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        ASSERT_EQ(outs[l], batch_ref[l])
+            << "n=" << n << " lane=" << l << " " << hemath::simd::simd_level_name(lvl);
+      }
     }
   }
 }

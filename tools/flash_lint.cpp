@@ -10,7 +10,13 @@
 //                   through mul_mod/add_mod/... — a raw `x % q` on a u64
 //                   that already sits in [0, q) is either redundant or, far
 //                   worse, a sign that a product was formed without the
-//                   128-bit widening the hemath helpers guarantee.
+//                   128-bit widening the hemath helpers guarantee. The same
+//                   rule covers the Z_{2^k} idiom: a binary `x & mask` /
+//                   `x &= some_mask` reduction outside src/hemath is a
+//                   hand-rolled Pow2Ring — one missing AND in a wrap-exact
+//                   chain stays invisible until the widths line up, so the
+//                   masked form goes through Pow2Ring or carries an audited
+//                   allow(raw-mod) reason.
 //   raw-rng         std::mt19937_64 may only be constructed in
 //                   src/hemath/sampler.* and src/testing/generators.*.
 //                   Everyone else derives a stream with derive_stream_seed()
@@ -289,6 +295,34 @@ void rule_raw_mod(const FileCtx& f) {
     f.report(t[i].line, "raw-mod",
              "raw % on a modulus-domain value outside src/hemath; use the "
              "hemath mul_mod/add_mod/reduce helpers");
+  }
+  // Masked reduction: a binary `&`/`&=` whose right operand leaf is a mask
+  // identifier (`mask` or `*_mask`) is a hand-rolled Z_{2^k} reduction — the
+  // same bug surface the % form has (one missing AND in a wrap-exact chain
+  // is invisible until the widths line up). Outside src/hemath it must go
+  // through Pow2Ring, or carry an audited allow(raw-mod) reason. The
+  // previous-token check keeps unary address-of (`&x`, `f(&mask)`) and
+  // `Type& mask` references out: only an ident/number/)/] on the left makes
+  // `&` a binary bitwise operator here.
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::Kind::kPunct || (t[i].text != "&" && t[i].text != "&=")) continue;
+    const Token& prev = t[i - 1];
+    const bool binary = prev.kind == Token::Kind::kIdent || prev.kind == Token::Kind::kNumber ||
+                        prev.text == ")" || prev.text == "]";
+    if (!binary) continue;
+    std::size_t j = i + 1;
+    if (j >= t.size() || t[j].kind != Token::Kind::kIdent) continue;
+    while (j + 2 < t.size() && (t[j + 1].text == "." || t[j + 1].text == "->") &&
+           t[j + 2].kind == Token::Kind::kIdent) {
+      j += 2;
+    }
+    const std::string& leaf = t[j].text;
+    const bool is_mask = leaf == "mask" || (leaf.size() > 5 && leaf.compare(leaf.size() - 5, 5,
+                                                                            "_mask") == 0);
+    if (!is_mask) continue;
+    f.report(t[i].line, "raw-mod",
+             "hand-rolled mask reduction (& mask) outside src/hemath; use "
+             "hemath Pow2Ring reduce/add/mul (or an audited allow(raw-mod))");
   }
 }
 
